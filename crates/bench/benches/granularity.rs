@@ -1,0 +1,70 @@
+//! Criterion benchmarks for SPLITANDMERGE and cube regrouping (the
+//! Table 7 companion): preparation cost and the per-iteration benefit of
+//! working at the adjusted granularity.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kbt_core::{ModelConfig, MultiLayerModel, QualityInit};
+use kbt_core::config::AbsencePolicy;
+use kbt_granularity::{regroup_cube, split_and_merge, SourceKey, SplitMergeConfig};
+use kbt_synth::web::{generate, WebCorpusConfig};
+
+fn splitmerge_alg(c: &mut Criterion) {
+    // Example 4.2 at scale: thousands of single-triple sources that merge
+    // up and then split.
+    let finest: Vec<_> = (0..20_000u32)
+        .map(|i| (SourceKey::page(i % 50, i % 13, i), vec![i]))
+        .collect();
+    c.bench_function("split_and_merge_20k_sources", |b| {
+        b.iter(|| {
+            black_box(split_and_merge(
+                finest.clone(),
+                &SplitMergeConfig {
+                    min_size: 5,
+                    max_size: 500,
+                },
+            ))
+        })
+    });
+}
+
+fn regroup_and_infer(c: &mut Criterion) {
+    let corpus = generate(&WebCorpusConfig::tiny(3));
+    let cfg = ModelConfig {
+        min_source_support: 2,
+        absence_policy: AbsencePolicy::SourceCandidates,
+        ..ModelConfig::default()
+    };
+    c.bench_function("regroup_cube", |b| {
+        b.iter(|| {
+            black_box(regroup_cube(
+                &corpus.observations,
+                |i| corpus.finest_source_key(&corpus.observations[i]),
+                &SplitMergeConfig {
+                    min_size: 5,
+                    max_size: 10_000,
+                },
+            ))
+        })
+    });
+    let (cube_sm, _, _) = regroup_cube(
+        &corpus.observations,
+        |i| corpus.finest_source_key(&corpus.observations[i]),
+        &SplitMergeConfig {
+            min_size: 5,
+            max_size: 10_000,
+        },
+    );
+    let mut group = c.benchmark_group("iteration_granularity");
+    group.bench_function("page_level", |b| {
+        let model = MultiLayerModel::new(cfg.clone());
+        b.iter(|| black_box(model.run(&corpus.cube, &QualityInit::Default)))
+    });
+    group.bench_function("split_merged", |b| {
+        let model = MultiLayerModel::new(cfg.clone());
+        b.iter(|| black_box(model.run(&cube_sm, &QualityInit::Default)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, splitmerge_alg, regroup_and_infer);
+criterion_main!(benches);

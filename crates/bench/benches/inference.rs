@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the inference pipeline (companions to the
+//! Figure 3 / Table 5 experiments): full EM runs plus the individual
+//! per-iteration phases of Algorithm 1.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_core::{
+    estimate_correctness, estimate_values, AlphaState, ModelConfig, MultiLayerModel, Params,
+    QualityInit, SingleLayerModel, VoteCounter,
+};
+use kbt_synth::paper::{generate, SyntheticConfig};
+
+fn full_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_model");
+    for extractors in [2usize, 5, 10] {
+        let data = generate(&SyntheticConfig {
+            num_extractors: extractors,
+            seed: 7,
+            ..SyntheticConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("multilayer", extractors),
+            &data,
+            |b, data| {
+                let model = MultiLayerModel::new(ModelConfig::default());
+                b.iter(|| black_box(model.run(&data.cube, &QualityInit::Default)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("singlelayer", extractors),
+            &data,
+            |b, data| {
+                let model = SingleLayerModel::new(ModelConfig::single_layer_default());
+                b.iter(|| black_box(model.run(&data.cube, &QualityInit::Default)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn phases(c: &mut Criterion) {
+    let data = generate(&SyntheticConfig {
+        triples_per_source: 500,
+        seed: 13,
+        ..SyntheticConfig::default()
+    });
+    let cube = &data.cube;
+    let cfg = ModelConfig::default();
+    let params = Params::init(cube, &cfg, &QualityInit::Default);
+    let votes = VoteCounter::new(cube, &params, &cfg);
+    let alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
+    let correctness = estimate_correctness(cube, &votes, &alpha, &cfg);
+    let active = vec![true; cube.num_sources()];
+
+    let mut group = c.benchmark_group("phase");
+    group.bench_function("extraction_correctness", |b| {
+        b.iter(|| black_box(estimate_correctness(cube, &votes, &alpha, &cfg)))
+    });
+    group.bench_function("value_inference", |b| {
+        b.iter(|| black_box(estimate_values(cube, &correctness, &params, &cfg, &active)))
+    });
+    group.bench_function("source_accuracy_update", |b| {
+        let out = estimate_values(cube, &correctness, &params, &cfg, &active);
+        b.iter(|| {
+            let mut p = params.clone();
+            let mut act = active.clone();
+            kbt_core::mstep::update_source_accuracy(
+                cube,
+                &correctness,
+                &out.truth_given_provided,
+                &cfg,
+                &mut p,
+                &mut act,
+            );
+            black_box(p)
+        })
+    });
+    group.bench_function("extractor_quality_update", |b| {
+        b.iter(|| {
+            let mut p = params.clone();
+            kbt_core::mstep::update_extractor_quality(cube, &correctness, &cfg, &mut p);
+            black_box(p)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, full_models, phases);
+criterion_main!(benches);

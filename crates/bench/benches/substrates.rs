@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the substrates: cube construction, corpus
+//! generation, PageRank, and the evaluation metrics (companions to the
+//! Figures 5–10 experiments).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt_graph::{pagerank, preferential_attachment, PageRankConfig, WebGraph, WebGraphConfig};
+use kbt_metrics::{auc_pr, calibration_curve, count_histogram, wdev};
+use kbt_synth::web::{generate, WebCorpusConfig};
+
+fn cube_build(c: &mut Criterion) {
+    let obs: Vec<Observation> = (0..200_000u32)
+        .map(|i| Observation {
+            extractor: ExtractorId::new(i % 16),
+            source: SourceId::new((i * 7) % 5_000),
+            item: ItemId::new((i * 13) % 10_000),
+            value: ValueId::new(i % 50),
+            confidence: 0.5 + (i % 2) as f64 * 0.5,
+        })
+        .collect();
+    c.bench_function("cube_build_200k", |b| {
+        b.iter(|| {
+            let mut builder = CubeBuilder::with_capacity(obs.len());
+            for o in &obs {
+                builder.push(*o);
+            }
+            black_box(builder.build())
+        })
+    });
+}
+
+fn corpus_generation(c: &mut Criterion) {
+    c.bench_function("web_corpus_tiny", |b| {
+        b.iter(|| black_box(generate(&WebCorpusConfig::tiny(1))))
+    });
+}
+
+fn graph(c: &mut Criterion) {
+    let cfg = WebGraphConfig {
+        num_nodes: 10_000,
+        edges_per_node: 4,
+        seed: 5,
+    };
+    let edges = preferential_attachment(&cfg);
+    let g = WebGraph::from_edges(cfg.num_nodes, &edges);
+    c.bench_function("pagerank_10k_nodes", |b| {
+        b.iter(|| black_box(pagerank(&g, &PageRankConfig::default())))
+    });
+}
+
+fn metrics(c: &mut Criterion) {
+    let n = 100_000;
+    let mut state = 42u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pred: Vec<f64> = (0..n).map(|_| rng()).collect();
+    let truth: Vec<bool> = pred.iter().map(|&p| rng() < p).collect();
+    c.bench_function("auc_pr_100k", |b| {
+        b.iter(|| black_box(auc_pr(&pred, &truth)))
+    });
+    c.bench_function("wdev_100k", |b| b.iter(|| black_box(wdev(&pred, &truth))));
+    c.bench_function("calibration_100k", |b| {
+        b.iter(|| black_box(calibration_curve(&pred, &truth, 10)))
+    });
+    let counts: Vec<u64> = (0..n as u64).map(|i| (i % 1000) + 1).collect();
+    c.bench_function("count_histogram_100k", |b| {
+        b.iter(|| black_box(count_histogram(counts.iter().copied())))
+    });
+}
+
+criterion_group!(benches, cube_build, corpus_generation, graph, metrics);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Table 5: SINGLELAYER / MULTILAYER / MULTILAYERSM (and their `+`
+//! gold-initialized variants) on the KV-scale corpus, scored with SqV,
+//! WDev, AUC-PR, and Cov against the LCWA + type-check gold standard.
+//!
+//! With `--curves` also prints the Figure 8 calibration curves and the
+//! Figure 9 PR curves for the three `+` methods.
+//!
+//! Expected shape (paper): the multi-layer model beats the single layer
+//! on SqV/WDev/AUC-PR; MULTILAYERSM beats MULTILAYER *unsupervised* but
+//! MULTILAYER+ beats MULTILAYERSM+ (smart initialization helps most at
+//! fine granularity); coverage drops at the finest multi-layer
+//! granularity and recovers with split-and-merge.
+
+use kbt_bench::harness::{
+    gold_init, kv_multilayer_config, kv_singlelayer_config, labeled_predictions, run_multilayer,
+    run_multilayer_sm, run_singlelayer, score_predictions, MethodScores, TriplePredictions,
+};
+use kbt_bench::table::{f3, f4, TableWriter};
+use kbt_core::QualityInit;
+use kbt_granularity::SplitMergeConfig;
+use kbt_metrics::{calibration_curve_partial, PrCurve};
+use kbt_synth::web::{generate, WebCorpusConfig};
+use kbt_synth::WebCorpus;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let curves = args.iter().any(|a| a == "--curves");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+
+    eprintln!("generating KV-scale corpus (seed {seed})…");
+    let corpus = generate(&WebCorpusConfig {
+        seed,
+        ..WebCorpusConfig::default()
+    });
+    eprintln!(
+        "corpus: {} pages, {} sites, {} cells, {} groups",
+        corpus.cube.num_sources(),
+        corpus.sites.len(),
+        corpus.cube.num_cells(),
+        corpus.cube.num_groups()
+    );
+
+    let sl_cfg = kv_singlelayer_config();
+    let ml_cfg = kv_multilayer_config();
+    let sm = SplitMergeConfig {
+        min_size: 5,
+        max_size: 10_000,
+    };
+
+    let mut rows: Vec<(&str, MethodScores, TriplePredictions)> = Vec::new();
+
+    let (_, preds) = run_singlelayer(&corpus, &sl_cfg, &QualityInit::Default);
+    rows.push(("SingleLayer", score_predictions(&corpus, &preds), preds));
+
+    let (_, preds) = run_multilayer(&corpus, &ml_cfg, &QualityInit::Default);
+    rows.push(("MultiLayer", score_predictions(&corpus, &preds), preds));
+
+    let (_, preds, _, _) = run_multilayer_sm(&corpus, &ml_cfg, &sm, false);
+    rows.push(("MultiLayerSM", score_predictions(&corpus, &preds), preds));
+
+    let gold = gold_init(&corpus);
+    let (_, preds) = run_singlelayer(&corpus, &sl_cfg, &gold);
+    rows.push(("SingleLayer+", score_predictions(&corpus, &preds), preds));
+
+    let (_, preds) = run_multilayer(&corpus, &ml_cfg, &gold);
+    rows.push(("MultiLayer+", score_predictions(&corpus, &preds), preds));
+
+    let (_, preds, _, _) = run_multilayer_sm(&corpus, &ml_cfg, &sm, true);
+    rows.push(("MultiLayerSM+", score_predictions(&corpus, &preds), preds));
+
+    println!("Table 5 — method comparison on the KV-scale corpus\n");
+    let mut t = TableWriter::new(&["method", "SqV", "WDev", "AUC-PR", "Cov"]);
+    for (name, s, _) in &rows {
+        t.row(vec![
+            name.to_string(),
+            f3(s.sqv),
+            f4(s.wdev),
+            f3(s.auc_pr),
+            f3(s.cov),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper (for shape): SingleLayer .131/.061/.454/.952, MultiLayer .105/.042/.439/.849,\n\
+         MultiLayerSM .090/.021/.449/.939; with + init: .063/.0043/.630, .054/.0040/.693, .059/.0039/.631"
+    );
+
+    if curves {
+        for name in ["SingleLayer+", "MultiLayer+", "MultiLayerSM+"] {
+            let (_, _, preds) = rows
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(n, s, p)| (*n, *s, p))
+                .expect("method row");
+            print_curves(&corpus, name, preds);
+        }
+    }
+}
+
+fn print_curves(corpus: &WebCorpus, name: &str, preds: &TriplePredictions) {
+    let (pred, labels) = labeled_predictions(corpus, preds);
+    println!("\nFigure 8 — calibration curve for {name} (predicted → actual, n)");
+    for pt in calibration_curve_partial(&pred, &labels, 10) {
+        println!("  {:.2} -> {:.3}  (n={})", pt.predicted, pt.actual, pt.count);
+    }
+    let mut p = Vec::new();
+    let mut t = Vec::new();
+    for (x, l) in pred.iter().zip(&labels) {
+        if let Some(l) = l {
+            p.push(*x);
+            t.push(*l);
+        }
+    }
+    if let Some(curve) = PrCurve::from_labels(&p, &t) {
+        println!("Figure 9 — PR curve for {name} (recall, precision; every 10th point)");
+        for (i, (r, pr)) in curve.points.iter().enumerate() {
+            if i % 10 == 0 || i + 1 == curve.points.len() {
+                println!("  {r:.3}, {pr:.3}");
+            }
+        }
+        println!("  AUC-PR = {:.3}", curve.auc());
+    }
+}

@@ -1,0 +1,307 @@
+//! Table 7: relative running time of the inference pipeline at three
+//! granularity strategies — Normal (finest granularity as-is), Split
+//! (split oversized sources *and extractors*), and Split&Merge
+//! (Algorithm 2 on both axes).
+//!
+//! Reports preparation time plus the four per-iteration phases
+//! (extraction correctness, triple probability, source accuracy,
+//! extractor quality), normalized so that one Normal iteration = 1 unit.
+//! Extractor quality is computed per extractor in parallel (the
+//! Map-Reduce keying of the paper's pipeline), so an extractor owning a
+//! huge share of the extractions straggles its shard until SPLIT breaks
+//! it up — the paper reports an 8.8× speedup on that phase.
+//!
+//! Expected shape (paper): splitting removes data skew, speeding
+//! iterations ~3×; merging adds a little preparation but does not slow
+//! iterations; overall the split variants cut total time roughly in half.
+
+use std::time::Duration;
+
+use kbt_bench::harness::kv_multilayer_config;
+use kbt_bench::table::{f3, TableWriter};
+use kbt_core::{
+    estimate_correctness, estimate_values, AlphaState, Params, QualityInit, VoteCounter,
+};
+use kbt_datamodel::{CubeBuilder, ExtractorId, Observation, ObservationCube};
+use kbt_flume::PhaseTimer;
+use kbt_granularity::splitmerge::group_rows_into_triples;
+use kbt_granularity::{split_and_merge, HierKey, SplitMergeConfig};
+use kbt_synth::web::{generate, WebCorpusConfig};
+use kbt_synth::WebCorpus;
+
+const ITERS: usize = 5;
+
+/// Instrumented Algorithm 1 with the per-extractor parallel M-step.
+fn timed_run(cube: &ObservationCube, timer: &mut PhaseTimer) {
+    let cfg = kv_multilayer_config();
+    let index = timer.time("Prep. Extractor", || cube.build_extractor_index());
+    let mut params = Params::init(cube, &cfg, &QualityInit::Default);
+    let mut active: Vec<bool> = (0..cube.num_sources())
+        .map(|w| {
+            cube.source_size(kbt_datamodel::SourceId::new(w as u32)) >= cfg.min_source_support
+        })
+        .collect();
+    let mut alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
+    for t in 1..=ITERS {
+        let votes = VoteCounter::new(cube, &params, &cfg);
+        let correctness = timer.time("I. ExtCorr", || {
+            estimate_correctness(cube, &votes, &alpha, &cfg)
+        });
+        let out = timer.time("II. TriplePr", || {
+            estimate_values(cube, &correctness, &params, &cfg, &active)
+        });
+        timer.time("III. SrcAccu", || {
+            kbt_core::mstep::update_source_accuracy(
+                cube,
+                &correctness,
+                &out.truth_given_provided,
+                &cfg,
+                &mut params,
+                &mut active,
+            )
+        });
+        timer.time("IV. ExtQuality", || {
+            kbt_core::mstep::update_extractor_quality_indexed(
+                cube,
+                &correctness,
+                &cfg,
+                &mut params,
+                &index,
+            )
+        });
+        if cfg.updates_alpha_at(t + 1) {
+            timer.time("I. ExtCorr", || {
+                alpha.update(cube, &out.truth_of_group, &params, &cfg)
+            });
+        }
+    }
+}
+
+/// Regroup sources and extractors; `m = 0` disables merging (pure Split).
+fn prepare(
+    corpus: &WebCorpus,
+    timer: &mut PhaseTimer,
+    m: usize,
+    source_max: usize,
+    extractor_max: usize,
+) -> ObservationCube {
+    // Sources: split/merge over distinct triples per source key.
+    let row_source = timer.time("Prep. Source", || {
+        let (by_key, triple_rows) = group_rows_into_triples(&corpus.observations, |i| {
+            corpus.finest_source_key(&corpus.observations[i])
+        });
+        let sources = split_and_merge(
+            by_key,
+            &SplitMergeConfig {
+                min_size: m,
+                max_size: source_max,
+            },
+        );
+        let mut row_source = vec![0u32; corpus.observations.len()];
+        for (sid, ws) in sources.iter().enumerate() {
+            for &t in &ws.rows {
+                for &r in &triple_rows[t as usize] {
+                    row_source[r as usize] = sid as u32;
+                }
+            }
+        }
+        row_source
+    });
+    // Extractors: finest key 〈profile, pattern〉, split over distinct
+    // triples so one triple's extractions stay with one sub-extractor.
+    let row_extractor = timer.time("Prep. Extractor", || {
+        let (by_key, triple_rows) = group_rows_into_triples(&corpus.observations, |i| {
+            let o = &corpus.observations[i];
+            let profile = corpus.profile_of_extractor[o.extractor.index()];
+            HierKey::new(&[profile, o.extractor.0])
+        });
+        let extractors = split_and_merge(
+            by_key,
+            &SplitMergeConfig {
+                min_size: m,
+                max_size: extractor_max,
+            },
+        );
+        let mut row_extractor = vec![0u32; corpus.observations.len()];
+        for (eid, we) in extractors.iter().enumerate() {
+            for &t in &we.rows {
+                for &r in &triple_rows[t as usize] {
+                    row_extractor[r as usize] = eid as u32;
+                }
+            }
+        }
+        row_extractor
+    });
+    let mut b = CubeBuilder::with_capacity(corpus.observations.len());
+    for (i, o) in corpus.observations.iter().enumerate() {
+        b.push(Observation {
+            source: kbt_datamodel::SourceId::new(row_source[i]),
+            extractor: ExtractorId::new(row_extractor[i]),
+            ..*o
+        });
+    }
+    b.build()
+}
+
+/// Simulated Map-Reduce makespan of one iteration's phases on `workers`
+/// reducers: each source/extractor/item/group is one task whose cost is
+/// its data size; makespan = max(total/workers, largest task). This is
+/// the quantity the paper's Table 7 reports (cluster wall time), where a
+/// single oversized source or extractor straggles the whole stage.
+fn simulated_makespan(cube: &ObservationCube, workers: f64) -> [f64; 4] {
+    use kbt_datamodel::{ItemId, SourceId};
+    let makespan = |total: f64, max_task: f64| (total / workers).max(max_task);
+    let total_cells = cube.num_cells() as f64;
+    let max_group = cube
+        .groups()
+        .iter()
+        .map(|g| g.cell_range().len())
+        .max()
+        .unwrap_or(0) as f64;
+    let max_item = (0..cube.num_items())
+        .map(|d| cube.groups_of_item(ItemId::new(d as u32)).count())
+        .max()
+        .unwrap_or(0) as f64;
+    let max_source = (0..cube.num_sources())
+        .map(|w| cube.source_size(SourceId::new(w as u32)))
+        .max()
+        .unwrap_or(0) as f64;
+    let mut cells_per_ext = vec![0usize; cube.num_extractors()];
+    for (_, _, cells) in cube.iter_with_cells() {
+        for c in cells {
+            cells_per_ext[c.extractor.index()] += 1;
+        }
+    }
+    let max_ext = cells_per_ext.iter().copied().max().unwrap_or(0) as f64;
+    let total_groups = cube.num_groups() as f64;
+    [
+        makespan(total_cells, max_group),
+        makespan(total_groups, max_item),
+        makespan(total_groups, max_source),
+        makespan(total_cells, max_ext),
+    ]
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    // A corpus with planted skew: a few huge sources/extractors dominate
+    // unless split.
+    let corpus = generate(&WebCorpusConfig {
+        seed,
+        num_sites: 1500,
+        max_pages_per_site: 250,
+        max_triples_per_page: 400,
+        num_subjects: 2000,
+        num_predicates: 12,
+        mega_pages: 8,
+        mega_page_triples: 20_000,
+        ..WebCorpusConfig::default()
+    });
+    eprintln!(
+        "corpus: {} cells over {} pages, {} extractor ids",
+        corpus.cube.num_cells(),
+        corpus.cube.num_sources(),
+        corpus.cube.num_extractors()
+    );
+
+    // --- Normal ---
+    let mut normal = PhaseTimer::new();
+    timed_run(&corpus.cube, &mut normal);
+
+    // --- Split only (m = 0) ---
+    let mut split = PhaseTimer::new();
+    let cube_split = prepare(&corpus, &mut split, 0, 300, 500);
+    timed_run(&cube_split, &mut split);
+
+    // --- Split & Merge (m = 5) ---
+    let mut sm = PhaseTimer::new();
+    let cube_sm = prepare(&corpus, &mut sm, 5, 300, 500);
+    timed_run(&cube_sm, &mut sm);
+
+    // One Normal iteration = 1 unit (iteration phases only).
+    let iter_phases = [
+        "I. ExtCorr",
+        "II. TriplePr",
+        "III. SrcAccu",
+        "IV. ExtQuality",
+    ];
+    let unit: Duration = iter_phases
+        .iter()
+        .filter_map(|p| normal.total(p))
+        .sum::<Duration>()
+        / ITERS as u32;
+    println!("\nTable 7 — relative running time (1 unit = one Normal iteration)\n");
+    let mut t = TableWriter::new(&["task", "Normal", "Split", "Split&Merge"]);
+    let rel = |timer: &PhaseTimer, phase: &str, per_iter: bool| -> String {
+        timer
+            .total(phase)
+            .map(|d| {
+                let x = d.as_secs_f64() / unit.as_secs_f64();
+                f3(if per_iter { x / ITERS as f64 } else { x })
+            })
+            .unwrap_or_else(|| "0".into())
+    };
+    for phase in ["Prep. Source", "Prep. Extractor"] {
+        t.row(vec![
+            phase.to_string(),
+            rel(&normal, phase, false),
+            rel(&split, phase, false),
+            rel(&sm, phase, false),
+        ]);
+    }
+    for phase in iter_phases {
+        t.row(vec![
+            format!("{phase} (per iter)"),
+            rel(&normal, phase, true),
+            rel(&split, phase, true),
+            rel(&sm, phase, true),
+        ]);
+    }
+    let grand = |timer: &PhaseTimer| f3(timer.grand_total().as_secs_f64() / unit.as_secs_f64());
+    t.row(vec![
+        "Total (5 iters + prep)".into(),
+        grand(&normal),
+        grand(&split),
+        grand(&sm),
+    ]);
+    println!("{}", t.render());
+
+    // --- Simulated Map-Reduce makespan (the paper's actual measurement
+    // regime): one reduce task per source/extractor/item/triple, 1000
+    // workers; a giant task straggles the stage. ---
+    let workers = 1000.0;
+    let ms_normal = simulated_makespan(&corpus.cube, workers);
+    let ms_split = simulated_makespan(&cube_split, workers);
+    let ms_sm = simulated_makespan(&cube_sm, workers);
+    let unit_ms: f64 = ms_normal.iter().sum();
+    println!(
+        "Simulated 1000-worker Map-Reduce makespan per phase \
+         (1 unit = one Normal iteration):\n"
+    );
+    let mut t2 = TableWriter::new(&["phase", "Normal", "Split", "Split&Merge"]);
+    let names = ["I. ExtCorr", "II. TriplePr", "III. SrcAccu", "IV. ExtQuality"];
+    for (i, name) in names.iter().enumerate() {
+        t2.row(vec![
+            name.to_string(),
+            f3(ms_normal[i] / unit_ms),
+            f3(ms_split[i] / unit_ms),
+            f3(ms_sm[i] / unit_ms),
+        ]);
+    }
+    t2.row(vec![
+        "Iteration total".into(),
+        f3(ms_normal.iter().sum::<f64>() / unit_ms),
+        f3(ms_split.iter().sum::<f64>() / unit_ms),
+        f3(ms_sm.iter().sum::<f64>() / unit_ms),
+    ]);
+    println!("{}", t2.render());
+    println!(
+        "Paper (for shape): per-iteration totals 1 / 0.337 / 0.329; overall 5 / 2.466 / 2.679.\n\
+         The measured in-process times above show the same direction with smaller\n\
+         magnitude: a columnar shared-memory engine suffers far less from data skew\n\
+         than the paper's Map-Reduce cluster (see EXPERIMENTS.md)."
+    );
+}

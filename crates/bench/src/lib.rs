@@ -1,0 +1,19 @@
+//! # kbt-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 5). Each experiment is a binary under `src/bin/`
+//! (e.g. `fig3`, `table5`) printing the same rows/series the paper
+//! reports; Criterion benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{
+    ablation_configs, collect_triple_predictions, eval_multilayer_synth, eval_singlelayer_synth,
+    gold_init, kv_multilayer_config, kv_singlelayer_config, labeled_predictions, run_multilayer,
+    run_multilayer_sm, run_singlelayer, score_predictions, MethodScores, SynthLosses,
+    TriplePredictions,
+};
+pub use table::{f3, f4, TableWriter};

@@ -1,0 +1,91 @@
+//! Minimal aligned-table printer for experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Accumulates rows of strings and renders an aligned text table.
+#[derive(Debug, Default)]
+pub struct TableWriter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Create a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (cells are already formatted).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:width$}  ", c, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        if !self.header.is_empty() {
+            write_row(&self.header, &mut out);
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            write_row(&rule, &mut out);
+        }
+        for r in &self.rows {
+            write_row(r, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimal places (the paper's table style).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float with 4 decimal places.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableWriter::new(&["method", "SqV"]);
+        t.row(vec!["SingleLayer".into(), "0.131".into()]);
+        t.row(vec!["MultiLayer".into(), "0.105".into()]);
+        let s = t.render();
+        assert!(s.contains("SingleLayer  0.131"));
+        assert!(s.contains("method"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f4(0.12345), "0.1235");
+    }
+}

@@ -1,0 +1,212 @@
+//! Model configuration: hyper-parameters and inference-variant switches.
+//!
+//! Defaults follow Section 5.1.2: `n = 10`, `γ = 0.25`, `α = 0.5`, five EM
+//! iterations, α re-estimation starting at the third iteration, and the
+//! improved (uncertainty-weighted) estimator of Section 3.3.3. The
+//! single-layer baseline uses `n = 100` per the paper.
+
+/// How false values are assumed to be distributed over the domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValueModel {
+    /// ACCU (Eq. 1/5): the `n` false values are uniformly likely.
+    #[default]
+    Accu,
+    /// POPACCU: false values follow their empirical popularity in the
+    /// observed claims (smoothed over the domain). The paper found this
+    /// slightly better for the single-layer model but *worse* under the
+    /// multi-layer model because it does not compose with the improved
+    /// estimator of Section 3.3.3 — the ablation benches reproduce that.
+    PopAccu,
+}
+
+/// How extraction correctness feeds the value layer (Section 3.3.2 vs 3.3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorrectnessWeighting {
+    /// The improved estimator (Eq. 23–25): weight each source's vote by
+    /// `p(C_wdv = 1 | X)`.
+    #[default]
+    Weighted,
+    /// The MAP approximation (Section 3.3.2): treat `Ĉ_wdv = argmax` as
+    /// observed, i.e. weight is `I(p ≥ 0.5)`. Table 6 row `p(V_d | Ĉ_d)`.
+    Map,
+}
+
+/// Which extractors cast *absence* votes for a triple (Eq. 13–14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AbsencePolicy {
+    /// Every extractor in the corpus votes absence when it did not
+    /// extract the triple — the literal Eq. 14 and the behaviour of the
+    /// paper's worked example (Table 4, rows W7/W8).
+    #[default]
+    AllExtractors,
+    /// Only extractors that extracted *something* from the triple's
+    /// source vote absence. Appropriate when extractor provenances are
+    /// scoped (e.g. per-website patterns, Section 4) and most extractors
+    /// never visit most sources.
+    SourceCandidates,
+}
+
+/// Shared hyper-parameters of both models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// `n`: number of false values in each data item's domain (Eq. 1/5).
+    pub n_false_values: usize,
+    /// `γ = p(C_wdv = 1)`: global prior that a source provides a given
+    /// triple, used to derive `Q_e` from precision and recall (Eq. 7).
+    pub gamma: f64,
+    /// Re-estimate γ each iteration from the data as
+    /// `Σ_g p(C_g) / Σ_w |items(w)| · (n+1)` — the expected provided mass
+    /// over the slot universe the domain model assumes. This is the
+    /// self-consistent EM choice and the stabilizer that keeps the
+    /// coupled (P, Q, p(C)) updates away from the degenerate "everything
+    /// provided"/"nothing provided" fixed points on sparse data (see
+    /// DESIGN.md). Disable to hold γ at the configured constant, as the
+    /// paper's description suggests.
+    pub estimate_gamma: bool,
+    /// `α`: prior probability that an extracted triple is truly provided
+    /// (Section 3.3.1), used before re-estimation kicks in.
+    pub alpha: f64,
+    /// Maximum EM iterations (`t_max` of Algorithm 1).
+    pub max_iterations: usize,
+    /// Convergence threshold on the max absolute parameter change.
+    pub convergence_eps: f64,
+    /// Iteration (1-based) at which per-triple α re-estimation (Eq. 26)
+    /// starts; the paper starts at the third iteration. `None` disables
+    /// re-estimation entirely (Table 6 row "Not updating α").
+    pub alpha_update_from: Option<usize>,
+    /// Value-layer model.
+    pub value_model: ValueModel,
+    /// Correctness weighting for the value layer.
+    pub correctness_weighting: CorrectnessWeighting,
+    /// If set, binarize extraction confidences at this threshold instead of
+    /// using soft evidence (Section 3.5 / Table 6 row
+    /// `p(C_dwv | I(X_ewdv > φ))`).
+    pub confidence_threshold: Option<f64>,
+    /// Default source accuracy `A_w` before any data is seen.
+    pub default_source_accuracy: f64,
+    /// Default extractor recall `R_e`.
+    pub default_recall: f64,
+    /// Default extractor `Q_e` (1 − specificity).
+    pub default_q: f64,
+    /// Absence-vote candidate rule (Eq. 14).
+    pub absence_policy: AbsencePolicy,
+    /// Use the literal Eq. 26 for the α re-estimation,
+    /// `α̂ = p·A + (1−p)·(1−A)`. The printed equation is inconsistent
+    /// with the source observation model (Eq. 5), under which a specific
+    /// false value is provided with probability `(1−A)/n`; the default
+    /// (`false`) uses the Eq. 5-consistent form
+    /// `α̂ = p·A + (1−p)·(1−A)/n`, which is what makes extraction
+    /// correctness separate provided from hallucinated triples (see
+    /// DESIGN.md).
+    pub literal_eq26_alpha: bool,
+    /// Sources with fewer than this many triples are *inactive*: their
+    /// quality stays at the default and their claims do not vote, and
+    /// triples supported only by inactive sources are reported uncovered
+    /// (the coverage rule of Section 5.1.1/5.1.2).
+    pub min_source_support: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            n_false_values: 10,
+            gamma: 0.25,
+            estimate_gamma: true,
+            alpha: 0.5,
+            max_iterations: 5,
+            convergence_eps: 1e-5,
+            alpha_update_from: Some(3),
+            value_model: ValueModel::Accu,
+            correctness_weighting: CorrectnessWeighting::Weighted,
+            confidence_threshold: None,
+            default_source_accuracy: 0.8,
+            default_recall: 0.8,
+            default_q: 0.2,
+            absence_policy: AbsencePolicy::AllExtractors,
+            literal_eq26_alpha: false,
+            min_source_support: 1,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// The paper's single-layer configuration (`n = 100`, 5 iterations).
+    pub fn single_layer_default() -> Self {
+        Self {
+            n_false_values: 100,
+            ..Self::default()
+        }
+    }
+
+    /// Effective confidence of a cell under the thresholding option.
+    #[inline]
+    pub fn effective_confidence(&self, raw: f64) -> f64 {
+        match self.confidence_threshold {
+            Some(phi) => {
+                if raw > phi {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            None => raw,
+        }
+    }
+
+    /// Whether α re-estimation is active at 1-based iteration `t`.
+    #[inline]
+    pub fn updates_alpha_at(&self, t: usize) -> bool {
+        matches!(self.alpha_update_from, Some(from) if t >= from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_papers_settings() {
+        let c = ModelConfig::default();
+        assert_eq!(c.n_false_values, 10);
+        assert_eq!(c.gamma, 0.25);
+        assert_eq!(c.alpha, 0.5);
+        assert_eq!(c.max_iterations, 5);
+        assert_eq!(c.alpha_update_from, Some(3));
+        assert_eq!(c.default_source_accuracy, 0.8);
+        assert_eq!(c.default_recall, 0.8);
+        assert_eq!(c.default_q, 0.2);
+        assert_eq!(ModelConfig::single_layer_default().n_false_values, 100);
+    }
+
+    #[test]
+    fn alpha_update_schedule() {
+        let c = ModelConfig::default();
+        assert!(!c.updates_alpha_at(1));
+        assert!(!c.updates_alpha_at(2));
+        assert!(c.updates_alpha_at(3));
+        assert!(c.updates_alpha_at(5));
+        let frozen = ModelConfig {
+            alpha_update_from: None,
+            ..c
+        };
+        assert!(!frozen.updates_alpha_at(5));
+    }
+
+    #[test]
+    fn confidence_thresholding() {
+        let soft = ModelConfig::default();
+        assert_eq!(soft.effective_confidence(0.3), 0.3);
+        let hard = ModelConfig {
+            confidence_threshold: Some(0.0),
+            ..ModelConfig::default()
+        };
+        assert_eq!(hard.effective_confidence(0.3), 1.0);
+        assert_eq!(hard.effective_confidence(0.0), 0.0);
+        let phi7 = ModelConfig {
+            confidence_threshold: Some(0.7),
+            ..ModelConfig::default()
+        };
+        assert_eq!(phi7.effective_confidence(0.5), 0.0);
+        assert_eq!(phi7.effective_confidence(0.85), 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Copy detection between sources (Section 5.4.2, item 4).
+//!
+//! "Some websites scrape data from other websites. Identifying such
+//! websites requires techniques such as copy detection" — the paper cites
+//! Dong et al. [7, 8], whose core insight is that *shared false values*
+//! are strong evidence of copying: two independent sources rarely make
+//! the same mistake, because each false value is one of `n` alternatives,
+//! while a copier reproduces its victim's mistakes verbatim.
+//!
+//! This module implements that signal over the cube: for every source
+//! pair with enough overlapping items, compare the likelihood of their
+//! agreement under independence versus under copying (a simplified
+//! ACCUCOPY-style score). It is a post-processing pass over the
+//! multi-layer model's outputs — the value posteriors decide what counts
+//! as "false".
+
+use std::collections::HashMap;
+
+use kbt_datamodel::{ItemId, ObservationCube, SourceId, ValueId};
+
+use crate::multi_layer::MultiLayerResult;
+
+/// Evidence about one source pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyEvidence {
+    /// The pair (ordered, `a < b`; copy direction is not identified —
+    /// see [8] for the directional test).
+    pub a: SourceId,
+    /// Second source of the pair.
+    pub b: SourceId,
+    /// Items both sources make claims about.
+    pub overlap: usize,
+    /// Overlapping items where both pick the same value.
+    pub agree: usize,
+    /// *Exclusive* agreements: values claimed by these two sources and
+    /// nobody else — the smoking gun. Two honest sources rarely share a
+    /// mistake (each false value is one of `n` options), and their shared
+    /// *true* values are normally echoed by other honest sources; only a
+    /// copier produces many two-party-exclusive agreements. Exclusivity
+    /// is also robust to a copier's doubled votes corrupting the value
+    /// posteriors (which would launder a naive "shared false value"
+    /// test).
+    pub agree_exclusive: usize,
+    /// Log-likelihood ratio of the observed agreement pattern under
+    /// copying versus independence; larger = more likely copied.
+    pub score: f64,
+}
+
+/// Configuration for the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyDetectConfig {
+    /// Minimum overlapping items for a pair to be scored.
+    pub min_overlap: usize,
+    /// Domain size `n` (false alternatives per item) used in the
+    /// independence model.
+    pub n_false_values: usize,
+}
+
+impl Default for CopyDetectConfig {
+    fn default() -> Self {
+        Self {
+            min_overlap: 5,
+            n_false_values: 10,
+        }
+    }
+}
+
+/// Score all source pairs with sufficient overlap.
+///
+/// Cost is O(Σ_d claims(d)²) — quadratic in per-item fan-in, which is
+/// small in practice (the paper notes that scaling full copy detection to
+/// the web is open; this is the per-item-pair kernel those systems shard).
+pub fn detect_copies(
+    cube: &ObservationCube,
+    result: &MultiLayerResult,
+    cfg: &CopyDetectConfig,
+) -> Vec<CopyEvidence> {
+    // For each item: the claiming sources, and how many sources back
+    // each value (for the exclusivity test).
+    let mut pair_stats: HashMap<(u32, u32), (usize, usize, usize)> = HashMap::new();
+    for d in 0..cube.num_items() {
+        let d = ItemId::new(d as u32);
+        let claims: Vec<(SourceId, ValueId)> = cube
+            .groups_of_item(d)
+            .map(|g| {
+                let grp = &cube.groups()[g];
+                (grp.source, grp.value)
+            })
+            .collect();
+        let mut backers: HashMap<ValueId, usize> = HashMap::new();
+        for (_, v) in &claims {
+            *backers.entry(*v).or_insert(0) += 1;
+        }
+        for i in 0..claims.len() {
+            for j in i + 1..claims.len() {
+                let (wa, va) = claims[i];
+                let (wb, vb) = claims[j];
+                if wa == wb {
+                    continue;
+                }
+                let key = if wa < wb { (wa.0, wb.0) } else { (wb.0, wa.0) };
+                let e = pair_stats.entry(key).or_insert((0, 0, 0));
+                e.0 += 1;
+                if va == vb {
+                    e.1 += 1;
+                    // Exclusive to the pair. Deliberately NOT filtered by
+                    // the value posterior: a copier's doubled votes can
+                    // convince the model its shared mistakes are true,
+                    // which would launder a posterior-based test.
+                    if backers[&va] == 2 {
+                        e.2 += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let n = cfg.n_false_values.max(1) as f64;
+    let mut out: Vec<CopyEvidence> = pair_stats
+        .into_iter()
+        .filter(|(_, (overlap, _, _))| *overlap >= cfg.min_overlap)
+        .map(|((a, b), (overlap, agree, agree_exclusive))| {
+            // Independence: two sources agree on a false value with
+            // probability ≈ (1−A)²/n per overlapping item; a copier
+            // agrees with probability ≈ (1−A). The per-shared-mistake
+            // log-ratio is ln(n/(1−A)); we use the sources' estimated
+            // accuracies.
+            let aa = result.params.source_accuracy[a as usize].clamp(0.01, 0.99);
+            let ab = result.params.source_accuracy[b as usize].clamp(0.01, 0.99);
+            let miss = ((1.0 - aa) * (1.0 - ab)).max(1e-6);
+            let per_mistake = (n / miss.sqrt()).ln();
+            // True-value agreement carries almost no copy signal (honest
+            // sources agree on the truth); weight it near zero.
+            let score = agree_exclusive as f64 * per_mistake
+                - overlap as f64 * ((1.0 - aa).max(1.0 - ab)) * 0.1;
+            CopyEvidence {
+                a: SourceId::new(a),
+                b: SourceId::new(b),
+                overlap,
+                agree,
+                agree_exclusive,
+                score,
+            }
+        })
+        .collect();
+    out.sort_by(|x, y| y.score.partial_cmp(&x.score).expect("score NaN"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelConfig, MultiLayerModel, QualityInit};
+    use kbt_datamodel::{CubeBuilder, ExtractorId, Observation};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Sources 0–3 are independent (accuracy 0.7); source 4 copies
+    /// source 3 verbatim, including its mistakes.
+    fn corpus_with_copier(seed: u64) -> kbt_datamodel::ObservationCube {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items = 60u32;
+        let domain = 11u32;
+        let truth: Vec<u32> = (0..items).map(|_| rng.gen_range(0..domain)).collect();
+        let mut provided: Vec<Vec<u32>> = Vec::new();
+        for _w in 0..4 {
+            provided.push(
+                (0..items)
+                    .map(|d| {
+                        if rng.gen::<f64>() < 0.7 {
+                            truth[d as usize]
+                        } else {
+                            let mut v = rng.gen_range(0..domain - 1);
+                            if v >= truth[d as usize] {
+                                v += 1;
+                            }
+                            v
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        provided.push(provided[3].clone()); // the copier
+        let mut b = CubeBuilder::new();
+        for (w, vals) in provided.iter().enumerate() {
+            for (d, &v) in vals.iter().enumerate() {
+                for e in 0..2u32 {
+                    b.push(Observation::certain(
+                        ExtractorId::new(e),
+                        SourceId::new(w as u32),
+                        ItemId::new(d as u32),
+                        ValueId::new(v),
+                    ));
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn copier_pair_scores_highest() {
+        let cube = corpus_with_copier(5);
+        let result =
+            MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let evidence = detect_copies(&cube, &result, &CopyDetectConfig::default());
+        assert!(!evidence.is_empty());
+        let top = &evidence[0];
+        assert_eq!(
+            (top.a, top.b),
+            (SourceId::new(3), SourceId::new(4)),
+            "the planted copier pair must rank first; got {top:?}"
+        );
+        assert!(top.agree_exclusive > 0, "copying shows in exclusive agreements");
+        // Independent pairs share far fewer false values.
+        let independents: Vec<&CopyEvidence> = evidence
+            .iter()
+            .filter(|e| !(e.a == SourceId::new(3) && e.b == SourceId::new(4)))
+            .collect();
+        let max_indep = independents
+            .iter()
+            .map(|e| e.agree_exclusive)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            top.agree_exclusive > max_indep,
+            "copier shares {} exclusive values vs max independent {max_indep}",
+            top.agree_exclusive
+        );
+    }
+
+    #[test]
+    fn overlap_threshold_filters_thin_pairs() {
+        let cube = corpus_with_copier(9);
+        let result =
+            MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let cfg = CopyDetectConfig {
+            min_overlap: 1_000_000,
+            ..CopyDetectConfig::default()
+        };
+        assert!(detect_copies(&cube, &result, &cfg).is_empty());
+    }
+
+    #[test]
+    fn evidence_is_sorted_by_score() {
+        let cube = corpus_with_copier(13);
+        let result =
+            MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let evidence = detect_copies(&cube, &result, &CopyDetectConfig::default());
+        for w in evidence.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

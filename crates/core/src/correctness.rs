@@ -1,0 +1,185 @@
+//! Layer 1: estimating extraction correctness `p(C_wdv = 1 | X_wdv)`
+//! (Section 3.3.1, Eq. 15).
+//!
+//! For every triple group the posterior is the sigmoid of its vote count
+//! plus the prior log-odds `ln(α/(1−α))`. The prior starts at the fixed
+//! `α` of the config and is re-estimated per triple from the previous
+//! iteration's value posteriors (Section 3.3.4, Eq. 26) once the schedule
+//! allows it.
+
+use kbt_datamodel::ObservationCube;
+use kbt_flume::par_map_indexed;
+
+use crate::config::ModelConfig;
+use crate::math::{logit, sigmoid};
+use crate::params::Params;
+use crate::votes::VoteCounter;
+
+/// Per-group prior log-odds `ln(α_wdv / (1 − α_wdv))`.
+#[derive(Debug, Clone)]
+pub struct AlphaState {
+    logits: Vec<f64>,
+}
+
+impl AlphaState {
+    /// Uniform prior `α` for every group (the initial iterations).
+    pub fn uniform(num_groups: usize, alpha: f64) -> Self {
+        Self {
+            logits: vec![logit(alpha); num_groups],
+        }
+    }
+
+    /// Prior log-odds of group `g`.
+    #[inline]
+    pub fn logit(&self, g: usize) -> f64 {
+        self.logits[g]
+    }
+
+    /// Re-estimate every group's prior from the value layer
+    /// (Section 3.3.4).
+    ///
+    /// `truth[g]` is the previous iteration's `p(V_d = v(g) | X)` and the
+    /// source accuracy comes from the current parameters. By default the
+    /// Eq. 5-consistent form is used,
+    /// `α̂ = p·A_w + (1 − p)·(1 − A_w)/n` — a source provides a *specific*
+    /// false value with probability `(1 − A_w)/n`. Setting
+    /// [`ModelConfig::literal_eq26_alpha`] reproduces the paper's printed
+    /// Eq. 26 without the `/n` spread (Example 3.3).
+    pub fn update(
+        &mut self,
+        cube: &ObservationCube,
+        truth: &[f64],
+        params: &Params,
+        cfg: &ModelConfig,
+    ) {
+        debug_assert_eq!(truth.len(), cube.num_groups());
+        let n = cfg.n_false_values.max(1) as f64;
+        let spread = if cfg.literal_eq26_alpha { 1.0 } else { n };
+        let logits = par_map_indexed(cube.groups(), |g, grp| {
+            let a = params.source_accuracy[grp.source.index()];
+            let t = truth[g];
+            logit(t * a + (1.0 - t) * (1.0 - a) / spread)
+        });
+        self.logits = logits;
+    }
+}
+
+/// Estimate `p(C_wdv = 1 | X_wdv)` for every triple group (Eq. 15 with the
+/// confidence-weighted vote count of Eq. 31). Parallel over groups.
+pub fn estimate_correctness(
+    cube: &ObservationCube,
+    votes: &VoteCounter,
+    alpha: &AlphaState,
+    cfg: &ModelConfig,
+) -> Vec<f64> {
+    par_map_indexed(cube.groups(), |g, grp| {
+        let vcc = votes.vote_count(grp.source, cube.cells_of(grp), cfg);
+        sigmoid(vcc + alpha.logit(g))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
+
+    /// Two extractors with known quality; a triple extracted by the good
+    /// one should be judged provided, one extracted only by the bad one
+    /// should not.
+    #[test]
+    fn good_extractor_beats_bad_extractor() {
+        let mut b = CubeBuilder::new();
+        let (good, bad) = (ExtractorId::new(0), ExtractorId::new(1));
+        let w = SourceId::new(0);
+        // Group 0: extracted by good only; group 1: by bad only.
+        b.push(Observation::certain(good, w, ItemId::new(0), ValueId::new(0)));
+        b.push(Observation::certain(bad, w, ItemId::new(1), ValueId::new(1)));
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.8],
+            precision: vec![0.95, 0.3],
+            recall: vec![0.9, 0.3],
+            q: vec![0.01, 0.4],
+        };
+        let cfg = ModelConfig::default();
+        let votes = VoteCounter::new(&cube, &params, &cfg);
+        let alpha = AlphaState::uniform(cube.num_groups(), 0.5);
+        let c = estimate_correctness(&cube, &votes, &alpha, &cfg);
+        assert!(c[0] > 0.9, "good-extractor triple: {}", c[0]);
+        assert!(c[1] < 0.5, "bad-extractor-only triple: {}", c[1]);
+    }
+
+    #[test]
+    fn alpha_prior_shifts_the_posterior_as_in_example_3_3() {
+        // Example 3.3: vote count −2.65 with α = 0.5 gives σ(−2.65) ≈ 0.07;
+        // after the prior drops to 0.4 the posterior becomes
+        // σ(−2.65 + ln(0.4/0.6)) ≈ 0.04.
+        let p_before = sigmoid(-2.65);
+        let p_after = sigmoid(-2.65 + (0.4f64 / 0.6).ln());
+        assert!((p_before - 0.066).abs() < 0.005);
+        assert!((p_after - 0.045).abs() < 0.01);
+        assert!(p_after < p_before);
+    }
+
+    #[test]
+    fn alpha_update_uses_truth_and_source_accuracy() {
+        let mut b = CubeBuilder::new();
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            ItemId::new(0),
+            ValueId::new(0),
+        ));
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.6],
+            precision: vec![0.9],
+            recall: vec![0.9],
+            q: vec![0.1],
+        };
+        let mut alpha = AlphaState::uniform(1, 0.5);
+        assert!((alpha.logit(0) - 0.0).abs() < 1e-9);
+        // Example 3.3 (literal Eq. 26): p(V=v) = 0.004, A_w = 0.6 →
+        // α = 0.004·0.6 + 0.996·0.4 = 0.4008.
+        let literal = ModelConfig {
+            literal_eq26_alpha: true,
+            ..ModelConfig::default()
+        };
+        alpha.update(&cube, &[0.004], &params, &literal);
+        let expected = logit(0.004 * 0.6 + 0.996 * 0.4);
+        assert!((alpha.logit(0) - expected).abs() < 1e-12);
+        // Eq. 5-consistent default spreads the false mass over n values:
+        // α = 0.004·0.6 + 0.996·0.4/10 = 0.0423 — a much lower prior for
+        // a value the consensus rejects.
+        let cfg = ModelConfig::default();
+        alpha.update(&cube, &[0.004], &params, &cfg);
+        let expected_spread = logit(0.004 * 0.6 + 0.996 * 0.4 / 10.0);
+        assert!((alpha.logit(0) - expected_spread).abs() < 1e-12);
+        assert!(alpha.logit(0) < -2.0);
+    }
+
+    #[test]
+    fn correctness_is_a_probability_for_all_groups() {
+        let mut b = CubeBuilder::new();
+        for w in 0..4u32 {
+            for e in 0..3u32 {
+                b.push(Observation {
+                    extractor: ExtractorId::new(e),
+                    source: SourceId::new(w),
+                    item: ItemId::new(w),
+                    value: ValueId::new(e),
+                    confidence: 0.5,
+                });
+            }
+        }
+        let cube = b.build();
+        let cfg = ModelConfig::default();
+        let params = Params::init(&cube, &cfg, &crate::params::QualityInit::Default);
+        let votes = VoteCounter::new(&cube, &params, &cfg);
+        let alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
+        for p in estimate_correctness(&cube, &votes, &alpha, &cfg) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

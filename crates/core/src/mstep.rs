@@ -1,0 +1,432 @@
+//! Parameter estimation (Section 3.4): source accuracies and extractor
+//! precision/recall from the current latent-variable estimates.
+//!
+//! * **Source accuracy** (Eq. 28) — the KBT equation: the accuracy of a web
+//!   source is the weighted average of the truth probability of the facts
+//!   it contains, weighted by the probability that it indeed contains them.
+//! * **Extractor quality** (Eqs. 32–33, confidence-weighted): precision is
+//!   the average correctness of what the extractor extracted; recall is the
+//!   correctness mass it captured out of all that was provided where it was
+//!   looking. `Q_e` is then *derived* via Eq. 7 rather than estimated
+//!   directly (Section 3.4.2).
+
+use kbt_datamodel::{ObservationCube, SourceId};
+use kbt_flume::{par_chunks_mut, par_map_indexed};
+
+use crate::config::ModelConfig;
+use crate::math::clamp_quality;
+use crate::params::{q_from_precision_recall, Params};
+
+/// Eq. 28. Sources below `cfg.min_source_support` keep their current
+/// (default) accuracy; `active` is updated to reflect which sources have
+/// enough data to be trusted.
+pub fn update_source_accuracy(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    truth: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+    active: &mut [bool],
+) {
+    debug_assert_eq!(correctness.len(), cube.num_groups());
+    debug_assert_eq!(truth.len(), cube.num_groups());
+    let updates = par_map_indexed(&vec![(); cube.num_sources()], |w, _| {
+        let range = cube.source_groups(SourceId::new(w as u32));
+        if range.len() < cfg.min_source_support {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for g in range {
+            num += correctness[g] * truth[g];
+            den += correctness[g];
+        }
+        if den <= 1e-12 {
+            return None;
+        }
+        Some(clamp_quality(num / den))
+    });
+    for (w, u) in updates.into_iter().enumerate() {
+        match u {
+            Some(a) => {
+                params.source_accuracy[w] = a;
+                active[w] = true;
+            }
+            None => {
+                active[w] = false;
+            }
+        }
+    }
+}
+
+/// Eqs. 32–33 + Eq. 7. One streaming pass over the cube accumulates the
+/// per-extractor sums; the recall denominator distributes each source's
+/// total correctness mass to that source's candidate extractors.
+pub fn update_extractor_quality(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+) {
+    let ne = cube.num_extractors();
+    // num[e]   = Σ_{cells of e} conf · p(C=1)
+    // pden[e]  = Σ_{cells of e} conf
+    // rden[e]  = Σ_{groups g : e ∈ candidates(source(g))} p(C_g = 1)
+    let mut num = vec![0.0f64; ne];
+    let mut pden = vec![0.0f64; ne];
+    let mut rden = vec![0.0f64; ne];
+
+    for (g, _grp, cells) in cube.iter_with_cells() {
+        for c in cells {
+            let conf = cfg.effective_confidence(c.confidence);
+            let e = c.extractor.index();
+            num[e] += conf * correctness[g];
+            pden[e] += conf;
+        }
+    }
+    match cfg.absence_policy {
+        crate::config::AbsencePolicy::AllExtractors => {
+            // Eq. 30 literally: the denominator is the total provided
+            // mass, identical for every extractor.
+            let total: f64 = correctness.iter().sum();
+            rden.iter_mut().for_each(|x| *x = total);
+        }
+        crate::config::AbsencePolicy::SourceCandidates => {
+            for w in 0..cube.num_sources() {
+                let w = SourceId::new(w as u32);
+                let range = cube.source_groups(w);
+                if range.is_empty() {
+                    continue;
+                }
+                let sum_c: f64 = correctness[range.clone()].iter().sum();
+                for e in cube.extractors_on_source(w) {
+                    rden[e.index()] += sum_c;
+                }
+            }
+        }
+    }
+
+    let gamma = if cfg.estimate_gamma && !correctness.is_empty() {
+        // γ̂ = expected provided mass over the slot universe: each source
+        // can provide one of (n+1) domain values for each item it talks
+        // about. Groups are sorted by (source, item, value), so distinct
+        // items per source are countable in one pass.
+        let mut slots = 0usize;
+        for w in 0..cube.num_sources() {
+            let range = cube.source_groups(SourceId::new(w as u32));
+            if range.is_empty() {
+                continue;
+            }
+            let groups = &cube.groups()[range];
+            let mut items = 1usize;
+            for pair in groups.windows(2) {
+                if pair[0].item != pair[1].item {
+                    items += 1;
+                }
+            }
+            slots += items * (cfg.n_false_values + 1);
+        }
+        let mass: f64 = correctness.iter().sum();
+        crate::math::clamp_quality(mass / (slots.max(1) as f64))
+    } else {
+        cfg.gamma
+    };
+    let slices: (&mut [f64], &mut [f64], &mut [f64]) = (
+        &mut params.precision,
+        &mut params.recall,
+        &mut params.q,
+    );
+    let (precision, recall, q) = slices;
+    // Cheap loop; parallelize only the final derivation for large E.
+    for e in 0..ne {
+        if pden[e] > 1e-12 {
+            precision[e] = clamp_quality(num[e] / pden[e]);
+        }
+        if rden[e] > 1e-12 {
+            recall[e] = clamp_quality(num[e] / rden[e]);
+        }
+    }
+    par_chunks_mut(q, |base, chunk| {
+        for (i, qe) in chunk.iter_mut().enumerate() {
+            let e = base + i;
+            *qe = q_from_precision_recall(precision[e], recall[e], gamma);
+        }
+    });
+}
+
+/// Per-extractor parallel variant of [`update_extractor_quality`], keyed
+/// by extractor as the paper's Map-Reduce pipeline is (Section 5.3.4).
+///
+/// Each extractor's sums are computed from its own cell index, with one
+/// parallel task stream over extractors. An extractor with a huge share
+/// of the cells straggles its shard — the skew that the Table 7
+/// experiment shows SPLITANDMERGE removing.
+pub fn update_extractor_quality_indexed(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+    index: &[Vec<(u32, u32)>],
+) {
+    let ne = cube.num_extractors();
+    debug_assert_eq!(index.len(), ne);
+    // Per-source correctness mass (for the scoped recall denominator).
+    let sum_c_source: Vec<f64> = (0..cube.num_sources())
+        .map(|w| {
+            let range = cube.source_groups(SourceId::new(w as u32));
+            correctness[range].iter().sum()
+        })
+        .collect();
+    let total_mass: f64 = correctness.iter().sum();
+
+    let gamma = if cfg.estimate_gamma && !correctness.is_empty() {
+        let mut slots = 0usize;
+        for w in 0..cube.num_sources() {
+            let range = cube.source_groups(SourceId::new(w as u32));
+            if range.is_empty() {
+                continue;
+            }
+            let groups = &cube.groups()[range];
+            let mut items = 1usize;
+            for pair in groups.windows(2) {
+                if pair[0].item != pair[1].item {
+                    items += 1;
+                }
+            }
+            slots += items * (cfg.n_false_values + 1);
+        }
+        crate::math::clamp_quality(total_mass / (slots.max(1) as f64))
+    } else {
+        cfg.gamma
+    };
+
+    let scoped = cfg.absence_policy == crate::config::AbsencePolicy::SourceCandidates;
+    let results: Vec<(f64, f64, f64)> = par_map_indexed(index, |_, cells| {
+        let mut num = 0.0;
+        let mut pden = 0.0;
+        let mut rden = 0.0;
+        let mut last_source = u32::MAX;
+        for &(g, ci) in cells {
+            let g = g as usize;
+            let conf = cfg.effective_confidence(cube.cell(ci).confidence);
+            num += conf * correctness[g];
+            pden += conf;
+            if scoped {
+                let w = cube.groups()[g].source.0;
+                if w != last_source {
+                    rden += sum_c_source[w as usize];
+                    last_source = w;
+                }
+            }
+        }
+        if !scoped {
+            rden = total_mass;
+        }
+        (num, pden, rden)
+    });
+    for (e, (num, pden, rden)) in results.into_iter().enumerate().take(ne) {
+        if pden > 1e-12 {
+            params.precision[e] = clamp_quality(num / pden);
+        }
+        if rden > 1e-12 {
+            params.recall[e] = clamp_quality(num / rden);
+        }
+        params.q[e] = q_from_precision_recall(params.precision[e], params.recall[e], gamma);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::QualityInit;
+    use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, ValueId};
+
+    fn cube_two_sources() -> ObservationCube {
+        let mut b = CubeBuilder::new();
+        // W0 provides two triples; W1 provides one.
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            ItemId::new(0),
+            ValueId::new(0),
+        ));
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            ItemId::new(1),
+            ValueId::new(1),
+        ));
+        b.push(Observation::certain(
+            ExtractorId::new(1),
+            SourceId::new(1),
+            ItemId::new(0),
+            ValueId::new(2),
+        ));
+        b.build()
+    }
+
+    #[test]
+    fn source_accuracy_is_weighted_average_of_truth() {
+        let cube = cube_two_sources();
+        let cfg = ModelConfig::default();
+        let mut params = Params::init(&cube, &cfg, &QualityInit::Default);
+        let mut active = vec![false; 2];
+        // W0 groups: truth .9 and .5, correctness 1 and .5 →
+        // A = (1·.9 + .5·.5) / (1 + .5) = 1.15/1.5.
+        update_source_accuracy(
+            &cube,
+            &[1.0, 0.5, 1.0],
+            &[0.9, 0.5, 0.2],
+            &cfg,
+            &mut params,
+            &mut active,
+        );
+        assert!((params.source_accuracy[0] - 1.15 / 1.5).abs() < 1e-12);
+        assert!((params.source_accuracy[1] - 0.2).abs() < 1e-12);
+        assert!(active[0] && active[1]);
+    }
+
+    #[test]
+    fn low_support_sources_stay_default_and_inactive() {
+        let cube = cube_two_sources();
+        let cfg = ModelConfig {
+            min_source_support: 2,
+            ..ModelConfig::default()
+        };
+        let mut params = Params::init(&cube, &cfg, &QualityInit::Default);
+        let mut active = vec![true; 2];
+        update_source_accuracy(
+            &cube,
+            &[1.0, 1.0, 1.0],
+            &[0.9, 0.9, 0.1],
+            &cfg,
+            &mut params,
+            &mut active,
+        );
+        assert!(active[0], "W0 has 2 triples");
+        assert!(!active[1], "W1 has 1 triple < support 2");
+        assert_eq!(params.source_accuracy[1], 0.8, "stays at default");
+    }
+
+    #[test]
+    fn extractor_precision_is_mean_correctness_of_its_extractions() {
+        let cube = cube_two_sources();
+        // Scope recall to visited sources so the expectations below follow
+        // from each extractor's own source, and hold γ fixed so Eq. 7 is
+        // directly checkable.
+        let cfg = ModelConfig {
+            absence_policy: crate::config::AbsencePolicy::SourceCandidates,
+            estimate_gamma: false,
+            ..ModelConfig::default()
+        };
+        let mut params = Params::init(&cube, &cfg, &QualityInit::Default);
+        // E0 extracted groups 0,1 (correctness .8, .4) → P = .6.
+        // E1 extracted group 2 (correctness 1.0) → P = 1 → clamped .999.
+        update_extractor_quality(&cube, &[0.8, 0.4, 1.0], &cfg, &mut params);
+        assert!((params.precision[0] - 0.6).abs() < 1e-12);
+        assert!((params.precision[1] - 0.999).abs() < 1e-12);
+        // Recall of E0: num = 1.2; rden = correctness mass of W0 = 1.2 →
+        // R = 1 → clamped.
+        assert!((params.recall[0] - 0.999).abs() < 1e-9);
+        // Q re-derived via Eq. 7.
+        let expect_q0 = q_from_precision_recall(0.6, 0.999, cfg.gamma);
+        assert!((params.q[0] - expect_q0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_counts_missed_triples_of_visited_sources() {
+        // Two extractors both active on W0; E1 misses one of the two
+        // provided triples → recall ≈ mass captured / mass provided.
+        let mut b = CubeBuilder::new();
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            ItemId::new(0),
+            ValueId::new(0),
+        ));
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            ItemId::new(1),
+            ValueId::new(0),
+        ));
+        b.push(Observation::certain(
+            ExtractorId::new(1),
+            SourceId::new(0),
+            ItemId::new(0),
+            ValueId::new(0),
+        ));
+        let cube = b.build();
+        let cfg = ModelConfig::default();
+        let mut params = Params::init(&cube, &cfg, &QualityInit::Default);
+        update_extractor_quality(&cube, &[1.0, 1.0], &cfg, &mut params);
+        // E1 captured group 0 only: R = 1 / (1 + 1) = 0.5.
+        assert!((params.recall[1] - 0.5).abs() < 1e-12);
+        assert!((params.recall[0] - 0.999).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indexed_update_matches_streaming_update() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut b = CubeBuilder::new();
+        for _ in 0..500 {
+            b.push(Observation::certain(
+                ExtractorId::new(rng.gen_range(0..7)),
+                SourceId::new(rng.gen_range(0..20)),
+                ItemId::new(rng.gen_range(0..30)),
+                ValueId::new(rng.gen_range(0..5)),
+            ));
+        }
+        let cube = b.build();
+        let correctness: Vec<f64> = (0..cube.num_groups())
+            .map(|_| rng.gen::<f64>())
+            .collect();
+        for policy in [
+            crate::config::AbsencePolicy::AllExtractors,
+            crate::config::AbsencePolicy::SourceCandidates,
+        ] {
+            let cfg = ModelConfig {
+                absence_policy: policy,
+                ..ModelConfig::default()
+            };
+            let mut a = Params::init(&cube, &cfg, &QualityInit::Default);
+            let mut b2 = a.clone();
+            update_extractor_quality(&cube, &correctness, &cfg, &mut a);
+            let index = cube.build_extractor_index();
+            update_extractor_quality_indexed(&cube, &correctness, &cfg, &mut b2, &index);
+            for e in 0..cube.num_extractors() {
+                assert!((a.precision[e] - b2.precision[e]).abs() < 1e-12, "P[{e}]");
+                assert!((a.recall[e] - b2.recall[e]).abs() < 1e-12, "R[{e}]");
+                assert!((a.q[e] - b2.q[e]).abs() < 1e-12, "Q[{e}]");
+            }
+        }
+    }
+
+    #[test]
+    fn confidence_weighting_discounts_unsure_extractions() {
+        let mut b = CubeBuilder::new();
+        b.push(Observation {
+            extractor: ExtractorId::new(0),
+            source: SourceId::new(0),
+            item: ItemId::new(0),
+            value: ValueId::new(0),
+            confidence: 0.5,
+        });
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            ItemId::new(1),
+            ValueId::new(0),
+        ));
+        let cube = b.build();
+        let cfg = ModelConfig::default();
+        let mut params = Params::init(&cube, &cfg, &QualityInit::Default);
+        // correctness: group0 = 0 (wrong), group1 = 1 (right).
+        update_extractor_quality(&cube, &[0.0, 1.0], &cfg, &mut params);
+        // P = (0.5·0 + 1·1) / (0.5 + 1) = 2/3 — the unsure wrong
+        // extraction costs less than a confident wrong one would.
+        assert!((params.precision[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

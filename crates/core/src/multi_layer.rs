@@ -1,0 +1,332 @@
+//! The multi-layer model (Section 3) and its EM-like driver (Algorithm 1).
+//!
+//! Per iteration, in the order of Algorithm 1:
+//!
+//! 1. estimate extraction correctness `C` (Eqs. 15, 26, 31),
+//! 2. estimate item values `V` (Eqs. 23–25),
+//! 3. estimate source accuracies θ1 (Eq. 28),
+//! 4. estimate extractor qualities θ2 (Eqs. 32–33 + Eq. 7),
+//!
+//! stopping early when the parameters converge. The per-triple correctness
+//! prior α is re-estimated from the previous iteration's value posteriors
+//! (Eq. 26) beginning at the configured iteration (the third, by default —
+//! Section 5.1.2).
+
+use kbt_datamodel::{ObservationCube, SourceId};
+
+use crate::config::ModelConfig;
+use crate::correctness::{estimate_correctness, AlphaState};
+use crate::mstep::{update_extractor_quality, update_source_accuracy};
+use crate::params::{Params, QualityInit};
+use crate::posterior::ItemPosteriors;
+use crate::value::{estimate_values, ValueLayerOutput};
+use crate::votes::VoteCounter;
+
+/// Everything Algorithm 1 returns: the latent-variable estimates `Z` and
+/// the parameters θ.
+#[derive(Debug, Clone)]
+pub struct MultiLayerResult {
+    /// Final parameters: `A_w` (the KBT scores), `P_e`, `R_e`, `Q_e`.
+    pub params: Params,
+    /// `p(C_wdv = 1 | X)` per triple group — extraction correctness.
+    pub correctness: Vec<f64>,
+    /// `p(V_d | X)` per item.
+    pub posteriors: ItemPosteriors,
+    /// `p(V_d = v(g) | X)` per triple group — triple truthfulness.
+    pub truth_of_group: Vec<f64>,
+    /// `p(V_d = v(g) | X, C_g = 1)` per group — truthfulness conditioned
+    /// on the source actually providing the triple (the Eq. 28 quantity;
+    /// see `ValueLayerOutput::truth_given_provided`).
+    pub truth_given_provided: Vec<f64>,
+    /// Coverage flag per group (supported by at least one active source).
+    pub covered_group: Vec<bool>,
+    /// Whether each source had enough data for its accuracy to move off
+    /// the default.
+    pub active_source: Vec<bool>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the parameter deltas fell below the convergence threshold.
+    pub converged: bool,
+}
+
+impl MultiLayerResult {
+    /// The Knowledge-Based Trust score of source `w`: its estimated
+    /// accuracy `A_w`.
+    pub fn kbt(&self, w: SourceId) -> f64 {
+        self.params.source_accuracy[w.index()]
+    }
+
+    /// Fraction of triple groups that are covered (the Cov metric of
+    /// Section 5.1.1).
+    pub fn coverage(&self) -> f64 {
+        if self.covered_group.is_empty() {
+            return 0.0;
+        }
+        self.covered_group.iter().filter(|&&c| c).count() as f64
+            / self.covered_group.len() as f64
+    }
+}
+
+/// The multi-layer KBT estimator.
+#[derive(Debug, Clone, Default)]
+pub struct MultiLayerModel {
+    cfg: ModelConfig,
+}
+
+impl MultiLayerModel {
+    /// Build a model with the given configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Run Algorithm 1 on `cube` with the given parameter initialization.
+    pub fn run(&self, cube: &ObservationCube, init: &QualityInit) -> MultiLayerResult {
+        let cfg = &self.cfg;
+        let mut params = Params::init(cube, cfg, init);
+        // A source may vote from the start if it has enough support; its
+        // accuracy stays at the default until the first M-step.
+        let mut active: Vec<bool> = (0..cube.num_sources())
+            .map(|w| cube.source_size(SourceId::new(w as u32)) >= cfg.min_source_support)
+            .collect();
+        let mut alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
+
+        let mut correctness: Vec<f64> = Vec::new();
+        let mut values: Option<ValueLayerOutput> = None;
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for t in 1..=cfg.max_iterations {
+            iterations = t;
+            // Step 1: extraction correctness.
+            let votes = VoteCounter::new(cube, &params, cfg);
+            correctness = estimate_correctness(cube, &votes, &alpha, cfg);
+            // Step 2: item values.
+            let out = estimate_values(cube, &correctness, &params, cfg, &active);
+            // Steps 3–4: parameters.
+            let prev = params.clone();
+            update_source_accuracy(
+                cube,
+                &correctness,
+                &out.truth_given_provided,
+                cfg,
+                &mut params,
+                &mut active,
+            );
+            update_extractor_quality(cube, &correctness, cfg, &mut params);
+            // Re-estimate the correctness prior for the *next* iteration
+            // (Section 3.3.4), using the fresh accuracies as in Example 3.3.
+            if cfg.updates_alpha_at(t + 1) {
+                alpha.update(cube, &out.truth_of_group, &params, cfg);
+            }
+            let delta = params.max_abs_delta(&prev);
+            values = Some(out);
+            if delta < cfg.convergence_eps {
+                converged = true;
+                break;
+            }
+        }
+
+        let values = values.unwrap_or_else(|| ValueLayerOutput {
+            posteriors: ItemPosteriors::from_parts(
+                vec![Vec::new(); cube.num_items()],
+                vec![1.0 / (cfg.n_false_values + 1) as f64; cube.num_items()],
+            ),
+            truth_of_group: vec![0.0; cube.num_groups()],
+            truth_given_provided: vec![0.0; cube.num_groups()],
+            covered_group: vec![false; cube.num_groups()],
+        });
+
+        MultiLayerResult {
+            params,
+            correctness,
+            posteriors: values.posteriors,
+            truth_of_group: values.truth_of_group,
+            truth_given_provided: values.truth_given_provided,
+            covered_group: values.covered_group,
+            active_source: active,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, ValueId};
+
+    /// A clean corpus: 5 accurate sources agreeing on 20 items, observed by
+    /// 3 good extractors. The model should end up trusting everyone.
+    #[test]
+    fn consensus_corpus_converges_to_high_trust() {
+        let mut b = CubeBuilder::new();
+        for w in 0..5u32 {
+            for d in 0..20u32 {
+                for e in 0..3u32 {
+                    b.push(Observation::certain(
+                        ExtractorId::new(e),
+                        SourceId::new(w),
+                        ItemId::new(d),
+                        ValueId::new(d), // everyone agrees: value d for item d
+                    ));
+                }
+            }
+        }
+        let cube = b.build();
+        let model = MultiLayerModel::new(ModelConfig::default());
+        let r = model.run(&cube, &QualityInit::Default);
+        for w in 0..5 {
+            assert!(
+                r.kbt(SourceId::new(w)) > 0.9,
+                "A_{w} = {}",
+                r.kbt(SourceId::new(w))
+            );
+        }
+        for &c in &r.correctness {
+            assert!(c > 0.9, "all extractions should be judged correct");
+        }
+        for &t in &r.truth_of_group {
+            assert!(t > 0.9, "all triples should be judged true");
+        }
+        assert!(r.coverage() == 1.0);
+        assert!(r.iterations <= 5);
+    }
+
+    /// One source disagrees with four consistent ones on every item: the
+    /// dissenter's KBT must come out lower.
+    #[test]
+    fn dissenting_source_gets_lower_kbt() {
+        let mut b = CubeBuilder::new();
+        for d in 0..30u32 {
+            for w in 0..4u32 {
+                for e in 0..2u32 {
+                    b.push(Observation::certain(
+                        ExtractorId::new(e),
+                        SourceId::new(w),
+                        ItemId::new(d),
+                        ValueId::new(0),
+                    ));
+                }
+            }
+            for e in 0..2u32 {
+                b.push(Observation::certain(
+                    ExtractorId::new(e),
+                    SourceId::new(4),
+                    ItemId::new(d),
+                    ValueId::new(1), // always the odd one out
+                ));
+            }
+        }
+        let cube = b.build();
+        let model = MultiLayerModel::new(ModelConfig::default());
+        let r = model.run(&cube, &QualityInit::Default);
+        let good: f64 = (0..4).map(|w| r.kbt(SourceId::new(w))).sum::<f64>() / 4.0;
+        let bad = r.kbt(SourceId::new(4));
+        assert!(
+            good > bad + 0.3,
+            "consistent sources {good} vs dissenter {bad}"
+        );
+    }
+
+    /// The motivating scenario: a noisy extractor hallucinating a value on
+    /// a good source must not drag the source's KBT down (the single-layer
+    /// failure mode described in Section 2.3).
+    #[test]
+    fn extraction_noise_does_not_poison_source_accuracy() {
+        let mut b = CubeBuilder::new();
+        // Three good extractors see W0..W3 providing the true value for 20
+        // items. A junk extractor (E3) additionally "extracts" a wrong
+        // value from W0 for every item.
+        for d in 0..20u32 {
+            for w in 0..4u32 {
+                for e in 0..3u32 {
+                    b.push(Observation::certain(
+                        ExtractorId::new(e),
+                        SourceId::new(w),
+                        ItemId::new(d),
+                        ValueId::new(0),
+                    ));
+                }
+            }
+            b.push(Observation::certain(
+                ExtractorId::new(3),
+                SourceId::new(0),
+                ItemId::new(d),
+                ValueId::new(1),
+            ));
+        }
+        let cube = b.build();
+        let model = MultiLayerModel::new(ModelConfig::default());
+        let r = model.run(&cube, &QualityInit::Default);
+        // The junk extractor's extractions should be judged incorrect…
+        for (g, grp) in cube.groups().iter().enumerate() {
+            if grp.value == ValueId::new(1) {
+                assert!(
+                    r.correctness[g] < 0.5,
+                    "hallucinated extraction judged correct: {}",
+                    r.correctness[g]
+                );
+            }
+        }
+        // …so W0's trust stays close to its peers'.
+        let w0 = r.kbt(SourceId::new(0));
+        let w1 = r.kbt(SourceId::new(1));
+        assert!(
+            (w0 - w1).abs() < 0.1,
+            "W0 {w0} should stay near W1 {w1} despite extractor noise"
+        );
+        // And the junk extractor's precision should collapse.
+        assert!(
+            r.params.precision[3] < 0.5,
+            "junk extractor precision = {}",
+            r.params.precision[3]
+        );
+        assert!(r.params.precision[0] > 0.9);
+    }
+
+    #[test]
+    fn empty_cube_yields_defaults() {
+        let mut b = CubeBuilder::new();
+        b.reserve_ids(2, 1, 1, 1);
+        let cube = b.build();
+        let model = MultiLayerModel::new(ModelConfig::default());
+        let r = model.run(&cube, &QualityInit::Default);
+        assert_eq!(r.params.source_accuracy, vec![0.8, 0.8]);
+        assert!(!r.active_source[0]);
+        assert_eq!(r.coverage(), 0.0);
+    }
+
+    #[test]
+    fn convergence_stops_early_on_stable_parameters() {
+        // A strongly consistent corpus: parameters saturate at the clamp
+        // bounds within a few iterations and the loop stops early.
+        let mut b = CubeBuilder::new();
+        for w in 0..5u32 {
+            for d in 0..10u32 {
+                for e in 0..2u32 {
+                    b.push(Observation::certain(
+                        ExtractorId::new(e),
+                        SourceId::new(w),
+                        ItemId::new(d),
+                        ValueId::new(d),
+                    ));
+                }
+            }
+        }
+        let cube = b.build();
+        let cfg = ModelConfig {
+            max_iterations: 50,
+            convergence_eps: 1e-4,
+            ..ModelConfig::default()
+        };
+        let model = MultiLayerModel::new(cfg);
+        let r = model.run(&cube, &QualityInit::Default);
+        assert!(r.converged, "did not converge in {} iterations", r.iterations);
+        assert!(r.iterations < 50);
+    }
+}

@@ -1,0 +1,463 @@
+//! The single-layer baseline (Section 2.2): the state-of-the-art knowledge
+//! fusion of [11] that KBT improves upon.
+//!
+//! The cube is "reshaped" into the two-dimensional matrix of Figure 1(a)
+//! by treating every (webpage, extractor) combination as a distinct data
+//! source `s = (w, e)`. The ACCU model of [8] (Eqs. 1–4) is then run: each
+//! pair-source claims the values its extractions assert, value posteriors
+//! follow Bayes' rule with a uniform prior, and pair accuracies are
+//! re-estimated as the mean truth probability of their claims (Eq. 4).
+//!
+//! The model cannot tell an unreliable source from an unreliable
+//! extractor — the comparison experiments (Figure 3, Table 5) quantify the
+//! cost of that conflation.
+
+use std::collections::HashMap;
+
+use kbt_datamodel::{ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
+use kbt_flume::par_map_slice;
+
+use crate::config::{ModelConfig, ValueModel};
+use crate::math::{clamp_quality, log_sum_exp_with_zeros};
+use crate::params::QualityInit;
+use crate::posterior::ItemPosteriors;
+
+/// One claim: pair-source `pair` asserts `(item, value)`; `group` links
+/// back to the originating cube group.
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    pair: u32,
+    value: ValueId,
+    group: u32,
+}
+
+/// Result of single-layer fusion.
+#[derive(Debug, Clone)]
+pub struct SingleLayerResult {
+    /// The (webpage, extractor) pair-sources, in dense pair-id order.
+    pub pairs: Vec<(SourceId, ExtractorId)>,
+    /// `A_s` per pair-source.
+    pub pair_accuracy: Vec<f64>,
+    /// Per web source: claim-weighted mean of its pairs' accuracies — the
+    /// best per-source trust estimate the single-layer model can offer.
+    pub source_accuracy: Vec<f64>,
+    /// Posterior `p(V_d | X)` per item.
+    pub posteriors: ItemPosteriors,
+    /// `p(V_d = v(g) | X)` per cube group.
+    pub truth_of_group: Vec<f64>,
+    /// Coverage per cube group: claimed by at least one active pair.
+    pub covered_group: Vec<bool>,
+    /// Pairs with enough claims to move off the default accuracy.
+    pub active_pair: Vec<bool>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether accuracies converged before the iteration cap.
+    pub converged: bool,
+}
+
+impl SingleLayerResult {
+    /// Fraction of covered groups (the Cov metric).
+    pub fn coverage(&self) -> f64 {
+        if self.covered_group.is_empty() {
+            return 0.0;
+        }
+        self.covered_group.iter().filter(|&&c| c).count() as f64
+            / self.covered_group.len() as f64
+    }
+}
+
+/// The single-layer ACCU/POPACCU estimator.
+#[derive(Debug, Clone)]
+pub struct SingleLayerModel {
+    cfg: ModelConfig,
+}
+
+impl Default for SingleLayerModel {
+    fn default() -> Self {
+        Self::new(ModelConfig::single_layer_default())
+    }
+}
+
+impl SingleLayerModel {
+    /// Build with an explicit configuration (the paper uses `n = 100`).
+    pub fn new(cfg: ModelConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Run single-layer fusion over `cube`.
+    pub fn run(&self, cube: &ObservationCube, init: &QualityInit) -> SingleLayerResult {
+        let cfg = &self.cfg;
+
+        // ---- Reshape the cube into pair-sources and claims. ----
+        let mut pair_ids: HashMap<(SourceId, ExtractorId), u32> = HashMap::new();
+        let mut pairs: Vec<(SourceId, ExtractorId)> = Vec::new();
+        let mut claims: Vec<Claim> = Vec::new();
+        // Claims grouped by item: counting sort below.
+        let mut item_of_claim: Vec<ItemId> = Vec::new();
+        for (g, grp, cells) in cube.iter_with_cells() {
+            for c in cells {
+                if cfg.effective_confidence(c.confidence) <= 0.0 {
+                    continue; // single layer binarizes extractions
+                }
+                let pid = *pair_ids
+                    .entry((grp.source, c.extractor))
+                    .or_insert_with(|| {
+                        pairs.push((grp.source, c.extractor));
+                        (pairs.len() - 1) as u32
+                    });
+                claims.push(Claim {
+                    pair: pid,
+                    value: grp.value,
+                    group: g as u32,
+                });
+                item_of_claim.push(grp.item);
+            }
+        }
+        let np = pairs.len();
+
+        // Index claims by item.
+        let ni = cube.num_items();
+        let mut offsets = vec![0u32; ni + 1];
+        for d in &item_of_claim {
+            offsets[d.index() + 1] += 1;
+        }
+        for k in 0..ni {
+            offsets[k + 1] += offsets[k];
+        }
+        let mut cursor = offsets.clone();
+        let mut by_item: Vec<u32> = vec![0; claims.len()];
+        for (ci, d) in item_of_claim.iter().enumerate() {
+            let slot = &mut cursor[d.index()];
+            by_item[*slot as usize] = ci as u32;
+            *slot += 1;
+        }
+
+        // Claim counts per pair → activity.
+        let mut pair_claims = vec![0usize; np];
+        for c in &claims {
+            pair_claims[c.pair as usize] += 1;
+        }
+        let active_pair: Vec<bool> = pair_claims
+            .iter()
+            .map(|&n| n >= cfg.min_source_support)
+            .collect();
+
+        // ---- Initialize accuracies. ----
+        let mut acc = vec![cfg.default_source_accuracy; np];
+        if let QualityInit::FromGold {
+            source_accuracy, ..
+        } = init
+        {
+            for (pid, (w, _)) in pairs.iter().enumerate() {
+                if let Some(Some(a)) = source_accuracy.get(w.index()) {
+                    acc[pid] = clamp_quality(*a);
+                }
+            }
+        }
+
+        // ---- Iterate E/M. ----
+        let n = cfg.n_false_values as f64;
+        let domain = cfg.n_false_values + 1;
+        let items: Vec<u32> = (0..ni as u32).collect();
+        let mut truth_of_claim = vec![0.0f64; claims.len()];
+        let mut posteriors = ItemPosteriors::default();
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for t in 1..=cfg.max_iterations {
+            iterations = t;
+            // E-step per item (Eq. 2–3): (observed posteriors,
+            // unobserved mass, per-claim truth).
+            type ItemOut = (Vec<(ValueId, f64)>, f64, Vec<(u32, f64)>);
+            let per_item: Vec<ItemOut> =
+                par_map_slice(&items, |&d| {
+                    let lo = offsets[d as usize] as usize;
+                    let hi = offsets[d as usize + 1] as usize;
+                    let mut votes: Vec<(ValueId, f64, f64)> = Vec::new(); // (v, vote, claims)
+                    for &ci in &by_item[lo..hi] {
+                        let cl = claims[ci as usize];
+                        if !active_pair[cl.pair as usize] {
+                            continue;
+                        }
+                        let a = clamp_quality(acc[cl.pair as usize]);
+                        let vote = (n * a / (1.0 - a)).ln();
+                        match votes.iter_mut().find(|(v, _, _)| *v == cl.value) {
+                            Some((_, s, c)) => {
+                                *s += vote;
+                                *c += 1.0;
+                            }
+                            None => votes.push((cl.value, vote, 1.0)),
+                        }
+                    }
+                    if cfg.value_model == ValueModel::PopAccu && !votes.is_empty() {
+                        let total: f64 = votes.iter().map(|(_, _, c)| c).sum();
+                        let denom = total + n + 1.0;
+                        for (_, s, c) in votes.iter_mut() {
+                            let rho = (*c + 1.0) / denom;
+                            *s += *c * ((1.0 / n).ln() - rho.ln());
+                        }
+                    }
+                    let unobserved = domain.saturating_sub(votes.len());
+                    let vcs: Vec<f64> = votes.iter().map(|(_, s, _)| *s).collect();
+                    let log_z = log_sum_exp_with_zeros(&vcs, unobserved);
+                    let entries: Vec<(ValueId, f64)> = votes
+                        .iter()
+                        .map(|(v, s, _)| (*v, (s - log_z).exp()))
+                        .collect();
+                    let um = if log_z.is_finite() {
+                        (-log_z).exp()
+                    } else {
+                        1.0 / domain as f64
+                    };
+                    // Truthfulness of each claim of this item.
+                    let tr: Vec<(u32, f64)> = by_item[lo..hi]
+                        .iter()
+                        .map(|&ci| {
+                            let cl = claims[ci as usize];
+                            let p = entries
+                                .iter()
+                                .find(|(v, _)| *v == cl.value)
+                                .map(|(_, p)| *p)
+                                .unwrap_or(um);
+                            (ci, p)
+                        })
+                        .collect();
+                    (entries, um, tr)
+                });
+
+            let mut entries_per_item = Vec::with_capacity(ni);
+            let mut unobserved = Vec::with_capacity(ni);
+            for (entries, um, tr) in per_item {
+                entries_per_item.push(entries);
+                unobserved.push(um);
+                for (ci, p) in tr {
+                    truth_of_claim[ci as usize] = p;
+                }
+            }
+            posteriors = ItemPosteriors::from_parts(entries_per_item, unobserved);
+
+            // M-step (Eq. 4): pair accuracy = mean truth of its claims.
+            let mut num = vec![0.0f64; np];
+            for (ci, cl) in claims.iter().enumerate() {
+                num[cl.pair as usize] += truth_of_claim[ci];
+            }
+            let mut max_delta = 0.0f64;
+            for p in 0..np {
+                if !active_pair[p] || pair_claims[p] == 0 {
+                    continue;
+                }
+                let new = clamp_quality(num[p] / pair_claims[p] as f64);
+                max_delta = max_delta.max((new - acc[p]).abs());
+                acc[p] = new;
+            }
+            if max_delta < cfg.convergence_eps {
+                converged = true;
+                break;
+            }
+        }
+
+        // ---- Aggregate to per-source accuracy and per-group outputs. ----
+        let mut src_num = vec![0.0f64; cube.num_sources()];
+        let mut src_den = vec![0.0f64; cube.num_sources()];
+        for (pid, (w, _)) in pairs.iter().enumerate() {
+            if !active_pair[pid] {
+                continue;
+            }
+            let weight = pair_claims[pid] as f64;
+            src_num[w.index()] += weight * acc[pid];
+            src_den[w.index()] += weight;
+        }
+        let source_accuracy: Vec<f64> = src_num
+            .iter()
+            .zip(&src_den)
+            .map(|(n_, d_)| {
+                if *d_ > 0.0 {
+                    n_ / d_
+                } else {
+                    cfg.default_source_accuracy
+                }
+            })
+            .collect();
+
+        let mut truth_of_group = vec![0.0f64; cube.num_groups()];
+        let mut covered_group = vec![false; cube.num_groups()];
+        for (ci, cl) in claims.iter().enumerate() {
+            let g = cl.group as usize;
+            truth_of_group[g] = truth_of_claim[ci];
+            if active_pair[cl.pair as usize] {
+                covered_group[g] = true;
+            }
+        }
+
+        SingleLayerResult {
+            pairs,
+            pair_accuracy: acc,
+            source_accuracy,
+            posteriors,
+            truth_of_group,
+            covered_group,
+            active_pair,
+            iterations,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_datamodel::{CubeBuilder, Observation};
+
+    fn obs(e: u32, w: u32, d: u32, v: u32) -> Observation {
+        Observation::certain(
+            ExtractorId::new(e),
+            SourceId::new(w),
+            ItemId::new(d),
+            ValueId::new(v),
+        )
+    }
+
+    #[test]
+    fn majority_value_wins() {
+        let mut b = CubeBuilder::new();
+        for w in 0..4u32 {
+            b.push(obs(0, w, 0, 0));
+        }
+        for w in 4..6u32 {
+            b.push(obs(0, w, 0, 1));
+        }
+        let cube = b.build();
+        let model = SingleLayerModel::default();
+        let r = model.run(&cube, &QualityInit::Default);
+        assert!(r.posteriors.prob(ItemId::new(0), ValueId::new(0)) > 0.9);
+        assert!(r.posteriors.prob(ItemId::new(0), ValueId::new(1)) < 0.1);
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    /// The key weakness of Section 2.3: in the Table 2 world the single
+    /// layer counts 12 pair-sources for USA and 12 for Kenya, so it cannot
+    /// separate them the way the multi-layer model can.
+    #[test]
+    fn pair_sources_conflate_extraction_and_source_errors() {
+        let mut b = CubeBuilder::new();
+        // Table 2 extractions (E1..E5 = 0..4; W1..W8 = 0..7; USA=0,
+        // Kenya=1, NAmer=2). Item 0 = Obama nationality.
+        let t = [
+            (0, 0, 0),
+            (1, 0, 0),
+            (2, 0, 0),
+            (3, 0, 0),
+            (4, 0, 1), // W1
+            (0, 1, 0),
+            (1, 1, 0),
+            (2, 1, 0),
+            (4, 1, 2), // W2
+            (0, 2, 0),
+            (2, 2, 0),
+            (3, 2, 2), // W3
+            (0, 3, 0),
+            (2, 3, 0),
+            (3, 3, 1), // W4
+            (0, 4, 1),
+            (1, 4, 1),
+            (2, 4, 1),
+            (3, 4, 1),
+            (4, 4, 1), // W5
+            (0, 5, 1),
+            (2, 5, 1),
+            (3, 5, 0), // W6
+            (2, 6, 1),
+            (3, 6, 1), // W7
+            (4, 7, 1), // W8
+        ];
+        for (e, w, v) in t {
+            b.push(obs(e, w, 0, v));
+        }
+        let cube = b.build();
+        let model = SingleLayerModel::default();
+        let r = model.run(&cube, &QualityInit::Default);
+        let p_usa = r.posteriors.prob(ItemId::new(0), ValueId::new(0));
+        let p_kenya = r.posteriors.prob(ItemId::new(0), ValueId::new(1));
+        // 12 claims each with identical accuracies → near-equal posteriors.
+        assert!(
+            (p_usa - p_kenya).abs() < 0.05,
+            "single layer cannot separate: USA {p_usa} vs Kenya {p_kenya}"
+        );
+    }
+
+    #[test]
+    fn min_support_excludes_thin_pairs_from_coverage() {
+        let mut b = CubeBuilder::new();
+        for d in 0..5u32 {
+            b.push(obs(0, 0, d, 0)); // pair (W0,E0): 5 claims
+        }
+        b.push(obs(1, 1, 9, 3)); // pair (W1,E1): 1 claim
+        let cube = b.build();
+        let cfg = ModelConfig {
+            min_source_support: 3,
+            ..ModelConfig::single_layer_default()
+        };
+        let r = SingleLayerModel::new(cfg).run(&cube, &QualityInit::Default);
+        assert!(r.coverage() < 1.0);
+        let uncovered: Vec<_> = r
+            .covered_group
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !**c)
+            .collect();
+        assert_eq!(uncovered.len(), 1);
+        // W1 keeps the default accuracy.
+        assert_eq!(r.source_accuracy[1], cfg_default_accuracy());
+    }
+
+    fn cfg_default_accuracy() -> f64 {
+        ModelConfig::default().default_source_accuracy
+    }
+
+    #[test]
+    fn gold_init_seeds_pair_accuracies() {
+        let mut b = CubeBuilder::new();
+        for d in 0..3u32 {
+            b.push(obs(0, 0, d, 0));
+            b.push(obs(0, 1, d, 1));
+        }
+        let cube = b.build();
+        let init = QualityInit::FromGold {
+            source_accuracy: vec![Some(0.95), Some(0.05)],
+            extractor_precision: vec![],
+            extractor_recall: vec![],
+        };
+        let r = SingleLayerModel::default().run(&cube, &init);
+        // Seeded trust should break the symmetry toward W0's values.
+        for d in 0..3u32 {
+            assert!(
+                r.posteriors.prob(ItemId::new(d), ValueId::new(0))
+                    > r.posteriors.prob(ItemId::new(d), ValueId::new(1)),
+                "item {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn popaccu_variant_runs_and_normalizes() {
+        let mut b = CubeBuilder::new();
+        for w in 0..5u32 {
+            b.push(obs(0, w, 0, w % 2));
+        }
+        let cube = b.build();
+        let cfg = ModelConfig {
+            value_model: ValueModel::PopAccu,
+            ..ModelConfig::single_layer_default()
+        };
+        let r = SingleLayerModel::new(cfg).run(&cube, &QualityInit::Default);
+        let d = ItemId::new(0);
+        let total = r.posteriors.observed_mass(d)
+            + r.posteriors.prob(d, ValueId::new(99)) * (101 - 2) as f64;
+        assert!((total - 1.0).abs() < 1e-6, "total = {total}");
+    }
+}

@@ -1,0 +1,432 @@
+//! Layer 2: estimating the true value of each data item (Sections 3.3.2
+//! and 3.3.3).
+//!
+//! Under the single-truth assumption each item `d` has one latent true
+//! value `V_d` over a domain of `n + 1` values. Each source that provides
+//! `(d, v)` casts a vote of weight `ln(n·A_w / (1 − A_w))` (Eq. 19); the
+//! improved estimator (Eq. 23) scales that vote by the extraction
+//! correctness `p(C_wdv = 1 | X)` rather than thresholding it. The
+//! posterior is a softmax over vote counts with one `exp(0)` term per
+//! unobserved domain value (Eq. 21/25, Example 3.2).
+
+use kbt_datamodel::{ItemId, ObservationCube, ValueId};
+use kbt_flume::par_map_slice;
+
+use crate::config::{CorrectnessWeighting, ModelConfig, ValueModel};
+use crate::math::{clamp_quality, log_sum_exp_with_zeros};
+use crate::params::Params;
+use crate::posterior::ItemPosteriors;
+
+/// Output of the value layer.
+#[derive(Debug, Clone)]
+pub struct ValueLayerOutput {
+    /// Posterior `p(V_d | X)` per item.
+    pub posteriors: ItemPosteriors,
+    /// `p(V_d = v(g) | X)` for each triple group `g` — the truthfulness of
+    /// the triple the group supports.
+    pub truth_of_group: Vec<f64>,
+    /// `p(V_d = v(g) | X, C_g = 1)`: truthfulness *conditioned on the
+    /// source actually providing the triple*. This is the quantity the
+    /// source-accuracy update (Eq. 28) needs: under the improved
+    /// estimator the unconditional posterior already discounts by
+    /// `p(C)`, and re-weighting it by `p(C)` in Eq. 28 double-counts the
+    /// extraction uncertainty, collapsing `A_w` on sparse data (see
+    /// DESIGN.md).
+    pub truth_given_provided: Vec<f64>,
+    /// Whether each group's `(d, v)` received at least one vote from an
+    /// *active* source (the coverage rule; see [`ModelConfig::min_source_support`]).
+    pub covered_group: Vec<bool>,
+}
+
+/// Run the value layer. `correctness[g]` is the current
+/// `p(C_wdv = 1 | X)`; `active_source[w]` gates which sources vote.
+pub fn estimate_values(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    params: &Params,
+    cfg: &ModelConfig,
+    active_source: &[bool],
+) -> ValueLayerOutput {
+    debug_assert_eq!(correctness.len(), cube.num_groups());
+    debug_assert_eq!(active_source.len(), cube.num_sources());
+
+    let items: Vec<u32> = (0..cube.num_items() as u32).collect();
+    let n = cfg.n_false_values as f64;
+
+    // Per-item computation, parallel over items.
+    type PerItem = (
+        Vec<(ValueId, f64)>,  // observed-value posteriors
+        f64,                  // unobserved mass
+        Vec<(usize, f64)>,    // (group, unconditional truth)
+        Vec<(usize, f64)>,    // (group, truth given C_g = 1)
+        Vec<(usize, bool)>,   // (group, covered)
+    );
+    let per_item: Vec<PerItem> =
+        par_map_slice(&items, |&d| {
+            let d = ItemId::new(d);
+            // Gather votes per observed value.
+            let mut values: Vec<(ValueId, f64, bool)> = Vec::new(); // (v, vote sum, covered)
+            let mut group_rows: Vec<(usize, ValueId, f64, f64)> = Vec::new(); // (g, v, weight, full vote)
+            let mut total_claims = 0.0f64;
+            let mut claims_per_value: Vec<(ValueId, f64)> = Vec::new();
+            for g in cube.groups_of_item(d) {
+                let grp = &cube.groups()[g];
+                let weight = match cfg.correctness_weighting {
+                    CorrectnessWeighting::Weighted => correctness[g],
+                    CorrectnessWeighting::Map => {
+                        if correctness[g] >= 0.5 {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                // POPACCU popularity counts use every claim, active or not.
+                match claims_per_value.iter_mut().find(|(v, _)| *v == grp.value) {
+                    Some((_, c)) => *c += weight,
+                    None => claims_per_value.push((grp.value, weight)),
+                }
+                total_claims += weight;
+                if !active_source[grp.source.index()] {
+                    group_rows.push((g, grp.value, 0.0, 0.0));
+                    continue;
+                }
+                let a = clamp_quality(params.source_accuracy[grp.source.index()]);
+                let full_vote = (n * a / (1.0 - a)).ln();
+                let vote = weight * full_vote;
+                group_rows.push((g, grp.value, weight, full_vote));
+                match values.iter_mut().find(|(v, _, _)| *v == grp.value) {
+                    Some((_, sum, cov)) => {
+                        *sum += vote;
+                        *cov = true;
+                    }
+                    None => values.push((grp.value, vote, true)),
+                }
+            }
+            // POPACCU adjustment: replace the uniform 1/n false-value
+            // probability with smoothed empirical popularity, i.e. add
+            // ln(1/n) − ln(ρ(d,v)) per unit of vote weight. We apply it at
+            // the value level using the aggregate claim mass.
+            if cfg.value_model == ValueModel::PopAccu && total_claims > 0.0 {
+                let denom = total_claims + n + 1.0;
+                for (v, sum, _) in values.iter_mut() {
+                    let cnt = claims_per_value
+                        .iter()
+                        .find(|(cv, _)| cv == v)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(0.0);
+                    let rho = (cnt + 1.0) / denom;
+                    // Per-vote adjustment ln((1/n)/ρ) scaled by the total
+                    // weight already accumulated for this value.
+                    let weight_on_v = cnt;
+                    *sum += weight_on_v * ((1.0 / n).ln() - rho.ln());
+                }
+            }
+
+            // Softmax with unobserved-value zeros (Eq. 21/25).
+            let domain = cfg.n_false_values + 1;
+            let unobserved_count = domain.saturating_sub(values.len());
+            let vcs: Vec<f64> = values.iter().map(|(_, s, _)| *s).collect();
+            let log_z = log_sum_exp_with_zeros(&vcs, unobserved_count);
+            let entries: Vec<(ValueId, f64)> = values
+                .iter()
+                .map(|(v, s, _)| (*v, (s - log_z).exp()))
+                .collect();
+            let unobserved_mass = if log_z.is_finite() {
+                (-log_z).exp()
+            } else {
+                // No observed values and empty domain: uniform fallback.
+                1.0 / domain as f64
+            };
+
+            // Truth probability, conditional truth, and coverage per group.
+            let mut truth: Vec<(usize, f64)> = Vec::with_capacity(group_rows.len());
+            let mut cond: Vec<(usize, f64)> = Vec::with_capacity(group_rows.len());
+            let mut covered: Vec<(usize, bool)> = Vec::with_capacity(group_rows.len());
+            for (g, v, weight, full_vote) in &group_rows {
+                let p = entries
+                    .iter()
+                    .find(|(ev, _)| ev == v)
+                    .map(|(_, p)| *p)
+                    .unwrap_or(unobserved_mass);
+                truth.push((*g, p));
+                // p(V_d = v | X, C_g = 1): raise this group's vote from
+                // weight·vote to the full vote and renormalize. With
+                // a = log p(v|X) and b = a + (1−weight)·vote,
+                // p_cond = e^b / (1 − e^a + e^b).
+                let p_cond = if log_z.is_finite() && *full_vote != 0.0 {
+                    let x = values
+                        .iter()
+                        .find(|(ev, _, _)| ev == v)
+                        .map(|(_, s, _)| *s)
+                        .unwrap_or(0.0);
+                    let a = x - log_z;
+                    let b = a + (1.0 - weight) * full_vote;
+                    let ea = a.exp();
+                    let eb = b.exp();
+                    (eb / (1.0 - ea + eb)).clamp(0.0, 1.0)
+                } else {
+                    p
+                };
+                cond.push((*g, p_cond));
+                let c = values
+                    .iter()
+                    .find(|(ev, _, _)| ev == v)
+                    .map(|(_, _, c)| *c)
+                    .unwrap_or(false);
+                covered.push((*g, c));
+            }
+            (entries, unobserved_mass, truth, cond, covered)
+        });
+
+    let mut entries_per_item = Vec::with_capacity(per_item.len());
+    let mut unobserved = Vec::with_capacity(per_item.len());
+    let mut truth_of_group = vec![0.0; cube.num_groups()];
+    let mut truth_given_provided = vec![0.0; cube.num_groups()];
+    let mut covered_group = vec![false; cube.num_groups()];
+    for (entries, um, truth, cond, covered) in per_item {
+        entries_per_item.push(entries);
+        unobserved.push(um);
+        for (g, p) in truth {
+            truth_of_group[g] = p;
+        }
+        for (g, p) in cond {
+            truth_given_provided[g] = p;
+        }
+        for (g, c) in covered {
+            covered_group[g] = c;
+        }
+    }
+
+    ValueLayerOutput {
+        posteriors: ItemPosteriors::from_parts(entries_per_item, unobserved),
+        truth_of_group,
+        truth_given_provided,
+        covered_group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use kbt_datamodel::{CubeBuilder, ExtractorId, Observation, SourceId};
+
+    /// Reproduce Example 3.2: six sources with A = 0.6, n = 10; USA
+    /// provided by four sources, Kenya by two. Expected posteriors:
+    /// p(USA) ≈ 0.995, p(Kenya) ≈ 0.004.
+    #[test]
+    fn example_3_2_posteriors() {
+        let mut b = CubeBuilder::new();
+        let item = ItemId::new(0);
+        let usa = ValueId::new(0);
+        let kenya = ValueId::new(1);
+        for w in 0..4u32 {
+            b.push(Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(w),
+                item,
+                usa,
+            ));
+        }
+        for w in 4..6u32 {
+            b.push(Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(w),
+                item,
+                kenya,
+            ));
+        }
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.6; 6],
+            precision: vec![0.9],
+            recall: vec![0.9],
+            q: vec![0.1],
+        };
+        let cfg = ModelConfig::default(); // n = 10
+        let correctness = vec![1.0; cube.num_groups()]; // Ĉ given as in the example
+        let active = vec![true; 6];
+        let out = estimate_values(&cube, &correctness, &params, &cfg, &active);
+        let p_usa = out.posteriors.prob(item, usa);
+        let p_kenya = out.posteriors.prob(item, kenya);
+        assert!((p_usa - 0.995).abs() < 2e-3, "p(USA) = {p_usa}");
+        assert!((p_kenya - 0.004).abs() < 2e-3, "p(Kenya) = {p_kenya}");
+        // Unobserved mass: (1 − .995 − .004) / 9 each.
+        let p_other = out.posteriors.prob(item, ValueId::new(7));
+        assert!(p_other < 1e-3 && p_other > 0.0);
+        // Truth per group follows the group's value.
+        for (g, grp) in cube.groups().iter().enumerate() {
+            let expect = if grp.value == usa { p_usa } else { p_kenya };
+            assert_eq!(out.truth_of_group[g], expect);
+        }
+    }
+
+    #[test]
+    fn correctness_weights_downweight_suspicious_extractions() {
+        let mut b = CubeBuilder::new();
+        let item = ItemId::new(0);
+        // v0 claimed by 2 sources with high correctness, v1 by 3 sources
+        // with near-zero correctness (likely extraction errors).
+        for w in 0..2u32 {
+            b.push(Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(w),
+                item,
+                ValueId::new(0),
+            ));
+        }
+        for w in 2..5u32 {
+            b.push(Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(w),
+                item,
+                ValueId::new(1),
+            ));
+        }
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.7; 5],
+            precision: vec![0.9],
+            recall: vec![0.9],
+            q: vec![0.1],
+        };
+        let cfg = ModelConfig::default();
+        let mut correctness = vec![0.0; cube.num_groups()];
+        for (g, grp) in cube.groups().iter().enumerate() {
+            correctness[g] = if grp.value == ValueId::new(0) { 0.95 } else { 0.05 };
+        }
+        let active = vec![true; 5];
+        let out = estimate_values(&cube, &correctness, &params, &cfg, &active);
+        assert!(
+            out.posteriors.prob(item, ValueId::new(0)) > out.posteriors.prob(item, ValueId::new(1)),
+            "weighted votes must override raw claim counts"
+        );
+    }
+
+    #[test]
+    fn map_weighting_thresholds_at_half() {
+        let mut b = CubeBuilder::new();
+        let item = ItemId::new(0);
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            item,
+            ValueId::new(0),
+        ));
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(1),
+            item,
+            ValueId::new(1),
+        ));
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.7; 2],
+            precision: vec![0.9],
+            recall: vec![0.9],
+            q: vec![0.1],
+        };
+        let cfg = ModelConfig {
+            correctness_weighting: CorrectnessWeighting::Map,
+            ..ModelConfig::default()
+        };
+        // 0.6 → Ĉ=1 full vote; 0.4 → Ĉ=0 no vote.
+        let out = estimate_values(&cube, &[0.6, 0.4], &params, &cfg, &[true, true]);
+        assert!(out.posteriors.prob(item, ValueId::new(0)) > 0.5);
+        assert!(out.posteriors.prob(item, ValueId::new(1)) < 0.2);
+    }
+
+    #[test]
+    fn inactive_sources_do_not_vote_and_groups_are_uncovered() {
+        let mut b = CubeBuilder::new();
+        let item = ItemId::new(0);
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(0),
+            item,
+            ValueId::new(0),
+        ));
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.9],
+            precision: vec![0.9],
+            recall: vec![0.9],
+            q: vec![0.1],
+        };
+        let cfg = ModelConfig::default();
+        let out = estimate_values(&cube, &[1.0], &params, &cfg, &[false]);
+        assert!(!out.covered_group[0]);
+        // With no votes the observed value ties with unobserved ones.
+        let p = out.posteriors.prob(item, ValueId::new(0));
+        assert!((p - 1.0 / 11.0).abs() < 1e-9, "uniform over domain, got {p}");
+    }
+
+    #[test]
+    fn posterior_sums_to_one_over_the_domain() {
+        let mut b = CubeBuilder::new();
+        let item = ItemId::new(0);
+        for w in 0..3u32 {
+            b.push(Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(w),
+                item,
+                ValueId::new(w),
+            ));
+        }
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.3, 0.6, 0.9],
+            precision: vec![0.9],
+            recall: vec![0.9],
+            q: vec![0.1],
+        };
+        let cfg = ModelConfig::default();
+        let out = estimate_values(&cube, &[0.8, 0.5, 0.9], &params, &cfg, &[true; 3]);
+        let obs_mass = out.posteriors.observed_mass(item);
+        let unobs = out.posteriors.prob(item, ValueId::new(9));
+        let total = obs_mass + unobs * (11 - 3) as f64;
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn popaccu_penalizes_popular_false_values_less_than_rare_ones() {
+        // Two values each claimed once with equal weights: POPACCU gives
+        // them equal posteriors; the point is it must stay normalized and
+        // ordered by vote weight when weights differ.
+        let mut b = CubeBuilder::new();
+        let item = ItemId::new(0);
+        for w in 0..3u32 {
+            b.push(Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(w),
+                item,
+                ValueId::new(0),
+            ));
+        }
+        b.push(Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(3),
+            item,
+            ValueId::new(1),
+        ));
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: vec![0.7; 4],
+            precision: vec![0.9],
+            recall: vec![0.9],
+            q: vec![0.1],
+        };
+        let cfg = ModelConfig {
+            value_model: ValueModel::PopAccu,
+            ..ModelConfig::default()
+        };
+        let out = estimate_values(&cube, &[1.0; 4], &params, &cfg, &[true; 4]);
+        let p0 = out.posteriors.prob(item, ValueId::new(0));
+        let p1 = out.posteriors.prob(item, ValueId::new(1));
+        assert!(p0 > p1, "majority value must win: {p0} vs {p1}");
+        let total = out.posteriors.observed_mass(item)
+            + out.posteriors.prob(item, ValueId::new(9)) * 9.0;
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

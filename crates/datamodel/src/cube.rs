@@ -1,0 +1,470 @@
+//! The sparse observation "data cube" of Figure 1(b).
+//!
+//! The cube stores one [`Cell`] per nonzero `X_{ewdv}` entry, grouped by the
+//! `(w, d, v)` triple it supports. Groups are sorted by
+//! `(source, item, value)`, so all groups of one source are contiguous; a
+//! secondary index lists the groups of each data item. This columnar layout
+//! lets every inference stage stream the data it needs without hashing:
+//!
+//! * extraction-correctness (per-triple) — iterate [`ObservationCube::groups`],
+//! * value inference (per-item) — iterate [`ObservationCube::groups_of_item`],
+//! * source accuracy (per-source) — iterate [`ObservationCube::source_groups`],
+//! * extractor quality — stream all cells once, accumulating per extractor.
+//!
+//! Absence votes (Eq. 13) need to know which extractors *could have*
+//! extracted a triple but did not. At web scale not every extractor visits
+//! every page, so the cube records, per source, the set of extractors that
+//! extracted anything from it ([`ObservationCube::extractors_on_source`]);
+//! the vote counter treats exactly those as the candidate set. This matches
+//! the arithmetic of the paper's Example 3.1, where all five extractors are
+//! active on every page of the example.
+
+use std::ops::Range;
+
+use crate::ids::{ExtractorId, ItemId, SourceId, ValueId};
+use crate::triple::Observation;
+
+/// One extraction supporting a triple group: which extractor, with what
+/// confidence `p(X_ewdv = 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The extractor that produced the extraction.
+    pub extractor: ExtractorId,
+    /// Soft-evidence confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// All extractions of one `(w, d, v)` triple — a row `X_wdv` of the cube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripleGroup {
+    /// The web source.
+    pub source: SourceId,
+    /// The data item.
+    pub item: ItemId,
+    /// The value.
+    pub value: ValueId,
+    cells: Range<u32>,
+}
+
+impl TripleGroup {
+    /// Range of this group's cells inside [`ObservationCube::cells`].
+    pub fn cell_range(&self) -> Range<usize> {
+        self.cells.start as usize..self.cells.end as usize
+    }
+}
+
+/// Immutable, index-accelerated storage for the observation matrix `X`.
+#[derive(Debug, Clone)]
+pub struct ObservationCube {
+    cells: Vec<Cell>,
+    groups: Vec<TripleGroup>,
+    /// Per source: contiguous range in `groups`.
+    source_group_ranges: Vec<Range<u32>>,
+    /// Group indices ordered by item; `item_offsets[d]..item_offsets[d+1]`.
+    item_groups: Vec<u32>,
+    item_offsets: Vec<u32>,
+    /// Per source: sorted distinct extractors active on it.
+    source_extractors: Vec<Vec<ExtractorId>>,
+    num_extractors: u32,
+    num_values: u32,
+}
+
+impl ObservationCube {
+    /// Total number of nonzero cube cells (extractions).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of distinct `(w, d, v)` triples with at least one extraction.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of sources (dense id space, including sources with no data).
+    pub fn num_sources(&self) -> usize {
+        self.source_group_ranges.len()
+    }
+
+    /// Number of extractors in the dense id space.
+    pub fn num_extractors(&self) -> usize {
+        self.num_extractors as usize
+    }
+
+    /// Number of data items in the dense id space.
+    pub fn num_items(&self) -> usize {
+        self.item_offsets.len().saturating_sub(1)
+    }
+
+    /// Number of values in the dense id space.
+    pub fn num_values(&self) -> usize {
+        self.num_values as usize
+    }
+
+    /// All triple groups, sorted by `(source, item, value)`.
+    pub fn groups(&self) -> &[TripleGroup] {
+        &self.groups
+    }
+
+    /// The cells of group `g`.
+    pub fn cells_of(&self, g: &TripleGroup) -> &[Cell] {
+        &self.cells[g.cell_range()]
+    }
+
+    /// Indices (into [`Self::groups`]) of the groups about data item `d`.
+    pub fn groups_of_item(&self, d: ItemId) -> impl Iterator<Item = usize> + '_ {
+        let lo = self.item_offsets[d.index()] as usize;
+        let hi = self.item_offsets[d.index() + 1] as usize;
+        self.item_groups[lo..hi].iter().map(|&g| g as usize)
+    }
+
+    /// The contiguous range of group indices belonging to source `w`.
+    pub fn source_groups(&self, w: SourceId) -> Range<usize> {
+        let r = &self.source_group_ranges[w.index()];
+        r.start as usize..r.end as usize
+    }
+
+    /// Sorted distinct extractors that extracted anything from source `w` —
+    /// the candidate set used for absence votes.
+    pub fn extractors_on_source(&self, w: SourceId) -> &[ExtractorId] {
+        &self.source_extractors[w.index()]
+    }
+
+    /// Distinct values observed (by any source) for item `d`, sorted.
+    pub fn observed_values_of_item(&self, d: ItemId) -> Vec<ValueId> {
+        let mut vs: Vec<ValueId> = self.groups_of_item(d).map(|g| self.groups[g].value).collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// Number of triples (groups) attributed to source `w`.
+    pub fn source_size(&self, w: SourceId) -> usize {
+        self.source_groups(w).len()
+    }
+
+    /// Iterate `(group index, group, cells)` for all groups.
+    pub fn iter_with_cells(
+        &self,
+    ) -> impl Iterator<Item = (usize, &TripleGroup, &[Cell])> + '_ {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(move |(i, g)| (i, g, self.cells_of(g)))
+    }
+
+    /// Build the per-extractor cell index: for each extractor, the
+    /// `(group index, cell index)` pairs of its extractions, in group
+    /// order. Used by the per-extractor parallel M-step (the Map-Reduce
+    /// sharding of Section 3.4.2 keys extractor-quality computation by
+    /// extractor, which is why oversized extractors become stragglers —
+    /// Table 7).
+    pub fn build_extractor_index(&self) -> Vec<Vec<(u32, u32)>> {
+        let mut index: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.num_extractors()];
+        for (g, grp) in self.groups.iter().enumerate() {
+            let range = grp.cell_range();
+            for (ci, cell) in self.cells[range.clone()].iter().enumerate() {
+                index[cell.extractor.index()].push((g as u32, (range.start + ci) as u32));
+            }
+        }
+        index
+    }
+
+    /// The cell at a raw cell index (for use with
+    /// [`Self::build_extractor_index`]).
+    pub fn cell(&self, idx: u32) -> &Cell {
+        &self.cells[idx as usize]
+    }
+}
+
+/// Accumulates raw [`Observation`]s and freezes them into an
+/// [`ObservationCube`].
+///
+/// Duplicate `(e, w, d, v)` entries are merged keeping the maximum
+/// confidence (an extractor may fire the same pattern twice on one page).
+#[derive(Debug, Default)]
+pub struct CubeBuilder {
+    obs: Vec<Observation>,
+    num_sources: u32,
+    num_extractors: u32,
+    num_items: u32,
+    num_values: u32,
+}
+
+impl CubeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered observations (before dedup).
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// True when no observation has been added.
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    /// Pre-allocate for `n` observations.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            obs: Vec::with_capacity(n),
+            ..Self::default()
+        }
+    }
+
+    /// Add one observation. Confidence is clamped to `[0, 1]`.
+    pub fn push(&mut self, mut o: Observation) -> &mut Self {
+        o.confidence = o.confidence.clamp(0.0, 1.0);
+        self.num_sources = self.num_sources.max(o.source.0 + 1);
+        self.num_extractors = self.num_extractors.max(o.extractor.0 + 1);
+        self.num_items = self.num_items.max(o.item.0 + 1);
+        self.num_values = self.num_values.max(o.value.0 + 1);
+        self.obs.push(o);
+        self
+    }
+
+    /// Declare the dense id-space sizes explicitly (useful when some ids
+    /// carry no observations but parameters must still exist for them).
+    pub fn reserve_ids(
+        &mut self,
+        sources: u32,
+        extractors: u32,
+        items: u32,
+        values: u32,
+    ) -> &mut Self {
+        self.num_sources = self.num_sources.max(sources);
+        self.num_extractors = self.num_extractors.max(extractors);
+        self.num_items = self.num_items.max(items);
+        self.num_values = self.num_values.max(values);
+        self
+    }
+
+    /// Sort, dedup, group, and index the observations.
+    pub fn build(mut self) -> ObservationCube {
+        self.obs.sort_unstable_by_key(|o| {
+            (o.source, o.item, o.value, o.extractor)
+        });
+        // Merge duplicates keeping max confidence.
+        let mut cells: Vec<Cell> = Vec::with_capacity(self.obs.len());
+        let mut groups: Vec<TripleGroup> = Vec::new();
+        let mut i = 0;
+        while i < self.obs.len() {
+            let head = self.obs[i];
+            let group_start = cells.len() as u32;
+            let mut j = i;
+            while j < self.obs.len() {
+                let o = self.obs[j];
+                if (o.source, o.item, o.value) != (head.source, head.item, head.value) {
+                    break;
+                }
+                // Within the group, runs of the same extractor merge.
+                let mut conf = o.confidence;
+                let mut k = j + 1;
+                while k < self.obs.len() {
+                    let p = self.obs[k];
+                    if (p.source, p.item, p.value, p.extractor)
+                        != (o.source, o.item, o.value, o.extractor)
+                    {
+                        break;
+                    }
+                    conf = conf.max(p.confidence);
+                    k += 1;
+                }
+                cells.push(Cell {
+                    extractor: o.extractor,
+                    confidence: conf,
+                });
+                j = k;
+            }
+            groups.push(TripleGroup {
+                source: head.source,
+                item: head.item,
+                value: head.value,
+                cells: group_start..cells.len() as u32,
+            });
+            i = j;
+        }
+        drop(self.obs);
+
+        // Source ranges over the (source-sorted) group list.
+        let ns = self.num_sources as usize;
+        let mut source_group_ranges = vec![0u32..0u32; ns];
+        let mut source_extractors: Vec<Vec<ExtractorId>> = vec![Vec::new(); ns];
+        let mut g = 0;
+        while g < groups.len() {
+            let w = groups[g].source;
+            let start = g as u32;
+            let mut ext: Vec<ExtractorId> = Vec::new();
+            while g < groups.len() && groups[g].source == w {
+                for c in &cells[groups[g].cell_range()] {
+                    ext.push(c.extractor);
+                }
+                g += 1;
+            }
+            ext.sort_unstable();
+            ext.dedup();
+            source_group_ranges[w.index()] = start..g as u32;
+            source_extractors[w.index()] = ext;
+        }
+
+        // Item index: counting sort of group indices by item.
+        let ni = self.num_items as usize;
+        let mut item_offsets = vec![0u32; ni + 1];
+        for grp in &groups {
+            item_offsets[grp.item.index() + 1] += 1;
+        }
+        for k in 0..ni {
+            item_offsets[k + 1] += item_offsets[k];
+        }
+        let mut cursor = item_offsets.clone();
+        let mut item_groups = vec![0u32; groups.len()];
+        for (gi, grp) in groups.iter().enumerate() {
+            let slot = &mut cursor[grp.item.index()];
+            item_groups[*slot as usize] = gi as u32;
+            *slot += 1;
+        }
+
+        ObservationCube {
+            cells,
+            groups,
+            source_group_ranges,
+            item_groups,
+            item_offsets,
+            source_extractors,
+            num_extractors: self.num_extractors,
+            num_values: self.num_values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(e: u32, w: u32, d: u32, v: u32, c: f64) -> Observation {
+        Observation {
+            extractor: ExtractorId::new(e),
+            source: SourceId::new(w),
+            item: ItemId::new(d),
+            value: ValueId::new(v),
+            confidence: c,
+        }
+    }
+
+    #[test]
+    fn build_groups_by_triple() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0, 1.0));
+        b.push(obs(1, 0, 0, 0, 1.0));
+        b.push(obs(0, 0, 0, 1, 1.0));
+        b.push(obs(0, 1, 0, 0, 1.0));
+        let cube = b.build();
+        assert_eq!(cube.num_groups(), 3);
+        assert_eq!(cube.num_cells(), 4);
+        let g0 = &cube.groups()[0];
+        assert_eq!((g0.source.0, g0.item.0, g0.value.0), (0, 0, 0));
+        assert_eq!(cube.cells_of(g0).len(), 2);
+    }
+
+    #[test]
+    fn duplicates_merge_keeping_max_confidence() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0, 0.3));
+        b.push(obs(0, 0, 0, 0, 0.9));
+        b.push(obs(0, 0, 0, 0, 0.5));
+        let cube = b.build();
+        assert_eq!(cube.num_cells(), 1);
+        assert_eq!(cube.cells_of(&cube.groups()[0])[0].confidence, 0.9);
+    }
+
+    #[test]
+    fn source_ranges_are_contiguous_and_complete() {
+        let mut b = CubeBuilder::new();
+        for w in 0..3u32 {
+            for d in 0..4u32 {
+                b.push(obs(0, w, d, d, 1.0));
+            }
+        }
+        let cube = b.build();
+        for w in 0..3u32 {
+            let r = cube.source_groups(SourceId::new(w));
+            assert_eq!(r.len(), 4);
+            for g in r {
+                assert_eq!(cube.groups()[g].source, SourceId::new(w));
+            }
+        }
+    }
+
+    #[test]
+    fn item_index_finds_all_groups_of_item() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 7, 1, 1.0));
+        b.push(obs(0, 1, 7, 2, 1.0));
+        b.push(obs(0, 2, 3, 1, 1.0));
+        let cube = b.build();
+        let gs: Vec<usize> = cube.groups_of_item(ItemId::new(7)).collect();
+        assert_eq!(gs.len(), 2);
+        for g in gs {
+            assert_eq!(cube.groups()[g].item, ItemId::new(7));
+        }
+        assert_eq!(cube.groups_of_item(ItemId::new(3)).count(), 1);
+    }
+
+    #[test]
+    fn source_extractor_candidate_sets() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(2, 0, 0, 0, 1.0));
+        b.push(obs(0, 0, 1, 0, 1.0));
+        b.push(obs(1, 1, 0, 0, 1.0));
+        let cube = b.build();
+        assert_eq!(
+            cube.extractors_on_source(SourceId::new(0)),
+            &[ExtractorId::new(0), ExtractorId::new(2)]
+        );
+        assert_eq!(
+            cube.extractors_on_source(SourceId::new(1)),
+            &[ExtractorId::new(1)]
+        );
+    }
+
+    #[test]
+    fn observed_values_are_sorted_distinct() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 5, 1.0));
+        b.push(obs(0, 1, 0, 2, 1.0));
+        b.push(obs(1, 2, 0, 5, 1.0));
+        let cube = b.build();
+        assert_eq!(
+            cube.observed_values_of_item(ItemId::new(0)),
+            vec![ValueId::new(2), ValueId::new(5)]
+        );
+    }
+
+    #[test]
+    fn reserve_ids_extends_dense_spaces() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0, 1.0));
+        b.reserve_ids(10, 5, 7, 9);
+        let cube = b.build();
+        assert_eq!(cube.num_sources(), 10);
+        assert_eq!(cube.num_extractors(), 5);
+        assert_eq!(cube.num_items(), 7);
+        assert_eq!(cube.num_values(), 9);
+        assert_eq!(cube.source_size(SourceId::new(9)), 0);
+    }
+
+    #[test]
+    fn confidence_is_clamped() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0, 1.7));
+        b.push(obs(0, 0, 0, 1, -0.2));
+        let cube = b.build();
+        let confs: Vec<f64> = cube
+            .iter_with_cells()
+            .flat_map(|(_, _, cs)| cs.iter().map(|c| c.confidence))
+            .collect();
+        assert_eq!(confs, vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,163 @@
+//! String interning for entity, predicate, URL, and value names.
+//!
+//! The inference layers work purely on dense `u32` ids; the interner is the
+//! boundary where external names (Freebase mids, URLs, literal strings) are
+//! mapped to ids once at load time. Lookup is hash-based; resolution is an
+//! array index into a single arena of bytes, so a populated interner costs
+//! one allocation per ~64 KiB of names rather than one per name.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A monotonically growing map from strings to dense `u32` symbols.
+///
+/// ```
+/// use kbt_datamodel::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("wiki.com/page1");
+/// let b = i.intern("wiki.com/page2");
+/// assert_ne!(a, b);
+/// assert_eq!(i.intern("wiki.com/page1"), a);
+/// assert_eq!(i.resolve(a), "wiki.com/page1");
+/// ```
+#[derive(Default)]
+pub struct Interner {
+    map: HashMap<Box<str>, u32>,
+    // (offset, len) into `arena` chunks flattened logically; we keep spans
+    // pointing into chunk index + range.
+    spans: Vec<(u32, u32, u32)>, // (chunk, start, end)
+    chunks: Vec<String>,
+}
+
+const CHUNK_SIZE: usize = 64 * 1024;
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Intern `s`, returning its stable symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let needs_new_chunk = match self.chunks.last() {
+            Some(c) => c.len() + s.len() > c.capacity(),
+            None => true,
+        };
+        if needs_new_chunk {
+            self.chunks
+                .push(String::with_capacity(CHUNK_SIZE.max(s.len())));
+        }
+        let chunk_idx = (self.chunks.len() - 1) as u32;
+        let chunk = self.chunks.last_mut().expect("chunk just pushed");
+        let start = chunk.len() as u32;
+        chunk.push_str(s);
+        let end = chunk.len() as u32;
+        let sym = self.spans.len() as u32;
+        self.spans.push((chunk_idx, start, end));
+        self.map.insert(Box::from(s), sym);
+        sym
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: u32) -> &str {
+        let (chunk, start, end) = self.spans[sym as usize];
+        &self.chunks[chunk as usize][start as usize..end as usize]
+    }
+
+    /// Look up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// The set of interners for one corpus: one per cube axis.
+///
+/// Keeping the axes separate keeps each symbol space dense, which the
+/// inference code relies on for direct-indexed parameter vectors.
+#[derive(Default, Debug)]
+pub struct SymbolTable {
+    /// Source names (URLs or 〈website, predicate, webpage〉 keys).
+    pub sources: Interner,
+    /// Extractor names (or provenance-vector keys).
+    pub extractors: Interner,
+    /// Data-item names, conventionally `"subject|predicate"`.
+    pub items: Interner,
+    /// Value names.
+    pub values: Interner,
+}
+
+impl SymbolTable {
+    /// Create an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let syms: Vec<u32> = (0..100).map(|k| i.intern(&format!("s{k}"))).collect();
+        assert_eq!(syms, (0..100).collect::<Vec<u32>>());
+        for (k, &sym) in syms.iter().enumerate() {
+            assert_eq!(i.intern(&format!("s{k}")), sym);
+            assert_eq!(i.resolve(sym), format!("s{k}"));
+        }
+        assert_eq!(i.len(), 100);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn long_strings_exceeding_chunk_size_survive() {
+        let mut i = Interner::new();
+        let long = "a".repeat(200_000);
+        let a = i.intern(&long);
+        let b = i.intern("short");
+        assert_eq!(i.resolve(a), long);
+        assert_eq!(i.resolve(b), "short");
+    }
+
+    #[test]
+    fn symbol_table_axes_are_independent() {
+        let mut t = SymbolTable::new();
+        let w = t.sources.intern("wiki.com");
+        let e = t.extractors.intern("wiki.com");
+        assert_eq!(w, 0);
+        assert_eq!(e, 0); // same string, different axis, both dense from 0
+    }
+}

@@ -1,0 +1,118 @@
+//! Triples, data items, and raw observations.
+//!
+//! The paper represents a (subject, predicate, object) knowledge triple as a
+//! (data item, value) pair where the data item is (subject, predicate)
+//! (Section 2.1). An [`Observation`] is one cell of the observation matrix
+//! `X_{ewdv}`: extractor `e` extracted value `v` for item `d` on source `w`,
+//! with a confidence in `[0, 1]` (Section 3.5 treats confidences as soft
+//! evidence `p(X_ewdv = 1)`).
+
+use crate::ids::{ExtractorId, ItemId, SourceId, ValueId};
+
+/// A data item `d = (subject, predicate)` in symbolic form, before interning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DataItem {
+    /// Entity identifier (e.g. a Freebase mid).
+    pub subject: String,
+    /// Predicate name (e.g. `nationality`).
+    pub predicate: String,
+}
+
+impl DataItem {
+    /// Construct a data item from its two components.
+    pub fn new(subject: impl Into<String>, predicate: impl Into<String>) -> Self {
+        Self {
+            subject: subject.into(),
+            predicate: predicate.into(),
+        }
+    }
+
+    /// Canonical interning key, `"subject|predicate"`.
+    pub fn key(&self) -> String {
+        format!("{}|{}", self.subject, self.predicate)
+    }
+}
+
+/// A fully-resolved knowledge triple `(d, v)` attributed to a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// The source that (putatively) provides the triple.
+    pub source: SourceId,
+    /// The data item.
+    pub item: ItemId,
+    /// The value.
+    pub value: ValueId,
+}
+
+/// One cell of the observation matrix `X_{ewdv}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// The extractor that produced this extraction.
+    pub extractor: ExtractorId,
+    /// The web source the extraction came from.
+    pub source: SourceId,
+    /// The data item.
+    pub item: ItemId,
+    /// The extracted value.
+    pub value: ValueId,
+    /// Extraction confidence `p(X_ewdv = 1) ∈ [0, 1]`. Extractors that do
+    /// not report confidence use `1.0` (Section 5.1.2).
+    pub confidence: f64,
+}
+
+impl Observation {
+    /// A full-confidence observation.
+    pub fn certain(
+        extractor: ExtractorId,
+        source: SourceId,
+        item: ItemId,
+        value: ValueId,
+    ) -> Self {
+        Self {
+            extractor,
+            source,
+            item,
+            value,
+            confidence: 1.0,
+        }
+    }
+
+    /// The `(source, item, value)` triple this observation supports.
+    pub fn triple(&self) -> Triple {
+        Triple {
+            source: self.source,
+            item: self.item,
+            value: self.value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_item_key_is_stable() {
+        let d = DataItem::new("BarackObama", "nationality");
+        assert_eq!(d.key(), "BarackObama|nationality");
+    }
+
+    #[test]
+    fn certain_observation_has_unit_confidence() {
+        let o = Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(1),
+            ItemId::new(2),
+            ValueId::new(3),
+        );
+        assert_eq!(o.confidence, 1.0);
+        assert_eq!(
+            o.triple(),
+            Triple {
+                source: SourceId::new(1),
+                item: ItemId::new(2),
+                value: ValueId::new(3)
+            }
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Extractor quality profiles.
+
+/// How an extractor reports confidence scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfidenceModel {
+    /// Always reports confidence 1.0 (binary extractors).
+    Binary,
+    /// Confidence correlates with actual correctness: correct extractions
+    /// score around `hi`, incorrect around `lo`, with uniform noise of
+    /// half-width `noise`.
+    Calibrated {
+        /// Center score for correct extractions.
+        hi: f64,
+        /// Center score for incorrect extractions.
+        lo: f64,
+        /// Uniform noise half-width.
+        noise: f64,
+    },
+    /// Confidence is uniform noise, carrying no signal (the "bad at
+    /// predicting confidence" extractors of Section 5.3.3).
+    Miscalibrated,
+}
+
+/// Quality profile of one extraction system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractorProfile {
+    /// Display name.
+    pub name: String,
+    /// δ: probability of processing a given source at all.
+    pub visit_prob: f64,
+    /// `R`: probability of extracting a provided triple when visiting.
+    pub recall: f64,
+    /// `P`: per-slot accuracy; triple precision ≈ `P³`.
+    pub slot_accuracy: f64,
+    /// Expected number of hallucinated (unprovided) triples per visited
+    /// source.
+    pub spurious_rate: f64,
+    /// Confidence reporting behaviour.
+    pub confidence: ConfidenceModel,
+    /// Number of extraction patterns this system owns (provenance ids at
+    /// the finest extractor granularity; pattern usage is skewed).
+    pub num_patterns: u32,
+    /// Probability that a corrupted or hallucinated object takes the
+    /// pattern's *systematic* wrong value for the predicate instead of a
+    /// uniform one. Real extraction errors are systematic — the same
+    /// pattern extracts the same wrong value from many pages (the paper's
+    /// motivating example: E4/E5 extracting "Kenya" everywhere). This is
+    /// what makes the single-layer model count one bad extractor as many
+    /// independent sources (Section 2.3).
+    pub systematic_bias: f64,
+}
+
+impl ExtractorProfile {
+    /// A uniform profile matching the synthetic setup of Section 5.2.1:
+    /// δ = 0.5, R = 0.5, P = 0.8, binary confidence, no hallucinations
+    /// beyond slot corruption.
+    pub fn paper_synthetic(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            visit_prob: 0.5,
+            recall: 0.5,
+            slot_accuracy: 0.8,
+            spurious_rate: 0.0,
+            confidence: ConfidenceModel::Binary,
+            num_patterns: 1,
+            systematic_bias: 0.0,
+        }
+    }
+
+    /// The 16-extractor suite used for the KV-scale corpus: a spread of
+    /// archetypes from near-perfect curated extractors to noisy open-IE
+    /// systems, mirroring the quality spread of Tables 2–3.
+    pub fn kv_suite() -> Vec<ExtractorProfile> {
+        let mut v = Vec::with_capacity(16);
+        // Four high-precision, high-recall systems (the E1 archetype).
+        for i in 0..4 {
+            v.push(ExtractorProfile {
+                name: format!("curated-{i}"),
+                visit_prob: 0.9,
+                recall: 0.85,
+                slot_accuracy: 0.99,
+                spurious_rate: 0.02,
+                confidence: ConfidenceModel::Calibrated {
+                    hi: 0.9,
+                    lo: 0.3,
+                    noise: 0.05,
+                },
+                num_patterns: 40,
+                systematic_bias: 0.2,
+            });
+        }
+        // Four precise but low-recall systems (E2).
+        for i in 0..4 {
+            v.push(ExtractorProfile {
+                name: format!("precise-{i}"),
+                visit_prob: 0.6,
+                recall: 0.4,
+                slot_accuracy: 0.98,
+                spurious_rate: 0.01,
+                confidence: ConfidenceModel::Calibrated {
+                    hi: 0.95,
+                    lo: 0.4,
+                    noise: 0.05,
+                },
+                num_patterns: 25,
+                systematic_bias: 0.2,
+            });
+        }
+        // Four high-recall, trigger-happy systems (E3).
+        for i in 0..4 {
+            v.push(ExtractorProfile {
+                name: format!("eager-{i}"),
+                visit_prob: 0.8,
+                recall: 0.9,
+                slot_accuracy: 0.85,
+                spurious_rate: 0.3,
+                confidence: ConfidenceModel::Calibrated {
+                    hi: 0.8,
+                    lo: 0.5,
+                    noise: 0.15,
+                },
+                num_patterns: 120,
+                systematic_bias: 0.6,
+            });
+        }
+        // Four low-quality open-IE systems (E4/E5).
+        for i in 0..4 {
+            v.push(ExtractorProfile {
+                name: format!("openie-{i}"),
+                visit_prob: 0.8,
+                recall: 0.5,
+                slot_accuracy: 0.6,
+                spurious_rate: 1.0,
+                confidence: ConfidenceModel::Miscalibrated,
+                num_patterns: 300,
+                systematic_bias: 0.7,
+            });
+        }
+        v
+    }
+
+    /// Triple-level precision implied by the per-slot accuracy.
+    pub fn triple_precision(&self) -> f64 {
+        self.slot_accuracy.powi(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_section_5_2_1() {
+        let p = ExtractorProfile::paper_synthetic("E1");
+        assert_eq!(p.visit_prob, 0.5);
+        assert_eq!(p.recall, 0.5);
+        assert_eq!(p.slot_accuracy, 0.8);
+        assert!((p.triple_precision() - 0.512).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kv_suite_has_sixteen_extractors_with_spread_quality() {
+        let suite = ExtractorProfile::kv_suite();
+        assert_eq!(suite.len(), 16);
+        let best = suite
+            .iter()
+            .map(|p| p.triple_precision())
+            .fold(0.0f64, f64::max);
+        let worst = suite
+            .iter()
+            .map(|p| p.triple_precision())
+            .fold(1.0f64, f64::min);
+        assert!(best > 0.95);
+        assert!(worst < 0.5);
+        let total_patterns: u32 = suite.iter().map(|p| p.num_patterns).sum();
+        assert!(total_patterns > 1000, "pattern-rich suite for Figure 5");
+    }
+}

@@ -1,0 +1,437 @@
+//! The extraction simulation itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kbt_datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+
+use crate::profile::{ConfidenceModel, ExtractorProfile};
+
+/// The id spaces extractions live in: items form a (subject, predicate)
+/// grid so slot corruption can move an extraction to a different item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct World {
+    /// Number of subjects.
+    pub num_subjects: u32,
+    /// Number of predicates.
+    pub num_predicates: u32,
+    /// Size of the global value space.
+    pub num_values: u32,
+}
+
+impl World {
+    /// Dense item id of `(subject, predicate)`.
+    pub fn item(&self, subject: u32, predicate: u32) -> ItemId {
+        debug_assert!(subject < self.num_subjects && predicate < self.num_predicates);
+        ItemId::new(subject * self.num_predicates + predicate)
+    }
+
+    /// Total number of items in the grid.
+    pub fn num_items(&self) -> u32 {
+        self.num_subjects * self.num_predicates
+    }
+
+    /// Inverse of [`World::item`].
+    pub fn subject_predicate(&self, item: ItemId) -> (u32, u32) {
+        (item.0 / self.num_predicates, item.0 % self.num_predicates)
+    }
+}
+
+/// One triple actually provided by a source (ground truth `C* = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provided {
+    /// The providing source.
+    pub source: SourceId,
+    /// Subject id.
+    pub subject: u32,
+    /// Predicate id.
+    pub predicate: u32,
+    /// Provided value.
+    pub value: ValueId,
+}
+
+/// How extractions are attributed on the extractor axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractorAxis {
+    /// One id per extraction system (the §5.2.1 synthetic setting).
+    Profile,
+    /// One id per (system, pattern) pair — the finest granularity of
+    /// Section 4, with Zipf-skewed pattern usage (Figure 5).
+    Pattern,
+}
+
+/// Output of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// All emitted extractions.
+    pub observations: Vec<Observation>,
+    /// For each observation: was it faithful (matches a provided triple of
+    /// its source)?
+    pub faithful: Vec<bool>,
+    /// Number of extractor-axis ids used (profiles or patterns).
+    pub num_extractor_ids: u32,
+    /// For pattern attribution: which profile each extractor id belongs
+    /// to (identity mapping under [`ExtractorAxis::Profile`]).
+    pub profile_of_extractor: Vec<u32>,
+}
+
+/// Zipf-ish rank sampler: picks rank `k` with probability ∝ 1/(k+1).
+fn zipf_rank(rng: &mut StdRng, n: u32) -> u32 {
+    if n <= 1 {
+        return 0;
+    }
+    // Inverse-CDF on the harmonic weights, cheap approximation via
+    // rejection on u^e shaping.
+    let h: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    let mut target = rng.gen::<f64>() * h;
+    for k in 1..=n {
+        target -= 1.0 / k as f64;
+        if target <= 0.0 {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
+/// Run the extraction pipeline over `provided` triples.
+///
+/// `provided` must be grouped by source (all triples of one source
+/// contiguous) for efficiency; the simulator visits each (extractor,
+/// source) pair once. Fully deterministic given `seed`.
+pub fn simulate(
+    world: &World,
+    provided: &[Provided],
+    profiles: &[ExtractorProfile],
+    axis: ExtractorAxis,
+    seed: u64,
+) -> SimOutput {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Pattern-id layout: patterns of profile p occupy a contiguous range.
+    let mut pattern_base = Vec::with_capacity(profiles.len());
+    let mut next = 0u32;
+    for p in profiles {
+        pattern_base.push(next);
+        next += match axis {
+            ExtractorAxis::Profile => 1,
+            ExtractorAxis::Pattern => p.num_patterns.max(1),
+        };
+    }
+    let num_extractor_ids = next;
+    let mut profile_of_extractor = vec![0u32; num_extractor_ids as usize];
+    for (pi, p) in profiles.iter().enumerate() {
+        let n = match axis {
+            ExtractorAxis::Profile => 1,
+            ExtractorAxis::Pattern => p.num_patterns.max(1),
+        };
+        for k in 0..n {
+            profile_of_extractor[(pattern_base[pi] + k) as usize] = pi as u32;
+        }
+    }
+
+    // Group provided triples by source (they are contiguous by contract;
+    // fall back to a scan that tolerates any order).
+    let mut by_source: Vec<(SourceId, std::ops::Range<usize>)> = Vec::new();
+    let mut i = 0;
+    while i < provided.len() {
+        let w = provided[i].source;
+        let start = i;
+        while i < provided.len() && provided[i].source == w {
+            i += 1;
+        }
+        by_source.push((w, start..i));
+    }
+
+    let mut observations = Vec::new();
+    let mut faithful = Vec::new();
+
+    for (pi, prof) in profiles.iter().enumerate() {
+        let patterns = match axis {
+            ExtractorAxis::Profile => 1,
+            ExtractorAxis::Pattern => prof.num_patterns.max(1),
+        };
+        for (w, range) in &by_source {
+            if rng.gen::<f64>() >= prof.visit_prob {
+                continue;
+            }
+            // True-positive channel (with slot corruption).
+            for t in &provided[range.clone()] {
+                if rng.gen::<f64>() >= prof.recall {
+                    continue;
+                }
+                let mut subject = t.subject;
+                let mut predicate = t.predicate;
+                let mut value = t.value;
+                if rng.gen::<f64>() >= prof.slot_accuracy {
+                    subject = resample(&mut rng, subject, world.num_subjects);
+                }
+                if rng.gen::<f64>() >= prof.slot_accuracy {
+                    predicate = resample(&mut rng, predicate, world.num_predicates);
+                }
+                if rng.gen::<f64>() >= prof.slot_accuracy {
+                    value = corrupt_value(&mut rng, prof, pi, world.item(subject, predicate).0, value, world);
+                }
+                let is_faithful =
+                    subject == t.subject && predicate == t.predicate && value == t.value;
+                let ext = ExtractorId::new(pattern_base[pi] + zipf_rank(&mut rng, patterns));
+                observations.push(Observation {
+                    extractor: ext,
+                    source: *w,
+                    item: world.item(subject, predicate),
+                    value,
+                    confidence: confidence(&mut rng, &prof.confidence, is_faithful),
+                });
+                faithful.push(is_faithful);
+            }
+            // Hallucination channel: Poisson-ish via repeated Bernoulli.
+            let mut expect = prof.spurious_rate;
+            while expect > 0.0 {
+                let p = expect.min(1.0);
+                expect -= 1.0;
+                if rng.gen::<f64>() >= p {
+                    continue;
+                }
+                let subject = rng.gen_range(0..world.num_subjects);
+                let predicate = rng.gen_range(0..world.num_predicates);
+                let uniform = ValueId::new(rng.gen_range(0..world.num_values));
+                let value = corrupt_value(&mut rng, prof, pi, world.item(subject, predicate).0, uniform, world);
+                let ext = ExtractorId::new(pattern_base[pi] + zipf_rank(&mut rng, patterns));
+                observations.push(Observation {
+                    extractor: ext,
+                    source: *w,
+                    item: world.item(subject, predicate),
+                    value,
+                    confidence: confidence(&mut rng, &prof.confidence, false),
+                });
+                faithful.push(false);
+            }
+        }
+    }
+
+    SimOutput {
+        observations,
+        faithful,
+        num_extractor_ids,
+        profile_of_extractor,
+    }
+}
+
+/// Draw a wrong object value: with probability `systematic_bias` the
+/// profile's stable favorite wrong value *for this data item* (a
+/// systematic extraction error repeats the same wrong triple on every
+/// page it fires on — the paper's E4/E5 extracting "Kenya" for Obama's
+/// nationality from page after page), otherwise uniform.
+fn corrupt_value(
+    rng: &mut StdRng,
+    prof: &ExtractorProfile,
+    profile_idx: usize,
+    item_key: u32,
+    current: ValueId,
+    world: &World,
+) -> ValueId {
+    if rng.gen::<f64>() < prof.systematic_bias {
+        let favorite = (profile_idx as u32)
+            .wrapping_mul(2654435761)
+            .wrapping_add(item_key.wrapping_mul(40503))
+            % world.num_values;
+        if favorite != current.0 {
+            return ValueId::new(favorite);
+        }
+    }
+    ValueId::new(resample(rng, current.0, world.num_values))
+}
+
+fn resample(rng: &mut StdRng, current: u32, bound: u32) -> u32 {
+    if bound <= 1 {
+        return current;
+    }
+    let mut x = rng.gen_range(0..bound - 1);
+    if x >= current {
+        x += 1;
+    }
+    x
+}
+
+fn confidence(rng: &mut StdRng, model: &ConfidenceModel, correct: bool) -> f64 {
+    match model {
+        ConfidenceModel::Binary => 1.0,
+        ConfidenceModel::Calibrated { hi, lo, noise } => {
+            let center = if correct { *hi } else { *lo };
+            (center + rng.gen_range(-noise..=*noise)).clamp(0.0, 1.0)
+        }
+        ConfidenceModel::Miscalibrated => rng.gen::<f64>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        World {
+            num_subjects: 20,
+            num_predicates: 5,
+            num_values: 11,
+        }
+    }
+
+    fn provided_grid(world: &World, sources: u32) -> Vec<Provided> {
+        let mut v = Vec::new();
+        for w in 0..sources {
+            for s in 0..world.num_subjects {
+                for p in 0..world.num_predicates {
+                    v.push(Provided {
+                        source: SourceId::new(w),
+                        subject: s,
+                        predicate: p,
+                        value: ValueId::new((s + p) % world.num_values),
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn world_item_round_trips() {
+        let w = small_world();
+        for s in 0..w.num_subjects {
+            for p in 0..w.num_predicates {
+                assert_eq!(w.subject_predicate(w.item(s, p)), (s, p));
+            }
+        }
+        assert_eq!(w.num_items(), 100);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let w = small_world();
+        let prov = provided_grid(&w, 5);
+        let profiles = vec![ExtractorProfile::paper_synthetic("E1")];
+        let a = simulate(&w, &prov, &profiles, ExtractorAxis::Profile, 7);
+        let b = simulate(&w, &prov, &profiles, ExtractorAxis::Profile, 7);
+        assert_eq!(a.observations, b.observations);
+        assert_eq!(a.faithful, b.faithful);
+    }
+
+    #[test]
+    fn recall_controls_extraction_volume() {
+        let w = small_world();
+        let prov = provided_grid(&w, 10);
+        let mut low = ExtractorProfile::paper_synthetic("low");
+        low.recall = 0.1;
+        low.visit_prob = 1.0;
+        let mut high = low.clone();
+        high.recall = 0.9;
+        let out_low = simulate(&w, &prov, &[low], ExtractorAxis::Profile, 3);
+        let out_high = simulate(&w, &prov, &[high], ExtractorAxis::Profile, 3);
+        assert!(out_high.observations.len() > 5 * out_low.observations.len());
+    }
+
+    #[test]
+    fn empirical_precision_tracks_slot_accuracy() {
+        let w = small_world();
+        let prov = provided_grid(&w, 50);
+        let mut p = ExtractorProfile::paper_synthetic("E");
+        p.visit_prob = 1.0;
+        p.recall = 1.0;
+        let out = simulate(&w, &prov, &[p.clone()], ExtractorAxis::Profile, 9);
+        let correct = out.faithful.iter().filter(|&&f| f).count();
+        let precision = correct as f64 / out.faithful.len() as f64;
+        assert!(
+            (precision - p.triple_precision()).abs() < 0.03,
+            "empirical {precision} vs P³ = {}",
+            p.triple_precision()
+        );
+    }
+
+    #[test]
+    fn perfect_extractor_is_fully_faithful() {
+        let w = small_world();
+        let prov = provided_grid(&w, 3);
+        let p = ExtractorProfile {
+            name: "perfect".into(),
+            visit_prob: 1.0,
+            recall: 1.0,
+            slot_accuracy: 1.0,
+            spurious_rate: 0.0,
+            confidence: ConfidenceModel::Binary,
+            num_patterns: 1,
+            systematic_bias: 0.0,
+        };
+        let out = simulate(&w, &prov, &[p], ExtractorAxis::Profile, 1);
+        assert_eq!(out.observations.len(), prov.len());
+        assert!(out.faithful.iter().all(|&f| f));
+        assert!(out.observations.iter().all(|o| o.confidence == 1.0));
+    }
+
+    #[test]
+    fn spurious_extractions_are_unfaithful() {
+        let w = small_world();
+        let prov = provided_grid(&w, 5);
+        let p = ExtractorProfile {
+            name: "hallucinator".into(),
+            visit_prob: 1.0,
+            recall: 0.0, // only the spurious channel fires
+            slot_accuracy: 1.0,
+            spurious_rate: 3.0,
+            confidence: ConfidenceModel::Binary,
+            num_patterns: 1,
+            systematic_bias: 0.0,
+        };
+        let out = simulate(&w, &prov, &[p], ExtractorAxis::Profile, 5);
+        assert!(!out.observations.is_empty());
+        assert!(out.faithful.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn pattern_axis_spreads_ids_with_zipf_skew() {
+        let w = small_world();
+        let prov = provided_grid(&w, 30);
+        let mut p = ExtractorProfile::paper_synthetic("pat");
+        p.visit_prob = 1.0;
+        p.recall = 1.0;
+        p.num_patterns = 10;
+        let out = simulate(&w, &prov, &[p], ExtractorAxis::Pattern, 11);
+        assert_eq!(out.num_extractor_ids, 10);
+        let mut counts = vec![0usize; 10];
+        for o in &out.observations {
+            counts[o.extractor.index()] += 1;
+        }
+        assert!(counts[0] > counts[9], "pattern usage must be skewed");
+        assert_eq!(out.profile_of_extractor, vec![0; 10]);
+    }
+
+    #[test]
+    fn calibrated_confidence_separates_correct_from_wrong() {
+        let w = small_world();
+        let prov = provided_grid(&w, 50);
+        let p = ExtractorProfile {
+            name: "cal".into(),
+            visit_prob: 1.0,
+            recall: 1.0,
+            slot_accuracy: 0.7,
+            spurious_rate: 0.0,
+            confidence: ConfidenceModel::Calibrated {
+                hi: 0.9,
+                lo: 0.2,
+                noise: 0.05,
+            },
+            num_patterns: 1,
+            systematic_bias: 0.0,
+        };
+        let out = simulate(&w, &prov, &[p], ExtractorAxis::Profile, 13);
+        let (mut sum_ok, mut n_ok, mut sum_bad, mut n_bad) = (0.0, 0, 0.0, 0);
+        for (o, &f) in out.observations.iter().zip(&out.faithful) {
+            if f {
+                sum_ok += o.confidence;
+                n_ok += 1;
+            } else {
+                sum_bad += o.confidence;
+                n_bad += 1;
+            }
+        }
+        assert!(sum_ok / (n_ok as f64) > 0.8);
+        assert!(sum_bad / (n_bad as f64) < 0.3);
+    }
+}

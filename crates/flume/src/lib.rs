@@ -1,0 +1,244 @@
+//! # kbt-flume
+//!
+//! A small FlumeJava-like parallel dataflow engine.
+//!
+//! The paper runs all inference in FlumeJava [6] on Map-Reduce (Section
+//! 3.2, Section 5.3.4). This crate reproduces the programming model
+//! in-process: sharded parallel map ([`par_map_slice`]), parallel
+//! do/filter/group-by-key/combine over [`PCollection`]s, and a phase
+//! stopwatch used by the Table 7 timing experiment.
+//!
+//! Everything is deterministic: shards are contiguous, results are
+//! concatenated in input order, and grouped keys are emitted in sorted
+//! order, so a parallel run produces bit-identical results to a serial
+//! run (the integration tests assert this).
+
+#![warn(missing_docs)]
+
+pub mod pcollection;
+pub mod stopwatch;
+
+pub use pcollection::{PCollection, PTable};
+pub use stopwatch::PhaseTimer;
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global override for the worker-thread count (0 = use hardware default).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads used by all `par_*` operations.
+///
+/// Defaults to the hardware parallelism; can be overridden (e.g. to 1 to
+/// measure serial baselines in the Table 7 experiment) with
+/// [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Override the worker-thread count for subsequent operations.
+/// `0` restores the hardware default.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Parallel map over a slice, preserving input order.
+///
+/// The slice is split into one contiguous shard per worker; each worker maps
+/// its shard and the shard outputs are concatenated in order, so the result
+/// equals `items.iter().map(f).collect()` exactly.
+pub fn par_map_slice<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut shards: Vec<Vec<U>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| scope.spawn(|_| shard.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("kbt-flume worker panicked"));
+        }
+    })
+    .expect("kbt-flume scope failed");
+    let mut out = Vec::with_capacity(items.len());
+    for s in shards {
+        out.extend(s);
+    }
+    out
+}
+
+/// Parallel indexed map: like [`par_map_slice`] but `f` also receives the
+/// global index of each element.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut shards: Vec<Vec<U>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, shard)| {
+                let base = ci * chunk;
+                let f = &f;
+                scope.spawn(move |_| {
+                    shard
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("kbt-flume worker panicked"));
+        }
+    })
+    .expect("kbt-flume scope failed");
+    let mut out = Vec::with_capacity(items.len());
+    for s in shards {
+        out.extend(s);
+    }
+    out
+}
+
+/// Parallel in-place update over mutable contiguous chunks.
+///
+/// `f` receives the starting global index of the chunk and the chunk itself.
+pub fn par_chunks_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        f(0, items);
+        return;
+    }
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (ci, shard) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| f(ci * chunk, shard));
+        }
+    })
+    .expect("kbt-flume scope failed");
+}
+
+/// Parallel fold-then-reduce: each worker folds its shard from
+/// `identity()`, then the per-shard accumulators are combined in shard
+/// order with `combine` (so non-commutative combines are still
+/// deterministic).
+pub fn par_fold<T, A, Id, F, C>(items: &[T], identity: Id, fold: F, combine: C) -> A
+where
+    T: Sync,
+    A: Send,
+    Id: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().fold(identity(), fold);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut shards: Vec<A> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| {
+                let identity = &identity;
+                let fold = &fold;
+                scope.spawn(move |_| shard.iter().fold(identity(), fold))
+            })
+            .collect();
+        for h in handles {
+            shards.push(h.join().expect("kbt-flume worker panicked"));
+        }
+    })
+    .expect("kbt-flume scope failed");
+    let mut it = shards.into_iter();
+    let first = it.next().unwrap_or_else(&identity);
+    it.fold(first, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let serial: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        assert_eq!(par_map_slice(&xs, |x| x * x), serial);
+    }
+
+    #[test]
+    fn par_map_indexed_sees_global_indices() {
+        let xs = vec![10u64; 5_000];
+        let out = par_map_indexed(&xs, |i, x| i as u64 + x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 10);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_updates_every_element() {
+        let mut xs: Vec<usize> = vec![0; 7_777];
+        par_chunks_mut(&mut xs, |base, shard| {
+            for (i, v) in shard.iter_mut().enumerate() {
+                *v = base + i;
+            }
+        });
+        for (i, v) in xs.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn par_fold_sums_deterministically() {
+        let xs: Vec<u64> = (1..=100_000).collect();
+        let sum = par_fold(&xs, || 0u64, |a, x| a + x, |a, b| a + b);
+        assert_eq!(sum, 100_000 * 100_001 / 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_slice(&empty, |x| x + 1).is_empty());
+        assert_eq!(par_map_slice(&[41u32], |x| x + 1), vec![42]);
+        assert_eq!(par_fold(&empty, || 7u32, |a, x| a + x, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn thread_override_is_respected_and_restorable() {
+        set_num_threads(1);
+        assert_eq!(num_threads(), 1);
+        let xs: Vec<u32> = (0..100).collect();
+        assert_eq!(par_map_slice(&xs, |x| x + 1).len(), 100);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

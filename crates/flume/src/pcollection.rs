@@ -1,0 +1,217 @@
+//! FlumeJava-style `PCollection` / `PTable` pipeline stages.
+//!
+//! These mirror the handful of FlumeJava primitives the paper's pipeline
+//! needs: `parallelDo`, `groupByKey`, and `combineValues`. Keys are grouped
+//! by hash-sharding across workers and emitted in sorted key order, so
+//! pipelines are deterministic regardless of thread count.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::{num_threads, par_map_slice};
+
+/// An immutable parallel collection (FlumeJava's `PCollection<T>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PCollection<T> {
+    items: Vec<T>,
+}
+
+impl<T> PCollection<T> {
+    /// Wrap a vector as a collection.
+    pub fn from_vec(items: Vec<T>) -> Self {
+        Self { items }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Unwrap into the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: Send + Sync> PCollection<T> {
+    /// FlumeJava `parallelDo`: apply `f` to every element in parallel.
+    pub fn par_do<U, F>(self, f: F) -> PCollection<U>
+    where
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        PCollection::from_vec(par_map_slice(&self.items, f))
+    }
+
+    /// `parallelDo` with 0..n outputs per element.
+    pub fn par_flat_do<U, F>(self, f: F) -> PCollection<U>
+    where
+        U: Send,
+        F: Fn(&T) -> Vec<U> + Sync,
+    {
+        let nested = par_map_slice(&self.items, f);
+        let mut out = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+        for v in nested {
+            out.extend(v);
+        }
+        PCollection::from_vec(out)
+    }
+
+    /// Keep only elements matching `pred` (parallel).
+    pub fn par_filter<F>(self, pred: F) -> PCollection<T>
+    where
+        T: Clone,
+        F: Fn(&T) -> bool + Sync,
+    {
+        let keep = par_map_slice(&self.items, &pred);
+        let items = self
+            .items
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(t, k)| k.then_some(t))
+            .collect();
+        PCollection::from_vec(items)
+    }
+}
+
+impl<K, V> PCollection<(K, V)>
+where
+    K: Ord + Hash + Send + Sync + Clone,
+    V: Send + Sync + Clone,
+{
+    /// FlumeJava `groupByKey`: shard by key hash, group within shards, and
+    /// emit groups in sorted key order.
+    pub fn group_by_key(self) -> PTable<K, V> {
+        let shards = num_threads().max(1);
+        // Partition pairs into hash shards (serial scatter, cheap), then
+        // group each shard in parallel.
+        let mut parts: Vec<Vec<(K, V)>> = (0..shards).map(|_| Vec::new()).collect();
+        for (k, v) in self.items {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            let shard = (h.finish() as usize) % shards;
+            parts[shard].push((k, v));
+        }
+        let grouped: Vec<Vec<(K, Vec<V>)>> = par_map_slice(&parts, |part| {
+            let mut m: HashMap<K, Vec<V>> = HashMap::new();
+            for (k, v) in part {
+                m.entry(k.clone()).or_default().push(v.clone());
+            }
+            let mut g: Vec<(K, Vec<V>)> = m.into_iter().collect();
+            g.sort_by(|a, b| a.0.cmp(&b.0));
+            g
+        });
+        let mut groups: Vec<(K, Vec<V>)> = grouped.into_iter().flatten().collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        PTable { groups }
+    }
+}
+
+/// A grouped table (FlumeJava's `PTable<K, Collection<V>>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PTable<K, V> {
+    groups: Vec<(K, Vec<V>)>,
+}
+
+impl<K, V> PTable<K, V> {
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no key is present.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Unwrap into `(key, values)` pairs in sorted key order.
+    pub fn into_groups(self) -> Vec<(K, Vec<V>)> {
+        self.groups
+    }
+}
+
+impl<K, V> PTable<K, V>
+where
+    K: Send + Sync + Clone,
+    V: Send + Sync,
+{
+    /// FlumeJava `combineValues`: reduce each key's values in parallel.
+    pub fn combine_values<U, F>(self, f: F) -> PCollection<(K, U)>
+    where
+        U: Send,
+        F: Fn(&K, &[V]) -> U + Sync,
+    {
+        let out = par_map_slice(&self.groups, |(k, vs)| (k.clone(), f(k, vs)));
+        PCollection::from_vec(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_do_preserves_order() {
+        let c = PCollection::from_vec((0..1000).collect::<Vec<i64>>());
+        let out = c.par_do(|x| x * 2).into_vec();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn flat_do_concatenates_in_order() {
+        let c = PCollection::from_vec(vec![1usize, 2, 3]);
+        let out = c.par_flat_do(|&n| vec![n; n]).into_vec();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn filter_keeps_matching_elements() {
+        let c = PCollection::from_vec((0..100).collect::<Vec<u32>>());
+        let out = c.par_filter(|x| x % 10 == 0).into_vec();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn group_by_key_groups_and_sorts() {
+        let pairs: Vec<(u32, u32)> = (0..1000).map(|i| (i % 7, i)).collect();
+        let t = PCollection::from_vec(pairs).group_by_key();
+        let groups = t.into_groups();
+        assert_eq!(groups.len(), 7);
+        let keys: Vec<u32> = groups.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 5, 6]);
+        let total: usize = groups.iter().map(|(_, vs)| vs.len()).sum();
+        assert_eq!(total, 1000);
+        for (k, vs) in &groups {
+            for v in vs {
+                assert_eq!(v % 7, *k);
+            }
+        }
+    }
+
+    #[test]
+    fn word_count_pipeline() {
+        let words = PCollection::from_vec(vec![
+            ("a", 1u32),
+            ("b", 1),
+            ("a", 1),
+            ("c", 1),
+            ("a", 1),
+            ("b", 1),
+        ]);
+        let counts = words
+            .group_by_key()
+            .combine_values(|_, vs| vs.iter().sum::<u32>())
+            .into_vec();
+        assert_eq!(counts, vec![("a", 3), ("b", 2), ("c", 1)]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Phase timing for the Table 7 running-time experiment.
+//!
+//! The paper reports *relative* running time per pipeline phase
+//! (preparation; then per-iteration: extraction correctness, triple
+//! probability, source accuracy, extractor quality). [`PhaseTimer`]
+//! accumulates wall-clock time per named phase across repeated runs and can
+//! normalize against a reference total, reproducing the structure of
+//! Table 7.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock durations by phase name.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, Duration, u64)>,
+}
+
+impl PhaseTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time `f`, charging its duration to `phase`.
+    pub fn time<R>(&mut self, phase: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(phase, t0.elapsed());
+        r
+    }
+
+    /// Charge an externally measured duration to `phase`.
+    pub fn add(&mut self, phase: &str, d: Duration) {
+        if let Some(entry) = self.phases.iter_mut().find(|(n, _, _)| n == phase) {
+            entry.1 += d;
+            entry.2 += 1;
+        } else {
+            self.phases.push((phase.to_string(), d, 1));
+        }
+    }
+
+    /// Total accumulated duration of `phase`, if recorded.
+    pub fn total(&self, phase: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _, _)| n == phase)
+            .map(|(_, d, _)| *d)
+    }
+
+    /// Mean duration per recorded occurrence of `phase`.
+    pub fn mean(&self, phase: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|(n, _, _)| n == phase)
+            .map(|(_, d, c)| *d / (*c as u32).max(1))
+    }
+
+    /// Sum of all phase totals.
+    pub fn grand_total(&self) -> Duration {
+        self.phases.iter().map(|(_, d, _)| *d).sum()
+    }
+
+    /// `(phase, total, count)` rows in first-recorded order.
+    pub fn rows(&self) -> &[(String, Duration, u64)] {
+        &self.phases
+    }
+
+    /// Phase totals normalized so that `reference` equals 1.0 — the unit
+    /// used by Table 7 ("one iteration of MULTILAYER takes 1 unit").
+    pub fn relative_to(&self, reference: Duration) -> Vec<(String, f64)> {
+        let r = reference.as_secs_f64().max(f64::MIN_POSITIVE);
+        self.phases
+            .iter()
+            .map(|(n, d, _)| (n.clone(), d.as_secs_f64() / r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_phase() {
+        let mut t = PhaseTimer::new();
+        t.add("prep", Duration::from_millis(10));
+        t.add("prep", Duration::from_millis(20));
+        t.add("iter", Duration::from_millis(5));
+        assert_eq!(t.total("prep"), Some(Duration::from_millis(30)));
+        assert_eq!(t.mean("prep"), Some(Duration::from_millis(15)));
+        assert_eq!(t.grand_total(), Duration::from_millis(35));
+        assert_eq!(t.total("missing"), None);
+    }
+
+    #[test]
+    fn time_charges_the_closure() {
+        let mut t = PhaseTimer::new();
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.total("work").is_some());
+    }
+
+    #[test]
+    fn relative_normalization() {
+        let mut t = PhaseTimer::new();
+        t.add("a", Duration::from_millis(100));
+        t.add("b", Duration::from_millis(50));
+        let rel = t.relative_to(Duration::from_millis(100));
+        assert_eq!(rel[0], ("a".to_string(), 1.0));
+        assert!((rel[1].1 - 0.5).abs() < 1e-9);
+    }
+}

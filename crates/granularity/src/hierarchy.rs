@@ -1,0 +1,152 @@
+//! Hierarchical keys for sources and extractors.
+//!
+//! A key is a short vector of feature ids ordered from most general to
+//! most specific: `〈wiki.com〉` is the parent of `〈wiki.com, date_of_birth〉`,
+//! which is the parent of `〈wiki.com, date_of_birth, page1〉` (Section 4).
+
+use std::fmt;
+
+/// A hierarchical key: up to four `u32` features, most general first.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HierKey {
+    features: [u32; 4],
+    depth: u8,
+}
+
+impl HierKey {
+    /// Maximum depth supported (matches the paper's 4-feature extractor
+    /// vectors).
+    pub const MAX_DEPTH: usize = 4;
+
+    /// Build a key from its features (1–4 of them).
+    pub fn new(features: &[u32]) -> Self {
+        assert!(
+            (1..=Self::MAX_DEPTH).contains(&features.len()),
+            "keys have 1..=4 features"
+        );
+        let mut f = [0u32; 4];
+        f[..features.len()].copy_from_slice(features);
+        Self {
+            features: f,
+            depth: features.len() as u8,
+        }
+    }
+
+    /// The key's features.
+    pub fn features(&self) -> &[u32] {
+        &self.features[..self.depth as usize]
+    }
+
+    /// Number of features.
+    pub fn depth(&self) -> usize {
+        self.depth as usize
+    }
+
+    /// The parent key (one fewer feature); `None` at the top of the
+    /// hierarchy (Algorithm 2's `⊥`).
+    pub fn parent(&self) -> Option<HierKey> {
+        if self.depth <= 1 {
+            return None;
+        }
+        // Zero the dropped feature so equal parents compare (and hash)
+        // equal regardless of which child produced them.
+        let mut features = self.features;
+        features[self.depth as usize - 1] = 0;
+        Some(Self {
+            features,
+            depth: self.depth - 1,
+        })
+    }
+
+    /// Whether `self` is an ancestor of (or equal to) `other`.
+    pub fn is_prefix_of(&self, other: &HierKey) -> bool {
+        self.depth <= other.depth
+            && self.features[..self.depth as usize] == other.features[..self.depth as usize]
+    }
+}
+
+impl fmt::Debug for HierKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, x) in self.features().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Convenience constructors for the paper's source hierarchy
+/// `〈website, predicate, webpage〉`.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceKey;
+
+impl SourceKey {
+    /// Finest granularity: `〈website, predicate, webpage〉`.
+    pub fn page(website: u32, predicate: u32, webpage: u32) -> HierKey {
+        HierKey::new(&[website, predicate, webpage])
+    }
+
+    /// `〈website, predicate〉`.
+    pub fn site_predicate(website: u32, predicate: u32) -> HierKey {
+        HierKey::new(&[website, predicate])
+    }
+
+    /// `〈website〉`.
+    pub fn site(website: u32) -> HierKey {
+        HierKey::new(&[website])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parents_walk_toward_the_website() {
+        let k = SourceKey::page(7, 3, 99);
+        let p1 = k.parent().unwrap();
+        assert_eq!(p1, SourceKey::site_predicate(7, 3));
+        let p2 = p1.parent().unwrap();
+        assert_eq!(p2, SourceKey::site(7));
+        assert_eq!(p2.parent(), None);
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let site = SourceKey::site(7);
+        let page = SourceKey::page(7, 3, 99);
+        assert!(site.is_prefix_of(&page));
+        assert!(page.is_prefix_of(&page));
+        assert!(!page.is_prefix_of(&site));
+        assert!(!SourceKey::site(8).is_prefix_of(&page));
+    }
+
+    #[test]
+    fn keys_order_lexicographically_by_feature() {
+        let mut v = vec![
+            SourceKey::page(1, 2, 3),
+            SourceKey::site(1),
+            SourceKey::site_predicate(1, 2),
+            SourceKey::site(0),
+        ];
+        v.sort();
+        assert_eq!(v[0], SourceKey::site(0));
+        // Same features, shallower key sorts first (depth tiebreak comes
+        // from the zero padding + depth field ordering).
+        assert!(v.iter().position(|k| *k == SourceKey::site(1)).unwrap() < 3);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", SourceKey::page(1, 2, 3)), "⟨1,2,3⟩");
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn empty_keys_are_rejected() {
+        let _ = HierKey::new(&[]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # kbt-granularity
+//!
+//! Dynamic granularity selection for sources and extractors (Section 4).
+//!
+//! Sources are described at multiple resolutions by a feature vector
+//! ordered from most general to most specific — for sources
+//! `〈website, predicate, webpage〉`, for extractors
+//! `〈extractor, pattern, predicate, website〉`. These vectors form a
+//! hierarchy: dropping the last feature yields the parent.
+//!
+//! [`split_and_merge`] implements Algorithm 2 (SPLITANDMERGE): sources
+//! larger than `M` are SPLIT uniformly into `⌈|W|/M⌉` buckets; sources
+//! smaller than `m` are replaced by their parent (MERGE), iterating until
+//! every working source has a size in `[m, M]` or sits at the top of the
+//! hierarchy. The output maps every original observation row to its
+//! working source, from which [`regroup_cube`] rebuilds an observation
+//! cube at the chosen granularity.
+
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod splitmerge;
+
+pub use hierarchy::{HierKey, SourceKey};
+pub use splitmerge::{regroup_cube, split_and_merge, SplitMergeConfig, WorkingSource};

@@ -1,0 +1,399 @@
+//! Algorithm 2: SPLITANDMERGE.
+//!
+//! Too-large sources are split uniformly into `⌈|W|/M⌉` buckets to remove
+//! computational bottlenecks; too-small sources are merged into their
+//! hierarchy parent to "borrow statistical strength" (Section 4). Merging
+//! may produce parents that are still too small (merge again, one level
+//! up) or now too large (split) — exactly the staged behaviour of
+//! Example 4.2, which the tests reproduce.
+
+use std::collections::BTreeMap;
+
+use kbt_datamodel::{CubeBuilder, Observation, ObservationCube, SourceId};
+
+use crate::hierarchy::HierKey;
+
+/// Size bounds for working sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMergeConfig {
+    /// Minimum desired size `m` (the paper defaults to 5).
+    pub min_size: usize,
+    /// Maximum desired size `M` (the paper defaults to 10 000).
+    pub max_size: usize,
+}
+
+impl Default for SplitMergeConfig {
+    fn default() -> Self {
+        Self {
+            min_size: 5,
+            max_size: 10_000,
+        }
+    }
+}
+
+/// One working source produced by SPLITANDMERGE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkingSource {
+    /// The hierarchy key this source represents.
+    pub key: HierKey,
+    /// Bucket number when the key was split (`None` for unsplit sources).
+    pub bucket: Option<u32>,
+    /// The original row ids grouped into this source.
+    pub rows: Vec<u32>,
+}
+
+/// Run SPLITANDMERGE over `(finest key, row ids)` groups.
+///
+/// Returns working sources in deterministic (key, bucket) order. Every
+/// input row appears in exactly one output source (the property tests
+/// assert conservation).
+pub fn split_and_merge(
+    finest: Vec<(HierKey, Vec<u32>)>,
+    cfg: &SplitMergeConfig,
+) -> Vec<WorkingSource> {
+    assert!(cfg.min_size <= cfg.max_size.max(1));
+    // Stage the worklist by depth so children always merge before their
+    // parent is examined.
+    let mut by_depth: Vec<BTreeMap<HierKey, Vec<u32>>> =
+        vec![BTreeMap::new(); HierKey::MAX_DEPTH + 1];
+    for (k, rows) in finest {
+        by_depth[k.depth()].entry(k).or_default().extend(rows);
+    }
+    let mut out: Vec<WorkingSource> = Vec::new();
+    for depth in (1..=HierKey::MAX_DEPTH).rev() {
+        let level = std::mem::take(&mut by_depth[depth]);
+        for (key, rows) in level {
+            if rows.len() > cfg.max_size {
+                out.extend(split(key, rows, cfg.max_size));
+            } else if rows.len() < cfg.min_size {
+                match key.parent() {
+                    Some(par) => by_depth[par.depth()].entry(par).or_default().extend(rows),
+                    // Top of the hierarchy: keep as-is (Algorithm 2 line 9).
+                    None => out.push(WorkingSource {
+                        key,
+                        bucket: None,
+                        rows,
+                    }),
+                }
+            } else {
+                out.push(WorkingSource {
+                    key,
+                    bucket: None,
+                    rows,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.key, a.bucket).cmp(&(&b.key, b.bucket)));
+    out
+}
+
+/// SPLIT: uniformly distribute rows into `⌈len/M⌉` buckets (round-robin,
+/// which is deterministic and yields sizes within one of each other).
+fn split(key: HierKey, rows: Vec<u32>, max_size: usize) -> Vec<WorkingSource> {
+    let k = rows.len().div_ceil(max_size.max(1));
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::with_capacity(rows.len() / k + 1); k];
+    for (i, r) in rows.into_iter().enumerate() {
+        buckets[i % k].push(r);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .map(|(b, rows)| WorkingSource {
+            key: key.clone(),
+            bucket: Some(b as u32),
+            rows,
+        })
+        .collect()
+}
+
+/// Group observation rows into distinct *triples* per finest source key.
+///
+/// SPLITANDMERGE operates on triples, not raw extraction events: all of a
+/// triple's extractions must stay in the same working source, otherwise
+/// splitting would scatter the cross-extractor agreement the correctness
+/// layer relies on. Returns `(key → triple ids, rows of each triple)`.
+/// `(key → triple ids, observation rows of each triple)`.
+pub type TripleGroups = (Vec<(HierKey, Vec<u32>)>, Vec<Vec<u32>>);
+
+/// Collect each finest source's distinct `(item, value)` triples and the
+/// observation rows that support them (SPLITANDMERGE must move whole
+/// triples so splitting cannot scatter cross-extractor agreement).
+pub fn group_rows_into_triples(
+    observations: &[Observation],
+    finest_key: impl Fn(usize) -> HierKey,
+) -> TripleGroups {
+    let mut triple_ids: BTreeMap<(HierKey, u32, u32), u32> = BTreeMap::new();
+    let mut triple_rows: Vec<Vec<u32>> = Vec::new();
+    let mut by_key: BTreeMap<HierKey, Vec<u32>> = BTreeMap::new();
+    for (i, o) in observations.iter().enumerate() {
+        let key = finest_key(i);
+        let tid = *triple_ids
+            .entry((key.clone(), o.item.0, o.value.0))
+            .or_insert_with(|| {
+                triple_rows.push(Vec::new());
+                by_key
+                    .entry(key.clone())
+                    .or_default()
+                    .push(triple_rows.len() as u32 - 1);
+                triple_rows.len() as u32 - 1
+            });
+        triple_rows[tid as usize].push(i as u32);
+    }
+    (by_key.into_iter().collect(), triple_rows)
+}
+
+/// Rebuild an observation cube with sources regrouped to the working
+/// granularity.
+///
+/// `finest_key` gives the finest-granularity source key of each
+/// observation row. Sizes are measured in distinct triples (as in the
+/// paper); all extractions of a triple move together. Returns the cube,
+/// the working sources (index = new `SourceId`; `rows` hold *triple*
+/// ids), and the new source id of every observation row.
+pub fn regroup_cube(
+    observations: &[Observation],
+    finest_key: impl Fn(usize) -> HierKey,
+    cfg: &SplitMergeConfig,
+) -> (ObservationCube, Vec<WorkingSource>, Vec<u32>) {
+    let (by_key, triple_rows) = group_rows_into_triples(observations, finest_key);
+    let sources = split_and_merge(by_key, cfg);
+    let mut row_source = vec![0u32; observations.len()];
+    for (sid, ws) in sources.iter().enumerate() {
+        for &t in &ws.rows {
+            for &r in &triple_rows[t as usize] {
+                row_source[r as usize] = sid as u32;
+            }
+        }
+    }
+    let mut builder = CubeBuilder::with_capacity(observations.len());
+    for (i, o) in observations.iter().enumerate() {
+        builder.push(Observation {
+            source: SourceId::new(row_source[i]),
+            ..*o
+        });
+    }
+    builder.reserve_ids(sources.len() as u32, 0, 0, 0);
+    (builder.build(), sources, row_source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::SourceKey;
+
+    fn rows(range: std::ops::Range<u32>) -> Vec<u32> {
+        range.collect()
+    }
+
+    #[test]
+    fn in_range_sources_pass_through() {
+        let cfg = SplitMergeConfig {
+            min_size: 2,
+            max_size: 10,
+        };
+        let out = split_and_merge(
+            vec![(SourceKey::page(0, 0, 0), rows(0..5))],
+            &cfg,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rows.len(), 5);
+        assert_eq!(out[0].bucket, None);
+    }
+
+    #[test]
+    fn oversized_sources_split_into_even_buckets() {
+        let cfg = SplitMergeConfig {
+            min_size: 2,
+            max_size: 10,
+        };
+        let out = split_and_merge(vec![(SourceKey::site(0), rows(0..25))], &cfg);
+        assert_eq!(out.len(), 3); // ⌈25/10⌉
+        let sizes: Vec<usize> = out.iter().map(|w| w.rows.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 25);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        for (i, w) in out.iter().enumerate() {
+            assert_eq!(w.bucket, Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn undersized_sources_merge_into_parent() {
+        // Example 4.1: three 〈site, predicate〉 sources of two triples each
+        // merge into one 〈site〉 source of six.
+        let cfg = SplitMergeConfig {
+            min_size: 5,
+            max_size: 500,
+        };
+        let out = split_and_merge(
+            vec![
+                (SourceKey::site_predicate(1, 0), rows(0..2)),
+                (SourceKey::site_predicate(1, 1), rows(2..4)),
+                (SourceKey::site_predicate(1, 2), rows(4..6)),
+            ],
+            &cfg,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, SourceKey::site(1));
+        assert_eq!(out[0].rows.len(), 6);
+    }
+
+    #[test]
+    fn example_4_2_merge_then_split() {
+        // 1000 sources 〈W, Pi, URLi〉 with one triple each; m=5, M=500.
+        // Stage 1 merges to 〈W, Pi〉, stage 2 merges to 〈W〉 (1000 triples),
+        // stage 3 splits into two sources of 500.
+        let cfg = SplitMergeConfig {
+            min_size: 5,
+            max_size: 500,
+        };
+        let finest: Vec<(HierKey, Vec<u32>)> = (0..1000u32)
+            .map(|i| (SourceKey::page(0, i, i), vec![i]))
+            .collect();
+        let out = split_and_merge(finest, &cfg);
+        assert_eq!(out.len(), 2, "Example 4.2 ends with 2 sources");
+        for w in &out {
+            assert_eq!(w.key, SourceKey::site(0));
+            assert_eq!(w.rows.len(), 500);
+            assert!(w.bucket.is_some());
+        }
+    }
+
+    #[test]
+    fn top_level_sources_too_small_are_kept() {
+        let cfg = SplitMergeConfig {
+            min_size: 5,
+            max_size: 500,
+        };
+        let out = split_and_merge(vec![(SourceKey::site(3), rows(0..2))], &cfg);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rows.len(), 2, "no parent to merge into");
+    }
+
+    #[test]
+    fn rows_are_conserved_exactly_once() {
+        let cfg = SplitMergeConfig {
+            min_size: 3,
+            max_size: 7,
+        };
+        let finest: Vec<(HierKey, Vec<u32>)> = vec![
+            (SourceKey::page(0, 0, 0), rows(0..2)),
+            (SourceKey::page(0, 0, 1), rows(2..4)),
+            (SourceKey::page(0, 1, 2), rows(4..30)),
+            (SourceKey::site(1), rows(30..31)),
+            (SourceKey::site_predicate(2, 0), rows(31..40)),
+        ];
+        let out = split_and_merge(finest, &cfg);
+        let mut all: Vec<u32> = out.iter().flat_map(|w| w.rows.iter().copied()).collect();
+        all.sort_unstable();
+        assert_eq!(all, rows(0..40));
+        for w in &out {
+            assert!(w.rows.len() <= 7 || w.key.parent().is_none());
+        }
+    }
+
+    #[test]
+    fn regroup_cube_remaps_sources() {
+        use kbt_datamodel::{ExtractorId, ItemId, ValueId};
+        // 10 one-triple pages of the same site merge into a single
+        // working source.
+        let obs: Vec<Observation> = (0..10u32)
+            .map(|i| Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(i),
+                ItemId::new(i),
+                ValueId::new(0),
+            ))
+            .collect();
+        let cfg = SplitMergeConfig {
+            min_size: 5,
+            max_size: 100,
+        };
+        let (cube, sources, row_source) =
+            regroup_cube(&obs, |i| SourceKey::page(0, 0, i as u32), &cfg);
+        assert_eq!(sources.len(), 1);
+        assert!(row_source.iter().all(|&s| s == 0));
+        assert_eq!(cube.num_sources(), 1);
+        assert_eq!(cube.source_size(SourceId::new(0)), 10);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::hierarchy::SourceKey;
+    use proptest::prelude::*;
+
+    fn finest_groups() -> impl Strategy<Value = Vec<(HierKey, Vec<u32>)>> {
+        // Random hierarchies: up to 40 finest sources with 0–40 rows each.
+        prop::collection::vec((0u32..5, 0u32..6, 0u32..20, 1usize..40), 1..40).prop_map(|specs| {
+            let mut next_row = 0u32;
+            let mut seen = std::collections::BTreeSet::new();
+            let mut out = Vec::new();
+            for (site, pred, page, n) in specs {
+                let key = SourceKey::page(site, pred, page);
+                if !seen.insert(key.clone()) {
+                    continue;
+                }
+                let rows: Vec<u32> = (next_row..next_row + n as u32).collect();
+                next_row += n as u32;
+                out.push((key, rows));
+            }
+            out
+        })
+    }
+
+    proptest! {
+        /// Every input row appears exactly once in the output, for any
+        /// hierarchy and any (m, M) bounds.
+        #[test]
+        fn rows_conserved(finest in finest_groups(),
+                          m in 0usize..20,
+                          extra in 1usize..100) {
+            let cfg = SplitMergeConfig { min_size: m, max_size: m + extra };
+            let mut expected: Vec<u32> = finest
+                .iter()
+                .flat_map(|(_, rows)| rows.iter().copied())
+                .collect();
+            expected.sort_unstable();
+            let out = split_and_merge(finest, &cfg);
+            let mut got: Vec<u32> = out
+                .iter()
+                .flat_map(|w| w.rows.iter().copied())
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Split buckets never exceed M; only unsplit top-level sources may.
+        #[test]
+        fn size_bounds_hold(finest in finest_groups(),
+                            m in 0usize..10,
+                            extra in 1usize..50) {
+            let cfg = SplitMergeConfig { min_size: m, max_size: m + extra };
+            for w in split_and_merge(finest, &cfg) {
+                if w.bucket.is_some() {
+                    prop_assert!(w.rows.len() <= cfg.max_size,
+                        "split bucket of {} rows exceeds M = {}",
+                        w.rows.len(), cfg.max_size);
+                }
+                prop_assert!(!w.rows.is_empty(), "no empty working sources");
+            }
+        }
+
+        /// Output keys are ancestors of (or equal to) some input key: the
+        /// algorithm never invents hierarchy nodes.
+        #[test]
+        fn keys_stay_in_hierarchy(finest in finest_groups(),
+                                  m in 0usize..10) {
+            let cfg = SplitMergeConfig { min_size: m, max_size: 1_000 };
+            let inputs: Vec<HierKey> = finest.iter().map(|(k, _)| k.clone()).collect();
+            for w in split_and_merge(finest, &cfg) {
+                prop_assert!(
+                    inputs.iter().any(|k| w.key.is_prefix_of(k)),
+                    "{:?} is not an ancestor of any input key", w.key
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # kbt-graph
+//!
+//! Web-graph substrate and PageRank — the *exogenous* quality signal the
+//! paper contrasts KBT with (Section 1, Section 5.4.1, Figure 10).
+//!
+//! PageRank captures popularity, not correctness: the paper's running
+//! example is gossip sites with top-15% PageRank but bottom-50% KBT. To
+//! reproduce Figure 10 we need (a) a PageRank implementation and (b) a web
+//! graph whose link structure is *independent* of factual quality; the
+//! preferential-attachment generator in [`generator`] provides exactly
+//! that.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod pagerank;
+
+pub use generator::{preferential_attachment, WebGraphConfig};
+pub use pagerank::{normalize_unit, pagerank, PageRankConfig, WebGraph};

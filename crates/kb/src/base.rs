@@ -1,0 +1,235 @@
+//! The knowledge base proper: typed entities, predicate schemas, facts.
+//!
+//! Mirrors the slice of Freebase the paper relies on: entities have types
+//! ("mids" with a notable type), predicates are predefined with an
+//! expected subject type, object kind, and — for numeric predicates — a
+//! sane value range (the paper's example: an athlete's weight must not
+//! exceed 1000 pounds). Facts follow the single-truth assumption used
+//! throughout the paper.
+
+use std::collections::HashMap;
+
+/// Dense id of an entity in the KB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityId(pub u32);
+
+/// Dense id of a predicate in the KB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredicateId(pub u32);
+
+/// Entity type (person, place, …) — a small closed set is enough for the
+/// simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntityType(pub u16);
+
+/// The kind of value a predicate expects, with enough structure for the
+/// type-check labeler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueKind {
+    /// An entity reference that must have the given type.
+    Entity(EntityType),
+    /// A number constrained to `[min, max]`.
+    Number {
+        /// Smallest plausible value.
+        min: f64,
+        /// Largest plausible value.
+        max: f64,
+    },
+    /// A calendar year in `[min, max]` (dates are modeled as years).
+    Year {
+        /// Earliest plausible year.
+        min: i32,
+        /// Latest plausible year.
+        max: i32,
+    },
+    /// A free-form string (no type constraint beyond not being an entity).
+    Text,
+}
+
+/// Schema of one predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateSchema {
+    /// Human-readable name (e.g. `date_of_birth`).
+    pub name: String,
+    /// Required subject type.
+    pub subject_type: EntityType,
+    /// Expected object kind.
+    pub object: ValueKind,
+    /// Functional predicates have exactly one true value per subject
+    /// (nationality, date-of-birth); the paper adopts single-truth even
+    /// for non-functional ones.
+    pub functional: bool,
+}
+
+/// A typed object value as it appears in a triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjectValue {
+    /// Reference to a KB entity.
+    Entity(EntityId),
+    /// A raw number.
+    Number(f64),
+    /// A year.
+    Year(i32),
+    /// An opaque string token (interned elsewhere).
+    Text(u32),
+}
+
+/// The Freebase-like knowledge base.
+#[derive(Debug, Default, Clone)]
+pub struct KnowledgeBase {
+    entity_types: Vec<EntityType>,
+    predicates: Vec<PredicateSchema>,
+    /// Single-truth facts: (subject, predicate) → object.
+    facts: HashMap<(EntityId, PredicateId), ObjectValue>,
+}
+
+/// LCWA label for a candidate triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LcwaLabel {
+    /// The triple is in the KB.
+    True,
+    /// The KB knows a different object for this (subject, predicate) —
+    /// under the local closed-world assumption the triple is false.
+    False,
+    /// The KB knows nothing about this (subject, predicate).
+    Unknown,
+}
+
+impl KnowledgeBase {
+    /// Create an empty KB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an entity with its type; returns its id.
+    pub fn add_entity(&mut self, ty: EntityType) -> EntityId {
+        self.entity_types.push(ty);
+        EntityId(self.entity_types.len() as u32 - 1)
+    }
+
+    /// Add a predicate schema; returns its id.
+    pub fn add_predicate(&mut self, schema: PredicateSchema) -> PredicateId {
+        self.predicates.push(schema);
+        PredicateId(self.predicates.len() as u32 - 1)
+    }
+
+    /// Record a fact (single truth: later writes overwrite).
+    pub fn assert_fact(&mut self, s: EntityId, p: PredicateId, o: ObjectValue) {
+        self.facts.insert((s, p), o);
+    }
+
+    /// Number of entities.
+    pub fn num_entities(&self) -> usize {
+        self.entity_types.len()
+    }
+
+    /// Number of predicates.
+    pub fn num_predicates(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Number of facts.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Type of entity `e`.
+    pub fn entity_type(&self, e: EntityId) -> EntityType {
+        self.entity_types[e.0 as usize]
+    }
+
+    /// Schema of predicate `p`.
+    pub fn predicate(&self, p: PredicateId) -> &PredicateSchema {
+        &self.predicates[p.0 as usize]
+    }
+
+    /// The KB's object for `(s, p)`, if known.
+    pub fn fact(&self, s: EntityId, p: PredicateId) -> Option<&ObjectValue> {
+        self.facts.get(&(s, p))
+    }
+
+    /// The Local-Closed-World-Assumption labeler of Section 5.3.1.
+    pub fn lcwa_label(&self, s: EntityId, p: PredicateId, o: &ObjectValue) -> LcwaLabel {
+        match self.facts.get(&(s, p)) {
+            Some(known) if known == o => LcwaLabel::True,
+            Some(_) => LcwaLabel::False,
+            None => LcwaLabel::Unknown,
+        }
+    }
+
+    /// Iterate all facts.
+    pub fn facts(&self) -> impl Iterator<Item = (EntityId, PredicateId, &ObjectValue)> {
+        self.facts.iter().map(|((s, p), o)| (*s, *p, o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kb() -> (KnowledgeBase, EntityId, EntityId, PredicateId) {
+        let mut kb = KnowledgeBase::new();
+        let person = EntityType(0);
+        let country = EntityType(1);
+        let obama = kb.add_entity(person);
+        let usa = kb.add_entity(country);
+        let nationality = kb.add_predicate(PredicateSchema {
+            name: "nationality".into(),
+            subject_type: person,
+            object: ValueKind::Entity(country),
+            functional: true,
+        });
+        kb.assert_fact(obama, nationality, ObjectValue::Entity(usa));
+        (kb, obama, usa, nationality)
+    }
+
+    #[test]
+    fn facts_round_trip() {
+        let (kb, obama, usa, nationality) = small_kb();
+        assert_eq!(kb.num_facts(), 1);
+        assert_eq!(kb.fact(obama, nationality), Some(&ObjectValue::Entity(usa)));
+        assert_eq!(kb.entity_type(usa), EntityType(1));
+        assert_eq!(kb.predicate(nationality).name, "nationality");
+    }
+
+    #[test]
+    fn lcwa_labels_known_value_true() {
+        let (kb, obama, usa, nationality) = small_kb();
+        assert_eq!(
+            kb.lcwa_label(obama, nationality, &ObjectValue::Entity(usa)),
+            LcwaLabel::True
+        );
+    }
+
+    #[test]
+    fn lcwa_labels_conflicting_value_false() {
+        let (mut kb, obama, _usa, nationality) = small_kb();
+        let kenya = kb.add_entity(EntityType(1));
+        assert_eq!(
+            kb.lcwa_label(obama, nationality, &ObjectValue::Entity(kenya)),
+            LcwaLabel::False
+        );
+    }
+
+    #[test]
+    fn lcwa_labels_unseen_subject_predicate_unknown() {
+        let (mut kb, _obama, usa, nationality) = small_kb();
+        let merkel = kb.add_entity(EntityType(0));
+        assert_eq!(
+            kb.lcwa_label(merkel, nationality, &ObjectValue::Entity(usa)),
+            LcwaLabel::Unknown
+        );
+    }
+
+    #[test]
+    fn single_truth_overwrites() {
+        let (mut kb, obama, _usa, nationality) = small_kb();
+        let kenya = kb.add_entity(EntityType(1));
+        kb.assert_fact(obama, nationality, ObjectValue::Entity(kenya));
+        assert_eq!(kb.num_facts(), 1);
+        assert_eq!(
+            kb.lcwa_label(obama, nationality, &ObjectValue::Entity(kenya)),
+            LcwaLabel::True
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Bridge between the typed knowledge base and the dense id spaces of the
+//! observation cube.
+//!
+//! The corpus simulators work in dense `u32` id spaces; the paper's gold
+//! standard comes from Freebase's typed world. [`TypedWorld`] materializes
+//! a [`KnowledgeBase`] over a dense (subject, predicate, value) geometry so
+//! that the LCWA and type-check labelers of this crate can be run against
+//! any cube that shares the geometry — the full Section 5.3.1 pipeline
+//! with real schema objects instead of raw id arithmetic.
+
+use kbt_datamodel::{ItemId, ValueId};
+
+use crate::base::{
+    EntityId, EntityType, KnowledgeBase, LcwaLabel, ObjectValue, PredicateSchema,
+};
+use crate::typecheck::{typecheck, TypeViolation};
+
+/// A typed world over dense ids: subject `s` ↦ entity, predicate `p` ↦
+/// schema, value `v` ↦ object.
+#[derive(Debug, Clone)]
+pub struct TypedWorld {
+    kb: KnowledgeBase,
+    subjects: Vec<EntityId>,
+    /// Value id → object; values in the type-error band map to objects
+    /// that violate their predicate's schema.
+    objects: Vec<ObjectValue>,
+    num_predicates: u32,
+}
+
+/// Entity types used by the generated world.
+const T_SUBJECT: EntityType = EntityType(0);
+const T_OBJECT: EntityType = EntityType(1);
+const T_ALIEN: EntityType = EntityType(2);
+
+impl TypedWorld {
+    /// Build a typed world: `num_subjects` subject entities,
+    /// `num_predicates` entity-valued predicates, `num_normal_values`
+    /// well-typed object entities, and `num_type_error_values` objects of
+    /// an incompatible type (the reserved band of the corpus simulator).
+    pub fn new(
+        num_subjects: u32,
+        num_predicates: u32,
+        num_normal_values: u32,
+        num_type_error_values: u32,
+    ) -> Self {
+        let mut kb = KnowledgeBase::new();
+        let subjects: Vec<EntityId> = (0..num_subjects).map(|_| kb.add_entity(T_SUBJECT)).collect();
+        for p in 0..num_predicates {
+            kb.add_predicate(PredicateSchema {
+                name: format!("predicate_{p}"),
+                subject_type: T_SUBJECT,
+                object: crate::base::ValueKind::Entity(T_OBJECT),
+                functional: true,
+            });
+        }
+        let mut objects = Vec::with_capacity((num_normal_values + num_type_error_values) as usize);
+        for _ in 0..num_normal_values {
+            objects.push(ObjectValue::Entity(kb.add_entity(T_OBJECT)));
+        }
+        for _ in 0..num_type_error_values {
+            // Wrong-typed entities: any triple carrying them fails rule 2.
+            objects.push(ObjectValue::Entity(kb.add_entity(T_ALIEN)));
+        }
+        Self {
+            kb,
+            subjects,
+            objects,
+            num_predicates,
+        }
+    }
+
+    /// The underlying knowledge base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Record a dense-id fact `(item, value)` in the KB.
+    pub fn assert_fact(&mut self, item: ItemId, value: ValueId) {
+        let (s, p) = self.split(item);
+        self.kb
+            .assert_fact(self.subjects[s as usize], crate::base::PredicateId(p), self.objects
+                [value.index()]);
+    }
+
+    /// LCWA label of a dense-id triple (Section 5.3.1, first method).
+    pub fn lcwa(&self, item: ItemId, value: ValueId) -> LcwaLabel {
+        let (s, p) = self.split(item);
+        self.kb.lcwa_label(
+            self.subjects[s as usize],
+            crate::base::PredicateId(p),
+            &self.objects[value.index()],
+        )
+    }
+
+    /// Type-check a dense-id triple (Section 5.3.1, second method).
+    pub fn typecheck(&self, item: ItemId, value: ValueId) -> Result<(), TypeViolation> {
+        let (s, p) = self.split(item);
+        typecheck(
+            &self.kb,
+            self.subjects[s as usize],
+            crate::base::PredicateId(p),
+            &self.objects[value.index()],
+        )
+    }
+
+    /// Combined gold label per the paper: type violations are false;
+    /// otherwise LCWA; `None` where the KB is silent.
+    pub fn gold_label(&self, item: ItemId, value: ValueId) -> Option<bool> {
+        if self.typecheck(item, value).is_err() {
+            return Some(false);
+        }
+        match self.lcwa(item, value) {
+            LcwaLabel::True => Some(true),
+            LcwaLabel::False => Some(false),
+            LcwaLabel::Unknown => None,
+        }
+    }
+
+    fn split(&self, item: ItemId) -> (u32, u32) {
+        (item.0 / self.num_predicates, item.0 % self.num_predicates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> TypedWorld {
+        TypedWorld::new(10, 4, 20, 3)
+    }
+
+    #[test]
+    fn facts_label_true_under_lcwa() {
+        let mut w = world();
+        let item = ItemId::new(5);
+        w.assert_fact(item, ValueId::new(7));
+        assert_eq!(w.lcwa(item, ValueId::new(7)), LcwaLabel::True);
+        assert_eq!(w.lcwa(item, ValueId::new(8)), LcwaLabel::False);
+        assert_eq!(w.lcwa(ItemId::new(6), ValueId::new(7)), LcwaLabel::Unknown);
+    }
+
+    #[test]
+    fn type_error_band_fails_typecheck() {
+        let w = world();
+        // Values 20..23 are the alien band.
+        assert!(w.typecheck(ItemId::new(0), ValueId::new(19)).is_ok());
+        assert_eq!(
+            w.typecheck(ItemId::new(0), ValueId::new(20)),
+            Err(TypeViolation::ObjectTypeMismatch)
+        );
+    }
+
+    #[test]
+    fn gold_label_combines_both_methods() {
+        let mut w = world();
+        let item = ItemId::new(3);
+        w.assert_fact(item, ValueId::new(2));
+        assert_eq!(w.gold_label(item, ValueId::new(2)), Some(true));
+        assert_eq!(w.gold_label(item, ValueId::new(3)), Some(false)); // LCWA false
+        assert_eq!(w.gold_label(item, ValueId::new(21)), Some(false)); // type error
+        assert_eq!(w.gold_label(ItemId::new(9), ValueId::new(2)), None); // unknown
+    }
+
+    #[test]
+    fn type_errors_are_false_even_without_kb_facts() {
+        let w = world();
+        // No facts at all — but a type violation is still a gold false.
+        assert_eq!(w.gold_label(ItemId::new(1), ValueId::new(22)), Some(false));
+        assert_eq!(w.gold_label(ItemId::new(1), ValueId::new(0)), None);
+    }
+
+    #[test]
+    fn kb_size_matches_world_geometry() {
+        let w = world();
+        assert_eq!(w.kb().num_entities(), 10 + 20 + 3);
+        assert_eq!(w.kb().num_predicates(), 4);
+    }
+}

@@ -1,0 +1,213 @@
+//! Type-check gold labeling (Section 5.3.1, second method).
+//!
+//! A triple `(s, p, o)` is labeled false — and counted as an *extraction
+//! mistake* — if
+//!
+//! 1. `s = o` (subject equals object),
+//! 2. the type of `s` or `o` is incompatible with the predicate, or
+//! 3. `o` is outside the predicate's expected range (e.g. the weight of an
+//!    athlete over 1000 pounds).
+
+use crate::base::{EntityId, KnowledgeBase, ObjectValue, PredicateId, ValueKind};
+
+/// Why a triple failed type checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeViolation {
+    /// Rule 1: subject and object are the same entity.
+    SubjectEqualsObject,
+    /// Rule 2: subject type does not match the predicate's schema.
+    SubjectTypeMismatch,
+    /// Rule 2: object kind/type does not match the predicate's schema.
+    ObjectTypeMismatch,
+    /// Rule 3: numeric/date object outside the plausible range.
+    OutOfRange,
+}
+
+/// Check one triple; `Ok(())` means no violation.
+pub fn typecheck(
+    kb: &KnowledgeBase,
+    s: EntityId,
+    p: PredicateId,
+    o: &ObjectValue,
+) -> Result<(), TypeViolation> {
+    let schema = kb.predicate(p);
+    if let ObjectValue::Entity(oe) = o {
+        if *oe == s {
+            return Err(TypeViolation::SubjectEqualsObject);
+        }
+    }
+    if kb.entity_type(s) != schema.subject_type {
+        return Err(TypeViolation::SubjectTypeMismatch);
+    }
+    match (&schema.object, o) {
+        (ValueKind::Entity(want), ObjectValue::Entity(e)) => {
+            if kb.entity_type(*e) != *want {
+                return Err(TypeViolation::ObjectTypeMismatch);
+            }
+        }
+        (ValueKind::Number { min, max }, ObjectValue::Number(x)) => {
+            if !x.is_finite() || x < min || x > max {
+                return Err(TypeViolation::OutOfRange);
+            }
+        }
+        (ValueKind::Year { min, max }, ObjectValue::Year(y)) => {
+            if y < min || y > max {
+                return Err(TypeViolation::OutOfRange);
+            }
+        }
+        (ValueKind::Text, ObjectValue::Text(_)) => {}
+        _ => return Err(TypeViolation::ObjectTypeMismatch),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::{EntityType, PredicateSchema};
+
+    struct Fixture {
+        kb: KnowledgeBase,
+        person: EntityId,
+        person2: EntityId,
+        country: EntityId,
+        nationality: PredicateId,
+        weight: PredicateId,
+        born: PredicateId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut kb = KnowledgeBase::new();
+        let t_person = EntityType(0);
+        let t_country = EntityType(1);
+        let person = kb.add_entity(t_person);
+        let person2 = kb.add_entity(t_person);
+        let country = kb.add_entity(t_country);
+        let nationality = kb.add_predicate(PredicateSchema {
+            name: "nationality".into(),
+            subject_type: t_person,
+            object: ValueKind::Entity(t_country),
+            functional: true,
+        });
+        let weight = kb.add_predicate(PredicateSchema {
+            name: "weight_lbs".into(),
+            subject_type: t_person,
+            object: ValueKind::Number {
+                min: 0.0,
+                max: 1000.0,
+            },
+            functional: true,
+        });
+        let born = kb.add_predicate(PredicateSchema {
+            name: "born_year".into(),
+            subject_type: t_person,
+            object: ValueKind::Year {
+                min: 1000,
+                max: 2026,
+            },
+            functional: true,
+        });
+        Fixture {
+            kb,
+            person,
+            person2,
+            country,
+            nationality,
+            weight,
+            born,
+        }
+    }
+
+    #[test]
+    fn valid_triples_pass() {
+        let f = fixture();
+        assert_eq!(
+            typecheck(
+                &f.kb,
+                f.person,
+                f.nationality,
+                &ObjectValue::Entity(f.country)
+            ),
+            Ok(())
+        );
+        assert_eq!(
+            typecheck(&f.kb, f.person, f.weight, &ObjectValue::Number(180.0)),
+            Ok(())
+        );
+        assert_eq!(
+            typecheck(&f.kb, f.person, f.born, &ObjectValue::Year(1961)),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn subject_equals_object_is_caught() {
+        let f = fixture();
+        assert_eq!(
+            typecheck(
+                &f.kb,
+                f.person,
+                f.nationality,
+                &ObjectValue::Entity(f.person)
+            ),
+            Err(TypeViolation::SubjectEqualsObject)
+        );
+    }
+
+    #[test]
+    fn wrong_entity_type_object_is_caught() {
+        let f = fixture();
+        // Object is a person, predicate expects a country.
+        assert_eq!(
+            typecheck(
+                &f.kb,
+                f.person,
+                f.nationality,
+                &ObjectValue::Entity(f.person2)
+            ),
+            Err(TypeViolation::ObjectTypeMismatch)
+        );
+    }
+
+    #[test]
+    fn wrong_subject_type_is_caught() {
+        let mut f = fixture();
+        let other_country = f.kb.add_entity(EntityType(1));
+        // Subject is a country; nationality requires a person subject.
+        assert_eq!(
+            typecheck(
+                &f.kb,
+                f.country,
+                f.nationality,
+                &ObjectValue::Entity(other_country)
+            ),
+            Err(TypeViolation::SubjectTypeMismatch)
+        );
+    }
+
+    #[test]
+    fn athletes_over_1000_pounds_are_rejected() {
+        let f = fixture();
+        assert_eq!(
+            typecheck(&f.kb, f.person, f.weight, &ObjectValue::Number(1200.0)),
+            Err(TypeViolation::OutOfRange)
+        );
+        assert_eq!(
+            typecheck(&f.kb, f.person, f.weight, &ObjectValue::Number(f64::NAN)),
+            Err(TypeViolation::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_is_caught() {
+        let f = fixture();
+        assert_eq!(
+            typecheck(&f.kb, f.person, f.weight, &ObjectValue::Year(180)),
+            Err(TypeViolation::ObjectTypeMismatch)
+        );
+        assert_eq!(
+            typecheck(&f.kb, f.person, f.born, &ObjectValue::Year(999)),
+            Err(TypeViolation::OutOfRange)
+        );
+    }
+}

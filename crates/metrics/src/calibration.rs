@@ -1,0 +1,96 @@
+//! Calibration curves (Figure 8): predicted probability versus empirical
+//! accuracy over uniform buckets.
+
+/// One point of a calibration curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationPoint {
+    /// Mean predicted probability of the bucket.
+    pub predicted: f64,
+    /// Empirical accuracy (the "real probability") of the bucket.
+    pub actual: f64,
+    /// Number of labeled predictions in the bucket.
+    pub count: usize,
+}
+
+/// Compute a calibration curve over `buckets` uniform probability bins.
+/// Empty bins are omitted. Points are ordered by bin.
+pub fn calibration_curve(pred: &[f64], truth: &[bool], buckets: usize) -> Vec<CalibrationPoint> {
+    assert_eq!(pred.len(), truth.len());
+    assert!(buckets > 0);
+    let mut count = vec![0usize; buckets];
+    let mut psum = vec![0.0f64; buckets];
+    let mut tsum = vec![0usize; buckets];
+    for (&p, &t) in pred.iter().zip(truth) {
+        let p = p.clamp(0.0, 1.0);
+        let b = ((p * buckets as f64) as usize).min(buckets - 1);
+        count[b] += 1;
+        psum[b] += p;
+        tsum[b] += t as usize;
+    }
+    (0..buckets)
+        .filter(|&b| count[b] > 0)
+        .map(|b| CalibrationPoint {
+            predicted: psum[b] / count[b] as f64,
+            actual: tsum[b] as f64 / count[b] as f64,
+            count: count[b],
+        })
+        .collect()
+}
+
+/// Calibration curve against a partial gold standard.
+pub fn calibration_curve_partial(
+    pred: &[f64],
+    truth: &[Option<bool>],
+    buckets: usize,
+) -> Vec<CalibrationPoint> {
+    let mut p = Vec::new();
+    let mut t = Vec::new();
+    for (x, l) in pred.iter().zip(truth) {
+        if let Some(l) = l {
+            p.push(*x);
+            t.push(*l);
+        }
+    }
+    calibration_curve(&p, &t, buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_predictions_lie_on_the_diagonal() {
+        // 10k predictions at p = 0.7 of which exactly 70% are true.
+        let pred = vec![0.7; 10_000];
+        let truth: Vec<bool> = (0..10_000).map(|i| i % 10 < 7).collect();
+        let curve = calibration_curve(&pred, &truth, 10);
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].predicted - 0.7).abs() < 1e-9);
+        assert!((curve[0].actual - 0.7).abs() < 1e-9);
+        assert_eq!(curve[0].count, 10_000);
+    }
+
+    #[test]
+    fn buckets_partition_the_unit_interval() {
+        let pred: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let truth = vec![true; 100];
+        let curve = calibration_curve(&pred, &truth, 10);
+        let total: usize = curve.iter().map(|c| c.count).sum();
+        assert_eq!(total, 100);
+        assert_eq!(curve.len(), 10);
+    }
+
+    #[test]
+    fn exact_one_goes_to_last_bucket() {
+        let curve = calibration_curve(&[1.0], &[true], 10);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].predicted, 1.0);
+    }
+
+    #[test]
+    fn partial_variant_skips_unlabeled() {
+        let curve = calibration_curve_partial(&[0.9, 0.1], &[Some(true), None], 10);
+        assert_eq!(curve.len(), 1);
+        assert_eq!(curve[0].count, 1);
+    }
+}

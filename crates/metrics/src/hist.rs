@@ -1,0 +1,133 @@
+//! Histograms for the distribution plots (Figures 5, 6, 7).
+//!
+//! Figure 5 uses the paper's mixed linear/log bucket scheme for counts per
+//! URL or extraction pattern: `1, 2, …, 10, 11–100, 100–1K, 1K–10K,
+//! 10K–100K, 100K–1M, >1M`. Figures 6 and 7 use uniform probability bins
+//! of width 0.05.
+
+/// A labeled histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Human-readable bucket labels.
+    pub labels: Vec<String>,
+    /// Count per bucket.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Total population.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of the population in each bucket.
+    pub fn fractions(&self) -> Vec<f64> {
+        let t = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / t).collect()
+    }
+
+    /// Index of the most populated bucket.
+    pub fn peak(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// The Figure 5 bucket scheme over positive counts.
+pub fn count_histogram(counts: impl IntoIterator<Item = u64>) -> Histogram {
+    let labels: Vec<String> = (1..=10)
+        .map(|i| i.to_string())
+        .chain(
+            [
+                "11-100", "100-1K", "1K-10K", "10K-100K", "100K-1M", ">1M",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .collect();
+    let mut buckets = vec![0u64; labels.len()];
+    for c in counts {
+        let b = match c {
+            0 => continue, // zero-size entities are not plotted
+            1..=10 => (c - 1) as usize,
+            11..=100 => 10,
+            101..=1_000 => 11,
+            1_001..=10_000 => 12,
+            10_001..=100_000 => 13,
+            100_001..=1_000_000 => 14,
+            _ => 15,
+        };
+        buckets[b] += 1;
+    }
+    Histogram {
+        labels,
+        counts: buckets,
+    }
+}
+
+/// Uniform-bin histogram over `[0, 1]` values (Figures 6 and 7 use 20
+/// bins of width 0.05).
+pub fn probability_histogram(values: impl IntoIterator<Item = f64>, bins: usize) -> Histogram {
+    assert!(bins > 0);
+    let mut counts = vec![0u64; bins];
+    for v in values {
+        let v = v.clamp(0.0, 1.0);
+        let b = ((v * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let labels = (0..bins)
+        .map(|b| format!("{:.2}", b as f64 / bins as f64))
+        .collect();
+    Histogram {
+        labels,
+        counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_buckets_match_figure5_scheme() {
+        let h = count_histogram([1, 1, 2, 10, 11, 100, 101, 55_000, 2_000_000]);
+        assert_eq!(h.labels.len(), 16);
+        assert_eq!(h.counts[0], 2); // two 1s
+        assert_eq!(h.counts[1], 1); // one 2
+        assert_eq!(h.counts[9], 1); // one 10
+        assert_eq!(h.counts[10], 2); // 11 and 100
+        assert_eq!(h.counts[11], 1); // 101
+        assert_eq!(h.counts[13], 1); // 55 000
+        assert_eq!(h.counts[15], 1); // 2 000 000
+        assert_eq!(h.total(), 9);
+    }
+
+    #[test]
+    fn zero_counts_are_skipped() {
+        let h = count_histogram([0, 0, 5]);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn probability_histogram_bins_uniformly() {
+        let h = probability_histogram([0.0, 0.04, 0.05, 0.81, 1.0], 20);
+        assert_eq!(h.counts[0], 2); // 0.0 and 0.04
+        assert_eq!(h.counts[1], 1); // 0.05
+        assert_eq!(h.counts[16], 1); // 0.81
+        assert_eq!(h.counts[19], 1); // 1.0 clamps into last bin
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn peak_and_fractions() {
+        let h = probability_histogram([0.8, 0.82, 0.83, 0.1], 20);
+        assert_eq!(h.peak(), 16);
+        let f = h.fractions();
+        assert!((f[16] - 0.75).abs() < 1e-12);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

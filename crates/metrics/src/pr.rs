@@ -1,0 +1,161 @@
+//! Precision–recall curves and AUC-PR (Section 5.1.1, Figure 9).
+//!
+//! Triples are ordered by predicted probability (descending); sweeping a
+//! threshold over the ranking yields one (recall, precision) point per
+//! distinct score. AUC-PR integrates the curve by the trapezoidal rule
+//! over recall.
+
+/// A precision–recall curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrCurve {
+    /// `(recall, precision)` points, recall non-decreasing.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl PrCurve {
+    /// Build the curve from labeled predictions. Ties in predicted score
+    /// are processed as one threshold step. Returns `None` if there are no
+    /// positive labels (precision/recall undefined).
+    pub fn from_labels(pred: &[f64], truth: &[bool]) -> Option<PrCurve> {
+        assert_eq!(pred.len(), truth.len());
+        let total_pos = truth.iter().filter(|&&t| t).count();
+        if total_pos == 0 {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..pred.len()).collect();
+        order.sort_by(|&a, &b| pred[b].partial_cmp(&pred[a]).expect("NaN score"));
+
+        let mut points = Vec::new();
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            // Consume a tie block.
+            let score = pred[order[i]];
+            while i < order.len() && pred[order[i]] == score {
+                if truth[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            let recall = tp as f64 / total_pos as f64;
+            let precision = tp as f64 / (tp + fp) as f64;
+            points.push((recall, precision));
+        }
+        Some(PrCurve { points })
+    }
+
+    /// Build from a partial gold standard (unlabeled entries skipped).
+    pub fn from_partial_labels(pred: &[f64], truth: &[Option<bool>]) -> Option<PrCurve> {
+        assert_eq!(pred.len(), truth.len());
+        let mut p = Vec::new();
+        let mut t = Vec::new();
+        for (x, l) in pred.iter().zip(truth) {
+            if let Some(l) = l {
+                p.push(*x);
+                t.push(*l);
+            }
+        }
+        Self::from_labels(&p, &t)
+    }
+
+    /// Area under the curve by the trapezoidal rule over recall, anchored
+    /// at recall 0 with the first point's precision.
+    pub fn auc(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        let mut prev_r = 0.0;
+        let mut prev_p = self.points[0].1;
+        for &(r, p) in &self.points {
+            area += (r - prev_r) * (p + prev_p) / 2.0;
+            prev_r = r;
+            prev_p = p;
+        }
+        area
+    }
+}
+
+/// Convenience: AUC-PR from labeled predictions.
+pub fn auc_pr(pred: &[f64], truth: &[bool]) -> Option<f64> {
+    PrCurve::from_labels(pred, truth).map(|c| c.auc())
+}
+
+/// Convenience: AUC-PR against a partial gold standard.
+pub fn auc_pr_partial(pred: &[f64], truth: &[Option<bool>]) -> Option<f64> {
+    PrCurve::from_partial_labels(pred, truth).map(|c| c.auc())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let pred = [0.9, 0.8, 0.2, 0.1];
+        let truth = [true, true, false, false];
+        let auc = auc_pr(&pred, &truth).unwrap();
+        assert!((auc - 1.0).abs() < 1e-9, "auc = {auc}");
+    }
+
+    #[test]
+    fn inverted_ranking_has_low_auc() {
+        let pred = [0.1, 0.2, 0.8, 0.9];
+        let truth = [true, true, false, false];
+        let auc = auc_pr(&pred, &truth).unwrap();
+        assert!(auc < 0.5, "auc = {auc}");
+    }
+
+    #[test]
+    fn recall_is_nondecreasing_and_reaches_one() {
+        let pred = [0.9, 0.7, 0.7, 0.4, 0.2, 0.1];
+        let truth = [true, false, true, true, false, true];
+        let c = PrCurve::from_labels(&pred, &truth).unwrap();
+        let mut prev = 0.0;
+        for &(r, p) in &c.points {
+            assert!(r >= prev);
+            assert!((0.0..=1.0).contains(&p));
+            prev = r;
+        }
+        assert!((c.points.last().unwrap().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_one_step() {
+        let pred = [0.5, 0.5, 0.5];
+        let truth = [true, false, true];
+        let c = PrCurve::from_labels(&pred, &truth).unwrap();
+        assert_eq!(c.points.len(), 1);
+        assert_eq!(c.points[0], (1.0, 2.0 / 3.0));
+    }
+
+    #[test]
+    fn no_positives_is_none() {
+        assert_eq!(auc_pr(&[0.5], &[false]), None);
+        assert_eq!(auc_pr_partial(&[0.5], &[None]), None);
+    }
+
+    #[test]
+    fn random_scores_give_auc_near_base_rate() {
+        // With scores independent of labels, AUC-PR ≈ the positive rate.
+        let n = 20_000;
+        let mut pred = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        let mut state = 88172645463325252u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            pred.push(rng());
+            truth.push(rng() < 0.3);
+        }
+        let auc = auc_pr(&pred, &truth).unwrap();
+        assert!((auc - 0.3).abs() < 0.03, "auc = {auc}");
+    }
+}

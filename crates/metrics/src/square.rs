@@ -1,0 +1,106 @@
+//! Square-loss metrics SqV, SqC, SqA (Section 5.1.1).
+//!
+//! * **SqV** — average square loss between `p(V_d = v | X)` and the ground
+//!   truth indicator `I(V*_d = v)`, over evaluated `(d, v)` pairs.
+//! * **SqC** — average square loss between `p(C_wdv = 1 | X)` and
+//!   `I(C*_wdv = 1)`, over triple groups.
+//! * **SqA** — average square loss between `Â_w` and the true accuracy
+//!   `A*_w`, over sources.
+//!
+//! All three reduce to the same primitive: mean squared difference between
+//! a prediction vector and a target vector, optionally restricted to the
+//! entries where ground truth is known (real data has only a partial gold
+//! standard).
+
+/// Mean squared error between predictions and real-valued targets.
+///
+/// Returns `None` when the slices are empty (no loss is defined).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn square_loss(pred: &[f64], truth: &[f64]) -> Option<f64> {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if pred.is_empty() {
+        return None;
+    }
+    let sum: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    Some(sum / pred.len() as f64)
+}
+
+/// Mean squared error against binary ground truth.
+pub fn square_loss_binary(pred: &[f64], truth: &[bool]) -> Option<f64> {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    if pred.is_empty() {
+        return None;
+    }
+    let sum: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, &t)| {
+            let t = if t { 1.0 } else { 0.0 };
+            (p - t) * (p - t)
+        })
+        .sum();
+    Some(sum / pred.len() as f64)
+}
+
+/// Mean squared error against a *partial* gold standard: entries with
+/// `None` truth are skipped (the LCWA gold standard labels only ~26% of
+/// triples — Section 5.3.1).
+pub fn square_loss_partial(pred: &[f64], truth: &[Option<bool>]) -> Option<f64> {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        if let Some(t) = t {
+            let t = if *t { 1.0 } else { 0.0 };
+            sum += (p - t) * (p - t);
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_zero_loss() {
+        assert_eq!(square_loss(&[1.0, 0.0], &[1.0, 0.0]), Some(0.0));
+        assert_eq!(square_loss_binary(&[1.0, 0.0], &[true, false]), Some(0.0));
+    }
+
+    #[test]
+    fn known_values() {
+        // (0.5-1)² = .25, (0.5-0)² = .25 → mean .25
+        assert_eq!(square_loss_binary(&[0.5, 0.5], &[true, false]), Some(0.25));
+        let l = square_loss(&[0.9, 0.2], &[1.0, 0.0]).unwrap();
+        assert!((l - (0.01 + 0.04) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert_eq!(square_loss(&[], &[]), None);
+        assert_eq!(square_loss_partial(&[0.5], &[None]), None);
+    }
+
+    #[test]
+    fn partial_gold_skips_unknowns() {
+        let l = square_loss_partial(&[1.0, 0.3, 0.0], &[Some(true), None, Some(false)]).unwrap();
+        assert_eq!(l, 0.0);
+        let l2 =
+            square_loss_partial(&[0.5, 0.9, 0.5], &[Some(true), None, None]).unwrap();
+        assert!((l2 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = square_loss(&[0.1], &[0.1, 0.2]);
+    }
+}

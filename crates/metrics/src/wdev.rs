@@ -1,0 +1,191 @@
+//! Weighted deviation (WDev) — the calibration metric of Section 5.1.1.
+//!
+//! Triples are bucketed by predicted probability using the paper's
+//! non-uniform bucket scheme — fine granularity near 0 and 1 where most
+//! triples fall:
+//!
+//! ```text
+//! [0, .01), …, [.04, .05),   (5 buckets of width .01)
+//! [.05, .1), …, [.9, .95),   (18 buckets of width .05)
+//! [.95, .96), …, [.99, 1),   (4 buckets of width .01)
+//! [1, 1]                     (exact-one bucket)
+//! ```
+//!
+//! For each bucket the empirical accuracy of its triples (per the gold
+//! standard) is "the real probability"; WDev is the square loss between
+//! predicted and real probability, weighted by bucket population.
+
+/// The paper's bucket edges (lower bounds; the last bucket is `[1, 1]`).
+pub fn paper_bucket_edges() -> Vec<f64> {
+    let mut edges = Vec::with_capacity(28);
+    for i in 0..5 {
+        edges.push(i as f64 * 0.01); // 0, .01, .02, .03, .04
+    }
+    for i in 1..19 {
+        edges.push(i as f64 * 0.05); // .05 … .90
+    }
+    for i in 0..5 {
+        edges.push(0.95 + i as f64 * 0.01); // .95 … .99
+    }
+    edges.push(1.0);
+    edges
+}
+
+/// One calibration bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower bound of the predicted-probability range.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the final `[1,1]` bucket).
+    pub hi: f64,
+    /// Number of labeled predictions in the bucket.
+    pub count: usize,
+    /// Mean predicted probability.
+    pub mean_predicted: f64,
+    /// Empirical accuracy (fraction of true labels).
+    pub accuracy: f64,
+}
+
+/// Bucketize labeled predictions with the paper's edges.
+pub fn bucketize(pred: &[f64], truth: &[bool]) -> Vec<Bucket> {
+    assert_eq!(pred.len(), truth.len());
+    let edges = paper_bucket_edges();
+    let k = edges.len(); // buckets: edges[i] .. edges[i+1], last is [1,1]
+    let mut count = vec![0usize; k];
+    let mut psum = vec![0.0f64; k];
+    let mut tsum = vec![0usize; k];
+    for (&p, &t) in pred.iter().zip(truth) {
+        let p = p.clamp(0.0, 1.0);
+        // Find bucket: last edge ≤ p (the [1,1] bucket catches p == 1).
+        let mut b = match edges.binary_search_by(|e| e.partial_cmp(&p).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        if b >= k {
+            b = k - 1;
+        }
+        count[b] += 1;
+        psum[b] += p;
+        tsum[b] += t as usize;
+    }
+    (0..k)
+        .map(|i| {
+            let hi = if i + 1 < k { edges[i + 1] } else { 1.0 };
+            Bucket {
+                lo: edges[i],
+                hi,
+                count: count[i],
+                mean_predicted: if count[i] > 0 {
+                    psum[i] / count[i] as f64
+                } else {
+                    0.0
+                },
+                accuracy: if count[i] > 0 {
+                    tsum[i] as f64 / count[i] as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// WDev: population-weighted square loss between the mean predicted
+/// probability and the empirical accuracy of each bucket.
+/// `None` when no labeled prediction exists.
+pub fn wdev(pred: &[f64], truth: &[bool]) -> Option<f64> {
+    let buckets = bucketize(pred, truth);
+    let total: usize = buckets.iter().map(|b| b.count).sum();
+    if total == 0 {
+        return None;
+    }
+    let sum: f64 = buckets
+        .iter()
+        .filter(|b| b.count > 0)
+        .map(|b| {
+            let d = b.mean_predicted - b.accuracy;
+            b.count as f64 * d * d
+        })
+        .sum();
+    Some(sum / total as f64)
+}
+
+/// WDev against a partial gold standard (unlabeled entries skipped).
+pub fn wdev_partial(pred: &[f64], truth: &[Option<bool>]) -> Option<f64> {
+    assert_eq!(pred.len(), truth.len());
+    let mut p = Vec::new();
+    let mut t = Vec::new();
+    for (x, l) in pred.iter().zip(truth) {
+        if let Some(l) = l {
+            p.push(*x);
+            t.push(*l);
+        }
+    }
+    wdev(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_match_the_papers_scheme() {
+        let e = paper_bucket_edges();
+        assert_eq!(e[0], 0.0);
+        assert_eq!(e[4], 0.04);
+        assert!((e[5] - 0.05).abs() < 1e-12);
+        assert!((e[22] - 0.90).abs() < 1e-12);
+        assert!((e[23] - 0.95).abs() < 1e-12);
+        assert!((e[27] - 0.99).abs() < 1e-12);
+        assert_eq!(*e.last().unwrap(), 1.0);
+        assert_eq!(e.len(), 29);
+        for w in e.windows(2) {
+            assert!(w[0] < w[1], "edges must increase: {w:?}");
+        }
+    }
+
+    #[test]
+    fn perfectly_calibrated_predictions_have_zero_wdev() {
+        // All predictions 1.0 and all true: bucket [1,1] mean=1, acc=1.
+        let pred = vec![1.0; 100];
+        let truth = vec![true; 100];
+        assert_eq!(wdev(&pred, &truth), Some(0.0));
+    }
+
+    #[test]
+    fn miscalibration_is_detected() {
+        // Predicting 0.99 for triples that are only 50% true.
+        let pred = vec![0.995; 100];
+        let truth: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let w = wdev(&pred, &truth).unwrap();
+        assert!((w - (0.995 - 0.5) * (0.995 - 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_bucket_cannot_hide_another() {
+        // Half the mass perfectly calibrated at 1.0, half badly at 0.0.
+        let mut pred = vec![1.0; 50];
+        pred.extend(vec![0.001; 50]);
+        let mut truth = vec![true; 50];
+        truth.extend(vec![true; 50]); // low predictions are actually true
+        let w = wdev(&pred, &truth).unwrap();
+        assert!(w > 0.4, "wdev = {w}");
+    }
+
+    #[test]
+    fn exact_one_goes_to_the_final_bucket() {
+        let buckets = bucketize(&[1.0, 0.999], &[true, true]);
+        let last = buckets.last().unwrap();
+        assert_eq!(last.count, 1);
+        // 0.999 lands in [0.99, 1).
+        let prev = &buckets[buckets.len() - 2];
+        assert_eq!(prev.count, 1);
+    }
+
+    #[test]
+    fn partial_labels_are_skipped() {
+        let w = wdev_partial(&[1.0, 0.5], &[Some(true), None]).unwrap();
+        assert_eq!(w, 0.0);
+        assert_eq!(wdev_partial(&[0.5], &[None]), None);
+    }
+}

@@ -1,0 +1,313 @@
+//! The synthetic-data generator of Section 5.2.1.
+//!
+//! Defaults reproduce the paper's setup exactly: 10 sources × 100 triples
+//! at accuracy `A = 0.7`, 5 extractors with δ = 0.5, `R = 0.5`,
+//! `P = 0.8`. Each experiment varies one parameter over 0.1–0.9 (or the
+//! extractor count over 1–10) and averages 10 repetitions.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kbt_datamodel::{CubeBuilder, ItemId, ObservationCube, SourceId, ValueId};
+use kbt_extract::{simulate, ExtractorAxis, ExtractorProfile, Provided, World};
+
+/// Generator parameters (defaults = the paper's).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of web sources.
+    pub num_sources: usize,
+    /// Triples per source (= number of data items; each source provides a
+    /// value for every item).
+    pub triples_per_source: usize,
+    /// `A`: probability a provided value is the true one.
+    pub source_accuracy: f64,
+    /// Number of extractors.
+    pub num_extractors: usize,
+    /// δ: probability an extractor processes a source.
+    pub visit_prob: f64,
+    /// `R`: extractor recall.
+    pub recall: f64,
+    /// `P`: per-slot accuracy (triple precision `P³`).
+    pub slot_accuracy: f64,
+    /// Number of false values per item's domain.
+    pub n_false_values: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self {
+            num_sources: 10,
+            triples_per_source: 100,
+            source_accuracy: 0.7,
+            num_extractors: 5,
+            visit_prob: 0.5,
+            recall: 0.5,
+            slot_accuracy: 0.8,
+            n_false_values: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Exact ground truth for every quantity the metrics need.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// True value per item (`None` for items that exist only through
+    /// extraction corruption).
+    pub true_value: Vec<Option<ValueId>>,
+    /// Empirical accuracy of each source (fraction of its provided
+    /// triples that are true) — the target of SqA.
+    pub source_accuracy: Vec<f64>,
+    /// Per cube group: was `(w, d, v)` truly provided by `w`
+    /// (`C* = 1`) — the target of SqC.
+    pub group_provided: Vec<bool>,
+    /// Per cube group: is the group's value the item's true value — used
+    /// to build the SqV evaluation set.
+    pub group_value_true: Vec<bool>,
+    /// The provided-triples set as `(source, item, value)` raw ids.
+    pub provided: BTreeSet<(u32, u32, u32)>,
+}
+
+/// A generated dataset: the observation cube plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The observation matrix.
+    pub cube: ObservationCube,
+    /// Exact ground truth.
+    pub truth: GroundTruth,
+    /// The world geometry used (items = subject × predicate grid).
+    pub world: World,
+}
+
+impl SyntheticDataset {
+    /// Distinct `(item, value)` pairs present in the cube, with their
+    /// truth — the SqV evaluation set.
+    pub fn value_eval_set(&self) -> Vec<(ItemId, ValueId, bool)> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for (g, grp) in self.cube.groups().iter().enumerate() {
+            if seen.insert((grp.item, grp.value)) {
+                out.push((grp.item, grp.value, self.truth.group_value_true[g]));
+            }
+        }
+        out
+    }
+}
+
+/// Generate a dataset per Section 5.2.1.
+pub fn generate(cfg: &SyntheticConfig) -> SyntheticDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Item grid: items are (subject, predicate) pairs so that slot
+    // corruption can hit either coordinate. Keep predicates small and
+    // subjects = items / predicates.
+    let num_predicates = 5u32.min(cfg.triples_per_source.max(1) as u32);
+    let num_subjects = (cfg.triples_per_source as u32).div_ceil(num_predicates);
+    let num_items = (num_subjects * num_predicates) as usize;
+    let num_values = (cfg.n_false_values + 1) as u32;
+    let world = World {
+        num_subjects,
+        num_predicates,
+        num_values,
+    };
+
+    // True value per item.
+    let true_value: Vec<ValueId> = (0..num_items)
+        .map(|_| ValueId::new(rng.gen_range(0..num_values)))
+        .collect();
+
+    // Provided triples: every source states one value per item; true with
+    // probability A, otherwise a uniform false value.
+    let mut provided = Vec::with_capacity(cfg.num_sources * num_items);
+    let mut src_true = vec![0usize; cfg.num_sources];
+    let mut src_total = vec![0usize; cfg.num_sources];
+    for w in 0..cfg.num_sources {
+        for (d, &tv) in true_value.iter().enumerate() {
+            let value = if rng.gen::<f64>() < cfg.source_accuracy {
+                tv
+            } else {
+                // one of the n false values, uniformly
+                let mut v = rng.gen_range(0..num_values - 1);
+                if v >= tv.0 {
+                    v += 1;
+                }
+                ValueId::new(v)
+            };
+            if value == tv {
+                src_true[w] += 1;
+            }
+            src_total[w] += 1;
+            let (s, p) = world.subject_predicate(ItemId::new(d as u32));
+            provided.push(Provided {
+                source: SourceId::new(w as u32),
+                subject: s,
+                predicate: p,
+                value,
+            });
+        }
+    }
+    let source_accuracy: Vec<f64> = src_true
+        .iter()
+        .zip(&src_total)
+        .map(|(t, n)| *t as f64 / (*n).max(1) as f64)
+        .collect();
+
+    // Extractors.
+    let profiles: Vec<ExtractorProfile> = (0..cfg.num_extractors)
+        .map(|i| {
+            let mut p = ExtractorProfile::paper_synthetic(format!("E{}", i + 1));
+            p.visit_prob = cfg.visit_prob;
+            p.recall = cfg.recall;
+            p.slot_accuracy = cfg.slot_accuracy;
+            p
+        })
+        .collect();
+    let sim = simulate(
+        &world,
+        &provided,
+        &profiles,
+        ExtractorAxis::Profile,
+        cfg.seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+    );
+
+    // Build the cube.
+    let mut builder = CubeBuilder::with_capacity(sim.observations.len());
+    for o in &sim.observations {
+        builder.push(*o);
+    }
+    builder.reserve_ids(
+        cfg.num_sources as u32,
+        cfg.num_extractors as u32,
+        world.num_items(),
+        num_values,
+    );
+    let cube = builder.build();
+
+    // Ground truth aligned to cube groups.
+    let provided_set: BTreeSet<(u32, u32, u32)> = provided
+        .iter()
+        .map(|t| {
+            (
+                t.source.0,
+                world.item(t.subject, t.predicate).0,
+                t.value.0,
+            )
+        })
+        .collect();
+    let group_provided: Vec<bool> = cube
+        .groups()
+        .iter()
+        .map(|g| provided_set.contains(&(g.source.0, g.item.0, g.value.0)))
+        .collect();
+    let group_value_true: Vec<bool> = cube
+        .groups()
+        .iter()
+        .map(|g| true_value[g.item.index()] == g.value)
+        .collect();
+
+    SyntheticDataset {
+        cube,
+        truth: GroundTruth {
+            true_value: true_value.into_iter().map(Some).collect(),
+            source_accuracy,
+            group_provided,
+            group_value_true,
+            provided: provided_set,
+        },
+        world,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_the_paper() {
+        let c = SyntheticConfig::default();
+        assert_eq!(c.num_sources, 10);
+        assert_eq!(c.triples_per_source, 100);
+        assert_eq!(c.source_accuracy, 0.7);
+        assert_eq!(c.num_extractors, 5);
+        assert_eq!((c.visit_prob, c.recall, c.slot_accuracy), (0.5, 0.5, 0.8));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.cube.num_cells(), b.cube.num_cells());
+        assert_eq!(a.truth.source_accuracy, b.truth.source_accuracy);
+    }
+
+    #[test]
+    fn empirical_source_accuracy_tracks_configured_a() {
+        let cfg = SyntheticConfig {
+            triples_per_source: 1000,
+            ..Default::default()
+        };
+        let d = generate(&cfg);
+        for (w, &a) in d.truth.source_accuracy.iter().enumerate() {
+            assert!(
+                (a - 0.7).abs() < 0.06,
+                "source {w} empirical accuracy {a} far from 0.7"
+            );
+        }
+    }
+
+    #[test]
+    fn provided_groups_have_correct_ground_truth() {
+        let d = generate(&SyntheticConfig::default());
+        // Every group marked provided must be in the provided set; every
+        // provided group with the true value must be marked value-true.
+        for (g, grp) in d.cube.groups().iter().enumerate() {
+            let in_set = d
+                .truth
+                .provided
+                .contains(&(grp.source.0, grp.item.0, grp.value.0));
+            assert_eq!(d.truth.group_provided[g], in_set);
+            let tv = d.truth.true_value[grp.item.index()].unwrap();
+            assert_eq!(d.truth.group_value_true[g], grp.value == tv);
+        }
+    }
+
+    #[test]
+    fn extraction_volume_scales_with_parameters() {
+        let small = generate(&SyntheticConfig {
+            recall: 0.2,
+            ..Default::default()
+        });
+        let big = generate(&SyntheticConfig {
+            recall: 0.9,
+            ..Default::default()
+        });
+        assert!(big.cube.num_cells() > 2 * small.cube.num_cells());
+    }
+
+    #[test]
+    fn value_eval_set_is_distinct_and_consistent() {
+        let d = generate(&SyntheticConfig::default());
+        let set = d.value_eval_set();
+        let mut seen = BTreeSet::new();
+        for (item, value, truth) in &set {
+            assert!(seen.insert((*item, *value)), "duplicate eval pair");
+            let tv = d.truth.true_value[item.index()].unwrap();
+            assert_eq!(*truth, tv == *value);
+        }
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn zero_extractors_yield_empty_cube_but_full_truth() {
+        let d = generate(&SyntheticConfig {
+            num_extractors: 0,
+            ..Default::default()
+        });
+        assert_eq!(d.cube.num_cells(), 0);
+        assert_eq!(d.truth.source_accuracy.len(), 10);
+    }
+}

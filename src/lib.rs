@@ -1,0 +1,38 @@
+//! # kbt — Knowledge-Based Trust
+//!
+//! A full Rust reproduction of *Knowledge-Based Trust: Estimating the
+//! Trustworthiness of Web Sources* (Dong, Gabrilovich, Murphy, Dang, Horn,
+//! Lugaresi, Sun, Zhang — Google; VLDB 2015, arXiv:1502.03519).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`datamodel`] — triples, ids, interning, the sparse observation cube,
+//! * [`core`] — the single-layer (ACCU/POPACCU) baseline and the
+//!   multi-layer KBT model with EM inference,
+//! * [`granularity`] — the split-and-merge granularity selection,
+//! * [`kb`] — the Freebase-like knowledge base, LCWA and type-check gold
+//!   labeling,
+//! * [`extract`] — the Knowledge-Vault-style extraction simulator,
+//! * [`synth`] — synthetic corpora (the paper's §5.2.1 generator and the
+//!   KV-scale web corpus),
+//! * [`graph`] — web graph + PageRank (the exogenous comparator),
+//! * [`flume`] — the FlumeJava-like parallel dataflow engine,
+//! * [`metrics`] — SqV/SqC/SqA, WDev, AUC-PR, calibration, coverage.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use kbt_core as core;
+pub use kbt_datamodel as datamodel;
+pub use kbt_extract as extract;
+pub use kbt_flume as flume;
+pub use kbt_granularity as granularity;
+pub use kbt_graph as graph;
+pub use kbt_kb as kb;
+pub use kbt_metrics as metrics;
+pub use kbt_synth as synth;
+
+pub use kbt_core::{
+    ModelConfig, MultiLayerModel, MultiLayerResult, QualityInit, SingleLayerModel,
+    SingleLayerResult,
+};
+pub use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, ObservationCube, SourceId, ValueId};

@@ -1,0 +1,145 @@
+//! End-to-end integration tests spanning the whole workspace: synthetic
+//! generation → inference → evaluation, exercised through the public
+//! facade crate.
+
+use kbt::core::{ModelConfig, MultiLayerModel, QualityInit, SingleLayerModel};
+use kbt::datamodel::SourceId;
+use kbt::metrics::square_loss_binary;
+use kbt::synth::paper::{generate, SyntheticConfig};
+
+/// The headline claim (Figure 3): on the paper's synthetic data the
+/// multi-layer model recovers source accuracies far better than the
+/// single-layer baseline once extraction noise is present.
+#[test]
+fn multilayer_recovers_source_accuracy_better_than_singlelayer() {
+    let mut multi_sqa = 0.0;
+    let mut single_sqa = 0.0;
+    let runs = 3;
+    for rep in 0..runs {
+        let data = generate(&SyntheticConfig {
+            seed: 500 + rep,
+            ..SyntheticConfig::default()
+        });
+        let m = MultiLayerModel::new(ModelConfig::default())
+            .run(&data.cube, &QualityInit::Default);
+        let s = SingleLayerModel::new(ModelConfig::single_layer_default())
+            .run(&data.cube, &QualityInit::Default);
+        for w in 0..data.cube.num_sources() {
+            let truth = data.truth.source_accuracy[w];
+            multi_sqa += (m.kbt(SourceId::new(w as u32)) - truth).powi(2);
+            single_sqa += (s.source_accuracy[w] - truth).powi(2);
+        }
+    }
+    assert!(
+        multi_sqa < single_sqa,
+        "multi SqA {multi_sqa:.4} must beat single SqA {single_sqa:.4}"
+    );
+}
+
+/// Planted extractor precision must be recovered within a loose tolerance:
+/// P = 0.8³ ≈ 0.51 per the synthetic model.
+#[test]
+fn extractor_precision_is_recovered() {
+    let data = generate(&SyntheticConfig {
+        triples_per_source: 200,
+        seed: 901,
+        ..SyntheticConfig::default()
+    });
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
+    for e in 0..5 {
+        assert!(
+            (r.params.precision[e] - 0.512).abs() < 0.2,
+            "P[{e}] = {} far from P³ = 0.512",
+            r.params.precision[e]
+        );
+    }
+}
+
+/// Extraction-correctness estimates must separate truly provided triples
+/// from extraction artifacts.
+#[test]
+fn correctness_separates_provided_from_hallucinated() {
+    let data = generate(&SyntheticConfig {
+        seed: 77,
+        ..SyntheticConfig::default()
+    });
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
+    let (mut sp, mut np, mut su, mut nu) = (0.0, 0usize, 0.0, 0usize);
+    for (g, &c) in r.correctness.iter().enumerate() {
+        if data.truth.group_provided[g] {
+            sp += c;
+            np += 1;
+        } else {
+            su += c;
+            nu += 1;
+        }
+    }
+    let mean_provided = sp / np as f64;
+    let mean_hallucinated = su / nu as f64;
+    assert!(
+        mean_provided > mean_hallucinated + 0.2,
+        "no separation: provided {mean_provided:.3} vs hallucinated {mean_hallucinated:.3}"
+    );
+}
+
+/// Same seed → bit-identical results; different seed → different corpus.
+#[test]
+fn pipeline_is_deterministic() {
+    let cfg = SyntheticConfig {
+        seed: 31337,
+        ..SyntheticConfig::default()
+    };
+    let a = generate(&cfg);
+    let b = generate(&cfg);
+    let ra = MultiLayerModel::new(ModelConfig::default()).run(&a.cube, &QualityInit::Default);
+    let rb = MultiLayerModel::new(ModelConfig::default()).run(&b.cube, &QualityInit::Default);
+    assert_eq!(ra.params.source_accuracy, rb.params.source_accuracy);
+    assert_eq!(ra.correctness, rb.correctness);
+    let c = generate(&SyntheticConfig {
+        seed: 31338,
+        ..SyntheticConfig::default()
+    });
+    assert_ne!(a.cube.num_cells(), 0);
+    assert!(c.cube.num_cells() != a.cube.num_cells() || {
+        let rc =
+            MultiLayerModel::new(ModelConfig::default()).run(&c.cube, &QualityInit::Default);
+        rc.params.source_accuracy != ra.params.source_accuracy
+    });
+}
+
+/// Parallel execution must not change results: 1 worker ≡ N workers.
+#[test]
+fn parallel_equals_serial() {
+    let data = generate(&SyntheticConfig {
+        seed: 4242,
+        ..SyntheticConfig::default()
+    });
+    kbt::flume::set_num_threads(1);
+    let serial = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
+    kbt::flume::set_num_threads(0);
+    let parallel =
+        MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
+    assert_eq!(serial.params.source_accuracy, parallel.params.source_accuracy);
+    assert_eq!(serial.params.precision, parallel.params.precision);
+    assert_eq!(serial.correctness, parallel.correctness);
+    assert_eq!(serial.truth_of_group, parallel.truth_of_group);
+}
+
+/// SqV on the default synthetic setup should be in the ballpark the paper
+/// reports for five extractors (Figure 3: ≈ 0.03–0.1).
+#[test]
+fn sqv_is_paper_magnitude() {
+    let data = generate(&SyntheticConfig {
+        seed: 11,
+        ..SyntheticConfig::default()
+    });
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
+    let eval = data.value_eval_set();
+    let pred: Vec<f64> = eval
+        .iter()
+        .map(|(d, v, _)| r.posteriors.prob(*d, *v))
+        .collect();
+    let truth: Vec<bool> = eval.iter().map(|(_, _, t)| *t).collect();
+    let sqv = square_loss_binary(&pred, &truth).unwrap();
+    assert!(sqv < 0.15, "SqV = {sqv} too high");
+}

@@ -1,0 +1,163 @@
+//! Failure-injection and adversarial-input tests: the library must stay
+//! finite, normalized, and sensible on degenerate inputs.
+
+use kbt::core::{ModelConfig, MultiLayerModel, QualityInit, SingleLayerModel};
+use kbt::datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
+
+fn obs(e: u32, w: u32, d: u32, v: u32, c: f64) -> Observation {
+    Observation {
+        extractor: ExtractorId::new(e),
+        source: SourceId::new(w),
+        item: ItemId::new(d),
+        value: ValueId::new(v),
+        confidence: c,
+    }
+}
+
+#[test]
+fn out_of_range_confidences_are_clamped_not_propagated() {
+    let mut b = CubeBuilder::new();
+    b.push(obs(0, 0, 0, 0, 7.5));
+    b.push(obs(0, 0, 1, 0, -3.0));
+    let cube = b.build();
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+    for &c in &r.correctness {
+        assert!(c.is_finite() && (0.0..=1.0).contains(&c));
+    }
+}
+
+#[test]
+fn single_observation_corpus_is_handled() {
+    let mut b = CubeBuilder::new();
+    b.push(obs(0, 0, 0, 0, 1.0));
+    let cube = b.build();
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+    assert!(r.kbt(SourceId::new(0)).is_finite());
+    assert!(r.posteriors.prob(ItemId::new(0), ValueId::new(0)).is_finite());
+    let s = SingleLayerModel::default().run(&cube, &QualityInit::Default);
+    assert!(s.source_accuracy[0].is_finite());
+}
+
+#[test]
+fn domain_smaller_than_observed_values_does_not_break_normalization() {
+    // n = 2 false values (domain size 3) but 6 distinct values observed:
+    // the posterior must still normalize over the observed values.
+    let mut b = CubeBuilder::new();
+    for v in 0..6u32 {
+        b.push(obs(0, v, 0, v, 1.0));
+    }
+    let cube = b.build();
+    let cfg = ModelConfig {
+        n_false_values: 2,
+        ..ModelConfig::default()
+    };
+    let r = MultiLayerModel::new(cfg).run(&cube, &QualityInit::Default);
+    let total = r.posteriors.observed_mass(ItemId::new(0));
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "observed values exceed domain; total = {total}"
+    );
+}
+
+#[test]
+fn adversarial_unanimous_lie_is_believed_but_finite() {
+    // Every source lies identically: the model cannot know better (no
+    // external truth), but nothing should blow up and the agreed value
+    // must win.
+    let mut b = CubeBuilder::new();
+    for w in 0..6u32 {
+        for e in 0..3u32 {
+            b.push(obs(e, w, 0, 9, 1.0));
+        }
+    }
+    let cube = b.build();
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+    assert!(r.posteriors.prob(ItemId::new(0), ValueId::new(9)) > 0.9);
+    for w in 0..6 {
+        assert!(r.kbt(SourceId::new(w)) > 0.5);
+    }
+}
+
+#[test]
+fn extreme_iteration_counts_stay_stable() {
+    let mut b = CubeBuilder::new();
+    for w in 0..4u32 {
+        for d in 0..10u32 {
+            b.push(obs(0, w, d, d % 3, 1.0));
+            b.push(obs(1, w, d, d % 3, 0.6));
+        }
+    }
+    let cube = b.build();
+    let cfg = ModelConfig {
+        max_iterations: 200,
+        convergence_eps: 0.0, // never converge early
+        ..ModelConfig::default()
+    };
+    let r = MultiLayerModel::new(cfg).run(&cube, &QualityInit::Default);
+    assert_eq!(r.iterations, 200);
+    for &a in &r.params.source_accuracy {
+        assert!(a.is_finite() && (0.0..=1.0).contains(&a));
+    }
+    for e in 0..cube.num_extractors() {
+        assert!(
+            r.params.q[e] < r.params.recall[e] + 1e-9,
+            "vote monotonicity must survive 200 iterations"
+        );
+    }
+}
+
+#[test]
+fn zero_iteration_budget_returns_defaults() {
+    let mut b = CubeBuilder::new();
+    b.push(obs(0, 0, 0, 0, 1.0));
+    let cube = b.build();
+    let cfg = ModelConfig {
+        max_iterations: 0,
+        ..ModelConfig::default()
+    };
+    let r = MultiLayerModel::new(cfg.clone()).run(&cube, &QualityInit::Default);
+    assert_eq!(r.iterations, 0);
+    assert!(!r.converged);
+    assert_eq!(r.params.source_accuracy[0], cfg.default_source_accuracy);
+}
+
+#[test]
+fn gold_init_with_extreme_seeds_is_clamped() {
+    let mut b = CubeBuilder::new();
+    for d in 0..5u32 {
+        b.push(obs(0, 0, d, 0, 1.0));
+    }
+    let cube = b.build();
+    let init = QualityInit::FromGold {
+        source_accuracy: vec![Some(1.0)],
+        extractor_precision: vec![Some(0.0)],
+        extractor_recall: vec![Some(f64::NAN.max(1.0))], // sanitized upstream
+    };
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&cube, &init);
+    for &a in &r.params.source_accuracy {
+        assert!(a.is_finite());
+    }
+    for e in 0..cube.num_extractors() {
+        assert!(r.params.precision[e].is_finite());
+        assert!(r.params.q[e].is_finite());
+    }
+}
+
+#[test]
+fn many_extractors_zero_overlap_does_not_underflow() {
+    // 200 extractors each extracting one distinct triple: the literal
+    // all-extractors absence sum is ≈ −200·|Abs|; sigmoids must underflow
+    // to 0.0 gracefully, not NaN.
+    let mut b = CubeBuilder::new();
+    for e in 0..200u32 {
+        b.push(obs(e, 0, e, 0, 1.0));
+    }
+    let cube = b.build();
+    let r = MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+    for &c in &r.correctness {
+        assert!(c.is_finite());
+    }
+    for &t in &r.truth_of_group {
+        assert!(t.is_finite());
+    }
+}
