@@ -3,8 +3,8 @@
 //! working at the adjusted granularity.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use kbt_core::{ModelConfig, MultiLayerModel, QualityInit};
 use kbt_core::config::AbsencePolicy;
+use kbt_core::{FusionModel, ModelConfig, MultiLayerModel, QualityInit};
 use kbt_granularity::{regroup_cube, split_and_merge, SourceKey, SplitMergeConfig};
 use kbt_synth::web::{generate, WebCorpusConfig};
 
@@ -57,11 +57,11 @@ fn regroup_and_infer(c: &mut Criterion) {
     let mut group = c.benchmark_group("iteration_granularity");
     group.bench_function("page_level", |b| {
         let model = MultiLayerModel::new(cfg.clone());
-        b.iter(|| black_box(model.run(&corpus.cube, &QualityInit::Default)))
+        b.iter(|| black_box(model.fit(&corpus.cube, &QualityInit::Default)))
     });
     group.bench_function("split_merged", |b| {
         let model = MultiLayerModel::new(cfg.clone());
-        b.iter(|| black_box(model.run(&cube_sm, &QualityInit::Default)))
+        b.iter(|| black_box(model.fit(&cube_sm, &QualityInit::Default)))
     });
     group.finish();
 }

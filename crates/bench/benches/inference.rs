@@ -3,6 +3,7 @@
 //! per-iteration phases of Algorithm 1.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_core::FusionModel;
 use kbt_core::{
     estimate_correctness, estimate_values, AlphaState, ModelConfig, MultiLayerModel, Params,
     QualityInit, SingleLayerModel, VoteCounter,
@@ -22,7 +23,7 @@ fn full_models(c: &mut Criterion) {
             &data,
             |b, data| {
                 let model = MultiLayerModel::new(ModelConfig::default());
-                b.iter(|| black_box(model.run(&data.cube, &QualityInit::Default)));
+                b.iter(|| black_box(model.fit(&data.cube, &QualityInit::Default)));
             },
         );
         group.bench_with_input(
@@ -30,7 +31,7 @@ fn full_models(c: &mut Criterion) {
             &data,
             |b, data| {
                 let model = SingleLayerModel::new(ModelConfig::single_layer_default());
-                b.iter(|| black_box(model.run(&data.cube, &QualityInit::Default)));
+                b.iter(|| black_box(model.fit(&data.cube, &QualityInit::Default)));
             },
         );
     }

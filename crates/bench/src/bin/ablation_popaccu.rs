@@ -7,8 +7,7 @@
 //! four combinations on the KV-scale corpus.
 
 use kbt_bench::harness::{
-    kv_multilayer_config, kv_singlelayer_config, run_multilayer, run_singlelayer,
-    score_predictions,
+    kv_multilayer_config, kv_singlelayer_config, run_multilayer, run_singlelayer, score_predictions,
 };
 use kbt_bench::table::{f3, f4, TableWriter};
 use kbt_core::{QualityInit, ValueModel};

@@ -34,7 +34,8 @@ fn main() {
     let combined: Vec<f64> = idf.iter().zip(&topic).map(|(a, b)| a * b).collect();
 
     let count_suspects = |weights: &[f64], label: &str| -> (usize, usize, usize) {
-        let kbt = extensions::weighted_kbt(&corpus.cube, &result, weights, 1.0);
+        let kbt =
+            extensions::weighted_kbt(&corpus.cube, result.as_multi_layer().unwrap(), weights, 1.0);
         // Site score = triple-weighted mean of its pages' scores.
         let mut num = vec![0.0f64; corpus.sites.len()];
         let mut den = vec![0.0f64; corpus.sites.len()];

@@ -7,8 +7,9 @@
 //! the bottom-right and popular gossip sites in the top-left.
 
 use kbt_bench::harness::{gold_init, kv_multilayer_config, run_multilayer};
-use kbt_graph::{normalize_unit, pagerank, preferential_attachment, PageRankConfig, WebGraph,
-    WebGraphConfig};
+use kbt_graph::{
+    normalize_unit, pagerank, preferential_attachment, PageRankConfig, WebGraph, WebGraphConfig,
+};
 use kbt_metrics::{pearson, spearman};
 use kbt_synth::web::{generate, SiteArchetype, WebCorpusConfig};
 
@@ -24,7 +25,7 @@ fn main() {
     // KBT per site.
     let cfg = kv_multilayer_config();
     let (result, _) = run_multilayer(&corpus, &cfg, &gold_init(&corpus));
-    let site_kbt = corpus.site_scores(&result.params.source_accuracy, &result.active_source);
+    let site_kbt = corpus.site_scores(result.source_trust(), result.active_source());
 
     // PageRank over a link graph independent of accuracy — except that
     // gossip sites are planted popular (they receive extra in-links), per
@@ -56,7 +57,10 @@ fn main() {
         rows.push((*site, *kbt, pr[*site as usize]));
     }
 
-    println!("Figure 10 — KBT vs PageRank over {} sampled websites\n", xs.len());
+    println!(
+        "Figure 10 — KBT vs PageRank over {} sampled websites\n",
+        xs.len()
+    );
     println!("KBT,PageRank (first 40 sample points)");
     for (_, k, p) in rows.iter().take(40) {
         println!("{k:.3},{p:.3}");

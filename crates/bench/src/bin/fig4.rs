@@ -12,11 +12,7 @@ use kbt_bench::table::{f3, TableWriter};
 use kbt_core::ModelConfig;
 use kbt_synth::paper::{generate, SyntheticConfig};
 
-fn sweep(
-    name: &str,
-    repeats: u64,
-    set: impl Fn(&mut SyntheticConfig, f64),
-) -> TableWriter {
+fn sweep(name: &str, repeats: u64, set: impl Fn(&mut SyntheticConfig, f64)) -> TableWriter {
     let mut t = TableWriter::new(&[name, "SqV", "SqC", "SqA"]);
     for step in 0..5 {
         let x = 0.1 + 0.2 * step as f64;

@@ -22,11 +22,11 @@ fn main() {
     });
     let cfg = kv_multilayer_config();
     let (result, _) = run_multilayer(&corpus, &cfg, &gold_init(&corpus));
+    let correctness = result.correctness().unwrap();
 
     let mut type_err = Vec::new();
     let mut kb_true = Vec::new();
-    for g in 0..corpus.cube.num_groups() {
-        let c = result.correctness[g];
+    for (g, &c) in correctness.iter().enumerate() {
         if corpus.is_type_error(g) {
             type_err.push(c);
         } else if corpus.gold_label(g) == Some(true) {

@@ -8,7 +8,7 @@
 
 use kbt_bench::harness::{kv_multilayer_config, website_cube};
 use kbt_bench::table::TableWriter;
-use kbt_core::{MultiLayerModel, QualityInit};
+use kbt_core::{FusionModel, MultiLayerModel, QualityInit};
 use kbt_datamodel::SourceId;
 use kbt_metrics::probability_histogram;
 use kbt_synth::web::{generate, WebCorpusConfig};
@@ -27,11 +27,9 @@ fn main() {
     // with at least 5 extracted triples.
     let cfg = kv_multilayer_config();
     let cube = website_cube(&corpus);
-    let result = MultiLayerModel::new(cfg).run(&cube, &QualityInit::Default);
+    let result = MultiLayerModel::new(cfg).fit(&cube, &QualityInit::Default);
     let kbt: Vec<f64> = (0..cube.num_sources())
-        .filter(|&s| {
-            cube.source_size(SourceId::new(s as u32)) >= 5 && result.active_source[s]
-        })
+        .filter(|&s| cube.source_size(SourceId::new(s as u32)) >= 5 && result.active_source()[s])
         .map(|s| result.kbt(SourceId::new(s as u32)))
         .collect();
 
@@ -47,10 +45,7 @@ fn main() {
     }
     println!("{}", t.render());
     let above_08: f64 = kbt.iter().filter(|&&x| x > 0.8).count() as f64 / kbt.len().max(1) as f64;
-    println!(
-        "peak bucket: {}   (paper: 0.80)",
-        h.labels[h.peak()]
-    );
+    println!("peak bucket: {}   (paper: 0.80)", h.labels[h.peak()]);
     println!(
         "websites with KBT > 0.8: {:.0}%   (paper: 52%)",
         100.0 * above_08

@@ -29,7 +29,7 @@ fn main() {
     });
     let cfg = kv_multilayer_config();
     let (result, _) = run_multilayer(&corpus, &cfg, &gold_init(&corpus));
-    let site_kbt = corpus.site_scores(&result.params.source_accuracy, &result.active_source);
+    let site_kbt = corpus.site_scores(result.source_trust(), result.active_source());
 
     // Sample up to 100 sites with KBT above 0.9.
     let sample: Vec<(u32, f64)> = site_kbt
@@ -58,7 +58,7 @@ fn main() {
                 continue;
             }
             for g in corpus.cube.source_groups(SourceId::new(p as u32)) {
-                if result.correctness[g] < 0.8 || checked >= 10 {
+                if result.correctness().unwrap()[g] < 0.8 || checked >= 10 {
                     continue;
                 }
                 checked += 1;

@@ -106,7 +106,10 @@ fn print_curves(corpus: &WebCorpus, name: &str, preds: &TriplePredictions) {
     let (pred, labels) = labeled_predictions(corpus, preds);
     println!("\nFigure 8 — calibration curve for {name} (predicted → actual, n)");
     for pt in calibration_curve_partial(&pred, &labels, 10) {
-        println!("  {:.2} -> {:.3}  (n={})", pt.predicted, pt.actual, pt.count);
+        println!(
+            "  {:.2} -> {:.3}  (n={})",
+            pt.predicted, pt.actual, pt.count
+        );
     }
     let mut p = Vec::new();
     let mut t = Vec::new();

@@ -37,9 +37,7 @@ fn timed_run(cube: &ObservationCube, timer: &mut PhaseTimer) {
     let index = timer.time("Prep. Extractor", || cube.build_extractor_index());
     let mut params = Params::init(cube, &cfg, &QualityInit::Default);
     let mut active: Vec<bool> = (0..cube.num_sources())
-        .map(|w| {
-            cube.source_size(kbt_datamodel::SourceId::new(w as u32)) >= cfg.min_source_support
-        })
+        .map(|w| cube.source_size(kbt_datamodel::SourceId::new(w as u32)) >= cfg.min_source_support)
         .collect();
     let mut alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
     for t in 1..=ITERS {
@@ -282,7 +280,12 @@ fn main() {
          (1 unit = one Normal iteration):\n"
     );
     let mut t2 = TableWriter::new(&["phase", "Normal", "Split", "Split&Merge"]);
-    let names = ["I. ExtCorr", "II. TriplePr", "III. SrcAccu", "IV. ExtQuality"];
+    let names = [
+        "I. ExtCorr",
+        "II. TriplePr",
+        "III. SrcAccu",
+        "IV. ExtQuality",
+    ];
     for (i, name) in names.iter().enumerate() {
         t2.row(vec![
             name.to_string(),

@@ -4,12 +4,13 @@
 use std::collections::BTreeMap;
 
 use kbt_core::{
-    CorrectnessWeighting, ModelConfig, MultiLayerModel, MultiLayerResult, QualityInit,
-    SingleLayerModel, SingleLayerResult,
+    CorrectnessWeighting, FusionModel, FusionReport, ModelConfig, MultiLayerModel, QualityInit,
+    SingleLayerModel, ValueModel,
 };
 use kbt_datamodel::{ItemId, ObservationCube, SourceId, ValueId};
 use kbt_granularity::{regroup_cube, SplitMergeConfig, WorkingSource};
 use kbt_metrics::{auc_pr_partial, square_loss_binary, square_loss_partial, wdev_partial};
+use kbt_pipeline::{Model, TrustPipeline};
 use kbt_synth::paper::SyntheticDataset;
 use kbt_synth::WebCorpus;
 
@@ -27,39 +28,38 @@ pub struct SynthLosses {
 
 /// Evaluate the multi-layer model on a synthetic dataset with exact truth.
 pub fn eval_multilayer_synth(data: &SyntheticDataset, cfg: &ModelConfig) -> SynthLosses {
-    let result = MultiLayerModel::new(cfg.clone()).run(&data.cube, &QualityInit::Default);
+    let result = MultiLayerModel::new(cfg.clone()).fit(&data.cube, &QualityInit::Default);
     let eval = data.value_eval_set();
     let pred: Vec<f64> = eval
         .iter()
-        .map(|(d, v, _)| result.posteriors.prob(*d, *v))
+        .map(|(d, v, _)| result.posteriors().prob(*d, *v))
         .collect();
     let truth: Vec<bool> = eval.iter().map(|(_, _, t)| *t).collect();
     let sqv = square_loss_binary(&pred, &truth).unwrap_or(0.0);
-    let sqc = square_loss_binary(&result.correctness, &data.truth.group_provided);
-    let sqa = sqa_of(
-        &result.params.source_accuracy,
-        &data.truth.source_accuracy,
-        &result.active_source,
+    let sqc = square_loss_binary(
+        result.correctness().unwrap_or(&[]),
+        &data.truth.group_provided,
     );
-    SynthLosses {
-        sqv,
-        sqc,
-        sqa,
-    }
+    let sqa = sqa_of(
+        result.source_trust(),
+        &data.truth.source_accuracy,
+        result.active_source(),
+    );
+    SynthLosses { sqv, sqc, sqa }
 }
 
 /// Evaluate the single-layer baseline on a synthetic dataset.
 pub fn eval_singlelayer_synth(data: &SyntheticDataset, cfg: &ModelConfig) -> SynthLosses {
-    let result = SingleLayerModel::new(cfg.clone()).run(&data.cube, &QualityInit::Default);
+    let result = SingleLayerModel::new(cfg.clone()).fit(&data.cube, &QualityInit::Default);
     let eval = data.value_eval_set();
     let pred: Vec<f64> = eval
         .iter()
-        .map(|(d, v, _)| result.posteriors.prob(*d, *v))
+        .map(|(d, v, _)| result.posteriors().prob(*d, *v))
         .collect();
     let truth: Vec<bool> = eval.iter().map(|(_, _, t)| *t).collect();
     let sqv = square_loss_binary(&pred, &truth).unwrap_or(0.0);
     let active = vec![true; data.cube.num_sources()];
-    let sqa = sqa_of(&result.source_accuracy, &data.truth.source_accuracy, &active);
+    let sqa = sqa_of(result.source_trust(), &data.truth.source_accuracy, &active);
     SynthLosses {
         sqv,
         sqc: None,
@@ -271,15 +271,26 @@ pub fn gold_init_for_working_sources(
     }
 }
 
-/// Run MULTILAYER on the corpus at page granularity.
+/// Run MULTILAYER on the corpus at page granularity, through the unified
+/// pipeline.
 pub fn run_multilayer(
     corpus: &WebCorpus,
     cfg: &ModelConfig,
     init: &QualityInit,
-) -> (MultiLayerResult, TriplePredictions) {
-    let r = MultiLayerModel::new(cfg.clone()).run(&corpus.cube, init);
-    let preds = collect_triple_predictions(&corpus.cube, &r.truth_of_group, &r.covered_group);
+) -> (FusionReport, TriplePredictions) {
+    // fit() borrows the corpus cube — no clone for the common page-level
+    // path (the KV cubes are millions of cells).
+    let r = MultiLayerModel::new(cfg.clone()).fit(&corpus.cube, init);
+    let preds = collect_triple_predictions(&corpus.cube, r.truth_of_group(), r.covered_group());
     (r, preds)
+}
+
+/// The single-layer [`Model`] variant matching `cfg.value_model`.
+pub fn single_layer_model(cfg: &ModelConfig) -> Model {
+    match cfg.value_model {
+        ValueModel::Accu => Model::Accu(cfg.clone()),
+        ValueModel::PopAccu => Model::PopAccu(cfg.clone()),
+    }
 }
 
 /// Rebuild the corpus cube with sources at *website* granularity. The
@@ -308,7 +319,7 @@ pub fn run_singlelayer(
     corpus: &WebCorpus,
     cfg: &ModelConfig,
     init: &QualityInit,
-) -> (SingleLayerResult, TriplePredictions) {
+) -> (FusionReport, TriplePredictions) {
     let cube = website_cube(corpus);
     // Re-target a per-page gold init to websites when needed.
     let init = match init {
@@ -341,9 +352,19 @@ pub fn run_singlelayer(
         }
         QualityInit::Default => QualityInit::Default,
     };
-    let r = SingleLayerModel::new(cfg.clone()).run(&cube, &init);
-    let preds = collect_triple_predictions(&cube, &r.truth_of_group, &r.covered_group);
-    (r, preds)
+    // The website cube is freshly built and owned: move it through the
+    // pipeline and read it back from the run instead of cloning.
+    let run = TrustPipeline::new()
+        .cube(cube)
+        .model(single_layer_model(cfg))
+        .init(init)
+        .run_detailed();
+    let preds = collect_triple_predictions(
+        &run.cube,
+        run.report.truth_of_group(),
+        run.report.covered_group(),
+    );
+    (run.report, preds)
 }
 
 /// Run MULTILAYERSM: SPLITANDMERGE the sources, then MULTILAYER on the
@@ -354,11 +375,14 @@ pub fn run_multilayer_sm(
     sm: &SplitMergeConfig,
     gold: bool,
 ) -> (
-    MultiLayerResult,
+    FusionReport,
     TriplePredictions,
     ObservationCube,
     Vec<WorkingSource>,
 ) {
+    // Regroup first (not via `.granularity(..)`) because the gold
+    // initialization is computed *from* the regrouping (working-source
+    // accuracies are seeded from the rows each one absorbed).
     let (cube, sources, row_source) = regroup_cube(
         &corpus.observations,
         |i| corpus.finest_source_key(&corpus.observations[i]),
@@ -369,9 +393,17 @@ pub fn run_multilayer_sm(
     } else {
         QualityInit::Default
     };
-    let r = MultiLayerModel::new(cfg.clone()).run(&cube, &init);
-    let preds = collect_triple_predictions(&cube, &r.truth_of_group, &r.covered_group);
-    (r, preds, cube, sources)
+    let run = TrustPipeline::new()
+        .cube(cube)
+        .model(Model::MultiLayer(cfg.clone()))
+        .init(init)
+        .run_detailed();
+    let preds = collect_triple_predictions(
+        &run.cube,
+        run.report.truth_of_group(),
+        run.report.covered_group(),
+    );
+    (run.report, preds, run.cube, sources)
 }
 
 /// Default model configuration for the KV-scale experiments: the paper's
@@ -482,13 +514,13 @@ pub fn topic_weights(corpus: &WebCorpus, mass: f64) -> Vec<f64> {
 /// triples (Figure 7 uses 5).
 pub fn kbt_scores_with_support(
     cube: &ObservationCube,
-    result: &MultiLayerResult,
+    result: &FusionReport,
     min_triples: usize,
 ) -> Vec<(SourceId, f64)> {
     (0..cube.num_sources())
         .filter_map(|w| {
             let w = SourceId::new(w as u32);
-            (cube.source_size(w) >= min_triples && result.active_source[w.index()])
+            (cube.source_size(w) >= min_triples && result.active_source()[w.index()])
                 .then(|| (w, result.kbt(w)))
         })
         .collect()
@@ -534,7 +566,7 @@ mod tests {
         let corpus = gen_web(&WebCorpusConfig::tiny(5));
         let cfg = kv_multilayer_config();
         let (result, preds) = run_multilayer(&corpus, &cfg, &QualityInit::Default);
-        assert!(result.iterations >= 1);
+        assert!(result.iterations() >= 1);
         let scores = score_predictions(&corpus, &preds);
         assert!(scores.sqv.is_finite());
         assert!(scores.cov > 0.0 && scores.cov <= 1.0);
@@ -571,7 +603,7 @@ mod tests {
         assert!(cube.num_cells() <= corpus.cube.num_cells());
         assert!(cube.num_cells() > 0);
         assert!(!sources.is_empty());
-        assert!(r.iterations >= 1);
+        assert!(r.iterations() >= 1);
         let scores = score_predictions(&corpus, &preds);
         assert!(scores.sqv.is_finite());
     }

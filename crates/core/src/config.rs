@@ -104,6 +104,12 @@ pub struct ModelConfig {
     /// triples supported only by inactive sources are reported uncovered
     /// (the coverage rule of Section 5.1.1/5.1.2).
     pub min_source_support: usize,
+    /// Worker threads for this run. `None` uses the ambient
+    /// `kbt_flume` configuration (global fallback, then hardware);
+    /// `Some(0)` forces the hardware default; `Some(n)` pins `n` workers.
+    /// Per-run and race-free, unlike `kbt_flume::set_num_threads` —
+    /// installed around inference via `kbt_flume::with_threads`.
+    pub threads: Option<usize>,
 }
 
 impl Default for ModelConfig {
@@ -125,6 +131,7 @@ impl Default for ModelConfig {
             absence_policy: AbsencePolicy::AllExtractors,
             literal_eq26_alpha: false,
             min_source_support: 1,
+            threads: None,
         }
     }
 }

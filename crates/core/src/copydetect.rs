@@ -75,6 +75,18 @@ pub fn detect_copies(
     result: &MultiLayerResult,
     cfg: &CopyDetectConfig,
 ) -> Vec<CopyEvidence> {
+    detect_copies_from_accuracy(cube, &result.params.source_accuracy, cfg)
+}
+
+/// Score all source pairs from per-source accuracy estimates.
+///
+/// Model-agnostic core of [`detect_copies`]: any engine's trust vector
+/// works (this is what `TrustPipeline` feeds from a `FusionReport`).
+pub fn detect_copies_from_accuracy(
+    cube: &ObservationCube,
+    source_accuracy: &[f64],
+    cfg: &CopyDetectConfig,
+) -> Vec<CopyEvidence> {
     // For each item: the claiming sources, and how many sources back
     // each value (for the exclusivity test).
     let mut pair_stats: HashMap<(u32, u32), (usize, usize, usize)> = HashMap::new();
@@ -125,8 +137,8 @@ pub fn detect_copies(
             // agrees with probability ≈ (1−A). The per-shared-mistake
             // log-ratio is ln(n/(1−A)); we use the sources' estimated
             // accuracies.
-            let aa = result.params.source_accuracy[a as usize].clamp(0.01, 0.99);
-            let ab = result.params.source_accuracy[b as usize].clamp(0.01, 0.99);
+            let aa = source_accuracy[a as usize].clamp(0.01, 0.99);
+            let ab = source_accuracy[b as usize].clamp(0.01, 0.99);
             let miss = ((1.0 - aa) * (1.0 - ab)).max(1e-6);
             let per_mistake = (n / miss.sqrt()).ln();
             // True-value agreement carries almost no copy signal (honest
@@ -143,7 +155,14 @@ pub fn detect_copies(
             }
         })
         .collect();
-    out.sort_by(|x, y| y.score.partial_cmp(&x.score).expect("score NaN"));
+    // Ties broken by pair id so the ordering is deterministic regardless
+    // of hash-map iteration order.
+    out.sort_by(|x, y| {
+        y.score
+            .partial_cmp(&x.score)
+            .expect("score NaN")
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
     out
 }
 
@@ -200,8 +219,9 @@ mod tests {
     #[test]
     fn copier_pair_scores_highest() {
         let cube = corpus_with_copier(5);
-        let result =
-            MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let result = MultiLayerModel::new(ModelConfig::default())
+            .run_traced(&cube, &QualityInit::Default)
+            .0;
         let evidence = detect_copies(&cube, &result, &CopyDetectConfig::default());
         assert!(!evidence.is_empty());
         let top = &evidence[0];
@@ -210,7 +230,10 @@ mod tests {
             (SourceId::new(3), SourceId::new(4)),
             "the planted copier pair must rank first; got {top:?}"
         );
-        assert!(top.agree_exclusive > 0, "copying shows in exclusive agreements");
+        assert!(
+            top.agree_exclusive > 0,
+            "copying shows in exclusive agreements"
+        );
         // Independent pairs share far fewer false values.
         let independents: Vec<&CopyEvidence> = evidence
             .iter()
@@ -231,8 +254,9 @@ mod tests {
     #[test]
     fn overlap_threshold_filters_thin_pairs() {
         let cube = corpus_with_copier(9);
-        let result =
-            MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let result = MultiLayerModel::new(ModelConfig::default())
+            .run_traced(&cube, &QualityInit::Default)
+            .0;
         let cfg = CopyDetectConfig {
             min_overlap: 1_000_000,
             ..CopyDetectConfig::default()
@@ -243,8 +267,9 @@ mod tests {
     #[test]
     fn evidence_is_sorted_by_score() {
         let cube = corpus_with_copier(13);
-        let result =
-            MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let result = MultiLayerModel::new(ModelConfig::default())
+            .run_traced(&cube, &QualityInit::Default)
+            .0;
         let evidence = detect_copies(&cube, &result, &CopyDetectConfig::default());
         for w in evidence.windows(2) {
             assert!(w[0].score >= w[1].score);

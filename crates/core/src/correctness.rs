@@ -93,8 +93,18 @@ mod tests {
         let (good, bad) = (ExtractorId::new(0), ExtractorId::new(1));
         let w = SourceId::new(0);
         // Group 0: extracted by good only; group 1: by bad only.
-        b.push(Observation::certain(good, w, ItemId::new(0), ValueId::new(0)));
-        b.push(Observation::certain(bad, w, ItemId::new(1), ValueId::new(1)));
+        b.push(Observation::certain(
+            good,
+            w,
+            ItemId::new(0),
+            ValueId::new(0),
+        ));
+        b.push(Observation::certain(
+            bad,
+            w,
+            ItemId::new(1),
+            ValueId::new(1),
+        ));
         let cube = b.build();
         let params = Params {
             source_accuracy: vec![0.8],

@@ -135,7 +135,9 @@ mod tests {
     #[test]
     fn weighted_kbt_flags_sources_with_no_informative_mass() {
         let cube = trivia_cube();
-        let result = MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let result = MultiLayerModel::new(ModelConfig::default())
+            .run_traced(&cube, &QualityInit::Default)
+            .0;
         let weights = idf_weights(&cube);
         // Farm: 30 triples × idf ≈ 0.17 ≈ 5 mass; informative source:
         // 30 × ≈ 0.5 ≈ 15. A threshold between the two flags the farm.
@@ -149,13 +151,15 @@ mod tests {
     #[test]
     fn unit_weights_recover_plain_kbt() {
         let cube = trivia_cube();
-        let result = MultiLayerModel::new(ModelConfig::default()).run(&cube, &QualityInit::Default);
+        let result = MultiLayerModel::new(ModelConfig::default())
+            .run_traced(&cube, &QualityInit::Default)
+            .0;
         let ones = vec![1.0; cube.num_groups()];
         let kbt = weighted_kbt(&cube, &result, &ones, 0.0);
-        for w in 0..cube.num_sources() {
+        for (w, weighted) in kbt.iter().enumerate() {
             if result.active_source[w] {
                 let plain = result.kbt(SourceId::new(w as u32));
-                let weighted = kbt[w].unwrap();
+                let weighted = weighted.unwrap();
                 assert!(
                     (plain - weighted).abs() < 1e-9,
                     "unit weights must reproduce Eq. 28: {plain} vs {weighted}"

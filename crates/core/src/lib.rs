@@ -24,8 +24,11 @@
 //!
 //! ## Quickstart
 //!
+//! Both engines implement [`FusionModel`]; [`FusionModel::fit`] returns
+//! the unified [`FusionReport`]:
+//!
 //! ```
-//! use kbt_core::{ModelConfig, MultiLayerModel, QualityInit};
+//! use kbt_core::{FusionModel, ModelConfig, MultiLayerModel, QualityInit};
 //! use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
 //!
 //! let mut builder = CubeBuilder::new();
@@ -39,8 +42,10 @@
 //! let cube = builder.build();
 //!
 //! let model = MultiLayerModel::new(ModelConfig::default());
-//! let result = model.run(&cube, &QualityInit::Default);
-//! assert!(result.kbt(SourceId::new(0)) > result.kbt(SourceId::new(2)));
+//! let report = model.fit(&cube, &QualityInit::Default);
+//! assert!(report.kbt(SourceId::new(0)) > report.kbt(SourceId::new(2)));
+//! // Per-round diagnostics come along for free:
+//! assert_eq!(report.trace.rounds.len(), report.iterations());
 //! ```
 
 #![warn(missing_docs)]
@@ -50,6 +55,7 @@ pub mod copydetect;
 pub mod correctness;
 pub mod extensions;
 pub mod math;
+pub mod model;
 pub mod mstep;
 pub mod multi_layer;
 pub mod params;
@@ -59,9 +65,12 @@ pub mod value;
 pub mod votes;
 
 pub use config::{CorrectnessWeighting, ModelConfig, ValueModel};
+pub use copydetect::{detect_copies, detect_copies_from_accuracy, CopyDetectConfig, CopyEvidence};
 pub use correctness::{estimate_correctness, AlphaState};
-pub use copydetect::{detect_copies, CopyDetectConfig, CopyEvidence};
 pub use extensions::{idf_weights, weighted_kbt};
+pub use model::{
+    ConvergenceTrace, FusionDetail, FusionModel, FusionReport, IterationTrace, ModelKind,
+};
 pub use multi_layer::{MultiLayerModel, MultiLayerResult};
 pub use params::{q_from_precision_recall, Params, QualityInit};
 pub use posterior::ItemPosteriors;

@@ -47,7 +47,11 @@ pub fn clamp_quality(p: f64) -> f64 {
 /// value nobody provides has vote count 0, i.e. contributes `exp(0)` to the
 /// normalizer (see Example 3.2 where `Z = e^{10.8} + e^{5.4} + 9·e^0`).
 pub fn log_sum_exp_with_zeros(xs: &[f64], extra_count: usize) -> f64 {
-    let mut m = if extra_count > 0 { 0.0 } else { f64::NEG_INFINITY };
+    let mut m = if extra_count > 0 {
+        0.0
+    } else {
+        f64::NEG_INFINITY
+    };
     for &x in xs {
         if x > m {
             m = x;

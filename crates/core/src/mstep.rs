@@ -131,11 +131,8 @@ pub fn update_extractor_quality(
     } else {
         cfg.gamma
     };
-    let slices: (&mut [f64], &mut [f64], &mut [f64]) = (
-        &mut params.precision,
-        &mut params.recall,
-        &mut params.q,
-    );
+    let slices: (&mut [f64], &mut [f64], &mut [f64]) =
+        (&mut params.precision, &mut params.recall, &mut params.q);
     let (precision, recall, q) = slices;
     // Cheap loop; parallelize only the final derivation for large E.
     for e in 0..ne {
@@ -380,9 +377,7 @@ mod tests {
             ));
         }
         let cube = b.build();
-        let correctness: Vec<f64> = (0..cube.num_groups())
-            .map(|_| rng.gen::<f64>())
-            .collect();
+        let correctness: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
         for policy in [
             crate::config::AbsencePolicy::AllExtractors,
             crate::config::AbsencePolicy::SourceCandidates,

@@ -13,9 +13,11 @@
 //! Section 5.1.2).
 
 use kbt_datamodel::{ObservationCube, SourceId};
+use kbt_flume::Stopwatch;
 
 use crate::config::ModelConfig;
 use crate::correctness::{estimate_correctness, AlphaState};
+use crate::model::{map_confidence_ll, ConvergenceTrace, IterationTrace};
 use crate::mstep::{update_extractor_quality, update_source_accuracy};
 use crate::params::{Params, QualityInit};
 use crate::posterior::ItemPosteriors;
@@ -62,8 +64,7 @@ impl MultiLayerResult {
         if self.covered_group.is_empty() {
             return 0.0;
         }
-        self.covered_group.iter().filter(|&&c| c).count() as f64
-            / self.covered_group.len() as f64
+        self.covered_group.iter().filter(|&&c| c).count() as f64 / self.covered_group.len() as f64
     }
 }
 
@@ -85,7 +86,35 @@ impl MultiLayerModel {
     }
 
     /// Run Algorithm 1 on `cube` with the given parameter initialization.
+    ///
+    /// Legacy entry point; prefer [`crate::FusionModel::fit`], which
+    /// returns the unified [`crate::FusionReport`] with the convergence
+    /// trace. The numbers are bit-for-bit identical.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FusionModel::fit (or TrustPipeline) and read FusionReport"
+    )]
     pub fn run(&self, cube: &ObservationCube, init: &QualityInit) -> MultiLayerResult {
+        self.run_traced(cube, init).0
+    }
+
+    /// Run Algorithm 1, also recording per-iteration diagnostics.
+    ///
+    /// Inference runs under the per-run thread configuration of
+    /// [`ModelConfig::threads`] via `kbt_flume::with_threads`.
+    pub fn run_traced(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
+        kbt_flume::with_threads(self.cfg.threads, || self.run_inner(cube, init))
+    }
+
+    fn run_inner(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
         let cfg = &self.cfg;
         let mut params = Params::init(cube, cfg, init);
         // A source may vote from the start if it has enough support; its
@@ -99,6 +128,8 @@ impl MultiLayerModel {
         let mut values: Option<ValueLayerOutput> = None;
         let mut iterations = 0;
         let mut converged = false;
+        let mut trace = ConvergenceTrace::default();
+        let mut watch = Stopwatch::start();
 
         for t in 1..=cfg.max_iterations {
             iterations = t;
@@ -124,12 +155,24 @@ impl MultiLayerModel {
                 alpha.update(cube, &out.truth_of_group, &params, cfg);
             }
             let delta = params.max_abs_delta(&prev);
+            let log_likelihood = correctness
+                .iter()
+                .zip(&out.truth_of_group)
+                .map(|(&c, &v)| map_confidence_ll(c) + map_confidence_ll(v))
+                .sum();
+            trace.rounds.push(IterationTrace {
+                iteration: t,
+                delta,
+                log_likelihood,
+                wall: watch.lap(),
+            });
             values = Some(out);
             if delta < cfg.convergence_eps {
                 converged = true;
                 break;
             }
         }
+        trace.converged = converged;
 
         let values = values.unwrap_or_else(|| ValueLayerOutput {
             posteriors: ItemPosteriors::from_parts(
@@ -141,7 +184,7 @@ impl MultiLayerModel {
             covered_group: vec![false; cube.num_groups()],
         });
 
-        MultiLayerResult {
+        let result = MultiLayerResult {
             params,
             correctness,
             posteriors: values.posteriors,
@@ -151,12 +194,16 @@ impl MultiLayerModel {
             active_source: active,
             iterations,
             converged,
-        }
+        };
+        (result, trace)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy `run` path must keep working; these tests exercise it.
+    #![allow(deprecated)]
+
     use super::*;
     use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, ValueId};
 
@@ -326,7 +373,11 @@ mod tests {
         };
         let model = MultiLayerModel::new(cfg);
         let r = model.run(&cube, &QualityInit::Default);
-        assert!(r.converged, "did not converge in {} iterations", r.iterations);
+        assert!(
+            r.converged,
+            "did not converge in {} iterations",
+            r.iterations
+        );
         assert!(r.iterations < 50);
     }
 }

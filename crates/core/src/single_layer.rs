@@ -15,10 +15,11 @@
 use std::collections::HashMap;
 
 use kbt_datamodel::{ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
-use kbt_flume::par_map_slice;
+use kbt_flume::{par_map_slice, Stopwatch};
 
 use crate::config::{ModelConfig, ValueModel};
 use crate::math::{clamp_quality, log_sum_exp_with_zeros};
+use crate::model::{map_confidence_ll, ConvergenceTrace, IterationTrace};
 use crate::params::QualityInit;
 use crate::posterior::ItemPosteriors;
 
@@ -61,8 +62,7 @@ impl SingleLayerResult {
         if self.covered_group.is_empty() {
             return 0.0;
         }
-        self.covered_group.iter().filter(|&&c| c).count() as f64
-            / self.covered_group.len() as f64
+        self.covered_group.iter().filter(|&&c| c).count() as f64 / self.covered_group.len() as f64
     }
 }
 
@@ -90,7 +90,35 @@ impl SingleLayerModel {
     }
 
     /// Run single-layer fusion over `cube`.
+    ///
+    /// Legacy entry point; prefer [`crate::FusionModel::fit`], which
+    /// returns the unified [`crate::FusionReport`] with the convergence
+    /// trace. The numbers are bit-for-bit identical.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use FusionModel::fit (or TrustPipeline) and read FusionReport"
+    )]
     pub fn run(&self, cube: &ObservationCube, init: &QualityInit) -> SingleLayerResult {
+        self.run_traced(cube, init).0
+    }
+
+    /// Run single-layer fusion, also recording per-iteration diagnostics.
+    ///
+    /// Inference runs under the per-run thread configuration of
+    /// [`ModelConfig::threads`] via `kbt_flume::with_threads`.
+    pub fn run_traced(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+    ) -> (SingleLayerResult, ConvergenceTrace) {
+        kbt_flume::with_threads(self.cfg.threads, || self.run_inner(cube, init))
+    }
+
+    fn run_inner(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+    ) -> (SingleLayerResult, ConvergenceTrace) {
         let cfg = &self.cfg;
 
         // ---- Reshape the cube into pair-sources and claims. ----
@@ -168,67 +196,68 @@ impl SingleLayerModel {
         let mut posteriors = ItemPosteriors::default();
         let mut iterations = 0;
         let mut converged = false;
+        let mut trace = ConvergenceTrace::default();
+        let mut watch = Stopwatch::start();
 
         for t in 1..=cfg.max_iterations {
             iterations = t;
             // E-step per item (Eq. 2–3): (observed posteriors,
             // unobserved mass, per-claim truth).
             type ItemOut = (Vec<(ValueId, f64)>, f64, Vec<(u32, f64)>);
-            let per_item: Vec<ItemOut> =
-                par_map_slice(&items, |&d| {
-                    let lo = offsets[d as usize] as usize;
-                    let hi = offsets[d as usize + 1] as usize;
-                    let mut votes: Vec<(ValueId, f64, f64)> = Vec::new(); // (v, vote, claims)
-                    for &ci in &by_item[lo..hi] {
+            let per_item: Vec<ItemOut> = par_map_slice(&items, |&d| {
+                let lo = offsets[d as usize] as usize;
+                let hi = offsets[d as usize + 1] as usize;
+                let mut votes: Vec<(ValueId, f64, f64)> = Vec::new(); // (v, vote, claims)
+                for &ci in &by_item[lo..hi] {
+                    let cl = claims[ci as usize];
+                    if !active_pair[cl.pair as usize] {
+                        continue;
+                    }
+                    let a = clamp_quality(acc[cl.pair as usize]);
+                    let vote = (n * a / (1.0 - a)).ln();
+                    match votes.iter_mut().find(|(v, _, _)| *v == cl.value) {
+                        Some((_, s, c)) => {
+                            *s += vote;
+                            *c += 1.0;
+                        }
+                        None => votes.push((cl.value, vote, 1.0)),
+                    }
+                }
+                if cfg.value_model == ValueModel::PopAccu && !votes.is_empty() {
+                    let total: f64 = votes.iter().map(|(_, _, c)| c).sum();
+                    let denom = total + n + 1.0;
+                    for (_, s, c) in votes.iter_mut() {
+                        let rho = (*c + 1.0) / denom;
+                        *s += *c * ((1.0 / n).ln() - rho.ln());
+                    }
+                }
+                let unobserved = domain.saturating_sub(votes.len());
+                let vcs: Vec<f64> = votes.iter().map(|(_, s, _)| *s).collect();
+                let log_z = log_sum_exp_with_zeros(&vcs, unobserved);
+                let entries: Vec<(ValueId, f64)> = votes
+                    .iter()
+                    .map(|(v, s, _)| (*v, (s - log_z).exp()))
+                    .collect();
+                let um = if log_z.is_finite() {
+                    (-log_z).exp()
+                } else {
+                    1.0 / domain as f64
+                };
+                // Truthfulness of each claim of this item.
+                let tr: Vec<(u32, f64)> = by_item[lo..hi]
+                    .iter()
+                    .map(|&ci| {
                         let cl = claims[ci as usize];
-                        if !active_pair[cl.pair as usize] {
-                            continue;
-                        }
-                        let a = clamp_quality(acc[cl.pair as usize]);
-                        let vote = (n * a / (1.0 - a)).ln();
-                        match votes.iter_mut().find(|(v, _, _)| *v == cl.value) {
-                            Some((_, s, c)) => {
-                                *s += vote;
-                                *c += 1.0;
-                            }
-                            None => votes.push((cl.value, vote, 1.0)),
-                        }
-                    }
-                    if cfg.value_model == ValueModel::PopAccu && !votes.is_empty() {
-                        let total: f64 = votes.iter().map(|(_, _, c)| c).sum();
-                        let denom = total + n + 1.0;
-                        for (_, s, c) in votes.iter_mut() {
-                            let rho = (*c + 1.0) / denom;
-                            *s += *c * ((1.0 / n).ln() - rho.ln());
-                        }
-                    }
-                    let unobserved = domain.saturating_sub(votes.len());
-                    let vcs: Vec<f64> = votes.iter().map(|(_, s, _)| *s).collect();
-                    let log_z = log_sum_exp_with_zeros(&vcs, unobserved);
-                    let entries: Vec<(ValueId, f64)> = votes
-                        .iter()
-                        .map(|(v, s, _)| (*v, (s - log_z).exp()))
-                        .collect();
-                    let um = if log_z.is_finite() {
-                        (-log_z).exp()
-                    } else {
-                        1.0 / domain as f64
-                    };
-                    // Truthfulness of each claim of this item.
-                    let tr: Vec<(u32, f64)> = by_item[lo..hi]
-                        .iter()
-                        .map(|&ci| {
-                            let cl = claims[ci as usize];
-                            let p = entries
-                                .iter()
-                                .find(|(v, _)| *v == cl.value)
-                                .map(|(_, p)| *p)
-                                .unwrap_or(um);
-                            (ci, p)
-                        })
-                        .collect();
-                    (entries, um, tr)
-                });
+                        let p = entries
+                            .iter()
+                            .find(|(v, _)| *v == cl.value)
+                            .map(|(_, p)| *p)
+                            .unwrap_or(um);
+                        (ci, p)
+                    })
+                    .collect();
+                (entries, um, tr)
+            });
 
             let mut entries_per_item = Vec::with_capacity(ni);
             let mut unobserved = Vec::with_capacity(ni);
@@ -255,11 +284,19 @@ impl SingleLayerModel {
                 max_delta = max_delta.max((new - acc[p]).abs());
                 acc[p] = new;
             }
+            let log_likelihood = truth_of_claim.iter().map(|&p| map_confidence_ll(p)).sum();
+            trace.rounds.push(IterationTrace {
+                iteration: t,
+                delta: max_delta,
+                log_likelihood,
+                wall: watch.lap(),
+            });
             if max_delta < cfg.convergence_eps {
                 converged = true;
                 break;
             }
         }
+        trace.converged = converged;
 
         // ---- Aggregate to per-source accuracy and per-group outputs. ----
         let mut src_num = vec![0.0f64; cube.num_sources()];
@@ -294,7 +331,7 @@ impl SingleLayerModel {
             }
         }
 
-        SingleLayerResult {
+        let result = SingleLayerResult {
             pairs,
             pair_accuracy: acc,
             source_accuracy,
@@ -304,12 +341,16 @@ impl SingleLayerModel {
             active_pair,
             iterations,
             converged,
-        }
+        };
+        (result, trace)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy `run` path must keep working; these tests exercise it.
+    #![allow(deprecated)]
+
     use super::*;
     use kbt_datamodel::{CubeBuilder, Observation};
 

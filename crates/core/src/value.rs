@@ -55,129 +55,128 @@ pub fn estimate_values(
 
     // Per-item computation, parallel over items.
     type PerItem = (
-        Vec<(ValueId, f64)>,  // observed-value posteriors
-        f64,                  // unobserved mass
-        Vec<(usize, f64)>,    // (group, unconditional truth)
-        Vec<(usize, f64)>,    // (group, truth given C_g = 1)
-        Vec<(usize, bool)>,   // (group, covered)
+        Vec<(ValueId, f64)>, // observed-value posteriors
+        f64,                 // unobserved mass
+        Vec<(usize, f64)>,   // (group, unconditional truth)
+        Vec<(usize, f64)>,   // (group, truth given C_g = 1)
+        Vec<(usize, bool)>,  // (group, covered)
     );
-    let per_item: Vec<PerItem> =
-        par_map_slice(&items, |&d| {
-            let d = ItemId::new(d);
-            // Gather votes per observed value.
-            let mut values: Vec<(ValueId, f64, bool)> = Vec::new(); // (v, vote sum, covered)
-            let mut group_rows: Vec<(usize, ValueId, f64, f64)> = Vec::new(); // (g, v, weight, full vote)
-            let mut total_claims = 0.0f64;
-            let mut claims_per_value: Vec<(ValueId, f64)> = Vec::new();
-            for g in cube.groups_of_item(d) {
-                let grp = &cube.groups()[g];
-                let weight = match cfg.correctness_weighting {
-                    CorrectnessWeighting::Weighted => correctness[g],
-                    CorrectnessWeighting::Map => {
-                        if correctness[g] >= 0.5 {
-                            1.0
-                        } else {
-                            0.0
-                        }
+    let per_item: Vec<PerItem> = par_map_slice(&items, |&d| {
+        let d = ItemId::new(d);
+        // Gather votes per observed value.
+        let mut values: Vec<(ValueId, f64, bool)> = Vec::new(); // (v, vote sum, covered)
+        let mut group_rows: Vec<(usize, ValueId, f64, f64)> = Vec::new(); // (g, v, weight, full vote)
+        let mut total_claims = 0.0f64;
+        let mut claims_per_value: Vec<(ValueId, f64)> = Vec::new();
+        for g in cube.groups_of_item(d) {
+            let grp = &cube.groups()[g];
+            let weight = match cfg.correctness_weighting {
+                CorrectnessWeighting::Weighted => correctness[g],
+                CorrectnessWeighting::Map => {
+                    if correctness[g] >= 0.5 {
+                        1.0
+                    } else {
+                        0.0
                     }
-                };
-                // POPACCU popularity counts use every claim, active or not.
-                match claims_per_value.iter_mut().find(|(v, _)| *v == grp.value) {
-                    Some((_, c)) => *c += weight,
-                    None => claims_per_value.push((grp.value, weight)),
                 }
-                total_claims += weight;
-                if !active_source[grp.source.index()] {
-                    group_rows.push((g, grp.value, 0.0, 0.0));
-                    continue;
-                }
-                let a = clamp_quality(params.source_accuracy[grp.source.index()]);
-                let full_vote = (n * a / (1.0 - a)).ln();
-                let vote = weight * full_vote;
-                group_rows.push((g, grp.value, weight, full_vote));
-                match values.iter_mut().find(|(v, _, _)| *v == grp.value) {
-                    Some((_, sum, cov)) => {
-                        *sum += vote;
-                        *cov = true;
-                    }
-                    None => values.push((grp.value, vote, true)),
-                }
-            }
-            // POPACCU adjustment: replace the uniform 1/n false-value
-            // probability with smoothed empirical popularity, i.e. add
-            // ln(1/n) − ln(ρ(d,v)) per unit of vote weight. We apply it at
-            // the value level using the aggregate claim mass.
-            if cfg.value_model == ValueModel::PopAccu && total_claims > 0.0 {
-                let denom = total_claims + n + 1.0;
-                for (v, sum, _) in values.iter_mut() {
-                    let cnt = claims_per_value
-                        .iter()
-                        .find(|(cv, _)| cv == v)
-                        .map(|(_, c)| *c)
-                        .unwrap_or(0.0);
-                    let rho = (cnt + 1.0) / denom;
-                    // Per-vote adjustment ln((1/n)/ρ) scaled by the total
-                    // weight already accumulated for this value.
-                    let weight_on_v = cnt;
-                    *sum += weight_on_v * ((1.0 / n).ln() - rho.ln());
-                }
-            }
-
-            // Softmax with unobserved-value zeros (Eq. 21/25).
-            let domain = cfg.n_false_values + 1;
-            let unobserved_count = domain.saturating_sub(values.len());
-            let vcs: Vec<f64> = values.iter().map(|(_, s, _)| *s).collect();
-            let log_z = log_sum_exp_with_zeros(&vcs, unobserved_count);
-            let entries: Vec<(ValueId, f64)> = values
-                .iter()
-                .map(|(v, s, _)| (*v, (s - log_z).exp()))
-                .collect();
-            let unobserved_mass = if log_z.is_finite() {
-                (-log_z).exp()
-            } else {
-                // No observed values and empty domain: uniform fallback.
-                1.0 / domain as f64
             };
-
-            // Truth probability, conditional truth, and coverage per group.
-            let mut truth: Vec<(usize, f64)> = Vec::with_capacity(group_rows.len());
-            let mut cond: Vec<(usize, f64)> = Vec::with_capacity(group_rows.len());
-            let mut covered: Vec<(usize, bool)> = Vec::with_capacity(group_rows.len());
-            for (g, v, weight, full_vote) in &group_rows {
-                let p = entries
+            // POPACCU popularity counts use every claim, active or not.
+            match claims_per_value.iter_mut().find(|(v, _)| *v == grp.value) {
+                Some((_, c)) => *c += weight,
+                None => claims_per_value.push((grp.value, weight)),
+            }
+            total_claims += weight;
+            if !active_source[grp.source.index()] {
+                group_rows.push((g, grp.value, 0.0, 0.0));
+                continue;
+            }
+            let a = clamp_quality(params.source_accuracy[grp.source.index()]);
+            let full_vote = (n * a / (1.0 - a)).ln();
+            let vote = weight * full_vote;
+            group_rows.push((g, grp.value, weight, full_vote));
+            match values.iter_mut().find(|(v, _, _)| *v == grp.value) {
+                Some((_, sum, cov)) => {
+                    *sum += vote;
+                    *cov = true;
+                }
+                None => values.push((grp.value, vote, true)),
+            }
+        }
+        // POPACCU adjustment: replace the uniform 1/n false-value
+        // probability with smoothed empirical popularity, i.e. add
+        // ln(1/n) − ln(ρ(d,v)) per unit of vote weight. We apply it at
+        // the value level using the aggregate claim mass.
+        if cfg.value_model == ValueModel::PopAccu && total_claims > 0.0 {
+            let denom = total_claims + n + 1.0;
+            for (v, sum, _) in values.iter_mut() {
+                let cnt = claims_per_value
                     .iter()
-                    .find(|(ev, _)| ev == v)
-                    .map(|(_, p)| *p)
-                    .unwrap_or(unobserved_mass);
-                truth.push((*g, p));
-                // p(V_d = v | X, C_g = 1): raise this group's vote from
-                // weight·vote to the full vote and renormalize. With
-                // a = log p(v|X) and b = a + (1−weight)·vote,
-                // p_cond = e^b / (1 − e^a + e^b).
-                let p_cond = if log_z.is_finite() && *full_vote != 0.0 {
-                    let x = values
-                        .iter()
-                        .find(|(ev, _, _)| ev == v)
-                        .map(|(_, s, _)| *s)
-                        .unwrap_or(0.0);
-                    let a = x - log_z;
-                    let b = a + (1.0 - weight) * full_vote;
-                    let ea = a.exp();
-                    let eb = b.exp();
-                    (eb / (1.0 - ea + eb)).clamp(0.0, 1.0)
-                } else {
-                    p
-                };
-                cond.push((*g, p_cond));
-                let c = values
+                    .find(|(cv, _)| cv == v)
+                    .map(|(_, c)| *c)
+                    .unwrap_or(0.0);
+                let rho = (cnt + 1.0) / denom;
+                // Per-vote adjustment ln((1/n)/ρ) scaled by the total
+                // weight already accumulated for this value.
+                let weight_on_v = cnt;
+                *sum += weight_on_v * ((1.0 / n).ln() - rho.ln());
+            }
+        }
+
+        // Softmax with unobserved-value zeros (Eq. 21/25).
+        let domain = cfg.n_false_values + 1;
+        let unobserved_count = domain.saturating_sub(values.len());
+        let vcs: Vec<f64> = values.iter().map(|(_, s, _)| *s).collect();
+        let log_z = log_sum_exp_with_zeros(&vcs, unobserved_count);
+        let entries: Vec<(ValueId, f64)> = values
+            .iter()
+            .map(|(v, s, _)| (*v, (s - log_z).exp()))
+            .collect();
+        let unobserved_mass = if log_z.is_finite() {
+            (-log_z).exp()
+        } else {
+            // No observed values and empty domain: uniform fallback.
+            1.0 / domain as f64
+        };
+
+        // Truth probability, conditional truth, and coverage per group.
+        let mut truth: Vec<(usize, f64)> = Vec::with_capacity(group_rows.len());
+        let mut cond: Vec<(usize, f64)> = Vec::with_capacity(group_rows.len());
+        let mut covered: Vec<(usize, bool)> = Vec::with_capacity(group_rows.len());
+        for (g, v, weight, full_vote) in &group_rows {
+            let p = entries
+                .iter()
+                .find(|(ev, _)| ev == v)
+                .map(|(_, p)| *p)
+                .unwrap_or(unobserved_mass);
+            truth.push((*g, p));
+            // p(V_d = v | X, C_g = 1): raise this group's vote from
+            // weight·vote to the full vote and renormalize. With
+            // a = log p(v|X) and b = a + (1−weight)·vote,
+            // p_cond = e^b / (1 − e^a + e^b).
+            let p_cond = if log_z.is_finite() && *full_vote != 0.0 {
+                let x = values
                     .iter()
                     .find(|(ev, _, _)| ev == v)
-                    .map(|(_, _, c)| *c)
-                    .unwrap_or(false);
-                covered.push((*g, c));
-            }
-            (entries, unobserved_mass, truth, cond, covered)
-        });
+                    .map(|(_, s, _)| *s)
+                    .unwrap_or(0.0);
+                let a = x - log_z;
+                let b = a + (1.0 - weight) * full_vote;
+                let ea = a.exp();
+                let eb = b.exp();
+                (eb / (1.0 - ea + eb)).clamp(0.0, 1.0)
+            } else {
+                p
+            };
+            cond.push((*g, p_cond));
+            let c = values
+                .iter()
+                .find(|(ev, _, _)| ev == v)
+                .map(|(_, _, c)| *c)
+                .unwrap_or(false);
+            covered.push((*g, c));
+        }
+        (entries, unobserved_mass, truth, cond, covered)
+    });
 
     let mut entries_per_item = Vec::with_capacity(per_item.len());
     let mut unobserved = Vec::with_capacity(per_item.len());
@@ -294,7 +293,11 @@ mod tests {
         let cfg = ModelConfig::default();
         let mut correctness = vec![0.0; cube.num_groups()];
         for (g, grp) in cube.groups().iter().enumerate() {
-            correctness[g] = if grp.value == ValueId::new(0) { 0.95 } else { 0.05 };
+            correctness[g] = if grp.value == ValueId::new(0) {
+                0.95
+            } else {
+                0.05
+            };
         }
         let active = vec![true; 5];
         let out = estimate_values(&cube, &correctness, &params, &cfg, &active);
@@ -359,7 +362,10 @@ mod tests {
         assert!(!out.covered_group[0]);
         // With no votes the observed value ties with unobserved ones.
         let p = out.posteriors.prob(item, ValueId::new(0));
-        assert!((p - 1.0 / 11.0).abs() < 1e-9, "uniform over domain, got {p}");
+        assert!(
+            (p - 1.0 / 11.0).abs() < 1e-9,
+            "uniform over domain, got {p}"
+        );
     }
 
     #[test]
@@ -425,8 +431,8 @@ mod tests {
         let p0 = out.posteriors.prob(item, ValueId::new(0));
         let p1 = out.posteriors.prob(item, ValueId::new(1));
         assert!(p0 > p1, "majority value must win: {p0} vs {p1}");
-        let total = out.posteriors.observed_mass(item)
-            + out.posteriors.prob(item, ValueId::new(9)) * 9.0;
+        let total =
+            out.posteriors.observed_mass(item) + out.posteriors.prob(item, ValueId::new(9)) * 9.0;
         assert!((total - 1.0).abs() < 1e-9);
     }
 }

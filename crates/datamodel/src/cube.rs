@@ -131,7 +131,10 @@ impl ObservationCube {
 
     /// Distinct values observed (by any source) for item `d`, sorted.
     pub fn observed_values_of_item(&self, d: ItemId) -> Vec<ValueId> {
-        let mut vs: Vec<ValueId> = self.groups_of_item(d).map(|g| self.groups[g].value).collect();
+        let mut vs: Vec<ValueId> = self
+            .groups_of_item(d)
+            .map(|g| self.groups[g].value)
+            .collect();
         vs.sort_unstable();
         vs.dedup();
         vs
@@ -143,9 +146,7 @@ impl ObservationCube {
     }
 
     /// Iterate `(group index, group, cells)` for all groups.
-    pub fn iter_with_cells(
-        &self,
-    ) -> impl Iterator<Item = (usize, &TripleGroup, &[Cell])> + '_ {
+    pub fn iter_with_cells(&self) -> impl Iterator<Item = (usize, &TripleGroup, &[Cell])> + '_ {
         self.groups
             .iter()
             .enumerate()
@@ -243,9 +244,8 @@ impl CubeBuilder {
 
     /// Sort, dedup, group, and index the observations.
     pub fn build(mut self) -> ObservationCube {
-        self.obs.sort_unstable_by_key(|o| {
-            (o.source, o.item, o.value, o.extractor)
-        });
+        self.obs
+            .sort_unstable_by_key(|o| (o.source, o.item, o.value, o.extractor));
         // Merge duplicates keeping max confidence.
         let mut cells: Vec<Cell> = Vec::with_capacity(self.obs.len());
         let mut groups: Vec<TripleGroup> = Vec::new();

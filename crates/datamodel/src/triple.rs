@@ -62,12 +62,7 @@ pub struct Observation {
 
 impl Observation {
     /// A full-confidence observation.
-    pub fn certain(
-        extractor: ExtractorId,
-        source: SourceId,
-        item: ItemId,
-        value: ValueId,
-    ) -> Self {
+    pub fn certain(extractor: ExtractorId, source: SourceId, item: ItemId, value: ValueId) -> Self {
         Self {
             extractor,
             source,

@@ -169,7 +169,14 @@ pub fn simulate(
                     predicate = resample(&mut rng, predicate, world.num_predicates);
                 }
                 if rng.gen::<f64>() >= prof.slot_accuracy {
-                    value = corrupt_value(&mut rng, prof, pi, world.item(subject, predicate).0, value, world);
+                    value = corrupt_value(
+                        &mut rng,
+                        prof,
+                        pi,
+                        world.item(subject, predicate).0,
+                        value,
+                        world,
+                    );
                 }
                 let is_faithful =
                     subject == t.subject && predicate == t.predicate && value == t.value;
@@ -194,7 +201,14 @@ pub fn simulate(
                 let subject = rng.gen_range(0..world.num_subjects);
                 let predicate = rng.gen_range(0..world.num_predicates);
                 let uniform = ValueId::new(rng.gen_range(0..world.num_values));
-                let value = corrupt_value(&mut rng, prof, pi, world.item(subject, predicate).0, uniform, world);
+                let value = corrupt_value(
+                    &mut rng,
+                    prof,
+                    pi,
+                    world.item(subject, predicate).0,
+                    uniform,
+                    world,
+                );
                 let ext = ExtractorId::new(pattern_base[pi] + zipf_rank(&mut rng, patterns));
                 observations.push(Observation {
                     extractor: ext,
@@ -394,7 +408,7 @@ mod tests {
         p.num_patterns = 10;
         let out = simulate(&w, &prov, &[p], ExtractorAxis::Pattern, 11);
         assert_eq!(out.num_extractor_ids, 10);
-        let mut counts = vec![0usize; 10];
+        let mut counts = [0usize; 10];
         for o in &out.observations {
             counts[o.extractor.index()] += 1;
         }

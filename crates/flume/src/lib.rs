@@ -12,6 +12,18 @@
 //! concatenated in input order, and grouped keys are emitted in sorted
 //! order, so a parallel run produces bit-identical results to a serial
 //! run (the integration tests assert this).
+//!
+//! ## Thread configuration
+//!
+//! Worker-thread count resolves in three layers:
+//!
+//! 1. a **scoped override** installed by [`with_threads`] — what
+//!    `TrustPipeline::threads` and `ModelConfig::threads` use, safe under
+//!    concurrent runs because it is thread-local to the orchestrating
+//!    thread;
+//! 2. the **process-global fallback default** set by [`set_num_threads`]
+//!    (kept for coarse tuning, e.g. a CLI flag);
+//! 3. the hardware parallelism.
 
 #![warn(missing_docs)]
 
@@ -19,33 +31,84 @@ pub mod pcollection;
 pub mod stopwatch;
 
 pub use pcollection::{PCollection, PTable};
-pub use stopwatch::PhaseTimer;
+pub use stopwatch::{PhaseTimer, Stopwatch};
 
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Global override for the worker-thread count (0 = use hardware default).
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Process-global fallback for the worker-thread count (0 = hardware
+/// default). Scoped overrides installed by [`with_threads`] win over this.
+static THREAD_DEFAULT: AtomicUsize = AtomicUsize::new(0);
 
-/// Number of worker threads used by all `par_*` operations.
-///
-/// Defaults to the hardware parallelism; can be overridden (e.g. to 1 to
-/// measure serial baselines in the Table 7 experiment) with
-/// [`set_num_threads`].
+thread_local! {
+    /// Scoped per-run override (0 = none). Thread-local, so concurrent
+    /// pipeline runs on different threads cannot race each other.
+    static THREAD_SCOPED: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads used by all `par_*` operations, resolved as
+/// scoped override → global fallback → hardware parallelism.
 pub fn num_threads() -> usize {
-    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    if o > 0 {
-        return o;
+    let scoped = THREAD_SCOPED.with(Cell::get);
+    if scoped == usize::MAX {
+        // with_threads(Some(0), ..): hardware default, shadowing any
+        // outer override or global fallback.
+        return hardware_threads();
     }
+    if scoped > 0 {
+        return scoped;
+    }
+    let fallback = THREAD_DEFAULT.load(Ordering::Relaxed);
+    if fallback > 0 {
+        return fallback;
+    }
+    hardware_threads()
+}
+
+fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
 }
 
-/// Override the worker-thread count for subsequent operations.
-/// `0` restores the hardware default.
+/// Set the **process-global fallback** worker-thread count. `0` restores
+/// the hardware default.
+///
+/// This is a coarse knob shared by every thread in the process; prefer the
+/// race-free per-run override ([`with_threads`], or `threads` on
+/// `ModelConfig`/`TrustPipeline`) anywhere two runs could overlap — e.g.
+/// parallel `cargo test` threads.
 pub fn set_num_threads(n: usize) {
-    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+    THREAD_DEFAULT.store(n, Ordering::Relaxed);
+}
+
+/// Run `f` with the worker-thread count scoped to `n` on this thread.
+///
+/// `None` leaves the ambient configuration untouched; `Some(0)` forces the
+/// hardware default. The previous override is restored on exit (also on
+/// panic), so nested scopes behave like a stack.
+pub fn with_threads<R>(n: Option<usize>, f: impl FnOnce() -> R) -> R {
+    match n {
+        None => f(),
+        Some(n) => {
+            struct Restore(usize);
+            impl Drop for Restore {
+                fn drop(&mut self) {
+                    THREAD_SCOPED.with(|c| c.set(self.0));
+                }
+            }
+            let prev = THREAD_SCOPED.with(|c| {
+                let prev = c.get();
+                // usize::MAX marks "hardware default" explicitly, letting
+                // Some(0) shadow an outer override.
+                c.set(if n == 0 { usize::MAX } else { n });
+                prev
+            });
+            let _restore = Restore(prev);
+            f()
+        }
+    }
 }
 
 /// Parallel map over a slice, preserving input order.
@@ -59,22 +122,22 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = num_threads().min(items.len().max(1));
+    let threads = effective_threads(items.len());
     if threads <= 1 || items.len() < 2 {
         return items.iter().map(f).collect();
     }
     let chunk = items.len().div_ceil(threads);
     let mut shards: Vec<Vec<U>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
+        let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk)
-            .map(|shard| scope.spawn(|_| shard.iter().map(&f).collect::<Vec<U>>()))
+            .map(|shard| scope.spawn(move || shard.iter().map(f).collect::<Vec<U>>()))
             .collect();
         for h in handles {
             shards.push(h.join().expect("kbt-flume worker panicked"));
         }
-    })
-    .expect("kbt-flume scope failed");
+    });
     let mut out = Vec::with_capacity(items.len());
     for s in shards {
         out.extend(s);
@@ -90,20 +153,20 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let threads = num_threads().min(items.len().max(1));
+    let threads = effective_threads(items.len());
     if threads <= 1 || items.len() < 2 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = items.len().div_ceil(threads);
     let mut shards: Vec<Vec<U>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
+        let f = &f;
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
             .map(|(ci, shard)| {
                 let base = ci * chunk;
-                let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     shard
                         .iter()
                         .enumerate()
@@ -115,8 +178,7 @@ where
         for h in handles {
             shards.push(h.join().expect("kbt-flume worker panicked"));
         }
-    })
-    .expect("kbt-flume scope failed");
+    });
     let mut out = Vec::with_capacity(items.len());
     for s in shards {
         out.extend(s);
@@ -132,19 +194,18 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    let threads = num_threads().min(items.len().max(1));
+    let threads = effective_threads(items.len());
     if threads <= 1 || items.len() < 2 {
         f(0, items);
         return;
     }
     let chunk = items.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
+        let f = &f;
         for (ci, shard) in items.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| f(ci * chunk, shard));
+            scope.spawn(move || f(ci * chunk, shard));
         }
-    })
-    .expect("kbt-flume scope failed");
+    });
 }
 
 /// Parallel fold-then-reduce: each worker folds its shard from
@@ -159,29 +220,33 @@ where
     F: Fn(A, &T) -> A + Sync,
     C: Fn(A, A) -> A,
 {
-    let threads = num_threads().min(items.len().max(1));
+    let threads = effective_threads(items.len());
     if threads <= 1 || items.len() < 2 {
         return items.iter().fold(identity(), fold);
     }
     let chunk = items.len().div_ceil(threads);
     let mut shards: Vec<A> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|shard| {
                 let identity = &identity;
                 let fold = &fold;
-                scope.spawn(move |_| shard.iter().fold(identity(), fold))
+                scope.spawn(move || shard.iter().fold(identity(), fold))
             })
             .collect();
         for h in handles {
             shards.push(h.join().expect("kbt-flume worker panicked"));
         }
-    })
-    .expect("kbt-flume scope failed");
+    });
     let mut it = shards.into_iter();
     let first = it.next().unwrap_or_else(&identity);
     it.fold(first, combine)
+}
+
+/// Worker count for `len` items: never more workers than items.
+fn effective_threads(len: usize) -> usize {
+    num_threads().min(len.max(1))
 }
 
 #[cfg(test)]
@@ -233,12 +298,38 @@ mod tests {
     }
 
     #[test]
-    fn thread_override_is_respected_and_restorable() {
-        set_num_threads(1);
-        assert_eq!(num_threads(), 1);
-        let xs: Vec<u32> = (0..100).collect();
-        assert_eq!(par_map_slice(&xs, |x| x + 1).len(), 100);
-        set_num_threads(0);
+    fn scoped_override_wins_and_restores() {
+        with_threads(Some(1), || {
+            assert_eq!(num_threads(), 1);
+            // Nested scope shadows, then restores.
+            with_threads(Some(3), || assert_eq!(num_threads(), 3));
+            assert_eq!(num_threads(), 1);
+            // Some(0) explicitly requests the hardware default, shadowing
+            // the outer Some(1) — and the sentinel never leaks out.
+            with_threads(Some(0), || {
+                let n = num_threads();
+                assert!(n >= 1 && n != usize::MAX, "sentinel leaked: {n}");
+            });
+        });
         assert!(num_threads() >= 1);
+        // None leaves ambient config untouched.
+        with_threads(None, || assert!(num_threads() >= 1));
+    }
+
+    #[test]
+    fn scoped_override_is_thread_local() {
+        with_threads(Some(1), || {
+            let other = std::thread::spawn(num_threads).join().unwrap();
+            assert!(other >= 1, "other thread must not see this scope");
+            assert_eq!(num_threads(), 1);
+        });
+    }
+
+    #[test]
+    fn parallel_results_match_under_scoped_override() {
+        let xs: Vec<u32> = (0..1_000).collect();
+        let serial = with_threads(Some(1), || par_map_slice(&xs, |x| x * 3));
+        let wide = with_threads(Some(8), || par_map_slice(&xs, |x| x * 3));
+        assert_eq!(serial, wide);
     }
 }

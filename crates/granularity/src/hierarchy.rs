@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn keys_order_lexicographically_by_feature() {
-        let mut v = vec![
+        let mut v = [
             SourceKey::page(1, 2, 3),
             SourceKey::site(1),
             SourceKey::site_predicate(1, 2),

@@ -192,10 +192,7 @@ mod tests {
             min_size: 2,
             max_size: 10,
         };
-        let out = split_and_merge(
-            vec![(SourceKey::page(0, 0, 0), rows(0..5))],
-            &cfg,
-        );
+        let out = split_and_merge(vec![(SourceKey::page(0, 0, 0), rows(0..5))], &cfg);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rows.len(), 5);
         assert_eq!(out[0].bucket, None);
@@ -298,12 +295,14 @@ mod tests {
         // 10 one-triple pages of the same site merge into a single
         // working source.
         let obs: Vec<Observation> = (0..10u32)
-            .map(|i| Observation::certain(
-                ExtractorId::new(0),
-                SourceId::new(i),
-                ItemId::new(i),
-                ValueId::new(0),
-            ))
+            .map(|i| {
+                Observation::certain(
+                    ExtractorId::new(0),
+                    SourceId::new(i),
+                    ItemId::new(i),
+                    ValueId::new(0),
+                )
+            })
             .collect();
         let cfg = SplitMergeConfig {
             min_size: 5,

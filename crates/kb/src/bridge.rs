@@ -10,9 +10,7 @@
 
 use kbt_datamodel::{ItemId, ValueId};
 
-use crate::base::{
-    EntityId, EntityType, KnowledgeBase, LcwaLabel, ObjectValue, PredicateSchema,
-};
+use crate::base::{EntityId, EntityType, KnowledgeBase, LcwaLabel, ObjectValue, PredicateSchema};
 use crate::typecheck::{typecheck, TypeViolation};
 
 /// A typed world over dense ids: subject `s` ↦ entity, predicate `p` ↦
@@ -44,7 +42,9 @@ impl TypedWorld {
         num_type_error_values: u32,
     ) -> Self {
         let mut kb = KnowledgeBase::new();
-        let subjects: Vec<EntityId> = (0..num_subjects).map(|_| kb.add_entity(T_SUBJECT)).collect();
+        let subjects: Vec<EntityId> = (0..num_subjects)
+            .map(|_| kb.add_entity(T_SUBJECT))
+            .collect();
         for p in 0..num_predicates {
             kb.add_predicate(PredicateSchema {
                 name: format!("predicate_{p}"),
@@ -77,9 +77,11 @@ impl TypedWorld {
     /// Record a dense-id fact `(item, value)` in the KB.
     pub fn assert_fact(&mut self, item: ItemId, value: ValueId) {
         let (s, p) = self.split(item);
-        self.kb
-            .assert_fact(self.subjects[s as usize], crate::base::PredicateId(p), self.objects
-                [value.index()]);
+        self.kb.assert_fact(
+            self.subjects[s as usize],
+            crate::base::PredicateId(p),
+            self.objects[value.index()],
+        );
     }
 
     /// LCWA label of a dense-id triple (Section 5.3.1, first method).

@@ -42,11 +42,9 @@ pub fn count_histogram(counts: impl IntoIterator<Item = u64>) -> Histogram {
     let labels: Vec<String> = (1..=10)
         .map(|i| i.to_string())
         .chain(
-            [
-                "11-100", "100-1K", "1K-10K", "10K-100K", "100K-1M", ">1M",
-            ]
-            .iter()
-            .map(|s| s.to_string()),
+            ["11-100", "100-1K", "1K-10K", "10K-100K", "100K-1M", ">1M"]
+                .iter()
+                .map(|s| s.to_string()),
         )
         .collect();
     let mut buckets = vec![0u64; labels.len()];
@@ -82,10 +80,7 @@ pub fn probability_histogram(values: impl IntoIterator<Item = f64>, bins: usize)
     let labels = (0..bins)
         .map(|b| format!("{:.2}", b as f64 / bins as f64))
         .collect();
-    Histogram {
-        labels,
-        counts,
-    }
+    Histogram { labels, counts }
 }
 
 #[cfg(test)]

@@ -23,11 +23,7 @@ pub fn square_loss(pred: &[f64], truth: &[f64]) -> Option<f64> {
     if pred.is_empty() {
         return None;
     }
-    let sum: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let sum: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     Some(sum / pred.len() as f64)
 }
 
@@ -93,8 +89,7 @@ mod tests {
     fn partial_gold_skips_unknowns() {
         let l = square_loss_partial(&[1.0, 0.3, 0.0], &[Some(true), None, Some(false)]).unwrap();
         assert_eq!(l, 0.0);
-        let l2 =
-            square_loss_partial(&[0.5, 0.9, 0.5], &[Some(true), None, None]).unwrap();
+        let l2 = square_loss_partial(&[0.5, 0.9, 0.5], &[Some(true), None, None]).unwrap();
         assert!((l2 - 0.25).abs() < 1e-12);
     }
 

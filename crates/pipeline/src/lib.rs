@@ -1,0 +1,475 @@
+//! # kbt-pipeline
+//!
+//! [`TrustPipeline`]: the fluent, single entry point for the whole KBT
+//! flow of Dong et al. (VLDB 2015) — observations (or a pre-built cube),
+//! optional split-and-merge granularity selection (§4), one of the three
+//! fusion engines (§2.2/§3), optional copy detection (§5.4.2), and
+//! per-run thread configuration — terminating in a unified
+//! [`FusionReport`].
+//!
+//! ```
+//! use kbt_pipeline::{Model, TrustPipeline};
+//! use kbt_datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+//!
+//! // Three sources claim a value for one item; one dissents.
+//! let mut obs = Vec::new();
+//! for w in 0..2u32 {
+//!     obs.push(Observation::certain(
+//!         ExtractorId::new(0), SourceId::new(w), ItemId::new(0), ValueId::new(0)));
+//! }
+//! obs.push(Observation::certain(
+//!     ExtractorId::new(0), SourceId::new(2), ItemId::new(0), ValueId::new(1)));
+//!
+//! let report = TrustPipeline::new()
+//!     .observations(obs)
+//!     .model(Model::multi_layer())
+//!     .threads(1)
+//!     .run();
+//! assert!(report.kbt(SourceId::new(0)) > report.kbt(SourceId::new(2)));
+//! assert!(report.trace.rounds.iter().all(|r| r.delta.is_finite()));
+//! ```
+
+#![warn(missing_docs)]
+
+use kbt_core::{
+    detect_copies_from_accuracy, CopyDetectConfig, FusionModel, FusionReport, ModelConfig,
+    MultiLayerModel, QualityInit, SingleLayerModel, ValueModel,
+};
+use kbt_datamodel::{CubeBuilder, Observation, ObservationCube};
+use kbt_granularity::hierarchy::SourceKey;
+use kbt_granularity::{regroup_cube, HierKey, SplitMergeConfig, WorkingSource};
+
+/// Which fusion engine the pipeline runs, with its configuration.
+///
+/// The `Accu`/`PopAccu` variants force the matching
+/// [`ValueModel`] onto the configuration, so
+/// `Model::PopAccu(ModelConfig::default())` does what it says even though
+/// `ModelConfig::default()` carries `ValueModel::Accu`.
+#[derive(Debug, Clone)]
+pub enum Model {
+    /// The paper's multi-layer model (§3) — the KBT estimator.
+    MultiLayer(ModelConfig),
+    /// Single-layer baseline under ACCU value semantics (§2.2).
+    Accu(ModelConfig),
+    /// Single-layer baseline under POPACCU value semantics.
+    PopAccu(ModelConfig),
+}
+
+impl Model {
+    /// Multi-layer model with the paper's default configuration.
+    pub fn multi_layer() -> Self {
+        Self::MultiLayer(ModelConfig::default())
+    }
+
+    /// Single-layer ACCU with the paper's single-layer defaults (`n=100`).
+    pub fn accu() -> Self {
+        Self::Accu(ModelConfig::single_layer_default())
+    }
+
+    /// Single-layer POPACCU with the paper's single-layer defaults.
+    pub fn pop_accu() -> Self {
+        Self::PopAccu(ModelConfig::single_layer_default())
+    }
+
+    /// The configuration carried by this variant.
+    pub fn config(&self) -> &ModelConfig {
+        match self {
+            Self::MultiLayer(c) | Self::Accu(c) | Self::PopAccu(c) => c,
+        }
+    }
+
+    fn config_mut(&mut self) -> &mut ModelConfig {
+        match self {
+            Self::MultiLayer(c) | Self::Accu(c) | Self::PopAccu(c) => c,
+        }
+    }
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Self::multi_layer()
+    }
+}
+
+/// Input data of a pipeline.
+#[derive(Default)]
+enum Input {
+    #[default]
+    Empty,
+    Observations {
+        obs: Vec<Observation>,
+        reserve: Option<(u32, u32, u32, u32)>,
+    },
+    Cube(ObservationCube),
+}
+
+type KeyFn = Box<dyn Fn(usize, &Observation) -> HierKey>;
+
+/// Everything [`TrustPipeline::run_detailed`] returns beyond the report.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The unified fusion result (same as [`TrustPipeline::run`]).
+    pub report: FusionReport,
+    /// The cube inference actually ran on (regrouped when granularity
+    /// selection was enabled).
+    pub cube: ObservationCube,
+    /// The working sources chosen by SPLITANDMERGE, when enabled. Index =
+    /// the regrouped cube's `SourceId`; `rows` hold triple ids.
+    pub working_sources: Option<Vec<WorkingSource>>,
+    /// Working-source id of each input observation row, when granularity
+    /// selection was enabled.
+    pub row_source: Option<Vec<u32>>,
+}
+
+/// Fluent builder running the full KBT flow. See the crate docs for a
+/// complete example.
+///
+/// Stages compose in paper order; every stage except the input is
+/// optional:
+///
+/// 1. input — [`observations`](Self::observations) or [`cube`](Self::cube)
+/// 2. granularity — [`granularity`](Self::granularity) (+
+///    [`source_keys`](Self::source_keys) for a real hierarchy)
+/// 3. engine — [`model`](Self::model), [`init`](Self::init),
+///    [`threads`](Self::threads)
+/// 4. diagnostics — [`copy_detection`](Self::copy_detection)
+/// 5. [`run`](Self::run) → [`FusionReport`]
+#[derive(Default)]
+pub struct TrustPipeline {
+    input: Input,
+    model: Model,
+    init: QualityInit,
+    granularity: Option<SplitMergeConfig>,
+    keys: Option<KeyFn>,
+    copy: Option<CopyDetectConfig>,
+    threads: Option<usize>,
+}
+
+impl TrustPipeline {
+    /// An empty pipeline: multi-layer model, default init, no granularity
+    /// regrouping, ambient threading.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed raw observations. Enables [`granularity`](Self::granularity).
+    pub fn observations(mut self, obs: Vec<Observation>) -> Self {
+        self.input = Input::Observations { obs, reserve: None };
+        self
+    }
+
+    /// Reserve dense id spaces `(sources, extractors, items, values)`
+    /// beyond those mentioned by the observations — for corpora where
+    /// trailing ids cast no votes. Only meaningful after
+    /// [`observations`](Self::observations), and incompatible with
+    /// [`granularity`](Self::granularity) (regrouping reassigns source
+    /// ids, so a reservation would be ambiguous — [`run`](Self::run)
+    /// panics on the combination rather than dropping it silently).
+    pub fn reserve_ids(mut self, sources: u32, extractors: u32, items: u32, values: u32) -> Self {
+        if let Input::Observations { reserve, .. } = &mut self.input {
+            *reserve = Some((sources, extractors, items, values));
+        }
+        self
+    }
+
+    /// Feed a pre-built cube (granularity regrouping unavailable: the cube
+    /// has already fixed its sources).
+    pub fn cube(mut self, cube: ObservationCube) -> Self {
+        self.input = Input::Cube(cube);
+        self
+    }
+
+    /// Regroup sources with SPLITANDMERGE (Algorithm 2) before inference.
+    ///
+    /// Requires [`observations`](Self::observations) input. Unless
+    /// [`source_keys`](Self::source_keys) provides the source hierarchy,
+    /// each original source is treated as its own top-level website key —
+    /// oversized sources still split, but nothing can merge upward.
+    pub fn granularity(mut self, cfg: SplitMergeConfig) -> Self {
+        self.granularity = Some(cfg);
+        self
+    }
+
+    /// Provide each observation's finest-granularity source key for
+    /// [`granularity`](Self::granularity) (e.g.
+    /// `⟨website, predicate, webpage⟩` from a corpus).
+    pub fn source_keys(mut self, key: impl Fn(usize, &Observation) -> HierKey + 'static) -> Self {
+        self.keys = Some(Box::new(key));
+        self
+    }
+
+    /// Choose the fusion engine (default: [`Model::multi_layer`]).
+    pub fn model(mut self, model: Model) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Initialize parameters (default: [`QualityInit::Default`]; use
+    /// [`QualityInit::FromGold`] for the paper's `+` variants).
+    pub fn init(mut self, init: QualityInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Score source pairs for copy evidence (§5.4.2) after fusion; results
+    /// land in [`FusionReport::copy_evidence`], sorted by score.
+    pub fn copy_detection(mut self, cfg: CopyDetectConfig) -> Self {
+        self.copy = Some(cfg);
+        self
+    }
+
+    /// Pin the worker-thread count for this run (`0` = hardware default).
+    ///
+    /// Scoped and race-free: replaces the process-global
+    /// `kbt_flume::set_num_threads`, which remains only as a fallback
+    /// default for runs that never call this.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Run the pipeline and return the unified report.
+    ///
+    /// # Panics
+    ///
+    /// If no input was provided, or granularity regrouping was requested
+    /// on a pre-built cube.
+    pub fn run(self) -> FusionReport {
+        self.run_detailed().report
+    }
+
+    /// Run the pipeline, also returning the inference cube and the
+    /// granularity decisions — what the granularity-tuning workloads need.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_detailed(self) -> PipelineRun {
+        let Self {
+            input,
+            mut model,
+            init,
+            granularity,
+            keys,
+            copy,
+            threads,
+        } = self;
+
+        // --- Stage 1+2: materialize the inference cube. ---
+        let (cube, working_sources, row_source) = match (input, granularity) {
+            (Input::Empty, _) => {
+                panic!("TrustPipeline: provide .observations(..) or .cube(..) before .run()")
+            }
+            (Input::Cube(_), Some(_)) => panic!(
+                "TrustPipeline: .granularity(..) needs raw .observations(..); \
+                 a pre-built cube has already fixed its sources"
+            ),
+            (Input::Cube(cube), None) => (cube, None, None),
+            (Input::Observations { obs, reserve }, None) => {
+                let mut b = CubeBuilder::with_capacity(obs.len());
+                for o in &obs {
+                    b.push(*o);
+                }
+                if let Some((w, e, d, v)) = reserve {
+                    b.reserve_ids(w, e, d, v);
+                }
+                (b.build(), None, None)
+            }
+            (Input::Observations { obs, reserve }, Some(sm)) => {
+                assert!(
+                    reserve.is_none(),
+                    "TrustPipeline: .reserve_ids(..) cannot be combined with \
+                     .granularity(..) — regrouping reassigns source ids, so the \
+                     reservation would be silently wrong"
+                );
+                let (cube, sources, row_source) = match keys {
+                    Some(key) => regroup_cube(&obs, |i| key(i, &obs[i]), &sm),
+                    // Without a hierarchy every source is its own
+                    // top-level site: splits apply, merges cannot.
+                    None => regroup_cube(&obs, |i| SourceKey::site(obs[i].source.0), &sm),
+                };
+                (cube, Some(sources), Some(row_source))
+            }
+        };
+
+        // --- Stage 3: engine. ---
+        if threads.is_some() {
+            model.config_mut().threads = threads;
+        }
+        let mut report = match &model {
+            Model::MultiLayer(cfg) => MultiLayerModel::new(cfg.clone()).fit(&cube, &init),
+            Model::Accu(cfg) => {
+                let cfg = ModelConfig {
+                    value_model: ValueModel::Accu,
+                    ..cfg.clone()
+                };
+                SingleLayerModel::new(cfg).fit(&cube, &init)
+            }
+            Model::PopAccu(cfg) => {
+                let cfg = ModelConfig {
+                    value_model: ValueModel::PopAccu,
+                    ..cfg.clone()
+                };
+                SingleLayerModel::new(cfg).fit(&cube, &init)
+            }
+        };
+
+        // --- Stage 4: diagnostics. ---
+        if let Some(copy_cfg) = copy {
+            report.copy_evidence = Some(detect_copies_from_accuracy(
+                &cube,
+                report.source_trust(),
+                &copy_cfg,
+            ));
+        }
+
+        PipelineRun {
+            report,
+            cube,
+            working_sources,
+            row_source,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_datamodel::{ExtractorId, ItemId, SourceId, ValueId};
+
+    fn obs(e: u32, w: u32, d: u32, v: u32) -> Observation {
+        Observation::certain(
+            ExtractorId::new(e),
+            SourceId::new(w),
+            ItemId::new(d),
+            ValueId::new(v),
+        )
+    }
+
+    fn consensus() -> Vec<Observation> {
+        let mut out = Vec::new();
+        for w in 0..4u32 {
+            for d in 0..10u32 {
+                out.push(obs(0, w, d, d));
+                out.push(obs(1, w, d, d));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn observations_to_report() {
+        let report = TrustPipeline::new().observations(consensus()).run();
+        assert_eq!(report.source_trust().len(), 4);
+        assert!(report.kbt(SourceId::new(0)) > 0.9);
+        assert_eq!(report.coverage(), 1.0);
+        assert!(report.copy_evidence.is_none());
+    }
+
+    #[test]
+    fn cube_input_and_observation_input_agree() {
+        let obs = consensus();
+        let mut b = CubeBuilder::new();
+        for o in &obs {
+            b.push(*o);
+        }
+        let via_cube = TrustPipeline::new().cube(b.build()).run();
+        let via_obs = TrustPipeline::new().observations(obs).run();
+        assert_eq!(via_cube.source_trust(), via_obs.source_trust());
+        assert_eq!(via_cube.truth_of_group(), via_obs.truth_of_group());
+    }
+
+    #[test]
+    fn single_layer_variants_force_value_model() {
+        let accu = TrustPipeline::new()
+            .observations(consensus())
+            .model(Model::Accu(ModelConfig::single_layer_default()))
+            .run();
+        // PopAccu handed a config that *claims* Accu still runs PopAccu.
+        let pop = TrustPipeline::new()
+            .observations(consensus())
+            .model(Model::PopAccu(ModelConfig::single_layer_default()))
+            .run();
+        assert!(accu.correctness().is_none());
+        assert!(pop.correctness().is_none());
+        assert_eq!(accu.source_trust().len(), 4);
+        assert_eq!(pop.source_trust().len(), 4);
+    }
+
+    #[test]
+    fn granularity_merges_thin_pages() {
+        // 12 one-triple pages of one site; m=5 merges them all.
+        let obs: Vec<Observation> = (0..12u32).map(|i| obs(0, i, i, 0)).collect();
+        let run = TrustPipeline::new()
+            .observations(obs)
+            .source_keys(|_, o| SourceKey::page(0, 0, o.source.0))
+            .granularity(SplitMergeConfig {
+                min_size: 5,
+                max_size: 100,
+            })
+            .run_detailed();
+        let sources = run.working_sources.expect("granularity ran");
+        assert_eq!(sources.len(), 1);
+        assert_eq!(run.cube.num_sources(), 1);
+        assert!(run.row_source.unwrap().iter().all(|&s| s == 0));
+        assert_eq!(run.report.source_trust().len(), 1);
+    }
+
+    #[test]
+    fn copy_detection_attaches_sorted_evidence() {
+        // Source 3 copies source 2's (unique, hence "false-looking")
+        // values; 0, 1, and 4 agree on the majority value, so their
+        // agreements are not pair-exclusive and carry no copy signal.
+        let mut data = Vec::new();
+        for d in 0..12u32 {
+            for w in [0u32, 1, 4] {
+                data.push(obs(0, w, d, 0));
+            }
+            data.push(obs(0, 2, d, 1 + d));
+            data.push(obs(0, 3, d, 1 + d));
+        }
+        let report = TrustPipeline::new()
+            .observations(data)
+            .copy_detection(CopyDetectConfig::default())
+            .run();
+        let ev = report.copy_evidence.expect("copy detection ran");
+        assert!(!ev.is_empty());
+        for w in ev.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        let top = &ev[0];
+        assert_eq!((top.a, top.b), (SourceId::new(2), SourceId::new(3)));
+    }
+
+    #[test]
+    fn threads_override_is_result_invariant() {
+        let serial = TrustPipeline::new()
+            .observations(consensus())
+            .threads(1)
+            .run();
+        let wide = TrustPipeline::new()
+            .observations(consensus())
+            .threads(8)
+            .run();
+        assert_eq!(serial.source_trust(), wide.source_trust());
+        assert_eq!(serial.correctness(), wide.correctness());
+        assert_eq!(serial.truth_of_group(), wide.truth_of_group());
+    }
+
+    #[test]
+    #[should_panic(expected = "provide .observations")]
+    fn empty_pipeline_panics_with_guidance() {
+        let _ = TrustPipeline::new().run();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs raw .observations")]
+    fn granularity_on_cube_panics_with_guidance() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0));
+        let _ = TrustPipeline::new()
+            .cube(b.build())
+            .granularity(SplitMergeConfig::default())
+            .run();
+    }
+}

@@ -189,13 +189,7 @@ pub fn generate(cfg: &SyntheticConfig) -> SyntheticDataset {
     // Ground truth aligned to cube groups.
     let provided_set: BTreeSet<(u32, u32, u32)> = provided
         .iter()
-        .map(|t| {
-            (
-                t.source.0,
-                world.item(t.subject, t.predicate).0,
-                t.value.0,
-            )
-        })
+        .map(|t| (t.source.0, world.item(t.subject, t.predicate).0, t.value.0))
         .collect();
     let group_provided: Vec<bool> = cube
         .groups()

@@ -621,16 +621,15 @@ mod tests {
             num_sites: 2000,
             ..WebCorpusConfig::tiny(11)
         });
-        let mean =
-            |a: SiteArchetype| {
-                let xs: Vec<f64> = c
-                    .sites
-                    .iter()
-                    .filter(|s| s.archetype == a)
-                    .map(|s| s.accuracy)
-                    .collect();
-                xs.iter().sum::<f64>() / xs.len().max(1) as f64
-            };
+        let mean = |a: SiteArchetype| {
+            let xs: Vec<f64> = c
+                .sites
+                .iter()
+                .filter(|s| s.archetype == a)
+                .map(|s| s.accuracy)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len().max(1) as f64
+        };
         assert!(mean(SiteArchetype::Gossip) < 0.45);
         assert!(mean(SiteArchetype::AccurateTail) > 0.88);
         assert!(mean(SiteArchetype::Mainstream) > 0.6);

@@ -9,12 +9,12 @@
 //!
 //! Run with: `cargo run --release --example data_fusion`
 
-use kbt::core::{ModelConfig, QualityInit, SingleLayerModel};
-use kbt::datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt::core::ModelConfig;
+use kbt::datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt::{Model, TrustPipeline};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const SOURCES: usize = 8;
 const ITEMS: usize = 200;
 const DOMAIN: u32 = 11; // 1 true + 10 false values
 
@@ -25,20 +25,20 @@ fn main() {
     let reliability = [0.95, 0.9, 0.75, 0.7, 0.7, 0.65, 0.35, 0.3];
     let true_value: Vec<u32> = (0..ITEMS).map(|_| rng.gen_range(0..DOMAIN)).collect();
 
-    let mut builder = CubeBuilder::new();
+    let mut observations = Vec::new();
     let perfect_extractor = ExtractorId::new(0);
     for (w, &acc) in reliability.iter().enumerate() {
-        for d in 0..ITEMS {
+        for (d, &truth) in true_value.iter().enumerate() {
             let value = if rng.gen::<f64>() < acc {
-                true_value[d]
+                truth
             } else {
                 let mut v = rng.gen_range(0..DOMAIN - 1);
-                if v >= true_value[d] {
+                if v >= truth {
                     v += 1;
                 }
                 v
             };
-            builder.push(Observation::certain(
+            observations.push(Observation::certain(
                 perfect_extractor,
                 SourceId::new(w as u32),
                 ItemId::new(d as u32),
@@ -46,28 +46,29 @@ fn main() {
             ));
         }
     }
-    let cube = builder.build();
 
-    let cfg = ModelConfig {
-        n_false_values: (DOMAIN - 1) as usize,
-        ..ModelConfig::default()
-    };
-    let model = SingleLayerModel::new(cfg);
-    let result = model.run(&cube, &QualityInit::Default);
+    let result = TrustPipeline::new()
+        .observations(observations)
+        .model(Model::Accu(ModelConfig {
+            n_false_values: (DOMAIN - 1) as usize,
+            ..ModelConfig::default()
+        }))
+        .run();
 
     println!("Estimated vs planted database reliability (ACCU, Eq. 1–4):");
-    for w in 0..SOURCES {
+    for (w, planted) in reliability.iter().enumerate() {
         println!(
-            "  DB{}: estimated {:.3}  planted {:.2}",
-            w, result.source_accuracy[w], reliability[w]
+            "  DB{}: estimated {:.3}  planted {planted:.2}",
+            w,
+            result.kbt(SourceId::new(w as u32)),
         );
     }
 
     // How many items did fusion decide correctly?
     let mut correct = 0;
-    for d in 0..ITEMS {
-        if let Some((v, _)) = result.posteriors.map_value(ItemId::new(d as u32)) {
-            if v.0 == true_value[d] {
+    for (d, &truth) in true_value.iter().enumerate() {
+        if let Some((v, _)) = result.posteriors().map_value(ItemId::new(d as u32)) {
+            if v.0 == truth {
                 correct += 1;
             }
         }

@@ -4,15 +4,17 @@
 //! too few to judge a page on its own — and shows how merging pages into
 //! their parent website (Section 4) recovers reliable KBT estimates,
 //! while splitting keeps any oversized aggregator page from dominating a
-//! shard.
+//! shard. Both runs go through the same `TrustPipeline`; only the
+//! `.granularity(..)` stage differs.
 //!
 //! Run with: `cargo run --release --example granularity_tuning`
 
 use kbt::core::config::AbsencePolicy;
-use kbt::core::{ModelConfig, MultiLayerModel, QualityInit};
+use kbt::core::ModelConfig;
 use kbt::datamodel::SourceId;
-use kbt::granularity::{regroup_cube, SplitMergeConfig};
+use kbt::granularity::SplitMergeConfig;
 use kbt::synth::web::{generate, WebCorpusConfig};
+use kbt::{Model, TrustPipeline};
 
 fn main() {
     let corpus = generate(&WebCorpusConfig {
@@ -27,21 +29,30 @@ fn main() {
     };
 
     // --- Finest granularity: every webpage is a source. ---
-    let fine = MultiLayerModel::new(cfg.clone()).run(&corpus.cube, &QualityInit::Default);
-    let fine_active = fine.active_source.iter().filter(|&&a| a).count();
+    let fine = TrustPipeline::new()
+        .cube(corpus.cube.clone())
+        .model(Model::MultiLayer(cfg.clone()))
+        .run();
+    let fine_active = fine.active_source().iter().filter(|&&a| a).count();
 
     // --- Split-and-merge with the paper's defaults m=5, M=10K. ---
-    let sm_cfg = SplitMergeConfig {
-        min_size: 5,
-        max_size: 10_000,
-    };
-    let (cube_sm, sources, _) = regroup_cube(
-        &corpus.observations,
-        |i| corpus.finest_source_key(&corpus.observations[i]),
-        &sm_cfg,
-    );
-    let coarse = MultiLayerModel::new(cfg).run(&cube_sm, &QualityInit::Default);
-    let coarse_active = coarse.active_source.iter().filter(|&&a| a).count();
+    let keys: Vec<_> = corpus
+        .observations
+        .iter()
+        .map(|o| corpus.finest_source_key(o))
+        .collect();
+    let coarse_run = TrustPipeline::new()
+        .observations(corpus.observations.clone())
+        .source_keys(move |i, _| keys[i].clone())
+        .granularity(SplitMergeConfig {
+            min_size: 5,
+            max_size: 10_000,
+        })
+        .model(Model::MultiLayer(cfg))
+        .run_detailed();
+    let coarse = &coarse_run.report;
+    let sources = coarse_run.working_sources.as_deref().unwrap();
+    let coarse_active = coarse.active_source().iter().filter(|&&a| a).count();
 
     println!("Webpage granularity:");
     println!(
@@ -66,7 +77,7 @@ fn main() {
     let mut n_thin = 0usize;
     for p in 0..corpus.cube.num_sources() {
         let size = corpus.cube.source_size(SourceId::new(p as u32));
-        if (1..5).contains(&size) && fine.active_source[p] {
+        if (1..5).contains(&size) && fine.active_source()[p] {
             fine_err += (fine.kbt(SourceId::new(p as u32)) - corpus.page_accuracy[p]).abs();
             n_thin += 1;
         }

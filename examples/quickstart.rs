@@ -2,13 +2,14 @@
 //!
 //! Builds the paper's own worked example (Table 2: eight webpages and
 //! five extractors disagreeing about Barack Obama's nationality), runs
-//! the multi-layer model, and prints the KBT score of every source along
-//! with what the model believes about the fact itself.
+//! the multi-layer model through `TrustPipeline`, and prints the KBT
+//! score of every source along with what the model believes about the
+//! fact itself.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use kbt::core::{ModelConfig, MultiLayerModel, QualityInit};
-use kbt::datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt::datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt::{Model, TrustPipeline};
 
 const VALUES: [&str; 3] = ["USA", "Kenya", "N.America"];
 
@@ -29,26 +30,29 @@ fn main() {
     ];
 
     let item = ItemId::new(0); // (Barack Obama, nationality)
-    let mut builder = CubeBuilder::new();
-    for (e, w, v) in extractions {
-        builder.push(Observation::certain(
-            ExtractorId::new(e),
-            SourceId::new(w),
-            item,
-            ValueId::new(v),
-        ));
-    }
-    builder.reserve_ids(8, 5, 1, 11);
-    let cube = builder.build();
-
-    let model = MultiLayerModel::new(ModelConfig::default());
-    let result = model.run(&cube, &QualityInit::Default);
+    let result = TrustPipeline::new()
+        .observations(
+            extractions
+                .iter()
+                .map(|&(e, w, v)| {
+                    Observation::certain(
+                        ExtractorId::new(e),
+                        SourceId::new(w),
+                        item,
+                        ValueId::new(v),
+                    )
+                })
+                .collect(),
+        )
+        .reserve_ids(8, 5, 1, 11)
+        .model(Model::multi_layer())
+        .run();
 
     println!("What is Barack Obama's nationality?");
     for (v, name) in VALUES.iter().enumerate() {
         println!(
             "  p(V = {name:9}) = {:.3}",
-            result.posteriors.prob(item, ValueId::new(v as u32))
+            result.posteriors().prob(item, ValueId::new(v as u32))
         );
     }
 
@@ -58,7 +62,7 @@ fn main() {
             "  W{}: KBT = {:.3}{}",
             w + 1,
             result.kbt(SourceId::new(w)),
-            if result.active_source[w as usize] {
+            if result.active_source()[w as usize] {
                 ""
             } else {
                 "  (too little data; default)"
@@ -66,17 +70,23 @@ fn main() {
         );
     }
 
+    let (precision, recall) = (
+        result.extractor_precision().unwrap(),
+        result.extractor_recall().unwrap(),
+    );
     println!("\nExtractor quality estimates (precision / recall):");
     for e in 0..5 {
         println!(
             "  E{}: P = {:.2}, R = {:.2}",
             e + 1,
-            result.params.precision[e],
-            result.params.recall[e]
+            precision[e],
+            recall[e]
         );
     }
     println!(
-        "\nConverged after {} iteration(s): {}",
-        result.iterations, result.converged
+        "\nConverged after {} iteration(s): {} (final Δ = {:.2e})",
+        result.iterations(),
+        result.converged(),
+        result.trace.final_delta().unwrap_or(0.0)
     );
 }

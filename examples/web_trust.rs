@@ -9,12 +9,14 @@
 //!
 //! Run with: `cargo run --release --example web_trust`
 
-use kbt::core::{ModelConfig, MultiLayerModel, QualityInit};
 use kbt::core::config::AbsencePolicy;
+use kbt::core::ModelConfig;
 use kbt::datamodel::{CubeBuilder, Observation, SourceId};
-use kbt::graph::{normalize_unit, pagerank, preferential_attachment, PageRankConfig, WebGraph,
-    WebGraphConfig};
+use kbt::graph::{
+    normalize_unit, pagerank, preferential_attachment, PageRankConfig, WebGraph, WebGraphConfig,
+};
 use kbt::synth::web::{generate, SiteArchetype, WebCorpusConfig};
+use kbt::{Model, TrustPipeline};
 
 fn main() {
     let corpus = generate(&WebCorpusConfig {
@@ -34,12 +36,14 @@ fn main() {
     b.reserve_ids(corpus.sites.len() as u32, 0, 0, 0);
     let cube = b.build();
 
-    let cfg = ModelConfig {
-        min_source_support: 5,
-        absence_policy: AbsencePolicy::SourceCandidates,
-        ..ModelConfig::default()
-    };
-    let result = MultiLayerModel::new(cfg).run(&cube, &QualityInit::Default);
+    let result = TrustPipeline::new()
+        .cube(cube)
+        .model(Model::MultiLayer(ModelConfig {
+            min_source_support: 5,
+            absence_policy: AbsencePolicy::SourceCandidates,
+            ..ModelConfig::default()
+        }))
+        .run();
 
     // PageRank over a link graph where gossip sites are popular.
     let n = corpus.sites.len();
@@ -71,7 +75,7 @@ fn main() {
 
     // Rank sites by the gap between popularity and trustworthiness.
     let mut scored: Vec<(usize, f64, f64)> = (0..n)
-        .filter(|&s| result.active_source[s])
+        .filter(|&s| result.active_source()[s])
         .map(|s| (s, result.kbt(SourceId::new(s as u32)), pr[s]))
         .collect();
 

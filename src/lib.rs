@@ -17,9 +17,31 @@
 //!   KV-scale web corpus),
 //! * [`graph`] — web graph + PageRank (the exogenous comparator),
 //! * [`flume`] — the FlumeJava-like parallel dataflow engine,
-//! * [`metrics`] — SqV/SqC/SqA, WDev, AUC-PR, calibration, coverage.
+//! * [`metrics`] — SqV/SqC/SqA, WDev, AUC-PR, calibration, coverage,
+//! * [`pipeline`] — [`TrustPipeline`], the fluent entry point tying the
+//!   stages together.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! ## The one entry point
+//!
+//! Most workloads need nothing but [`TrustPipeline`]:
+//!
+//! ```
+//! use kbt::{Model, TrustPipeline};
+//! use kbt::datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+//!
+//! let obs: Vec<Observation> = (0..3u32)
+//!     .map(|w| Observation::certain(
+//!         ExtractorId::new(0), SourceId::new(w), ItemId::new(0), ValueId::new(w / 2)))
+//!     .collect();
+//! let report = TrustPipeline::new()
+//!     .observations(obs)
+//!     .model(Model::multi_layer())
+//!     .run();
+//! println!("KBT of W0 = {:.3}", report.kbt(SourceId::new(0)));
+//! ```
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and the README for
+//! the migration table from the pre-0.2 per-model API.
 
 pub use kbt_core as core;
 pub use kbt_datamodel as datamodel;
@@ -29,10 +51,12 @@ pub use kbt_granularity as granularity;
 pub use kbt_graph as graph;
 pub use kbt_kb as kb;
 pub use kbt_metrics as metrics;
+pub use kbt_pipeline as pipeline;
 pub use kbt_synth as synth;
 
 pub use kbt_core::{
-    ModelConfig, MultiLayerModel, MultiLayerResult, QualityInit, SingleLayerModel,
-    SingleLayerResult,
+    ConvergenceTrace, FusionModel, FusionReport, IterationTrace, ModelConfig, ModelKind,
+    MultiLayerModel, MultiLayerResult, QualityInit, SingleLayerModel, SingleLayerResult,
 };
 pub use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
+pub use kbt_pipeline::{Model, PipelineRun, TrustPipeline};

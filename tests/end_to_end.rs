@@ -1,11 +1,12 @@
 //! End-to-end integration tests spanning the whole workspace: synthetic
 //! generation → inference → evaluation, exercised through the public
-//! facade crate.
+//! facade crate's `TrustPipeline`.
 
-use kbt::core::{ModelConfig, MultiLayerModel, QualityInit, SingleLayerModel};
+use kbt::core::{ModelConfig, QualityInit};
 use kbt::datamodel::SourceId;
 use kbt::metrics::square_loss_binary;
 use kbt::synth::paper::{generate, SyntheticConfig};
+use kbt::{Model, TrustPipeline};
 
 /// The headline claim (Figure 3): on the paper's synthetic data the
 /// multi-layer model recovers source accuracies far better than the
@@ -20,14 +21,18 @@ fn multilayer_recovers_source_accuracy_better_than_singlelayer() {
             seed: 500 + rep,
             ..SyntheticConfig::default()
         });
-        let m = MultiLayerModel::new(ModelConfig::default())
-            .run(&data.cube, &QualityInit::Default);
-        let s = SingleLayerModel::new(ModelConfig::single_layer_default())
-            .run(&data.cube, &QualityInit::Default);
+        let m = TrustPipeline::new()
+            .cube(data.cube.clone())
+            .model(Model::multi_layer())
+            .run();
+        let s = TrustPipeline::new()
+            .cube(data.cube.clone())
+            .model(Model::accu())
+            .run();
         for w in 0..data.cube.num_sources() {
             let truth = data.truth.source_accuracy[w];
             multi_sqa += (m.kbt(SourceId::new(w as u32)) - truth).powi(2);
-            single_sqa += (s.source_accuracy[w] - truth).powi(2);
+            single_sqa += (s.kbt(SourceId::new(w as u32)) - truth).powi(2);
         }
     }
     assert!(
@@ -45,13 +50,10 @@ fn extractor_precision_is_recovered() {
         seed: 901,
         ..SyntheticConfig::default()
     });
-    let r = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
-    for e in 0..5 {
-        assert!(
-            (r.params.precision[e] - 0.512).abs() < 0.2,
-            "P[{e}] = {} far from P³ = 0.512",
-            r.params.precision[e]
-        );
+    let r = TrustPipeline::new().cube(data.cube).run();
+    let precision = r.extractor_precision().unwrap();
+    for (e, p) in precision.iter().enumerate().take(5) {
+        assert!((p - 0.512).abs() < 0.2, "P[{e}] = {p} far from P³ = 0.512");
     }
 }
 
@@ -63,9 +65,10 @@ fn correctness_separates_provided_from_hallucinated() {
         seed: 77,
         ..SyntheticConfig::default()
     });
-    let r = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
+    let r = TrustPipeline::new().cube(data.cube).run();
+    let correctness = r.correctness().unwrap();
     let (mut sp, mut np, mut su, mut nu) = (0.0, 0usize, 0.0, 0usize);
-    for (g, &c) in r.correctness.iter().enumerate() {
+    for (g, &c) in correctness.iter().enumerate() {
         if data.truth.group_provided[g] {
             sp += c;
             np += 1;
@@ -91,38 +94,66 @@ fn pipeline_is_deterministic() {
     };
     let a = generate(&cfg);
     let b = generate(&cfg);
-    let ra = MultiLayerModel::new(ModelConfig::default()).run(&a.cube, &QualityInit::Default);
-    let rb = MultiLayerModel::new(ModelConfig::default()).run(&b.cube, &QualityInit::Default);
-    assert_eq!(ra.params.source_accuracy, rb.params.source_accuracy);
-    assert_eq!(ra.correctness, rb.correctness);
+    let ra = TrustPipeline::new().cube(a.cube.clone()).run();
+    let rb = TrustPipeline::new().cube(b.cube).run();
+    assert_eq!(ra.source_trust(), rb.source_trust());
+    assert_eq!(ra.correctness(), rb.correctness());
     let c = generate(&SyntheticConfig {
         seed: 31338,
         ..SyntheticConfig::default()
     });
     assert_ne!(a.cube.num_cells(), 0);
-    assert!(c.cube.num_cells() != a.cube.num_cells() || {
-        let rc =
-            MultiLayerModel::new(ModelConfig::default()).run(&c.cube, &QualityInit::Default);
-        rc.params.source_accuracy != ra.params.source_accuracy
-    });
+    assert!(
+        c.cube.num_cells() != a.cube.num_cells() || {
+            let rc = TrustPipeline::new().cube(c.cube).run();
+            rc.source_trust() != ra.source_trust()
+        }
+    );
 }
 
 /// Parallel execution must not change results: 1 worker ≡ N workers.
+/// Thread counts are per-run (`.threads(..)`), so this test cannot race
+/// with other tests the way the old `set_num_threads` global did.
 #[test]
 fn parallel_equals_serial() {
     let data = generate(&SyntheticConfig {
         seed: 4242,
         ..SyntheticConfig::default()
     });
-    kbt::flume::set_num_threads(1);
-    let serial = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
-    kbt::flume::set_num_threads(0);
-    let parallel =
-        MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
-    assert_eq!(serial.params.source_accuracy, parallel.params.source_accuracy);
-    assert_eq!(serial.params.precision, parallel.params.precision);
-    assert_eq!(serial.correctness, parallel.correctness);
-    assert_eq!(serial.truth_of_group, parallel.truth_of_group);
+    let serial = TrustPipeline::new()
+        .cube(data.cube.clone())
+        .threads(1)
+        .run();
+    let parallel = TrustPipeline::new()
+        .cube(data.cube.clone())
+        .threads(0) // hardware default
+        .run();
+    assert_eq!(serial.source_trust(), parallel.source_trust());
+    assert_eq!(serial.extractor_precision(), parallel.extractor_precision());
+    assert_eq!(serial.correctness(), parallel.correctness());
+    assert_eq!(serial.truth_of_group(), parallel.truth_of_group());
+}
+
+/// The per-model `ModelConfig::threads` knob is honored by the engines
+/// directly (without going through the pipeline builder).
+#[test]
+fn model_config_threads_is_equivalent_to_builder_threads() {
+    use kbt::FusionModel;
+    let data = generate(&SyntheticConfig {
+        seed: 555,
+        ..SyntheticConfig::default()
+    });
+    let via_cfg = kbt::MultiLayerModel::new(ModelConfig {
+        threads: Some(1),
+        ..ModelConfig::default()
+    })
+    .fit(&data.cube, &QualityInit::Default);
+    let via_builder = TrustPipeline::new()
+        .cube(data.cube.clone())
+        .threads(1)
+        .run();
+    assert_eq!(via_cfg.source_trust(), via_builder.source_trust());
+    assert_eq!(via_cfg.truth_of_group(), via_builder.truth_of_group());
 }
 
 /// SqV on the default synthetic setup should be in the ballpark the paper
@@ -133,11 +164,11 @@ fn sqv_is_paper_magnitude() {
         seed: 11,
         ..SyntheticConfig::default()
     });
-    let r = MultiLayerModel::new(ModelConfig::default()).run(&data.cube, &QualityInit::Default);
+    let r = TrustPipeline::new().cube(data.cube.clone()).run();
     let eval = data.value_eval_set();
     let pred: Vec<f64> = eval
         .iter()
-        .map(|(d, v, _)| r.posteriors.prob(*d, *v))
+        .map(|(d, v, _)| r.posteriors().prob(*d, *v))
         .collect();
     let truth: Vec<bool> = eval.iter().map(|(_, _, t)| *t).collect();
     let sqv = square_loss_binary(&pred, &truth).unwrap();

@@ -1,11 +1,13 @@
 //! Integration tests for the split-and-merge granularity pipeline against
-//! the KV-scale corpus simulator.
+//! the KV-scale corpus simulator, driven through `TrustPipeline`.
 
 use kbt::core::config::AbsencePolicy;
-use kbt::core::{ModelConfig, MultiLayerModel, QualityInit};
+use kbt::core::ModelConfig;
 use kbt::datamodel::SourceId;
-use kbt::granularity::{regroup_cube, SplitMergeConfig};
+use kbt::granularity::SplitMergeConfig;
 use kbt::synth::web::{generate, WebCorpusConfig};
+use kbt::synth::WebCorpus;
+use kbt::{Model, PipelineRun, TrustPipeline};
 
 fn kv_cfg() -> ModelConfig {
     ModelConfig {
@@ -15,21 +17,37 @@ fn kv_cfg() -> ModelConfig {
     }
 }
 
+/// A pipeline regrouping `corpus` at the given bounds, with the corpus's
+/// real source hierarchy.
+fn regrouped(corpus: &WebCorpus, sm: SplitMergeConfig) -> PipelineRun {
+    let keys: Vec<_> = corpus
+        .observations
+        .iter()
+        .map(|o| corpus.finest_source_key(o))
+        .collect();
+    TrustPipeline::new()
+        .observations(corpus.observations.clone())
+        .source_keys(move |i, _| keys[i].clone())
+        .granularity(sm)
+        .model(Model::MultiLayer(kv_cfg()))
+        .run_detailed()
+}
+
 #[test]
 fn merging_improves_source_coverage() {
     let corpus = generate(&WebCorpusConfig::tiny(21));
-    let cfg = kv_cfg();
-    let fine = MultiLayerModel::new(cfg.clone()).run(&corpus.cube, &QualityInit::Default);
-
-    let (cube, _, _) = regroup_cube(
-        &corpus.observations,
-        |i| corpus.finest_source_key(&corpus.observations[i]),
-        &SplitMergeConfig {
+    let fine = TrustPipeline::new()
+        .cube(corpus.cube.clone())
+        .model(Model::MultiLayer(kv_cfg()))
+        .run();
+    let merged = regrouped(
+        &corpus,
+        SplitMergeConfig {
             min_size: 5,
             max_size: 10_000,
         },
-    );
-    let merged = MultiLayerModel::new(cfg).run(&cube, &QualityInit::Default);
+    )
+    .report;
     assert!(
         merged.coverage() >= fine.coverage(),
         "merged coverage {} must not fall below page-level {}",
@@ -45,24 +63,23 @@ fn working_sources_respect_size_bounds() {
         min_size: 4,
         max_size: 50,
     };
-    let (cube, sources, row_source) = regroup_cube(
-        &corpus.observations,
-        |i| corpus.finest_source_key(&corpus.observations[i]),
-        &sm,
-    );
-    assert_eq!(cube.num_sources(), sources.len());
-    for (sid, ws) in sources.iter().enumerate() {
-        let triples = ws.rows.len();
+    let run = regrouped(&corpus, sm);
+    let sources = run.working_sources.as_deref().unwrap();
+    let row_source = run.row_source.as_deref().unwrap();
+    assert_eq!(run.cube.num_sources(), sources.len());
+    for ws in sources {
         // Oversized only allowed at the very top of the hierarchy after
         // merging; split output must respect M.
         if ws.bucket.is_some() {
-            assert!(triples <= sm.max_size, "split bucket of {triples} triples");
+            assert!(
+                ws.rows.len() <= sm.max_size,
+                "split bucket of {} triples",
+                ws.rows.len()
+            );
         }
-        // Every observation mapped to this source agrees with row_source.
-        let _ = sid;
     }
     // Every observation row got exactly one working source in range.
-    for &s in &row_source {
+    for &s in row_source {
         assert!((s as usize) < sources.len());
     }
 }
@@ -79,15 +96,15 @@ fn regrouping_preserves_triple_truth_structure() {
         .iter()
         .map(|g| (g.item.0, g.value.0))
         .collect();
-    let (cube, _, _) = regroup_cube(
-        &corpus.observations,
-        |i| corpus.finest_source_key(&corpus.observations[i]),
-        &SplitMergeConfig {
+    let run = regrouped(
+        &corpus,
+        SplitMergeConfig {
             min_size: 5,
             max_size: 100,
         },
     );
-    let after: BTreeSet<(u32, u32)> = cube
+    let after: BTreeSet<(u32, u32)> = run
+        .cube
         .groups()
         .iter()
         .map(|g| (g.item.0, g.value.0))
@@ -100,28 +117,27 @@ fn site_level_model_scores_most_sites() {
     let corpus = generate(&WebCorpusConfig::tiny(88));
     // Merge everything to site level via the hierarchy (huge m forces
     // full merging up to the website).
-    let (cube, sources, _) = regroup_cube(
-        &corpus.observations,
-        |i| corpus.finest_source_key(&corpus.observations[i]),
-        &SplitMergeConfig {
+    let run = regrouped(
+        &corpus,
+        SplitMergeConfig {
             min_size: 1_000_000,
             max_size: usize::MAX,
         },
     );
+    let sources = run.working_sources.as_deref().unwrap();
     // All working sources are now whole websites (depth-1 keys).
-    for ws in &sources {
+    for ws in sources {
         assert_eq!(ws.key.depth(), 1, "expected site-level keys");
     }
-    let cfg = kv_cfg();
-    let r = MultiLayerModel::new(cfg).run(&cube, &QualityInit::Default);
-    let active = r.active_source.iter().filter(|&&a| a).count();
+    let r = &run.report;
+    let active = r.active_source().iter().filter(|&&a| a).count();
     assert!(
         active * 10 >= sources.len() * 8,
         "most site-level sources should be scorable: {active}/{}",
         sources.len()
     );
     // KBT scores are probabilities.
-    for w in 0..cube.num_sources() {
+    for w in 0..run.cube.num_sources() {
         let a = r.kbt(SourceId::new(w as u32));
         assert!((0.0..=1.0).contains(&a));
     }

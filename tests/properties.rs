@@ -1,8 +1,9 @@
 //! Property-based tests over the core invariants, spanning crates.
 
-use kbt::core::{ModelConfig, MultiLayerModel, QualityInit};
+use kbt::core::ModelConfig;
 use kbt::datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
 use kbt::metrics::{auc_pr, paper_bucket_edges, wdev, PrCurve};
+use kbt::{Model, TrustPipeline};
 use proptest::prelude::*;
 
 /// Arbitrary small observation sets.
@@ -32,30 +33,34 @@ proptest! {
         }
         let cube = b.build();
         let cfg = ModelConfig::default();
-        let r = MultiLayerModel::new(cfg.clone()).run(&cube, &QualityInit::Default);
-        for &c in &r.correctness {
+        let r = TrustPipeline::new()
+            .cube(cube.clone())
+            .model(Model::MultiLayer(cfg.clone()))
+            .run();
+        for &c in r.correctness().unwrap() {
             prop_assert!((0.0..=1.0).contains(&c));
         }
-        for &t in &r.truth_of_group {
+        for &t in r.truth_of_group() {
             prop_assert!((0.0..=1.0).contains(&t));
         }
-        for &a in &r.params.source_accuracy {
+        for &a in r.source_trust() {
             prop_assert!((0.0..=1.0).contains(&a));
         }
+        let params = &r.as_multi_layer().unwrap().params;
         for e in 0..cube.num_extractors() {
-            prop_assert!((0.0..=1.0).contains(&r.params.precision[e]));
-            prop_assert!((0.0..=1.0).contains(&r.params.recall[e]));
-            prop_assert!(r.params.q[e] < r.params.recall[e] + 1e-9,
+            prop_assert!((0.0..=1.0).contains(&params.precision[e]));
+            prop_assert!((0.0..=1.0).contains(&params.recall[e]));
+            prop_assert!(params.q[e] < params.recall[e] + 1e-9,
                 "Q must stay below R (vote monotonicity)");
         }
         // Posterior normalization per item with any observed value.
         for d in 0..cube.num_items() {
             let d = ItemId::new(d as u32);
-            let obs_mass = r.posteriors.observed_mass(d);
-            let unobs = r.posteriors
+            let obs_mass = r.posteriors().observed_mass(d);
+            let unobs = r.posteriors()
                 .prob(d, ValueId::new(u32::MAX - 1)); // surely unobserved
             let k = (cfg.n_false_values + 1)
-                .saturating_sub(r.posteriors.observed(d).len());
+                .saturating_sub(r.posteriors().observed(d).len());
             let total = obs_mass + unobs * k as f64;
             prop_assert!((total - 1.0).abs() < 1e-6, "item {d:?} total {total}");
         }
