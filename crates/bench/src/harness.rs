@@ -351,6 +351,9 @@ pub fn run_singlelayer(
             }
         }
         QualityInit::Default => QualityInit::Default,
+        // Warm starts already carry per-source accuracies; the website
+        // regrouping would need a remap nobody requests here.
+        QualityInit::Resume(p) => QualityInit::Resume(p.clone()),
     };
     // The website cube is freshly built and owned: move it through the
     // pipeline and read it back from the run instead of cloning.

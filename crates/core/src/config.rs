@@ -46,6 +46,23 @@ pub enum AbsencePolicy {
     SourceCandidates,
 }
 
+/// Which execution backend runs the EM hot loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The shard-parallel engine: work is partitioned by key range on a
+    /// `kbt_flume::ShardedExecutor` whose per-worker scratch arenas are
+    /// reused across EM rounds, so the steady-state E-step performs no
+    /// per-item allocation. Bit-for-bit identical to [`ExecMode::Flat`]
+    /// at any thread count (the `sharded_engine` integration tests pin
+    /// this down).
+    #[default]
+    Sharded,
+    /// The original flat path: one `par_map_slice` per stage with
+    /// per-item scratch allocation. Kept as the reference implementation
+    /// for equivalence tests and the flat-vs-sharded throughput bench.
+    Flat,
+}
+
 /// Shared hyper-parameters of both models.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelConfig {
@@ -110,6 +127,11 @@ pub struct ModelConfig {
     /// Per-run and race-free, unlike `kbt_flume::set_num_threads` —
     /// installed around inference via `kbt_flume::with_threads`.
     pub threads: Option<usize>,
+    /// Execution backend for the EM hot loops (default:
+    /// [`ExecMode::Sharded`]). Results are bit-identical either way; the
+    /// flat path exists as the reference for equivalence tests and
+    /// benchmarks.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for ModelConfig {
@@ -132,6 +154,7 @@ impl Default for ModelConfig {
             literal_eq26_alpha: false,
             min_source_support: 1,
             threads: None,
+            exec_mode: ExecMode::Sharded,
         }
     }
 }

@@ -8,7 +8,7 @@
 //! allows it.
 
 use kbt_datamodel::ObservationCube;
-use kbt_flume::par_map_indexed;
+use kbt_flume::{par_map_indexed, ShardedExecutor};
 
 use crate::config::ModelConfig;
 use crate::math::{logit, sigmoid};
@@ -62,6 +62,29 @@ impl AlphaState {
         });
         self.logits = logits;
     }
+
+    /// [`Self::update`] on the sharded executor, rewriting the logit
+    /// buffer in place (no per-round allocation). Bit-identical to the
+    /// flat form at any shard count: the per-group computation is pure.
+    pub fn update_with(
+        &mut self,
+        cube: &ObservationCube,
+        truth: &[f64],
+        params: &Params,
+        cfg: &ModelConfig,
+        exec: &mut ShardedExecutor<()>,
+    ) {
+        debug_assert_eq!(truth.len(), cube.num_groups());
+        let n = cfg.n_false_values.max(1) as f64;
+        let spread = if cfg.literal_eq26_alpha { 1.0 } else { n };
+        let groups = cube.groups();
+        exec.map_keys(groups.len(), &mut self.logits, |_, g| {
+            let grp = &groups[g];
+            let a = params.source_accuracy[grp.source.index()];
+            let t = truth[g];
+            logit(t * a + (1.0 - t) * (1.0 - a) / spread)
+        });
+    }
 }
 
 /// Estimate `p(C_wdv = 1 | X_wdv)` for every triple group (Eq. 15 with the
@@ -76,6 +99,25 @@ pub fn estimate_correctness(
         let vcc = votes.vote_count(grp.source, cube.cells_of(grp), cfg);
         sigmoid(vcc + alpha.logit(g))
     })
+}
+
+/// [`estimate_correctness`] on the sharded executor, writing into a
+/// caller-held buffer that is reused across EM rounds. Bit-identical to
+/// the flat form at any shard count.
+pub fn estimate_correctness_with(
+    cube: &ObservationCube,
+    votes: &VoteCounter,
+    alpha: &AlphaState,
+    cfg: &ModelConfig,
+    exec: &mut ShardedExecutor<()>,
+    out: &mut Vec<f64>,
+) {
+    let groups = cube.groups();
+    exec.map_keys(groups.len(), out, |_, g| {
+        let grp = &groups[g];
+        let vcc = votes.vote_count(grp.source, cube.cells_of(grp), cfg);
+        sigmoid(vcc + alpha.logit(g))
+    });
 }
 
 #[cfg(test)]

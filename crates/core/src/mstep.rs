@@ -11,7 +11,7 @@
 //!   directly (Section 3.4.2).
 
 use kbt_datamodel::{ObservationCube, SourceId};
-use kbt_flume::{par_chunks_mut, par_map_indexed};
+use kbt_flume::{par_chunks_mut, par_map_indexed, ShardedExecutor};
 
 use crate::config::ModelConfig;
 use crate::math::clamp_quality;
@@ -57,6 +57,160 @@ pub fn update_source_accuracy(
             }
         }
     }
+}
+
+/// [`update_source_accuracy`] on the sharded executor: sources are
+/// partitioned into contiguous id-range shards and the per-source update
+/// is written into the caller-held `updates` buffer (reused across EM
+/// rounds). Per-source arithmetic is identical to the flat form, so the
+/// result is bit-identical at any shard count.
+#[allow(clippy::too_many_arguments)]
+pub fn update_source_accuracy_with(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    truth: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+    active: &mut [bool],
+    exec: &mut ShardedExecutor<()>,
+    updates: &mut Vec<Option<f64>>,
+) {
+    debug_assert_eq!(correctness.len(), cube.num_groups());
+    debug_assert_eq!(truth.len(), cube.num_groups());
+    exec.map_keys(cube.num_sources(), updates, |_, w| {
+        let range = cube.source_groups(SourceId::new(w as u32));
+        if range.len() < cfg.min_source_support {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for g in range {
+            num += correctness[g] * truth[g];
+            den += correctness[g];
+        }
+        if den <= 1e-12 {
+            return None;
+        }
+        Some(clamp_quality(num / den))
+    });
+    for (w, u) in updates.iter().enumerate() {
+        match u {
+            Some(a) => {
+                params.source_accuracy[w] = *a;
+                active[w] = true;
+            }
+            None => {
+                active[w] = false;
+            }
+        }
+    }
+}
+
+/// Reusable accumulators for the extractor-quality M-step — held by the
+/// sharded EM engine across rounds so the per-round `num`/`pden`/`rden`
+/// vectors are allocated once per run instead of once per iteration.
+#[derive(Debug, Default)]
+pub struct ExtractorScratch {
+    num: Vec<f64>,
+    pden: Vec<f64>,
+    rden: Vec<f64>,
+}
+
+impl ExtractorScratch {
+    fn reset(&mut self, ne: usize) {
+        for v in [&mut self.num, &mut self.pden, &mut self.rden] {
+            v.clear();
+            v.resize(ne, 0.0);
+        }
+    }
+}
+
+/// [`update_extractor_quality`] with reusable accumulators. The streaming
+/// pass stays serial on purpose: per-extractor sums accumulated across
+/// shard boundaries would be combined in a thread-count-dependent
+/// grouping, breaking the bit-for-bit guarantee the sharded engine makes
+/// (and the pass is a trivial O(cells) walk dominated by the E-step).
+pub fn update_extractor_quality_with(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+    scratch: &mut ExtractorScratch,
+) {
+    let ne = cube.num_extractors();
+    scratch.reset(ne);
+    let (num, pden, rden) = (&mut scratch.num, &mut scratch.pden, &mut scratch.rden);
+
+    for (g, _grp, cells) in cube.iter_with_cells() {
+        for c in cells {
+            let conf = cfg.effective_confidence(c.confidence);
+            let e = c.extractor.index();
+            num[e] += conf * correctness[g];
+            pden[e] += conf;
+        }
+    }
+    match cfg.absence_policy {
+        crate::config::AbsencePolicy::AllExtractors => {
+            let total: f64 = correctness.iter().sum();
+            rden.iter_mut().for_each(|x| *x = total);
+        }
+        crate::config::AbsencePolicy::SourceCandidates => {
+            for w in 0..cube.num_sources() {
+                let w = SourceId::new(w as u32);
+                let range = cube.source_groups(w);
+                if range.is_empty() {
+                    continue;
+                }
+                let sum_c: f64 = correctness[range.clone()].iter().sum();
+                for e in cube.extractors_on_source(w) {
+                    rden[e.index()] += sum_c;
+                }
+            }
+        }
+    }
+
+    let gamma = estimate_gamma(cube, correctness, cfg);
+    let (precision, recall, q) = (&mut params.precision, &mut params.recall, &mut params.q);
+    for e in 0..ne {
+        if pden[e] > 1e-12 {
+            precision[e] = clamp_quality(num[e] / pden[e]);
+        }
+        if rden[e] > 1e-12 {
+            recall[e] = clamp_quality(num[e] / rden[e]);
+        }
+    }
+    par_chunks_mut(q, |base, chunk| {
+        for (i, qe) in chunk.iter_mut().enumerate() {
+            let e = base + i;
+            *qe = q_from_precision_recall(precision[e], recall[e], gamma);
+        }
+    });
+}
+
+/// The γ re-estimation shared by the extractor-quality updates (see
+/// [`ModelConfig::estimate_gamma`]): expected provided mass over the
+/// per-source item-slot universe.
+fn estimate_gamma(cube: &ObservationCube, correctness: &[f64], cfg: &ModelConfig) -> f64 {
+    if !cfg.estimate_gamma || correctness.is_empty() {
+        return cfg.gamma;
+    }
+    let mut slots = 0usize;
+    for w in 0..cube.num_sources() {
+        let range = cube.source_groups(SourceId::new(w as u32));
+        if range.is_empty() {
+            continue;
+        }
+        let groups = &cube.groups()[range];
+        let mut items = 1usize;
+        for pair in groups.windows(2) {
+            if pair[0].item != pair[1].item {
+                items += 1;
+            }
+        }
+        slots += items * (cfg.n_false_values + 1);
+    }
+    let mass: f64 = correctness.iter().sum();
+    crate::math::clamp_quality(mass / (slots.max(1) as f64))
 }
 
 /// Eqs. 32–33 + Eq. 7. One streaming pass over the cube accumulates the
@@ -106,31 +260,11 @@ pub fn update_extractor_quality(
         }
     }
 
-    let gamma = if cfg.estimate_gamma && !correctness.is_empty() {
-        // γ̂ = expected provided mass over the slot universe: each source
-        // can provide one of (n+1) domain values for each item it talks
-        // about. Groups are sorted by (source, item, value), so distinct
-        // items per source are countable in one pass.
-        let mut slots = 0usize;
-        for w in 0..cube.num_sources() {
-            let range = cube.source_groups(SourceId::new(w as u32));
-            if range.is_empty() {
-                continue;
-            }
-            let groups = &cube.groups()[range];
-            let mut items = 1usize;
-            for pair in groups.windows(2) {
-                if pair[0].item != pair[1].item {
-                    items += 1;
-                }
-            }
-            slots += items * (cfg.n_false_values + 1);
-        }
-        let mass: f64 = correctness.iter().sum();
-        crate::math::clamp_quality(mass / (slots.max(1) as f64))
-    } else {
-        cfg.gamma
-    };
+    // γ̂ = expected provided mass over the slot universe: each source can
+    // provide one of (n+1) domain values for each item it talks about.
+    // Groups are sorted by (source, item, value), so distinct items per
+    // source are countable in one pass (see [`estimate_gamma`]).
+    let gamma = estimate_gamma(cube, correctness, cfg);
     let slices: (&mut [f64], &mut [f64], &mut [f64]) =
         (&mut params.precision, &mut params.recall, &mut params.q);
     let (precision, recall, q) = slices;
@@ -176,26 +310,7 @@ pub fn update_extractor_quality_indexed(
         .collect();
     let total_mass: f64 = correctness.iter().sum();
 
-    let gamma = if cfg.estimate_gamma && !correctness.is_empty() {
-        let mut slots = 0usize;
-        for w in 0..cube.num_sources() {
-            let range = cube.source_groups(SourceId::new(w as u32));
-            if range.is_empty() {
-                continue;
-            }
-            let groups = &cube.groups()[range];
-            let mut items = 1usize;
-            for pair in groups.windows(2) {
-                if pair[0].item != pair[1].item {
-                    items += 1;
-                }
-            }
-            slots += items * (cfg.n_false_values + 1);
-        }
-        crate::math::clamp_quality(total_mass / (slots.max(1) as f64))
-    } else {
-        cfg.gamma
-    };
+    let gamma = estimate_gamma(cube, correctness, cfg);
 
     let scoped = cfg.absence_policy == crate::config::AbsencePolicy::SourceCandidates;
     let results: Vec<(f64, f64, f64)> = par_map_indexed(index, |_, cells| {
@@ -395,6 +510,78 @@ mod tests {
                 assert!((a.precision[e] - b2.precision[e]).abs() < 1e-12, "P[{e}]");
                 assert!((a.recall[e] - b2.recall[e]).abs() < 1e-12, "R[{e}]");
                 assert!((a.q[e] - b2.q[e]).abs() < 1e-12, "Q[{e}]");
+            }
+        }
+    }
+
+    /// The `_with` variants (sharded / scratch-reusing) must be bit-for-bit
+    /// the flat updates, at several shard counts and across reuse rounds.
+    #[test]
+    fn with_variants_match_flat_updates_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut b = CubeBuilder::new();
+        for _ in 0..600 {
+            b.push(Observation {
+                extractor: ExtractorId::new(rng.gen_range(0..8)),
+                source: SourceId::new(rng.gen_range(0..15)),
+                item: ItemId::new(rng.gen_range(0..25)),
+                value: ValueId::new(rng.gen_range(0..4)),
+                confidence: rng.gen::<f64>(),
+            });
+        }
+        let cube = b.build();
+        let correctness: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        let truth: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        for policy in [
+            crate::config::AbsencePolicy::AllExtractors,
+            crate::config::AbsencePolicy::SourceCandidates,
+        ] {
+            let cfg = ModelConfig {
+                absence_policy: policy,
+                min_source_support: 3,
+                ..ModelConfig::default()
+            };
+            let mut flat = Params::init(&cube, &cfg, &QualityInit::Default);
+            let mut flat_active = vec![true; cube.num_sources()];
+            update_source_accuracy(
+                &cube,
+                &correctness,
+                &truth,
+                &cfg,
+                &mut flat,
+                &mut flat_active,
+            );
+            update_extractor_quality(&cube, &correctness, &cfg, &mut flat);
+            for shards in [1usize, 2, 8] {
+                let mut sharded = Params::init(&cube, &cfg, &QualityInit::Default);
+                let mut active = vec![true; cube.num_sources()];
+                let mut exec = ShardedExecutor::with_shards(shards);
+                let mut updates = Vec::new();
+                let mut scratch = ExtractorScratch::default();
+                // Two rounds: the second exercises buffer reuse.
+                for _ in 0..2 {
+                    update_source_accuracy_with(
+                        &cube,
+                        &correctness,
+                        &truth,
+                        &cfg,
+                        &mut sharded,
+                        &mut active,
+                        &mut exec,
+                        &mut updates,
+                    );
+                    update_extractor_quality_with(
+                        &cube,
+                        &correctness,
+                        &cfg,
+                        &mut sharded,
+                        &mut scratch,
+                    );
+                }
+                assert_eq!(sharded, flat, "policy {policy:?} shards {shards}");
+                assert_eq!(active, flat_active);
             }
         }
     }

@@ -13,15 +13,18 @@
 //! Section 5.1.2).
 
 use kbt_datamodel::{ObservationCube, SourceId};
-use kbt_flume::Stopwatch;
+use kbt_flume::{ShardedExecutor, Stopwatch};
 
-use crate::config::ModelConfig;
-use crate::correctness::{estimate_correctness, AlphaState};
+use crate::config::{ExecMode, ModelConfig};
+use crate::correctness::{estimate_correctness, estimate_correctness_with, AlphaState};
 use crate::model::{map_confidence_ll, ConvergenceTrace, IterationTrace};
-use crate::mstep::{update_extractor_quality, update_source_accuracy};
+use crate::mstep::{
+    update_extractor_quality, update_extractor_quality_with, update_source_accuracy,
+    update_source_accuracy_with, ExtractorScratch,
+};
 use crate::params::{Params, QualityInit};
 use crate::posterior::ItemPosteriors;
-use crate::value::{estimate_values, ValueLayerOutput};
+use crate::value::{estimate_values, estimate_values_with, ValueLayerOutput, ValueScratch};
 use crate::votes::VoteCounter;
 
 /// Everything Algorithm 1 returns: the latent-variable estimates `Z` and
@@ -107,13 +110,147 @@ impl MultiLayerModel {
         cube: &ObservationCube,
         init: &QualityInit,
     ) -> (MultiLayerResult, ConvergenceTrace) {
-        kbt_flume::with_threads(self.cfg.threads, || self.run_inner(cube, init))
+        self.run_traced_with_prior(cube, init, None)
+    }
+
+    /// [`Self::run_traced`] with an optional per-group **prior-truth
+    /// hint** — the incremental-fusion entry point (`FusionSession` in
+    /// `kbt-pipeline`). When `prior_truth[g]` carries the previous run's
+    /// `p(V_d = v(g) | X)` (remapped onto this cube's groups), the
+    /// per-triple correctness prior α is re-estimated from it *before*
+    /// the first round, so a warm-started run enters EM with the mature α
+    /// state a cold run only reaches after `alpha_update_from`
+    /// iterations. Ignored when α re-estimation is disabled.
+    pub fn run_traced_with_prior(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+        prior_truth: Option<&[f64]>,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
+        kbt_flume::with_threads(self.cfg.threads, || self.run_inner(cube, init, prior_truth))
     }
 
     fn run_inner(
         &self,
         cube: &ObservationCube,
         init: &QualityInit,
+        prior_truth: Option<&[f64]>,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
+        match self.cfg.exec_mode {
+            ExecMode::Flat => self.run_flat(cube, init, prior_truth),
+            ExecMode::Sharded => self.run_sharded(cube, init, prior_truth),
+        }
+    }
+
+    /// Algorithm 1 on the shard-parallel engine: every stage runs on a
+    /// [`ShardedExecutor`] whose scratch arenas (E-step buffers, vote
+    /// tables, M-step accumulators) persist across EM rounds, so the
+    /// steady-state loop performs no per-item and almost no per-round
+    /// allocation. Bit-for-bit identical to [`Self::run_flat`] at any
+    /// thread count (the `sharded_engine` integration tests assert this).
+    fn run_sharded(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+        prior_truth: Option<&[f64]>,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
+        let cfg = &self.cfg;
+        let mut params = Params::init(cube, cfg, init);
+        let mut active: Vec<bool> = (0..cube.num_sources())
+            .map(|w| cube.source_size(SourceId::new(w as u32)) >= cfg.min_source_support)
+            .collect();
+        let mut alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
+        let alpha_matured = alpha_matured_by(init);
+
+        // The engine state reused across rounds.
+        let mut value_exec: ShardedExecutor<ValueScratch> = ShardedExecutor::new();
+        let mut group_exec: ShardedExecutor<()> = ShardedExecutor::new();
+        let mut source_exec: ShardedExecutor<()> = ShardedExecutor::new();
+        let mut votes = VoteCounter::empty();
+        let mut correctness: Vec<f64> = Vec::new();
+        let mut src_updates: Vec<Option<f64>> = Vec::new();
+        let mut ext_scratch = ExtractorScratch::default();
+
+        if let Some(t0) = prior_truth {
+            debug_assert_eq!(t0.len(), cube.num_groups());
+            if cfg.alpha_update_from.is_some() {
+                alpha.update_with(cube, t0, &params, cfg, &mut group_exec);
+            }
+        }
+
+        let mut values: Option<ValueLayerOutput> = None;
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut trace = ConvergenceTrace::default();
+        let mut watch = Stopwatch::start();
+
+        for t in 1..=cfg.max_iterations {
+            iterations = t;
+            // Step 1: extraction correctness.
+            votes.rebuild(cube, &params, cfg);
+            estimate_correctness_with(cube, &votes, &alpha, cfg, &mut group_exec, &mut correctness);
+            // Step 2: item values.
+            let out =
+                estimate_values_with(cube, &correctness, &params, cfg, &active, &mut value_exec);
+            // Steps 3–4: parameters.
+            let prev = params.clone();
+            update_source_accuracy_with(
+                cube,
+                &correctness,
+                &out.truth_given_provided,
+                cfg,
+                &mut params,
+                &mut active,
+                &mut source_exec,
+                &mut src_updates,
+            );
+            update_extractor_quality_with(cube, &correctness, cfg, &mut params, &mut ext_scratch);
+            if cfg.updates_alpha_at(t + 1) || (alpha_matured && cfg.alpha_update_from.is_some()) {
+                alpha.update_with(cube, &out.truth_of_group, &params, cfg, &mut group_exec);
+            }
+            let delta = params.max_abs_delta(&prev);
+            let log_likelihood = correctness
+                .iter()
+                .zip(&out.truth_of_group)
+                .map(|(&c, &v)| map_confidence_ll(c) + map_confidence_ll(v))
+                .sum();
+            trace.rounds.push(IterationTrace {
+                iteration: t,
+                delta,
+                log_likelihood,
+                wall: watch.lap(),
+            });
+            values = Some(out);
+            if delta < cfg.convergence_eps {
+                converged = true;
+                break;
+            }
+        }
+        trace.converged = converged;
+
+        let values = values.unwrap_or_else(|| empty_values(cube, cfg));
+        let result = MultiLayerResult {
+            params,
+            correctness,
+            posteriors: values.posteriors,
+            truth_of_group: values.truth_of_group,
+            truth_given_provided: values.truth_given_provided,
+            covered_group: values.covered_group,
+            active_source: active,
+            iterations,
+            converged,
+        };
+        (result, trace)
+    }
+
+    /// Algorithm 1 on the original flat per-stage parallel maps — the
+    /// reference implementation the sharded engine is bit-compared
+    /// against (select with [`ExecMode::Flat`]).
+    fn run_flat(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+        prior_truth: Option<&[f64]>,
     ) -> (MultiLayerResult, ConvergenceTrace) {
         let cfg = &self.cfg;
         let mut params = Params::init(cube, cfg, init);
@@ -123,6 +260,14 @@ impl MultiLayerModel {
             .map(|w| cube.source_size(SourceId::new(w as u32)) >= cfg.min_source_support)
             .collect();
         let mut alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
+        let alpha_matured = alpha_matured_by(init);
+
+        if let Some(t0) = prior_truth {
+            debug_assert_eq!(t0.len(), cube.num_groups());
+            if cfg.alpha_update_from.is_some() {
+                alpha.update(cube, t0, &params, cfg);
+            }
+        }
 
         let mut correctness: Vec<f64> = Vec::new();
         let mut values: Option<ValueLayerOutput> = None;
@@ -151,7 +296,7 @@ impl MultiLayerModel {
             update_extractor_quality(cube, &correctness, cfg, &mut params);
             // Re-estimate the correctness prior for the *next* iteration
             // (Section 3.3.4), using the fresh accuracies as in Example 3.3.
-            if cfg.updates_alpha_at(t + 1) {
+            if cfg.updates_alpha_at(t + 1) || (alpha_matured && cfg.alpha_update_from.is_some()) {
                 alpha.update(cube, &out.truth_of_group, &params, cfg);
             }
             let delta = params.max_abs_delta(&prev);
@@ -174,15 +319,7 @@ impl MultiLayerModel {
         }
         trace.converged = converged;
 
-        let values = values.unwrap_or_else(|| ValueLayerOutput {
-            posteriors: ItemPosteriors::from_parts(
-                vec![Vec::new(); cube.num_items()],
-                vec![1.0 / (cfg.n_false_values + 1) as f64; cube.num_items()],
-            ),
-            truth_of_group: vec![0.0; cube.num_groups()],
-            truth_given_provided: vec![0.0; cube.num_groups()],
-            covered_group: vec![false; cube.num_groups()],
-        });
+        let values = values.unwrap_or_else(|| empty_values(cube, cfg));
 
         let result = MultiLayerResult {
             params,
@@ -196,6 +333,29 @@ impl MultiLayerModel {
             converged,
         };
         (result, trace)
+    }
+}
+
+/// Whether `init` resumes converged parameters, in which case the α
+/// re-estimation of Section 3.3.4 starts immediately: the schedule delays
+/// it only while the early parameter estimates are unreliable, and a
+/// warm-started run's estimates already are reliable. (A schedule of
+/// `None` still disables re-estimation entirely.)
+fn alpha_matured_by(init: &QualityInit) -> bool {
+    matches!(init, QualityInit::Resume(_))
+}
+
+/// The degenerate value-layer output of a zero-iteration run
+/// (`max_iterations == 0`): uniform posteriors, nothing covered.
+fn empty_values(cube: &ObservationCube, cfg: &ModelConfig) -> ValueLayerOutput {
+    ValueLayerOutput {
+        posteriors: ItemPosteriors::from_parts(
+            vec![Vec::new(); cube.num_items()],
+            vec![1.0 / (cfg.n_false_values + 1) as f64; cube.num_items()],
+        ),
+        truth_of_group: vec![0.0; cube.num_groups()],
+        truth_given_provided: vec![0.0; cube.num_groups()],
+        covered_group: vec![false; cube.num_groups()],
     }
 }
 

@@ -62,6 +62,14 @@ pub enum QualityInit {
         /// Optional initial recall per extractor.
         extractor_recall: Vec<Option<f64>>,
     },
+    /// Warm start from previously-converged parameters — the incremental
+    /// fusion path (`FusionSession` in `kbt-pipeline`). Entries are
+    /// copied index-wise into the new parameter vectors; ids beyond the
+    /// resumed vectors (sources/extractors introduced by a delta) fall
+    /// back to the defaults. Starting EM at a near-fixed point makes a
+    /// small-delta re-run converge in a handful of rounds instead of a
+    /// cold restart.
+    Resume(Params),
 }
 
 impl Params {
@@ -81,29 +89,51 @@ impl Params {
             recall: vec![cfg.default_recall; ne],
             q: vec![cfg.default_q; ne],
         };
-        if let QualityInit::FromGold {
-            source_accuracy,
-            extractor_precision,
-            extractor_recall,
-        } = init
-        {
-            for (w, a) in source_accuracy.iter().enumerate().take(nw) {
-                if let Some(a) = a {
+        match init {
+            QualityInit::Default => {}
+            QualityInit::FromGold {
+                source_accuracy,
+                extractor_precision,
+                extractor_recall,
+            } => {
+                for (w, a) in source_accuracy.iter().enumerate().take(nw) {
+                    if let Some(a) = a {
+                        p.source_accuracy[w] = clamp_quality(*a);
+                    }
+                }
+                for (e, pe) in extractor_precision.iter().enumerate().take(ne) {
+                    if let Some(pe) = pe {
+                        p.precision[e] = clamp_quality(*pe);
+                    }
+                }
+                for (e, re) in extractor_recall.iter().enumerate().take(ne) {
+                    if let Some(re) = re {
+                        p.recall[e] = clamp_quality(*re);
+                    }
+                }
+                for e in 0..ne {
+                    p.q[e] = q_from_precision_recall(p.precision[e], p.recall[e], cfg.gamma);
+                }
+            }
+            QualityInit::Resume(prev) => {
+                for (w, a) in prev.source_accuracy.iter().enumerate().take(nw) {
                     p.source_accuracy[w] = clamp_quality(*a);
                 }
-            }
-            for (e, pe) in extractor_precision.iter().enumerate().take(ne) {
-                if let Some(pe) = pe {
+                for (e, pe) in prev.precision.iter().enumerate().take(ne) {
                     p.precision[e] = clamp_quality(*pe);
                 }
-            }
-            for (e, re) in extractor_recall.iter().enumerate().take(ne) {
-                if let Some(re) = re {
+                for (e, re) in prev.recall.iter().enumerate().take(ne) {
                     p.recall[e] = clamp_quality(*re);
                 }
-            }
-            for e in 0..ne {
-                p.q[e] = q_from_precision_recall(p.precision[e], p.recall[e], cfg.gamma);
+                // Resume Q as converged where available (it already
+                // satisfies the Eq. 7 / validity relation), deriving it
+                // only for extractors the resumed run never saw.
+                for (e, qe) in prev.q.iter().enumerate().take(ne) {
+                    p.q[e] = clamp_quality(*qe);
+                }
+                for e in prev.q.len()..ne {
+                    p.q[e] = q_from_precision_recall(p.precision[e], p.recall[e], cfg.gamma);
+                }
             }
         }
         p
@@ -189,6 +219,30 @@ mod tests {
         assert_eq!(p.recall[1], 0.6);
         // Q re-derived from the overridden values.
         assert!((p.q[0] - q_from_precision_recall(0.9, 0.8, 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resume_init_copies_params_and_defaults_new_ids() {
+        let cube = tiny_cube(); // 3 sources, 2 extractors
+        let cfg = ModelConfig::default();
+        let prev = Params {
+            source_accuracy: vec![0.91, 0.42], // one fewer than the cube has
+            precision: vec![0.77],
+            recall: vec![0.66],
+            q: vec![0.11],
+        };
+        let p = Params::init(&cube, &cfg, &QualityInit::Resume(prev));
+        assert_eq!(p.source_accuracy[0], 0.91);
+        assert_eq!(p.source_accuracy[1], 0.42);
+        assert_eq!(p.source_accuracy[2], 0.8, "new source gets the default");
+        assert_eq!(p.precision[0], 0.77);
+        assert_eq!(p.recall[0], 0.66);
+        assert_eq!(p.q[0], 0.11, "converged Q is resumed, not re-derived");
+        assert_eq!(p.recall[1], cfg.default_recall, "new extractor defaults");
+        assert!(
+            (p.q[1] - q_from_precision_recall(p.precision[1], p.recall[1], cfg.gamma)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

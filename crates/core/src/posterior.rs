@@ -8,7 +8,7 @@
 use kbt_datamodel::{ItemId, ValueId};
 
 /// Columnar storage of all item posteriors.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ItemPosteriors {
     /// `offsets[d]..offsets[d+1]` indexes `entries` for item `d`.
     offsets: Vec<u32>,
@@ -33,6 +33,33 @@ impl ItemPosteriors {
             entries.extend(vs);
             offsets.push(entries.len() as u32);
         }
+        Self {
+            offsets,
+            entries,
+            unobserved,
+        }
+    }
+
+    /// Assemble from already-flat columnar parts: `offsets` has one entry
+    /// per item plus a trailing total, `entries` holds each item's
+    /// `(value, probability)` pairs **already sorted by value**, and
+    /// `unobserved[d]` is the per-unobserved-value mass of item `d`.
+    ///
+    /// This is the zero-copy constructor the sharded E-step uses — shard
+    /// workers append entry runs in item order, so no per-item `Vec`
+    /// ever exists.
+    pub fn from_flat_parts(
+        offsets: Vec<u32>,
+        entries: Vec<(ValueId, f64)>,
+        unobserved: Vec<f64>,
+    ) -> Self {
+        assert_eq!(offsets.len(), unobserved.len() + 1);
+        assert_eq!(*offsets.last().unwrap_or(&0) as usize, entries.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..unobserved.len()).all(|d| {
+            let run = &entries[offsets[d] as usize..offsets[d + 1] as usize];
+            run.windows(2).all(|w| w[0].0 < w[1].0)
+        }));
         Self {
             offsets,
             entries,

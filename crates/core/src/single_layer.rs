@@ -15,9 +15,9 @@
 use std::collections::HashMap;
 
 use kbt_datamodel::{ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
-use kbt_flume::{par_map_slice, Stopwatch};
+use kbt_flume::{par_map_slice, ShardedExecutor, Stopwatch};
 
-use crate::config::{ModelConfig, ValueModel};
+use crate::config::{ExecMode, ModelConfig, ValueModel};
 use crate::math::{clamp_quality, log_sum_exp_with_zeros};
 use crate::model::{map_confidence_ll, ConvergenceTrace, IterationTrace};
 use crate::params::QualityInit;
@@ -177,13 +177,25 @@ impl SingleLayerModel {
 
         // ---- Initialize accuracies. ----
         let mut acc = vec![cfg.default_source_accuracy; np];
-        if let QualityInit::FromGold {
-            source_accuracy, ..
-        } = init
-        {
-            for (pid, (w, _)) in pairs.iter().enumerate() {
-                if let Some(Some(a)) = source_accuracy.get(w.index()) {
-                    acc[pid] = clamp_quality(*a);
+        match init {
+            QualityInit::Default => {}
+            QualityInit::FromGold {
+                source_accuracy, ..
+            } => {
+                for (pid, (w, _)) in pairs.iter().enumerate() {
+                    if let Some(Some(a)) = source_accuracy.get(w.index()) {
+                        acc[pid] = clamp_quality(*a);
+                    }
+                }
+            }
+            // Warm start (incremental fusion): seed each pair from its web
+            // source's converged accuracy — the best per-pair prior the
+            // single-layer parameterization can carry forward.
+            QualityInit::Resume(prev) => {
+                for (pid, (w, _)) in pairs.iter().enumerate() {
+                    if let Some(a) = prev.source_accuracy.get(w.index()) {
+                        acc[pid] = clamp_quality(*a);
+                    }
                 }
             }
         }
@@ -192,6 +204,7 @@ impl SingleLayerModel {
         let n = cfg.n_false_values as f64;
         let domain = cfg.n_false_values + 1;
         let items: Vec<u32> = (0..ni as u32).collect();
+        let mut exec: ShardedExecutor<PairScratch> = ShardedExecutor::new();
         let mut truth_of_claim = vec![0.0f64; claims.len()];
         let mut posteriors = ItemPosteriors::default();
         let mut iterations = 0;
@@ -203,72 +216,86 @@ impl SingleLayerModel {
             iterations = t;
             // E-step per item (Eq. 2–3): (observed posteriors,
             // unobserved mass, per-claim truth).
-            type ItemOut = (Vec<(ValueId, f64)>, f64, Vec<(u32, f64)>);
-            let per_item: Vec<ItemOut> = par_map_slice(&items, |&d| {
-                let lo = offsets[d as usize] as usize;
-                let hi = offsets[d as usize + 1] as usize;
-                let mut votes: Vec<(ValueId, f64, f64)> = Vec::new(); // (v, vote, claims)
-                for &ci in &by_item[lo..hi] {
-                    let cl = claims[ci as usize];
-                    if !active_pair[cl.pair as usize] {
-                        continue;
-                    }
-                    let a = clamp_quality(acc[cl.pair as usize]);
-                    let vote = (n * a / (1.0 - a)).ln();
-                    match votes.iter_mut().find(|(v, _, _)| *v == cl.value) {
-                        Some((_, s, c)) => {
-                            *s += vote;
-                            *c += 1.0;
-                        }
-                        None => votes.push((cl.value, vote, 1.0)),
-                    }
-                }
-                if cfg.value_model == ValueModel::PopAccu && !votes.is_empty() {
-                    let total: f64 = votes.iter().map(|(_, _, c)| c).sum();
-                    let denom = total + n + 1.0;
-                    for (_, s, c) in votes.iter_mut() {
-                        let rho = (*c + 1.0) / denom;
-                        *s += *c * ((1.0 / n).ln() - rho.ln());
-                    }
-                }
-                let unobserved = domain.saturating_sub(votes.len());
-                let vcs: Vec<f64> = votes.iter().map(|(_, s, _)| *s).collect();
-                let log_z = log_sum_exp_with_zeros(&vcs, unobserved);
-                let entries: Vec<(ValueId, f64)> = votes
-                    .iter()
-                    .map(|(v, s, _)| (*v, (s - log_z).exp()))
-                    .collect();
-                let um = if log_z.is_finite() {
-                    (-log_z).exp()
-                } else {
-                    1.0 / domain as f64
-                };
-                // Truthfulness of each claim of this item.
-                let tr: Vec<(u32, f64)> = by_item[lo..hi]
-                    .iter()
-                    .map(|&ci| {
+            posteriors = if cfg.exec_mode == ExecMode::Sharded {
+                pair_estep_sharded(
+                    &claims,
+                    &offsets,
+                    &by_item,
+                    &active_pair,
+                    &acc,
+                    cfg,
+                    ni,
+                    &mut exec,
+                    &mut truth_of_claim,
+                )
+            } else {
+                type ItemOut = (Vec<(ValueId, f64)>, f64, Vec<(u32, f64)>);
+                let per_item: Vec<ItemOut> = par_map_slice(&items, |&d| {
+                    let lo = offsets[d as usize] as usize;
+                    let hi = offsets[d as usize + 1] as usize;
+                    let mut votes: Vec<(ValueId, f64, f64)> = Vec::new(); // (v, vote, claims)
+                    for &ci in &by_item[lo..hi] {
                         let cl = claims[ci as usize];
-                        let p = entries
-                            .iter()
-                            .find(|(v, _)| *v == cl.value)
-                            .map(|(_, p)| *p)
-                            .unwrap_or(um);
-                        (ci, p)
-                    })
-                    .collect();
-                (entries, um, tr)
-            });
+                        if !active_pair[cl.pair as usize] {
+                            continue;
+                        }
+                        let a = clamp_quality(acc[cl.pair as usize]);
+                        let vote = (n * a / (1.0 - a)).ln();
+                        match votes.iter_mut().find(|(v, _, _)| *v == cl.value) {
+                            Some((_, s, c)) => {
+                                *s += vote;
+                                *c += 1.0;
+                            }
+                            None => votes.push((cl.value, vote, 1.0)),
+                        }
+                    }
+                    if cfg.value_model == ValueModel::PopAccu && !votes.is_empty() {
+                        let total: f64 = votes.iter().map(|(_, _, c)| c).sum();
+                        let denom = total + n + 1.0;
+                        for (_, s, c) in votes.iter_mut() {
+                            let rho = (*c + 1.0) / denom;
+                            *s += *c * ((1.0 / n).ln() - rho.ln());
+                        }
+                    }
+                    let unobserved = domain.saturating_sub(votes.len());
+                    let vcs: Vec<f64> = votes.iter().map(|(_, s, _)| *s).collect();
+                    let log_z = log_sum_exp_with_zeros(&vcs, unobserved);
+                    let entries: Vec<(ValueId, f64)> = votes
+                        .iter()
+                        .map(|(v, s, _)| (*v, (s - log_z).exp()))
+                        .collect();
+                    let um = if log_z.is_finite() {
+                        (-log_z).exp()
+                    } else {
+                        1.0 / domain as f64
+                    };
+                    // Truthfulness of each claim of this item.
+                    let tr: Vec<(u32, f64)> = by_item[lo..hi]
+                        .iter()
+                        .map(|&ci| {
+                            let cl = claims[ci as usize];
+                            let p = entries
+                                .iter()
+                                .find(|(v, _)| *v == cl.value)
+                                .map(|(_, p)| *p)
+                                .unwrap_or(um);
+                            (ci, p)
+                        })
+                        .collect();
+                    (entries, um, tr)
+                });
 
-            let mut entries_per_item = Vec::with_capacity(ni);
-            let mut unobserved = Vec::with_capacity(ni);
-            for (entries, um, tr) in per_item {
-                entries_per_item.push(entries);
-                unobserved.push(um);
-                for (ci, p) in tr {
-                    truth_of_claim[ci as usize] = p;
+                let mut entries_per_item = Vec::with_capacity(ni);
+                let mut unobserved = Vec::with_capacity(ni);
+                for (entries, um, tr) in per_item {
+                    entries_per_item.push(entries);
+                    unobserved.push(um);
+                    for (ci, p) in tr {
+                        truth_of_claim[ci as usize] = p;
+                    }
                 }
-            }
-            posteriors = ItemPosteriors::from_parts(entries_per_item, unobserved);
+                ItemPosteriors::from_parts(entries_per_item, unobserved)
+            };
 
             // M-step (Eq. 4): pair accuracy = mean truth of its claims.
             let mut num = vec![0.0f64; np];
@@ -344,6 +371,115 @@ impl SingleLayerModel {
         };
         (result, trace)
     }
+}
+
+/// Reusable per-shard scratch of the sharded single-layer E-step.
+#[derive(Debug, Default)]
+struct PairScratch {
+    votes: Vec<(ValueId, f64, f64)>, // (v, vote sum, claim count)
+    vcs: Vec<f64>,
+    entries: Vec<(ValueId, f64)>,
+    entry_counts: Vec<u32>,
+    unobserved: Vec<f64>,
+    truth: Vec<(u32, f64)>, // (claim index, truthfulness)
+}
+
+/// The single-layer E-step (Eq. 2–3) on the shard-parallel engine. The
+/// arithmetic mirrors the flat branch operation-for-operation — the
+/// `sharded_engine` integration tests pin down bit-identity — while the
+/// per-item `Vec` churn is replaced by the shard's reusable scratch.
+#[allow(clippy::too_many_arguments)]
+fn pair_estep_sharded(
+    claims: &[Claim],
+    offsets: &[u32],
+    by_item: &[u32],
+    active_pair: &[bool],
+    acc: &[f64],
+    cfg: &ModelConfig,
+    ni: usize,
+    exec: &mut ShardedExecutor<PairScratch>,
+    truth_of_claim: &mut [f64],
+) -> ItemPosteriors {
+    let n = cfg.n_false_values as f64;
+    let domain = cfg.n_false_values + 1;
+    exec.run_shards(ni, |s, _, item_range| {
+        s.entries.clear();
+        s.entry_counts.clear();
+        s.unobserved.clear();
+        s.truth.clear();
+        for d in item_range {
+            let lo = offsets[d] as usize;
+            let hi = offsets[d + 1] as usize;
+            s.votes.clear();
+            for &ci in &by_item[lo..hi] {
+                let cl = claims[ci as usize];
+                if !active_pair[cl.pair as usize] {
+                    continue;
+                }
+                let a = clamp_quality(acc[cl.pair as usize]);
+                let vote = (n * a / (1.0 - a)).ln();
+                match s.votes.iter_mut().find(|(v, _, _)| *v == cl.value) {
+                    Some((_, sum, c)) => {
+                        *sum += vote;
+                        *c += 1.0;
+                    }
+                    None => s.votes.push((cl.value, vote, 1.0)),
+                }
+            }
+            if cfg.value_model == ValueModel::PopAccu && !s.votes.is_empty() {
+                let total: f64 = s.votes.iter().map(|(_, _, c)| c).sum();
+                let denom = total + n + 1.0;
+                for (_, sum, c) in s.votes.iter_mut() {
+                    let rho = (*c + 1.0) / denom;
+                    *sum += *c * ((1.0 / n).ln() - rho.ln());
+                }
+            }
+            let unobserved_count = domain.saturating_sub(s.votes.len());
+            s.vcs.clear();
+            s.vcs.extend(s.votes.iter().map(|(_, sum, _)| *sum));
+            let log_z = log_sum_exp_with_zeros(&s.vcs, unobserved_count);
+            let entry_start = s.entries.len();
+            s.entries
+                .extend(s.votes.iter().map(|(v, sum, _)| (*v, (sum - log_z).exp())));
+            s.entries[entry_start..].sort_unstable_by_key(|(v, _)| *v);
+            s.entry_counts.push((s.entries.len() - entry_start) as u32);
+            let um = if log_z.is_finite() {
+                (-log_z).exp()
+            } else {
+                1.0 / domain as f64
+            };
+            s.unobserved.push(um);
+            let run = &s.entries[entry_start..];
+            for &ci in &by_item[lo..hi] {
+                let cl = claims[ci as usize];
+                let p = match run.binary_search_by_key(&cl.value, |(v, _)| *v) {
+                    Ok(i) => run[i].1,
+                    Err(_) => um,
+                };
+                s.truth.push((ci, p));
+            }
+        }
+    });
+
+    // Ordered merge: shard `i` holds item range `i`.
+    let total_entries: usize = exec.scratch().iter().map(|s| s.entries.len()).sum();
+    let mut out_offsets = Vec::with_capacity(ni + 1);
+    out_offsets.push(0u32);
+    let mut entries = Vec::with_capacity(total_entries);
+    let mut unobserved = Vec::with_capacity(ni);
+    let ranges = exec.shard_ranges(ni);
+    for (s, range) in exec.scratch().iter().zip(&ranges) {
+        debug_assert_eq!(s.entry_counts.len(), range.len());
+        for &c in &s.entry_counts {
+            out_offsets.push(out_offsets.last().unwrap() + c);
+        }
+        entries.extend_from_slice(&s.entries);
+        unobserved.extend_from_slice(&s.unobserved);
+        for &(ci, p) in &s.truth {
+            truth_of_claim[ci as usize] = p;
+        }
+    }
+    ItemPosteriors::from_flat_parts(out_offsets, entries, unobserved)
 }
 
 #[cfg(test)]

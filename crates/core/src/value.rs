@@ -10,7 +10,7 @@
 //! unobserved domain value (Eq. 21/25, Example 3.2).
 
 use kbt_datamodel::{ItemId, ObservationCube, ValueId};
-use kbt_flume::par_map_slice;
+use kbt_flume::{par_map_slice, ShardedExecutor};
 
 use crate::config::{CorrectnessWeighting, ModelConfig, ValueModel};
 use crate::math::{clamp_quality, log_sum_exp_with_zeros};
@@ -205,6 +205,220 @@ pub fn estimate_values(
     }
 }
 
+/// Reusable per-shard scratch arena for [`estimate_values_with`] — the
+/// buffers one worker needs for the per-item E-step, plus the shard-local
+/// output accumulators that are merged (in shard order) after the round.
+/// Held inside a [`ShardedExecutor`] across EM rounds, so the steady-state
+/// E-step performs no per-item and no per-round allocation.
+#[derive(Debug, Default)]
+pub struct ValueScratch {
+    // Per-item working buffers (cleared per item, capacity retained).
+    values: Vec<(ValueId, f64, bool)>, // (v, vote sum, covered)
+    group_rows: Vec<(usize, ValueId, f64, f64)>, // (g, v, weight, full vote)
+    claim_values: Vec<ValueId>,
+    claims: Vec<(ValueId, f64)>, // sorted by value; POPACCU popularity
+    vcs: Vec<f64>,
+    // Shard-level outputs (cleared per round, capacity retained).
+    entries: Vec<(ValueId, f64)>,
+    entry_counts: Vec<u32>,
+    unobserved: Vec<f64>,
+    groups_out: Vec<(u32, f64, f64, bool)>, // (g, truth, cond, covered)
+}
+
+/// The per-item E-step kernel of the sharded path. Arithmetic mirrors the
+/// flat [`estimate_values`] operation-for-operation so the two paths stay
+/// bit-identical (the `sharded_engine` integration tests enforce this);
+/// the only structural changes are allocation-free: scratch buffers
+/// replace per-item `Vec`s, and the POPACCU claim table is seeded from
+/// [`ObservationCube::observed_values_into`] and probed by binary search
+/// instead of a linear scan (per-slot accumulation order is unchanged, so
+/// the sums are the same floats).
+#[allow(clippy::too_many_arguments)]
+fn value_item_kernel(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    params: &Params,
+    cfg: &ModelConfig,
+    active_source: &[bool],
+    n: f64,
+    d: ItemId,
+    s: &mut ValueScratch,
+) {
+    s.values.clear();
+    s.group_rows.clear();
+    cube.observed_values_into(d, &mut s.claim_values);
+    s.claims.clear();
+    s.claims.extend(s.claim_values.iter().map(|&v| (v, 0.0)));
+    let mut total_claims = 0.0f64;
+    for g in cube.groups_of_item(d) {
+        let grp = &cube.groups()[g];
+        let weight = match cfg.correctness_weighting {
+            CorrectnessWeighting::Weighted => correctness[g],
+            CorrectnessWeighting::Map => {
+                if correctness[g] >= 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        // POPACCU popularity counts use every claim, active or not.
+        let slot = s
+            .claims
+            .binary_search_by_key(&grp.value, |(v, _)| *v)
+            .expect("group value is an observed value of its item");
+        s.claims[slot].1 += weight;
+        total_claims += weight;
+        if !active_source[grp.source.index()] {
+            s.group_rows.push((g, grp.value, 0.0, 0.0));
+            continue;
+        }
+        let a = clamp_quality(params.source_accuracy[grp.source.index()]);
+        let full_vote = (n * a / (1.0 - a)).ln();
+        let vote = weight * full_vote;
+        s.group_rows.push((g, grp.value, weight, full_vote));
+        match s.values.iter_mut().find(|(v, _, _)| *v == grp.value) {
+            Some((_, sum, cov)) => {
+                *sum += vote;
+                *cov = true;
+            }
+            None => s.values.push((grp.value, vote, true)),
+        }
+    }
+    // POPACCU adjustment (see the flat path for the derivation).
+    if cfg.value_model == ValueModel::PopAccu && total_claims > 0.0 {
+        let denom = total_claims + n + 1.0;
+        let claims = &s.claims;
+        for (v, sum, _) in s.values.iter_mut() {
+            let cnt = claims
+                .binary_search_by_key(v, |(cv, _)| *cv)
+                .map(|i| claims[i].1)
+                .unwrap_or(0.0);
+            let rho = (cnt + 1.0) / denom;
+            let weight_on_v = cnt;
+            *sum += weight_on_v * ((1.0 / n).ln() - rho.ln());
+        }
+    }
+
+    // Softmax with unobserved-value zeros (Eq. 21/25).
+    let domain = cfg.n_false_values + 1;
+    let unobserved_count = domain.saturating_sub(s.values.len());
+    s.vcs.clear();
+    s.vcs.extend(s.values.iter().map(|(_, sum, _)| *sum));
+    let log_z = log_sum_exp_with_zeros(&s.vcs, unobserved_count);
+    let entry_start = s.entries.len();
+    s.entries
+        .extend(s.values.iter().map(|(v, sum, _)| (*v, (sum - log_z).exp())));
+    s.entries[entry_start..].sort_unstable_by_key(|(v, _)| *v);
+    s.entry_counts.push((s.entries.len() - entry_start) as u32);
+    let unobserved_mass = if log_z.is_finite() {
+        (-log_z).exp()
+    } else {
+        1.0 / domain as f64
+    };
+    s.unobserved.push(unobserved_mass);
+
+    // Truth probability, conditional truth, and coverage per group.
+    for idx in 0..s.group_rows.len() {
+        let (g, v, weight, full_vote) = s.group_rows[idx];
+        let run = &s.entries[entry_start..];
+        let p = match run.binary_search_by_key(&v, |(ev, _)| *ev) {
+            Ok(i) => run[i].1,
+            Err(_) => unobserved_mass,
+        };
+        let p_cond = if log_z.is_finite() && full_vote != 0.0 {
+            let x = s
+                .values
+                .iter()
+                .find(|(ev, _, _)| *ev == v)
+                .map(|(_, sum, _)| *sum)
+                .unwrap_or(0.0);
+            let a = x - log_z;
+            let b = a + (1.0 - weight) * full_vote;
+            let ea = a.exp();
+            let eb = b.exp();
+            (eb / (1.0 - ea + eb)).clamp(0.0, 1.0)
+        } else {
+            p
+        };
+        let cov = s
+            .values
+            .iter()
+            .find(|(ev, _, _)| *ev == v)
+            .map(|(_, _, c)| *c)
+            .unwrap_or(false);
+        s.groups_out.push((g as u32, p, p_cond, cov));
+    }
+}
+
+/// [`estimate_values`] on the shard-parallel engine: items are
+/// partitioned into contiguous key-range shards, each worker reuses its
+/// [`ValueScratch`] arena, and shard outputs are merged in shard order.
+/// Bit-identical to the flat path at any shard count.
+pub fn estimate_values_with(
+    cube: &ObservationCube,
+    correctness: &[f64],
+    params: &Params,
+    cfg: &ModelConfig,
+    active_source: &[bool],
+    exec: &mut ShardedExecutor<ValueScratch>,
+) -> ValueLayerOutput {
+    debug_assert_eq!(correctness.len(), cube.num_groups());
+    debug_assert_eq!(active_source.len(), cube.num_sources());
+    let ni = cube.num_items();
+    let n = cfg.n_false_values as f64;
+
+    exec.run_shards(ni, |s, _, items| {
+        s.entries.clear();
+        s.entry_counts.clear();
+        s.unobserved.clear();
+        s.groups_out.clear();
+        for d in items {
+            value_item_kernel(
+                cube,
+                correctness,
+                params,
+                cfg,
+                active_source,
+                n,
+                ItemId::new(d as u32),
+                s,
+            );
+        }
+    });
+
+    // Ordered merge: shard `i` holds the outputs of key range `i`.
+    let total_entries: usize = exec.scratch().iter().map(|s| s.entries.len()).sum();
+    let mut offsets = Vec::with_capacity(ni + 1);
+    offsets.push(0u32);
+    let mut entries = Vec::with_capacity(total_entries);
+    let mut unobserved = Vec::with_capacity(ni);
+    let mut truth_of_group = vec![0.0; cube.num_groups()];
+    let mut truth_given_provided = vec![0.0; cube.num_groups()];
+    let mut covered_group = vec![false; cube.num_groups()];
+    let ranges = exec.shard_ranges(ni);
+    for (s, range) in exec.scratch().iter().zip(&ranges) {
+        debug_assert_eq!(s.entry_counts.len(), range.len());
+        for &c in &s.entry_counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        entries.extend_from_slice(&s.entries);
+        unobserved.extend_from_slice(&s.unobserved);
+        for &(g, t, cond, cov) in &s.groups_out {
+            truth_of_group[g as usize] = t;
+            truth_given_provided[g as usize] = cond;
+            covered_group[g as usize] = cov;
+        }
+    }
+
+    ValueLayerOutput {
+        posteriors: ItemPosteriors::from_flat_parts(offsets, entries, unobserved),
+        truth_of_group,
+        truth_given_provided,
+        covered_group,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +607,56 @@ mod tests {
         let unobs = out.posteriors.prob(item, ValueId::new(9));
         let total = obs_mass + unobs * (11 - 3) as f64;
         assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    /// The sharded E-step must be bit-for-bit the flat E-step, for every
+    /// shard count and both value models.
+    #[test]
+    fn sharded_estep_is_bit_identical_to_flat() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        let mut b = CubeBuilder::new();
+        for _ in 0..800 {
+            b.push(Observation {
+                extractor: ExtractorId::new(rng.gen_range(0..6)),
+                source: SourceId::new(rng.gen_range(0..25)),
+                item: ItemId::new(rng.gen_range(0..40)),
+                value: ValueId::new(rng.gen_range(0..7)),
+                confidence: rng.gen::<f64>(),
+            });
+        }
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: (0..25).map(|w| 0.3 + 0.02 * w as f64).collect(),
+            precision: vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4],
+            recall: vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4],
+            q: vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3],
+        };
+        let correctness: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        let active: Vec<bool> = (0..25).map(|w| w % 5 != 0).collect();
+        for value_model in [ValueModel::Accu, ValueModel::PopAccu] {
+            let cfg = ModelConfig {
+                value_model,
+                ..ModelConfig::default()
+            };
+            let flat = estimate_values(&cube, &correctness, &params, &cfg, &active);
+            for shards in [1usize, 2, 8, 13] {
+                let mut exec = ShardedExecutor::with_shards(shards);
+                // Run twice: the second round exercises buffer reuse.
+                let _ =
+                    estimate_values_with(&cube, &correctness, &params, &cfg, &active, &mut exec);
+                let sharded =
+                    estimate_values_with(&cube, &correctness, &params, &cfg, &active, &mut exec);
+                assert_eq!(sharded.truth_of_group, flat.truth_of_group, "{shards}");
+                assert_eq!(
+                    sharded.truth_given_provided, flat.truth_given_provided,
+                    "{shards}"
+                );
+                assert_eq!(sharded.covered_group, flat.covered_group, "{shards}");
+                assert_eq!(sharded.posteriors, flat.posteriors, "{shards}");
+            }
+        }
     }
 
     #[test]

@@ -36,33 +36,52 @@ impl VoteCounter {
     /// Build vote tables from the current extractor parameters, using the
     /// configured absence policy.
     pub fn new(cube: &ObservationCube, params: &Params, cfg: &ModelConfig) -> Self {
+        let mut vc = Self::empty();
+        vc.rebuild(cube, params, cfg);
+        vc
+    }
+
+    /// An empty counter to be filled by [`Self::rebuild`] — what the
+    /// sharded EM engine holds across rounds.
+    pub fn empty() -> Self {
+        Self {
+            presence: Vec::new(),
+            absence: Vec::new(),
+            source_absence_sum: Vec::new(),
+        }
+    }
+
+    /// Recompute the vote tables in place from fresh parameters, reusing
+    /// the existing allocations. Called once per EM round; produces
+    /// exactly what [`Self::new`] would.
+    pub fn rebuild(&mut self, cube: &ObservationCube, params: &Params, cfg: &ModelConfig) {
         let ne = cube.num_extractors();
-        let mut presence = Vec::with_capacity(ne);
-        let mut absence = Vec::with_capacity(ne);
+        self.presence.clear();
+        self.absence.clear();
+        self.presence.reserve(ne);
+        self.absence.reserve(ne);
         for e in 0..ne {
             let r = clamp_quality(params.recall[e]);
             let q = clamp_quality(params.q[e]);
-            presence.push(r.ln() - q.ln());
-            absence.push((1.0 - r).ln() - (1.0 - q).ln());
+            self.presence.push(r.ln() - q.ln());
+            self.absence.push((1.0 - r).ln() - (1.0 - q).ln());
         }
-        let source_absence_sum = match cfg.absence_policy {
+        self.source_absence_sum.clear();
+        match cfg.absence_policy {
             crate::config::AbsencePolicy::AllExtractors => {
-                let total: f64 = absence.iter().sum();
-                vec![total; cube.num_sources()]
+                let total: f64 = self.absence.iter().sum();
+                self.source_absence_sum.resize(cube.num_sources(), total);
             }
-            crate::config::AbsencePolicy::SourceCandidates => (0..cube.num_sources())
-                .map(|w| {
-                    cube.extractors_on_source(SourceId::new(w as u32))
-                        .iter()
-                        .map(|e| absence[e.index()])
-                        .sum()
-                })
-                .collect(),
-        };
-        Self {
-            presence,
-            absence,
-            source_absence_sum,
+            crate::config::AbsencePolicy::SourceCandidates => {
+                let absence = &self.absence;
+                self.source_absence_sum
+                    .extend((0..cube.num_sources()).map(|w| {
+                        cube.extractors_on_source(SourceId::new(w as u32))
+                            .iter()
+                            .map(|e| absence[e.index()])
+                            .sum::<f64>()
+                    }));
+            }
         }
     }
 

@@ -131,13 +131,20 @@ impl ObservationCube {
 
     /// Distinct values observed (by any source) for item `d`, sorted.
     pub fn observed_values_of_item(&self, d: ItemId) -> Vec<ValueId> {
-        let mut vs: Vec<ValueId> = self
-            .groups_of_item(d)
-            .map(|g| self.groups[g].value)
-            .collect();
-        vs.sort_unstable();
-        vs.dedup();
+        let mut vs = Vec::new();
+        self.observed_values_into(d, &mut vs);
         vs
+    }
+
+    /// Collect the distinct observed values of item `d`, sorted, into a
+    /// caller-provided buffer (cleared first, capacity retained) — the
+    /// allocation-free form the value layer uses once per item per EM
+    /// round.
+    pub fn observed_values_into(&self, d: ItemId, out: &mut Vec<ValueId>) {
+        out.clear();
+        out.extend(self.groups_of_item(d).map(|g| self.groups[g].value));
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Number of triples (groups) attributed to source `w`.
@@ -174,6 +181,273 @@ impl ObservationCube {
     /// [`Self::build_extractor_index`]).
     pub fn cell(&self, idx: u32) -> &Cell {
         &self.cells[idx as usize]
+    }
+
+    /// Merge `delta` into this cube **without re-sorting the existing
+    /// layout**: the delta alone is sorted (`O(m log m)` for `m` delta
+    /// rows) and merge-walked against the already-sorted group list
+    /// (`O(groups + cells)`), then the secondary indexes are rebuilt in
+    /// one linear pass. The result is bit-identical to rebuilding a
+    /// [`CubeBuilder`] from the union of all observations (duplicate
+    /// `(e, w, d, v)` entries keep the maximum confidence, exactly as
+    /// [`CubeBuilder::build`] does) — the `session_incremental` proptest
+    /// pins this equivalence down.
+    ///
+    /// Dense id spaces grow to cover the delta; existing (possibly
+    /// reserved) sizes are never shrunk.
+    pub fn apply_delta(&self, delta: &[Observation]) -> ObservationCube {
+        if delta.is_empty() {
+            return self.clone();
+        }
+        let mut d: Vec<Observation> = delta
+            .iter()
+            .map(|o| {
+                let mut o = *o;
+                o.confidence = o.confidence.clamp(0.0, 1.0);
+                o
+            })
+            .collect();
+        d.sort_unstable_by_key(|o| (o.source, o.item, o.value, o.extractor));
+
+        let mut num_sources = self.num_sources() as u32;
+        let mut num_extractors = self.num_extractors;
+        let mut num_items = self.num_items() as u32;
+        let mut num_values = self.num_values;
+        for o in &d {
+            num_sources = num_sources.max(o.source.0 + 1);
+            num_extractors = num_extractors.max(o.extractor.0 + 1);
+            num_items = num_items.max(o.item.0 + 1);
+            num_values = num_values.max(o.value.0 + 1);
+        }
+
+        let mut cells: Vec<Cell> = Vec::with_capacity(self.cells.len() + d.len());
+        let mut groups: Vec<TripleGroup> = Vec::with_capacity(self.groups.len() + d.len());
+        let mut gi = 0; // cursor over existing groups
+        let mut di = 0; // cursor over sorted delta observations
+
+        // Consume one delta run (all rows of one (w, d, v) key), merging
+        // same-extractor duplicates with max confidence, optionally
+        // interleaving with the cells of an equal-key existing group.
+        let push_merged =
+            |cells: &mut Vec<Cell>, old: Option<&[Cell]>, d: &[Observation], di: &mut usize| {
+                let key = (d[*di].source, d[*di].item, d[*di].value);
+                let start = cells.len() as u32;
+                let mut old_cells = old.unwrap_or(&[]).iter().peekable();
+                while *di < d.len() {
+                    let o = d[*di];
+                    if (o.source, o.item, o.value) != key {
+                        break;
+                    }
+                    let mut conf = o.confidence;
+                    *di += 1;
+                    while *di < d.len() {
+                        let p = d[*di];
+                        if (p.source, p.item, p.value, p.extractor)
+                            != (o.source, o.item, o.value, o.extractor)
+                        {
+                            break;
+                        }
+                        conf = conf.max(p.confidence);
+                        *di += 1;
+                    }
+                    // Existing cells are sorted by extractor: emit the ones
+                    // strictly before this delta extractor, then merge equals.
+                    while let Some(c) = old_cells.peek() {
+                        if c.extractor < o.extractor {
+                            cells.push(**c);
+                            old_cells.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if let Some(c) = old_cells.peek() {
+                        if c.extractor == o.extractor {
+                            conf = conf.max(c.confidence);
+                            old_cells.next();
+                        }
+                    }
+                    cells.push(Cell {
+                        extractor: o.extractor,
+                        confidence: conf,
+                    });
+                }
+                for c in old_cells {
+                    cells.push(*c);
+                }
+                (key, start..cells.len() as u32)
+            };
+
+        while gi < self.groups.len() || di < d.len() {
+            let old_key = self.groups.get(gi).map(|g| (g.source, g.item, g.value));
+            let new_key = d.get(di).map(|o| (o.source, o.item, o.value));
+            let ord = match (old_key, new_key) {
+                (Some(ok), Some(nk)) => ok.cmp(&nk),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => unreachable!("loop condition"),
+            };
+            match ord {
+                std::cmp::Ordering::Less => {
+                    // Untouched existing group: copy cells verbatim.
+                    let grp = &self.groups[gi];
+                    let start = cells.len() as u32;
+                    cells.extend_from_slice(&self.cells[grp.cell_range()]);
+                    groups.push(TripleGroup {
+                        source: grp.source,
+                        item: grp.item,
+                        value: grp.value,
+                        cells: start..cells.len() as u32,
+                    });
+                    gi += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    // Brand-new group from the delta.
+                    let ((source, item, value), range) = push_merged(&mut cells, None, &d, &mut di);
+                    groups.push(TripleGroup {
+                        source,
+                        item,
+                        value,
+                        cells: range,
+                    });
+                }
+                std::cmp::Ordering::Equal => {
+                    // Same key on both sides: merge cell lists.
+                    let grp = &self.groups[gi];
+                    let ((source, item, value), range) =
+                        push_merged(&mut cells, Some(&self.cells[grp.cell_range()]), &d, &mut di);
+                    groups.push(TripleGroup {
+                        source,
+                        item,
+                        value,
+                        cells: range,
+                    });
+                    gi += 1;
+                }
+            }
+        }
+
+        assemble_cube(
+            cells,
+            groups,
+            num_sources,
+            num_extractors,
+            num_items,
+            num_values,
+        )
+    }
+
+    /// Partition the group list into `shards` contiguous ranges (the key
+    /// ranges a [`kbt_flume::ShardedExecutor`]-style engine would hand to
+    /// its workers) and report per-shard load — the skew diagnostic behind
+    /// the paper's Table 7 straggler discussion.
+    ///
+    /// [`kbt_flume::ShardedExecutor`]: https://docs.rs/kbt-flume
+    pub fn shard_stats(&self, shards: usize) -> Vec<CubeShardStats> {
+        if self.groups.is_empty() {
+            return Vec::new();
+        }
+        let shards = shards.max(1).min(self.groups.len());
+        let chunk = self.groups.len().div_ceil(shards);
+        (0..shards)
+            .map(|i| {
+                let lo = (i * chunk).min(self.groups.len());
+                let hi = ((i + 1) * chunk).min(self.groups.len());
+                let cells = if lo < hi {
+                    (self.groups[hi - 1].cells.end - self.groups[lo].cells.start) as usize
+                } else {
+                    0
+                };
+                let sources = if lo < hi {
+                    (self.groups[lo].source.0..=self.groups[hi - 1].source.0).count()
+                } else {
+                    0
+                };
+                CubeShardStats {
+                    shard: i,
+                    groups: lo..hi,
+                    cells,
+                    sources,
+                }
+            })
+            .filter(|s| !s.groups.is_empty())
+            .collect()
+    }
+}
+
+/// Load statistics of one contiguous group-range shard
+/// (see [`ObservationCube::shard_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// The contiguous range of group indices the shard covers.
+    pub groups: Range<usize>,
+    /// Number of cube cells (extractions) inside those groups.
+    pub cells: usize,
+    /// Width of the source-id span the shard touches (groups are sorted
+    /// by source, so this bounds the number of distinct sources).
+    pub sources: usize,
+}
+
+/// Build the secondary indexes over sorted `(cells, groups)` — shared by
+/// [`CubeBuilder::build`] (full sort) and [`ObservationCube::apply_delta`]
+/// (merge-walk). One linear pass over groups plus a counting sort of the
+/// item index.
+fn assemble_cube(
+    cells: Vec<Cell>,
+    groups: Vec<TripleGroup>,
+    num_sources: u32,
+    num_extractors: u32,
+    num_items: u32,
+    num_values: u32,
+) -> ObservationCube {
+    // Source ranges over the (source-sorted) group list.
+    let ns = num_sources as usize;
+    let mut source_group_ranges = vec![0u32..0u32; ns];
+    let mut source_extractors: Vec<Vec<ExtractorId>> = vec![Vec::new(); ns];
+    let mut g = 0;
+    while g < groups.len() {
+        let w = groups[g].source;
+        let start = g as u32;
+        let mut ext: Vec<ExtractorId> = Vec::new();
+        while g < groups.len() && groups[g].source == w {
+            for c in &cells[groups[g].cell_range()] {
+                ext.push(c.extractor);
+            }
+            g += 1;
+        }
+        ext.sort_unstable();
+        ext.dedup();
+        source_group_ranges[w.index()] = start..g as u32;
+        source_extractors[w.index()] = ext;
+    }
+
+    // Item index: counting sort of group indices by item.
+    let ni = num_items as usize;
+    let mut item_offsets = vec![0u32; ni + 1];
+    for grp in &groups {
+        item_offsets[grp.item.index() + 1] += 1;
+    }
+    for k in 0..ni {
+        item_offsets[k + 1] += item_offsets[k];
+    }
+    let mut cursor = item_offsets.clone();
+    let mut item_groups = vec![0u32; groups.len()];
+    for (gi, grp) in groups.iter().enumerate() {
+        let slot = &mut cursor[grp.item.index()];
+        item_groups[*slot as usize] = gi as u32;
+        *slot += 1;
+    }
+
+    ObservationCube {
+        cells,
+        groups,
+        source_group_ranges,
+        item_groups,
+        item_offsets,
+        source_extractors,
+        num_extractors,
+        num_values,
     }
 }
 
@@ -288,54 +562,14 @@ impl CubeBuilder {
         }
         drop(self.obs);
 
-        // Source ranges over the (source-sorted) group list.
-        let ns = self.num_sources as usize;
-        let mut source_group_ranges = vec![0u32..0u32; ns];
-        let mut source_extractors: Vec<Vec<ExtractorId>> = vec![Vec::new(); ns];
-        let mut g = 0;
-        while g < groups.len() {
-            let w = groups[g].source;
-            let start = g as u32;
-            let mut ext: Vec<ExtractorId> = Vec::new();
-            while g < groups.len() && groups[g].source == w {
-                for c in &cells[groups[g].cell_range()] {
-                    ext.push(c.extractor);
-                }
-                g += 1;
-            }
-            ext.sort_unstable();
-            ext.dedup();
-            source_group_ranges[w.index()] = start..g as u32;
-            source_extractors[w.index()] = ext;
-        }
-
-        // Item index: counting sort of group indices by item.
-        let ni = self.num_items as usize;
-        let mut item_offsets = vec![0u32; ni + 1];
-        for grp in &groups {
-            item_offsets[grp.item.index() + 1] += 1;
-        }
-        for k in 0..ni {
-            item_offsets[k + 1] += item_offsets[k];
-        }
-        let mut cursor = item_offsets.clone();
-        let mut item_groups = vec![0u32; groups.len()];
-        for (gi, grp) in groups.iter().enumerate() {
-            let slot = &mut cursor[grp.item.index()];
-            item_groups[*slot as usize] = gi as u32;
-            *slot += 1;
-        }
-
-        ObservationCube {
+        assemble_cube(
             cells,
             groups,
-            source_group_ranges,
-            item_groups,
-            item_offsets,
-            source_extractors,
-            num_extractors: self.num_extractors,
-            num_values: self.num_values,
-        }
+            self.num_sources,
+            self.num_extractors,
+            self.num_items,
+            self.num_values,
+        )
     }
 }
 
@@ -453,6 +687,117 @@ mod tests {
         assert_eq!(cube.num_items(), 7);
         assert_eq!(cube.num_values(), 9);
         assert_eq!(cube.source_size(SourceId::new(9)), 0);
+    }
+
+    /// `apply_delta` must be indistinguishable from a full rebuild over
+    /// the union of the observations.
+    fn assert_cubes_identical(a: &ObservationCube, b: &ObservationCube) {
+        assert_eq!(a.groups(), b.groups());
+        assert_eq!(a.num_cells(), b.num_cells());
+        for (ga, gb) in a.groups().iter().zip(b.groups()) {
+            assert_eq!(a.cells_of(ga), b.cells_of(gb));
+        }
+        assert_eq!(a.num_sources(), b.num_sources());
+        assert_eq!(a.num_extractors(), b.num_extractors());
+        assert_eq!(a.num_items(), b.num_items());
+        assert_eq!(a.num_values(), b.num_values());
+        for w in 0..a.num_sources() {
+            let w = SourceId::new(w as u32);
+            assert_eq!(a.source_groups(w), b.source_groups(w));
+            assert_eq!(a.extractors_on_source(w), b.extractors_on_source(w));
+        }
+        for d in 0..a.num_items() {
+            let d = ItemId::new(d as u32);
+            assert_eq!(
+                a.groups_of_item(d).collect::<Vec<_>>(),
+                b.groups_of_item(d).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild() {
+        let base = vec![
+            obs(0, 1, 0, 0, 1.0),
+            obs(1, 1, 0, 0, 0.5),
+            obs(0, 0, 2, 1, 0.9),
+            obs(2, 3, 1, 0, 1.0),
+        ];
+        let delta = vec![
+            obs(1, 1, 0, 0, 0.8), // merges into an existing cell (max conf)
+            obs(2, 1, 0, 0, 1.0), // new cell in an existing group
+            obs(0, 1, 0, 1, 1.0), // new group of an existing source
+            obs(0, 2, 0, 0, 0.7), // source with no prior groups
+            obs(3, 4, 5, 6, 1.0), // grows every id space
+            obs(3, 4, 5, 6, 0.2), // duplicate keeps max confidence
+        ];
+        let mut b = CubeBuilder::new();
+        for o in &base {
+            b.push(*o);
+        }
+        let incremental = b.build().apply_delta(&delta);
+        let mut full = CubeBuilder::new();
+        for o in base.iter().chain(&delta) {
+            full.push(*o);
+        }
+        assert_cubes_identical(&incremental, &full.build());
+    }
+
+    #[test]
+    fn apply_delta_empty_is_identity_and_preserves_reservations() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0, 1.0));
+        b.reserve_ids(9, 4, 6, 8);
+        let cube = b.build();
+        let same = cube.apply_delta(&[]);
+        assert_cubes_identical(&cube, &same);
+        // Reserved sizes survive a non-empty delta too.
+        let grown = cube.apply_delta(&[obs(0, 1, 1, 1, 1.0)]);
+        assert_eq!(grown.num_sources(), 9);
+        assert_eq!(grown.num_extractors(), 4);
+        assert_eq!(grown.num_items(), 6);
+        assert_eq!(grown.num_values(), 8);
+        assert_eq!(grown.num_groups(), 2);
+    }
+
+    #[test]
+    fn apply_delta_onto_empty_cube() {
+        let cube = CubeBuilder::new().build();
+        let delta = vec![obs(0, 0, 0, 0, 0.4), obs(1, 0, 0, 0, 1.0)];
+        let grown = cube.apply_delta(&delta);
+        let mut full = CubeBuilder::new();
+        for o in &delta {
+            full.push(*o);
+        }
+        assert_cubes_identical(&grown, &full.build());
+    }
+
+    #[test]
+    fn shard_stats_partition_all_groups_and_cells() {
+        let mut b = CubeBuilder::new();
+        for w in 0..5u32 {
+            for d in 0..7u32 {
+                for e in 0..(1 + w % 3) {
+                    b.push(obs(e, w, d, 0, 1.0));
+                }
+            }
+        }
+        let cube = b.build();
+        for shards in [1usize, 2, 4, 16, 64] {
+            let stats = cube.shard_stats(shards);
+            assert!(stats.len() <= shards.max(1));
+            let mut next = 0;
+            let mut cells = 0;
+            for s in &stats {
+                assert_eq!(s.groups.start, next);
+                next = s.groups.end;
+                cells += s.cells;
+                assert!(s.sources >= 1);
+            }
+            assert_eq!(next, cube.num_groups(), "shards = {shards}");
+            assert_eq!(cells, cube.num_cells(), "shards = {shards}");
+        }
+        assert!(CubeBuilder::new().build().shard_stats(4).is_empty());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod ids;
 pub mod intern;
 pub mod triple;
 
-pub use cube::{Cell, CubeBuilder, ObservationCube, TripleGroup};
+pub use cube::{Cell, CubeBuilder, CubeShardStats, ObservationCube, TripleGroup};
 pub use ids::{ExtractorId, ItemId, SourceId, ValueId};
 pub use intern::{Interner, SymbolTable};
 pub use triple::{DataItem, Observation, Triple};

@@ -27,9 +27,29 @@ impl DataItem {
         }
     }
 
-    /// Canonical interning key, `"subject|predicate"`.
+    /// Canonical interning key: `subject` and `predicate` joined by an
+    /// *unescaped* `|`, with any `|` or `\` inside either component
+    /// escaped as `\|` / `\\`. The escaping makes the key injective — a
+    /// subject containing `|` (URLs, free-text entity names) can no
+    /// longer collide with a different (subject, predicate) split, which
+    /// the plain `"subject|predicate"` concatenation allowed.
     pub fn key(&self) -> String {
-        format!("{}|{}", self.subject, self.predicate)
+        let mut out = String::with_capacity(self.subject.len() + self.predicate.len() + 1);
+        escape_component(&self.subject, &mut out);
+        out.push('|');
+        escape_component(&self.predicate, &mut out);
+        out
+    }
+}
+
+/// Escape `|` and `\` so the component cannot fake or split the `|`
+/// delimiter of [`DataItem::key`].
+fn escape_component(s: &str, out: &mut String) {
+    for c in s.chars() {
+        if c == '\\' || c == '|' {
+            out.push('\\');
+        }
+        out.push(c);
     }
 }
 
@@ -90,6 +110,33 @@ mod tests {
     fn data_item_key_is_stable() {
         let d = DataItem::new("BarackObama", "nationality");
         assert_eq!(d.key(), "BarackObama|nationality");
+    }
+
+    /// Regression: with the old `"subject|predicate"` concatenation,
+    /// `("a|b", "c")` and `("a", "b|c")` interned to the same key and were
+    /// silently fused into one data item.
+    #[test]
+    fn data_item_key_is_injective_for_pipe_subjects() {
+        let pairs = [
+            (DataItem::new("a|b", "c"), DataItem::new("a", "b|c")),
+            (DataItem::new("a\\", "|b"), DataItem::new("a", "\\|b")),
+            (DataItem::new("a\\|b", "c"), DataItem::new("a|b", "\\c")),
+        ];
+        for (x, y) in &pairs {
+            assert_ne!(x.key(), y.key(), "{x:?} vs {y:?} must not collide");
+        }
+        // Round-trip sanity: escaping is deterministic and distinct items
+        // always produce distinct keys among a larger combinatorial set.
+        let parts = ["a", "a|", "|a", "a\\", "\\", "|", "a|b", ""];
+        let mut seen = std::collections::HashSet::new();
+        for s in &parts {
+            for p in &parts {
+                assert!(
+                    seen.insert(DataItem::new(*s, *p).key()),
+                    "collision for ({s:?}, {p:?})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod pcollection;
+pub mod sharded;
 pub mod stopwatch;
 
 pub use pcollection::{PCollection, PTable};
+pub use sharded::ShardedExecutor;
 pub use stopwatch::{PhaseTimer, Stopwatch};
 
 use std::cell::Cell;

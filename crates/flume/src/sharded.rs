@@ -1,0 +1,337 @@
+//! Shard-parallel execution with per-worker reusable scratch arenas.
+//!
+//! The paper's pipeline runs as sharded Map-Reduce rounds (Section 5.3.4):
+//! work is partitioned by key range, every worker owns its shard's state
+//! for the whole round, and shard outputs are combined in a fixed order.
+//! [`ShardedExecutor`] reproduces that execution model in-process and adds
+//! the piece an iterative EM loop needs that one-shot Map-Reduce does not:
+//! **scratch arenas that survive across rounds**. Each shard owns an
+//! arbitrary scratch value `S` (buffers, accumulators, whatever the hot
+//! loop needs); the executor lends it to the shard's worker on every
+//! round, so steady-state execution performs no per-item — and after the
+//! first round no per-round — allocation.
+//!
+//! ## Determinism
+//!
+//! Shards are **contiguous key ranges** (`len.div_ceil(shards)`-sized, in
+//! key order), mirroring [`crate::par_map_slice`]. All combining APIs
+//! visit shards in ascending shard order, so for a *fixed* shard count
+//! every run is bit-identical. When the per-key computation is pure (no
+//! cross-key accumulation inside the executor), results are additionally
+//! identical across *different* shard counts — which is what lets the
+//! inference engines produce bit-for-bit the same model at 1, 2, or 8
+//! threads (the `sharded_engine` integration tests pin this down).
+//! Cross-shard floating-point reduction ([`ShardedExecutor::reduce`]) is
+//! deterministic per shard count, because the per-shard accumulators are
+//! combined in shard order.
+
+use std::ops::Range;
+
+use crate::num_threads;
+
+/// A fixed set of shards, each owning a reusable scratch arena of type `S`.
+///
+/// Construct once per (engine, dataset) and reuse across rounds; the
+/// scratch arenas persist between calls. See the module docs for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct ShardedExecutor<S> {
+    shards: usize,
+    scratch: Vec<S>,
+}
+
+impl<S: Default> ShardedExecutor<S> {
+    /// An executor with one shard per ambient worker thread
+    /// (respects [`crate::with_threads`] scopes at construction time).
+    pub fn new() -> Self {
+        Self::with_shards(num_threads())
+    }
+
+    /// An executor with exactly `shards` shards (at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards,
+            scratch: (0..shards).map(|_| S::default()).collect(),
+        }
+    }
+}
+
+impl<S: Default> Default for ShardedExecutor<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> ShardedExecutor<S> {
+    /// Number of shards (fixed at construction).
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The scratch arenas, one per shard. After [`Self::run_shards`]
+    /// returns, shard `i`'s arena holds whatever its worker left there —
+    /// this is how shard-local outputs are handed back for an ordered
+    /// merge.
+    pub fn scratch(&self) -> &[S] {
+        &self.scratch
+    }
+
+    /// Mutable access to the scratch arenas.
+    pub fn scratch_mut(&mut self) -> &mut [S] {
+        &mut self.scratch
+    }
+
+    /// The contiguous key ranges the shards cover for `len` keys, in shard
+    /// order. Empty trailing shards are omitted. The same plan is used by
+    /// every execution method, so a merge loop can re-derive which arena
+    /// holds which keys.
+    pub fn shard_ranges(&self, len: usize) -> Vec<Range<usize>> {
+        let (shards, chunk) = self.plan(len);
+        (0..shards)
+            .map(|i| (i * chunk).min(len)..((i + 1) * chunk).min(len))
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
+    /// Effective shard count and chunk size for `len` keys: never more
+    /// shards than keys.
+    fn plan(&self, len: usize) -> (usize, usize) {
+        let shards = self.shards.min(len.max(1));
+        (shards, len.div_ceil(shards))
+    }
+}
+
+impl<S: Send> ShardedExecutor<S> {
+    /// Run one task per shard over contiguous key ranges `0..len`.
+    ///
+    /// `f(scratch, shard_index, keys)` runs once per (non-empty) shard,
+    /// with exclusive access to that shard's arena. Outputs are typically
+    /// accumulated *into* the arena and merged afterwards via
+    /// [`Self::scratch_mut`] + [`Self::shard_ranges`].
+    pub fn run_shards<F>(&mut self, len: usize, f: F)
+    where
+        F: Fn(&mut S, usize, Range<usize>) + Sync,
+    {
+        let (shards, chunk) = self.plan(len);
+        if shards <= 1 || len < 2 {
+            f(&mut self.scratch[0], 0, 0..len);
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for (i, s) in self.scratch.iter_mut().enumerate().take(shards) {
+                let lo = (i * chunk).min(len);
+                let hi = ((i + 1) * chunk).min(len);
+                if lo >= hi {
+                    break;
+                }
+                scope.spawn(move || f(s, i, lo..hi));
+            }
+        });
+    }
+
+    /// Keyed parallel map into a reusable output buffer:
+    /// `out[k] = f(scratch, k)` for `k in 0..len`.
+    ///
+    /// `out` is cleared and resized (capacity is retained across rounds),
+    /// so at steady state the call allocates nothing. Results are written
+    /// in key order regardless of the shard count.
+    pub fn map_keys<U, F>(&mut self, len: usize, out: &mut Vec<U>, f: F)
+    where
+        U: Send + Default,
+        F: Fn(&mut S, usize) -> U + Sync,
+    {
+        out.clear();
+        out.resize_with(len, U::default);
+        let (shards, chunk) = self.plan(len);
+        if shards <= 1 || len < 2 {
+            let s = &mut self.scratch[0];
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot = f(s, k);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            for ((i, s), slots) in self
+                .scratch
+                .iter_mut()
+                .enumerate()
+                .take(shards)
+                .zip(out.chunks_mut(chunk))
+            {
+                let base = i * chunk;
+                scope.spawn(move || {
+                    for (j, slot) in slots.iter_mut().enumerate() {
+                        *slot = f(s, base + j);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Deterministic shard-reduce: fold each shard's key range from
+    /// `identity()`, then combine the per-shard accumulators **in shard
+    /// order**. Non-commutative (and floating-point) combines are
+    /// reproducible for a fixed shard count.
+    pub fn reduce<A, Id, F, C>(&mut self, len: usize, identity: Id, fold: F, combine: C) -> A
+    where
+        A: Send,
+        Id: Fn() -> A + Sync,
+        F: Fn(&mut S, A, usize) -> A + Sync,
+        C: Fn(A, A) -> A,
+    {
+        let (shards, chunk) = self.plan(len);
+        if shards <= 1 || len < 2 {
+            let s = &mut self.scratch[0];
+            return (0..len).fold(identity(), |a, k| fold(s, a, k));
+        }
+        let mut accs: Vec<A> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let fold = &fold;
+            let identity = &identity;
+            let handles: Vec<_> = self
+                .scratch
+                .iter_mut()
+                .enumerate()
+                .take(shards)
+                .filter_map(|(i, s)| {
+                    let lo = (i * chunk).min(len);
+                    let hi = ((i + 1) * chunk).min(len);
+                    (lo < hi).then(|| {
+                        scope.spawn(move || (lo..hi).fold(identity(), |a, k| fold(s, a, k)))
+                    })
+                })
+                .collect();
+            for h in handles {
+                accs.push(h.join().expect("kbt-flume shard worker panicked"));
+            }
+        });
+        let mut it = accs.into_iter();
+        let first = it.next().unwrap_or_else(&identity);
+        it.fold(first, combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    #[derive(Default)]
+    struct Buf {
+        tmp: Vec<u64>,
+        out: Vec<u64>,
+    }
+
+    #[test]
+    fn map_keys_matches_serial_for_any_shard_count() {
+        let serial: Vec<u64> = (0..10_000u64).map(|k| k * 3 + 1).collect();
+        for shards in [1usize, 2, 3, 8, 33] {
+            let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(shards);
+            let mut out = Vec::new();
+            exec.map_keys(10_000, &mut out, |_, k| k as u64 * 3 + 1);
+            assert_eq!(out, serial, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn map_keys_reuses_output_capacity() {
+        let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(4);
+        let mut out: Vec<u64> = Vec::new();
+        exec.map_keys(5_000, &mut out, |_, k| k as u64);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        exec.map_keys(5_000, &mut out, |_, k| k as u64 + 1);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr, "steady state must not reallocate");
+        assert_eq!(out[17], 18);
+    }
+
+    #[test]
+    fn scratch_arenas_persist_across_rounds() {
+        let mut exec: ShardedExecutor<Buf> = ShardedExecutor::with_shards(3);
+        // Round 1: grow each arena's tmp buffer.
+        exec.run_shards(300, |s, _, range| {
+            s.tmp.clear();
+            s.tmp.extend(range.map(|k| k as u64));
+        });
+        let caps: Vec<usize> = exec.scratch().iter().map(|s| s.tmp.capacity()).collect();
+        assert!(caps.iter().all(|&c| c >= 100));
+        // Round 2 with the same sizes: capacity (and thus the allocation)
+        // is retained.
+        exec.run_shards(300, |s, _, range| {
+            s.tmp.clear();
+            s.tmp.extend(range.map(|k| k as u64 * 2));
+        });
+        for (s, cap) in exec.scratch().iter().zip(caps) {
+            assert_eq!(s.tmp.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn run_shards_covers_all_keys_exactly_once() {
+        let mut exec: ShardedExecutor<Buf> = ShardedExecutor::with_shards(7);
+        exec.run_shards(1_003, |s, _, range| {
+            s.out.clear();
+            s.out.extend(range.map(|k| k as u64));
+        });
+        let mut all: Vec<u64> = Vec::new();
+        for (s, range) in exec.scratch().iter().zip(exec.shard_ranges(1_003)) {
+            assert_eq!(s.out.len(), range.len());
+            all.extend(&s.out);
+        }
+        assert_eq!(all, (0..1_003u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_complete() {
+        for (shards, len) in [(1usize, 10usize), (4, 10), (8, 3), (3, 0), (5, 5)] {
+            let exec: ShardedExecutor<()> = ShardedExecutor::with_shards(shards);
+            let ranges = exec.shard_ranges(len);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, len, "shards={shards} len={len}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_exact_and_order_stable() {
+        let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(6);
+        let sum = exec.reduce(100_001, || 0u64, |_, a, k| a + k as u64, |a, b| a + b);
+        assert_eq!(sum, 100_000 * 100_001 / 2);
+        // Non-commutative combine: concatenation must come out in key order.
+        let digits = exec.reduce(
+            10,
+            String::new,
+            |_, mut a, k| {
+                a.push_str(&k.to_string());
+                a
+            },
+            |a, b| a + &b,
+        );
+        assert_eq!(digits, "0123456789");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(4);
+        let mut out: Vec<u32> = vec![1, 2, 3];
+        exec.map_keys(0, &mut out, |_, _| 9u32);
+        assert!(out.is_empty());
+        exec.map_keys(1, &mut out, |_, k| k as u32 + 41);
+        assert_eq!(out, vec![41]);
+        assert_eq!(exec.reduce(0, || 5u32, |_, a, _| a + 1, |a, b| a + b), 5);
+    }
+
+    #[test]
+    fn new_respects_scoped_thread_override() {
+        let exec: ShardedExecutor<()> = with_threads(Some(3), ShardedExecutor::new);
+        assert_eq!(exec.num_shards(), 3);
+    }
+}

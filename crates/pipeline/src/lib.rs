@@ -31,6 +31,10 @@
 
 #![warn(missing_docs)]
 
+pub mod session;
+
+pub use session::FusionSession;
+
 use kbt_core::{
     detect_copies_from_accuracy, CopyDetectConfig, FusionModel, FusionReport, ModelConfig,
     MultiLayerModel, QualityInit, SingleLayerModel, ValueModel,

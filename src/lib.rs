@@ -59,4 +59,4 @@ pub use kbt_core::{
     MultiLayerModel, MultiLayerResult, QualityInit, SingleLayerModel, SingleLayerResult,
 };
 pub use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
-pub use kbt_pipeline::{Model, PipelineRun, TrustPipeline};
+pub use kbt_pipeline::{FusionSession, Model, PipelineRun, TrustPipeline};

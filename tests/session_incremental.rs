@@ -1,0 +1,116 @@
+//! Property tests for incremental fusion: applying a delta through
+//! `FusionSession.update` must be equivalent to rebuilding the cube from
+//! all observations and running batch EM from the same initialization.
+
+use kbt::core::ModelConfig;
+use kbt::datamodel::{CubeBuilder, ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt::{FusionModel, FusionSession, Model, QualityInit};
+use proptest::prelude::*;
+
+fn observations(max_len: usize) -> impl Strategy<Value = Vec<Observation>> {
+    prop::collection::vec(
+        (0u32..5, 0u32..8, 0u32..10, 0u32..5, 0.0f64..=1.0).prop_map(|(e, w, d, v, c)| {
+            Observation {
+                extractor: ExtractorId::new(e),
+                source: SourceId::new(w),
+                item: ItemId::new(d),
+                value: ValueId::new(v),
+                confidence: c,
+            }
+        }),
+        0..max_len,
+    )
+}
+
+fn build_cube(obs: &[Observation]) -> kbt::ObservationCube {
+    let mut b = CubeBuilder::with_capacity(obs.len());
+    for o in obs {
+        b.push(*o);
+    }
+    b.build()
+}
+
+proptest! {
+    /// The delta-merged cube is structurally identical to a full rebuild.
+    #[test]
+    fn apply_delta_equals_full_rebuild(base in observations(80), delta in observations(40)) {
+        prop_assume!(!base.is_empty());
+        let incremental = build_cube(&base).apply_delta(&delta);
+        let all: Vec<Observation> = base.iter().chain(&delta).copied().collect();
+        let full = build_cube(&all);
+        prop_assert_eq!(incremental.groups(), full.groups());
+        prop_assert_eq!(incremental.num_cells(), full.num_cells());
+        for (gi, gf) in incremental.groups().iter().zip(full.groups()) {
+            prop_assert_eq!(incremental.cells_of(gi), full.cells_of(gf));
+        }
+        prop_assert_eq!(incremental.num_sources(), full.num_sources());
+        prop_assert_eq!(incremental.num_extractors(), full.num_extractors());
+        prop_assert_eq!(incremental.num_items(), full.num_items());
+        prop_assert_eq!(incremental.num_values(), full.num_values());
+        for w in 0..full.num_sources() {
+            let w = SourceId::new(w as u32);
+            prop_assert_eq!(incremental.source_groups(w), full.source_groups(w));
+            prop_assert_eq!(incremental.extractors_on_source(w), full.extractors_on_source(w));
+        }
+    }
+
+    /// `FusionSession.update(delta)` followed by EM is equivalent (within
+    /// 1e-9) to rebuilding from all observations and running batch EM
+    /// from the same init.
+    #[test]
+    fn updated_session_em_matches_batch_em(base in observations(80), delta in observations(40)) {
+        prop_assume!(!base.is_empty());
+        let cfg = ModelConfig::default();
+
+        let mut session = FusionSession::from_observations(base.clone(), Model::MultiLayer(cfg.clone()));
+        session.update(&delta);
+        let incremental = session.run_cold();
+
+        let all: Vec<Observation> = base.iter().chain(&delta).copied().collect();
+        let mut batch_session = FusionSession::from_observations(all, Model::MultiLayer(cfg));
+        let batch = batch_session.run_cold();
+
+        prop_assert_eq!(incremental.iterations(), batch.iterations());
+        for (a, b) in incremental.source_trust().iter().zip(batch.source_trust()) {
+            prop_assert!((a - b).abs() < 1e-9, "trust {} vs {}", a, b);
+        }
+        for (a, b) in incremental.truth_of_group().iter().zip(batch.truth_of_group()) {
+            prop_assert!((a - b).abs() < 1e-9, "truth {} vs {}", a, b);
+        }
+        let (ci, cb) = (incremental.correctness().unwrap(), batch.correctness().unwrap());
+        for (a, b) in ci.iter().zip(cb) {
+            prop_assert!((a - b).abs() < 1e-9, "correctness {} vs {}", a, b);
+        }
+
+        // And the warm re-run from the batch's converged parameters is
+        // equivalent on both cubes too (same init ⇒ same trajectory).
+        let resumed = QualityInit::Resume(batch.as_multi_layer().unwrap().params.clone());
+        let warm_inc = kbt::MultiLayerModel::new(ModelConfig::default())
+            .fit(session.cube(), &resumed);
+        let warm_batch = kbt::MultiLayerModel::new(ModelConfig::default())
+            .fit(batch_session.cube(), &resumed);
+        for (a, b) in warm_inc.source_trust().iter().zip(warm_batch.source_trust()) {
+            prop_assert!((a - b).abs() < 1e-9, "warm trust {} vs {}", a, b);
+        }
+    }
+}
+
+#[test]
+fn session_without_deltas_is_plain_batch() {
+    let obs: Vec<Observation> = (0..4u32)
+        .flat_map(|w| {
+            (0..6u32).map(move |d| {
+                Observation::certain(
+                    ExtractorId::new(0),
+                    SourceId::new(w),
+                    ItemId::new(d),
+                    ValueId::new(d % 2),
+                )
+            })
+        })
+        .collect();
+    let via_session = FusionSession::from_observations(obs.clone(), Model::multi_layer()).run();
+    let via_pipeline = kbt::TrustPipeline::new().observations(obs).run();
+    assert_eq!(via_session.source_trust(), via_pipeline.source_trust());
+    assert_eq!(via_session.truth_of_group(), via_pipeline.truth_of_group());
+}

@@ -1,0 +1,202 @@
+//! Acceptance tests for the sharded EM execution engine:
+//!
+//! 1. fixed-seed proof that sharded execution is **bit-for-bit identical**
+//!    to the flat path at 1, 2, and 8 threads (both engines), and
+//! 2. warm-started incremental fusion on a ~5% delta converges in
+//!    **strictly fewer** EM iterations than a cold rerun on the merged
+//!    cube.
+
+use kbt::core::{ExecMode, FusionModel, ModelConfig, MultiLayerModel, SingleLayerModel};
+use kbt::datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt::synth::paper::{generate, SyntheticConfig};
+use kbt::{FusionReport, FusionSession, Model, QualityInit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_reports_bit_identical(a: &FusionReport, b: &FusionReport, ctx: &str) {
+    assert_eq!(a.source_trust(), b.source_trust(), "{ctx}: source trust");
+    assert_eq!(a.truth_of_group(), b.truth_of_group(), "{ctx}: truth");
+    assert_eq!(a.covered_group(), b.covered_group(), "{ctx}: coverage");
+    assert_eq!(a.correctness(), b.correctness(), "{ctx}: correctness");
+    assert_eq!(a.posteriors(), b.posteriors(), "{ctx}: posteriors");
+    assert_eq!(a.iterations(), b.iterations(), "{ctx}: iterations");
+    assert_eq!(a.converged(), b.converged(), "{ctx}: converged");
+    assert_eq!(
+        a.extractor_precision(),
+        b.extractor_precision(),
+        "{ctx}: precision"
+    );
+    assert_eq!(a.extractor_recall(), b.extractor_recall(), "{ctx}: recall");
+    // Per-round parameter deltas are params-derived and must match too.
+    let da: Vec<f64> = a.trace.rounds.iter().map(|r| r.delta).collect();
+    let db: Vec<f64> = b.trace.rounds.iter().map(|r| r.delta).collect();
+    assert_eq!(da, db, "{ctx}: trace deltas");
+}
+
+/// Sharded multi-layer inference is bit-for-bit the flat path, at 1, 2,
+/// and 8 threads, on a fixed-seed synthetic corpus.
+#[test]
+fn multilayer_sharded_matches_flat_bitwise_at_1_2_8_threads() {
+    let data = generate(&SyntheticConfig {
+        num_sources: 20,
+        triples_per_source: 60,
+        seed: 20240915,
+        ..SyntheticConfig::default()
+    });
+    let flat_cfg = ModelConfig {
+        exec_mode: ExecMode::Flat,
+        threads: Some(1),
+        max_iterations: 8,
+        ..ModelConfig::default()
+    };
+    let flat = MultiLayerModel::new(flat_cfg.clone()).fit(&data.cube, &QualityInit::Default);
+    assert!(
+        flat.iterations() >= 2,
+        "corpus must exercise several rounds"
+    );
+    for threads in [1usize, 2, 8] {
+        let cfg = ModelConfig {
+            exec_mode: ExecMode::Sharded,
+            threads: Some(threads),
+            ..flat_cfg.clone()
+        };
+        let sharded = MultiLayerModel::new(cfg).fit(&data.cube, &QualityInit::Default);
+        assert_reports_bit_identical(&flat, &sharded, &format!("multi, {threads} threads"));
+    }
+    // The flat path itself is thread-invariant; pin that too.
+    let flat8 = MultiLayerModel::new(ModelConfig {
+        threads: Some(8),
+        ..flat_cfg
+    })
+    .fit(&data.cube, &QualityInit::Default);
+    assert_reports_bit_identical(&flat, &flat8, "flat 1 vs 8 threads");
+}
+
+/// Same bit-for-bit guarantee for the single-layer baseline.
+#[test]
+fn singlelayer_sharded_matches_flat_bitwise_at_1_2_8_threads() {
+    let data = generate(&SyntheticConfig {
+        num_sources: 15,
+        triples_per_source: 50,
+        seed: 777,
+        ..SyntheticConfig::default()
+    });
+    let flat_cfg = ModelConfig {
+        exec_mode: ExecMode::Flat,
+        threads: Some(1),
+        ..ModelConfig::single_layer_default()
+    };
+    let flat = SingleLayerModel::new(flat_cfg.clone()).fit(&data.cube, &QualityInit::Default);
+    for threads in [1usize, 2, 8] {
+        let cfg = ModelConfig {
+            exec_mode: ExecMode::Sharded,
+            threads: Some(threads),
+            ..flat_cfg.clone()
+        };
+        let sharded = SingleLayerModel::new(cfg).fit(&data.cube, &QualityInit::Default);
+        assert_reports_bit_identical(&flat, &sharded, &format!("single, {threads} threads"));
+    }
+}
+
+/// A seeded stream of observations with mixed source accuracies and a
+/// noisy extractor — EM needs many rounds to converge from cold.
+fn noisy_stream(rng: &mut StdRng, items: std::ops::Range<u32>) -> Vec<Observation> {
+    let mut out = Vec::new();
+    let num_sources = 40u32;
+    for w in 0..num_sources {
+        let acc = 0.35 + 0.6 * (w as f64 / num_sources as f64);
+        for d in items.clone() {
+            let v = if rng.gen::<f64>() < acc {
+                d % 3
+            } else {
+                3 + rng.gen_range(0u32..4)
+            };
+            for e in 0..5u32 {
+                if rng.gen::<f64>() < 0.7 {
+                    let ev = if rng.gen::<f64>() < 0.15 {
+                        3 + rng.gen_range(0u32..4)
+                    } else {
+                        v
+                    };
+                    out.push(Observation {
+                        extractor: ExtractorId::new(e),
+                        source: SourceId::new(w),
+                        item: ItemId::new(d),
+                        value: ValueId::new(ev),
+                        confidence: 0.6 + 0.4 * rng.gen::<f64>(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Warm-started incremental fusion on a ~5% delta converges in strictly
+/// fewer EM iterations than a cold rerun on the merged cube (fixed seed).
+#[test]
+fn warm_start_beats_cold_rerun_on_merged_cube() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let base = noisy_stream(&mut rng, 0..200);
+    let delta = noisy_stream(&mut rng, 200..210); // 5% new items
+    let cfg = ModelConfig {
+        max_iterations: 50,
+        convergence_eps: 1e-4,
+        ..ModelConfig::default()
+    };
+
+    let mut session =
+        FusionSession::from_observations(base.clone(), Model::MultiLayer(cfg.clone()));
+    let cold_base = session.run();
+    assert!(cold_base.converged());
+    let warm = session.update(&delta).run();
+    assert!(warm.converged());
+
+    let all: Vec<Observation> = base.into_iter().chain(delta).collect();
+    let cold_merged = FusionSession::from_observations(all, Model::MultiLayer(cfg)).run();
+    assert!(cold_merged.converged());
+
+    assert!(
+        warm.iterations() < cold_merged.iterations(),
+        "warm-started run took {} iterations, cold rerun took {}",
+        warm.iterations(),
+        cold_merged.iterations()
+    );
+    // The warm run must land on the same answers: same trust ranking of
+    // a clearly-bad and a clearly-good source, and close accuracies.
+    let (lo, hi) = (SourceId::new(1), SourceId::new(38));
+    assert!(warm.kbt(hi) > warm.kbt(lo));
+    assert!(cold_merged.kbt(hi) > cold_merged.kbt(lo));
+    for w in 0..cold_merged.source_trust().len() {
+        let diff = (warm.source_trust()[w] - cold_merged.source_trust()[w]).abs();
+        assert!(diff < 0.05, "W{w}: warm vs cold accuracy differs by {diff}");
+    }
+}
+
+/// Warm-starting repeatedly over a stream of deltas stays cheap: every
+/// incremental round converges in no more iterations than the initial
+/// cold run.
+#[test]
+fn delta_stream_converges_in_few_rounds_each() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let base = noisy_stream(&mut rng, 0..120);
+    let cfg = ModelConfig {
+        max_iterations: 50,
+        convergence_eps: 1e-4,
+        ..ModelConfig::default()
+    };
+    let mut session = FusionSession::from_observations(base, Model::MultiLayer(cfg));
+    let cold_iters = session.run().iterations();
+    for step in 0..4u32 {
+        let delta = noisy_stream(&mut rng, 120 + step * 5..125 + step * 5);
+        let warm = session.update(&delta).run();
+        assert!(warm.converged(), "step {step}");
+        assert!(
+            warm.iterations() <= cold_iters,
+            "step {step}: warm {} vs cold {}",
+            warm.iterations(),
+            cold_iters
+        );
+    }
+    assert_eq!(session.deltas_applied(), 4);
+}
