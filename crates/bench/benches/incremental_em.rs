@@ -27,7 +27,16 @@ fn estep_flat_vs_sharded(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("estep");
     group.bench_function("flat", |b| {
-        b.iter(|| black_box(estimate_values(cube, &correctness, &params, &cfg, &active)))
+        b.iter(|| {
+            black_box(estimate_values(
+                cube,
+                &correctness,
+                &params,
+                &cfg,
+                &active,
+                None,
+            ))
+        })
     });
     group.bench_function("sharded", |b| {
         let mut exec: ShardedExecutor<ValueScratch> = ShardedExecutor::new();
@@ -38,6 +47,7 @@ fn estep_flat_vs_sharded(c: &mut Criterion) {
                 &params,
                 &cfg,
                 &active,
+                None,
                 &mut exec,
             ))
         })

@@ -57,10 +57,19 @@ fn phases(c: &mut Criterion) {
         b.iter(|| black_box(estimate_correctness(cube, &votes, &alpha, &cfg)))
     });
     group.bench_function("value_inference", |b| {
-        b.iter(|| black_box(estimate_values(cube, &correctness, &params, &cfg, &active)))
+        b.iter(|| {
+            black_box(estimate_values(
+                cube,
+                &correctness,
+                &params,
+                &cfg,
+                &active,
+                None,
+            ))
+        })
     });
     group.bench_function("source_accuracy_update", |b| {
-        let out = estimate_values(cube, &correctness, &params, &cfg, &active);
+        let out = estimate_values(cube, &correctness, &params, &cfg, &active, None);
         b.iter(|| {
             let mut p = params.clone();
             let mut act = active.clone();

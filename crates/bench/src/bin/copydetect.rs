@@ -1,0 +1,285 @@
+//! The copy-detection scenario: sharded vs serial detection throughput on
+//! a copier-heavy corpus, and copy-aware vs copy-blind fusion accuracy.
+//!
+//! ```text
+//! cargo run --release -p kbt-bench --bin copydetect [-- --smoke]
+//! ```
+//!
+//! Fixed-seed and deterministic; `--smoke` shrinks the corpus so CI can
+//! run it in seconds. Reports:
+//!
+//! 1. sharded (`ExecMode::Sharded`: CoClaimIndex prefilter → keyed
+//!    pair-reduce census → per-shard agreement stats) versus the serial
+//!    reference (`ExecMode::Flat`) at 1 and 8 threads, with an equality
+//!    check on every run. The sharded path trades one combined pass for
+//!    two parallel ones, so its win appears with real cores: on a
+//!    single-core box the 1-thread row shows the two-pass overhead and
+//!    the 8-thread row adds thread-spawn cost; on 8 hardware threads the
+//!    same rows show the parallel speedup,
+//! 2. prefilter effectiveness: candidate pairs surviving `min_overlap`
+//!    versus the total co-claiming pair population,
+//! 3. copy-aware (`ModelConfig::copy_detection`) versus copy-blind
+//!    fusion: truth accuracy and the recovered copier discounts on a
+//!    planted-copier corpus.
+
+use std::time::Instant;
+
+use kbt_core::{
+    detect_copies_from_accuracy, CopyDetectConfig, ExecMode, FusionModel, ModelConfig,
+    MultiLayerModel, QualityInit,
+};
+use kbt_datamodel::{
+    CoClaimIndex, CubeBuilder, ExtractorId, ItemId, Observation, ObservationCube, SourceId, ValueId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Scale {
+    sources: u32,
+    copiers: u32,
+    items: u32,
+    claim_prob: f64,
+    reps: u32,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            sources: 150,
+            copiers: 30,
+            items: 1_200,
+            claim_prob: 0.12,
+            reps: 5,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            sources: 40,
+            copiers: 8,
+            items: 150,
+            claim_prob: 0.25,
+            reps: 2,
+        }
+    }
+}
+
+/// Corpus bundle: the cube, the planted truth, the true accuracies, and
+/// each source's copy family (honest sources map to themselves, copiers
+/// to their victim — two sources are genuinely dependent iff their
+/// families match, which also covers two copiers of the same victim).
+type Corpus = (ObservationCube, Vec<u32>, Vec<f64>, Vec<u32>);
+
+/// A copier-heavy corpus: `sources - copiers` honest sources with mixed
+/// accuracies, plus `copiers` verbatim copiers of random honest victims.
+/// Each honest source claims inside a contiguous item window (half the
+/// corpus), so distant sources co-claim only thinly — the pair
+/// population the `min_overlap` prefilter exists to prune.
+fn copier_heavy_corpus(rng: &mut StdRng, scale: &Scale) -> Corpus {
+    let domain = 13u32;
+    let honest = scale.sources - scale.copiers;
+    let window = scale.items / 2;
+    let truth: Vec<u32> = (0..scale.items).map(|_| rng.gen_range(0..domain)).collect();
+    let mut claims: Vec<Vec<Option<u32>>> = Vec::new();
+    let mut accuracy = Vec::new();
+    for w in 0..honest {
+        let acc = 0.45 + 0.5 * (w as f64 / honest as f64);
+        accuracy.push(acc);
+        let start = rng.gen_range(0..scale.items - window);
+        claims.push(
+            (0..scale.items)
+                .map(|d| {
+                    if d < start || d >= start + window || rng.gen::<f64>() > scale.claim_prob {
+                        return None;
+                    }
+                    Some(if rng.gen::<f64>() < acc {
+                        truth[d as usize]
+                    } else {
+                        let mut v = rng.gen_range(0..domain - 1);
+                        if v >= truth[d as usize] {
+                            v += 1;
+                        }
+                        v
+                    })
+                })
+                .collect(),
+        );
+    }
+    let mut family: Vec<u32> = (0..honest).collect();
+    for _ in 0..scale.copiers {
+        let victim = rng.gen_range(0..honest);
+        family.push(victim);
+        accuracy.push(accuracy[victim as usize]);
+        claims.push(claims[victim as usize].clone());
+    }
+    let mut b = CubeBuilder::new();
+    // Windowed sampling can leave items (or tail values) unclaimed; keep
+    // the dense id spaces aligned with the planted truth regardless.
+    b.reserve_ids(scale.sources, 1, scale.items, domain);
+    for (w, vals) in claims.iter().enumerate() {
+        for (d, v) in vals.iter().enumerate() {
+            if let Some(v) = v {
+                b.push(Observation::certain(
+                    ExtractorId::new(0),
+                    SourceId::new(w as u32),
+                    ItemId::new(d as u32),
+                    ValueId::new(*v),
+                ));
+            }
+        }
+    }
+    (b.build(), truth, accuracy, family)
+}
+
+fn detection_throughput(
+    cube: &ObservationCube,
+    accuracy: &[f64],
+    threads: usize,
+    reps: u32,
+) -> f64 {
+    let serial_cfg = CopyDetectConfig {
+        exec_mode: ExecMode::Flat,
+        ..CopyDetectConfig::default()
+    };
+    let sharded_cfg = CopyDetectConfig::default();
+    kbt_flume::with_threads(Some(threads), || {
+        // Warm both paths once, checking equality while we are at it.
+        let a = detect_copies_from_accuracy(cube, accuracy, &serial_cfg);
+        let b = detect_copies_from_accuracy(cube, accuracy, &sharded_cfg);
+        assert_eq!(a, b, "sharded detection must equal the serial reference");
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(detect_copies_from_accuracy(cube, accuracy, &serial_cfg));
+        }
+        let serial = t0.elapsed();
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(detect_copies_from_accuracy(cube, accuracy, &sharded_cfg));
+        }
+        let sharded = t0.elapsed();
+
+        let sm = serial.as_secs_f64() * 1e3 / reps as f64;
+        let pm = sharded.as_secs_f64() * 1e3 / reps as f64;
+        println!(
+            "  {threads:>2} threads: serial {sm:>8.2} ms/pass   sharded {pm:>8.2} ms/pass   speedup x{:.2}",
+            sm / pm
+        );
+        sm / pm
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    let mut rng = StdRng::seed_from_u64(20150831); // fixed seed, always
+
+    let (cube, truth, accuracy, family) = copier_heavy_corpus(&mut rng, &scale);
+    println!(
+        "copy detection scenario ({}): {} sources ({} copiers) x {} items, {} groups",
+        if smoke { "smoke" } else { "full" },
+        scale.sources,
+        scale.copiers,
+        scale.items,
+        cube.num_groups()
+    );
+
+    // ---- 1. Prefilter effectiveness. ----
+    let index = CoClaimIndex::build(&cube);
+    let all_pairs = index.pair_overlaps().len();
+    let cfg = CopyDetectConfig::default();
+    let candidates = index.candidate_pairs(cfg.min_overlap).len();
+    println!(
+        "\nprefilter: {candidates} candidate pairs of {all_pairs} co-claiming ({:.1}% pruned before scoring)",
+        100.0 * (1.0 - candidates as f64 / all_pairs.max(1) as f64)
+    );
+
+    // ---- 2. Serial vs sharded detection throughput. ----
+    println!("\ndetection throughput ({} passes):", scale.reps);
+    for threads in [1usize, 8] {
+        detection_throughput(&cube, &accuracy, threads, scale.reps);
+    }
+
+    // ---- 3. Detection quality: genuine dependencies at the top. ----
+    // A top pair is a hit iff its members share a copy family — the
+    // planted (victim, copier) pairs plus copier-copier pairs that share
+    // a victim (verbatim copies of each other, legitimately dependent).
+    let evidence = detect_copies_from_accuracy(&cube, &accuracy, &cfg);
+    let top = scale.copiers as usize;
+    let hits = evidence
+        .iter()
+        .take(top)
+        .filter(|e| family[e.a.index()] == family[e.b.index()])
+        .count();
+    println!(
+        "\ndetection quality: {hits}/{top} of the top-{top} evidence pairs are genuine copy relationships"
+    );
+
+    // ---- 4. Copy-aware vs copy-blind fusion. ----
+    let fusion_cfg = ModelConfig {
+        max_iterations: 20,
+        convergence_eps: 1e-5,
+        ..ModelConfig::default()
+    };
+    let map_accuracy = |r: &kbt_core::FusionReport| {
+        truth
+            .iter()
+            .enumerate()
+            .filter(|&(d, &tv)| {
+                r.posteriors()
+                    .map_value(ItemId::new(d as u32))
+                    .is_some_and(|(v, _)| v == ValueId::new(tv))
+            })
+            .count() as f64
+            / truth.len() as f64
+    };
+    let t0 = Instant::now();
+    let blind = MultiLayerModel::new(fusion_cfg.clone()).fit(&cube, &QualityInit::Default);
+    let blind_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = Instant::now();
+    let aware = MultiLayerModel::new(ModelConfig {
+        copy_detection: Some(CopyDetectConfig {
+            discount: true,
+            ..cfg
+        }),
+        ..fusion_cfg
+    })
+    .fit(&cube, &QualityInit::Default);
+    let aware_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let discounted = aware
+        .as_multi_layer()
+        .unwrap()
+        .source_independence
+        .as_ref()
+        .unwrap()
+        .iter()
+        .filter(|&&s| s < 1.0)
+        .count();
+    println!("\nfusion (truth accuracy vs planted truth):");
+    println!(
+        "  copy-blind  {:.4}  ({:>3} iters, {blind_ms:>7.1} ms)",
+        map_accuracy(&blind),
+        blind.iterations()
+    );
+    println!(
+        "  copy-aware  {:.4}  ({:>3} iters, {aware_ms:>7.1} ms, {discounted} sources discounted)",
+        map_accuracy(&aware),
+        aware.iterations()
+    );
+
+    // Deterministic checksum so CI smoke runs catch silent drift: exact
+    // integer fold over the evidence stats and the final trust bits.
+    let mut checksum = evidence.iter().fold(0u64, |acc, e| {
+        acc.wrapping_mul(31)
+            .wrapping_add(e.a.0 as u64)
+            .wrapping_mul(31)
+            .wrapping_add(e.b.0 as u64)
+            .wrapping_mul(31)
+            .wrapping_add(e.agree_exclusive as u64)
+    });
+    checksum = aware.source_trust().iter().fold(checksum, |acc, a| {
+        acc.wrapping_mul(31).wrapping_add(a.to_bits())
+    });
+    println!("\nevidence checksum: {checksum:#018x}");
+}

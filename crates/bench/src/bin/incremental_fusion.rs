@@ -112,12 +112,19 @@ fn estep_throughput(cube: &ObservationCube, cfg: &ModelConfig, threads: usize, r
     kbt_flume::with_threads(Some(threads), || {
         // Warm both paths once so allocator state is comparable.
         let mut exec: ShardedExecutor<ValueScratch> = ShardedExecutor::new();
-        let _ = estimate_values(cube, &correctness, &params, cfg, &active);
-        let _ = estimate_values_with(cube, &correctness, &params, cfg, &active, &mut exec);
+        let _ = estimate_values(cube, &correctness, &params, cfg, &active, None);
+        let _ = estimate_values_with(cube, &correctness, &params, cfg, &active, None, &mut exec);
 
         let t0 = Instant::now();
         for _ in 0..reps {
-            std::hint::black_box(estimate_values(cube, &correctness, &params, cfg, &active));
+            std::hint::black_box(estimate_values(
+                cube,
+                &correctness,
+                &params,
+                cfg,
+                &active,
+                None,
+            ));
         }
         let flat = t0.elapsed();
 
@@ -129,6 +136,7 @@ fn estep_throughput(cube: &ObservationCube, cfg: &ModelConfig, threads: usize, r
                 &params,
                 cfg,
                 &active,
+                None,
                 &mut exec,
             ));
         }

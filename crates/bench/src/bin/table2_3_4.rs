@@ -120,7 +120,7 @@ fn main() {
         ideal[g] = if grp.value.0 == provides { 1.0 } else { 0.0 };
     }
     let active = vec![true; 8];
-    let out = estimate_values(&cube, &ideal, &params, &cfg, &active);
+    let out = estimate_values(&cube, &ideal, &params, &cfg, &active, None);
     for v in 0..3u32 {
         println!(
             "p(Vd = {:6}) = {}",

@@ -46,7 +46,7 @@ fn timed_run(cube: &ObservationCube, timer: &mut PhaseTimer) {
             estimate_correctness(cube, &votes, &alpha, &cfg)
         });
         let out = timer.time("II. TriplePr", || {
-            estimate_values(cube, &correctness, &params, &cfg, &active)
+            estimate_values(cube, &correctness, &params, &cfg, &active, None)
         });
         timer.time("III. SrcAccu", || {
             kbt_core::mstep::update_source_accuracy(

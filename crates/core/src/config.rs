@@ -5,6 +5,8 @@
 //! improved (uncertainty-weighted) estimator of Section 3.3.3. The
 //! single-layer baseline uses `n = 100` per the paper.
 
+use crate::copydetect::CopyDetectConfig;
+
 /// How false values are assumed to be distributed over the domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ValueModel {
@@ -132,6 +134,19 @@ pub struct ModelConfig {
     /// flat path exists as the reference for equivalence tests and
     /// benchmarks.
     pub exec_mode: ExecMode,
+    /// Copy detection inside the engine (§5.4.2): when set, the
+    /// multi-layer engine follows its EM fit with copy detection and
+    /// attaches the evidence to its result. With
+    /// [`crate::CopyDetectConfig`]'s `discount` flag also set, fusion
+    /// becomes copy-aware: `discount_rounds` rounds of detect →
+    /// [`crate::CopyDiscount`] independence factors → a refit from the
+    /// run's initialization with the dependent sources' value-layer
+    /// votes down-weighted, so a copier's duplicated mistakes stop
+    /// laundering themselves into high posteriors. `None` (the default)
+    /// keeps fusion copy-blind and bit-identical to previous releases.
+    /// Ignored by the single-layer baseline, which has no per-source
+    /// vote to discount (its sources are (page, extractor) pairs).
+    pub copy_detection: Option<CopyDetectConfig>,
 }
 
 impl Default for ModelConfig {
@@ -155,6 +170,7 @@ impl Default for ModelConfig {
             min_source_support: 1,
             threads: None,
             exec_mode: ExecMode::Sharded,
+            copy_detection: None,
         }
     }
 }

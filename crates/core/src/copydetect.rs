@@ -1,4 +1,5 @@
-//! Copy detection between sources (Section 5.4.2, item 4).
+//! Copy detection between sources (Section 5.4.2, item 4) and the
+//! copy-aware vote discount it feeds.
 //!
 //! "Some websites scrape data from other websites. Identifying such
 //! websites requires techniques such as copy detection" — the paper cites
@@ -7,17 +8,33 @@
 //! the same mistake, because each false value is one of `n` alternatives,
 //! while a copier reproduces its victim's mistakes verbatim.
 //!
-//! This module implements that signal over the cube: for every source
-//! pair with enough overlapping items, compare the likelihood of their
-//! agreement under independence versus under copying (a simplified
-//! ACCUCOPY-style score). It is a post-processing pass over the
-//! multi-layer model's outputs — the value posteriors decide what counts
-//! as "false".
+//! This module implements that signal over the cube in three stages:
+//!
+//! 1. **candidate prefilter** — a [`CoClaimIndex`] census prunes every
+//!    source pair whose overlap is below
+//!    [`CopyDetectConfig::min_overlap`] *before* any agreement scoring,
+//! 2. **sharded pair stats** — agreement and exclusive-agreement counts
+//!    accumulate per shard (items are the sharding key, pairs the reduce
+//!    key — `ShardedExecutor::reduce_keyed` / ordered dense merges) and
+//!    combine in deterministic shard order,
+//! 3. **discount loop** — [`CopyDiscount`] turns the evidence into
+//!    per-source independence factors `I(w)` that down-weight a
+//!    dependent source's votes inside the value-layer E-step (the
+//!    ACCUCOPY-style correction; see `MultiLayerModel`).
+//!
+//! The original serial pass is kept, bit-for-bit, behind
+//! [`ExecMode::Flat`] as the reference implementation; the
+//! `copydetect_engine` integration tests prove the sharded path identical
+//! at 1, 2, and 8 threads. All pair statistics are exact integers, so
+//! shard-order merging makes the parallel path deterministic across *any*
+//! shard count.
 
 use std::collections::HashMap;
 
-use kbt_datamodel::{ItemId, ObservationCube, SourceId, ValueId};
+use kbt_datamodel::{CoClaimIndex, ItemId, ObservationCube, SourceId, ValueId};
+use kbt_flume::ShardedExecutor;
 
+use crate::config::ExecMode;
 use crate::multi_layer::MultiLayerResult;
 
 /// Evidence about one source pair.
@@ -46,14 +63,56 @@ pub struct CopyEvidence {
     pub score: f64,
 }
 
-/// Configuration for the detector.
+/// Configuration for the detector and the copy-aware discount.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CopyDetectConfig {
-    /// Minimum overlapping items for a pair to be scored.
+    /// Minimum overlapping claims for a pair to be scored. Pairs below
+    /// this are pruned by the [`CoClaimIndex`] prefilter before any
+    /// agreement statistics are gathered.
     pub min_overlap: usize,
     /// Domain size `n` (false alternatives per item) used in the
-    /// independence model.
+    /// independence model: two honest sources share a given mistake with
+    /// probability `≈ (1−A_a)(1−A_b)/n`, a copier with `≈ (1−A)`, so each
+    /// exclusive shared value is worth `ln(n / √((1−A_a)(1−A_b)))` bits of
+    /// copy evidence.
     pub n_false_values: usize,
+    /// Which engine scores the pairs. [`ExecMode::Sharded`] (default)
+    /// runs the prefilter census as a keyed pair-reduce and the agreement
+    /// stats as per-shard accumulators merged in shard order;
+    /// [`ExecMode::Flat`] is the original serial pass, kept as the
+    /// bit-for-bit reference.
+    pub exec_mode: ExecMode,
+    /// Evidence score above which a pair is treated as a dependency when
+    /// computing [`CopyDiscount`] independence factors. In log-likelihood
+    /// units: the default (10) demands the agreement pattern be `e^10`
+    /// times likelier under copying than under independence, which a
+    /// genuine copier clears after a handful of shared mistakes while
+    /// honest pairs (whose exclusive agreements are rare accidents) stay
+    /// well below.
+    pub score_threshold: f64,
+    /// Floor for the independence factor `I(w)`: even a certain copier
+    /// keeps this fraction of its vote, so a wrongly-accused source can
+    /// never be silenced outright and the E-step stays numerically tame.
+    pub min_independence: f64,
+    /// How many detect → discount → refit rounds the copy-aware fusion
+    /// loop runs when copy detection is attached to a `ModelConfig` with
+    /// [`CopyDetectConfig::discount`] set. One round (the default)
+    /// recovers the planted-copier scenarios; more rounds help when
+    /// discounting one copier unmasks another. Factors only deepen
+    /// across rounds (element-wise min with the previous round), so an
+    /// extra round can never lift an earlier discount and revert the fit
+    /// toward copy-blind; the loop stops early once the factors stop
+    /// changing.
+    pub discount_rounds: usize,
+    /// Whether the evidence feeds back into fusion. `false` (the
+    /// default): detection is a pure diagnostic — evidence is attached
+    /// to the result but no vote is discounted, at any layer. `true`:
+    /// the engine runs the CopyDiscount loop (detect → independence
+    /// factors → refit from the run's initialization with dependent
+    /// sources' votes down-weighted), and
+    /// `TrustPipeline::copy_detection` hands the detector to the engine
+    /// instead of running it post-hoc.
+    pub discount: bool,
 }
 
 impl Default for CopyDetectConfig {
@@ -61,15 +120,101 @@ impl Default for CopyDetectConfig {
         Self {
             min_overlap: 5,
             n_false_values: 10,
+            exec_mode: ExecMode::Sharded,
+            score_threshold: 10.0,
+            min_independence: 0.05,
+            discount_rounds: 1,
+            discount: false,
         }
+    }
+}
+
+/// Per-source independence factors `I(w) ∈ [min_independence, 1]` — the
+/// CopyDiscount stage of copy-aware fusion.
+///
+/// The paper's ACCUCOPY lineage [8] counts a source's vote only with the
+/// probability that it acted independently. We reproduce that shape: each
+/// pair whose evidence score exceeds [`CopyDetectConfig::score_threshold`]
+/// marks its *dependent* member (the lower-accuracy source; ties go to
+/// the higher id), whose factor is multiplied by `1 − p_copy` with
+/// `p_copy = excess / (excess + 1)` for `excess = score − threshold`. The
+/// value-layer E-step then scales the source's vote weight
+/// `ln(n·A_w/(1−A_w))` by `I(w)`, so a copier's duplicated mistakes stop
+/// counting as independent confirmation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyDiscount {
+    scale: Vec<f64>,
+}
+
+impl CopyDiscount {
+    /// No discounts: every source fully independent.
+    pub fn neutral(num_sources: usize) -> Self {
+        Self {
+            scale: vec![1.0; num_sources],
+        }
+    }
+
+    /// Wrap precomputed independence factors (e.g. carried over from a
+    /// previous session run). Values are clamped to `(0, 1]` sanity.
+    pub fn from_scales(mut scale: Vec<f64>) -> Self {
+        for s in &mut scale {
+            if !s.is_finite() {
+                *s = 1.0;
+            }
+            *s = s.clamp(f64::MIN_POSITIVE, 1.0);
+        }
+        Self { scale }
+    }
+
+    /// Derive independence factors from detection evidence.
+    pub fn from_evidence(
+        evidence: &[CopyEvidence],
+        source_accuracy: &[f64],
+        num_sources: usize,
+        cfg: &CopyDetectConfig,
+    ) -> Self {
+        let mut scale = vec![1.0; num_sources];
+        for ev in evidence {
+            let excess = ev.score - cfg.score_threshold;
+            if excess.is_nan() || excess <= 0.0 {
+                continue;
+            }
+            // The detector does not identify direction; deterministically
+            // blame the lower-accuracy member (a copier's estimate is
+            // inflated *at most* to its victim's), ties to the higher id.
+            let (aa, ab) = (source_accuracy[ev.a.index()], source_accuracy[ev.b.index()]);
+            let dep = if aa < ab { ev.a } else { ev.b };
+            let p_copy = excess / (excess + 1.0);
+            scale[dep.index()] *= 1.0 - p_copy;
+        }
+        let floor = cfg.min_independence.clamp(f64::MIN_POSITIVE, 1.0);
+        for s in &mut scale {
+            *s = s.max(floor);
+        }
+        Self { scale }
+    }
+
+    /// The independence factor of source `w`.
+    pub fn factor(&self, w: SourceId) -> f64 {
+        self.scale[w.index()]
+    }
+
+    /// All factors, indexed by source.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Whether every factor is exactly 1 (discounting would be a no-op).
+    pub fn is_neutral(&self) -> bool {
+        self.scale.iter().all(|&s| s == 1.0)
     }
 }
 
 /// Score all source pairs with sufficient overlap.
 ///
 /// Cost is O(Σ_d claims(d)²) — quadratic in per-item fan-in, which is
-/// small in practice (the paper notes that scaling full copy detection to
-/// the web is open; this is the per-item-pair kernel those systems shard).
+/// small in practice; the sharded engine splits that work by item range
+/// (the per-item-pair kernel the paper notes web-scale systems shard).
 pub fn detect_copies(
     cube: &ObservationCube,
     result: &MultiLayerResult,
@@ -82,11 +227,130 @@ pub fn detect_copies(
 ///
 /// Model-agnostic core of [`detect_copies`]: any engine's trust vector
 /// works (this is what `TrustPipeline` feeds from a `FusionReport`).
+/// Dispatches on [`CopyDetectConfig::exec_mode`]; both paths return
+/// bit-for-bit identical evidence at any thread count.
 pub fn detect_copies_from_accuracy(
     cube: &ObservationCube,
     source_accuracy: &[f64],
     cfg: &CopyDetectConfig,
 ) -> Vec<CopyEvidence> {
+    score_pair_stats(&collect_pair_stats(cube, cfg), source_accuracy, cfg)
+}
+
+/// Accuracy-independent agreement statistics of one candidate pair —
+/// everything the detector counts from the (immutable) cube. Collected
+/// once, then re-scored per accuracy vector: the copy-aware fusion loop
+/// re-detects after every refit, and only the scores change between
+/// rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PairStats {
+    a: SourceId,
+    b: SourceId,
+    overlap: usize,
+    agree: usize,
+    agree_exclusive: usize,
+}
+
+/// Count the pair statistics for every pair surviving the `min_overlap`
+/// prefilter, sorted by `(a, b)`. Dispatches on
+/// [`CopyDetectConfig::exec_mode`]; the counts are exact integers, so
+/// both paths produce identical tables at any thread count.
+pub(crate) fn collect_pair_stats(cube: &ObservationCube, cfg: &CopyDetectConfig) -> Vec<PairStats> {
+    match cfg.exec_mode {
+        ExecMode::Flat => collect_pair_stats_flat(cube, cfg),
+        ExecMode::Sharded => collect_pair_stats_sharded(cube, cfg),
+    }
+}
+
+/// Score a pair-stats table against an accuracy vector and sort the
+/// evidence — the per-round half of detection, shared by both execution
+/// paths so their floats are identical.
+pub(crate) fn score_pair_stats(
+    stats: &[PairStats],
+    source_accuracy: &[f64],
+    cfg: &CopyDetectConfig,
+) -> Vec<CopyEvidence> {
+    let n = cfg.n_false_values.max(1) as f64;
+    let mut out: Vec<CopyEvidence> = stats
+        .iter()
+        .map(|s| CopyEvidence {
+            a: s.a,
+            b: s.b,
+            overlap: s.overlap,
+            agree: s.agree,
+            agree_exclusive: s.agree_exclusive,
+            score: pair_score(
+                s.overlap,
+                s.agree,
+                s.agree_exclusive,
+                source_accuracy[s.a.index()],
+                source_accuracy[s.b.index()],
+                n,
+            ),
+        })
+        .collect();
+    sort_evidence(&mut out);
+    out
+}
+
+/// Assumed conditional copy rate of the copying hypothesis: a copier
+/// reproduces its victim's value on a co-claimed item with at least this
+/// probability (the remainder behaves independently). Fixed, like the
+/// paper's `c` in the ACCUCOPY lineage [8].
+const COPY_RATE: f64 = 0.8;
+
+/// The likelihood-ratio score of one pair — shared by both execution
+/// paths so their floats are identical. Two terms:
+///
+/// * **exclusive agreements** — two sources agree on a false value with
+///   probability ≈ (1−A)²/n per overlapping item under independence,
+///   versus ≈ (1−A) for a copier, so each two-party-exclusive shared
+///   value is worth `ln(n / √((1−A_a)(1−A_b)))`;
+/// * **agreement rate** — the binomial log-likelihood ratio of the
+///   observed agreement count under copying (rate
+///   `r = c + (1−c)·q`) versus independence (rate
+///   `q = A_a·A_b + (1−A_a)(1−A_b)/n`). A verbatim copier agrees on
+///   essentially every overlapping item, which honest sources only do
+///   when both accuracies are high — in which case `q ≈ 1` and the term
+///   vanishes, so honest consensus is not penalized while
+///   agree-on-everything pairs of *mediocre* estimated accuracy are.
+fn pair_score(
+    overlap: usize,
+    agree: usize,
+    agree_exclusive: usize,
+    aa: f64,
+    ab: f64,
+    n: f64,
+) -> f64 {
+    let aa = aa.clamp(0.01, 0.99);
+    let ab = ab.clamp(0.01, 0.99);
+    let miss = ((1.0 - aa) * (1.0 - ab)).max(1e-6);
+    let per_mistake = (n / miss.sqrt()).ln();
+    let q = (aa * ab + miss / n).clamp(1e-6, 1.0 - 1e-6);
+    let r = COPY_RATE + (1.0 - COPY_RATE) * q;
+    let rate_llr =
+        agree as f64 * (r / q).ln() + (overlap - agree) as f64 * ((1.0 - r) / (1.0 - q)).ln();
+    agree_exclusive as f64 * per_mistake + rate_llr
+}
+
+/// Sort evidence by score (descending), ties broken by pair id so the
+/// ordering is deterministic regardless of accumulation order. Uses
+/// `f64::total_cmp`: a NaN score (e.g. from degenerate upstream
+/// accuracies) sorts last instead of panicking the pipeline.
+fn sort_evidence(out: &mut [CopyEvidence]) {
+    out.sort_by(|x, y| {
+        x.score
+            .is_nan()
+            .cmp(&y.score.is_nan())
+            .then_with(|| y.score.total_cmp(&x.score))
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+}
+
+/// The original serial pass — the bit-for-bit reference behind
+/// [`ExecMode::Flat`]: one global pair-stat map over the full
+/// O(items × claims²) expansion, no prefilter.
+fn collect_pair_stats_flat(cube: &ObservationCube, cfg: &CopyDetectConfig) -> Vec<PairStats> {
     // For each item: the claiming sources, and how many sources back
     // each value (for the exclusivity test).
     let mut pair_stats: HashMap<(u32, u32), (usize, usize, usize)> = HashMap::new();
@@ -127,43 +391,136 @@ pub fn detect_copies_from_accuracy(
         }
     }
 
-    let n = cfg.n_false_values.max(1) as f64;
-    let mut out: Vec<CopyEvidence> = pair_stats
+    let mut out: Vec<PairStats> = pair_stats
         .into_iter()
         .filter(|(_, (overlap, _, _))| *overlap >= cfg.min_overlap)
-        .map(|((a, b), (overlap, agree, agree_exclusive))| {
-            // Independence: two sources agree on a false value with
-            // probability ≈ (1−A)²/n per overlapping item; a copier
-            // agrees with probability ≈ (1−A). The per-shared-mistake
-            // log-ratio is ln(n/(1−A)); we use the sources' estimated
-            // accuracies.
-            let aa = source_accuracy[a as usize].clamp(0.01, 0.99);
-            let ab = source_accuracy[b as usize].clamp(0.01, 0.99);
-            let miss = ((1.0 - aa) * (1.0 - ab)).max(1e-6);
-            let per_mistake = (n / miss.sqrt()).ln();
-            // True-value agreement carries almost no copy signal (honest
-            // sources agree on the truth); weight it near zero.
-            let score = agree_exclusive as f64 * per_mistake
-                - overlap as f64 * ((1.0 - aa).max(1.0 - ab)) * 0.1;
-            CopyEvidence {
-                a: SourceId::new(a),
-                b: SourceId::new(b),
-                overlap,
-                agree,
-                agree_exclusive,
-                score,
-            }
+        .map(|((a, b), (overlap, agree, agree_exclusive))| PairStats {
+            a: SourceId::new(a),
+            b: SourceId::new(b),
+            overlap,
+            agree,
+            agree_exclusive,
         })
         .collect();
-    // Ties broken by pair id so the ordering is deterministic regardless
-    // of hash-map iteration order.
-    out.sort_by(|x, y| {
-        y.score
-            .partial_cmp(&x.score)
-            .expect("score NaN")
-            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
-    });
+    out.sort_unstable_by_key(|s| (s.a, s.b));
     out
+}
+
+/// Reusable per-shard scratch for the agreement pass: the per-item claim
+/// buffers plus the shard-local dense stat accumulators (one slot per
+/// candidate pair), merged in shard order after the round.
+#[derive(Debug, Default)]
+struct PairScratch {
+    claims: Vec<(SourceId, ValueId)>,
+    backers: Vec<(ValueId, u32)>, // sorted by value
+    agree: Vec<u64>,
+    agree_exclusive: Vec<u64>,
+}
+
+/// The shard-parallel counting pass behind [`ExecMode::Sharded`]:
+///
+/// 1. a keyed pair-reduce over the [`CoClaimIndex`] produces the exact
+///    overlap census, pruning pairs under `min_overlap` before scoring,
+/// 2. each shard walks its item range accumulating agreement /
+///    exclusive-agreement counts into dense per-candidate slots,
+/// 3. shard accumulators merge in ascending shard order (exact integer
+///    sums — identical across any shard count).
+fn collect_pair_stats_sharded(cube: &ObservationCube, cfg: &CopyDetectConfig) -> Vec<PairStats> {
+    let index = CoClaimIndex::build(cube);
+    let ni = index.num_items();
+
+    // Phase 1: overlap census as a keyed pair-accumulation reduce
+    // (items shard, pairs reduce), then the min_overlap prefilter.
+    let mut census_exec: ShardedExecutor<()> = ShardedExecutor::new();
+    let overlaps: Vec<((SourceId, SourceId), u64)> = census_exec.reduce_keyed(
+        ni,
+        |_, map, d| {
+            index.for_item_pairs(ItemId::new(d as u32), |a, b, w| {
+                *map.entry((a, b)).or_insert(0u64) += w;
+            });
+        },
+        |a, b| *a += b,
+    );
+    let candidates: Vec<(SourceId, SourceId, u64)> = overlaps
+        .into_iter()
+        .filter(|(_, overlap)| *overlap >= cfg.min_overlap as u64)
+        .map(|((a, b), overlap)| (a, b, overlap))
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    // Phase 2: agreement stats for the surviving pairs only, dense
+    // per-shard accumulators merged in shard order.
+    let mut exec: ShardedExecutor<PairScratch> = ShardedExecutor::new();
+    exec.run_shards(ni, |s, _, items| {
+        s.agree.clear();
+        s.agree.resize(candidates.len(), 0);
+        s.agree_exclusive.clear();
+        s.agree_exclusive.resize(candidates.len(), 0);
+        for d in items {
+            let d = ItemId::new(d as u32);
+            s.claims.clear();
+            s.claims.extend(cube.groups_of_item(d).map(|g| {
+                let grp = &cube.groups()[g];
+                (grp.source, grp.value)
+            }));
+            s.backers.clear();
+            for &(_, v) in &s.claims {
+                match s.backers.binary_search_by_key(&v, |(bv, _)| *bv) {
+                    Ok(i) => s.backers[i].1 += 1,
+                    Err(i) => s.backers.insert(i, (v, 1)),
+                }
+            }
+            for i in 0..s.claims.len() {
+                for j in i + 1..s.claims.len() {
+                    let (wa, va) = s.claims[i];
+                    let (wb, vb) = s.claims[j];
+                    if wa == wb || va != vb {
+                        continue;
+                    }
+                    let key = if wa < wb { (wa, wb) } else { (wb, wa) };
+                    let Ok(ci) = candidates.binary_search_by_key(&key, |&(a, b, _)| (a, b)) else {
+                        continue; // pruned by the prefilter
+                    };
+                    s.agree[ci] += 1;
+                    let exclusive = s
+                        .backers
+                        .binary_search_by_key(&va, |(bv, _)| *bv)
+                        .map(|i| s.backers[i].1 == 2)
+                        .unwrap_or(false);
+                    if exclusive {
+                        s.agree_exclusive[ci] += 1;
+                    }
+                }
+            }
+        }
+    });
+    let mut agree = vec![0u64; candidates.len()];
+    let mut agree_exclusive = vec![0u64; candidates.len()];
+    for s in exec.scratch() {
+        if s.agree.is_empty() {
+            continue; // shard never ran (more shards than items)
+        }
+        for (acc, &x) in agree.iter_mut().zip(&s.agree) {
+            *acc += x;
+        }
+        for (acc, &x) in agree_exclusive.iter_mut().zip(&s.agree_exclusive) {
+            *acc += x;
+        }
+    }
+
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(ci, &(a, b, overlap))| PairStats {
+            a,
+            b,
+            overlap: overlap as usize,
+            agree: agree[ci] as usize,
+            agree_exclusive: agree_exclusive[ci] as usize,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -252,16 +609,41 @@ mod tests {
     }
 
     #[test]
+    fn sharded_detection_equals_flat_reference() {
+        let cube = corpus_with_copier(21);
+        let acc: Vec<f64> = (0..cube.num_sources())
+            .map(|w| 0.4 + 0.1 * (w % 5) as f64)
+            .collect();
+        let flat = detect_copies_from_accuracy(
+            &cube,
+            &acc,
+            &CopyDetectConfig {
+                exec_mode: ExecMode::Flat,
+                ..CopyDetectConfig::default()
+            },
+        );
+        for threads in [1usize, 2, 8] {
+            let sharded = kbt_flume::with_threads(Some(threads), || {
+                detect_copies_from_accuracy(&cube, &acc, &CopyDetectConfig::default())
+            });
+            assert_eq!(flat, sharded, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn overlap_threshold_filters_thin_pairs() {
         let cube = corpus_with_copier(9);
         let result = MultiLayerModel::new(ModelConfig::default())
             .run_traced(&cube, &QualityInit::Default)
             .0;
-        let cfg = CopyDetectConfig {
-            min_overlap: 1_000_000,
-            ..CopyDetectConfig::default()
-        };
-        assert!(detect_copies(&cube, &result, &cfg).is_empty());
+        for exec_mode in [ExecMode::Flat, ExecMode::Sharded] {
+            let cfg = CopyDetectConfig {
+                min_overlap: 1_000_000,
+                exec_mode,
+                ..CopyDetectConfig::default()
+            };
+            assert!(detect_copies(&cube, &result, &cfg).is_empty());
+        }
     }
 
     #[test]
@@ -273,6 +655,175 @@ mod tests {
         let evidence = detect_copies(&cube, &result, &CopyDetectConfig::default());
         for w in evidence.windows(2) {
             assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    /// Regression: degenerate accuracies (hard 0.0 / 1.0, or NaN leaked
+    /// from a divergent upstream estimate) must never panic the sort —
+    /// `partial_cmp(..).expect("score NaN")` used to.
+    #[test]
+    fn degenerate_accuracies_cannot_panic_the_sort() {
+        let cube = corpus_with_copier(3);
+        let ns = cube.num_sources();
+        for exec_mode in [ExecMode::Flat, ExecMode::Sharded] {
+            let cfg = CopyDetectConfig {
+                exec_mode,
+                ..CopyDetectConfig::default()
+            };
+            // Hard 0/1 accuracies: clamped, finite scores, sorted.
+            let hard: Vec<f64> = (0..ns)
+                .map(|w| if w % 2 == 0 { 0.0 } else { 1.0 })
+                .collect();
+            let ev = detect_copies_from_accuracy(&cube, &hard, &cfg);
+            assert!(!ev.is_empty());
+            assert!(ev.iter().all(|e| e.score.is_finite()));
+            for w in ev.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+            // NaN accuracy: scores may be NaN, but detection must return
+            // (NaN sorts last under total_cmp) instead of panicking.
+            let mut nan = hard.clone();
+            nan[3] = f64::NAN;
+            let ev = detect_copies_from_accuracy(&cube, &nan, &cfg);
+            assert!(!ev.is_empty());
+            let first_nan = ev.iter().position(|e| e.score.is_nan());
+            if let Some(i) = first_nan {
+                assert!(
+                    ev[i..].iter().all(|e| e.score.is_nan()),
+                    "NaN scores must sort after every real score"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discount_blames_the_lower_accuracy_member_with_a_floor() {
+        let evidence = vec![
+            CopyEvidence {
+                a: SourceId::new(0),
+                b: SourceId::new(1),
+                overlap: 50,
+                agree: 40,
+                agree_exclusive: 20,
+                score: 60.0,
+            },
+            CopyEvidence {
+                a: SourceId::new(2),
+                b: SourceId::new(3),
+                overlap: 50,
+                agree: 10,
+                agree_exclusive: 0,
+                score: -3.0, // below threshold: no discount
+            },
+        ];
+        let acc = vec![0.9, 0.6, 0.7, 0.7];
+        let cfg = CopyDetectConfig::default();
+        let d = CopyDiscount::from_evidence(&evidence, &acc, 4, &cfg);
+        assert_eq!(d.factor(SourceId::new(0)), 1.0, "victim keeps full vote");
+        assert!(
+            d.factor(SourceId::new(1)) < 0.1,
+            "copier is discounted: {}",
+            d.factor(SourceId::new(1))
+        );
+        assert!(
+            d.factor(SourceId::new(1)) >= cfg.min_independence,
+            "floor holds"
+        );
+        assert_eq!(d.factor(SourceId::new(2)), 1.0);
+        assert_eq!(d.factor(SourceId::new(3)), 1.0);
+        assert!(!d.is_neutral());
+        assert!(CopyDiscount::neutral(4).is_neutral());
+    }
+
+    #[test]
+    fn discount_tie_goes_to_the_higher_id_and_nan_scores_are_ignored() {
+        let evidence = vec![
+            CopyEvidence {
+                a: SourceId::new(0),
+                b: SourceId::new(1),
+                overlap: 40,
+                agree: 30,
+                agree_exclusive: 15,
+                score: 42.0,
+            },
+            CopyEvidence {
+                a: SourceId::new(2),
+                b: SourceId::new(3),
+                overlap: 40,
+                agree: 30,
+                agree_exclusive: 15,
+                score: f64::NAN,
+            },
+        ];
+        let acc = vec![0.7, 0.7, 0.7, 0.7];
+        let d = CopyDiscount::from_evidence(&evidence, &acc, 4, &CopyDetectConfig::default());
+        assert_eq!(d.factor(SourceId::new(0)), 1.0);
+        assert!(d.factor(SourceId::new(1)) < 1.0, "tie blames the higher id");
+        assert_eq!(d.factor(SourceId::new(2)), 1.0, "NaN evidence is inert");
+        assert_eq!(d.factor(SourceId::new(3)), 1.0);
+    }
+
+    /// The serial census (`CoClaimIndex::candidate_pairs`, what the bench
+    /// bin's prefilter statistic uses) and the detector's own pair table
+    /// must never drift apart: same pairs, same overlaps, both modes.
+    #[test]
+    fn coclaim_census_matches_detector_pair_stats() {
+        let cube = corpus_with_copier(17);
+        let index = kbt_datamodel::CoClaimIndex::build(&cube);
+        for min_overlap in [1usize, 5, 30] {
+            let census: Vec<(SourceId, SourceId, u64)> = index
+                .candidate_pairs(min_overlap)
+                .into_iter()
+                .map(|c| (c.a, c.b, c.overlap))
+                .collect();
+            for exec_mode in [ExecMode::Flat, ExecMode::Sharded] {
+                let cfg = CopyDetectConfig {
+                    min_overlap,
+                    exec_mode,
+                    ..CopyDetectConfig::default()
+                };
+                let stats: Vec<(SourceId, SourceId, u64)> = collect_pair_stats(&cube, &cfg)
+                    .iter()
+                    .map(|s| (s.a, s.b, s.overlap as u64))
+                    .collect();
+                assert_eq!(census, stats, "{exec_mode:?}, min_overlap {min_overlap}");
+            }
+        }
+    }
+
+    /// Random (copier-free) corpora: both paths agree bit-for-bit, and
+    /// the prefilter census matches the flat path's overlap counts.
+    #[test]
+    fn random_corpus_differential() {
+        let mut rng = StdRng::seed_from_u64(998);
+        for _ in 0..5 {
+            let mut b = CubeBuilder::new();
+            for _ in 0..400 {
+                b.push(Observation::certain(
+                    ExtractorId::new(rng.gen_range(0..3)),
+                    SourceId::new(rng.gen_range(0..12)),
+                    ItemId::new(rng.gen_range(0..30)),
+                    ValueId::new(rng.gen_range(0..6)),
+                ));
+            }
+            let cube = b.build();
+            let acc: Vec<f64> = (0..cube.num_sources()).map(|_| rng.gen::<f64>()).collect();
+            for min_overlap in [1usize, 5, 20] {
+                let cfg = CopyDetectConfig {
+                    min_overlap,
+                    ..CopyDetectConfig::default()
+                };
+                let flat = detect_copies_from_accuracy(
+                    &cube,
+                    &acc,
+                    &CopyDetectConfig {
+                        exec_mode: ExecMode::Flat,
+                        ..cfg
+                    },
+                );
+                let sharded = detect_copies_from_accuracy(&cube, &acc, &cfg);
+                assert_eq!(flat, sharded, "min_overlap = {min_overlap}");
+            }
         }
     }
 }

@@ -65,7 +65,9 @@ pub mod value;
 pub mod votes;
 
 pub use config::{CorrectnessWeighting, ExecMode, ModelConfig, ValueModel};
-pub use copydetect::{detect_copies, detect_copies_from_accuracy, CopyDetectConfig, CopyEvidence};
+pub use copydetect::{
+    detect_copies, detect_copies_from_accuracy, CopyDetectConfig, CopyDiscount, CopyEvidence,
+};
 pub use correctness::{estimate_correctness, estimate_correctness_with, AlphaState};
 pub use extensions::{idf_weights, weighted_kbt};
 pub use model::{

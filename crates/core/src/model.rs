@@ -230,13 +230,14 @@ impl FusionReport {
         }
     }
 
-    /// Build a report from a multi-layer run (no copies; the result is
-    /// moved into [`FusionReport::detail`]).
-    pub fn from_multi_layer(result: MultiLayerResult, trace: ConvergenceTrace) -> Self {
+    /// Build a report from a multi-layer run (the result is moved into
+    /// [`FusionReport::detail`]; copy-aware runs surface their evidence
+    /// directly in [`FusionReport::copy_evidence`]).
+    pub fn from_multi_layer(mut result: MultiLayerResult, trace: ConvergenceTrace) -> Self {
         Self {
             model: ModelKind::MultiLayer,
             trace,
-            copy_evidence: None,
+            copy_evidence: result.copy_evidence.take(),
             detail: FusionDetail::MultiLayer(result),
             single_layer_active: Vec::new(),
         }

@@ -16,6 +16,7 @@ use kbt_datamodel::{ObservationCube, SourceId};
 use kbt_flume::{ShardedExecutor, Stopwatch};
 
 use crate::config::{ExecMode, ModelConfig};
+use crate::copydetect::{collect_pair_stats, score_pair_stats, CopyDiscount, CopyEvidence};
 use crate::correctness::{estimate_correctness, estimate_correctness_with, AlphaState};
 use crate::model::{map_confidence_ll, ConvergenceTrace, IterationTrace};
 use crate::mstep::{
@@ -48,10 +49,22 @@ pub struct MultiLayerResult {
     /// Whether each source had enough data for its accuracy to move off
     /// the default.
     pub active_source: Vec<bool>,
-    /// Iterations actually performed.
+    /// Iterations actually performed (summed across the copy-aware refit
+    /// rounds when [`ModelConfig::copy_detection`] is set).
     pub iterations: usize,
     /// Whether the parameter deltas fell below the convergence threshold.
     pub converged: bool,
+    /// Copy-detection evidence from the copy-aware fusion loop (sorted by
+    /// score, post-refit accuracies). `None` unless
+    /// [`ModelConfig::copy_detection`] is set.
+    pub copy_evidence: Option<Vec<CopyEvidence>>,
+    /// Per-source independence factors `I(w)` the final E-step ran with
+    /// (the CopyDiscount stage). `None` iff the fit was copy-blind: set
+    /// by the copy-aware loop, and also when a (non-neutral) prior
+    /// independence from a warm restart was applied without
+    /// [`ModelConfig::copy_detection`] — the factors a fit actually used
+    /// are always reported.
+    pub source_independence: Option<Vec<f64>>,
 }
 
 impl MultiLayerResult {
@@ -127,18 +140,139 @@ impl MultiLayerModel {
         init: &QualityInit,
         prior_truth: Option<&[f64]>,
     ) -> (MultiLayerResult, ConvergenceTrace) {
-        kbt_flume::with_threads(self.cfg.threads, || self.run_inner(cube, init, prior_truth))
+        self.run_traced_with_priors(cube, init, prior_truth, None)
     }
 
+    /// [`Self::run_traced_with_prior`] plus an optional per-source
+    /// **independence prior** — prior copy evidence carried across warm
+    /// restarts (`FusionSession`). When `prior_independence[w]` holds the
+    /// previous run's `I(w)` factors, even the *first* EM fit of this run
+    /// is copy-aware, so a warm restart neither re-launders a known
+    /// copier's votes nor has to re-earn the discount from scratch.
+    /// Factors for sources beyond the slice (new in this cube) default
+    /// to 1 (fully independent).
+    pub fn run_traced_with_priors(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+        prior_truth: Option<&[f64]>,
+        prior_independence: Option<&[f64]>,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
+        kbt_flume::with_threads(self.cfg.threads, || {
+            self.run_inner(cube, init, prior_truth, prior_independence)
+        })
+    }
+
+    /// One EM fit plus, when [`ModelConfig::copy_detection`] is set, the
+    /// copy-aware loop: detect copies from the fitted accuracies, derive
+    /// [`CopyDiscount`] independence factors, and **refit from the run's
+    /// original initialization** with the dependent sources' votes
+    /// down-weighted — `discount_rounds` times. The refit deliberately
+    /// restarts truth discovery rather than warm-continuing: a copier's
+    /// doubled votes can drive EM into a self-consistent basin (copier
+    /// and victim rated near-perfect, honest sources poor) that a warm
+    /// continuation cannot leave, because the corrupted parameters are
+    /// exactly what the continuation resumes from. Traces of the refits
+    /// are appended to the base trace (iteration numbers continue across
+    /// rounds).
     fn run_inner(
         &self,
         cube: &ObservationCube,
         init: &QualityInit,
         prior_truth: Option<&[f64]>,
+        prior_independence: Option<&[f64]>,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
+        let prior_discount = prior_independence.map(|s| {
+            let mut scales = s.to_vec();
+            scales.resize(cube.num_sources(), 1.0);
+            CopyDiscount::from_scales(scales)
+        });
+        let base_discount = prior_discount.as_ref().filter(|d| !d.is_neutral());
+        let (mut result, mut trace) = self.run_em(cube, init, prior_truth, base_discount);
+        // Record the factors this fit actually ran with even when no
+        // detection is configured (e.g. a session carrying prior evidence
+        // into a model whose copy_detection was turned off) — a
+        // discounted fit must never be indistinguishable from a
+        // copy-blind one. The discount loop below overwrites this with
+        // the factors of the final refit.
+        result.source_independence = base_discount.map(|d| d.as_slice().to_vec());
+
+        if let Some(cd) = &self.cfg.copy_detection {
+            let ns = cube.num_sources();
+            // The pair statistics depend only on the (immutable) cube:
+            // count once, re-score per round as the accuracies move.
+            let stats = collect_pair_stats(cube, cd);
+            let mut evidence = score_pair_stats(&stats, &result.params.source_accuracy, cd);
+            if cd.discount {
+                // Factors the latest fit actually ran with: the prior on a
+                // warm restart, neutral otherwise (an all-ones discount is
+                // bit-identical to no discount at all).
+                let mut discount = prior_discount.unwrap_or_else(|| CopyDiscount::neutral(ns));
+                for _ in 0..cd.discount_rounds {
+                    let fresh = CopyDiscount::from_evidence(
+                        &evidence,
+                        &result.params.source_accuracy,
+                        ns,
+                        cd,
+                    );
+                    // Discounts only ever deepen within a run (element-wise
+                    // min with what the last fit used): discounting a pair
+                    // lowers its score, so re-deriving factors from scratch
+                    // could lift a threshold-straddling copier back to
+                    // neutral in the next round and revert the fit to
+                    // copy-blind. Monotonicity also guarantees the loop
+                    // converges — later rounds can only unmask *more*
+                    // dependencies.
+                    let next = CopyDiscount::from_scales(
+                        discount
+                            .as_slice()
+                            .iter()
+                            .zip(fresh.as_slice())
+                            .map(|(a, b)| a.min(*b))
+                            .collect(),
+                    );
+                    if next == discount {
+                        // The current fit already used exactly these
+                        // factors (warm restart with carried-over evidence,
+                        // or no pair above the threshold): a refit would
+                        // reproduce it bit-for-bit — skip it.
+                        break;
+                    }
+                    discount = next;
+                    let (refit, refit_trace) =
+                        self.run_em(cube, init, prior_truth, Some(&discount));
+                    let offset = trace.rounds.len();
+                    trace
+                        .rounds
+                        .extend(refit_trace.rounds.into_iter().map(|mut r| {
+                            r.iteration += offset;
+                            r
+                        }));
+                    trace.converged = refit_trace.converged;
+                    let total = result.iterations + refit.iterations;
+                    result = refit;
+                    result.iterations = total;
+                    // Re-score with the copy-aware accuracies: what the
+                    // next round (and the reported evidence) should see.
+                    evidence = score_pair_stats(&stats, &result.params.source_accuracy, cd);
+                }
+                result.source_independence = Some(discount.as_slice().to_vec());
+            }
+            result.copy_evidence = Some(evidence);
+        }
+        (result, trace)
+    }
+
+    fn run_em(
+        &self,
+        cube: &ObservationCube,
+        init: &QualityInit,
+        prior_truth: Option<&[f64]>,
+        discount: Option<&CopyDiscount>,
     ) -> (MultiLayerResult, ConvergenceTrace) {
         match self.cfg.exec_mode {
-            ExecMode::Flat => self.run_flat(cube, init, prior_truth),
-            ExecMode::Sharded => self.run_sharded(cube, init, prior_truth),
+            ExecMode::Flat => self.run_flat(cube, init, prior_truth, discount),
+            ExecMode::Sharded => self.run_sharded(cube, init, prior_truth, discount),
         }
     }
 
@@ -153,6 +287,7 @@ impl MultiLayerModel {
         cube: &ObservationCube,
         init: &QualityInit,
         prior_truth: Option<&[f64]>,
+        discount: Option<&CopyDiscount>,
     ) -> (MultiLayerResult, ConvergenceTrace) {
         let cfg = &self.cfg;
         let mut params = Params::init(cube, cfg, init);
@@ -189,9 +324,16 @@ impl MultiLayerModel {
             // Step 1: extraction correctness.
             votes.rebuild(cube, &params, cfg);
             estimate_correctness_with(cube, &votes, &alpha, cfg, &mut group_exec, &mut correctness);
-            // Step 2: item values.
-            let out =
-                estimate_values_with(cube, &correctness, &params, cfg, &active, &mut value_exec);
+            // Step 2: item values (with the CopyDiscount stage, if any).
+            let out = estimate_values_with(
+                cube,
+                &correctness,
+                &params,
+                cfg,
+                &active,
+                discount,
+                &mut value_exec,
+            );
             // Steps 3–4: parameters.
             let prev = params.clone();
             update_source_accuracy_with(
@@ -239,6 +381,8 @@ impl MultiLayerModel {
             active_source: active,
             iterations,
             converged,
+            copy_evidence: None,
+            source_independence: None,
         };
         (result, trace)
     }
@@ -251,6 +395,7 @@ impl MultiLayerModel {
         cube: &ObservationCube,
         init: &QualityInit,
         prior_truth: Option<&[f64]>,
+        discount: Option<&CopyDiscount>,
     ) -> (MultiLayerResult, ConvergenceTrace) {
         let cfg = &self.cfg;
         let mut params = Params::init(cube, cfg, init);
@@ -281,8 +426,8 @@ impl MultiLayerModel {
             // Step 1: extraction correctness.
             let votes = VoteCounter::new(cube, &params, cfg);
             correctness = estimate_correctness(cube, &votes, &alpha, cfg);
-            // Step 2: item values.
-            let out = estimate_values(cube, &correctness, &params, cfg, &active);
+            // Step 2: item values (with the CopyDiscount stage, if any).
+            let out = estimate_values(cube, &correctness, &params, cfg, &active, discount);
             // Steps 3–4: parameters.
             let prev = params.clone();
             update_source_accuracy(
@@ -331,6 +476,8 @@ impl MultiLayerModel {
             active_source: active,
             iterations,
             converged,
+            copy_evidence: None,
+            source_independence: None,
         };
         (result, trace)
     }

@@ -13,6 +13,7 @@ use kbt_datamodel::{ItemId, ObservationCube, ValueId};
 use kbt_flume::{par_map_slice, ShardedExecutor};
 
 use crate::config::{CorrectnessWeighting, ModelConfig, ValueModel};
+use crate::copydetect::CopyDiscount;
 use crate::math::{clamp_quality, log_sum_exp_with_zeros};
 use crate::params::Params;
 use crate::posterior::ItemPosteriors;
@@ -39,13 +40,17 @@ pub struct ValueLayerOutput {
 }
 
 /// Run the value layer. `correctness[g]` is the current
-/// `p(C_wdv = 1 | X)`; `active_source[w]` gates which sources vote.
+/// `p(C_wdv = 1 | X)`; `active_source[w]` gates which sources vote;
+/// `discount` (the CopyDiscount stage, if copy-aware fusion is on) scales
+/// each source's vote by its independence factor `I(w)` — `None` leaves
+/// the arithmetic bit-identical to copy-blind fusion.
 pub fn estimate_values(
     cube: &ObservationCube,
     correctness: &[f64],
     params: &Params,
     cfg: &ModelConfig,
     active_source: &[bool],
+    discount: Option<&CopyDiscount>,
 ) -> ValueLayerOutput {
     debug_assert_eq!(correctness.len(), cube.num_groups());
     debug_assert_eq!(active_source.len(), cube.num_sources());
@@ -91,7 +96,12 @@ pub fn estimate_values(
                 continue;
             }
             let a = clamp_quality(params.source_accuracy[grp.source.index()]);
-            let full_vote = (n * a / (1.0 - a)).ln();
+            let mut full_vote = (n * a / (1.0 - a)).ln();
+            if let Some(d) = discount {
+                // CopyDiscount: only the independent fraction of the vote
+                // counts (paper-style I(S) factor).
+                full_vote *= d.factor(grp.source);
+            }
             let vote = weight * full_vote;
             group_rows.push((g, grp.value, weight, full_vote));
             match values.iter_mut().find(|(v, _, _)| *v == grp.value) {
@@ -240,6 +250,7 @@ fn value_item_kernel(
     params: &Params,
     cfg: &ModelConfig,
     active_source: &[bool],
+    discount: Option<&CopyDiscount>,
     n: f64,
     d: ItemId,
     s: &mut ValueScratch,
@@ -274,7 +285,11 @@ fn value_item_kernel(
             continue;
         }
         let a = clamp_quality(params.source_accuracy[grp.source.index()]);
-        let full_vote = (n * a / (1.0 - a)).ln();
+        let mut full_vote = (n * a / (1.0 - a)).ln();
+        if let Some(d) = discount {
+            // CopyDiscount, mirroring the flat path exactly.
+            full_vote *= d.factor(grp.source);
+        }
         let vote = weight * full_vote;
         s.group_rows.push((g, grp.value, weight, full_vote));
         match s.values.iter_mut().find(|(v, _, _)| *v == grp.value) {
@@ -355,12 +370,14 @@ fn value_item_kernel(
 /// partitioned into contiguous key-range shards, each worker reuses its
 /// [`ValueScratch`] arena, and shard outputs are merged in shard order.
 /// Bit-identical to the flat path at any shard count.
+#[allow(clippy::too_many_arguments)]
 pub fn estimate_values_with(
     cube: &ObservationCube,
     correctness: &[f64],
     params: &Params,
     cfg: &ModelConfig,
     active_source: &[bool],
+    discount: Option<&CopyDiscount>,
     exec: &mut ShardedExecutor<ValueScratch>,
 ) -> ValueLayerOutput {
     debug_assert_eq!(correctness.len(), cube.num_groups());
@@ -380,6 +397,7 @@ pub fn estimate_values_with(
                 params,
                 cfg,
                 active_source,
+                discount,
                 n,
                 ItemId::new(d as u32),
                 s,
@@ -460,7 +478,7 @@ mod tests {
         let cfg = ModelConfig::default(); // n = 10
         let correctness = vec![1.0; cube.num_groups()]; // Ĉ given as in the example
         let active = vec![true; 6];
-        let out = estimate_values(&cube, &correctness, &params, &cfg, &active);
+        let out = estimate_values(&cube, &correctness, &params, &cfg, &active, None);
         let p_usa = out.posteriors.prob(item, usa);
         let p_kenya = out.posteriors.prob(item, kenya);
         assert!((p_usa - 0.995).abs() < 2e-3, "p(USA) = {p_usa}");
@@ -514,7 +532,7 @@ mod tests {
             };
         }
         let active = vec![true; 5];
-        let out = estimate_values(&cube, &correctness, &params, &cfg, &active);
+        let out = estimate_values(&cube, &correctness, &params, &cfg, &active, None);
         assert!(
             out.posteriors.prob(item, ValueId::new(0)) > out.posteriors.prob(item, ValueId::new(1)),
             "weighted votes must override raw claim counts"
@@ -549,7 +567,7 @@ mod tests {
             ..ModelConfig::default()
         };
         // 0.6 → Ĉ=1 full vote; 0.4 → Ĉ=0 no vote.
-        let out = estimate_values(&cube, &[0.6, 0.4], &params, &cfg, &[true, true]);
+        let out = estimate_values(&cube, &[0.6, 0.4], &params, &cfg, &[true, true], None);
         assert!(out.posteriors.prob(item, ValueId::new(0)) > 0.5);
         assert!(out.posteriors.prob(item, ValueId::new(1)) < 0.2);
     }
@@ -572,7 +590,7 @@ mod tests {
             q: vec![0.1],
         };
         let cfg = ModelConfig::default();
-        let out = estimate_values(&cube, &[1.0], &params, &cfg, &[false]);
+        let out = estimate_values(&cube, &[1.0], &params, &cfg, &[false], None);
         assert!(!out.covered_group[0]);
         // With no votes the observed value ties with unobserved ones.
         let p = out.posteriors.prob(item, ValueId::new(0));
@@ -602,7 +620,7 @@ mod tests {
             q: vec![0.1],
         };
         let cfg = ModelConfig::default();
-        let out = estimate_values(&cube, &[0.8, 0.5, 0.9], &params, &cfg, &[true; 3]);
+        let out = estimate_values(&cube, &[0.8, 0.5, 0.9], &params, &cfg, &[true; 3], None);
         let obs_mass = out.posteriors.observed_mass(item);
         let unobs = out.posteriors.prob(item, ValueId::new(9));
         let total = obs_mass + unobs * (11 - 3) as f64;
@@ -640,14 +658,28 @@ mod tests {
                 value_model,
                 ..ModelConfig::default()
             };
-            let flat = estimate_values(&cube, &correctness, &params, &cfg, &active);
+            let flat = estimate_values(&cube, &correctness, &params, &cfg, &active, None);
             for shards in [1usize, 2, 8, 13] {
                 let mut exec = ShardedExecutor::with_shards(shards);
                 // Run twice: the second round exercises buffer reuse.
-                let _ =
-                    estimate_values_with(&cube, &correctness, &params, &cfg, &active, &mut exec);
-                let sharded =
-                    estimate_values_with(&cube, &correctness, &params, &cfg, &active, &mut exec);
+                let _ = estimate_values_with(
+                    &cube,
+                    &correctness,
+                    &params,
+                    &cfg,
+                    &active,
+                    None,
+                    &mut exec,
+                );
+                let sharded = estimate_values_with(
+                    &cube,
+                    &correctness,
+                    &params,
+                    &cfg,
+                    &active,
+                    None,
+                    &mut exec,
+                );
                 assert_eq!(sharded.truth_of_group, flat.truth_of_group, "{shards}");
                 assert_eq!(
                     sharded.truth_given_provided, flat.truth_given_provided,
@@ -691,7 +723,7 @@ mod tests {
             value_model: ValueModel::PopAccu,
             ..ModelConfig::default()
         };
-        let out = estimate_values(&cube, &[1.0; 4], &params, &cfg, &[true; 4]);
+        let out = estimate_values(&cube, &[1.0; 4], &params, &cfg, &[true; 4], None);
         let p0 = out.posteriors.prob(item, ValueId::new(0));
         let p1 = out.posteriors.prob(item, ValueId::new(1));
         assert!(p0 > p1, "majority value must win: {p0} vs {p1}");

@@ -1,0 +1,212 @@
+//! Co-claim index: per-item source multiplicities and the candidate-pair
+//! prefilter for copy detection.
+//!
+//! Copy detection (Section 5.4.2) scores *source pairs*, but its raw
+//! expansion — every pair of claims on every item — is quadratic in
+//! per-item fan-in and dominated by pairs far too thin to score: a pair
+//! needs `min_overlap` co-claimed items before its agreement pattern
+//! means anything. [`CoClaimIndex`] collapses the cube to the only thing
+//! pair discovery needs, the per-item list of `(source, claim count)`
+//! entries, and [`CoClaimIndex::candidate_pairs`] turns that into the
+//! exact overlap census so pairs below the threshold are pruned *before*
+//! any value comparison or exclusivity bookkeeping runs.
+//!
+//! Overlap here is **claim-pair counting**: a pair of sources with `c_a`
+//! and `c_b` claims on one item contributes `c_a · c_b` to its overlap —
+//! exactly what the pairwise expansion over claims produces, so a
+//! detector driven by this prefilter stays bit-for-bit identical to one
+//! that expands every claim pair.
+
+use crate::cube::ObservationCube;
+use crate::ids::{ItemId, SourceId};
+
+/// One candidate source pair surviving the overlap prefilter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidatePair {
+    /// First source of the pair (ordered, `a < b`).
+    pub a: SourceId,
+    /// Second source of the pair.
+    pub b: SourceId,
+    /// Claim-pair overlap: `Σ_d c_a(d) · c_b(d)` over co-claimed items.
+    pub overlap: u64,
+}
+
+/// Per-item source-multiplicity index over an [`ObservationCube`].
+///
+/// For each data item, the sorted list of `(source, claims)` entries,
+/// where `claims` counts the item's triple groups attributed to that
+/// source (a source claiming two values for one item counts twice —
+/// claim-pair semantics). Built in one linear pass over the cube's item
+/// index; `O(cells)` time, `O(Σ_d distinct_sources(d))` space.
+#[derive(Debug, Clone)]
+pub struct CoClaimIndex {
+    /// `offsets[d]..offsets[d + 1]` indexes `entries` for item `d`.
+    offsets: Vec<u32>,
+    /// `(source, claim count)` per item, sorted by source.
+    entries: Vec<(SourceId, u32)>,
+}
+
+impl CoClaimIndex {
+    /// Build the index from a cube.
+    pub fn build(cube: &ObservationCube) -> Self {
+        let ni = cube.num_items();
+        let mut offsets = Vec::with_capacity(ni + 1);
+        offsets.push(0u32);
+        let mut entries: Vec<(SourceId, u32)> = Vec::new();
+        let mut per_item: Vec<(SourceId, u32)> = Vec::new();
+        for d in 0..ni {
+            per_item.clear();
+            for g in cube.groups_of_item(ItemId::new(d as u32)) {
+                let w = cube.groups()[g].source;
+                match per_item.iter_mut().find(|(s, _)| *s == w) {
+                    Some((_, c)) => *c += 1,
+                    None => per_item.push((w, 1)),
+                }
+            }
+            per_item.sort_unstable_by_key(|(s, _)| *s);
+            entries.extend_from_slice(&per_item);
+            offsets.push(entries.len() as u32);
+        }
+        Self { offsets, entries }
+    }
+
+    /// Number of items the index covers.
+    pub fn num_items(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The `(source, claim count)` entries of item `d`, sorted by source.
+    pub fn item_sources(&self, d: ItemId) -> &[(SourceId, u32)] {
+        let lo = self.offsets[d.index()] as usize;
+        let hi = self.offsets[d.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Visit every ordered source pair co-claiming item `d` with its
+    /// claim-pair weight `c_a · c_b` — **the** census fold, shared by the
+    /// serial [`Self::pair_overlaps`] and the sharded detector's keyed
+    /// reduce so the two can never drift apart.
+    pub fn for_item_pairs(&self, d: ItemId, mut f: impl FnMut(SourceId, SourceId, u64)) {
+        let srcs = self.item_sources(d);
+        for i in 0..srcs.len() {
+            for j in i + 1..srcs.len() {
+                let (a, ca) = srcs[i];
+                let (b, cb) = srcs[j];
+                f(a, b, ca as u64 * cb as u64);
+            }
+        }
+    }
+
+    /// The exact claim-pair overlap of every co-claiming source pair,
+    /// sorted by `(a, b)`. Serial reference census; the sharded detector
+    /// computes the same map with a keyed reduce over
+    /// [`Self::for_item_pairs`].
+    pub fn pair_overlaps(&self) -> Vec<((SourceId, SourceId), u64)> {
+        let mut map: std::collections::HashMap<(SourceId, SourceId), u64> =
+            std::collections::HashMap::new();
+        for d in 0..self.num_items() {
+            self.for_item_pairs(ItemId::new(d as u32), |a, b, w| {
+                *map.entry((a, b)).or_insert(0) += w;
+            });
+        }
+        let mut out: Vec<_> = map.into_iter().collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Candidate pairs for copy detection: every ordered source pair whose
+    /// claim-pair overlap reaches `min_overlap`, sorted by `(a, b)`.
+    /// Everything below the threshold is pruned here, before any
+    /// agreement scoring.
+    pub fn candidate_pairs(&self, min_overlap: usize) -> Vec<CandidatePair> {
+        self.pair_overlaps()
+            .into_iter()
+            .filter(|(_, overlap)| *overlap >= min_overlap as u64)
+            .map(|((a, b), overlap)| CandidatePair { a, b, overlap })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::CubeBuilder;
+    use crate::ids::{ExtractorId, ValueId};
+    use crate::triple::Observation;
+
+    fn obs(e: u32, w: u32, d: u32, v: u32) -> Observation {
+        Observation::certain(
+            ExtractorId::new(e),
+            SourceId::new(w),
+            ItemId::new(d),
+            ValueId::new(v),
+        )
+    }
+
+    #[test]
+    fn index_counts_claims_per_source_per_item() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 1, 0, 0));
+        b.push(obs(0, 1, 0, 1)); // source 1 claims two values for item 0
+        b.push(obs(0, 0, 0, 0));
+        b.push(obs(1, 0, 0, 0)); // second extractor: same group, not a new claim
+        b.push(obs(0, 2, 1, 0));
+        let cube = b.build();
+        let idx = CoClaimIndex::build(&cube);
+        assert_eq!(idx.num_items(), 2);
+        assert_eq!(
+            idx.item_sources(ItemId::new(0)),
+            &[(SourceId::new(0), 1), (SourceId::new(1), 2)]
+        );
+        assert_eq!(idx.item_sources(ItemId::new(1)), &[(SourceId::new(2), 1)]);
+    }
+
+    #[test]
+    fn pair_overlaps_use_claim_pair_counting() {
+        let mut b = CubeBuilder::new();
+        // Item 0: source 0 has 2 claims, source 1 has 1 → overlap 2.
+        b.push(obs(0, 0, 0, 0));
+        b.push(obs(0, 0, 0, 1));
+        b.push(obs(0, 1, 0, 0));
+        // Item 1: both claim once → +1.
+        b.push(obs(0, 0, 1, 0));
+        b.push(obs(0, 1, 1, 0));
+        let cube = b.build();
+        let idx = CoClaimIndex::build(&cube);
+        let overlaps = idx.pair_overlaps();
+        assert_eq!(overlaps, vec![((SourceId::new(0), SourceId::new(1)), 3)]);
+    }
+
+    #[test]
+    fn candidate_pairs_prune_below_min_overlap() {
+        let mut b = CubeBuilder::new();
+        for d in 0..5u32 {
+            b.push(obs(0, 0, d, 0));
+            b.push(obs(0, 1, d, 0));
+        }
+        b.push(obs(0, 2, 0, 0)); // source 2 overlaps each of 0/1 on one item
+        let cube = b.build();
+        let idx = CoClaimIndex::build(&cube);
+        assert_eq!(idx.pair_overlaps().len(), 3);
+        let cands = idx.candidate_pairs(5);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(
+            cands[0],
+            CandidatePair {
+                a: SourceId::new(0),
+                b: SourceId::new(1),
+                overlap: 5
+            }
+        );
+        assert!(idx.candidate_pairs(6).is_empty());
+    }
+
+    #[test]
+    fn empty_cube_yields_empty_index() {
+        let cube = CubeBuilder::new().build();
+        let idx = CoClaimIndex::build(&cube);
+        assert_eq!(idx.num_items(), 0);
+        assert!(idx.pair_overlaps().is_empty());
+        assert!(idx.candidate_pairs(0).is_empty());
+    }
+}

@@ -22,11 +22,13 @@
 
 #![warn(missing_docs)]
 
+pub mod coclaim;
 pub mod cube;
 pub mod ids;
 pub mod intern;
 pub mod triple;
 
+pub use coclaim::{CandidatePair, CoClaimIndex};
 pub use cube::{Cell, CubeBuilder, CubeShardStats, ObservationCube, TripleGroup};
 pub use ids::{ExtractorId, ItemId, SourceId, ValueId};
 pub use intern::{Interner, SymbolTable};

@@ -93,4 +93,43 @@ mod tests {
         assert_eq!(curve.len(), 1);
         assert_eq!(curve[0].count, 1);
     }
+
+    #[test]
+    fn empty_input_yields_empty_curve() {
+        assert!(calibration_curve(&[], &[], 10).is_empty());
+        assert!(calibration_curve(&[], &[], 1).is_empty());
+        assert!(calibration_curve_partial(&[], &[], 10).is_empty());
+    }
+
+    #[test]
+    fn single_bucket_collapses_everything() {
+        let pred = [0.0, 0.25, 0.5, 0.99, 1.0];
+        let truth = [false, false, true, true, true];
+        let curve = calibration_curve(&pred, &truth, 1);
+        assert_eq!(curve.len(), 1);
+        let c = curve[0];
+        assert_eq!(c.count, 5);
+        assert!((c.predicted - pred.iter().sum::<f64>() / 5.0).abs() < 1e-12);
+        assert!((c.actual - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_none_partial_labels_yield_empty_curve() {
+        let pred = [0.1, 0.5, 0.9];
+        let truth: [Option<bool>; 3] = [None, None, None];
+        assert!(calibration_curve_partial(&pred, &truth, 10).is_empty());
+        // …even with a single bucket.
+        assert!(calibration_curve_partial(&pred, &truth, 1).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_predictions_are_clamped_into_the_curve() {
+        // Degenerate upstream scores (slightly out of [0, 1]) must land in
+        // the edge buckets rather than index out of bounds.
+        let curve = calibration_curve(&[-0.3, 1.7], &[false, true], 10);
+        let total: usize = curve.iter().map(|c| c.count).sum();
+        assert_eq!(total, 2);
+        assert_eq!(curve.first().unwrap().predicted, 0.0);
+        assert_eq!(curve.last().unwrap().predicted, 1.0);
+    }
 }

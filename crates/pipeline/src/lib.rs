@@ -215,8 +215,19 @@ impl TrustPipeline {
         self
     }
 
-    /// Score source pairs for copy evidence (§5.4.2) after fusion; results
-    /// land in [`FusionReport::copy_evidence`], sorted by score.
+    /// Score source pairs for copy evidence (§5.4.2); results land in
+    /// [`FusionReport::copy_evidence`], sorted by score.
+    ///
+    /// With `cfg.discount == false` (the default) this is a post-hoc
+    /// diagnostic: fusion runs copy-blind and the evidence is attached
+    /// afterwards. With `cfg.discount == true` and the multi-layer model,
+    /// the evidence is fed *back into fusion*: the engine runs its
+    /// CopyDiscount loop (detect → independence factors → refit from the
+    /// run's initialization with the dependent sources' votes
+    /// down-weighted), so the reported trust scores and posteriors are
+    /// themselves copy-aware. The single-layer
+    /// baseline has no per-source vote to discount and always uses the
+    /// post-hoc path.
     pub fn copy_detection(mut self, cfg: CopyDetectConfig) -> Self {
         self.copy = Some(cfg);
         self
@@ -300,6 +311,15 @@ impl TrustPipeline {
         if threads.is_some() {
             model.config_mut().threads = threads;
         }
+        // Copy-aware fusion: hand the detector to the engine so the
+        // CopyDiscount loop runs inside fusion instead of after it.
+        if let Some(c) = &copy {
+            if c.discount {
+                if let Model::MultiLayer(cfg) = &mut model {
+                    cfg.copy_detection = Some(*c);
+                }
+            }
+        }
         let mut report = match &model {
             Model::MultiLayer(cfg) => MultiLayerModel::new(cfg.clone()).fit(&cube, &init),
             Model::Accu(cfg) => {
@@ -319,12 +339,16 @@ impl TrustPipeline {
         };
 
         // --- Stage 4: diagnostics. ---
+        // Post-hoc detection, unless the engine already produced evidence
+        // through its copy-aware loop. Runs under the same thread budget
+        // as inference.
         if let Some(copy_cfg) = copy {
-            report.copy_evidence = Some(detect_copies_from_accuracy(
-                &cube,
-                report.source_trust(),
-                &copy_cfg,
-            ));
+            if report.copy_evidence.is_none() {
+                report.copy_evidence =
+                    Some(kbt_flume::with_threads(model.config().threads, || {
+                        detect_copies_from_accuracy(&cube, report.source_trust(), &copy_cfg)
+                    }));
+            }
         }
 
         PipelineRun {

@@ -48,6 +48,12 @@ pub struct FusionSession {
     /// pre-mature the α prior (see
     /// `MultiLayerModel::run_traced_with_prior`).
     truth_hint: Option<Vec<f64>>,
+    /// Last copy-aware run's per-source independence factors `I(w)` —
+    /// prior copy evidence, re-used by warm restarts so even their first
+    /// EM fit discounts known copiers (sources added by later deltas
+    /// default to fully independent; see
+    /// `MultiLayerModel::run_traced_with_priors`).
+    independence: Option<Vec<f64>>,
     last: Option<FusionReport>,
     deltas_applied: usize,
 }
@@ -60,6 +66,7 @@ impl FusionSession {
             model,
             params: None,
             truth_hint: None,
+            independence: None,
             last: None,
             deltas_applied: 0,
         }
@@ -93,6 +100,14 @@ impl FusionSession {
     /// Number of deltas merged so far.
     pub fn deltas_applied(&self) -> usize {
         self.deltas_applied
+    }
+
+    /// The per-source independence factors the last copy-aware run ended
+    /// with — the prior copy evidence the next warm [`Self::run`] will
+    /// start from. `None` until a run with
+    /// `ModelConfig::copy_detection` attached has completed.
+    pub fn independence(&self) -> Option<&[f64]> {
+        self.independence.as_deref()
     }
 
     /// Merge a batch of new observations into the cube **incrementally**
@@ -164,10 +179,16 @@ impl FusionSession {
             QualityInit::Resume(_) => self.truth_hint.as_deref(),
             _ => None,
         };
+        // Warm runs also re-use the prior copy evidence: the first EM fit
+        // starts from the last run's independence factors.
+        let indep = match init {
+            QualityInit::Resume(_) => self.independence.as_deref(),
+            _ => None,
+        };
         let report = match &self.model {
             Model::MultiLayer(cfg) => {
                 let (result, trace) = kbt_core::MultiLayerModel::new(cfg.clone())
-                    .run_traced_with_prior(&self.cube, init, hint);
+                    .run_traced_with_priors(&self.cube, init, hint, indep);
                 FusionReport::from_multi_layer(result, trace)
             }
             Model::Accu(cfg) => {
@@ -197,6 +218,11 @@ impl FusionSession {
                 q: Vec::new(),
             },
         });
+        if let Some(r) = report.as_multi_layer() {
+            if let Some(indep) = &r.source_independence {
+                self.independence = Some(indep.clone());
+            }
+        }
         self.truth_hint = Some(report.truth_of_group().to_vec());
         self.last = Some(report.clone());
         report

@@ -1,0 +1,407 @@
+//! Acceptance tests for the sharded copy-detection subsystem and the
+//! copy-aware fusion loop:
+//!
+//! 1. differential proof that sharded detection is **bit-for-bit
+//!    identical** to the serial reference (`ExecMode::Flat`) at 1, 2,
+//!    and 8 threads, on a seeded random corpus and on a planted-copier
+//!    corpus,
+//! 2. the planted verbatim copier pair ranks first in `CopyEvidence`
+//!    order across ≥32 proptest seeds, and
+//! 3. copy-aware fusion (`ModelConfig::copy_detection`) strictly
+//!    improves truth accuracy over copy-blind fusion on the same
+//!    corpus, per seed.
+
+use kbt::core::{
+    detect_copies_from_accuracy, CopyDetectConfig, ExecMode, FusionModel, MultiLayerModel,
+};
+use kbt::datamodel::{
+    CubeBuilder, ExtractorId, ItemId, Observation, ObservationCube, SourceId, ValueId,
+};
+use kbt::{FusionReport, Model, ModelConfig, QualityInit, TrustPipeline};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DOMAIN: u32 = 11;
+const ITEMS: u32 = 200;
+const HONEST: u32 = 5;
+const HONEST_ACC: f64 = 0.6;
+
+/// The copier id: one past the honest sources; it copies the last honest
+/// source (the victim) verbatim, mistakes included.
+const COPIER: u32 = HONEST;
+const VICTIM: u32 = HONEST - 1;
+
+/// A planted-copier corpus: `HONEST` independent sources of accuracy
+/// `HONEST_ACC`, plus a verbatim copier of the last one. Returns the cube
+/// and the planted truth per item.
+fn planted_copier_corpus(seed: u64) -> (ObservationCube, Vec<u32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let truth: Vec<u32> = (0..ITEMS).map(|_| rng.gen_range(0..DOMAIN)).collect();
+    let mut provided: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..HONEST {
+        provided.push(
+            (0..ITEMS)
+                .map(|d| {
+                    if rng.gen::<f64>() < HONEST_ACC {
+                        truth[d as usize]
+                    } else {
+                        // A wrong value, uniform over the other DOMAIN-1.
+                        let mut v = rng.gen_range(0..DOMAIN - 1);
+                        if v >= truth[d as usize] {
+                            v += 1;
+                        }
+                        v
+                    }
+                })
+                .collect(),
+        );
+    }
+    provided.push(provided[VICTIM as usize].clone()); // the copier
+    let mut b = CubeBuilder::new();
+    for (w, vals) in provided.iter().enumerate() {
+        for (d, &v) in vals.iter().enumerate() {
+            for e in 0..2u32 {
+                b.push(Observation::certain(
+                    ExtractorId::new(e),
+                    SourceId::new(w as u32),
+                    ItemId::new(d as u32),
+                    ValueId::new(v),
+                ));
+            }
+        }
+    }
+    (b.build(), truth)
+}
+
+/// A seeded random corpus with no planted structure.
+fn seeded_random_corpus(seed: u64) -> ObservationCube {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CubeBuilder::new();
+    for _ in 0..1_500 {
+        b.push(Observation {
+            extractor: ExtractorId::new(rng.gen_range(0..4)),
+            source: SourceId::new(rng.gen_range(0..20)),
+            item: ItemId::new(rng.gen_range(0..60)),
+            value: ValueId::new(rng.gen_range(0..8)),
+            confidence: rng.gen::<f64>(),
+        });
+    }
+    b.build()
+}
+
+fn assert_detection_identical_at_1_2_8_threads(cube: &ObservationCube, acc: &[f64], ctx: &str) {
+    let flat = detect_copies_from_accuracy(
+        cube,
+        acc,
+        &CopyDetectConfig {
+            exec_mode: ExecMode::Flat,
+            ..CopyDetectConfig::default()
+        },
+    );
+    for threads in [1usize, 2, 8] {
+        let sharded = kbt::flume::with_threads(Some(threads), || {
+            detect_copies_from_accuracy(cube, acc, &CopyDetectConfig::default())
+        });
+        assert_eq!(flat, sharded, "{ctx}: sharded != flat at {threads} threads");
+    }
+}
+
+/// Differential test: the sharded detector is bit-for-bit the serial
+/// reference at 1, 2, and 8 threads, on both corpus families and under
+/// several overlap thresholds and accuracy vectors.
+#[test]
+fn sharded_detection_is_bit_identical_to_serial_reference() {
+    for seed in [1u64, 42, 20150831] {
+        let (cube, _) = planted_copier_corpus(seed);
+        // EM-estimated accuracies (the production feed)…
+        let report = MultiLayerModel::new(ModelConfig::default()).fit(&cube, &QualityInit::Default);
+        assert_detection_identical_at_1_2_8_threads(
+            &cube,
+            report.source_trust(),
+            &format!("planted copier, seed {seed}"),
+        );
+
+        let cube = seeded_random_corpus(seed);
+        // …and an arbitrary synthetic trust vector.
+        let acc: Vec<f64> = (0..cube.num_sources())
+            .map(|w| 0.05 + 0.9 * (w as f64 / cube.num_sources() as f64))
+            .collect();
+        assert_detection_identical_at_1_2_8_threads(
+            &cube,
+            &acc,
+            &format!("random corpus, seed {seed}"),
+        );
+        for min_overlap in [1usize, 10, 50] {
+            let mk = |exec_mode| CopyDetectConfig {
+                exec_mode,
+                min_overlap,
+                ..CopyDetectConfig::default()
+            };
+            let flat = detect_copies_from_accuracy(&cube, &acc, &mk(ExecMode::Flat));
+            let sharded = detect_copies_from_accuracy(&cube, &acc, &mk(ExecMode::Sharded));
+            assert_eq!(flat, sharded, "min_overlap {min_overlap}, seed {seed}");
+        }
+    }
+}
+
+/// Fraction of items whose MAP posterior value equals the planted truth.
+fn truth_accuracy(report: &FusionReport, truth: &[u32]) -> f64 {
+    let correct = truth
+        .iter()
+        .enumerate()
+        .filter(|&(d, &tv)| {
+            report
+                .posteriors()
+                .map_value(ItemId::new(d as u32))
+                .is_some_and(|(v, _)| v == ValueId::new(tv))
+        })
+        .count();
+    correct as f64 / truth.len() as f64
+}
+
+fn fusion_cfg() -> ModelConfig {
+    ModelConfig {
+        max_iterations: 20,
+        convergence_eps: 1e-5,
+        ..ModelConfig::default()
+    }
+}
+
+/// The headline acceptance test: copy-aware fusion strictly beats
+/// copy-blind fusion on the planted-copier scenario, the copier pair
+/// ranks first in the attached evidence, and only the copier is
+/// discounted.
+#[test]
+fn copy_aware_fusion_beats_copy_blind_on_planted_copier() {
+    let (cube, truth) = planted_copier_corpus(20150831);
+
+    let blind = MultiLayerModel::new(fusion_cfg()).fit(&cube, &QualityInit::Default);
+    let aware_cfg = ModelConfig {
+        copy_detection: Some(CopyDetectConfig {
+            discount: true,
+            ..CopyDetectConfig::default()
+        }),
+        ..fusion_cfg()
+    };
+    let aware = MultiLayerModel::new(aware_cfg).fit(&cube, &QualityInit::Default);
+
+    let acc_blind = truth_accuracy(&blind, &truth);
+    let acc_aware = truth_accuracy(&aware, &truth);
+    assert!(
+        acc_aware > acc_blind,
+        "copy-aware fusion must strictly beat copy-blind: {acc_aware} vs {acc_blind}"
+    );
+
+    // The attached evidence ranks the planted pair first.
+    let ev = aware.copy_evidence.as_ref().expect("evidence attached");
+    assert_eq!(
+        (ev[0].a, ev[0].b),
+        (SourceId::new(VICTIM), SourceId::new(COPIER)),
+        "planted pair must rank first: {:?}",
+        ev[0]
+    );
+
+    // Only the copier loses independence; the honest sources keep theirs.
+    let indep = aware
+        .as_multi_layer()
+        .unwrap()
+        .source_independence
+        .as_ref()
+        .expect("independence factors recorded");
+    assert!(
+        indep[COPIER as usize] < 0.5,
+        "copier must be discounted: {indep:?}"
+    );
+    for w in 0..HONEST as usize {
+        assert!(
+            indep[w] > 0.9,
+            "honest source {w} must stay independent: {indep:?}"
+        );
+    }
+
+    // The copier's doubled votes no longer launder the victim's mistakes,
+    // so the victim's trust drops relative to the copy-blind estimate.
+    assert!(
+        aware.kbt(SourceId::new(VICTIM)) < blind.kbt(SourceId::new(VICTIM)) + 1e-12,
+        "victim trust must not rise under discounting"
+    );
+}
+
+/// The same guarantee through the public pipeline switch
+/// (`CopyDetectConfig::discount`), plus backward compatibility of the
+/// post-hoc diagnostic path.
+#[test]
+fn pipeline_discount_switch_feeds_evidence_back_into_fusion() {
+    let (cube, truth) = planted_copier_corpus(7);
+
+    let post_hoc = TrustPipeline::new()
+        .cube(cube.clone())
+        .model(Model::MultiLayer(fusion_cfg()))
+        .copy_detection(CopyDetectConfig::default())
+        .run();
+    let aware = TrustPipeline::new()
+        .cube(cube.clone())
+        .model(Model::MultiLayer(fusion_cfg()))
+        .copy_detection(CopyDetectConfig {
+            discount: true,
+            ..CopyDetectConfig::default()
+        })
+        .run();
+
+    // Post-hoc: trust identical to a copy-blind run; evidence attached.
+    let blind = MultiLayerModel::new(fusion_cfg()).fit(&cube, &QualityInit::Default);
+    assert_eq!(post_hoc.source_trust(), blind.source_trust());
+    assert!(post_hoc.copy_evidence.is_some());
+
+    // Discounting: strictly better truth accuracy, evidence attached.
+    assert!(truth_accuracy(&aware, &truth) > truth_accuracy(&post_hoc, &truth));
+    let ev = aware.copy_evidence.as_ref().unwrap();
+    assert_eq!(
+        (ev[0].a, ev[0].b),
+        (SourceId::new(VICTIM), SourceId::new(COPIER))
+    );
+}
+
+/// Copy-aware fusion itself (not just detection) is bit-for-bit
+/// identical between the flat and sharded engines at 1, 2, and 8
+/// threads — this pins the two hand-mirrored CopyDiscount multiplies in
+/// the flat and sharded value E-steps to each other.
+#[test]
+fn copy_aware_fusion_is_bit_identical_across_engines() {
+    let (cube, _) = planted_copier_corpus(3);
+    let mk = |exec_mode, threads| ModelConfig {
+        exec_mode,
+        threads: Some(threads),
+        copy_detection: Some(CopyDetectConfig {
+            discount: true,
+            exec_mode,
+            ..CopyDetectConfig::default()
+        }),
+        ..fusion_cfg()
+    };
+    let flat = MultiLayerModel::new(mk(ExecMode::Flat, 1)).fit(&cube, &QualityInit::Default);
+    let flat_indep = flat.as_multi_layer().unwrap().source_independence.clone();
+    assert!(
+        flat_indep
+            .as_ref()
+            .is_some_and(|i| i.iter().any(|&s| s < 1.0)),
+        "the discount loop must engage on the planted corpus"
+    );
+    for threads in [1usize, 2, 8] {
+        let sharded =
+            MultiLayerModel::new(mk(ExecMode::Sharded, threads)).fit(&cube, &QualityInit::Default);
+        assert_eq!(
+            flat.source_trust(),
+            sharded.source_trust(),
+            "trust at {threads} threads"
+        );
+        assert_eq!(
+            flat.truth_of_group(),
+            sharded.truth_of_group(),
+            "truth at {threads} threads"
+        );
+        assert_eq!(
+            flat.correctness(),
+            sharded.correctness(),
+            "correctness at {threads} threads"
+        );
+        assert_eq!(
+            flat.copy_evidence, sharded.copy_evidence,
+            "evidence at {threads} threads"
+        );
+        assert_eq!(
+            flat_indep,
+            sharded.as_multi_layer().unwrap().source_independence,
+            "independence at {threads} threads"
+        );
+        assert_eq!(flat.iterations(), sharded.iterations());
+    }
+}
+
+/// Warm session restarts re-use prior copy evidence: after a copy-aware
+/// cold run, the next warm run starts from the recorded independence
+/// factors, so its very first EM fit is already copy-aware.
+#[test]
+fn session_warm_restart_reuses_prior_copy_evidence() {
+    use kbt::FusionSession;
+
+    let (cube, truth) = planted_copier_corpus(11);
+    let aware_cfg = ModelConfig {
+        copy_detection: Some(CopyDetectConfig {
+            discount: true,
+            ..CopyDetectConfig::default()
+        }),
+        ..fusion_cfg()
+    };
+    let mut session = FusionSession::new(cube.clone(), Model::MultiLayer(aware_cfg));
+    assert!(session.independence().is_none(), "no evidence before a run");
+    let cold = session.run();
+    let indep = session.independence().expect("copy-aware run records I(w)");
+    assert!(
+        indep[COPIER as usize] < 0.5,
+        "cold run must discount the copier: {indep:?}"
+    );
+
+    // A small honest delta, then a warm re-run: the copier stays
+    // discounted and truth accuracy stays at copy-aware levels.
+    let delta: Vec<Observation> = (0..10u32)
+        .map(|d| {
+            Observation::certain(
+                ExtractorId::new(0),
+                SourceId::new(0),
+                ItemId::new(ITEMS + d),
+                ValueId::new(0),
+            )
+        })
+        .collect();
+    let warm = session.update(&delta).run();
+    assert!(warm.converged());
+    let indep = session.independence().unwrap();
+    assert!(
+        indep[COPIER as usize] < 0.5,
+        "warm run must keep the copier discounted: {indep:?}"
+    );
+    assert!(
+        truth_accuracy(&warm, &truth) >= truth_accuracy(&cold, &truth) - 1e-9,
+        "warm copy-aware accuracy must not regress"
+    );
+}
+
+proptest! {
+    /// Across ≥32 seeds (the harness runs 64 cases by default): the
+    /// planted verbatim copier pair always ranks first in evidence
+    /// order, and copy-aware fusion strictly improves truth accuracy
+    /// over copy-blind fusion on that corpus.
+    #[test]
+    fn planted_copier_always_ranks_first_and_discounting_always_helps(seed in 0u64..1_000_000) {
+        let (cube, truth) = planted_copier_corpus(seed);
+
+        let blind = MultiLayerModel::new(fusion_cfg()).fit(&cube, &QualityInit::Default);
+        let evidence = detect_copies_from_accuracy(
+            &cube,
+            blind.source_trust(),
+            &CopyDetectConfig::default(),
+        );
+        prop_assert!(!evidence.is_empty());
+        prop_assert!(
+            (evidence[0].a, evidence[0].b) == (SourceId::new(VICTIM), SourceId::new(COPIER)),
+            "seed {}: copier pair must rank first, got {:?}", seed, evidence[0]
+        );
+
+        let aware_cfg = ModelConfig {
+            copy_detection: Some(CopyDetectConfig {
+            discount: true,
+            ..CopyDetectConfig::default()
+        }),
+            ..fusion_cfg()
+        };
+        let aware = MultiLayerModel::new(aware_cfg).fit(&cube, &QualityInit::Default);
+        let (acc_aware, acc_blind) = (truth_accuracy(&aware, &truth), truth_accuracy(&blind, &truth));
+        prop_assert!(
+            acc_aware > acc_blind,
+            "seed {}: copy-aware {} must strictly beat copy-blind {}",
+            seed, acc_aware, acc_blind
+        );
+    }
+}
