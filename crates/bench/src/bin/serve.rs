@@ -1,0 +1,375 @@
+//! The trust-serving scenario: query throughput and read-tail latency
+//! while background refits run, plus the serving correctness check.
+//!
+//! ```text
+//! cargo run --release -p kbt-bench --bin serve [-- --smoke]
+//! ```
+//!
+//! Fixed-seed and deterministic in its data; `--smoke` shrinks the
+//! corpus and the measurement windows so CI can run it in seconds.
+//! Phases:
+//!
+//! 1. **serving equality under concurrency** — a cold-refit
+//!    `TrustServer` ingests K delta batches while reader threads
+//!    continuously load snapshots; every snapshot any reader observes
+//!    must be **bit-identical** to a cold `TrustPipeline` run over the
+//!    same prefix of deltas (the tables are precomputed, so the readers
+//!    compare full float columns, not summaries), torn-free
+//!    (fingerprint), and epoch-monotone. Hard-asserted.
+//! 2. **warm vs cold refit latency** — the same delta schedule through a
+//!    warm server: EM rounds and wall time per refit.
+//! 3. **read scaling while refitting** — a writer thread runs
+//!    back-to-back warm refits while 1 and then 8 reader threads hammer
+//!    the epoch-cached read path (mixed point/top-k/batch queries);
+//!    reports aggregate throughput and p50/p99 read latency. The
+//!    `8 readers >= 4 x 1 reader` scaling assertion is enforced when the
+//!    hardware has >= 8 cores (on smaller boxes the ratio is printed and
+//!    the assertion is skipped — a 1-core container cannot scale reads
+//!    no matter what the store does).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use kbt_core::ModelConfig;
+use kbt_datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt_pipeline::{Model, TrustPipeline};
+use kbt_serve::{RefitMode, TrustHandle, TrustServer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Scale {
+    sources: u32,
+    base_items: u32,
+    delta_batches: u32,
+    items_per_delta: u32,
+    read_window: Duration,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            sources: 40,
+            base_items: 400,
+            delta_batches: 8,
+            items_per_delta: 6,
+            read_window: Duration::from_millis(1000),
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            sources: 12,
+            base_items: 60,
+            delta_batches: 4,
+            items_per_delta: 3,
+            read_window: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Mixed-accuracy corpus slice: `sources` sources claiming `items`, with
+/// per-source error rates and a sparse claim pattern.
+fn corpus(rng: &mut StdRng, sources: u32, items: std::ops::Range<u32>) -> Vec<Observation> {
+    let domain = 9u32;
+    let mut out = Vec::new();
+    for w in 0..sources {
+        let acc = 0.5 + 0.45 * (w as f64 / sources as f64);
+        for d in items.clone() {
+            if rng.gen::<f64>() > 0.6 {
+                continue;
+            }
+            let truth = d % domain;
+            let v = if rng.gen::<f64>() < acc {
+                truth
+            } else {
+                (truth + 1 + rng.gen_range(0..domain - 1)) % domain
+            };
+            for e in 0..2u32 {
+                out.push(Observation::certain(
+                    ExtractorId::new(e),
+                    SourceId::new(w),
+                    ItemId::new(d),
+                    ValueId::new(v),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn model() -> Model {
+    Model::MultiLayer(ModelConfig::default())
+}
+
+/// Phase 1: cold-refit equality under concurrent readers.
+fn equality_phase(scale: &Scale, base: &[Observation], deltas: &[Vec<Observation>]) {
+    // Precompute the ground truth: a cold TrustPipeline run per prefix.
+    let mut prefix = base.to_vec();
+    let mut expected: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+    {
+        let r = TrustPipeline::new()
+            .observations(prefix.clone())
+            .model(model())
+            .run();
+        expected.push((r.source_trust().to_vec(), r.truth_of_group().to_vec()));
+    }
+    for delta in deltas {
+        prefix.extend(delta.iter().copied());
+        let r = TrustPipeline::new()
+            .observations(prefix.clone())
+            .model(model())
+            .run();
+        expected.push((r.source_trust().to_vec(), r.truth_of_group().to_vec()));
+    }
+
+    let mut server = TrustServer::new(
+        TrustPipeline::new()
+            .observations(base.to_vec())
+            .model(model())
+            .into_session()
+            .expect("plain pipeline converts"),
+        RefitMode::Cold,
+    );
+    let handle = server.handle();
+    let done = AtomicBool::new(false);
+    let checked = AtomicU64::new(0);
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let mut reader = handle.reader();
+            let (done, checked, expected) = (&done, &checked, &expected);
+            scope.spawn(move || {
+                let mut last = 0u64;
+                // Check-then-test: every reader verifies at least one
+                // snapshot even if the writer (on a small machine) burns
+                // through all refits before this thread is scheduled.
+                loop {
+                    let stop = done.load(Ordering::SeqCst);
+                    let snap = reader.current();
+                    let e = snap.epoch();
+                    assert!(e >= last, "epoch went backwards");
+                    last = e;
+                    assert!(snap.verify_integrity(), "torn snapshot at epoch {e}");
+                    let (trust, truth) = &expected[e as usize];
+                    assert_eq!(
+                        snap.source_trust(),
+                        &trust[..],
+                        "epoch {e} trust diverged from the cold run"
+                    );
+                    assert_eq!(
+                        snap.truth_of_group(),
+                        &truth[..],
+                        "epoch {e} posteriors diverged from the cold run"
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                    if stop {
+                        break;
+                    }
+                }
+            });
+        }
+        for delta in deltas {
+            server.ingest(delta.iter().copied());
+            server.refit().expect("non-empty delta publishes");
+        }
+        done.store(true, Ordering::SeqCst);
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    println!(
+        "  {} epochs served, {} concurrent full-column equality checks, all bit-identical ({secs:.2}s)",
+        scale.delta_batches + 1,
+        checked.load(Ordering::Relaxed)
+    );
+    assert!(
+        checked.load(Ordering::Relaxed) > 0,
+        "readers must have verified at least one snapshot"
+    );
+    assert_eq!(handle.epoch(), scale.delta_batches as u64);
+}
+
+/// Phase 2: warm vs cold refit cost on the same delta schedule.
+fn refit_phase(base: &[Observation], deltas: &[Vec<Observation>]) {
+    for (mode, label) in [(RefitMode::Warm, "warm"), (RefitMode::Cold, "cold")] {
+        let mut server = TrustServer::new(
+            TrustPipeline::new()
+                .observations(base.to_vec())
+                .model(model())
+                .into_session()
+                .expect("plain pipeline converts"),
+            mode,
+        );
+        let mut iters = 0usize;
+        let t0 = Instant::now();
+        for delta in deltas {
+            server.ingest(delta.iter().copied());
+            let snap = server.refit().expect("delta publishes");
+            iters += snap.provenance().iterations;
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {label}: {} refits, {iters} EM rounds total, {:.1} ms/refit",
+            deltas.len(),
+            ms / deltas.len() as f64
+        );
+    }
+}
+
+/// One reader's measurement loop: mixed queries against the epoch-cached
+/// read path until `done`, recording a latency sample every 32nd query.
+fn reader_loop(
+    handle: &TrustHandle,
+    done: &AtomicBool,
+    queries: &AtomicU64,
+    samples: &std::sync::Mutex<Vec<u64>>,
+) {
+    let mut reader = handle.reader();
+    let mut local = 0u64;
+    let mut lat = Vec::with_capacity(16_384);
+    let mut q = 0u32;
+    while !done.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        let snap = reader.current();
+        let ns = snap.num_sources() as u32;
+        match q % 4 {
+            0 => {
+                let w = SourceId::new(q % ns.max(1));
+                std::hint::black_box(snap.trust(w));
+            }
+            1 => {
+                let d = ItemId::new(q % snap.num_items().max(1) as u32);
+                std::hint::black_box(snap.posterior(d, ValueId::new(q % 9)));
+            }
+            2 => {
+                std::hint::black_box(snap.top_k_sources(10));
+            }
+            _ => {
+                let keys = snap.triple_keys();
+                if !keys.is_empty() {
+                    let (w, d, v) = keys[q as usize % keys.len()];
+                    std::hint::black_box(snap.triple_posterior(w, d, v));
+                }
+            }
+        }
+        if q.is_multiple_of(32) {
+            lat.push(t0.elapsed().as_nanos() as u64);
+        }
+        q = q.wrapping_add(1);
+        local += 1;
+    }
+    queries.fetch_add(local, Ordering::SeqCst);
+    samples.lock().unwrap().extend(lat);
+}
+
+/// Phase 3: read throughput with 1 and 8 readers while a writer runs
+/// back-to-back warm refits. Returns (throughput_1, throughput_8).
+fn scaling_phase(scale: &Scale, base: &[Observation], deltas: &[Vec<Observation>]) -> (f64, f64) {
+    let mut throughput = Vec::new();
+    for readers in [1usize, 8] {
+        let mut server = TrustServer::new(
+            TrustPipeline::new()
+                .observations(base.to_vec())
+                .model(model())
+                .into_session()
+                .expect("plain pipeline converts"),
+            RefitMode::Warm,
+        );
+        // Seed the refit mill with the delta schedule once; after that
+        // the writer force-refits (same cube, warm start) to keep a
+        // refit permanently in flight during the read window.
+        let mut delta_iter = deltas.iter().cycle();
+        let handle = server.handle();
+        let done = AtomicBool::new(false);
+        let queries = AtomicU64::new(0);
+        let samples = std::sync::Mutex::new(Vec::new());
+        let mut refits = 0u64;
+
+        let mut measured = scale.read_window;
+        std::thread::scope(|scope| {
+            // Readers start counting from (roughly) t0, so the window is
+            // measured from here to the moment `done` is set — the last
+            // refit can overshoot `read_window`, and dividing by the
+            // nominal window would inflate qps by a run-dependent factor.
+            let t0 = Instant::now();
+            for _ in 0..readers {
+                let (handle, done, queries, samples) = (&handle, &done, &queries, &samples);
+                scope.spawn(move || reader_loop(handle, done, queries, samples));
+            }
+            while t0.elapsed() < scale.read_window {
+                server.ingest(delta_iter.next().unwrap().iter().copied());
+                server.refit();
+                refits += 1;
+            }
+            measured = t0.elapsed();
+            done.store(true, Ordering::SeqCst);
+        });
+
+        let total = queries.load(Ordering::SeqCst);
+        let qps = total as f64 / measured.as_secs_f64();
+        let mut lat = samples.into_inner().unwrap();
+        lat.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            lat[((lat.len() - 1) as f64 * p) as usize] as f64
+        };
+        println!(
+            "  {readers} reader(s): {:>10.0} queries/s aggregate, read latency p50 {:>6.0} ns  p99 {:>8.0} ns  ({refits} refits in flight)",
+            qps,
+            pct(0.50),
+            pct(0.99),
+        );
+        throughput.push(qps);
+    }
+    (throughput[0], throughput[1])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    let mut rng = StdRng::seed_from_u64(20150831); // fixed seed, always
+
+    let base = corpus(&mut rng, scale.sources, 0..scale.base_items);
+    let deltas: Vec<Vec<Observation>> = (0..scale.delta_batches)
+        .map(|i| {
+            let lo = scale.base_items + i * scale.items_per_delta;
+            corpus(&mut rng, scale.sources, lo..lo + scale.items_per_delta)
+        })
+        .collect();
+    println!(
+        "trust serving scenario ({}): {} sources, {} base observations, {} delta batches",
+        if smoke { "smoke" } else { "full" },
+        scale.sources,
+        base.len(),
+        scale.delta_batches
+    );
+
+    println!("\nserving equality under concurrent refits (cold mode):");
+    equality_phase(&scale, &base, &deltas);
+
+    println!("\nrefit cost (same delta schedule):");
+    refit_phase(&base, &deltas);
+
+    println!("\nread scaling while refits run (warm mode):");
+    let (t1, t8) = scaling_phase(&scale, &base, &deltas);
+    let ratio = t8 / t1.max(1.0);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("  scaling: 8 readers / 1 reader = x{ratio:.2} on {cores} core(s)");
+    if cores >= 8 {
+        assert!(
+            ratio >= 4.0,
+            "8 readers must deliver >= 4x single-reader throughput on {cores} cores, got x{ratio:.2}"
+        );
+        println!("  scaling assertion (>= 4x): PASS");
+    } else {
+        println!(
+            "  scaling assertion (>= 4x): SKIPPED — needs >= 8 hardware threads, have {cores}"
+        );
+    }
+    assert!(t1 > 0.0 && t8 > 0.0, "readers must make progress");
+    println!("\nserve scenario OK");
+}

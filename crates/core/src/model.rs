@@ -214,6 +214,17 @@ impl FusionReport {
         }
     }
 
+    /// Per-source copy-independence factors `I(w)` the final fit ran
+    /// with — `None` for copy-blind runs and for the single-layer model.
+    /// This is the factor a serving snapshot exports next to the trust
+    /// scores: `trust × independence` is the discounted voting weight.
+    pub fn source_independence(&self) -> Option<&[f64]> {
+        match &self.detail {
+            FusionDetail::MultiLayer(r) => r.source_independence.as_deref(),
+            FusionDetail::SingleLayer(_) => None,
+        }
+    }
+
     /// The multi-layer internals, if that engine ran.
     pub fn as_multi_layer(&self) -> Option<&MultiLayerResult> {
         match &self.detail {

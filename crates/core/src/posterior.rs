@@ -108,6 +108,14 @@ impl ItemPosteriors {
     pub fn observed_mass(&self, d: ItemId) -> f64 {
         self.observed(d).iter().map(|(_, p)| p).sum()
     }
+
+    /// Probability of *each* unobserved domain value of item `d` — the
+    /// uniform leftover mass [`Self::prob`] answers with for values
+    /// outside [`Self::observed`]. Exposed so exports (e.g. a serving
+    /// snapshot's integrity digest) can cover the full posterior payload.
+    pub fn unobserved_mass_per_value(&self, d: ItemId) -> f64 {
+        self.unobserved[d.index()]
+    }
 }
 
 #[cfg(test)]

@@ -75,6 +75,13 @@ pub fn estimate_values(
         let mut claims_per_value: Vec<(ValueId, f64)> = Vec::new();
         for g in cube.groups_of_item(d) {
             let grp = &cube.groups()[g];
+            if cube.cells_of(grp).is_empty() {
+                // A group with no surviving extraction (e.g. emptied by a
+                // retraction delta) casts no claim and no vote; it still
+                // gets a truth entry below so per-group arrays stay dense.
+                group_rows.push((g, grp.value, 0.0, 0.0));
+                continue;
+            }
             let weight = match cfg.correctness_weighting {
                 CorrectnessWeighting::Weighted => correctness[g],
                 CorrectnessWeighting::Map => {
@@ -263,6 +270,12 @@ fn value_item_kernel(
     let mut total_claims = 0.0f64;
     for g in cube.groups_of_item(d) {
         let grp = &cube.groups()[g];
+        if cube.cells_of(grp).is_empty() {
+            // Mirror the flat path: a cell-less group (emptied by a
+            // retraction delta) casts no claim and no vote.
+            s.group_rows.push((g, grp.value, 0.0, 0.0));
+            continue;
+        }
         let weight = match cfg.correctness_weighting {
             CorrectnessWeighting::Weighted => correctness[g],
             CorrectnessWeighting::Map => {
@@ -273,11 +286,16 @@ fn value_item_kernel(
                 }
             }
         };
-        // POPACCU popularity counts use every claim, active or not.
-        let slot = s
-            .claims
-            .binary_search_by_key(&grp.value, |(v, _)| *v)
-            .expect("group value is an observed value of its item");
+        // POPACCU popularity counts use every claim, active or not. On a
+        // well-formed cube the group's value is always present in the
+        // item's observed-value table; if an upstream delta/retraction
+        // ever leaves them inconsistent, degrade to skipping the group
+        // (it casts no claim and no vote) instead of panicking — serving
+        // refits must never abort the process over one stale group.
+        let Ok(slot) = s.claims.binary_search_by_key(&grp.value, |(v, _)| *v) else {
+            s.group_rows.push((g, grp.value, 0.0, 0.0));
+            continue;
+        };
         s.claims[slot].1 += weight;
         total_claims += weight;
         if !active_source[grp.source.index()] {

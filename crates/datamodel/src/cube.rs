@@ -336,6 +336,60 @@ impl ObservationCube {
         )
     }
 
+    /// Remove every triple group matching one of `retractions` — the
+    /// **negative delta** of an incremental-fusion round (a source took a
+    /// page down, an extractor's pattern was fixed, a value was renamed
+    /// away). All cells of a matching `(source, item, value)` group are
+    /// dropped; unknown triples are ignored.
+    ///
+    /// The result is canonical: bit-identical to rebuilding a
+    /// [`CubeBuilder`] from the surviving observations, so every
+    /// downstream invariant (item index ⊇ group values, source ranges,
+    /// extractor candidate sets) holds again after a retraction — the
+    /// `serve` stress tests and the `FusionSession::retract` regression
+    /// tests rely on this. Dense id spaces are **never shrunk**: a
+    /// retracted source keeps its id (and its default parameters), so
+    /// per-source state carried across refits stays aligned.
+    pub fn retract(&self, retractions: &[(SourceId, ItemId, ValueId)]) -> ObservationCube {
+        if retractions.is_empty() {
+            return self.clone();
+        }
+        let mut keys: Vec<(SourceId, ItemId, ValueId)> = retractions.to_vec();
+        keys.sort_unstable();
+        keys.dedup();
+
+        let mut cells: Vec<Cell> = Vec::with_capacity(self.cells.len());
+        let mut groups: Vec<TripleGroup> = Vec::with_capacity(self.groups.len());
+        let mut ki = 0;
+        for grp in &self.groups {
+            let key = (grp.source, grp.item, grp.value);
+            // Both lists are sorted by (source, item, value): one walk.
+            while ki < keys.len() && keys[ki] < key {
+                ki += 1;
+            }
+            if ki < keys.len() && keys[ki] == key {
+                continue; // retracted
+            }
+            let start = cells.len() as u32;
+            cells.extend_from_slice(&self.cells[grp.cell_range()]);
+            groups.push(TripleGroup {
+                source: grp.source,
+                item: grp.item,
+                value: grp.value,
+                cells: start..cells.len() as u32,
+            });
+        }
+
+        assemble_cube(
+            cells,
+            groups,
+            self.num_sources() as u32,
+            self.num_extractors,
+            self.num_items() as u32,
+            self.num_values,
+        )
+    }
+
     /// Partition the group list into `shards` contiguous ranges (the key
     /// ranges a [`kbt_flume::ShardedExecutor`]-style engine would hand to
     /// its workers) and report per-shard load — the skew diagnostic behind
@@ -770,6 +824,88 @@ mod tests {
             full.push(*o);
         }
         assert_cubes_identical(&grown, &full.build());
+    }
+
+    /// `retract` must be indistinguishable from rebuilding the cube from
+    /// the surviving observations (with the id spaces held fixed).
+    #[test]
+    fn retract_matches_rebuild_of_survivors() {
+        let base = vec![
+            obs(0, 1, 0, 0, 1.0),
+            obs(1, 1, 0, 0, 0.5),
+            obs(0, 0, 2, 1, 0.9),
+            obs(2, 3, 1, 0, 1.0),
+            obs(0, 3, 1, 2, 0.8),
+        ];
+        let mut b = CubeBuilder::new();
+        for o in &base {
+            b.push(*o);
+        }
+        let cube = b.build();
+        // Retract one multi-cell group, one single-cell group, and one
+        // triple that does not exist (ignored).
+        let retracted = cube.retract(&[
+            (SourceId::new(1), ItemId::new(0), ValueId::new(0)),
+            (SourceId::new(3), ItemId::new(1), ValueId::new(2)),
+            (SourceId::new(9), ItemId::new(9), ValueId::new(9)),
+        ]);
+        let mut survivors = CubeBuilder::new();
+        for o in &base {
+            if (o.source.0, o.item.0, o.value.0) != (1, 0, 0)
+                && (o.source.0, o.item.0, o.value.0) != (3, 1, 2)
+            {
+                survivors.push(*o);
+            }
+        }
+        // Id spaces are preserved even when a retraction empties a source.
+        survivors.reserve_ids(4, 3, 3, 3);
+        assert_cubes_identical(&retracted, &survivors.build());
+        assert_eq!(retracted.source_size(SourceId::new(1)), 0);
+        assert!(retracted.extractors_on_source(SourceId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn retract_empty_and_unknown_are_identity() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0, 1.0));
+        let cube = b.build();
+        assert_cubes_identical(&cube, &cube.retract(&[]));
+        assert_cubes_identical(
+            &cube,
+            &cube.retract(&[(SourceId::new(5), ItemId::new(5), ValueId::new(5))]),
+        );
+        // Duplicate retraction keys collapse to one removal.
+        let gone = cube.retract(&[
+            (SourceId::new(0), ItemId::new(0), ValueId::new(0)),
+            (SourceId::new(0), ItemId::new(0), ValueId::new(0)),
+        ]);
+        assert_eq!(gone.num_groups(), 0);
+        assert_eq!(gone.num_cells(), 0);
+        assert_eq!(gone.num_sources(), 1, "id spaces never shrink");
+    }
+
+    #[test]
+    fn retract_then_apply_delta_roundtrip() {
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0, 0.4));
+        b.push(obs(1, 0, 0, 0, 0.9));
+        b.push(obs(0, 1, 1, 1, 1.0));
+        let cube = b.build();
+        let key = (SourceId::new(0), ItemId::new(0), ValueId::new(0));
+        let removed = cube.retract(&[key]);
+        assert_eq!(removed.num_groups(), 1);
+        // Re-adding the triple after retraction behaves like a fresh group.
+        let back = removed.apply_delta(&[obs(0, 0, 0, 0, 0.7)]);
+        assert_eq!(back.num_groups(), 2);
+        let g0 = &back.groups()[0];
+        assert_eq!((g0.source, g0.item, g0.value), key);
+        assert_eq!(
+            back.cells_of(g0),
+            &[Cell {
+                extractor: ExtractorId::new(0),
+                confidence: 0.7
+            }]
+        );
     }
 
     #[test]

@@ -31,8 +31,10 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod session;
 
+pub use error::PipelineError;
 pub use session::FusionSession;
 
 use kbt_core::{
@@ -41,7 +43,10 @@ use kbt_core::{
 };
 use kbt_datamodel::{CubeBuilder, Observation, ObservationCube};
 use kbt_granularity::hierarchy::SourceKey;
-use kbt_granularity::{regroup_cube, HierKey, SplitMergeConfig, WorkingSource};
+use kbt_granularity::regroup_cube;
+// Re-exported so pipeline/serve callers need no direct kbt-granularity
+// dependency for the builder-facing granularity types.
+pub use kbt_granularity::{HierKey, SplitMergeConfig, WorkingSource};
 
 /// Which fusion engine the pipeline runs, with its configuration.
 ///
@@ -247,8 +252,10 @@ impl TrustPipeline {
     ///
     /// # Panics
     ///
-    /// If no input was provided, or granularity regrouping was requested
-    /// on a pre-built cube.
+    /// On any [`PipelineError`] — no input, granularity regrouping
+    /// requested on a pre-built cube, or an unsatisfiable
+    /// [`SplitMergeConfig`]. Serving processes that must not abort should
+    /// use [`try_run`](Self::try_run) instead.
     pub fn run(self) -> FusionReport {
         self.run_detailed().report
     }
@@ -260,6 +267,20 @@ impl TrustPipeline {
     ///
     /// As [`run`](Self::run).
     pub fn run_detailed(self) -> PipelineRun {
+        self.try_run_detailed().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`run`](Self::run): validates the pipeline (including the
+    /// [`SplitMergeConfig`], which previously `assert!`-aborted deep
+    /// inside SPLITANDMERGE) and returns a typed [`PipelineError`]
+    /// instead of panicking.
+    pub fn try_run(self) -> Result<FusionReport, PipelineError> {
+        Ok(self.try_run_detailed()?.report)
+    }
+
+    /// Fallible [`run_detailed`](Self::run_detailed); see
+    /// [`try_run`](Self::try_run).
+    pub fn try_run_detailed(self) -> Result<PipelineRun, PipelineError> {
         let Self {
             input,
             mut model,
@@ -272,13 +293,8 @@ impl TrustPipeline {
 
         // --- Stage 1+2: materialize the inference cube. ---
         let (cube, working_sources, row_source) = match (input, granularity) {
-            (Input::Empty, _) => {
-                panic!("TrustPipeline: provide .observations(..) or .cube(..) before .run()")
-            }
-            (Input::Cube(_), Some(_)) => panic!(
-                "TrustPipeline: .granularity(..) needs raw .observations(..); \
-                 a pre-built cube has already fixed its sources"
-            ),
+            (Input::Empty, _) => return Err(PipelineError::EmptyInput),
+            (Input::Cube(_), Some(_)) => return Err(PipelineError::GranularityOnCube),
             (Input::Cube(cube), None) => (cube, None, None),
             (Input::Observations { obs, reserve }, None) => {
                 let mut b = CubeBuilder::with_capacity(obs.len());
@@ -291,12 +307,10 @@ impl TrustPipeline {
                 (b.build(), None, None)
             }
             (Input::Observations { obs, reserve }, Some(sm)) => {
-                assert!(
-                    reserve.is_none(),
-                    "TrustPipeline: .reserve_ids(..) cannot be combined with \
-                     .granularity(..) — regrouping reassigns source ids, so the \
-                     reservation would be silently wrong"
-                );
+                if reserve.is_some() {
+                    return Err(PipelineError::ReserveWithGranularity);
+                }
+                PipelineError::check_split_merge(&sm)?;
                 let (cube, sources, row_source) = match keys {
                     Some(key) => regroup_cube(&obs, |i| key(i, &obs[i]), &sm),
                     // Without a hierarchy every source is its own
@@ -351,12 +365,84 @@ impl TrustPipeline {
             }
         }
 
-        PipelineRun {
+        Ok(PipelineRun {
             report,
             cube,
             working_sources,
             row_source,
+        })
+    }
+
+    /// Convert the configured pipeline into a long-lived
+    /// [`FusionSession`] — the cold-run → delta → warm-refit lifecycle a
+    /// trust-serving layer (`kbt-serve`) drives.
+    ///
+    /// The session inherits the pipeline's input, engine, thread budget,
+    /// and copy-detection configuration (multi-layer sessions run the
+    /// engine-side detector, so warm restarts re-use the independence
+    /// priors). Two stages do **not** carry over and are rejected with a
+    /// typed error instead of silently misbehaving:
+    ///
+    /// * [`granularity`](Self::granularity) —
+    ///   [`PipelineError::GranularitySession`]. SPLITANDMERGE assigns
+    ///   working-source ids from the *current* corpus; a delta that
+    ///   changes a split or merge outcome renumbers them, and the
+    ///   session's warm-start priors and independence factors (indexed by
+    ///   source id) would silently score the wrong sources.
+    /// * a non-default [`init`](Self::init) —
+    ///   [`PipelineError::SessionInit`]; the session owns initialization.
+    /// * [`copy_detection`](Self::copy_detection) combined with a
+    ///   single-layer model — [`PipelineError::SessionPostHocCopy`]; the
+    ///   single layer only supports the post-hoc diagnostic stage, which
+    ///   the session does not run.
+    pub fn into_session(self) -> Result<FusionSession, PipelineError> {
+        let Self {
+            input,
+            mut model,
+            init,
+            granularity,
+            keys: _,
+            copy,
+            threads,
+        } = self;
+        if granularity.is_some() {
+            return Err(PipelineError::GranularitySession);
         }
+        if !matches!(init, QualityInit::Default) {
+            return Err(PipelineError::SessionInit);
+        }
+        if threads.is_some() {
+            model.config_mut().threads = threads;
+        }
+        // Engine-side copy detection: the multi-layer session attaches
+        // evidence (and, with `discount`, runs copy-aware refits whose
+        // independence factors the next warm restart re-uses). The
+        // single-layer baseline has no per-source vote to discount and
+        // only supports the post-hoc diagnostic, which sessions do not
+        // run — reject rather than silently serving copy-blind answers.
+        if let Some(c) = &copy {
+            match &mut model {
+                Model::MultiLayer(cfg) => cfg.copy_detection = Some(*c),
+                Model::Accu(_) | Model::PopAccu(_) => {
+                    return Err(PipelineError::SessionPostHocCopy)
+                }
+            }
+        }
+        let cube = match input {
+            Input::Empty => return Err(PipelineError::EmptyInput),
+            Input::Cube(cube) => cube,
+            Input::Observations { obs, reserve } => {
+                let mut b = CubeBuilder::with_capacity(obs.len());
+                for o in &obs {
+                    b.push(*o);
+                }
+                if let Some((w, e, d, v)) = reserve {
+                    b.reserve_ids(w, e, d, v);
+                }
+                b.build()
+            }
+        };
+        Ok(FusionSession::new(cube, model))
     }
 }
 
@@ -488,6 +574,136 @@ mod tests {
     #[should_panic(expected = "provide .observations")]
     fn empty_pipeline_panics_with_guidance() {
         let _ = TrustPipeline::new().run();
+    }
+
+    #[test]
+    fn try_run_returns_typed_errors_instead_of_panicking() {
+        assert_eq!(
+            TrustPipeline::new().try_run().unwrap_err(),
+            PipelineError::EmptyInput
+        );
+        let mut b = CubeBuilder::new();
+        b.push(obs(0, 0, 0, 0));
+        assert_eq!(
+            TrustPipeline::new()
+                .cube(b.build())
+                .granularity(SplitMergeConfig::default())
+                .try_run()
+                .unwrap_err(),
+            PipelineError::GranularityOnCube
+        );
+        assert_eq!(
+            TrustPipeline::new()
+                .observations(consensus())
+                .granularity(SplitMergeConfig::default())
+                .reserve_ids(9, 0, 0, 0)
+                .try_run()
+                .unwrap_err(),
+            PipelineError::ReserveWithGranularity
+        );
+        // A valid pipeline succeeds through the fallible path too, with
+        // the same numbers as the panicking one.
+        let a = TrustPipeline::new().observations(consensus()).run();
+        let b = TrustPipeline::new()
+            .observations(consensus())
+            .try_run()
+            .unwrap();
+        assert_eq!(a.source_trust(), b.source_trust());
+    }
+
+    /// Regression: an unsatisfiable SplitMergeConfig used to abort the
+    /// process via `assert!(cfg.min_size <= cfg.max_size.max(1))` deep
+    /// inside `split_and_merge`; it is now a typed error.
+    #[test]
+    fn invalid_split_merge_config_is_a_typed_error() {
+        let err = TrustPipeline::new()
+            .observations(consensus())
+            .granularity(SplitMergeConfig {
+                min_size: 50,
+                max_size: 3,
+            })
+            .try_run()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::InvalidSplitMerge {
+                min_size: 50,
+                max_size: 3
+            }
+        );
+        // The panicking wrapper reports the same message rather than the
+        // raw assertion.
+        let panic = std::panic::catch_unwind(|| {
+            TrustPipeline::new()
+                .observations(consensus())
+                .granularity(SplitMergeConfig {
+                    min_size: 50,
+                    max_size: 3,
+                })
+                .run()
+        })
+        .unwrap_err();
+        let msg = panic.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("invalid SplitMergeConfig"), "{msg}");
+    }
+
+    /// Regression: granularity + session warm state is rejected instead
+    /// of silently misaligning priors after a delta changes the
+    /// split/merge outcome.
+    #[test]
+    fn granularity_cannot_feed_a_session() {
+        let err = TrustPipeline::new()
+            .observations(consensus())
+            .granularity(SplitMergeConfig::default())
+            .into_session()
+            .unwrap_err();
+        assert_eq!(err, PipelineError::GranularitySession);
+        assert!(err.to_string().contains("misalign"));
+        // Non-default init is likewise rejected …
+        assert_eq!(
+            TrustPipeline::new()
+                .observations(consensus())
+                .init(QualityInit::FromGold {
+                    source_accuracy: vec![Some(0.9)],
+                    extractor_precision: vec![],
+                    extractor_recall: vec![],
+                })
+                .into_session()
+                .unwrap_err(),
+            PipelineError::SessionInit
+        );
+        // … and so is single-layer copy detection, which would otherwise
+        // silently drop the post-hoc diagnostic the batch path attaches.
+        assert_eq!(
+            TrustPipeline::new()
+                .observations(consensus())
+                .model(Model::Accu(ModelConfig::single_layer_default()))
+                .copy_detection(CopyDetectConfig::default())
+                .into_session()
+                .unwrap_err(),
+            PipelineError::SessionPostHocCopy
+        );
+        // Multi-layer copy detection does carry over.
+        let mut copy_session = TrustPipeline::new()
+            .observations(consensus())
+            .copy_detection(CopyDetectConfig::default())
+            .threads(1)
+            .into_session()
+            .unwrap();
+        assert!(copy_session.run().copy_evidence.is_some());
+        // … while the plain pipeline converts and matches a direct run.
+        let mut session = TrustPipeline::new()
+            .observations(consensus())
+            .threads(1)
+            .into_session()
+            .unwrap();
+        let via_session = session.run();
+        let direct = TrustPipeline::new()
+            .observations(consensus())
+            .threads(1)
+            .run();
+        assert_eq!(via_session.source_trust(), direct.source_trust());
+        assert_eq!(via_session.truth_of_group(), direct.truth_of_group());
     }
 
     #[test]

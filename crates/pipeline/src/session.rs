@@ -13,7 +13,7 @@
 //! integration test and the `incremental` bench scenario both measure it.
 
 use kbt_core::{FusionDetail, FusionModel, FusionReport, Params, QualityInit};
-use kbt_datamodel::{CubeBuilder, Observation, ObservationCube};
+use kbt_datamodel::{CubeBuilder, ItemId, Observation, ObservationCube, SourceId, ValueId};
 
 use crate::Model;
 
@@ -97,7 +97,8 @@ impl FusionSession {
         self.last.as_ref()
     }
 
-    /// Number of deltas merged so far.
+    /// Number of deltas applied so far ([`Self::update`] batches and
+    /// [`Self::retract`] batches both count).
     pub fn deltas_applied(&self) -> usize {
         self.deltas_applied
     }
@@ -146,6 +147,49 @@ impl FusionSession {
                 }
             }
             debug_assert_eq!(oi, old.len(), "every existing group survives a delta");
+            self.truth_hint = Some(remapped);
+        }
+        self.cube = merged;
+        self.deltas_applied += 1;
+        self
+    }
+
+    /// Apply a **negative delta**: remove every `(source, item, value)`
+    /// triple in `retractions` from the cube (all of its extractions),
+    /// e.g. because a source took a page down or an extraction pattern
+    /// was fixed. Unknown triples are ignored.
+    ///
+    /// The warm-start state survives: the per-group truth hint is
+    /// remapped onto the surviving groups (retracted groups' entries are
+    /// dropped), and the per-source parameters and independence factors
+    /// stay aligned because [`ObservationCube::retract`] never shrinks
+    /// the dense id spaces. Historically a retraction that removed a
+    /// value's last extraction could leave a grouped value unobserved on
+    /// its item and panic the sharded E-step
+    /// (`"group value is an observed value of its item"`); the cube now
+    /// removes groups canonically and the E-step degrades gracefully, so
+    /// `session.retract(&[triple]).run()` is total — the regression tests
+    /// below pin this down.
+    pub fn retract(&mut self, retractions: &[(SourceId, ItemId, ValueId)]) -> &mut Self {
+        let merged = self.cube.retract(retractions);
+        if let Some(hint) = &self.truth_hint {
+            // Every surviving group exists in the old (sorted) list: one
+            // merge-walk drops exactly the retracted entries.
+            let old = self.cube.groups();
+            let mut remapped = Vec::with_capacity(merged.num_groups());
+            let mut oi = 0;
+            for grp in merged.groups() {
+                let key = (grp.source, grp.item, grp.value);
+                while oi < old.len() && (old[oi].source, old[oi].item, old[oi].value) < key {
+                    oi += 1;
+                }
+                debug_assert!(
+                    oi < old.len() && (old[oi].source, old[oi].item, old[oi].value) == key,
+                    "every surviving group pre-existed the retraction"
+                );
+                remapped.push(hint[oi]);
+                oi += 1;
+            }
             self.truth_hint = Some(remapped);
         }
         self.cube = merged;
@@ -344,6 +388,67 @@ mod tests {
         assert_eq!(s.deltas_applied(), 2);
         assert_eq!(s.cube().num_items(), 21);
         assert!(report.iterations() >= 1);
+    }
+
+    /// Regression for the E-step panic at `value.rs`
+    /// (`"group value is an observed value of its item"`): a retraction
+    /// that removes a value's only supporting triple between runs must
+    /// not panic the warm refit, and the refit must match a cold batch
+    /// run over the surviving observations.
+    #[test]
+    fn retraction_that_removes_a_value_is_safe_and_exact() {
+        let base = base_corpus();
+        let mut s = FusionSession::from_observations(base.clone(), Model::multi_layer());
+        s.run();
+        // Source 4 is the only provider of value 1 on every item: retract
+        // its triple on item 0, making value 1 unobserved there.
+        let gone = (SourceId::new(4), ItemId::new(0), ValueId::new(1));
+        s.retract(&[gone]);
+        assert_eq!(s.deltas_applied(), 1);
+        let warm = s.run(); // must not panic
+        assert!(warm.iterations() >= 1);
+
+        // Exactness: cold refit on the retracted cube equals a batch
+        // rebuild from the surviving observations.
+        let incremental = s.run_cold();
+        let survivors: Vec<Observation> = base
+            .into_iter()
+            .filter(|o| (o.source, o.item, o.value) != gone)
+            .collect();
+        let mut batch = FusionSession::from_observations(survivors, Model::multi_layer());
+        // The rebuild must keep source 4's id alive even where the
+        // retraction removed its only claim on an item.
+        let b = batch.run_cold();
+        assert_eq!(incremental.source_trust(), b.source_trust());
+        assert_eq!(incremental.truth_of_group(), b.truth_of_group());
+        assert_eq!(incremental.correctness(), b.correctness());
+    }
+
+    /// Retracting before any run (no truth hint yet) and retracting
+    /// everything a source ever said are both total.
+    #[test]
+    fn retraction_edge_cases() {
+        let mut s = FusionSession::from_observations(base_corpus(), Model::multi_layer());
+        // No prior run: nothing to remap.
+        s.retract(&[(SourceId::new(0), ItemId::new(0), ValueId::new(0))]);
+        let first = s.run();
+        assert!(first.iterations() >= 1);
+        // Retract every triple of source 4 (it keeps its id and default
+        // accuracy; its groups disappear).
+        let all_of_4: Vec<(SourceId, ItemId, ValueId)> = s
+            .cube()
+            .source_groups(SourceId::new(4))
+            .map(|g| {
+                let grp = &s.cube().groups()[g];
+                (grp.source, grp.item, grp.value)
+            })
+            .collect();
+        assert!(!all_of_4.is_empty());
+        s.retract(&all_of_4);
+        assert_eq!(s.cube().source_size(SourceId::new(4)), 0);
+        assert_eq!(s.cube().num_sources(), 5, "id spaces never shrink");
+        let after = s.run();
+        assert_eq!(after.source_trust().len(), 5);
     }
 
     #[test]

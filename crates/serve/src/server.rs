@@ -1,0 +1,539 @@
+//! [`TrustServer`]: the single-writer driver that owns the
+//! session/snapshot lifecycle, plus the background refitter thread.
+//!
+//! ```text
+//!  deltas ──▶ ingest/retract queue ──▶ FusionSession ──▶ TrustSnapshot
+//!                                        (warm refit)        │ publish
+//!                                                            ▼
+//!  readers ◀── SnapshotReader (epoch-cached) ◀── SnapshotStore (epoch-swapped Arc)
+//! ```
+//!
+//! The server batches incoming observation deltas and retractions, folds
+//! them into its [`FusionSession`] (`apply_delta` merge-walk, no full
+//! re-sort), refits EM — warm by default, re-using the previous epoch's
+//! converged parameters, truth hints, and copy-independence priors — and
+//! publishes a fresh immutable [`TrustSnapshot`] under the next epoch.
+//! Readers keep serving the previous epoch untouched for the whole
+//! refit; the swap is one `Arc` store.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use kbt_datamodel::{ItemId, Observation, SourceId, ValueId};
+use kbt_pipeline::{FusionSession, PipelineError, TrustPipeline};
+
+use crate::snapshot::{RefitMode, SnapshotProvenance, TrustSnapshot};
+use crate::store::{SnapshotReader, SnapshotStore};
+
+/// A cloneable, `Send + Sync` read-side handle to a server's snapshot
+/// store. Create one [`SnapshotReader`] per reader thread.
+#[derive(Debug, Clone)]
+pub struct TrustHandle(Arc<SnapshotStore>);
+
+impl TrustHandle {
+    /// A fresh epoch-cached reader (the hot-path query interface).
+    pub fn reader(&self) -> SnapshotReader {
+        self.0.reader()
+    }
+
+    /// The currently published snapshot (locks briefly; prefer
+    /// [`Self::reader`] on hot paths).
+    pub fn snapshot(&self) -> Arc<TrustSnapshot> {
+        self.0.load()
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.0.epoch()
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.0
+    }
+}
+
+/// The single-writer trust server: owns a [`FusionSession`] and a
+/// [`SnapshotStore`], and is the only code path that refits or
+/// publishes.
+///
+/// Construction runs the initial fit and publishes **epoch 0**; each
+/// successful [`refit`](Self::refit) publishes the next epoch. Use
+/// [`spawn`](Self::spawn) to move the server onto a background thread
+/// and keep only [`TrustHandle`]s on the serving side.
+#[derive(Debug)]
+pub struct TrustServer {
+    session: FusionSession,
+    store: Arc<SnapshotStore>,
+    /// Queued deltas in **submission order** — a retract-then-ingest of
+    /// the same triple must re-add it, and an ingest-then-retract must
+    /// remove it, exactly as if each batch had been refitted on its own.
+    pending: Vec<PendingDelta>,
+    mode: RefitMode,
+    epoch: u64,
+}
+
+/// One queued run of same-kind deltas (consecutive submissions of the
+/// same kind coalesce into one run; order across kinds is preserved).
+#[derive(Debug)]
+enum PendingDelta {
+    Add(Vec<Observation>),
+    Remove(Vec<(SourceId, ItemId, ValueId)>),
+}
+
+impl TrustServer {
+    /// Run the initial fit of `session` (cold unless the session already
+    /// carries converged parameters and `mode` is warm) and publish it as
+    /// epoch 0.
+    pub fn new(mut session: FusionSession, mode: RefitMode) -> Self {
+        let snap = fit_and_export(&mut session, mode, 0);
+        Self {
+            session,
+            store: Arc::new(SnapshotStore::new(snap)),
+            pending: Vec::new(),
+            mode,
+            epoch: 0,
+        }
+    }
+
+    /// Build a server from a configured [`TrustPipeline`] (the
+    /// observation/cube input, engine, thread budget, and copy-detection
+    /// configuration carry over).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`TrustPipeline::into_session`] rejects — notably
+    /// [`PipelineError::GranularitySession`]: SPLITANDMERGE working-source
+    /// ids are corpus-dependent, so feeding a regrouped corpus into the
+    /// session's warm state would misalign priors across epochs.
+    pub fn from_pipeline(pipeline: TrustPipeline, mode: RefitMode) -> Result<Self, PipelineError> {
+        Ok(Self::new(pipeline.into_session()?, mode))
+    }
+
+    /// A read-side handle (cloneable, `Send + Sync`).
+    pub fn handle(&self) -> TrustHandle {
+        TrustHandle(Arc::clone(&self.store))
+    }
+
+    /// The epoch currently published.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The refit mode this server runs under.
+    pub fn mode(&self) -> RefitMode {
+        self.mode
+    }
+
+    /// The underlying session (read-only).
+    pub fn session(&self) -> &FusionSession {
+        &self.session
+    }
+
+    /// Queue an additive observation delta for the next refit. Deltas
+    /// and retractions are applied in submission order at refit time.
+    pub fn ingest(&mut self, delta: impl IntoIterator<Item = Observation>) -> &mut Self {
+        let mut delta = delta.into_iter().peekable();
+        if delta.peek().is_none() {
+            return self; // an empty batch must not trigger a publish
+        }
+        match self.pending.last_mut() {
+            Some(PendingDelta::Add(run)) => run.extend(delta),
+            _ => self.pending.push(PendingDelta::Add(delta.collect())),
+        }
+        self
+    }
+
+    /// Queue a retraction batch (remove `(source, item, value)` triples)
+    /// for the next refit. Applied in submission order relative to
+    /// [`ingest`](Self::ingest): retracting a triple and then re-ingesting
+    /// it leaves the new observation in place.
+    pub fn retract(
+        &mut self,
+        retractions: impl IntoIterator<Item = (SourceId, ItemId, ValueId)>,
+    ) -> &mut Self {
+        let mut retractions = retractions.into_iter().peekable();
+        if retractions.peek().is_none() {
+            return self; // an empty batch must not trigger a publish
+        }
+        match self.pending.last_mut() {
+            Some(PendingDelta::Remove(run)) => run.extend(retractions),
+            _ => self
+                .pending
+                .push(PendingDelta::Remove(retractions.collect())),
+        }
+        self
+    }
+
+    /// Number of queued (not yet refitted) observations and retractions.
+    pub fn pending(&self) -> (usize, usize) {
+        let mut obs = 0;
+        let mut retractions = 0;
+        for p in &self.pending {
+            match p {
+                PendingDelta::Add(run) => obs += run.len(),
+                PendingDelta::Remove(run) => retractions += run.len(),
+            }
+        }
+        (obs, retractions)
+    }
+
+    /// Fold the queued deltas into the session, refit, and publish the
+    /// next epoch. Returns `None` (and publishes nothing) when the queue
+    /// is empty — back-to-back refits on a quiet server would otherwise
+    /// churn epochs without changing an answer.
+    pub fn refit(&mut self) -> Option<Arc<TrustSnapshot>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some(self.force_refit())
+    }
+
+    /// [`Self::refit`] even when no delta is queued — always refits and
+    /// publishes a new epoch. Used by the `serve` bench to keep a refit
+    /// permanently in flight while readers hammer the store, and useful
+    /// operationally to re-publish after an out-of-band change.
+    pub fn force_refit(&mut self) -> Arc<TrustSnapshot> {
+        for delta in std::mem::take(&mut self.pending) {
+            match delta {
+                PendingDelta::Add(obs) => {
+                    self.session.update(&obs);
+                }
+                PendingDelta::Remove(keys) => {
+                    self.session.retract(&keys);
+                }
+            }
+        }
+        self.epoch += 1;
+        let snap = fit_and_export(&mut self.session, self.mode, self.epoch);
+        self.store.publish(snap)
+    }
+
+    /// Move the server onto a background thread: deltas flow in through
+    /// the returned [`BackgroundServer`], get batched (everything queued
+    /// while a refit was running joins the next one), and each batch
+    /// triggers a refit + publish. Readers keep their [`TrustHandle`]s.
+    pub fn spawn(self) -> BackgroundServer {
+        let handle = self.handle();
+        let (tx, rx) = mpsc::channel::<Command>();
+        let join = std::thread::spawn(move || background_loop(self, rx));
+        BackgroundServer { handle, tx, join }
+    }
+}
+
+/// Commands the background refitter consumes.
+enum Command {
+    Ingest(Vec<Observation>),
+    Retract(Vec<(SourceId, ItemId, ValueId)>),
+    Refit,
+    Shutdown,
+}
+
+fn background_loop(mut server: TrustServer, rx: mpsc::Receiver<Command>) -> TrustServer {
+    let mut shutdown = false;
+    while !shutdown {
+        let Ok(first) = rx.recv() else { break };
+        let mut force = false;
+        let mut queue = Some(first);
+        // Batch: fold in everything that is already waiting, so one refit
+        // covers the whole burst instead of one refit per message.
+        loop {
+            match queue.take() {
+                Some(Command::Ingest(obs)) => {
+                    server.ingest(obs);
+                }
+                Some(Command::Retract(keys)) => {
+                    server.retract(keys);
+                }
+                Some(Command::Refit) => force = true,
+                Some(Command::Shutdown) => {
+                    // Flush what was queued ahead of the shutdown, then
+                    // stop (messages behind it are dropped unread).
+                    shutdown = true;
+                    break;
+                }
+                None => {}
+            }
+            match rx.try_recv() {
+                Ok(next) => queue = Some(next),
+                Err(_) => break,
+            }
+        }
+        if force {
+            server.force_refit();
+        } else {
+            server.refit();
+        }
+    }
+    server
+}
+
+/// Handle to a [`TrustServer`] running on a background thread.
+///
+/// Dropping it without [`shutdown`](Self::shutdown) detaches the thread;
+/// it exits once the channel closes.
+#[derive(Debug)]
+pub struct BackgroundServer {
+    handle: TrustHandle,
+    tx: mpsc::Sender<Command>,
+    join: JoinHandle<TrustServer>,
+}
+
+impl BackgroundServer {
+    /// The read-side handle (cloneable).
+    pub fn handle(&self) -> TrustHandle {
+        self.handle.clone()
+    }
+
+    /// Queue an additive delta; the background thread batches it into
+    /// the next refit. Returns `false` if the server thread is gone.
+    pub fn ingest(&self, delta: Vec<Observation>) -> bool {
+        self.tx.send(Command::Ingest(delta)).is_ok()
+    }
+
+    /// Queue a retraction batch. Returns `false` if the server thread is
+    /// gone.
+    pub fn retract(&self, retractions: Vec<(SourceId, ItemId, ValueId)>) -> bool {
+        self.tx.send(Command::Retract(retractions)).is_ok()
+    }
+
+    /// Force a refit + publish even with an empty queue. Returns `false`
+    /// if the server thread is gone.
+    pub fn refit(&self) -> bool {
+        self.tx.send(Command::Refit).is_ok()
+    }
+
+    /// Stop the background thread and take the server back. Deltas that
+    /// were queued ahead of the shutdown are flushed with one final
+    /// refit before the thread exits.
+    pub fn shutdown(self) -> TrustServer {
+        let _ = self.tx.send(Command::Shutdown);
+        self.join.join().expect("trust server thread panicked")
+    }
+}
+
+/// Run one fit of `session` in `mode` and export it as a snapshot under
+/// `epoch`. The recorded [`SnapshotProvenance::refit_mode`] is what
+/// actually happened: a warm-mode fit with nothing to resume (the
+/// server's initial fit) is recorded as cold.
+fn fit_and_export(session: &mut FusionSession, mode: RefitMode, epoch: u64) -> TrustSnapshot {
+    let resumes = matches!(mode, RefitMode::Warm) && session.params().is_some();
+    let report = match mode {
+        RefitMode::Warm => session.run(),
+        RefitMode::Cold => session.run_cold(),
+    };
+    let triples = session
+        .cube()
+        .groups()
+        .iter()
+        .map(|g| (g.source, g.item, g.value))
+        .collect();
+    TrustSnapshot::from_report(
+        &report,
+        triples,
+        epoch,
+        SnapshotProvenance {
+            refit_mode: if resumes {
+                RefitMode::Warm
+            } else {
+                RefitMode::Cold
+            },
+            deltas_applied: session.deltas_applied(),
+            iterations: report.iterations(),
+            converged: report.converged(),
+            coverage: report.coverage(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_core::ModelConfig;
+    use kbt_datamodel::ExtractorId;
+    use kbt_pipeline::Model;
+
+    fn obs(e: u32, w: u32, d: u32, v: u32) -> Observation {
+        Observation::certain(
+            ExtractorId::new(e),
+            SourceId::new(w),
+            ItemId::new(d),
+            ValueId::new(v),
+        )
+    }
+
+    fn corpus(items: std::ops::Range<u32>) -> Vec<Observation> {
+        let mut out = Vec::new();
+        for w in 0..6u32 {
+            for d in items.clone() {
+                let errs = (w * 37 + d * 13) % 10 < w;
+                let v = if errs { 3 + (w + d) % 3 } else { d % 3 };
+                for e in 0..2u32 {
+                    if (w + d + e) % 4 != 0 {
+                        out.push(obs(e, w, d, v));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn model() -> Model {
+        Model::MultiLayer(ModelConfig {
+            threads: Some(1),
+            ..ModelConfig::default()
+        })
+    }
+
+    /// The serving guarantee: in cold refit mode, the snapshot published
+    /// after each delta batch is bit-identical to a cold `TrustPipeline`
+    /// run over the same prefix of observations.
+    #[test]
+    fn cold_refits_match_cold_pipeline_runs_bit_for_bit() {
+        let base = corpus(0..10);
+        let deltas: Vec<Vec<Observation>> = vec![
+            corpus(10..12),
+            corpus(12..13),
+            vec![obs(0, 6, 0, 0), obs(1, 6, 1, 1)],
+        ];
+        let session = TrustPipeline::new()
+            .observations(base.clone())
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Cold);
+        let mut prefix = base;
+        let handle = server.handle();
+        for (i, delta) in deltas.iter().enumerate() {
+            server.ingest(delta.clone());
+            server.refit().expect("non-empty delta publishes");
+            prefix.extend(delta.iter().copied());
+            let cold = TrustPipeline::new()
+                .observations(prefix.clone())
+                .model(model())
+                .run();
+            let snap = handle.snapshot();
+            assert_eq!(snap.epoch(), i as u64 + 1);
+            assert_eq!(snap.source_trust(), cold.source_trust(), "delta {i}");
+            assert_eq!(snap.truth_of_group(), cold.truth_of_group(), "delta {i}");
+            assert!(snap.verify_integrity());
+        }
+    }
+
+    #[test]
+    fn warm_refits_advance_epochs_and_record_provenance() {
+        let session = TrustPipeline::new()
+            .observations(corpus(0..10))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Warm);
+        let handle = server.handle();
+        let init = handle.snapshot();
+        assert_eq!(init.epoch(), 0);
+        // The first fit has nothing to resume: recorded as cold.
+        assert_eq!(init.provenance().refit_mode, RefitMode::Cold);
+        assert!(init.provenance().iterations >= 1);
+
+        // Quiet server: refit is a no-op, no epoch churn.
+        assert!(server.refit().is_none());
+        assert_eq!(handle.epoch(), 0);
+
+        server.ingest(corpus(10..11));
+        let snap = server.refit().expect("delta publishes");
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.provenance().refit_mode, RefitMode::Warm);
+        assert_eq!(snap.provenance().deltas_applied, 1);
+        assert_eq!(handle.epoch(), 1);
+
+        // Retraction-only deltas publish too.
+        let key = {
+            let g = &server.session().cube().groups()[0];
+            (g.source, g.item, g.value)
+        };
+        server.retract([key]);
+        let snap = server.refit().expect("retraction publishes");
+        assert_eq!(snap.epoch(), 2);
+        assert!(snap.triple_posterior(key.0, key.1, key.2).is_none());
+
+        // Forced refit publishes even when clean.
+        let snap = server.force_refit();
+        assert_eq!(snap.epoch(), 3);
+    }
+
+    /// Queued deltas apply in submission order: retract-then-ingest of
+    /// the same triple re-adds it; ingest-then-retract removes it.
+    #[test]
+    fn pending_deltas_apply_in_submission_order() {
+        let key = {
+            let g = obs(0, 0, 0, 0);
+            (g.source, g.item, g.value)
+        };
+        let session = TrustPipeline::new()
+            .observations(corpus(0..8))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Warm);
+
+        // retract → ingest: the re-ingested observation survives.
+        server.retract([key]);
+        server.ingest([obs(3, 0, 0, 0)]); // same (source, item, value), new extractor
+        assert_eq!(server.pending(), (1, 1));
+        let snap = server.refit().unwrap();
+        assert!(
+            snap.triple_posterior(key.0, key.1, key.2).is_some(),
+            "an ingest submitted after a retraction must survive the batch"
+        );
+
+        // ingest → retract: the triple ends up gone.
+        server.ingest([obs(0, 0, 0, 0)]);
+        server.retract([key]);
+        let snap = server.refit().unwrap();
+        assert!(snap.triple_posterior(key.0, key.1, key.2).is_none());
+
+        // Empty batches neither queue nor publish.
+        server.ingest(std::iter::empty());
+        server.retract(std::iter::empty());
+        assert_eq!(server.pending(), (0, 0));
+        assert!(server.refit().is_none());
+    }
+
+    #[test]
+    fn granularity_cannot_reach_a_server() {
+        let err = TrustServer::from_pipeline(
+            TrustPipeline::new()
+                .observations(corpus(0..6))
+                .granularity(kbt_pipeline::SplitMergeConfig::default()),
+            RefitMode::Warm,
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::GranularitySession);
+    }
+
+    #[test]
+    fn background_server_batches_and_publishes() {
+        let session = TrustPipeline::new()
+            .observations(corpus(0..8))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let server = TrustServer::new(session, RefitMode::Warm).spawn();
+        let handle = server.handle();
+        assert_eq!(handle.epoch(), 0);
+        // A burst of deltas: the worker batches whatever queued while the
+        // previous refit ran, so epochs advance by at least one.
+        assert!(server.ingest(corpus(8..9)));
+        assert!(server.ingest(corpus(9..10)));
+        assert!(server.refit());
+        let server = server.shutdown();
+        assert!(server.epoch() >= 1, "the burst produced a publish");
+        assert_eq!(handle.epoch(), server.epoch());
+        let snap = handle.snapshot();
+        assert!(snap.verify_integrity());
+        assert!(snap.provenance().deltas_applied >= 1);
+        // Everything queued was folded in before shutdown.
+        assert_eq!(server.pending(), (0, 0));
+    }
+}

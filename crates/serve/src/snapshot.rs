@@ -1,0 +1,594 @@
+//! [`TrustSnapshot`]: the immutable, query-optimized export of one fusion
+//! epoch.
+//!
+//! A snapshot is everything a read path needs, copied out of a
+//! [`FusionReport`] once per refit and then never mutated: per-source
+//! trust, per-item value posteriors, per-triple correctness posteriors,
+//! copy-independence factors, a confidence histogram (calibration
+//! buckets), and provenance (epoch, deltas applied, EM rounds, refit
+//! mode). Readers share it behind an `Arc`, so a query never races a
+//! refit and a refit never blocks a query.
+
+use kbt_core::{FusionReport, ModelKind};
+use kbt_datamodel::{ItemId, SourceId, ValueId};
+
+/// How a refit initialized EM (recorded in the provenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitMode {
+    /// `QualityInit::Resume` from the previous epoch's converged
+    /// parameters (plus the truth hint and independence priors) — the
+    /// production serving mode: converges in fewer rounds, but the exact
+    /// floats depend on the delta history.
+    Warm,
+    /// `QualityInit::Default` from scratch on the merged cube — bitwise
+    /// reproducible: a snapshot refit cold over a delta prefix is
+    /// bit-identical to a cold `TrustPipeline` run over the same prefix
+    /// (the `serve` bench's equality check, and the right mode for audit
+    /// replays).
+    Cold,
+}
+
+/// Where a snapshot came from: the delta history and the fit that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotProvenance {
+    /// How the refit initialized EM ([`RefitMode::Cold`] for the initial
+    /// fit of a server).
+    pub refit_mode: RefitMode,
+    /// Number of deltas (additive and retraction batches) the underlying
+    /// session had applied when this snapshot was fitted.
+    pub deltas_applied: usize,
+    /// EM iterations the fit performed.
+    pub iterations: usize,
+    /// Whether the fit converged before its iteration cap.
+    pub converged: bool,
+    /// Fraction of triple groups covered by an active source.
+    pub coverage: f64,
+}
+
+/// One bucket of the snapshot's posterior-confidence histogram: how much
+/// of the served triple population falls into a `[lo, hi)` band of
+/// `p(triple is true)`, and the band's mean prediction. The serving-side
+/// analogue of the paper's Figure 8 calibration buckets — with no gold
+/// labels at serve time, the buckets expose *sharpness* (how decisively
+/// the snapshot separates true from false triples) and feed drift
+/// monitoring across epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationBucket {
+    /// Inclusive lower edge of the bucket.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bucket).
+    pub hi: f64,
+    /// Number of triple groups whose truth posterior lands in the bucket.
+    pub count: usize,
+    /// Mean truth posterior of those groups (0 when empty).
+    pub mean_predicted: f64,
+}
+
+/// Number of calibration buckets a snapshot carries.
+pub const CALIBRATION_BUCKETS: usize = 10;
+
+/// An immutable serving snapshot of one fusion epoch.
+///
+/// Built once per refit by [`TrustSnapshot::from_report`]; all queries
+/// are read-only and lock-free (plain memory reads plus binary search /
+/// precomputed rank orders). Equality-critical fields
+/// ([`source_trust`](Self::source_trust),
+/// [`truth_of_group`](Self::truth_of_group)) are exported bit-for-bit
+/// from the [`FusionReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrustSnapshot {
+    epoch: u64,
+    model: ModelKind,
+    /// `A_w` per source — the KBT scores.
+    source_trust: Vec<f64>,
+    active_source: Vec<bool>,
+    /// Copy-independence factor `I(w)` per source (all 1 when the fit was
+    /// copy-blind).
+    independence: Option<Vec<f64>>,
+    /// `(source, item, value)` key of each triple group, sorted — the
+    /// group key column of the cube this epoch was fitted on.
+    triples: Vec<(SourceId, ItemId, ValueId)>,
+    /// `p(V_d = v(g) | X)` per triple group, aligned with `triples`.
+    truth_of_group: Vec<f64>,
+    /// Per-item posterior over observed values + uniform unobserved mass.
+    posteriors: kbt_core::ItemPosteriors,
+    /// Source ids sorted by descending trust (ties: ascending id).
+    trust_rank: Vec<u32>,
+    /// Group indices sorted by descending truth posterior (ties:
+    /// ascending group index).
+    truth_rank: Vec<u32>,
+    calibration: Vec<CalibrationBucket>,
+    provenance: SnapshotProvenance,
+    /// Order-sensitive digest of every payload field, fixed at
+    /// construction — see [`Self::fingerprint`].
+    fingerprint: u64,
+}
+
+impl TrustSnapshot {
+    /// Export a snapshot from a fusion report.
+    ///
+    /// `triples` must be the group-key column of the cube the report was
+    /// fitted on (`(source, item, value)` per group, in group order) —
+    /// [`crate::TrustServer`] passes its session's cube. `epoch` and
+    /// `provenance` are caller-assigned; the store enforces that
+    /// published epochs only move forward.
+    pub fn from_report(
+        report: &FusionReport,
+        triples: Vec<(SourceId, ItemId, ValueId)>,
+        epoch: u64,
+        provenance: SnapshotProvenance,
+    ) -> Self {
+        assert_eq!(
+            triples.len(),
+            report.truth_of_group().len(),
+            "triple keys must align with the report's group arrays"
+        );
+        let source_trust = report.source_trust().to_vec();
+        let truth_of_group = report.truth_of_group().to_vec();
+
+        let mut trust_rank: Vec<u32> = (0..source_trust.len() as u32).collect();
+        trust_rank.sort_by(|&a, &b| {
+            f64::total_cmp(&source_trust[b as usize], &source_trust[a as usize]).then(a.cmp(&b))
+        });
+        let mut truth_rank: Vec<u32> = (0..truth_of_group.len() as u32).collect();
+        truth_rank.sort_by(|&a, &b| {
+            f64::total_cmp(&truth_of_group[b as usize], &truth_of_group[a as usize]).then(a.cmp(&b))
+        });
+
+        let calibration = calibration_buckets(&truth_of_group);
+        let mut snap = Self {
+            epoch,
+            model: report.model,
+            source_trust,
+            active_source: report.active_source().to_vec(),
+            independence: report.source_independence().map(<[f64]>::to_vec),
+            triples,
+            truth_of_group,
+            posteriors: report.posteriors().clone(),
+            trust_rank,
+            truth_rank,
+            calibration,
+            provenance,
+            fingerprint: 0,
+        };
+        snap.fingerprint = snap.compute_fingerprint();
+        snap
+    }
+
+    // ---- identity ----
+
+    /// The epoch this snapshot was published under (0 = the initial fit).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Which engine produced the underlying report.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// Delta history and fit diagnostics.
+    pub fn provenance(&self) -> &SnapshotProvenance {
+        &self.provenance
+    }
+
+    /// Number of sources in the dense id space.
+    pub fn num_sources(&self) -> usize {
+        self.source_trust.len()
+    }
+
+    /// Number of items the posterior table covers.
+    pub fn num_items(&self) -> usize {
+        self.posteriors.num_items()
+    }
+
+    /// Number of triple groups served.
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    // ---- point queries ----
+
+    /// Trust score `A_w` of a source; `None` outside the id space.
+    pub fn trust(&self, w: SourceId) -> Option<f64> {
+        self.source_trust.get(w.index()).copied()
+    }
+
+    /// Whether the source had enough data to move off the default
+    /// accuracy; `None` outside the id space.
+    pub fn is_active(&self, w: SourceId) -> Option<bool> {
+        self.active_source.get(w.index()).copied()
+    }
+
+    /// Copy-independence factor `I(w)` of a source (1 when the fit was
+    /// copy-blind or the source is independent); `None` outside the id
+    /// space.
+    pub fn independence(&self, w: SourceId) -> Option<f64> {
+        if w.index() >= self.source_trust.len() {
+            return None;
+        }
+        Some(
+            self.independence
+                .as_ref()
+                .and_then(|i| i.get(w.index()).copied())
+                .unwrap_or(1.0),
+        )
+    }
+
+    /// Posterior `p(V_d = v | X)` for an `(item, value)` pair; `None`
+    /// when the item is outside the id space (unobserved values of a
+    /// known item get the item's uniform leftover mass).
+    pub fn posterior(&self, d: ItemId, v: ValueId) -> Option<f64> {
+        if d.index() >= self.posteriors.num_items() {
+            return None;
+        }
+        Some(self.posteriors.prob(d, v))
+    }
+
+    /// The observed `(value, probability)` posterior row of an item,
+    /// sorted by value; `None` outside the id space.
+    pub fn posterior_row(&self, d: ItemId) -> Option<&[(ValueId, f64)]> {
+        if d.index() >= self.posteriors.num_items() {
+            return None;
+        }
+        Some(self.posteriors.observed(d))
+    }
+
+    /// The MAP value of an item with its probability — `None` when the
+    /// item is unknown, has no observed value, or an unobserved value is
+    /// the MAP.
+    pub fn map_value(&self, d: ItemId) -> Option<(ValueId, f64)> {
+        if d.index() >= self.posteriors.num_items() {
+            return None;
+        }
+        self.posteriors.map_value(d)
+    }
+
+    /// Correctness posterior `p(V_d = v(g) | X)` of one served triple,
+    /// addressed by its `(source, item, value)` key; `None` when the
+    /// triple is not in this epoch's cube.
+    pub fn triple_posterior(&self, w: SourceId, d: ItemId, v: ValueId) -> Option<f64> {
+        self.triples
+            .binary_search(&(w, d, v))
+            .ok()
+            .map(|g| self.truth_of_group[g])
+    }
+
+    // ---- batched lookups ----
+
+    /// [`Self::trust`] over a batch of sources, one `Option` per input.
+    pub fn trust_batch(&self, sources: &[SourceId]) -> Vec<Option<f64>> {
+        sources.iter().map(|&w| self.trust(w)).collect()
+    }
+
+    /// [`Self::posterior`] over a batch of `(item, value)` pairs.
+    pub fn posterior_batch(&self, pairs: &[(ItemId, ValueId)]) -> Vec<Option<f64>> {
+        pairs.iter().map(|&(d, v)| self.posterior(d, v)).collect()
+    }
+
+    // ---- rankings ----
+
+    /// The `k` most trusted sources as `(source, trust)`, descending
+    /// (ties broken by ascending id). Precomputed at snapshot build, so
+    /// this is O(k).
+    pub fn top_k_sources(&self, k: usize) -> Vec<(SourceId, f64)> {
+        self.trust_rank
+            .iter()
+            .take(k)
+            .map(|&w| (SourceId::new(w), self.source_trust[w as usize]))
+            .collect()
+    }
+
+    /// The `k` most credible triples as `(source, item, value,
+    /// posterior)`, descending (ties broken by ascending group index).
+    /// O(k) via the precomputed rank order.
+    pub fn top_k_triples(&self, k: usize) -> Vec<(SourceId, ItemId, ValueId, f64)> {
+        self.truth_rank
+            .iter()
+            .take(k)
+            .map(|&g| {
+                let (w, d, v) = self.triples[g as usize];
+                (w, d, v, self.truth_of_group[g as usize])
+            })
+            .collect()
+    }
+
+    // ---- bulk / audit access ----
+
+    /// All trust scores, indexed by source id — bit-for-bit the
+    /// `FusionReport::source_trust` column of the fit.
+    pub fn source_trust(&self) -> &[f64] {
+        &self.source_trust
+    }
+
+    /// All truth posteriors, aligned with [`Self::triple_keys`] —
+    /// bit-for-bit the `FusionReport::truth_of_group` column.
+    pub fn truth_of_group(&self) -> &[f64] {
+        &self.truth_of_group
+    }
+
+    /// The `(source, item, value)` key of every served triple group,
+    /// sorted.
+    pub fn triple_keys(&self) -> &[(SourceId, ItemId, ValueId)] {
+        &self.triples
+    }
+
+    /// The posterior-confidence histogram (see [`CalibrationBucket`]).
+    pub fn calibration(&self) -> &[CalibrationBucket] {
+        &self.calibration
+    }
+
+    /// Order-sensitive digest of every payload field, computed once at
+    /// construction. A reader that recomputes it
+    /// ([`Self::verify_integrity`]) and matches proves the snapshot it
+    /// holds is exactly what the writer published — the torn-read oracle
+    /// of the concurrency stress tests.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Recompute the digest over the payload and compare with the stored
+    /// [`Self::fingerprint`].
+    pub fn verify_integrity(&self) -> bool {
+        self.compute_fingerprint() == self.fingerprint
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        // FNV-1a over the exact bit patterns, in a fixed field order.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(self.epoch);
+        eat(match self.model {
+            ModelKind::MultiLayer => 1,
+            ModelKind::SingleLayer => 2,
+        });
+        eat(match self.provenance.refit_mode {
+            RefitMode::Warm => 1,
+            RefitMode::Cold => 2,
+        });
+        eat(self.provenance.deltas_applied as u64);
+        eat(self.provenance.iterations as u64);
+        eat(self.provenance.converged as u64);
+        eat(self.provenance.coverage.to_bits());
+        for &t in &self.source_trust {
+            eat(t.to_bits());
+        }
+        for &a in &self.active_source {
+            eat(a as u64);
+        }
+        if let Some(ind) = &self.independence {
+            for &i in ind {
+                eat(i.to_bits());
+            }
+        }
+        for (i, &(w, d, v)) in self.triples.iter().enumerate() {
+            // FNV is order-sensitive: feed the key components separately
+            // rather than packing them (a packed XOR would collide for
+            // distinct keys once ids exceed the packing widths).
+            eat(w.0 as u64);
+            eat(d.0 as u64);
+            eat(v.0 as u64);
+            eat(self.truth_of_group[i].to_bits());
+        }
+        for d in 0..self.posteriors.num_items() {
+            let d = ItemId::new(d as u32);
+            for &(v, p) in self.posteriors.observed(d) {
+                eat(v.0 as u64);
+                eat(p.to_bits());
+            }
+            eat(self.posteriors.unobserved_mass_per_value(d).to_bits());
+        }
+        for &w in &self.trust_rank {
+            eat(w as u64);
+        }
+        for &g in &self.truth_rank {
+            eat(g as u64);
+        }
+        for b in &self.calibration {
+            eat(b.count as u64);
+            eat(b.mean_predicted.to_bits());
+        }
+        h
+    }
+}
+
+/// Build the posterior-confidence histogram over the truth posteriors.
+fn calibration_buckets(truth: &[f64]) -> Vec<CalibrationBucket> {
+    let n = CALIBRATION_BUCKETS;
+    let mut count = vec![0usize; n];
+    let mut sum = vec![0.0f64; n];
+    for &p in truth {
+        let p = p.clamp(0.0, 1.0);
+        let b = ((p * n as f64) as usize).min(n - 1);
+        count[b] += 1;
+        sum[b] += p;
+    }
+    (0..n)
+        .map(|b| CalibrationBucket {
+            lo: b as f64 / n as f64,
+            hi: (b + 1) as f64 / n as f64,
+            count: count[b],
+            mean_predicted: if count[b] > 0 {
+                sum[b] / count[b] as f64
+            } else {
+                0.0
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_core::{FusionModel, ModelConfig, MultiLayerModel, QualityInit};
+    use kbt_datamodel::{CubeBuilder, ExtractorId, Observation};
+
+    fn fitted() -> (kbt_datamodel::ObservationCube, FusionReport) {
+        let mut b = CubeBuilder::new();
+        for w in 0..4u32 {
+            for d in 0..6u32 {
+                let v = if w == 3 { 1 } else { 0 };
+                b.push(Observation::certain(
+                    ExtractorId::new(0),
+                    SourceId::new(w),
+                    ItemId::new(d),
+                    ValueId::new(v),
+                ));
+            }
+        }
+        let cube = b.build();
+        let report = MultiLayerModel::new(ModelConfig {
+            threads: Some(1),
+            ..ModelConfig::default()
+        })
+        .fit(&cube, &QualityInit::Default);
+        (cube, report)
+    }
+
+    fn snapshot_of(cube: &kbt_datamodel::ObservationCube, report: &FusionReport) -> TrustSnapshot {
+        let triples = cube
+            .groups()
+            .iter()
+            .map(|g| (g.source, g.item, g.value))
+            .collect();
+        TrustSnapshot::from_report(
+            report,
+            triples,
+            7,
+            SnapshotProvenance {
+                refit_mode: RefitMode::Cold,
+                deltas_applied: 0,
+                iterations: report.iterations(),
+                converged: report.converged(),
+                coverage: report.coverage(),
+            },
+        )
+    }
+
+    #[test]
+    fn queries_mirror_the_report_exactly() {
+        let (cube, report) = fitted();
+        let snap = snapshot_of(&cube, &report);
+        assert_eq!(snap.epoch(), 7);
+        assert_eq!(snap.num_sources(), 4);
+        assert_eq!(snap.num_triples(), cube.num_groups());
+        assert_eq!(snap.source_trust(), report.source_trust());
+        assert_eq!(snap.truth_of_group(), report.truth_of_group());
+        for w in 0..4u32 {
+            assert_eq!(
+                snap.trust(SourceId::new(w)),
+                Some(report.kbt(SourceId::new(w)))
+            );
+        }
+        assert_eq!(snap.trust(SourceId::new(9)), None);
+        for (g, grp) in cube.groups().iter().enumerate() {
+            assert_eq!(
+                snap.triple_posterior(grp.source, grp.item, grp.value),
+                Some(report.truth_of_group()[g])
+            );
+            assert_eq!(
+                snap.posterior(grp.item, grp.value),
+                Some(report.posteriors().prob(grp.item, grp.value))
+            );
+        }
+        assert_eq!(
+            snap.triple_posterior(SourceId::new(0), ItemId::new(0), ValueId::new(9)),
+            None
+        );
+        assert_eq!(snap.posterior(ItemId::new(99), ValueId::new(0)), None);
+        // The copy-blind fit serves neutral independence inside the id
+        // space and None outside it.
+        assert_eq!(snap.independence(SourceId::new(0)), Some(1.0));
+        assert_eq!(snap.independence(SourceId::new(9)), None);
+    }
+
+    #[test]
+    fn rankings_are_sorted_and_tie_broken_by_id() {
+        let (cube, report) = fitted();
+        let snap = snapshot_of(&cube, &report);
+        let top = snap.top_k_sources(10);
+        assert_eq!(top.len(), 4, "k larger than the population saturates");
+        for pair in top.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "unsorted: {pair:?}"
+            );
+        }
+        // The dissenting source 3 ranks last.
+        assert_eq!(top.last().unwrap().0, SourceId::new(3));
+        let triples = snap.top_k_triples(5);
+        assert_eq!(triples.len(), 5);
+        for pair in triples.windows(2) {
+            assert!(pair[0].3 >= pair[1].3);
+        }
+        assert!(snap.top_k_triples(0).is_empty());
+    }
+
+    #[test]
+    fn batched_lookups_match_point_queries() {
+        let (cube, report) = fitted();
+        let snap = snapshot_of(&cube, &report);
+        let ws: Vec<SourceId> = (0..6u32).map(SourceId::new).collect();
+        assert_eq!(
+            snap.trust_batch(&ws),
+            ws.iter().map(|&w| snap.trust(w)).collect::<Vec<_>>()
+        );
+        let pairs: Vec<(ItemId, ValueId)> = (0..8u32)
+            .map(|d| (ItemId::new(d), ValueId::new(d % 3)))
+            .collect();
+        assert_eq!(
+            snap.posterior_batch(&pairs),
+            pairs
+                .iter()
+                .map(|&(d, v)| snap.posterior(d, v))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn calibration_buckets_partition_the_triples() {
+        let (cube, report) = fitted();
+        let snap = snapshot_of(&cube, &report);
+        let cal = snap.calibration();
+        assert_eq!(cal.len(), CALIBRATION_BUCKETS);
+        let total: usize = cal.iter().map(|b| b.count).sum();
+        assert_eq!(total, snap.num_triples());
+        for b in cal {
+            if b.count > 0 {
+                assert!(b.mean_predicted >= b.lo - 1e-12 && b.mean_predicted <= b.hi + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_detects_corruption() {
+        let (cube, report) = fitted();
+        let snap = snapshot_of(&cube, &report);
+        assert!(snap.verify_integrity());
+        let mut torn = snap.clone();
+        torn.truth_of_group[0] += 1e-9;
+        assert!(
+            !torn.verify_integrity(),
+            "a flipped payload bit must be caught"
+        );
+        let mut wrong_epoch = snap.clone();
+        wrong_epoch.epoch = 8;
+        assert!(!wrong_epoch.verify_integrity());
+        // Every payload surface is covered, not just the trust columns.
+        let mut torn_cal = snap.clone();
+        torn_cal.calibration[9].count += 1;
+        assert!(!torn_cal.verify_integrity(), "calibration is covered");
+        let mut torn_prov = snap.clone();
+        torn_prov.provenance.coverage += 1e-9;
+        assert!(!torn_prov.verify_integrity(), "provenance is covered");
+        let mut torn_rank = snap.clone();
+        torn_rank.trust_rank.swap(0, 1);
+        assert!(!torn_rank.verify_integrity(), "rank orders are covered");
+    }
+}

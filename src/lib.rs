@@ -19,7 +19,10 @@
 //! * [`flume`] — the FlumeJava-like parallel dataflow engine,
 //! * [`metrics`] — SqV/SqC/SqA, WDev, AUC-PR, calibration, coverage,
 //! * [`pipeline`] — [`TrustPipeline`], the fluent entry point tying the
-//!   stages together.
+//!   stages together,
+//! * [`serve`] — the concurrent trust-serving layer: immutable
+//!   [`TrustSnapshot`]s published through an epoch-swapped store while a
+//!   [`TrustServer`] ingests deltas and refits in the background.
 //!
 //! ## The one entry point
 //!
@@ -52,6 +55,7 @@ pub use kbt_graph as graph;
 pub use kbt_kb as kb;
 pub use kbt_metrics as metrics;
 pub use kbt_pipeline as pipeline;
+pub use kbt_serve as serve;
 pub use kbt_synth as synth;
 
 pub use kbt_core::{
@@ -59,4 +63,5 @@ pub use kbt_core::{
     MultiLayerModel, MultiLayerResult, QualityInit, SingleLayerModel, SingleLayerResult,
 };
 pub use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
-pub use kbt_pipeline::{FusionSession, Model, PipelineRun, TrustPipeline};
+pub use kbt_pipeline::{FusionSession, Model, PipelineError, PipelineRun, TrustPipeline};
+pub use kbt_serve::{RefitMode, SnapshotReader, SnapshotStore, TrustServer, TrustSnapshot};
