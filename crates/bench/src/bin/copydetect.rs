@@ -197,8 +197,12 @@ fn main() {
 
     // ---- 2. Serial vs sharded detection throughput. ----
     println!("\ndetection throughput ({} passes):", scale.reps);
+    let mut speedups = Vec::new();
     for threads in [1usize, 8] {
-        detection_throughput(&cube, &accuracy, threads, scale.reps);
+        speedups.push((
+            threads,
+            detection_throughput(&cube, &accuracy, threads, scale.reps),
+        ));
     }
 
     // ---- 3. Detection quality: genuine dependencies at the top. ----
@@ -282,4 +286,27 @@ fn main() {
         acc.wrapping_mul(31).wrapping_add(a.to_bits())
     });
     println!("\nevidence checksum: {checksum:#018x}");
+
+    let mut report =
+        kbt_bench::BenchReport::new("copydetect", if smoke { "smoke" } else { "full" });
+    report
+        .count("sources", scale.sources as u64)
+        .count("copiers", scale.copiers as u64)
+        .count("candidate_pairs", candidates as u64)
+        .count("co_claiming_pairs", all_pairs as u64)
+        .count("top_pair_hits", hits as u64)
+        .count("top_pairs", top as u64)
+        .metric("fusion_accuracy_blind", map_accuracy(&blind))
+        .metric("fusion_accuracy_aware", map_accuracy(&aware))
+        .count("em_rounds_blind", blind.iterations() as u64)
+        .count("em_rounds_aware", aware.iterations() as u64)
+        .metric("fusion_ms_blind", blind_ms)
+        .metric("fusion_ms_aware", aware_ms)
+        .count("sources_discounted", discounted as u64);
+    for (threads, speedup) in &speedups {
+        report.metric(&format!("detect_speedup_{threads}t"), *speedup);
+    }
+    report.text("evidence_checksum", &format!("{checksum:#018x}"));
+    let path = report.write().expect("write bench report");
+    println!("report: {}", path.display());
 }

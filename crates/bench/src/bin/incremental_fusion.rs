@@ -102,7 +102,13 @@ fn report_line(label: &str, r: &FusionReport, wall_ms: f64) {
     );
 }
 
-fn estep_throughput(cube: &ObservationCube, cfg: &ModelConfig, threads: usize, reps: u32) {
+/// Returns `(flat, sharded)` ms/round at `threads` workers.
+fn estep_throughput(
+    cube: &ObservationCube,
+    cfg: &ModelConfig,
+    threads: usize,
+    reps: u32,
+) -> (f64, f64) {
     let params = Params::init(cube, cfg, &QualityInit::Default);
     let votes = VoteCounter::new(cube, &params, cfg);
     let alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
@@ -148,7 +154,8 @@ fn estep_throughput(cube: &ObservationCube, cfg: &ModelConfig, threads: usize, r
             "  {threads:>2} threads: flat {fm:>8.2} ms/round   sharded {sm:>8.2} ms/round   speedup x{:.2}",
             fm / sm
         );
-    });
+        (fm, sm)
+    })
 }
 
 fn main() {
@@ -217,8 +224,12 @@ fn main() {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let mut estep = Vec::new();
     for threads in [1usize, hw] {
-        estep_throughput(cube, &cfg, threads, scale.estep_reps);
+        estep.push((
+            threads,
+            estep_throughput(cube, &cfg, threads, scale.estep_reps),
+        ));
     }
 
     // ---- 3. Shard balance. ----
@@ -245,4 +256,32 @@ fn main() {
         acc.wrapping_mul(31).wrapping_add(a.to_bits())
     });
     println!("\ntrust checksum: {checksum:#018x}");
+
+    let mut report =
+        kbt_bench::BenchReport::new("incremental_fusion", if smoke { "smoke" } else { "full" });
+    report
+        .count("sources", scale.sources as u64)
+        .count("base_items", scale.base_items as u64)
+        .count("em_rounds_cold_base", cold.iterations() as u64)
+        .count("em_rounds_warm_final", warm_last as u64)
+        .count("em_rounds_cold_merged", cold_merged.iterations() as u64)
+        .count(
+            "em_rounds_saved_final",
+            cold_merged.iterations().saturating_sub(warm_last) as u64,
+        );
+    for (threads, (flat_ms, sharded_ms)) in &estep {
+        report
+            .metric(&format!("estep_flat_ms_{threads}t"), *flat_ms)
+            .metric(&format!("estep_sharded_ms_{threads}t"), *sharded_ms)
+            .metric(
+                &format!("estep_rounds_per_s_{threads}t"),
+                1e3 / sharded_ms.max(1e-9),
+            );
+    }
+    if min_cells > 0 {
+        report.metric("shard_cell_skew", max_cells as f64 / min_cells as f64);
+    }
+    report.text("trust_checksum", &format!("{checksum:#018x}"));
+    let path = report.write().expect("write bench report");
+    println!("report: {}", path.display());
 }

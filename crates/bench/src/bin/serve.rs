@@ -189,8 +189,16 @@ fn equality_phase(scale: &Scale, base: &[Observation], deltas: &[Vec<Observation
     assert_eq!(handle.epoch(), scale.delta_batches as u64);
 }
 
+/// One mode's cost from [`refit_phase`].
+struct RefitCost {
+    label: &'static str,
+    em_rounds: usize,
+    ms_per_refit: f64,
+}
+
 /// Phase 2: warm vs cold refit cost on the same delta schedule.
-fn refit_phase(base: &[Observation], deltas: &[Vec<Observation>]) {
+fn refit_phase(base: &[Observation], deltas: &[Vec<Observation>]) -> Vec<RefitCost> {
+    let mut costs = Vec::new();
     for (mode, label) in [(RefitMode::Warm, "warm"), (RefitMode::Cold, "cold")] {
         let mut server = TrustServer::new(
             TrustPipeline::new()
@@ -213,7 +221,13 @@ fn refit_phase(base: &[Observation], deltas: &[Vec<Observation>]) {
             deltas.len(),
             ms / deltas.len() as f64
         );
+        costs.push(RefitCost {
+            label,
+            em_rounds: iters,
+            ms_per_refit: ms / deltas.len() as f64,
+        });
     }
+    costs
 }
 
 /// One reader's measurement loop: mixed queries against the epoch-cached
@@ -262,10 +276,22 @@ fn reader_loop(
     samples.lock().unwrap().extend(lat);
 }
 
+/// One reader-count's measurement from [`scaling_phase`].
+struct ReaderRun {
+    readers: usize,
+    qps: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+}
+
 /// Phase 3: read throughput with 1 and 8 readers while a writer runs
-/// back-to-back warm refits. Returns (throughput_1, throughput_8).
-fn scaling_phase(scale: &Scale, base: &[Observation], deltas: &[Vec<Observation>]) -> (f64, f64) {
-    let mut throughput = Vec::new();
+/// back-to-back warm refits.
+fn scaling_phase(
+    scale: &Scale,
+    base: &[Observation],
+    deltas: &[Vec<Observation>],
+) -> Vec<ReaderRun> {
+    let mut runs = Vec::new();
     for readers in [1usize, 8] {
         let mut server = TrustServer::new(
             TrustPipeline::new()
@@ -321,9 +347,14 @@ fn scaling_phase(scale: &Scale, base: &[Observation], deltas: &[Vec<Observation>
             pct(0.50),
             pct(0.99),
         );
-        throughput.push(qps);
+        runs.push(ReaderRun {
+            readers,
+            qps,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+        });
     }
-    (throughput[0], throughput[1])
+    runs
 }
 
 fn main() {
@@ -350,10 +381,11 @@ fn main() {
     equality_phase(&scale, &base, &deltas);
 
     println!("\nrefit cost (same delta schedule):");
-    refit_phase(&base, &deltas);
+    let costs = refit_phase(&base, &deltas);
 
     println!("\nread scaling while refits run (warm mode):");
-    let (t1, t8) = scaling_phase(&scale, &base, &deltas);
+    let runs = scaling_phase(&scale, &base, &deltas);
+    let (t1, t8) = (runs[0].qps, runs[1].qps);
     let ratio = t8 / t1.max(1.0);
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -371,5 +403,25 @@ fn main() {
         );
     }
     assert!(t1 > 0.0 && t8 > 0.0, "readers must make progress");
-    println!("\nserve scenario OK");
+
+    let mut report = kbt_bench::BenchReport::new("serve", if smoke { "smoke" } else { "full" });
+    report
+        .count("sources", scale.sources as u64)
+        .count("base_observations", base.len() as u64)
+        .count("delta_batches", scale.delta_batches as u64);
+    for cost in &costs {
+        report
+            .count(&format!("em_rounds_{}", cost.label), cost.em_rounds as u64)
+            .metric(&format!("ms_per_refit_{}", cost.label), cost.ms_per_refit);
+    }
+    for run in &runs {
+        report
+            .metric(&format!("read_qps_{}r", run.readers), run.qps)
+            .metric(&format!("read_p50_ns_{}r", run.readers), run.p50_ns)
+            .metric(&format!("read_p99_ns_{}r", run.readers), run.p99_ns);
+    }
+    report.metric("read_scaling_ratio", ratio);
+    let path = report.write().expect("write bench report");
+    println!("\nreport: {}", path.display());
+    println!("serve scenario OK");
 }

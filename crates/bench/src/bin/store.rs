@@ -1,0 +1,285 @@
+//! The durable-store scenario: write-ahead append throughput,
+//! checkpoint cost, and crash recovery versus a cold refit.
+//!
+//! ```text
+//! cargo run --release -p kbt-bench --bin store [-- --smoke]
+//! ```
+//!
+//! Fixed-seed and deterministic in its data; `--smoke` shrinks the
+//! corpus so CI can run it in seconds. Phases:
+//!
+//! 1. **log-append throughput** — batches through a bare [`WalWriter`]
+//!    (records/s and MB/s), fsync deferred to the end so the number
+//!    measures the framing + write path, not the disk.
+//! 2. **durable serving** — a [`DurableTrustServer`] ingests and refits
+//!    a delta schedule with write-ahead logging and periodic
+//!    checkpoints; reports ms/refit with durability on, and the cost of
+//!    one explicit checkpoint.
+//! 3. **crash + recovery** — the server is dropped without shutdown,
+//!    the store recovered, and the recovered snapshot compared to the
+//!    last served one **field by field** (bit-identical, hard-asserted).
+//!    A second recovery runs against a log with a torn tail (simulated
+//!    crash mid-append) and must land on the same epoch.
+//! 4. **recovery vs cold refit** — recovery at a checkpoint is pure
+//!    decode; the EM fit it avoids is timed on the same recovered cube.
+//!    `recovery < cold refit` is hard-asserted: if decoding ever gets
+//!    slower than refitting, the store has no reason to exist.
+
+use std::fs::{self, OpenOptions};
+use std::time::Instant;
+
+use kbt_core::ModelConfig;
+use kbt_datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt_pipeline::{FusionSession, Model};
+use kbt_serve::RefitMode;
+use kbt_store::{config_digest, DurableTrustServer, FsyncPolicy, StoreConfig, WalWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Scale {
+    sources: u32,
+    base_items: u32,
+    delta_batches: u32,
+    items_per_delta: u32,
+    append_batches: u32,
+    append_batch_len: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            sources: 40,
+            base_items: 400,
+            delta_batches: 8,
+            items_per_delta: 6,
+            append_batches: 4000,
+            append_batch_len: 64,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            sources: 12,
+            base_items: 60,
+            delta_batches: 4,
+            items_per_delta: 3,
+            append_batches: 400,
+            append_batch_len: 64,
+        }
+    }
+}
+
+fn corpus(rng: &mut StdRng, sources: u32, items: std::ops::Range<u32>) -> Vec<Observation> {
+    let domain = 9u32;
+    let mut out = Vec::new();
+    for w in 0..sources {
+        let acc = 0.5 + 0.45 * (w as f64 / sources as f64);
+        for d in items.clone() {
+            if rng.gen::<f64>() > 0.6 {
+                continue;
+            }
+            let v = if rng.gen::<f64>() < acc {
+                d % 3
+            } else {
+                3 + (w + d) % (domain - 3)
+            };
+            for e in 0..2u32 {
+                if (w + d + e) % 5 != 0 {
+                    out.push(Observation::certain(
+                        ExtractorId::new(e),
+                        SourceId::new(w),
+                        ItemId::new(d),
+                        ValueId::new(v),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn model() -> Model {
+    Model::MultiLayer(ModelConfig {
+        max_iterations: 50,
+        convergence_eps: 1e-4,
+        ..ModelConfig::default()
+    })
+}
+
+/// Phase 1: raw log-append throughput. Returns `(records/s, MB/s)`.
+fn append_phase(dir: &std::path::Path, scale: &Scale, batch: &[Observation]) -> (f64, f64) {
+    let path = dir.join("append-bench.log");
+    let mut wal = WalWriter::create(&path, 0xBE7C, 0).expect("create bench log");
+    let t0 = Instant::now();
+    for _ in 0..scale.append_batches {
+        wal.append_add(batch).expect("append");
+    }
+    wal.sync().expect("final sync");
+    let secs = t0.elapsed().as_secs_f64();
+    let bytes = fs::metadata(&path).expect("log metadata").len();
+    let records = scale.append_batches as f64;
+    let rps = records / secs;
+    let mbps = bytes as f64 / 1e6 / secs;
+    println!(
+        "  {} batches x {} observations: {:>10.0} batches/s, {:>7.1} MB/s ({} bytes on disk)",
+        scale.append_batches, scale.append_batch_len, rps, mbps, bytes
+    );
+    let _ = fs::remove_file(&path);
+    (rps, mbps)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    let mut rng = StdRng::seed_from_u64(20150831); // fixed seed, always
+
+    let dir = std::env::temp_dir().join(format!("kbt-store-bench-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("bench dir");
+
+    let base = corpus(&mut rng, scale.sources, 0..scale.base_items);
+    let deltas: Vec<Vec<Observation>> = (0..scale.delta_batches)
+        .map(|i| {
+            let lo = scale.base_items + i * scale.items_per_delta;
+            corpus(&mut rng, scale.sources, lo..lo + scale.items_per_delta)
+        })
+        .collect();
+    println!(
+        "durable store scenario ({}): {} sources, {} base observations, {} delta batches",
+        if smoke { "smoke" } else { "full" },
+        scale.sources,
+        base.len(),
+        scale.delta_batches
+    );
+
+    // ---- 1. Log-append throughput. ----
+    println!("\nlog-append throughput (fsync deferred):");
+    let append_batch = &base[..scale.append_batch_len.min(base.len())];
+    let (append_rps, append_mbps) = append_phase(&dir, &scale, append_batch);
+
+    // ---- 2. Durable serving with checkpoints. ----
+    println!("\ndurable serving (fsync-on-commit, checkpoint every 2 batches):");
+    let store_dir = dir.join("store");
+    let config = StoreConfig {
+        checkpoint_every: 2,
+        fsync: FsyncPolicy::OnCommit,
+        keep_checkpoints: 2,
+    };
+    let session = FusionSession::from_observations(base.clone(), model());
+    let mut server = DurableTrustServer::create(&store_dir, session, RefitMode::Cold, config)
+        .expect("create store");
+    let t0 = Instant::now();
+    let mut em_rounds = 0usize;
+    for delta in &deltas {
+        server.ingest(delta.iter().copied()).expect("logged ingest");
+        let snap = server.refit().expect("committed refit").expect("publishes");
+        em_rounds += snap.provenance().iterations;
+    }
+    let refit_ms = t0.elapsed().as_secs_f64() * 1e3 / deltas.len() as f64;
+    println!(
+        "  {} durable refits: {refit_ms:.1} ms/refit, {em_rounds} EM rounds total",
+        deltas.len()
+    );
+
+    let t0 = Instant::now();
+    let ckpt_epoch = server.checkpoint_now().expect("explicit checkpoint");
+    let checkpoint_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("  explicit checkpoint at epoch {ckpt_epoch}: {checkpoint_ms:.1} ms");
+
+    // ---- 3. Crash, recover, verify bit-equality. ----
+    println!("\ncrash + recovery:");
+    let served = server.handle().snapshot();
+    drop(server); // the crash: no shutdown, no flush beyond the commits
+
+    let t0 = Instant::now();
+    let recovered = DurableTrustServer::recover(&store_dir, model()).expect("recover");
+    let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        recovered.replayed_commits, 0,
+        "crash landed on a checkpoint"
+    );
+    assert_eq!(recovered.snapshot.epoch(), served.epoch());
+    assert_eq!(
+        recovered.snapshot.fingerprint(),
+        served.fingerprint(),
+        "recovered fingerprint diverged"
+    );
+    assert_eq!(
+        &recovered.snapshot,
+        served.as_ref(),
+        "recovered snapshot is not bit-identical to the served one"
+    );
+    println!(
+        "  recovered epoch {} in {recovery_ms:.2} ms, fingerprint {:#018x}: bit-identical",
+        recovered.snapshot.epoch(),
+        recovered.snapshot.fingerprint()
+    );
+
+    // Torn tail: chop bytes off the newest log, recover again — same
+    // epoch (the tear only destroys uncommitted bytes).
+    let newest_wal = fs::read_dir(&store_dir)
+        .expect("store dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .max()
+        .expect("active log exists");
+    let len = fs::metadata(&newest_wal).expect("log metadata").len();
+    OpenOptions::new()
+        .write(true)
+        .open(&newest_wal)
+        .expect("open log")
+        .set_len(len.saturating_sub(7))
+        .expect("tear tail");
+    let torn = DurableTrustServer::recover(&store_dir, model()).expect("recover from torn tail");
+    assert_eq!(torn.snapshot.epoch(), served.epoch());
+    assert_eq!(torn.snapshot.fingerprint(), served.fingerprint());
+    println!("  torn-tail recovery: same epoch, same fingerprint");
+
+    // ---- 4. Recovery vs the cold refit it replaces. ----
+    println!("\nrecovery vs cold refit (same cube):");
+    let mut session = recovered.session;
+    let t0 = Instant::now();
+    let report = session.run_cold();
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  recovery {recovery_ms:>8.2} ms   cold refit {cold_ms:>8.2} ms ({} EM rounds)   speedup x{:.1}",
+        report.iterations(),
+        cold_ms / recovery_ms.max(1e-9)
+    );
+    assert!(
+        recovery_ms < cold_ms,
+        "recovery from a checkpoint ({recovery_ms:.2} ms) must be strictly cheaper than a cold refit ({cold_ms:.2} ms)"
+    );
+    println!("  recovery-cheaper-than-refit assertion: PASS");
+
+    let digest = config_digest(&model());
+    let mut bench = kbt_bench::BenchReport::new("store", if smoke { "smoke" } else { "full" });
+    bench
+        .count("sources", scale.sources as u64)
+        .count("base_observations", base.len() as u64)
+        .count("delta_batches", scale.delta_batches as u64)
+        .metric("append_batches_per_s", append_rps)
+        .metric("append_mb_per_s", append_mbps)
+        .metric("ms_per_durable_refit", refit_ms)
+        .count("em_rounds_total", em_rounds as u64)
+        .metric("checkpoint_ms", checkpoint_ms)
+        .metric("recovery_ms", recovery_ms)
+        .metric("cold_refit_ms", cold_ms)
+        .metric("recovery_speedup", cold_ms / recovery_ms.max(1e-9))
+        .count("em_rounds_avoided", report.iterations() as u64)
+        .flag("bit_identical_recovery", true)
+        .text("config_digest", &format!("{digest:#018x}"))
+        .text(
+            "recovered_fingerprint",
+            &format!("{:#018x}", recovered.snapshot.fingerprint()),
+        );
+    let path = bench.write().expect("write bench report");
+    println!("\nreport: {}", path.display());
+
+    let _ = fs::remove_dir_all(&dir);
+    println!("store scenario OK");
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 pub mod table;
 
 pub use harness::{
@@ -16,4 +17,5 @@ pub use harness::{
     run_multilayer_sm, run_singlelayer, score_predictions, MethodScores, SynthLosses,
     TriplePredictions,
 };
+pub use report::BenchReport;
 pub use table::{f3, f4, TableWriter};

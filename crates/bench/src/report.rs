@@ -1,0 +1,131 @@
+//! Machine-readable benchmark reports.
+//!
+//! Every scenario binary that supports `--smoke` emits a flat
+//! `BENCH_<name>.json` next to its stdout report, so CI can archive the
+//! numbers (throughput, latency percentiles, EM rounds, checksums) as
+//! artifacts and diff them across commits without scraping text output.
+//!
+//! The emitter is deliberately dependency-free: a flat string →
+//! number/string/bool map, written with stable field order (insertion
+//! order), no serde.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+/// Builder for one `BENCH_<name>.json` file.
+///
+/// Fields appear in the output in insertion order; `bench` and `mode`
+/// are always first.
+#[derive(Debug)]
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl BenchReport {
+    /// Start a report for the scenario `name` running at `mode`
+    /// (`"smoke"` or `"full"`).
+    pub fn new(name: &str, mode: &str) -> Self {
+        let mut report = Self {
+            name: name.to_string(),
+            fields: Vec::new(),
+        };
+        report.fields.push(("bench".into(), json_string(name)));
+        report.fields.push(("mode".into(), json_string(mode)));
+        report
+    }
+
+    /// Record a floating-point metric (non-finite values become `null`).
+    pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".into()
+        };
+        self.fields.push((key.into(), rendered));
+        self
+    }
+
+    /// Record an integer metric.
+    pub fn count(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Record a string field (e.g. a hex checksum).
+    pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.push((key.into(), json_string(value)));
+        self
+    }
+
+    /// Record a boolean field (e.g. an assertion outcome).
+    pub fn flag(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// The serialized JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&json_string(key));
+            out.push_str(": ");
+            out.push_str(value);
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Write `BENCH_<name>.json` into the current working directory (the
+    /// workspace root under `cargo run`) and return its path.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_json_in_insertion_order() {
+        let mut r = BenchReport::new("demo", "smoke");
+        r.metric("qps", 1234.5)
+            .count("em_rounds", 17)
+            .text("checksum", "0xdead\"beef")
+            .flag("ok", true)
+            .metric("bad", f64::NAN);
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"bench\": \"demo\",\n  \"mode\": \"smoke\",\n  \"qps\": 1234.5,\n  \"em_rounds\": 17,\n  \"checksum\": \"0xdead\\\"beef\",\n  \"ok\": true,\n  \"bad\": null\n}\n"
+        );
+    }
+}

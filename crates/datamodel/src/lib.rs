@@ -27,9 +27,11 @@ pub mod cube;
 pub mod ids;
 pub mod intern;
 pub mod triple;
+pub mod wire;
 
 pub use coclaim::{CandidatePair, CoClaimIndex};
 pub use cube::{Cell, CubeBuilder, CubeShardStats, ObservationCube, TripleGroup};
 pub use ids::{ExtractorId, ItemId, SourceId, ValueId};
 pub use intern::{Interner, SymbolTable};
 pub use triple::{DataItem, Observation, Triple};
+pub use wire::{WireReader, WireTruncated};

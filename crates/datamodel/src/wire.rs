@@ -1,0 +1,253 @@
+//! Stable little-endian on-disk encoding for the data-model types.
+//!
+//! The persistence layer (`kbt-store`) frames everything it writes —
+//! checkpoint snapshots and the append-only delta log — out of the
+//! primitives here: fixed-width little-endian integers, IEEE-754 bit
+//! patterns for floats (so a decoded value is **bit-identical** to the
+//! encoded one, never re-parsed through decimal), and the two record
+//! payloads the delta log carries, [`Observation`]s and
+//! `(source, item, value)` retraction keys.
+//!
+//! The encoding is deliberately hand-rolled, like the vendor shims: no
+//! serde, no varints, no alignment games. Every multi-byte quantity is
+//! little-endian; every float travels as its `to_bits()` image. Framing
+//! (lengths, checksums, magics) is the caller's business — this module
+//! only defines how individual values look on disk, plus the CRC-32
+//! ([`crc32`]) used for per-record integrity.
+
+use crate::ids::{ExtractorId, ItemId, SourceId, ValueId};
+use crate::triple::Observation;
+
+/// Encoded size of one [`Observation`]: four `u32` ids + one `f64`.
+pub const OBSERVATION_WIRE_BYTES: usize = 24;
+
+/// Encoded size of one `(source, item, value)` retraction key.
+pub const TRIPLE_KEY_WIRE_BYTES: usize = 12;
+
+// ---- writing ----
+
+/// Append a `u8`.
+#[inline]
+pub fn put_u8(buf: &mut Vec<u8>, x: u8) {
+    buf.push(x);
+}
+
+/// Append a `u32`, little-endian.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Append a `u64`, little-endian.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Append an `f64` as its exact IEEE-754 bit pattern, little-endian.
+#[inline]
+pub fn put_f64(buf: &mut Vec<u8>, x: f64) {
+    put_u64(buf, x.to_bits());
+}
+
+/// Append one [`Observation`] (`extractor`, `source`, `item`, `value`,
+/// `confidence` — [`OBSERVATION_WIRE_BYTES`] bytes).
+pub fn put_observation(buf: &mut Vec<u8>, o: &Observation) {
+    put_u32(buf, o.extractor.0);
+    put_u32(buf, o.source.0);
+    put_u32(buf, o.item.0);
+    put_u32(buf, o.value.0);
+    put_f64(buf, o.confidence);
+}
+
+/// Append one `(source, item, value)` retraction key
+/// ([`TRIPLE_KEY_WIRE_BYTES`] bytes).
+pub fn put_triple_key(buf: &mut Vec<u8>, key: &(SourceId, ItemId, ValueId)) {
+    put_u32(buf, key.0 .0);
+    put_u32(buf, key.1 .0);
+    put_u32(buf, key.2 .0);
+}
+
+// ---- reading ----
+
+/// Decoding failed: the input ended early. The byte-level integrity of a
+/// frame is the caller's job (CRC before parse); a reader hitting this
+/// means the frame length and its payload disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTruncated;
+
+impl std::fmt::Display for WireTruncated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire payload truncated")
+    }
+}
+
+impl std::error::Error for WireTruncated {}
+
+/// A bounds-checked cursor over an encoded byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireTruncated> {
+        if self.data.len() < n {
+            return Err(WireTruncated);
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    /// Consume one `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireTruncated> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Consume one little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireTruncated> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Consume one little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireTruncated> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Consume one `f64` stored as its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireTruncated> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Consume one [`Observation`].
+    pub fn observation(&mut self) -> Result<Observation, WireTruncated> {
+        Ok(Observation {
+            extractor: ExtractorId::new(self.u32()?),
+            source: SourceId::new(self.u32()?),
+            item: ItemId::new(self.u32()?),
+            value: ValueId::new(self.u32()?),
+            confidence: self.f64()?,
+        })
+    }
+
+    /// Consume one `(source, item, value)` retraction key.
+    pub fn triple_key(&mut self) -> Result<(SourceId, ItemId, ValueId), WireTruncated> {
+        Ok((
+            SourceId::new(self.u32()?),
+            ItemId::new(self.u32()?),
+            ValueId::new(self.u32()?),
+        ))
+    }
+}
+
+// ---- integrity ----
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+/// per-record checksum of the delta log and the whole-file checksum of
+/// checkpoint snapshots.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_and_floats_round_trip_bitwise() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        put_f64(&mut buf, 0.1 + 0.2);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.f64().unwrap(), 0.1 + 0.2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn observation_and_key_round_trip() {
+        let o = Observation {
+            extractor: ExtractorId::new(3),
+            source: SourceId::new(u32::MAX),
+            item: ItemId::new(0),
+            value: ValueId::new(99),
+            confidence: 0.625,
+        };
+        let key = (SourceId::new(1), ItemId::new(2), ValueId::new(3));
+        let mut buf = Vec::new();
+        put_observation(&mut buf, &o);
+        put_triple_key(&mut buf, &key);
+        assert_eq!(buf.len(), OBSERVATION_WIRE_BYTES + TRIPLE_KEY_WIRE_BYTES);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.observation().unwrap(), o);
+        assert_eq!(r.triple_key().unwrap(), key);
+    }
+
+    #[test]
+    fn truncated_reads_error_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 5);
+        let mut r = WireReader::new(&buf[..2]);
+        assert_eq!(r.u32(), Err(WireTruncated));
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.observation(), Err(WireTruncated));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

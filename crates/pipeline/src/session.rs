@@ -81,9 +81,31 @@ impl FusionSession {
         Self::new(b.build(), model)
     }
 
+    /// Rebuild a session from recovered state — the entry point crash
+    /// recovery (`kbt-store`) uses after decoding a checkpointed cube and
+    /// replaying the delta log onto it.
+    ///
+    /// The session starts with no warm-start state (no converged
+    /// parameters, truth hint, or independence priors): its first
+    /// [`Self::run`] is cold, which is what makes recovery bitwise
+    /// reproducible — a cold fit depends only on the cube contents.
+    /// `deltas_applied` restores the delta counter so provenance recorded
+    /// after recovery continues the pre-crash history.
+    pub fn restore(cube: ObservationCube, model: Model, deltas_applied: usize) -> Self {
+        Self {
+            deltas_applied,
+            ..Self::new(cube, model)
+        }
+    }
+
     /// The current cube (base plus every applied delta).
     pub fn cube(&self) -> &ObservationCube {
         &self.cube
+    }
+
+    /// The model this session fits with.
+    pub fn model(&self) -> &Model {
+        &self.model
     }
 
     /// The parameters the next [`Self::run`] will warm-start from —

@@ -83,8 +83,9 @@ pub mod server;
 pub mod snapshot;
 pub mod store;
 
-pub use server::{BackgroundServer, TrustHandle, TrustServer};
+pub use server::{BackgroundServer, DurabilityHook, HookError, TrustHandle, TrustServer};
 pub use snapshot::{
-    CalibrationBucket, RefitMode, SnapshotProvenance, TrustSnapshot, CALIBRATION_BUCKETS,
+    CalibrationBucket, RefitMode, SnapshotParts, SnapshotPartsError, SnapshotProvenance,
+    TrustSnapshot, CALIBRATION_BUCKETS,
 };
 pub use store::{SnapshotReader, SnapshotStore};

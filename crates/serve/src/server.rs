@@ -54,6 +54,38 @@ impl TrustHandle {
     }
 }
 
+/// The error type durability hooks surface: whatever the persistence
+/// layer failed with (I/O, a full disk, a corrupt log), boxed so
+/// `kbt-serve` stays independent of any particular store.
+pub type HookError = Box<dyn std::error::Error + Send + Sync>;
+
+/// The write-ahead contract between a [`TrustServer`] and a persistence
+/// layer (implemented by `kbt-store`, but any store can plug in).
+///
+/// The server calls [`log_ingest`](Self::log_ingest) /
+/// [`log_retract`](Self::log_retract) **before** queueing a batch — a
+/// batch the hook rejects is never queued, so the in-memory state can
+/// never run ahead of the log — and [`commit`](Self::commit) **after**
+/// each publish, handing over the freshly published snapshot and the
+/// session that produced it (the store decides there whether to
+/// checkpoint). A `commit` error is surfaced by the `try_*` refit
+/// methods and by [`BackgroundServer::shutdown`]; the snapshot is
+/// already published in memory at that point, but is not durable.
+pub trait DurabilityHook: Send {
+    /// Persist an additive observation batch before it is queued.
+    fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookError>;
+    /// Persist a retraction batch before it is queued.
+    fn log_retract(&mut self, retractions: &[(SourceId, ItemId, ValueId)])
+        -> Result<(), HookError>;
+    /// Make everything logged before `snapshot`'s refit durable (fsync
+    /// the log, optionally checkpoint from `session`).
+    fn commit(
+        &mut self,
+        snapshot: &TrustSnapshot,
+        session: &FusionSession,
+    ) -> Result<(), HookError>;
+}
+
 /// The single-writer trust server: owns a [`FusionSession`] and a
 /// [`SnapshotStore`], and is the only code path that refits or
 /// publishes.
@@ -62,7 +94,6 @@ impl TrustHandle {
 /// successful [`refit`](Self::refit) publishes the next epoch. Use
 /// [`spawn`](Self::spawn) to move the server onto a background thread
 /// and keep only [`TrustHandle`]s on the serving side.
-#[derive(Debug)]
 pub struct TrustServer {
     session: FusionSession,
     store: Arc<SnapshotStore>,
@@ -72,6 +103,21 @@ pub struct TrustServer {
     pending: Vec<PendingDelta>,
     mode: RefitMode,
     epoch: u64,
+    /// Write-ahead persistence, when attached ([`Self::set_hook`]).
+    hook: Option<Box<dyn DurabilityHook>>,
+}
+
+impl std::fmt::Debug for TrustServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustServer")
+            .field("session", &self.session)
+            .field("store", &self.store)
+            .field("pending", &self.pending)
+            .field("mode", &self.mode)
+            .field("epoch", &self.epoch)
+            .field("hook", &self.hook.as_ref().map(|_| "attached"))
+            .finish()
+    }
 }
 
 /// One queued run of same-kind deltas (consecutive submissions of the
@@ -94,6 +140,25 @@ impl TrustServer {
             pending: Vec::new(),
             mode,
             epoch: 0,
+            hook: None,
+        }
+    }
+
+    /// Resume a server from recovered state **without refitting**: the
+    /// store immediately serves `snapshot` under its own epoch, and the
+    /// next publish continues from there. `session` must be the session
+    /// state the snapshot was fitted on (cube contents and delta count
+    /// aligned) — `kbt-store` reconstructs both from a checkpoint + log
+    /// replay and hands them here.
+    pub fn resume(session: FusionSession, snapshot: TrustSnapshot, mode: RefitMode) -> Self {
+        let epoch = snapshot.epoch();
+        Self {
+            session,
+            store: Arc::new(SnapshotStore::new(snapshot)),
+            pending: Vec::new(),
+            mode,
+            epoch,
+            hook: None,
         }
     }
 
@@ -131,39 +196,89 @@ impl TrustServer {
         &self.session
     }
 
+    /// Attach a write-ahead persistence hook. Batches queued from now on
+    /// are logged through it before they are accepted, and every publish
+    /// is followed by a [`DurabilityHook::commit`].
+    pub fn set_hook(&mut self, hook: Box<dyn DurabilityHook>) -> &mut Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// Detach and return the persistence hook, if one was attached.
+    pub fn take_hook(&mut self) -> Option<Box<dyn DurabilityHook>> {
+        self.hook.take()
+    }
+
     /// Queue an additive observation delta for the next refit. Deltas
     /// and retractions are applied in submission order at refit time.
+    ///
+    /// # Panics
+    ///
+    /// If an attached [`DurabilityHook`] rejects the batch — use
+    /// [`try_ingest`](Self::try_ingest) to handle log failures.
     pub fn ingest(&mut self, delta: impl IntoIterator<Item = Observation>) -> &mut Self {
-        let mut delta = delta.into_iter().peekable();
-        if delta.peek().is_none() {
-            return self; // an empty batch must not trigger a publish
+        self.try_ingest(delta)
+            .expect("durability hook rejected an ingest batch");
+        self
+    }
+
+    /// [`Self::ingest`], surfacing the write-ahead log error instead of
+    /// panicking. On `Err` the batch was **not** queued: the in-memory
+    /// state never runs ahead of the log.
+    pub fn try_ingest(
+        &mut self,
+        delta: impl IntoIterator<Item = Observation>,
+    ) -> Result<(), HookError> {
+        let delta: Vec<Observation> = delta.into_iter().collect();
+        if delta.is_empty() {
+            return Ok(()); // an empty batch must not trigger a publish
+        }
+        if let Some(hook) = &mut self.hook {
+            hook.log_ingest(&delta)?;
         }
         match self.pending.last_mut() {
             Some(PendingDelta::Add(run)) => run.extend(delta),
-            _ => self.pending.push(PendingDelta::Add(delta.collect())),
+            _ => self.pending.push(PendingDelta::Add(delta)),
         }
-        self
+        Ok(())
     }
 
     /// Queue a retraction batch (remove `(source, item, value)` triples)
     /// for the next refit. Applied in submission order relative to
     /// [`ingest`](Self::ingest): retracting a triple and then re-ingesting
     /// it leaves the new observation in place.
+    ///
+    /// # Panics
+    ///
+    /// If an attached [`DurabilityHook`] rejects the batch — use
+    /// [`try_retract`](Self::try_retract) to handle log failures.
     pub fn retract(
         &mut self,
         retractions: impl IntoIterator<Item = (SourceId, ItemId, ValueId)>,
     ) -> &mut Self {
-        let mut retractions = retractions.into_iter().peekable();
-        if retractions.peek().is_none() {
-            return self; // an empty batch must not trigger a publish
+        self.try_retract(retractions)
+            .expect("durability hook rejected a retraction batch");
+        self
+    }
+
+    /// [`Self::retract`], surfacing the write-ahead log error instead of
+    /// panicking. On `Err` the batch was **not** queued.
+    pub fn try_retract(
+        &mut self,
+        retractions: impl IntoIterator<Item = (SourceId, ItemId, ValueId)>,
+    ) -> Result<(), HookError> {
+        let retractions: Vec<(SourceId, ItemId, ValueId)> = retractions.into_iter().collect();
+        if retractions.is_empty() {
+            return Ok(()); // an empty batch must not trigger a publish
+        }
+        if let Some(hook) = &mut self.hook {
+            hook.log_retract(&retractions)?;
         }
         match self.pending.last_mut() {
             Some(PendingDelta::Remove(run)) => run.extend(retractions),
-            _ => self
-                .pending
-                .push(PendingDelta::Remove(retractions.collect())),
+            _ => self.pending.push(PendingDelta::Remove(retractions)),
         }
-        self
+        Ok(())
     }
 
     /// Number of queued (not yet refitted) observations and retractions.
@@ -183,18 +298,45 @@ impl TrustServer {
     /// next epoch. Returns `None` (and publishes nothing) when the queue
     /// is empty — back-to-back refits on a quiet server would otherwise
     /// churn epochs without changing an answer.
+    ///
+    /// # Panics
+    ///
+    /// If an attached [`DurabilityHook`] fails its post-publish commit —
+    /// use [`try_refit`](Self::try_refit) to handle that.
     pub fn refit(&mut self) -> Option<Arc<TrustSnapshot>> {
+        self.try_refit()
+            .expect("durability hook failed to commit a refit")
+    }
+
+    /// [`Self::refit`], surfacing a [`DurabilityHook::commit`] failure.
+    /// On `Err` the snapshot **was** published to in-memory readers but
+    /// is not durable; the caller decides whether to retry the commit or
+    /// stop the server.
+    pub fn try_refit(&mut self) -> Result<Option<Arc<TrustSnapshot>>, HookError> {
         if self.pending.is_empty() {
-            return None;
+            return Ok(None);
         }
-        Some(self.force_refit())
+        self.try_force_refit().map(Some)
     }
 
     /// [`Self::refit`] even when no delta is queued — always refits and
     /// publishes a new epoch. Used by the `serve` bench to keep a refit
     /// permanently in flight while readers hammer the store, and useful
     /// operationally to re-publish after an out-of-band change.
+    ///
+    /// # Panics
+    ///
+    /// If an attached [`DurabilityHook`] fails its post-publish commit —
+    /// use [`try_force_refit`](Self::try_force_refit) to handle that.
     pub fn force_refit(&mut self) -> Arc<TrustSnapshot> {
+        self.try_force_refit()
+            .expect("durability hook failed to commit a refit")
+    }
+
+    /// [`Self::force_refit`], surfacing a [`DurabilityHook::commit`]
+    /// failure (see [`try_refit`](Self::try_refit) for the error
+    /// semantics).
+    pub fn try_force_refit(&mut self) -> Result<Arc<TrustSnapshot>, HookError> {
         for delta in std::mem::take(&mut self.pending) {
             match delta {
                 PendingDelta::Add(obs) => {
@@ -207,7 +349,11 @@ impl TrustServer {
         }
         self.epoch += 1;
         let snap = fit_and_export(&mut self.session, self.mode, self.epoch);
-        self.store.publish(snap)
+        let installed = self.store.publish(snap);
+        if let Some(hook) = &mut self.hook {
+            hook.commit(&installed, &self.session)?;
+        }
+        Ok(installed)
     }
 
     /// Move the server onto a background thread: deltas flow in through
@@ -230,7 +376,10 @@ enum Command {
     Shutdown,
 }
 
-fn background_loop(mut server: TrustServer, rx: mpsc::Receiver<Command>) -> TrustServer {
+fn background_loop(
+    mut server: TrustServer,
+    rx: mpsc::Receiver<Command>,
+) -> (TrustServer, Result<(), HookError>) {
     let mut shutdown = false;
     while !shutdown {
         let Ok(first) = rx.recv() else { break };
@@ -239,34 +388,41 @@ fn background_loop(mut server: TrustServer, rx: mpsc::Receiver<Command>) -> Trus
         // Batch: fold in everything that is already waiting, so one refit
         // covers the whole burst instead of one refit per message.
         loop {
-            match queue.take() {
-                Some(Command::Ingest(obs)) => {
-                    server.ingest(obs);
+            let step = match queue.take() {
+                Some(Command::Ingest(obs)) => server.try_ingest(obs),
+                Some(Command::Retract(keys)) => server.try_retract(keys),
+                Some(Command::Refit) => {
+                    force = true;
+                    Ok(())
                 }
-                Some(Command::Retract(keys)) => {
-                    server.retract(keys);
-                }
-                Some(Command::Refit) => force = true,
                 Some(Command::Shutdown) => {
                     // Flush what was queued ahead of the shutdown, then
                     // stop (messages behind it are dropped unread).
                     shutdown = true;
                     break;
                 }
-                None => {}
+                None => Ok(()),
+            };
+            if let Err(e) = step {
+                // A failed write-ahead log: stop consuming rather than
+                // silently serve batches that were never made durable.
+                return (server, Err(e));
             }
             match rx.try_recv() {
                 Ok(next) => queue = Some(next),
                 Err(_) => break,
             }
         }
-        if force {
-            server.force_refit();
+        let step = if force {
+            server.try_force_refit().map(|_| ())
         } else {
-            server.refit();
+            server.try_refit().map(|_| ())
+        };
+        if let Err(e) = step {
+            return (server, Err(e));
         }
     }
-    server
+    (server, Ok(()))
 }
 
 /// Handle to a [`TrustServer`] running on a background thread.
@@ -277,7 +433,7 @@ fn background_loop(mut server: TrustServer, rx: mpsc::Receiver<Command>) -> Trus
 pub struct BackgroundServer {
     handle: TrustHandle,
     tx: mpsc::Sender<Command>,
-    join: JoinHandle<TrustServer>,
+    join: JoinHandle<(TrustServer, Result<(), HookError>)>,
 }
 
 impl BackgroundServer {
@@ -307,7 +463,14 @@ impl BackgroundServer {
     /// Stop the background thread and take the server back. Deltas that
     /// were queued ahead of the shutdown are flushed with one final
     /// refit before the thread exits.
-    pub fn shutdown(self) -> TrustServer {
+    ///
+    /// The `Result` is the durability outcome of the loop — `Err` when
+    /// an attached [`DurabilityHook`] failed (including during the final
+    /// queue flush), in which case the loop stopped at the failure and
+    /// later messages were dropped unread. Servers without a hook always
+    /// return `Ok(())`; either way the `TrustServer` comes back so its
+    /// in-memory state can be inspected or republished.
+    pub fn shutdown(self) -> (TrustServer, Result<(), HookError>) {
         let _ = self.tx.send(Command::Shutdown);
         self.join.join().expect("trust server thread panicked")
     }
@@ -527,7 +690,8 @@ mod tests {
         assert!(server.ingest(corpus(8..9)));
         assert!(server.ingest(corpus(9..10)));
         assert!(server.refit());
-        let server = server.shutdown();
+        let (server, flush) = server.shutdown();
+        flush.expect("no hook attached: the flush cannot fail");
         assert!(server.epoch() >= 1, "the burst produced a publish");
         assert_eq!(handle.epoch(), server.epoch());
         let snap = handle.snapshot();
@@ -535,5 +699,139 @@ mod tests {
         assert!(snap.provenance().deltas_applied >= 1);
         // Everything queued was folded in before shutdown.
         assert_eq!(server.pending(), (0, 0));
+    }
+
+    /// A hook that records calls and can be armed to fail, for the
+    /// write-ahead ordering and error-surfacing contracts.
+    struct ProbeHook {
+        log: Arc<std::sync::Mutex<Vec<String>>>,
+        fail_commit: bool,
+        fail_log: bool,
+    }
+
+    impl DurabilityHook for ProbeHook {
+        fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookError> {
+            if self.fail_log {
+                return Err("log device gone".into());
+            }
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("ingest:{}", delta.len()));
+            Ok(())
+        }
+        fn log_retract(
+            &mut self,
+            retractions: &[(SourceId, ItemId, ValueId)],
+        ) -> Result<(), HookError> {
+            if self.fail_log {
+                return Err("log device gone".into());
+            }
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("retract:{}", retractions.len()));
+            Ok(())
+        }
+        fn commit(
+            &mut self,
+            snapshot: &TrustSnapshot,
+            session: &FusionSession,
+        ) -> Result<(), HookError> {
+            if self.fail_commit {
+                return Err("commit fsync failed".into());
+            }
+            assert_eq!(
+                snapshot.provenance().deltas_applied,
+                session.deltas_applied(),
+                "commit sees the snapshot and the session it was fitted on"
+            );
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("commit:{}", snapshot.epoch()));
+            Ok(())
+        }
+    }
+
+    /// Batches are logged before they are queued, and every publish is
+    /// followed by a commit carrying the published epoch.
+    #[test]
+    fn hook_sees_log_before_queue_and_commit_after_publish() {
+        let session = TrustPipeline::new()
+            .observations(corpus(0..8))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Cold);
+        let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+        server.set_hook(Box::new(ProbeHook {
+            log: Arc::clone(&log),
+            fail_commit: false,
+            fail_log: false,
+        }));
+        let delta = corpus(8..9);
+        let n = delta.len();
+        server.ingest(delta);
+        let key = {
+            let g = &server.session().cube().groups()[0];
+            (g.source, g.item, g.value)
+        };
+        server.retract([key]);
+        server.refit().expect("delta publishes");
+        assert_eq!(
+            log.lock().unwrap().as_slice(),
+            [format!("ingest:{n}"), "retract:1".into(), "commit:1".into()]
+        );
+        assert!(server.take_hook().is_some());
+    }
+
+    /// A rejected log entry keeps the batch out of the queue (the memory
+    /// state never runs ahead of the log).
+    #[test]
+    fn rejected_log_batches_are_not_queued() {
+        let session = TrustPipeline::new()
+            .observations(corpus(0..8))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Cold);
+        server.set_hook(Box::new(ProbeHook {
+            log: Arc::default(),
+            fail_commit: false,
+            fail_log: true,
+        }));
+        assert!(server.try_ingest(corpus(8..9)).is_err());
+        assert!(server
+            .try_retract([(SourceId::new(0), ItemId::new(0), ValueId::new(0))])
+            .is_err());
+        assert_eq!(server.pending(), (0, 0));
+        assert!(server.try_refit().unwrap().is_none(), "nothing queued");
+    }
+
+    /// The satellite fix: a hook failure during the final queue flush is
+    /// surfaced by `shutdown`, not silently dropped.
+    #[test]
+    fn background_shutdown_surfaces_final_flush_errors() {
+        let session = TrustPipeline::new()
+            .observations(corpus(0..8))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Cold);
+        server.set_hook(Box::new(ProbeHook {
+            log: Arc::default(),
+            fail_commit: true,
+            fail_log: false,
+        }));
+        let server = server.spawn();
+        assert!(server.ingest(corpus(8..9)));
+        let (server, flush) = server.shutdown();
+        let err = flush.expect_err("the flush commit failed");
+        assert!(err.to_string().contains("commit fsync failed"));
+        // The refit itself went through in memory before the commit
+        // failed — exactly the "published but not durable" state the
+        // caller must be told about.
+        assert!(server.epoch() >= 1);
     }
 }

@@ -68,6 +68,62 @@ pub struct CalibrationBucket {
 /// Number of calibration buckets a snapshot carries.
 pub const CALIBRATION_BUCKETS: usize = 10;
 
+/// The payload of a [`TrustSnapshot`], split out for persistence.
+///
+/// These are exactly the fields a codec must write to reproduce a
+/// snapshot bit for bit; the snapshot's remaining state (rank orders,
+/// calibration buckets, the integrity fingerprint) is a deterministic
+/// function of this payload and is recomputed by
+/// [`TrustSnapshot::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotParts {
+    /// The epoch the snapshot was published under.
+    pub epoch: u64,
+    /// Which engine produced the underlying report.
+    pub model: ModelKind,
+    /// `A_w` per source — the KBT scores.
+    pub source_trust: Vec<f64>,
+    /// Whether each source had enough data to move off the default
+    /// accuracy; aligned with `source_trust`.
+    pub active_source: Vec<bool>,
+    /// Copy-independence factor `I(w)` per source; `None` when the fit
+    /// was copy-blind.
+    pub independence: Option<Vec<f64>>,
+    /// `(source, item, value)` key of each triple group, strictly sorted.
+    pub triples: Vec<(SourceId, ItemId, ValueId)>,
+    /// `p(V_d = v(g) | X)` per triple group, aligned with `triples`.
+    pub truth_of_group: Vec<f64>,
+    /// Per-item posterior over observed values + uniform unobserved mass.
+    pub posteriors: kbt_core::ItemPosteriors,
+    /// Delta history and fit diagnostics.
+    pub provenance: SnapshotProvenance,
+}
+
+/// Why [`TrustSnapshot::from_parts`] rejected a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotPartsError {
+    /// `triples` and `truth_of_group` have different lengths.
+    MisalignedTriples,
+    /// `active_source` (or a present `independence`) disagrees with
+    /// `source_trust` on the number of sources.
+    MisalignedSources,
+    /// The triple key column is not strictly sorted, so binary-searched
+    /// queries would miss triples.
+    UnsortedTriples,
+}
+
+impl std::fmt::Display for SnapshotPartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MisalignedTriples => write!(f, "triple keys and truth posteriors misaligned"),
+            Self::MisalignedSources => write!(f, "per-source columns disagree on source count"),
+            Self::UnsortedTriples => write!(f, "triple key column is not strictly sorted"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotPartsError {}
+
 /// An immutable serving snapshot of one fusion epoch.
 ///
 /// Built once per refit by [`TrustSnapshot::from_report`]; all queries
@@ -124,8 +180,62 @@ impl TrustSnapshot {
             report.truth_of_group().len(),
             "triple keys must align with the report's group arrays"
         );
-        let source_trust = report.source_trust().to_vec();
-        let truth_of_group = report.truth_of_group().to_vec();
+        Self::from_parts(SnapshotParts {
+            epoch,
+            model: report.model,
+            source_trust: report.source_trust().to_vec(),
+            active_source: report.active_source().to_vec(),
+            independence: report.source_independence().map(<[f64]>::to_vec),
+            triples,
+            truth_of_group: report.truth_of_group().to_vec(),
+            posteriors: report.posteriors().clone(),
+            provenance,
+        })
+        .expect("a fusion report always exports aligned snapshot parts")
+    }
+
+    /// Rebuild a snapshot from its payload [`SnapshotParts`] — the
+    /// decode-side constructor of the persistence layer.
+    ///
+    /// The derived state (rank orders, calibration buckets, fingerprint)
+    /// is **recomputed**, not trusted from the caller: it is a pure
+    /// deterministic function of the payload (`f64::total_cmp` sorts and
+    /// fixed-order FNV-1a), so a round trip through
+    /// [`to_parts`](Self::to_parts) reproduces the original snapshot
+    /// bit for bit — including [`fingerprint`](Self::fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// When the columns are mutually inconsistent: misaligned lengths
+    /// between triples/posterior columns or source columns, or a triple
+    /// key column that is not strictly sorted (the binary-searched query
+    /// index would silently miss triples).
+    pub fn from_parts(parts: SnapshotParts) -> Result<Self, SnapshotPartsError> {
+        let SnapshotParts {
+            epoch,
+            model,
+            source_trust,
+            active_source,
+            independence,
+            triples,
+            truth_of_group,
+            posteriors,
+            provenance,
+        } = parts;
+        if triples.len() != truth_of_group.len() {
+            return Err(SnapshotPartsError::MisalignedTriples);
+        }
+        if active_source.len() != source_trust.len() {
+            return Err(SnapshotPartsError::MisalignedSources);
+        }
+        if let Some(ind) = &independence {
+            if ind.len() != source_trust.len() {
+                return Err(SnapshotPartsError::MisalignedSources);
+            }
+        }
+        if triples.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(SnapshotPartsError::UnsortedTriples);
+        }
 
         let mut trust_rank: Vec<u32> = (0..source_trust.len() as u32).collect();
         trust_rank.sort_by(|&a, &b| {
@@ -139,13 +249,13 @@ impl TrustSnapshot {
         let calibration = calibration_buckets(&truth_of_group);
         let mut snap = Self {
             epoch,
-            model: report.model,
+            model,
             source_trust,
-            active_source: report.active_source().to_vec(),
-            independence: report.source_independence().map(<[f64]>::to_vec),
+            active_source,
+            independence,
             triples,
             truth_of_group,
-            posteriors: report.posteriors().clone(),
+            posteriors,
             trust_rank,
             truth_rank,
             calibration,
@@ -153,7 +263,26 @@ impl TrustSnapshot {
             fingerprint: 0,
         };
         snap.fingerprint = snap.compute_fingerprint();
-        snap
+        Ok(snap)
+    }
+
+    /// Clone out the payload fields — everything
+    /// [`from_parts`](Self::from_parts) needs to rebuild this snapshot
+    /// bit for bit. Derived state (ranks, calibration, fingerprint) is
+    /// deliberately absent: it is recomputed on rebuild, so a persisted
+    /// snapshot cannot carry a payload/derived-state mismatch.
+    pub fn to_parts(&self) -> SnapshotParts {
+        SnapshotParts {
+            epoch: self.epoch,
+            model: self.model,
+            source_trust: self.source_trust.clone(),
+            active_source: self.active_source.clone(),
+            independence: self.independence.clone(),
+            triples: self.triples.clone(),
+            truth_of_group: self.truth_of_group.clone(),
+            posteriors: self.posteriors.clone(),
+            provenance: self.provenance,
+        }
     }
 
     // ---- identity ----
@@ -312,6 +441,24 @@ impl TrustSnapshot {
     /// sorted.
     pub fn triple_keys(&self) -> &[(SourceId, ItemId, ValueId)] {
         &self.triples
+    }
+
+    /// The per-source activity column, aligned with
+    /// [`Self::source_trust`].
+    pub fn active_sources(&self) -> &[bool] {
+        &self.active_source
+    }
+
+    /// The raw per-source independence column: `None` when the fit was
+    /// copy-blind (the point query [`Self::independence`] answers 1.0 in
+    /// that case; codecs need the distinction to round-trip exactly).
+    pub fn independence_column(&self) -> Option<&[f64]> {
+        self.independence.as_deref()
+    }
+
+    /// The full per-item posterior table.
+    pub fn posteriors(&self) -> &kbt_core::ItemPosteriors {
+        &self.posteriors
     }
 
     /// The posterior-confidence histogram (see [`CalibrationBucket`]).
@@ -590,5 +737,47 @@ mod tests {
         let mut torn_rank = snap.clone();
         torn_rank.trust_rank.swap(0, 1);
         assert!(!torn_rank.verify_integrity(), "rank orders are covered");
+    }
+
+    /// The persistence contract: `to_parts |> from_parts` reproduces the
+    /// snapshot bit for bit, derived state and fingerprint included.
+    #[test]
+    fn parts_round_trip_is_bit_identical() {
+        let (cube, report) = fitted();
+        let snap = snapshot_of(&cube, &report);
+        let rebuilt = TrustSnapshot::from_parts(snap.to_parts()).unwrap();
+        assert_eq!(rebuilt, snap);
+        assert_eq!(rebuilt.fingerprint(), snap.fingerprint());
+        assert!(rebuilt.verify_integrity());
+    }
+
+    #[test]
+    fn inconsistent_parts_are_rejected() {
+        let (cube, report) = fitted();
+        let snap = snapshot_of(&cube, &report);
+        let mut short = snap.to_parts();
+        short.truth_of_group.pop();
+        assert_eq!(
+            TrustSnapshot::from_parts(short),
+            Err(SnapshotPartsError::MisalignedTriples)
+        );
+        let mut extra = snap.to_parts();
+        extra.active_source.push(true);
+        assert_eq!(
+            TrustSnapshot::from_parts(extra),
+            Err(SnapshotPartsError::MisalignedSources)
+        );
+        let mut wide = snap.to_parts();
+        wide.independence = Some(vec![1.0; wide.source_trust.len() + 1]);
+        assert_eq!(
+            TrustSnapshot::from_parts(wide),
+            Err(SnapshotPartsError::MisalignedSources)
+        );
+        let mut unsorted = snap.to_parts();
+        unsorted.triples.swap(0, 1);
+        assert_eq!(
+            TrustSnapshot::from_parts(unsorted),
+            Err(SnapshotPartsError::UnsortedTriples)
+        );
     }
 }

@@ -159,7 +159,8 @@ fn background_refitter_preserves_reader_guarantees() {
             let lo = 20 + i * 2;
             assert!(server.ingest(corpus(lo..lo + 2)));
         }
-        let server = server.shutdown(); // flushes the queue
+        let (server, flush) = server.shutdown(); // flushes the queue
+        flush.expect("no hook attached: the flush cannot fail");
         assert!(server.epoch() >= 1, "the burst published at least once");
         assert_eq!(server.pending(), (0, 0));
         done.store(true, Ordering::SeqCst);

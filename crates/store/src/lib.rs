@@ -1,0 +1,66 @@
+//! # kbt-store
+//!
+//! Crash-safe persistence for the trust-serving layer: durable
+//! [`TrustSnapshot`](kbt_serve::TrustSnapshot) checkpoints plus a
+//! write-ahead log of ingested deltas and retractions, so a restarted
+//! server recovers to a **bit-identical epoch** instead of cold-refitting
+//! the whole knowledge-based-trust model from raw observations.
+//!
+//! ## The on-disk layout
+//!
+//! A store is one directory holding two kinds of files:
+//!
+//! * `checkpoint-<epoch>` — the full durable state at one published
+//!   epoch: the observation cube (every cell, so the EM engine can be
+//!   restarted on it) and the published snapshot payload, framed with a
+//!   magic, a format version, a model-config digest, the snapshot's own
+//!   payload fingerprint, and a trailing CRC-32. Written atomically
+//!   (tmp + fsync + rename + directory fsync).
+//! * `wal-<epoch>.log` — the append-only delta log whose **base** is
+//!   `checkpoint-<epoch>`: length-prefixed frames with a per-record
+//!   CRC-32, one frame per ingested batch, retraction batch, or commit
+//!   marker. A torn tail (a crash mid-append) is detected and truncated
+//!   on open.
+//!
+//! ## The protocol
+//!
+//! [`DurableTrustServer`] wraps a
+//! [`TrustServer`](kbt_serve::TrustServer) with a
+//! [`DurabilityHook`](kbt_serve::DurabilityHook):
+//!
+//! 1. every batch is **logged before it is queued** — the in-memory
+//!    server can never run ahead of the log;
+//! 2. every publish appends a commit marker carrying the new epoch and
+//!    (under [`FsyncPolicy::OnCommit`]) fsyncs the log;
+//! 3. every [`StoreConfig::checkpoint_every`] applied batches, the hook
+//!    checkpoints the fresh snapshot + cube, rotates to a new log whose
+//!    base is that checkpoint, and prunes files older than
+//!    [`StoreConfig::keep_checkpoints`] checkpoints.
+//!
+//! ## Recovery
+//!
+//! [`DurableTrustServer::recover`] loads the newest checkpoint that
+//! decodes cleanly (older ones are fallbacks if the newest is corrupt),
+//! then replays the log chain: batches covered by a commit marker are
+//! re-applied to the session exactly as the live server applied them
+//! (consecutive same-kind batches coalesce into one delta run), and the
+//! uncommitted tail is re-queued as pending. If any commit was replayed,
+//! one cold refit rebuilds the snapshot — and because a cold fit depends
+//! only on the cube contents ([`RefitMode::Cold`](kbt_serve::RefitMode)
+//! reproducibility), the recovered snapshot's fingerprint equals the
+//! pre-crash epoch's bit for bit. If the crash landed exactly on a
+//! checkpoint, recovery is a pure decode: no EM at all, strictly cheaper
+//! than any refit.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod durable;
+pub mod wal;
+
+pub use codec::{decode_checkpoint, encode_checkpoint, CheckpointContents};
+pub use durable::{
+    config_digest, DeltaBatch, DurableTrustServer, FsyncPolicy, RecoveredState, StoreConfig,
+    StoreError,
+};
+pub use wal::{WalReadOutcome, WalRecord, WalWriter};

@@ -1,0 +1,355 @@
+//! The write-ahead delta log: length-prefixed, CRC-framed records of
+//! every batch a [`TrustServer`](kbt_serve::TrustServer) accepted.
+//!
+//! ```text
+//! wal-<base-epoch>.log :=
+//!   header:  magic "KBTWAL01" · version u32 · config digest u64
+//!            · base epoch u64 · crc32(header) u32
+//!   frames:  [ len u32 | payload | crc32(payload) u32 ]*
+//!   payload: kind u8 ·
+//!            1 = AddBatch     count u32, then count observations
+//!            2 = RemoveBatch  count u32, then count (w, d, v) keys
+//!            3 = Commit       epoch u64
+//! ```
+//!
+//! The **base epoch** names the checkpoint this log continues from: all
+//! records describe state *after* `checkpoint-<base-epoch>`. Batches are
+//! appended when the server accepts them; a `Commit` frame lands after
+//! each publish, carrying the new epoch — so on replay, every frame
+//! before a `Commit` is durable up to that epoch, and frames after the
+//! last `Commit` are the pending (accepted but never refitted) tail.
+//!
+//! [`read_wal`] verifies each frame's CRC and stops at the first torn or
+//! corrupt frame, reporting whether the file ended cleanly; a torn tail
+//! (the typical crash-mid-append artifact) costs exactly the unfinished
+//! record, never the log before it.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use kbt_datamodel::wire::{
+    crc32, put_observation, put_triple_key, put_u32, put_u64, put_u8, WireReader,
+};
+use kbt_datamodel::{ItemId, Observation, SourceId, ValueId};
+
+use crate::durable::StoreError;
+
+/// First bytes of every delta-log file.
+pub const WAL_MAGIC: [u8; 8] = *b"KBTWAL01";
+
+/// Current delta-log format version.
+pub const WAL_VERSION: u32 = 1;
+
+/// Encoded size of the log header.
+pub const WAL_HEADER_BYTES: usize = 8 + 4 + 8 + 8 + 4;
+
+const KIND_ADD: u8 = 1;
+const KIND_REMOVE: u8 = 2;
+const KIND_COMMIT: u8 = 3;
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An ingested observation batch.
+    Add(Vec<Observation>),
+    /// A retraction batch of `(source, item, value)` keys.
+    Remove(Vec<(SourceId, ItemId, ValueId)>),
+    /// A publish happened: everything logged before this frame is part
+    /// of the named epoch.
+    Commit(u64),
+}
+
+/// The append side of one log file. Created fresh (never reopened for
+/// append — rotation and recovery always start a new file), writes one
+/// frame per accepted batch, and fsyncs only when the commit policy
+/// says so ([`Self::sync`]).
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl WalWriter {
+    /// Create (or truncate) the log at `path` and write its header. The
+    /// header is flushed and fsynced immediately so an empty log is
+    /// never mistaken for a torn one.
+    pub fn create(path: &Path, config_digest: u64, base_epoch: u64) -> io::Result<Self> {
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_BYTES);
+        header.extend_from_slice(&WAL_MAGIC);
+        put_u32(&mut header, WAL_VERSION);
+        put_u64(&mut header, config_digest);
+        put_u64(&mut header, base_epoch);
+        let crc = crc32(&header);
+        put_u32(&mut header, crc);
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append an ingested observation batch (one frame, no fsync).
+    pub fn append_add(&mut self, delta: &[Observation]) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(1 + 4 + delta.len() * 24);
+        put_u8(&mut payload, KIND_ADD);
+        put_u32(&mut payload, delta.len() as u32);
+        for o in delta {
+            put_observation(&mut payload, o);
+        }
+        self.append_frame(payload)
+    }
+
+    /// Append a retraction batch (one frame, no fsync).
+    pub fn append_remove(&mut self, retractions: &[(SourceId, ItemId, ValueId)]) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(1 + 4 + retractions.len() * 12);
+        put_u8(&mut payload, KIND_REMOVE);
+        put_u32(&mut payload, retractions.len() as u32);
+        for key in retractions {
+            put_triple_key(&mut payload, key);
+        }
+        self.append_frame(payload)
+    }
+
+    /// Append a commit marker for a freshly published epoch.
+    pub fn append_commit(&mut self, epoch: u64) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(1 + 8);
+        put_u8(&mut payload, KIND_COMMIT);
+        put_u64(&mut payload, epoch);
+        self.append_frame(payload)
+    }
+
+    /// fsync everything appended so far — the durability point of a
+    /// commit under `FsyncPolicy::OnCommit`.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn append_frame(&mut self, payload: Vec<u8>) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(4 + payload.len() + 4);
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        let crc = crc32(&payload);
+        put_u32(&mut frame, crc);
+        // One write per frame: a crash tears at most the last record.
+        self.file.write_all(&frame)
+    }
+}
+
+/// What [`read_wal`] found in a log file.
+#[derive(Debug)]
+pub struct WalReadOutcome {
+    /// The checkpoint epoch this log continues from (header field).
+    pub base_epoch: u64,
+    /// Every record up to the first torn or corrupt frame.
+    pub records: Vec<WalRecord>,
+    /// `true` when the file ended exactly at a frame boundary; `false`
+    /// when a torn or corrupt tail was discarded (recovery must treat
+    /// later log files as unreachable — the chain is broken here).
+    pub clean: bool,
+}
+
+/// Read and verify a log file.
+///
+/// Frames are checked one by one (length, then per-record CRC, then
+/// payload structure); the first failure ends the read with
+/// `clean: false` and everything before it intact — the on-open
+/// truncation of torn tails. A bad **header** is a [`StoreError`]
+/// instead: the whole file is untrusted.
+pub fn read_wal(path: &Path, expected_digest: u64) -> Result<WalReadOutcome, StoreError> {
+    let bytes = std::fs::read(path).map_err(StoreError::Io)?;
+    if bytes.len() < WAL_HEADER_BYTES {
+        return Err(StoreError::corrupt("wal header truncated"));
+    }
+    let (header, rest) = bytes.split_at(WAL_HEADER_BYTES);
+    let (header_body, header_crc) = header.split_at(WAL_HEADER_BYTES - 4);
+    if crc32(header_body) != u32::from_le_bytes(header_crc.try_into().unwrap()) {
+        return Err(StoreError::corrupt("wal header CRC mismatch"));
+    }
+    let mut h = WireReader::new(header_body);
+    if h.bytes(8).expect("sized above") != WAL_MAGIC {
+        return Err(StoreError::corrupt("wal magic mismatch"));
+    }
+    if h.u32().expect("sized above") != WAL_VERSION {
+        return Err(StoreError::corrupt("unsupported wal version"));
+    }
+    let digest = h.u64().expect("sized above");
+    if digest != expected_digest {
+        return Err(StoreError::ConfigMismatch {
+            stored: digest,
+            expected: expected_digest,
+        });
+    }
+    let base_epoch = h.u64().expect("sized above");
+
+    let mut records = Vec::new();
+    let mut r = WireReader::new(rest);
+    let clean = loop {
+        if r.is_empty() {
+            break true; // ended exactly on a frame boundary
+        }
+        let Ok(len) = r.u32() else { break false };
+        let len = len as usize;
+        if r.remaining() < len + 4 {
+            break false; // torn tail: the frame never finished
+        }
+        let payload = r.bytes(len).expect("sized above");
+        let stored_crc = r.u32().expect("sized above");
+        if crc32(payload) != stored_crc {
+            break false; // corrupt record
+        }
+        match parse_payload(payload) {
+            Some(record) => records.push(record),
+            None => break false, // CRC passed but structure is wrong
+        }
+    };
+    Ok(WalReadOutcome {
+        base_epoch,
+        records,
+        clean,
+    })
+}
+
+fn parse_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut r = WireReader::new(payload);
+    let record = match r.u8().ok()? {
+        KIND_ADD => {
+            let count = r.u32().ok()? as usize;
+            let mut obs = Vec::with_capacity(count.min(payload.len() / 24 + 1));
+            for _ in 0..count {
+                obs.push(r.observation().ok()?);
+            }
+            WalRecord::Add(obs)
+        }
+        KIND_REMOVE => {
+            let count = r.u32().ok()? as usize;
+            let mut keys = Vec::with_capacity(count.min(payload.len() / 12 + 1));
+            for _ in 0..count {
+                keys.push(r.triple_key().ok()?);
+            }
+            WalRecord::Remove(keys)
+        }
+        KIND_COMMIT => WalRecord::Commit(r.u64().ok()?),
+        _ => return None,
+    };
+    r.is_empty().then_some(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_datamodel::ExtractorId;
+
+    fn obs(w: u32, d: u32) -> Observation {
+        Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(w),
+            ItemId::new(d),
+            ValueId::new(0),
+        )
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("kbt-store-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = tmp("roundtrip.log");
+        let mut w = WalWriter::create(&path, 42, 7).unwrap();
+        let batch = vec![obs(0, 0), obs(1, 3)];
+        let keys = vec![(SourceId::new(1), ItemId::new(3), ValueId::new(0))];
+        w.append_add(&batch).unwrap();
+        w.append_remove(&keys).unwrap();
+        w.append_commit(8).unwrap();
+        w.sync().unwrap();
+        let out = read_wal(&path, 42).unwrap();
+        assert_eq!(out.base_epoch, 7);
+        assert!(out.clean);
+        assert_eq!(
+            out.records,
+            vec![
+                WalRecord::Add(batch),
+                WalRecord::Remove(keys),
+                WalRecord::Commit(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn.log");
+        let mut w = WalWriter::create(&path, 1, 0).unwrap();
+        w.append_add(&[obs(0, 0)]).unwrap();
+        w.append_commit(1).unwrap();
+        w.append_add(&[obs(1, 1), obs(2, 2)]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Chop mid-way through the last frame.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let out = read_wal(&path, 1).unwrap();
+        assert!(!out.clean);
+        assert_eq!(
+            out.records,
+            vec![WalRecord::Add(vec![obs(0, 0)]), WalRecord::Commit(1)]
+        );
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_read() {
+        let path = tmp("corrupt.log");
+        let mut w = WalWriter::create(&path, 1, 0).unwrap();
+        w.append_add(&[obs(0, 0)]).unwrap();
+        w.append_commit(1).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte inside the first frame's payload.
+        let idx = WAL_HEADER_BYTES + 6;
+        bytes[idx] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let out = read_wal(&path, 1).unwrap();
+        assert!(!out.clean);
+        assert!(out.records.is_empty(), "nothing after the corruption");
+    }
+
+    #[test]
+    fn bad_headers_reject_the_whole_file() {
+        let path = tmp("badheader.log");
+        let w = WalWriter::create(&path, 1, 0).unwrap();
+        drop(w);
+        // Wrong digest.
+        assert!(matches!(
+            read_wal(&path, 2),
+            Err(StoreError::ConfigMismatch { .. })
+        ));
+        // Corrupt magic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_wal(&path, 1).is_err());
+        // Shorter than a header.
+        std::fs::write(&path, [0u8; 4]).unwrap();
+        assert!(read_wal(&path, 1).is_err());
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let path = tmp("empty.log");
+        WalWriter::create(&path, 9, 3).unwrap();
+        let out = read_wal(&path, 9).unwrap();
+        assert!(out.clean);
+        assert!(out.records.is_empty());
+        assert_eq!(out.base_epoch, 3);
+    }
+}

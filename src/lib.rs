@@ -22,7 +22,10 @@
 //!   stages together,
 //! * [`serve`] — the concurrent trust-serving layer: immutable
 //!   [`TrustSnapshot`]s published through an epoch-swapped store while a
-//!   [`TrustServer`] ingests deltas and refits in the background.
+//!   [`TrustServer`] ingests deltas and refits in the background,
+//! * [`store`] — crash-safe persistence for the serving layer: durable
+//!   snapshot checkpoints plus a write-ahead delta log, recovered to a
+//!   bit-identical epoch by [`DurableTrustServer`].
 //!
 //! ## The one entry point
 //!
@@ -56,6 +59,7 @@ pub use kbt_kb as kb;
 pub use kbt_metrics as metrics;
 pub use kbt_pipeline as pipeline;
 pub use kbt_serve as serve;
+pub use kbt_store as store;
 pub use kbt_synth as synth;
 
 pub use kbt_core::{
@@ -65,3 +69,4 @@ pub use kbt_core::{
 pub use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
 pub use kbt_pipeline::{FusionSession, Model, PipelineError, PipelineRun, TrustPipeline};
 pub use kbt_serve::{RefitMode, SnapshotReader, SnapshotStore, TrustServer, TrustSnapshot};
+pub use kbt_store::{DurableTrustServer, FsyncPolicy, StoreConfig};
