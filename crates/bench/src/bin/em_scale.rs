@@ -1,0 +1,272 @@
+//! The EM-throughput-at-scale scenario: columnar chunked engine
+//! (`ExecMode::Sharded`) vs the pre-columnar row-major engine
+//! (`ExecMode::ShardedRows`) on a 1M–10M-triple synthetic corpus.
+//!
+//! ```text
+//! cargo run --release -p kbt-bench --bin em_scale [-- --smoke | --full | --triples N] [--rounds R]
+//! ```
+//!
+//! Defaults to `--full` (10M triples); `--smoke` runs 1M so CI finishes in
+//! minutes. Both engines run the same fixed number of EM rounds
+//! (`convergence_eps = 0`) on the same cube and the binary **hard-asserts
+//! bitwise equality** of their source-trust scores and per-group truth
+//! posteriors before reporting:
+//!
+//! * per-engine wall time and EM-round throughput in triples (cube
+//!   groups) per second,
+//! * the columnar/row-major speedup,
+//! * a peak-memory estimate (row cube + columnar cube + EM state).
+//!
+//! Emits `BENCH_em_scale.json` for the CI regression gate.
+
+use std::time::Instant;
+
+use kbt_core::{
+    estimate_correctness_with, estimate_values_cols, estimate_values_with, AlphaState,
+    ColValueScratch, ExecMode, FusionModel, FusionReport, ModelConfig, MultiLayerModel, Params,
+    QualityInit, ValueScratch, VoteCounter,
+};
+use kbt_datamodel::{ChunkedCube, ChunkingConfig, ObservationCube};
+use kbt_flume::ShardedExecutor;
+use kbt_synth::scale::{generate, ScaleConfig};
+
+struct Args {
+    triples: usize,
+    rounds: usize,
+    mode: &'static str,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut triples = 10_000_000usize;
+    let mut mode = "full";
+    let mut rounds = 3usize;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => {
+                triples = 1_000_000;
+                mode = "smoke";
+            }
+            "--full" => {
+                triples = 10_000_000;
+                mode = "full";
+            }
+            "--triples" => {
+                i += 1;
+                triples = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--triples needs an integer");
+                mode = "custom";
+            }
+            "--rounds" => {
+                i += 1;
+                rounds = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--rounds needs an integer");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    Args {
+        triples,
+        rounds,
+        mode,
+    }
+}
+
+/// Deterministic checksum of an f64 slice's exact bit patterns.
+fn bits_checksum(xs: &[f64]) -> u64 {
+    xs.iter().fold(0u64, |acc, x| {
+        acc.wrapping_mul(31).wrapping_add(x.to_bits())
+    })
+}
+
+fn run_engine(cube: &ObservationCube, cfg: &ModelConfig, label: &str) -> (FusionReport, f64) {
+    let model = MultiLayerModel::new(cfg.clone());
+    let t0 = Instant::now();
+    let report = model.fit(cube, &QualityInit::Default);
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "  {label:<10} {} rounds  {:>8.2} s  ({:>12.0} triples/s per round)",
+        report.iterations(),
+        wall,
+        cube.num_groups() as f64 * report.iterations() as f64 / wall
+    );
+    (report, wall)
+}
+
+fn main() {
+    let args = parse_args();
+
+    let synth_cfg = ScaleConfig {
+        triples: args.triples,
+        ..ScaleConfig::default()
+    };
+    println!(
+        "em_scale scenario ({}): {} triples, {} sources, {} extractors",
+        args.mode, args.triples, synth_cfg.num_sources, synth_cfg.num_extractors
+    );
+
+    let t0 = Instant::now();
+    let cube = generate(&synth_cfg);
+    println!(
+        "  generated cube: {} groups, {} cells, {} items  ({:.2} s)",
+        cube.num_groups(),
+        cube.num_cells(),
+        cube.num_items(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // Fixed round count, no convergence early-out: both engines do the
+    // same arithmetic volume, so wall times are directly comparable.
+    let base = ModelConfig {
+        max_iterations: args.rounds,
+        convergence_eps: 0.0,
+        ..ModelConfig::default()
+    };
+    let rows_cfg = ModelConfig {
+        exec_mode: ExecMode::ShardedRows,
+        ..base.clone()
+    };
+    let cols_cfg = ModelConfig {
+        exec_mode: ExecMode::Sharded,
+        ..base.clone()
+    };
+
+    // Untimed warmup fit per engine (1 round): pages the big arenas in
+    // and lets the allocator reach steady state, so the timed fits
+    // compare engine layouts instead of first-touch fault costs.
+    let warm_cfg = |cfg: &ModelConfig| ModelConfig {
+        max_iterations: 1,
+        ..cfg.clone()
+    };
+    let _ = MultiLayerModel::new(warm_cfg(&rows_cfg)).fit(&cube, &QualityInit::Default);
+    let _ = MultiLayerModel::new(warm_cfg(&cols_cfg)).fit(&cube, &QualityInit::Default);
+
+    println!("\nEM fit ({} rounds each):", args.rounds);
+    let (rows_report, rows_wall) = run_engine(&cube, &rows_cfg, "row-major");
+    let (cols_report, cols_wall) = run_engine(&cube, &cols_cfg, "columnar");
+
+    // ---- Bitwise-equality gate: the columnar engine must be a pure ----
+    // ---- layout change, not a numerically different model.         ----
+    let trust_rows = bits_checksum(rows_report.source_trust());
+    let trust_cols = bits_checksum(cols_report.source_trust());
+    let truth_rows = bits_checksum(rows_report.truth_of_group());
+    let truth_cols = bits_checksum(cols_report.truth_of_group());
+    assert_eq!(
+        rows_report.iterations(),
+        cols_report.iterations(),
+        "engines ran different round counts"
+    );
+    assert_eq!(
+        trust_rows, trust_cols,
+        "source trust diverged between row-major and columnar engines"
+    );
+    assert_eq!(
+        truth_rows, truth_cols,
+        "truth posteriors diverged between row-major and columnar engines"
+    );
+    println!(
+        "\nbitwise equality: OK (trust checksum {trust_rows:#018x}, truth checksum {truth_rows:#018x})"
+    );
+
+    let rounds = cols_report.iterations() as f64;
+    let rows_tput = cube.num_groups() as f64 * rounds / rows_wall;
+    let cols_tput = cube.num_groups() as f64 * rounds / cols_wall;
+    let speedup = rows_wall / cols_wall;
+    println!(
+        "speedup: x{speedup:.2} (columnar {cols_tput:.0} vs row-major {rows_tput:.0} triples/s per round)"
+    );
+
+    // ---- Value E-step A/B: the stage the columnar layout rewrites. ----
+    // Same inputs (round-1 state), same bits out; the reps time the
+    // steady-state kernels on warm arenas.
+    let chunked = ChunkedCube::from_cube(
+        &cube,
+        &ChunkingConfig {
+            target_cells: cols_cfg.chunk_target_cells,
+        },
+    );
+    let estep_reps: u32 = if args.mode == "full" { 3 } else { 5 };
+    let params = Params::init(&cube, &base, &QualityInit::Default);
+    let votes = VoteCounter::new(&cube, &params, &base);
+    let alpha = AlphaState::uniform(cube.num_groups(), base.alpha);
+    let active = vec![true; cube.num_sources()];
+    let mut gexec: ShardedExecutor<()> = ShardedExecutor::new();
+    let mut corr = Vec::new();
+    estimate_correctness_with(&cube, &votes, &alpha, &base, &mut gexec, &mut corr);
+    let mut vexec: ShardedExecutor<ValueScratch> = ShardedExecutor::new();
+    let mut cexec: ShardedExecutor<ColValueScratch> = ShardedExecutor::new();
+    // Warm both kernels once, then time.
+    let _ = estimate_values_with(&cube, &corr, &params, &base, &active, None, &mut vexec);
+    let _ = estimate_values_cols(&chunked, &corr, &params, &base, &active, None, &mut cexec);
+    let t0 = Instant::now();
+    for _ in 0..estep_reps {
+        std::hint::black_box(estimate_values_with(
+            &cube, &corr, &params, &base, &active, None, &mut vexec,
+        ));
+    }
+    let estep_rows_ms = t0.elapsed().as_secs_f64() * 1e3 / estep_reps as f64;
+    let t0 = Instant::now();
+    for _ in 0..estep_reps {
+        std::hint::black_box(estimate_values_cols(
+            &chunked, &corr, &params, &base, &active, None, &mut cexec,
+        ));
+    }
+    let estep_cols_ms = t0.elapsed().as_secs_f64() * 1e3 / estep_reps as f64;
+    let estep_speedup = estep_rows_ms / estep_cols_ms;
+    println!(
+        "value E-step ({estep_reps} reps): row-major {estep_rows_ms:.1} ms, columnar {estep_cols_ms:.1} ms, speedup x{estep_speedup:.2}"
+    );
+
+    // ---- Peak-memory estimate. The columnar engine holds both the  ----
+    // ---- row cube (votes rebuild, delta merging) and the chunked   ----
+    // ---- columns, plus per-group/per-entry EM state.               ----
+    let cube_bytes = cube.approx_bytes();
+    let chunked_bytes = chunked.approx_bytes();
+    // correctness + truth + alpha + ll buffers (f64 per group) plus the
+    // value posteriors (entry = value id + probability per observed
+    // value, plus per-item offsets/unobserved mass).
+    let entries: usize = (0..cube.num_items())
+        .map(|d| {
+            cube.observed_values(kbt_datamodel::ItemId::new(d as u32))
+                .len()
+        })
+        .sum();
+    let em_state_bytes = cube.num_groups() * 8 * 4 + entries * 16 + cube.num_items() * 16;
+    let peak_bytes = cube_bytes + chunked_bytes + em_state_bytes;
+    println!(
+        "peak memory estimate: {:.1} MiB (row cube {:.1} + columnar {:.1} + EM state {:.1})",
+        peak_bytes as f64 / (1 << 20) as f64,
+        cube_bytes as f64 / (1 << 20) as f64,
+        chunked_bytes as f64 / (1 << 20) as f64,
+        em_state_bytes as f64 / (1 << 20) as f64,
+    );
+
+    let mut report = kbt_bench::BenchReport::new("em_scale", args.mode);
+    report
+        .count("triples", args.triples as u64)
+        .count("groups", cube.num_groups() as u64)
+        .count("cells", cube.num_cells() as u64)
+        .count("em_rounds", cols_report.iterations() as u64)
+        .metric("rows_wall_s", rows_wall)
+        .metric("cols_wall_s", cols_wall)
+        .metric("rows_triples_per_s", rows_tput)
+        .metric("cols_triples_per_s", cols_tput)
+        .metric("speedup", speedup)
+        .metric("estep_rows_ms", estep_rows_ms)
+        .metric("estep_cols_ms", estep_cols_ms)
+        .metric("estep_speedup", estep_speedup)
+        .count("peak_mem_bytes_estimate", peak_bytes as u64)
+        .count("cube_bytes", cube_bytes as u64)
+        .count("chunked_bytes", chunked_bytes as u64)
+        .flag("bitwise_equal", true)
+        .text("trust_checksum", &format!("{trust_rows:#018x}"))
+        .text("truth_checksum", &format!("{truth_rows:#018x}"));
+    let path = report.write().expect("write bench report");
+    println!("report: {}", path.display());
+}

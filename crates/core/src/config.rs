@@ -51,11 +51,14 @@ pub enum AbsencePolicy {
 /// Which execution backend runs the EM hot loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecMode {
-    /// The shard-parallel engine: work is partitioned by key range on a
+    /// The columnar shard-parallel engine: the cube is re-laid-out once
+    /// per run as a `kbt_datamodel::ChunkedCube` (SoA columns partitioned
+    /// into item-aligned chunks, see [`ModelConfig::chunk_target_cells`])
+    /// and the E-step streams the columns chunk-at-a-time on a
     /// `kbt_flume::ShardedExecutor` whose per-worker scratch arenas are
-    /// reused across EM rounds, so the steady-state E-step performs no
-    /// per-item allocation. Bit-for-bit identical to [`ExecMode::Flat`]
-    /// at any thread count (the `sharded_engine` integration tests pin
+    /// reused across EM rounds. Reduction order is fixed, so results are
+    /// bit-for-bit identical to [`ExecMode::Flat`] at any thread count
+    /// (the `sharded_engine` and `columnar_cube` integration tests pin
     /// this down).
     #[default]
     Sharded,
@@ -63,6 +66,13 @@ pub enum ExecMode {
     /// per-item scratch allocation. Kept as the reference implementation
     /// for equivalence tests and the flat-vs-sharded throughput bench.
     Flat,
+    /// The pre-columnar row-major sharded engine: same key-range
+    /// sharding and scratch reuse as [`ExecMode::Sharded`], but the
+    /// inner loops walk the AoS `ObservationCube` rows directly. Kept
+    /// as the honest baseline for the `em_scale` columnar-speedup bench
+    /// and as a second independent implementation in the equivalence
+    /// tests. Bit-for-bit identical to both other modes.
+    ShardedRows,
 }
 
 /// Shared hyper-parameters of both models.
@@ -130,10 +140,21 @@ pub struct ModelConfig {
     /// installed around inference via `kbt_flume::with_threads`.
     pub threads: Option<usize>,
     /// Execution backend for the EM hot loops (default:
-    /// [`ExecMode::Sharded`]). Results are bit-identical either way; the
-    /// flat path exists as the reference for equivalence tests and
-    /// benchmarks.
+    /// [`ExecMode::Sharded`]). Results are bit-identical in every mode;
+    /// the flat path exists as the reference for equivalence tests and
+    /// benchmarks, the row-major sharded path as the pre-columnar
+    /// baseline.
     pub exec_mode: ExecMode,
+    /// Target number of cells per chunk when the columnar engine
+    /// re-lays-out the cube as a `kbt_datamodel::ChunkedCube`
+    /// ([`ExecMode::Sharded`] only). Chunks are item-aligned, so a
+    /// chunk's scratch covers whole items; smaller chunks balance skew
+    /// better, larger chunks amortize scheduling. Forwarded to
+    /// `kbt_datamodel::ChunkingConfig::target_cells`; the default
+    /// (64 Ki cells ≈ a few MiB of columns) keeps a chunk's working set
+    /// L2/L3-resident on common hardware. Has no effect on results —
+    /// only on scheduling granularity.
+    pub chunk_target_cells: usize,
     /// Copy detection inside the engine (§5.4.2): when set, the
     /// multi-layer engine follows its EM fit with copy detection and
     /// attaches the evidence to its result. With
@@ -170,6 +191,7 @@ impl Default for ModelConfig {
             min_source_support: 1,
             threads: None,
             exec_mode: ExecMode::Sharded,
+            chunk_target_cells: 64 * 1024,
             copy_detection: None,
         }
     }

@@ -258,7 +258,7 @@ pub(crate) struct PairStats {
 pub(crate) fn collect_pair_stats(cube: &ObservationCube, cfg: &CopyDetectConfig) -> Vec<PairStats> {
     match cfg.exec_mode {
         ExecMode::Flat => collect_pair_stats_flat(cube, cfg),
-        ExecMode::Sharded => collect_pair_stats_sharded(cube, cfg),
+        ExecMode::Sharded | ExecMode::ShardedRows => collect_pair_stats_sharded(cube, cfg),
     }
 }
 

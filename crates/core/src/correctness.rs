@@ -7,7 +7,7 @@
 //! iteration's value posteriors (Section 3.3.4, Eq. 26) once the schedule
 //! allows it.
 
-use kbt_datamodel::ObservationCube;
+use kbt_datamodel::{ChunkedCube, ObservationCube};
 use kbt_flume::{par_map_indexed, ShardedExecutor};
 
 use crate::config::ModelConfig;
@@ -85,6 +85,28 @@ impl AlphaState {
             logit(t * a + (1.0 - t) * (1.0 - a) / spread)
         });
     }
+
+    /// [`Self::update_with`] on the columnar layout: the per-group source
+    /// id comes from the `group_source` column instead of the AoS group
+    /// structs. Same arithmetic per group → bit-identical.
+    pub fn update_cols(
+        &mut self,
+        cc: &ChunkedCube,
+        truth: &[f64],
+        params: &Params,
+        cfg: &ModelConfig,
+        exec: &mut ShardedExecutor<()>,
+    ) {
+        debug_assert_eq!(truth.len(), cc.num_groups());
+        let n = cfg.n_false_values.max(1) as f64;
+        let spread = if cfg.literal_eq26_alpha { 1.0 } else { n };
+        let sources = &cc.group_source;
+        exec.map_keys(cc.num_groups(), &mut self.logits, |_, g| {
+            let a = params.source_accuracy[sources[g] as usize];
+            let t = truth[g];
+            logit(t * a + (1.0 - t) * (1.0 - a) / spread)
+        });
+    }
 }
 
 /// Estimate `p(C_wdv = 1 | X_wdv)` for every triple group (Eq. 15 with the
@@ -117,6 +139,39 @@ pub fn estimate_correctness_with(
         let grp = &groups[g];
         let vcc = votes.vote_count(grp.source, cube.cells_of(grp), cfg);
         sigmoid(vcc + alpha.logit(g))
+    });
+}
+
+/// [`estimate_correctness_with`] on the columnar layout: the vote count
+/// streams the `cell_extractor`/`cell_confidence` columns with the
+/// precomputed `Pre_e − Abs_e` adjust table, so the inner loop is a
+/// branch-free gather + fused multiply-add per cell. The per-cell float
+/// sequence (`conf · (Pre_e − Abs_e)` accumulated in cell order onto the
+/// source absence sum) is exactly [`VoteCounter::vote_count`]'s, so the
+/// result is bit-identical to the row-major paths at any shard count.
+pub fn estimate_correctness_cols(
+    cc: &ChunkedCube,
+    votes: &VoteCounter,
+    alpha: &AlphaState,
+    cfg: &ModelConfig,
+    exec: &mut ShardedExecutor<()>,
+    out: &mut Vec<f64>,
+) {
+    let sources = &cc.group_source;
+    let offsets = &cc.cell_offsets;
+    let extractors = &cc.cell_extractor;
+    let confidences = &cc.cell_confidence;
+    let adjust = &votes.adjust;
+    exec.map_keys(cc.num_groups(), out, |_, g| {
+        let mut vc = votes.source_absence_sum[sources[g] as usize];
+        let (lo, hi) = (offsets[g] as usize, offsets[g + 1] as usize);
+        // Slice once so the cell loop carries no per-access bounds checks;
+        // iteration stays in ascending cell order.
+        for (&e, &c) in extractors[lo..hi].iter().zip(&confidences[lo..hi]) {
+            let conf = cfg.effective_confidence(c);
+            vc += conf * adjust[e as usize];
+        }
+        sigmoid(vc + alpha.logit(g))
     });
 }
 

@@ -68,15 +68,23 @@ pub use config::{CorrectnessWeighting, ExecMode, ModelConfig, ValueModel};
 pub use copydetect::{
     detect_copies, detect_copies_from_accuracy, CopyDetectConfig, CopyDiscount, CopyEvidence,
 };
-pub use correctness::{estimate_correctness, estimate_correctness_with, AlphaState};
+pub use correctness::{
+    estimate_correctness, estimate_correctness_cols, estimate_correctness_with, AlphaState,
+};
 pub use extensions::{idf_weights, weighted_kbt};
 pub use model::{
     ConvergenceTrace, FusionDetail, FusionModel, FusionReport, IterationTrace, ModelKind,
 };
-pub use mstep::{update_extractor_quality_with, update_source_accuracy_with, ExtractorScratch};
+pub use mstep::{
+    update_extractor_quality_cols, update_extractor_quality_with, update_source_accuracy_cols,
+    update_source_accuracy_with, ColExtractorScratch, ExtractorScratch,
+};
 pub use multi_layer::{MultiLayerModel, MultiLayerResult};
 pub use params::{q_from_precision_recall, Params, QualityInit};
 pub use posterior::ItemPosteriors;
 pub use single_layer::{SingleLayerModel, SingleLayerResult};
-pub use value::{estimate_values, estimate_values_with, ValueLayerOutput, ValueScratch};
+pub use value::{
+    estimate_values, estimate_values_cols, estimate_values_with, ColValueScratch, ValueLayerOutput,
+    ValueScratch,
+};
 pub use votes::VoteCounter;

@@ -10,7 +10,7 @@
 //!   looking. `Q_e` is then *derived* via Eq. 7 rather than estimated
 //!   directly (Section 3.4.2).
 
-use kbt_datamodel::{ObservationCube, SourceId};
+use kbt_datamodel::{ChunkedCube, ObservationCube, SourceId};
 use kbt_flume::{par_chunks_mut, par_map_indexed, ShardedExecutor};
 
 use crate::config::ModelConfig;
@@ -85,6 +85,53 @@ pub fn update_source_accuracy_with(
         let mut num = 0.0;
         let mut den = 0.0;
         for g in range {
+            num += correctness[g] * truth[g];
+            den += correctness[g];
+        }
+        if den <= 1e-12 {
+            return None;
+        }
+        Some(clamp_quality(num / den))
+    });
+    for (w, u) in updates.iter().enumerate() {
+        match u {
+            Some(a) => {
+                params.source_accuracy[w] = *a;
+                active[w] = true;
+            }
+            None => {
+                active[w] = false;
+            }
+        }
+    }
+}
+
+/// [`update_source_accuracy_with`] on the columnar layout: per-source
+/// group ranges come from the `source_offsets` CSR instead of the cube's
+/// range structs. The per-source accumulation walks the same contiguous
+/// `correctness`/`truth` spans in the same order → bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn update_source_accuracy_cols(
+    cc: &ChunkedCube,
+    correctness: &[f64],
+    truth: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+    active: &mut [bool],
+    exec: &mut ShardedExecutor<()>,
+    updates: &mut Vec<Option<f64>>,
+) {
+    debug_assert_eq!(correctness.len(), cc.num_groups());
+    debug_assert_eq!(truth.len(), cc.num_groups());
+    let offsets = &cc.source_offsets;
+    exec.map_keys(cc.num_sources(), updates, |_, w| {
+        let (lo, hi) = (offsets[w] as usize, offsets[w + 1] as usize);
+        if hi - lo < cfg.min_source_support {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for g in lo..hi {
             num += correctness[g] * truth[g];
             den += correctness[g];
         }
@@ -185,6 +232,122 @@ pub fn update_extractor_quality_with(
             *qe = q_from_precision_recall(precision[e], recall[e], gamma);
         }
     });
+}
+
+/// Reusable buffers for [`update_extractor_quality_cols`] — the
+/// per-extractor `(num, pden, rden)` sums and the per-source correctness
+/// mass of the scoped recall denominator.
+#[derive(Debug, Default)]
+pub struct ColExtractorScratch {
+    sums: Vec<(f64, f64, f64)>,
+    sum_c_source: Vec<f64>,
+}
+
+/// [`update_extractor_quality_with`] on the columnar layout, parallel per
+/// extractor. The extractor-major CSR (`ext_offsets`/`ext_group`/
+/// `ext_conf`) stores each extractor's cells as a subsequence of the
+/// global cell stream, so the per-extractor `num`/`pden` sums perform the
+/// exact float-addition sequence of the serial streaming pass; the scoped
+/// recall denominator adds each candidate source's (serially
+/// precomputed) correctness mass in ascending source order, again the
+/// serial pass's sequence. Bit-identical to the row-major updates.
+pub fn update_extractor_quality_cols(
+    cc: &ChunkedCube,
+    correctness: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+    exec: &mut ShardedExecutor<()>,
+    scratch: &mut ColExtractorScratch,
+) {
+    let ne = cc.num_extractors();
+    let scoped = cfg.absence_policy == crate::config::AbsencePolicy::SourceCandidates;
+    scratch.sum_c_source.clear();
+    if scoped {
+        scratch.sum_c_source.extend((0..cc.num_sources()).map(|w| {
+            let (lo, hi) = (
+                cc.source_offsets[w] as usize,
+                cc.source_offsets[w + 1] as usize,
+            );
+            correctness[lo..hi].iter().sum::<f64>()
+        }));
+    }
+    let total_mass: f64 = if scoped {
+        0.0
+    } else {
+        correctness.iter().sum()
+    };
+
+    let sum_c_source = &scratch.sum_c_source;
+    let group_source = &cc.group_source;
+    let (ext_offsets, ext_group, ext_conf) = (&cc.ext_offsets, &cc.ext_group, &cc.ext_conf);
+    exec.map_keys(ne, &mut scratch.sums, |_, e| {
+        let mut num = 0.0;
+        let mut pden = 0.0;
+        let mut rden = 0.0;
+        let mut last_source = u32::MAX;
+        for k in ext_offsets[e] as usize..ext_offsets[e + 1] as usize {
+            let g = ext_group[k] as usize;
+            let conf = cfg.effective_confidence(ext_conf[k]);
+            num += conf * correctness[g];
+            pden += conf;
+            if scoped {
+                let w = group_source[g];
+                if w != last_source {
+                    rden += sum_c_source[w as usize];
+                    last_source = w;
+                }
+            }
+        }
+        if !scoped {
+            rden = total_mass;
+        }
+        (num, pden, rden)
+    });
+
+    let gamma = estimate_gamma_cols(cc, correctness, cfg);
+    let (precision, recall, q) = (&mut params.precision, &mut params.recall, &mut params.q);
+    for (e, &(num, pden, rden)) in scratch.sums.iter().enumerate() {
+        if pden > 1e-12 {
+            precision[e] = clamp_quality(num / pden);
+        }
+        if rden > 1e-12 {
+            recall[e] = clamp_quality(num / rden);
+        }
+    }
+    par_chunks_mut(q, |base, chunk| {
+        for (i, qe) in chunk.iter_mut().enumerate() {
+            let e = base + i;
+            *qe = q_from_precision_recall(precision[e], recall[e], gamma);
+        }
+    });
+}
+
+/// [`estimate_gamma`] on the columnar layout: distinct items per source
+/// counted over the `group_item` column spans — pure integer counting and
+/// the same serial correctness sum, so the result is bit-identical.
+fn estimate_gamma_cols(cc: &ChunkedCube, correctness: &[f64], cfg: &ModelConfig) -> f64 {
+    if !cfg.estimate_gamma || correctness.is_empty() {
+        return cfg.gamma;
+    }
+    let mut slots = 0usize;
+    for w in 0..cc.num_sources() {
+        let (lo, hi) = (
+            cc.source_offsets[w] as usize,
+            cc.source_offsets[w + 1] as usize,
+        );
+        if lo == hi {
+            continue;
+        }
+        let mut items = 1usize;
+        for pair in cc.group_item[lo..hi].windows(2) {
+            if pair[0] != pair[1] {
+                items += 1;
+            }
+        }
+        slots += items * (cfg.n_false_values + 1);
+    }
+    let mass: f64 = correctness.iter().sum();
+    crate::math::clamp_quality(mass / (slots.max(1) as f64))
 }
 
 /// The γ re-estimation shared by the extractor-quality updates (see
@@ -582,6 +745,83 @@ mod tests {
                 }
                 assert_eq!(sharded, flat, "policy {policy:?} shards {shards}");
                 assert_eq!(active, flat_active);
+            }
+        }
+    }
+
+    /// The columnar M-steps must be bit-for-bit the flat updates, at
+    /// several shard counts, chunk sizes, and across buffer-reuse rounds.
+    #[test]
+    fn cols_variants_match_flat_updates_bitwise() {
+        use kbt_datamodel::{ChunkedCube, ChunkingConfig};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut b = CubeBuilder::new();
+        for _ in 0..600 {
+            b.push(Observation {
+                extractor: ExtractorId::new(rng.gen_range(0..8)),
+                source: SourceId::new(rng.gen_range(0..15)),
+                item: ItemId::new(rng.gen_range(0..25)),
+                value: ValueId::new(rng.gen_range(0..4)),
+                confidence: rng.gen::<f64>(),
+            });
+        }
+        let cube = b.build();
+        let correctness: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        let truth: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        for policy in [
+            crate::config::AbsencePolicy::AllExtractors,
+            crate::config::AbsencePolicy::SourceCandidates,
+        ] {
+            let cfg = ModelConfig {
+                absence_policy: policy,
+                min_source_support: 3,
+                ..ModelConfig::default()
+            };
+            let mut flat = Params::init(&cube, &cfg, &QualityInit::Default);
+            let mut flat_active = vec![true; cube.num_sources()];
+            update_source_accuracy(
+                &cube,
+                &correctness,
+                &truth,
+                &cfg,
+                &mut flat,
+                &mut flat_active,
+            );
+            update_extractor_quality(&cube, &correctness, &cfg, &mut flat);
+            for target_cells in [1usize, 64, 1 << 20] {
+                let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells });
+                for shards in [1usize, 2, 8] {
+                    let mut cols = Params::init(&cube, &cfg, &QualityInit::Default);
+                    let mut active = vec![true; cube.num_sources()];
+                    let mut exec = ShardedExecutor::with_shards(shards);
+                    let mut updates = Vec::new();
+                    let mut scratch = ColExtractorScratch::default();
+                    // Two rounds: the second exercises buffer reuse.
+                    for _ in 0..2 {
+                        update_source_accuracy_cols(
+                            &cc,
+                            &correctness,
+                            &truth,
+                            &cfg,
+                            &mut cols,
+                            &mut active,
+                            &mut exec,
+                            &mut updates,
+                        );
+                        update_extractor_quality_cols(
+                            &cc,
+                            &correctness,
+                            &cfg,
+                            &mut cols,
+                            &mut exec,
+                            &mut scratch,
+                        );
+                    }
+                    assert_eq!(cols, flat, "{policy:?} t={target_cells} s={shards}");
+                    assert_eq!(active, flat_active);
+                }
             }
         }
     }

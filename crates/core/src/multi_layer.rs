@@ -12,20 +12,26 @@
 //! (Eq. 26) beginning at the configured iteration (the third, by default —
 //! Section 5.1.2).
 
-use kbt_datamodel::{ObservationCube, SourceId};
+use kbt_datamodel::{ChunkedCube, ChunkingConfig, ObservationCube, SourceId};
 use kbt_flume::{ShardedExecutor, Stopwatch};
 
 use crate::config::{ExecMode, ModelConfig};
 use crate::copydetect::{collect_pair_stats, score_pair_stats, CopyDiscount, CopyEvidence};
-use crate::correctness::{estimate_correctness, estimate_correctness_with, AlphaState};
+use crate::correctness::{
+    estimate_correctness, estimate_correctness_cols, estimate_correctness_with, AlphaState,
+};
 use crate::model::{map_confidence_ll, ConvergenceTrace, IterationTrace};
 use crate::mstep::{
-    update_extractor_quality, update_extractor_quality_with, update_source_accuracy,
-    update_source_accuracy_with, ExtractorScratch,
+    update_extractor_quality, update_extractor_quality_cols, update_extractor_quality_with,
+    update_source_accuracy, update_source_accuracy_cols, update_source_accuracy_with,
+    ColExtractorScratch, ExtractorScratch,
 };
 use crate::params::{Params, QualityInit};
 use crate::posterior::ItemPosteriors;
-use crate::value::{estimate_values, estimate_values_with, ValueLayerOutput, ValueScratch};
+use crate::value::{
+    estimate_values, estimate_values_cols, estimate_values_with, ColValueScratch, ValueLayerOutput,
+    ValueScratch,
+};
 use crate::votes::VoteCounter;
 
 /// Everything Algorithm 1 returns: the latent-variable estimates `Z` and
@@ -188,7 +194,19 @@ impl MultiLayerModel {
             CopyDiscount::from_scales(scales)
         });
         let base_discount = prior_discount.as_ref().filter(|d| !d.is_neutral());
-        let (mut result, mut trace) = self.run_em(cube, init, prior_truth, base_discount);
+        // The columnar engine's view of the cube, built once per run: the
+        // copy-aware loop refits the same cube several times, and the
+        // gather is pure so every refit can share it.
+        let chunked = (self.cfg.exec_mode == ExecMode::Sharded).then(|| {
+            ChunkedCube::from_cube(
+                cube,
+                &ChunkingConfig {
+                    target_cells: self.cfg.chunk_target_cells,
+                },
+            )
+        });
+        let chunked = chunked.as_ref();
+        let (mut result, mut trace) = self.run_em(cube, chunked, init, prior_truth, base_discount);
         // Record the factors this fit actually ran with even when no
         // detection is configured (e.g. a session carrying prior evidence
         // into a model whose copy_detection was turned off) — a
@@ -240,7 +258,7 @@ impl MultiLayerModel {
                     }
                     discount = next;
                     let (refit, refit_trace) =
-                        self.run_em(cube, init, prior_truth, Some(&discount));
+                        self.run_em(cube, chunked, init, prior_truth, Some(&discount));
                     let offset = trace.rounds.len();
                     trace
                         .rounds
@@ -266,23 +284,165 @@ impl MultiLayerModel {
     fn run_em(
         &self,
         cube: &ObservationCube,
+        chunked: Option<&ChunkedCube>,
         init: &QualityInit,
         prior_truth: Option<&[f64]>,
         discount: Option<&CopyDiscount>,
     ) -> (MultiLayerResult, ConvergenceTrace) {
         match self.cfg.exec_mode {
             ExecMode::Flat => self.run_flat(cube, init, prior_truth, discount),
-            ExecMode::Sharded => self.run_sharded(cube, init, prior_truth, discount),
+            ExecMode::ShardedRows => self.run_sharded_rows(cube, init, prior_truth, discount),
+            ExecMode::Sharded => match chunked {
+                Some(cc) => self.run_columnar(cube, cc, init, prior_truth, discount),
+                None => {
+                    let cc = ChunkedCube::from_cube(
+                        cube,
+                        &ChunkingConfig {
+                            target_cells: self.cfg.chunk_target_cells,
+                        },
+                    );
+                    self.run_columnar(cube, &cc, init, prior_truth, discount)
+                }
+            },
         }
     }
 
-    /// Algorithm 1 on the shard-parallel engine: every stage runs on a
+    /// Algorithm 1 on the columnar chunked engine ([`ExecMode::Sharded`]):
+    /// every stage streams the [`ChunkedCube`]'s columns on a
+    /// [`ShardedExecutor`] whose scratch arenas persist across EM rounds —
+    /// the value E-step schedules whole chunks balanced on cell mass, the
+    /// correctness E-step and both M-steps reduce columns branch-free in
+    /// fixed order. Bit-for-bit identical to [`Self::run_flat`] and
+    /// [`Self::run_sharded_rows`] at any thread count (the
+    /// `sharded_engine` and `columnar_cube` integration tests assert
+    /// this).
+    fn run_columnar(
+        &self,
+        cube: &ObservationCube,
+        cc: &ChunkedCube,
+        init: &QualityInit,
+        prior_truth: Option<&[f64]>,
+        discount: Option<&CopyDiscount>,
+    ) -> (MultiLayerResult, ConvergenceTrace) {
+        let cfg = &self.cfg;
+        let mut params = Params::init(cube, cfg, init);
+        let mut active: Vec<bool> = (0..cube.num_sources())
+            .map(|w| cube.source_size(SourceId::new(w as u32)) >= cfg.min_source_support)
+            .collect();
+        let mut alpha = AlphaState::uniform(cube.num_groups(), cfg.alpha);
+        let alpha_matured = alpha_matured_by(init);
+
+        // The engine state reused across rounds.
+        let mut value_exec: ShardedExecutor<ColValueScratch> = ShardedExecutor::new();
+        let mut group_exec: ShardedExecutor<()> = ShardedExecutor::new();
+        let mut source_exec: ShardedExecutor<()> = ShardedExecutor::new();
+        let mut votes = VoteCounter::empty();
+        let mut correctness: Vec<f64> = Vec::new();
+        let mut src_updates: Vec<Option<f64>> = Vec::new();
+        let mut ext_scratch = ColExtractorScratch::default();
+        let mut ll_buf: Vec<f64> = Vec::new();
+
+        if let Some(t0) = prior_truth {
+            debug_assert_eq!(t0.len(), cube.num_groups());
+            if cfg.alpha_update_from.is_some() {
+                alpha.update_cols(cc, t0, &params, cfg, &mut group_exec);
+            }
+        }
+
+        let mut values: Option<ValueLayerOutput> = None;
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut trace = ConvergenceTrace::default();
+        let mut watch = Stopwatch::start();
+
+        for t in 1..=cfg.max_iterations {
+            iterations = t;
+            // Step 1: extraction correctness.
+            votes.rebuild(cube, &params, cfg);
+            estimate_correctness_cols(cc, &votes, &alpha, cfg, &mut group_exec, &mut correctness);
+            // Step 2: item values (with the CopyDiscount stage, if any).
+            let out = estimate_values_cols(
+                cc,
+                &correctness,
+                &params,
+                cfg,
+                &active,
+                discount,
+                &mut value_exec,
+            );
+            // Steps 3–4: parameters.
+            let prev = params.clone();
+            update_source_accuracy_cols(
+                cc,
+                &correctness,
+                &out.truth_given_provided,
+                cfg,
+                &mut params,
+                &mut active,
+                &mut source_exec,
+                &mut src_updates,
+            );
+            update_extractor_quality_cols(
+                cc,
+                &correctness,
+                cfg,
+                &mut params,
+                &mut source_exec,
+                &mut ext_scratch,
+            );
+            if cfg.updates_alpha_at(t + 1) || (alpha_matured && cfg.alpha_update_from.is_some()) {
+                alpha.update_cols(cc, &out.truth_of_group, &params, cfg, &mut group_exec);
+            }
+            let delta = params.max_abs_delta(&prev);
+            // Per-group LL terms in parallel, summed serially in group
+            // order — the same addition sequence as the serial fold.
+            let truth = &out.truth_of_group;
+            let corr = &correctness;
+            group_exec.map_keys(cc.num_groups(), &mut ll_buf, |_, g| {
+                map_confidence_ll(corr[g]) + map_confidence_ll(truth[g])
+            });
+            let log_likelihood = ll_buf.iter().sum();
+            trace.rounds.push(IterationTrace {
+                iteration: t,
+                delta,
+                log_likelihood,
+                wall: watch.lap(),
+            });
+            values = Some(out);
+            if delta < cfg.convergence_eps {
+                converged = true;
+                break;
+            }
+        }
+        trace.converged = converged;
+
+        let values = values.unwrap_or_else(|| empty_values(cube, cfg));
+        let result = MultiLayerResult {
+            params,
+            correctness,
+            posteriors: values.posteriors,
+            truth_of_group: values.truth_of_group,
+            truth_given_provided: values.truth_given_provided,
+            covered_group: values.covered_group,
+            active_source: active,
+            iterations,
+            converged,
+            copy_evidence: None,
+            source_independence: None,
+        };
+        (result, trace)
+    }
+
+    /// Algorithm 1 on the pre-columnar row-major sharded engine
+    /// ([`ExecMode::ShardedRows`]): every stage runs on a
     /// [`ShardedExecutor`] whose scratch arenas (E-step buffers, vote
     /// tables, M-step accumulators) persist across EM rounds, so the
     /// steady-state loop performs no per-item and almost no per-round
     /// allocation. Bit-for-bit identical to [`Self::run_flat`] at any
     /// thread count (the `sharded_engine` integration tests assert this).
-    fn run_sharded(
+    /// Kept as the honest baseline the `em_scale` bench compares the
+    /// columnar engine against.
+    fn run_sharded_rows(
         &self,
         cube: &ObservationCube,
         init: &QualityInit,

@@ -216,7 +216,7 @@ impl SingleLayerModel {
             iterations = t;
             // E-step per item (Eq. 2–3): (observed posteriors,
             // unobserved mass, per-claim truth).
-            posteriors = if cfg.exec_mode == ExecMode::Sharded {
+            posteriors = if cfg.exec_mode != ExecMode::Flat {
                 pair_estep_sharded(
                     &claims,
                     &offsets,

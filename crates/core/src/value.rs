@@ -9,8 +9,8 @@
 //! posterior is a softmax over vote counts with one `exp(0)` term per
 //! unobserved domain value (Eq. 21/25, Example 3.2).
 
-use kbt_datamodel::{ItemId, ObservationCube, ValueId};
-use kbt_flume::{par_map_slice, ShardedExecutor};
+use kbt_datamodel::{ChunkedCube, ItemId, ObservationCube, SourceId, ValueId};
+use kbt_flume::{balanced_ranges, par_map_slice, ShardedExecutor};
 
 use crate::config::{CorrectnessWeighting, ModelConfig, ValueModel};
 use crate::copydetect::CopyDiscount;
@@ -455,6 +455,273 @@ pub fn estimate_values_with(
     }
 }
 
+/// Reusable per-shard scratch for [`estimate_values_cols`]: slot-indexed
+/// accumulators sized once to the cube's `max_item_values` (so the
+/// per-item inner loops index dense arrays instead of searching), plus
+/// the shard-local output accumulators merged after the round.
+#[derive(Debug, Default)]
+pub struct ColValueScratch {
+    // Slot-indexed per-item accumulators (used slots reset after each
+    // item, capacity retained).
+    vote_sum: Vec<f64>,
+    voted: Vec<bool>,
+    claim: Vec<f64>,
+    prob: Vec<f64>,
+    order: Vec<u32>, // first-seen voted slots — the flat path's `values` order
+    rows: Vec<(u32, u32, f64, f64)>, // (g, slot, weight, full vote)
+    vcs: Vec<f64>,
+    // Shard-level outputs (cleared per round, capacity retained).
+    entries: Vec<(ValueId, f64)>,
+    entry_counts: Vec<u32>,
+    unobserved: Vec<f64>,
+    groups_out: Vec<(u32, f64, f64, bool)>, // (g, truth, cond, covered)
+}
+
+/// The per-item E-step kernel of the columnar path. Streams the item's
+/// `ig_*` rows with pre-resolved value slots, so the hot loop is loads,
+/// one weight select, and a slot-indexed accumulate — no searching, no
+/// per-item allocation. The float sequence per slot (votes accumulated
+/// in row order, POPACCU adjustment in first-seen value order, softmax
+/// per slot) is exactly the row-major [`value_item_kernel`]'s, so the
+/// results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn col_value_item_kernel(
+    cc: &ChunkedCube,
+    correctness: &[f64],
+    active_source: &[bool],
+    full_vote_of: &[f64],
+    map_weight: bool,
+    popaccu: bool,
+    n: f64,
+    domain: usize,
+    d: usize,
+    s: &mut ColValueScratch,
+) {
+    let val_base = cc.item_value_offsets[d] as usize;
+    let nv = cc.item_value_offsets[d + 1] as usize - val_base;
+    let rows = cc.item_offsets[d] as usize..cc.item_offsets[d + 1] as usize;
+    // Borrow the item's row span as slices once, so the hot loop iterates
+    // without per-access bounds checks.
+    let ig_group = &cc.ig_group[rows.clone()];
+    let ig_source = &cc.ig_source[rows.clone()];
+    let ig_slot = &cc.ig_slot[rows.clone()];
+    let ig_has_cells = &cc.ig_has_cells[rows];
+    s.order.clear();
+    s.rows.clear();
+    let mut total_claims = 0.0f64;
+    for r in 0..ig_group.len() {
+        let g = ig_group[r];
+        let slot = ig_slot[r] as usize;
+        if ig_has_cells[r] == 0 {
+            // Cell-less group (emptied by a retraction delta): no claim,
+            // no vote, but a dense truth entry below.
+            s.rows.push((g, slot as u32, 0.0, 0.0));
+            continue;
+        }
+        let c = correctness[g as usize];
+        let weight = if map_weight {
+            if c >= 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            c
+        };
+        s.claim[slot] += weight;
+        total_claims += weight;
+        let w = ig_source[r] as usize;
+        if !active_source[w] {
+            s.rows.push((g, slot as u32, 0.0, 0.0));
+            continue;
+        }
+        let full_vote = full_vote_of[w];
+        let vote = weight * full_vote;
+        s.rows.push((g, slot as u32, weight, full_vote));
+        if s.voted[slot] {
+            s.vote_sum[slot] += vote;
+        } else {
+            s.vote_sum[slot] = vote;
+            s.voted[slot] = true;
+            s.order.push(slot as u32);
+        }
+    }
+    // POPACCU adjustment, in the same first-seen value order as the
+    // row-major paths.
+    if popaccu && total_claims > 0.0 {
+        let denom = total_claims + n + 1.0;
+        for &slot in &s.order {
+            let cnt = s.claim[slot as usize];
+            let rho = (cnt + 1.0) / denom;
+            s.vote_sum[slot as usize] += cnt * ((1.0 / n).ln() - rho.ln());
+        }
+    }
+
+    // Softmax with unobserved-value zeros (Eq. 21/25), summed in
+    // first-seen order like the row-major paths.
+    let unobserved_count = domain.saturating_sub(s.order.len());
+    s.vcs.clear();
+    s.vcs
+        .extend(s.order.iter().map(|&slot| s.vote_sum[slot as usize]));
+    let log_z = log_sum_exp_with_zeros(&s.vcs, unobserved_count);
+    let entry_start = s.entries.len();
+    for slot in 0..nv {
+        if s.voted[slot] {
+            let p = (s.vote_sum[slot] - log_z).exp();
+            s.prob[slot] = p;
+            s.entries
+                .push((ValueId::new(cc.item_values[val_base + slot]), p));
+        }
+    }
+    s.entry_counts.push((s.entries.len() - entry_start) as u32);
+    let unobserved_mass = if log_z.is_finite() {
+        (-log_z).exp()
+    } else {
+        1.0 / domain as f64
+    };
+    s.unobserved.push(unobserved_mass);
+
+    // Truth probability, conditional truth, and coverage per group.
+    for &(g, slot, weight, full_vote) in &s.rows {
+        let slot = slot as usize;
+        let voted = s.voted[slot];
+        let p = if voted { s.prob[slot] } else { unobserved_mass };
+        let p_cond = if log_z.is_finite() && full_vote != 0.0 {
+            let x = if voted { s.vote_sum[slot] } else { 0.0 };
+            let a = x - log_z;
+            let b = a + (1.0 - weight) * full_vote;
+            // `a.exp()` is the entry/unobserved probability computed in the
+            // softmax pass from the very same bits (`x − log_z`; for the
+            // unvoted case `0.0 − log_z` ≡ `−log_z` exactly, and for
+            // `log_z == ±0.0` both arguments exp to the same 1.0) — reuse
+            // it instead of a second `exp` per group.
+            let ea = p;
+            let eb = b.exp();
+            (eb / (1.0 - ea + eb)).clamp(0.0, 1.0)
+        } else {
+            p
+        };
+        s.groups_out.push((g, p, p_cond, voted));
+    }
+
+    // Reset the slots this item used; the arrays stay allocated.
+    for slot in 0..nv {
+        s.vote_sum[slot] = 0.0;
+        s.voted[slot] = false;
+        s.claim[slot] = 0.0;
+    }
+}
+
+/// [`estimate_values`] on the columnar chunked layout: chunks are packed
+/// into at most `num_shards` contiguous spans balanced on cell mass
+/// ([`balanced_ranges`]), each worker streams its chunks' `ig_*` columns
+/// through [`col_value_item_kernel`] with a reusable [`ColValueScratch`],
+/// and span outputs are merged in span order. The per-source full vote is
+/// hoisted out of the row loop (same expression, same inputs, same bits
+/// as computing it per group). Bit-identical to the flat and row-major
+/// sharded paths at any shard count.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_values_cols(
+    cc: &ChunkedCube,
+    correctness: &[f64],
+    params: &Params,
+    cfg: &ModelConfig,
+    active_source: &[bool],
+    discount: Option<&CopyDiscount>,
+    exec: &mut ShardedExecutor<ColValueScratch>,
+) -> ValueLayerOutput {
+    debug_assert_eq!(correctness.len(), cc.num_groups());
+    debug_assert_eq!(active_source.len(), cc.num_sources());
+    let ni = cc.num_items();
+    let n = cfg.n_false_values as f64;
+
+    // `ln(n·A_w/(1−A_w))` (× independence factor) per active source,
+    // hoisted out of the hot loop. Inactive sources never vote, so their
+    // slot is a placeholder the kernel never reads.
+    let full_vote_of: Vec<f64> = (0..cc.num_sources())
+        .map(|w| {
+            if !active_source[w] {
+                return 0.0;
+            }
+            let a = clamp_quality(params.source_accuracy[w]);
+            let mut fv = (n * a / (1.0 - a)).ln();
+            if let Some(dc) = discount {
+                fv *= dc.factor(SourceId::new(w as u32));
+            }
+            fv
+        })
+        .collect();
+
+    let weights: Vec<u64> = cc.chunks.iter().map(|c| c.cells as u64).collect();
+    let chunk_ranges = balanced_ranges(&weights, exec.num_shards());
+    let map_weight = cfg.correctness_weighting == CorrectnessWeighting::Map;
+    let popaccu = cfg.value_model == ValueModel::PopAccu;
+    let domain = cfg.n_false_values + 1;
+
+    exec.run_ranges(&chunk_ranges, |s, _, chunks| {
+        s.entries.clear();
+        s.entry_counts.clear();
+        s.unobserved.clear();
+        s.groups_out.clear();
+        s.vote_sum.clear();
+        s.vote_sum.resize(cc.max_item_values, 0.0);
+        s.voted.clear();
+        s.voted.resize(cc.max_item_values, false);
+        s.claim.clear();
+        s.claim.resize(cc.max_item_values, 0.0);
+        s.prob.clear();
+        s.prob.resize(cc.max_item_values, 0.0);
+        for chunk in &cc.chunks[chunks] {
+            for d in chunk.items.start as usize..chunk.items.end as usize {
+                col_value_item_kernel(
+                    cc,
+                    correctness,
+                    active_source,
+                    &full_vote_of,
+                    map_weight,
+                    popaccu,
+                    n,
+                    domain,
+                    d,
+                    s,
+                );
+            }
+        }
+    });
+
+    // Ordered merge: span `i`'s arena holds span `i`'s items, and spans
+    // tile the chunk (hence item) space in order.
+    let live = &exec.scratch()[..chunk_ranges.len()];
+    let total_entries: usize = live.iter().map(|s| s.entries.len()).sum();
+    let mut offsets = Vec::with_capacity(ni + 1);
+    offsets.push(0u32);
+    let mut entries = Vec::with_capacity(total_entries);
+    let mut unobserved = Vec::with_capacity(ni);
+    let mut truth_of_group = vec![0.0; cc.num_groups()];
+    let mut truth_given_provided = vec![0.0; cc.num_groups()];
+    let mut covered_group = vec![false; cc.num_groups()];
+    for s in live {
+        for &c in &s.entry_counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        entries.extend_from_slice(&s.entries);
+        unobserved.extend_from_slice(&s.unobserved);
+        for &(g, t, cond, cov) in &s.groups_out {
+            truth_of_group[g as usize] = t;
+            truth_given_provided[g as usize] = cond;
+            covered_group[g as usize] = cov;
+        }
+    }
+    debug_assert_eq!(offsets.len(), ni + 1);
+
+    ValueLayerOutput {
+        posteriors: ItemPosteriors::from_flat_parts(offsets, entries, unobserved),
+        truth_of_group,
+        truth_given_provided,
+        covered_group,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +972,81 @@ mod tests {
                 );
                 assert_eq!(sharded.covered_group, flat.covered_group, "{shards}");
                 assert_eq!(sharded.posteriors, flat.posteriors, "{shards}");
+            }
+        }
+    }
+
+    /// The columnar E-step must be bit-for-bit the flat E-step, for every
+    /// shard count, both value models, both weightings, and several chunk
+    /// sizes.
+    #[test]
+    fn columnar_estep_is_bit_identical_to_flat() {
+        use kbt_datamodel::ChunkingConfig;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(777);
+        let mut b = CubeBuilder::new();
+        for _ in 0..800 {
+            b.push(Observation {
+                extractor: ExtractorId::new(rng.gen_range(0..6)),
+                source: SourceId::new(rng.gen_range(0..25)),
+                item: ItemId::new(rng.gen_range(0..40)),
+                value: ValueId::new(rng.gen_range(0..7)),
+                confidence: rng.gen::<f64>(),
+            });
+        }
+        let cube = b.build();
+        let params = Params {
+            source_accuracy: (0..25).map(|w| 0.3 + 0.02 * w as f64).collect(),
+            precision: vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4],
+            recall: vec![0.9, 0.8, 0.7, 0.6, 0.5, 0.4],
+            q: vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3],
+        };
+        let correctness: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        let active: Vec<bool> = (0..25).map(|w| w % 5 != 0).collect();
+        for (value_model, weighting) in [
+            (ValueModel::Accu, CorrectnessWeighting::Weighted),
+            (ValueModel::PopAccu, CorrectnessWeighting::Weighted),
+            (ValueModel::Accu, CorrectnessWeighting::Map),
+        ] {
+            let cfg = ModelConfig {
+                value_model,
+                correctness_weighting: weighting,
+                ..ModelConfig::default()
+            };
+            let flat = estimate_values(&cube, &correctness, &params, &cfg, &active, None);
+            for target_cells in [1usize, 16, 1 << 20] {
+                let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells });
+                for shards in [1usize, 2, 8] {
+                    let mut exec = ShardedExecutor::with_shards(shards);
+                    // Run twice: the second round exercises buffer reuse.
+                    let _ = estimate_values_cols(
+                        &cc,
+                        &correctness,
+                        &params,
+                        &cfg,
+                        &active,
+                        None,
+                        &mut exec,
+                    );
+                    let cols = estimate_values_cols(
+                        &cc,
+                        &correctness,
+                        &params,
+                        &cfg,
+                        &active,
+                        None,
+                        &mut exec,
+                    );
+                    let tag = format!("{value_model:?}/{weighting:?} t={target_cells} s={shards}");
+                    assert_eq!(cols.truth_of_group, flat.truth_of_group, "{tag}");
+                    assert_eq!(
+                        cols.truth_given_provided, flat.truth_given_provided,
+                        "{tag}"
+                    );
+                    assert_eq!(cols.covered_group, flat.covered_group, "{tag}");
+                    assert_eq!(cols.posteriors, flat.posteriors, "{tag}");
+                }
             }
         }
     }

@@ -28,6 +28,10 @@ pub struct VoteCounter {
     pub presence: Vec<f64>,
     /// `Abs_e` per extractor.
     pub absence: Vec<f64>,
+    /// `Pre_e − Abs_e` per extractor, precomputed so the columnar
+    /// vote-count kernel is a single fused multiply-add per cell.
+    /// Bit-identical to computing the difference at use sites.
+    pub adjust: Vec<f64>,
     /// `Σ_{e ∈ candidates(w)} Abs_e` per source.
     pub source_absence_sum: Vec<f64>,
 }
@@ -47,6 +51,7 @@ impl VoteCounter {
         Self {
             presence: Vec::new(),
             absence: Vec::new(),
+            adjust: Vec::new(),
             source_absence_sum: Vec::new(),
         }
     }
@@ -58,13 +63,18 @@ impl VoteCounter {
         let ne = cube.num_extractors();
         self.presence.clear();
         self.absence.clear();
+        self.adjust.clear();
         self.presence.reserve(ne);
         self.absence.reserve(ne);
+        self.adjust.reserve(ne);
         for e in 0..ne {
             let r = clamp_quality(params.recall[e]);
             let q = clamp_quality(params.q[e]);
-            self.presence.push(r.ln() - q.ln());
-            self.absence.push((1.0 - r).ln() - (1.0 - q).ln());
+            let pre = r.ln() - q.ln();
+            let abs = (1.0 - r).ln() - (1.0 - q).ln();
+            self.presence.push(pre);
+            self.absence.push(abs);
+            self.adjust.push(pre - abs);
         }
         self.source_absence_sum.clear();
         match cfg.absence_policy {

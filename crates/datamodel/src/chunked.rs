@@ -1,0 +1,806 @@
+//! Columnar (SoA) chunked view of the observation cube — the layout the
+//! EM hot loops stream at 10M-triple scale.
+//!
+//! [`ObservationCube`] stores groups and cells as arrays of structs; the
+//! inference loops chase `Range` fields and branch per group. At millions
+//! of triples that layout leaves throughput on the table: the E-step wants
+//! to stream *columns* (`source[]`, `value[]`, `confidence[]`, …) with a
+//! fixed reduction order so rustc can keep the loop bodies branch-free and
+//! auto-vectorize the float accumulations.
+//!
+//! [`ChunkedCube`] is that view. It is **derived** from an
+//! [`ObservationCube`] (the cube stays the system of record — deltas and
+//! retractions still go through [`ObservationCube::apply_delta`] /
+//! [`ObservationCube::retract`], and the columnar view is rebuilt from the
+//! result), and it is **row-equivalent by construction**: every column is
+//! a gather of the cube's existing arrays in the cube's existing order, so
+//! an EM step that walks the columns in index order performs bit-for-bit
+//! the same float operations as one walking the cube. The
+//! `columnar_cube` proptests pin that equivalence down through build,
+//! `apply_delta`, and `retract`.
+//!
+//! The group list is additionally partitioned into fixed-size,
+//! **item-aligned chunks** ([`CubeChunk`]) of roughly
+//! [`ChunkingConfig::target_cells`] cells: a chunk's scratch is its whole
+//! working set, and a sharded executor schedules whole chunks
+//! (`kbt_flume::ShardedExecutor::run_ranges`). Because chunks never split
+//! an item, per-item reductions stay local to one worker and the merge
+//! order stays deterministic. The optional [`ChunkSource`] trait +
+//! [`FileChunkStore`] stream chunk payloads from disk, making the layout
+//! out-of-core-ready: the resident set is one [`ChunkBuf`] per worker
+//! instead of the whole corpus.
+
+use std::fs;
+use std::io::{self, Read as _, Seek as _, SeekFrom};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::cube::ObservationCube;
+use crate::ids::{ItemId, SourceId};
+use crate::wire::{self, WireReader};
+
+/// How the columnar cube is partitioned into chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkingConfig {
+    /// Soft target for the number of cube cells per chunk. A chunk closes
+    /// at the first **item boundary** at or past this many cells (items
+    /// are never split across chunks, so a single very wide item can
+    /// exceed the target). Smaller chunks = finer load balancing and a
+    /// smaller per-worker working set; larger chunks = less scheduling
+    /// overhead. The default (64 Ki cells ≈ 1 MiB of confidence + id
+    /// columns) keeps a chunk's hot data inside the L2 cache of
+    /// contemporary cores.
+    pub target_cells: usize,
+}
+
+impl Default for ChunkingConfig {
+    fn default() -> Self {
+        Self {
+            target_cells: 64 * 1024,
+        }
+    }
+}
+
+/// One item-aligned chunk of the columnar cube: a contiguous range of
+/// items, the contiguous range of item-major rows they own, and the cell
+/// mass inside — the weight the scheduler balances on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CubeChunk {
+    /// Dense item-id range `[start, end)` the chunk covers.
+    pub items: Range<u32>,
+    /// The chunk's rows in the item-major (`ig_*`) columns:
+    /// `item_offsets[items.start]..item_offsets[items.end]`.
+    pub rows: Range<u32>,
+    /// Number of cube cells inside the chunk's groups.
+    pub cells: u32,
+}
+
+/// Columnar (structure-of-arrays) chunked view of an [`ObservationCube`].
+///
+/// Three families of columns, all gathers of the cube in deterministic
+/// order:
+///
+/// * **group-major** (global group order — the order `cube.groups()`
+///   iterates): `group_source` / `group_item` / `group_value` /
+///   `cell_offsets`, with the cell payload split into `cell_extractor` /
+///   `cell_confidence`;
+/// * **item-major** (the order `cube.groups_of_item(d)` yields, for
+///   ascending `d`): `ig_group` / `ig_source` / `ig_slot` /
+///   `ig_has_cells`, delimited by `item_offsets` — the value E-step
+///   streams these; `ig_slot` pre-resolves each group's value to its
+///   index in the item's sorted distinct-value list so the hot loop does
+///   no searching;
+/// * **extractor-major** (per extractor, its cells in global cell order):
+///   `ext_offsets` / `ext_group` / `ext_conf` — the extractor M-step
+///   reduces each extractor independently while preserving the serial
+///   accumulation order.
+#[derive(Debug, Clone)]
+pub struct ChunkedCube {
+    /// Source id of group `g` (global group order).
+    pub group_source: Vec<u32>,
+    /// Item id of group `g`.
+    pub group_item: Vec<u32>,
+    /// Value id of group `g`.
+    pub group_value: Vec<u32>,
+    /// Cell range of group `g`: `cell_offsets[g]..cell_offsets[g+1]`
+    /// (length `num_groups + 1`).
+    pub cell_offsets: Vec<u32>,
+    /// Extractor id of each cell, in the cube's global cell order.
+    pub cell_extractor: Vec<u32>,
+    /// Extraction confidence of each cell.
+    pub cell_confidence: Vec<f64>,
+
+    /// Item-major row ranges: item `d` owns rows
+    /// `item_offsets[d]..item_offsets[d+1]` of the `ig_*` columns
+    /// (length `num_items + 1`).
+    pub item_offsets: Vec<u32>,
+    /// Global group index of each item-major row.
+    pub ig_group: Vec<u32>,
+    /// Source id of each item-major row.
+    pub ig_source: Vec<u32>,
+    /// Slot of the row's value inside the item's sorted distinct-value
+    /// list (`item_values_of`).
+    pub ig_slot: Vec<u32>,
+    /// 1 when the row's group has at least one cell, else 0. Cell-less
+    /// groups can appear after retractions; they claim but never vote.
+    pub ig_has_cells: Vec<u8>,
+
+    /// CSR offsets of the per-item sorted distinct values
+    /// (length `num_items + 1`).
+    pub item_value_offsets: Vec<u32>,
+    /// Flat per-item sorted distinct value ids.
+    pub item_values: Vec<u32>,
+
+    /// Per-source group ranges over the (source-sorted) group list:
+    /// source `w` owns groups `source_offsets[w]..source_offsets[w+1]`
+    /// (length `num_sources + 1`).
+    pub source_offsets: Vec<u32>,
+
+    /// Per-extractor cell ranges: extractor `e` owns rows
+    /// `ext_offsets[e]..ext_offsets[e+1]` of `ext_group` / `ext_conf`
+    /// (length `num_extractors + 1`).
+    pub ext_offsets: Vec<u32>,
+    /// Global group index of each extractor-major cell, in global cell
+    /// order per extractor (so per-extractor reductions accumulate in
+    /// exactly the serial stream's order).
+    pub ext_group: Vec<u32>,
+    /// Confidence of each extractor-major cell.
+    pub ext_conf: Vec<f64>,
+
+    /// The item-aligned chunk partition.
+    pub chunks: Vec<CubeChunk>,
+    /// Largest per-item distinct-value count — the slot-accumulator size
+    /// a value-layer scratch needs.
+    pub max_item_values: usize,
+    /// Most item-major rows in any single chunk — sizes per-worker row
+    /// scratch.
+    pub max_chunk_rows: usize,
+
+    num_sources: u32,
+    num_extractors: u32,
+    num_values: u32,
+}
+
+impl ChunkedCube {
+    /// Gather the columnar view from `cube`, partitioned per `cfg`.
+    ///
+    /// Pure gather: no reordering, no recomputation — every column copies
+    /// the cube's arrays in the cube's iteration order, which is what
+    /// makes columnar EM kernels bit-for-bit equal to the row-major ones.
+    pub fn from_cube(cube: &ObservationCube, cfg: &ChunkingConfig) -> Self {
+        let ng = cube.num_groups();
+        let ni = cube.num_items();
+        let ns = cube.num_sources();
+        let ne = cube.num_extractors();
+
+        let mut group_source = Vec::with_capacity(ng);
+        let mut group_item = Vec::with_capacity(ng);
+        let mut group_value = Vec::with_capacity(ng);
+        let mut cell_offsets = Vec::with_capacity(ng + 1);
+        cell_offsets.push(0u32);
+        let mut cell_extractor = Vec::with_capacity(cube.num_cells());
+        let mut cell_confidence = Vec::with_capacity(cube.num_cells());
+        for g in cube.groups() {
+            group_source.push(g.source.0);
+            group_item.push(g.item.0);
+            group_value.push(g.value.0);
+            for c in cube.cells_of(g) {
+                cell_extractor.push(c.extractor.0);
+                cell_confidence.push(c.confidence);
+            }
+            cell_offsets.push(cell_extractor.len() as u32);
+        }
+
+        // Per-source offsets: groups are source-sorted and the cube's
+        // non-empty ranges tile the group list; sources with no groups
+        // (the cube stores them as 0..0) become zero-width at the running
+        // offset so the CSR stays monotone.
+        let mut source_offsets = Vec::with_capacity(ns + 1);
+        source_offsets.push(0u32);
+        for w in 0..ns {
+            let r = cube.source_groups(SourceId::new(w as u32));
+            let prev = *source_offsets.last().unwrap();
+            if r.is_empty() {
+                source_offsets.push(prev);
+            } else {
+                debug_assert_eq!(
+                    r.start as u32, prev,
+                    "source ranges must tile the group list"
+                );
+                source_offsets.push(r.end as u32);
+            }
+        }
+        debug_assert_eq!(*source_offsets.last().unwrap() as usize, ng);
+
+        // Item-major gather + per-item value CSR + slot resolution.
+        let mut item_offsets = Vec::with_capacity(ni + 1);
+        item_offsets.push(0u32);
+        let mut ig_group = Vec::with_capacity(ng);
+        let mut ig_source = Vec::with_capacity(ng);
+        let mut ig_slot = Vec::with_capacity(ng);
+        let mut ig_has_cells = Vec::with_capacity(ng);
+        let mut item_value_offsets = Vec::with_capacity(ni + 1);
+        item_value_offsets.push(0u32);
+        let mut item_values = Vec::new();
+        let mut max_item_values = 0usize;
+        for d in 0..ni {
+            let vals = cube.observed_values(ItemId::new(d as u32));
+            max_item_values = max_item_values.max(vals.len());
+            item_values.extend(vals.iter().map(|v| v.0));
+            item_value_offsets.push(item_values.len() as u32);
+            for g in cube.groups_of_item(ItemId::new(d as u32)) {
+                let grp = &cube.groups()[g];
+                let slot = vals
+                    .binary_search(&grp.value)
+                    .expect("group value is an observed value of its item");
+                ig_group.push(g as u32);
+                ig_source.push(grp.source.0);
+                ig_slot.push(slot as u32);
+                ig_has_cells.push(u8::from(!cube.cells_of(grp).is_empty()));
+            }
+            item_offsets.push(ig_group.len() as u32);
+        }
+
+        // Extractor-major CSR by counting sort over the global cell
+        // stream — each extractor sees its cells as a subsequence of
+        // global cell order.
+        let mut ext_offsets = vec![0u32; ne + 1];
+        for &e in &cell_extractor {
+            ext_offsets[e as usize + 1] += 1;
+        }
+        for e in 0..ne {
+            ext_offsets[e + 1] += ext_offsets[e];
+        }
+        let mut cursor: Vec<u32> = ext_offsets[..ne].to_vec();
+        let mut ext_group = vec![0u32; cell_extractor.len()];
+        let mut ext_conf = vec![0.0f64; cell_extractor.len()];
+        for (g, win) in cell_offsets.windows(2).enumerate() {
+            for ci in win[0] as usize..win[1] as usize {
+                let e = cell_extractor[ci] as usize;
+                let slot = cursor[e] as usize;
+                ext_group[slot] = g as u32;
+                ext_conf[slot] = cell_confidence[ci];
+                cursor[e] += 1;
+            }
+        }
+
+        // Greedy item-aligned chunking: close a chunk at the first item
+        // boundary at or past `target_cells` cells.
+        let target = cfg.target_cells.max(1) as u64;
+        let mut chunks = Vec::new();
+        let mut max_chunk_rows = 0usize;
+        let mut start_item = 0usize;
+        let mut acc_cells = 0u64;
+        for d in 0..ni {
+            let row_lo = item_offsets[d] as usize;
+            let row_hi = item_offsets[d + 1] as usize;
+            let item_cells: u64 = ig_group[row_lo..row_hi]
+                .iter()
+                .map(|&g| (cell_offsets[g as usize + 1] - cell_offsets[g as usize]) as u64)
+                .sum();
+            acc_cells += item_cells;
+            if acc_cells >= target || d + 1 == ni {
+                let rows = item_offsets[start_item]..item_offsets[d + 1];
+                max_chunk_rows = max_chunk_rows.max(rows.len());
+                chunks.push(CubeChunk {
+                    items: start_item as u32..(d + 1) as u32,
+                    rows,
+                    cells: acc_cells as u32,
+                });
+                start_item = d + 1;
+                acc_cells = 0;
+            }
+        }
+
+        Self {
+            group_source,
+            group_item,
+            group_value,
+            cell_offsets,
+            cell_extractor,
+            cell_confidence,
+            item_offsets,
+            ig_group,
+            ig_source,
+            ig_slot,
+            ig_has_cells,
+            item_value_offsets,
+            item_values,
+            source_offsets,
+            ext_offsets,
+            ext_group,
+            ext_conf,
+            chunks,
+            max_item_values,
+            max_chunk_rows,
+            num_sources: ns as u32,
+            num_extractors: ne as u32,
+            num_values: cube.num_values() as u32,
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.group_source.len()
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cell_extractor.len()
+    }
+
+    /// Number of sources in the dense id space.
+    pub fn num_sources(&self) -> usize {
+        self.num_sources as usize
+    }
+
+    /// Number of extractors in the dense id space.
+    pub fn num_extractors(&self) -> usize {
+        self.num_extractors as usize
+    }
+
+    /// Number of items in the dense id space.
+    pub fn num_items(&self) -> usize {
+        self.item_offsets.len().saturating_sub(1)
+    }
+
+    /// Number of values in the dense id space.
+    pub fn num_values(&self) -> usize {
+        self.num_values as usize
+    }
+
+    /// Sorted distinct value ids of item `d`.
+    pub fn item_values_of(&self, d: usize) -> &[u32] {
+        let lo = self.item_value_offsets[d] as usize;
+        let hi = self.item_value_offsets[d + 1] as usize;
+        &self.item_values[lo..hi]
+    }
+
+    /// Cell range of group `g` in the cell columns.
+    pub fn cells_of_group(&self, g: usize) -> Range<usize> {
+        self.cell_offsets[g] as usize..self.cell_offsets[g + 1] as usize
+    }
+
+    /// Approximate resident size of all columns in bytes (payload only).
+    pub fn approx_bytes(&self) -> usize {
+        let u32s = self.group_source.len()
+            + self.group_item.len()
+            + self.group_value.len()
+            + self.cell_offsets.len()
+            + self.cell_extractor.len()
+            + self.item_offsets.len()
+            + self.ig_group.len()
+            + self.ig_source.len()
+            + self.ig_slot.len()
+            + self.item_value_offsets.len()
+            + self.item_values.len()
+            + self.source_offsets.len()
+            + self.ext_offsets.len()
+            + self.ext_group.len();
+        let f64s = self.cell_confidence.len() + self.ext_conf.len();
+        u32s * 4 + f64s * 8 + self.ig_has_cells.len() + self.chunks.len() * 24
+    }
+}
+
+/// One chunk's item-major payload, decoded into reusable buffers — the
+/// unit a [`ChunkSource`] yields and an out-of-core E-step worker holds
+/// resident (everything the value layer needs for the chunk's items).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChunkBuf {
+    /// Dense item-id range the payload covers.
+    pub items: Range<u32>,
+    /// Row offsets rebased to the chunk (`item_offsets[0] == 0`, length
+    /// `items.len() + 1`).
+    pub item_offsets: Vec<u32>,
+    /// Value-CSR offsets rebased to the chunk (length `items.len() + 1`).
+    pub item_value_offsets: Vec<u32>,
+    /// Flat per-item sorted distinct value ids.
+    pub item_values: Vec<u32>,
+    /// Global group index per row.
+    pub ig_group: Vec<u32>,
+    /// Source id per row.
+    pub ig_source: Vec<u32>,
+    /// Value slot per row.
+    pub ig_slot: Vec<u32>,
+    /// Row has at least one cell.
+    pub ig_has_cells: Vec<u8>,
+}
+
+/// A source of chunk payloads — in-memory ([`ChunkedCube`]) or streamed
+/// from disk ([`FileChunkStore`]). Abstracting the source keeps the
+/// E-step code identical whether the corpus is resident or out-of-core.
+pub trait ChunkSource {
+    /// Number of chunks available.
+    fn num_chunks(&self) -> usize;
+
+    /// Load chunk `idx` into `buf` (cleared first, capacity reused).
+    fn load_chunk(&self, idx: usize, buf: &mut ChunkBuf) -> io::Result<()>;
+}
+
+impl ChunkSource for ChunkedCube {
+    fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    fn load_chunk(&self, idx: usize, buf: &mut ChunkBuf) -> io::Result<()> {
+        let chunk = &self.chunks[idx];
+        let items = chunk.items.start as usize..chunk.items.end as usize;
+        let rows = chunk.rows.start as usize..chunk.rows.end as usize;
+        let row_base = chunk.rows.start;
+        let val_base = self.item_value_offsets[items.start];
+        let val_range = val_base as usize..self.item_value_offsets[items.end] as usize;
+
+        buf.items = chunk.items.clone();
+        buf.item_offsets.clear();
+        buf.item_value_offsets.clear();
+        for d in items.start..=items.end {
+            buf.item_offsets.push(self.item_offsets[d] - row_base);
+            buf.item_value_offsets
+                .push(self.item_value_offsets[d] - val_base);
+        }
+        buf.item_values.clear();
+        buf.item_values
+            .extend_from_slice(&self.item_values[val_range]);
+        buf.ig_group.clear();
+        buf.ig_group.extend_from_slice(&self.ig_group[rows.clone()]);
+        buf.ig_source.clear();
+        buf.ig_source
+            .extend_from_slice(&self.ig_source[rows.clone()]);
+        buf.ig_slot.clear();
+        buf.ig_slot.extend_from_slice(&self.ig_slot[rows.clone()]);
+        buf.ig_has_cells.clear();
+        buf.ig_has_cells.extend_from_slice(&self.ig_has_cells[rows]);
+        Ok(())
+    }
+}
+
+const CHUNK_MAGIC: &[u8; 8] = b"KBTCHNK1";
+
+fn put_u32_slice(buf: &mut Vec<u8>, xs: &[u32]) {
+    wire::put_u32(buf, xs.len() as u32);
+    for &x in xs {
+        wire::put_u32(buf, x);
+    }
+}
+
+fn read_u32_vec(r: &mut WireReader<'_>, out: &mut Vec<u32>) -> io::Result<()> {
+    let n = r.u32().map_err(corrupt)? as usize;
+    out.clear();
+    out.reserve(n);
+    for _ in 0..n {
+        out.push(r.u32().map_err(corrupt)?);
+    }
+    Ok(())
+}
+
+fn corrupt<E: std::fmt::Debug>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))
+}
+
+/// Disk-backed chunk payloads: `KBTCHNK1` header + per-chunk
+/// `[len][payload][crc32]` frames (the same framing discipline as the
+/// `kbt-store` WAL). [`FileChunkStore::write`] serializes every chunk of
+/// a [`ChunkedCube`]; [`FileChunkStore::open`] indexes the frames and
+/// serves them through [`ChunkSource`], verifying each frame's CRC on
+/// load — a corrupted chunk surfaces as an [`io::Error`] instead of
+/// silently wrong EM input.
+#[derive(Debug)]
+pub struct FileChunkStore {
+    path: PathBuf,
+    /// Byte offset + length of each chunk's payload frame.
+    frames: Vec<(u64, u32)>,
+}
+
+impl FileChunkStore {
+    /// Serialize every chunk of `cube` to `path` (truncating).
+    pub fn write(cube: &ChunkedCube, path: &Path) -> io::Result<()> {
+        let mut file_buf: Vec<u8> = Vec::new();
+        file_buf.extend_from_slice(CHUNK_MAGIC);
+        wire::put_u32(&mut file_buf, cube.chunks.len() as u32);
+        let mut payload: Vec<u8> = Vec::new();
+        let mut chunk = ChunkBuf::default();
+        for idx in 0..cube.chunks.len() {
+            cube.load_chunk(idx, &mut chunk)?;
+            payload.clear();
+            wire::put_u32(&mut payload, chunk.items.start);
+            wire::put_u32(&mut payload, chunk.items.end);
+            put_u32_slice(&mut payload, &chunk.item_offsets);
+            put_u32_slice(&mut payload, &chunk.item_value_offsets);
+            put_u32_slice(&mut payload, &chunk.item_values);
+            put_u32_slice(&mut payload, &chunk.ig_group);
+            put_u32_slice(&mut payload, &chunk.ig_source);
+            put_u32_slice(&mut payload, &chunk.ig_slot);
+            wire::put_u32(&mut payload, chunk.ig_has_cells.len() as u32);
+            file_buf.reserve(payload.len() + chunk.ig_has_cells.len() + 8);
+            wire::put_u32(
+                &mut file_buf,
+                (payload.len() + chunk.ig_has_cells.len()) as u32,
+            );
+            let frame_start = file_buf.len();
+            file_buf.extend_from_slice(&payload);
+            file_buf.extend_from_slice(&chunk.ig_has_cells);
+            let crc = wire::crc32(&file_buf[frame_start..]);
+            wire::put_u32(&mut file_buf, crc);
+        }
+        fs::write(path, file_buf)
+    }
+
+    /// Open a chunk file written by [`Self::write`] and index its frames.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let data = fs::read(path)?;
+        if data.len() < 12 || &data[..8] != CHUNK_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a KBTCHNK1 chunk file",
+            ));
+        }
+        let mut r = WireReader::new(&data[8..]);
+        let count = r.u32().map_err(corrupt)? as usize;
+        let mut frames = Vec::with_capacity(count);
+        let mut pos = 12u64;
+        for _ in 0..count {
+            let len = r.u32().map_err(corrupt)?;
+            pos += 4;
+            frames.push((pos, len));
+            r.bytes(len as usize + 4).map_err(corrupt)?;
+            pos += len as u64 + 4;
+        }
+        Ok(Self {
+            path: path.to_path_buf(),
+            frames,
+        })
+    }
+}
+
+impl ChunkSource for FileChunkStore {
+    fn num_chunks(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn load_chunk(&self, idx: usize, buf: &mut ChunkBuf) -> io::Result<()> {
+        let (offset, len) = self.frames[idx];
+        let mut file = fs::File::open(&self.path)?;
+        file.seek(SeekFrom::Start(offset))?;
+        let mut frame = vec![0u8; len as usize + 4];
+        file.read_exact(&mut frame)?;
+        let (payload, crc_bytes) = frame.split_at(len as usize);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if wire::crc32(payload) != stored {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("chunk {idx}: CRC mismatch"),
+            ));
+        }
+        let mut r = WireReader::new(payload);
+        let start = r.u32().map_err(corrupt)?;
+        let end = r.u32().map_err(corrupt)?;
+        buf.items = start..end;
+        read_u32_vec(&mut r, &mut buf.item_offsets)?;
+        read_u32_vec(&mut r, &mut buf.item_value_offsets)?;
+        read_u32_vec(&mut r, &mut buf.item_values)?;
+        read_u32_vec(&mut r, &mut buf.ig_group)?;
+        read_u32_vec(&mut r, &mut buf.ig_source)?;
+        read_u32_vec(&mut r, &mut buf.ig_slot)?;
+        let n = r.u32().map_err(corrupt)? as usize;
+        buf.ig_has_cells.clear();
+        buf.ig_has_cells
+            .extend_from_slice(r.bytes(n).map_err(corrupt)?);
+        if !r.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("chunk {idx}: trailing bytes"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::CubeBuilder;
+    use crate::ids::{ExtractorId, ValueId};
+    use crate::triple::Observation;
+
+    fn obs(e: u32, w: u32, d: u32, v: u32, c: f64) -> Observation {
+        Observation {
+            extractor: ExtractorId::new(e),
+            source: SourceId::new(w),
+            item: ItemId::new(d),
+            value: ValueId::new(v),
+            confidence: c,
+        }
+    }
+
+    fn sample_cube() -> ObservationCube {
+        let mut b = CubeBuilder::new();
+        for w in 0..6u32 {
+            for d in 0..9u32 {
+                for e in 0..(1 + (w + d) % 3) {
+                    b.push(obs(e, w, d, (w + d) % 4, 0.3 + 0.1 * e as f64));
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Every column must be a faithful gather of the cube.
+    fn assert_matches_cube(cc: &ChunkedCube, cube: &ObservationCube) {
+        assert_eq!(cc.num_groups(), cube.num_groups());
+        assert_eq!(cc.num_cells(), cube.num_cells());
+        assert_eq!(cc.num_sources(), cube.num_sources());
+        assert_eq!(cc.num_extractors(), cube.num_extractors());
+        assert_eq!(cc.num_items(), cube.num_items());
+        assert_eq!(cc.num_values(), cube.num_values());
+        for (g, grp) in cube.groups().iter().enumerate() {
+            assert_eq!(cc.group_source[g], grp.source.0);
+            assert_eq!(cc.group_item[g], grp.item.0);
+            assert_eq!(cc.group_value[g], grp.value.0);
+            let cells = cube.cells_of(grp);
+            let r = cc.cells_of_group(g);
+            assert_eq!(r.len(), cells.len());
+            for (k, c) in cells.iter().enumerate() {
+                assert_eq!(cc.cell_extractor[r.start + k], c.extractor.0);
+                assert_eq!(
+                    cc.cell_confidence[r.start + k].to_bits(),
+                    c.confidence.to_bits()
+                );
+            }
+        }
+        for w in 0..cube.num_sources() {
+            let r = cube.source_groups(SourceId::new(w as u32));
+            if r.is_empty() {
+                assert_eq!(cc.source_offsets[w], cc.source_offsets[w + 1]);
+            } else {
+                assert_eq!(cc.source_offsets[w] as usize, r.start);
+                assert_eq!(cc.source_offsets[w + 1] as usize, r.end);
+            }
+        }
+        for d in 0..cube.num_items() {
+            let vals = cube.observed_values(ItemId::new(d as u32));
+            assert_eq!(
+                cc.item_values_of(d),
+                vals.iter().map(|v| v.0).collect::<Vec<_>>().as_slice()
+            );
+            let rows: Vec<usize> = cube.groups_of_item(ItemId::new(d as u32)).collect();
+            let lo = cc.item_offsets[d] as usize;
+            let hi = cc.item_offsets[d + 1] as usize;
+            assert_eq!(hi - lo, rows.len());
+            for (k, &g) in rows.iter().enumerate() {
+                let grp = &cube.groups()[g];
+                assert_eq!(cc.ig_group[lo + k] as usize, g);
+                assert_eq!(cc.ig_source[lo + k], grp.source.0);
+                assert_eq!(
+                    cc.item_values_of(d)[cc.ig_slot[lo + k] as usize],
+                    grp.value.0
+                );
+                assert_eq!(cc.ig_has_cells[lo + k] == 1, !cube.cells_of(grp).is_empty());
+            }
+        }
+        // Extractor CSR covers every cell exactly once, in global order.
+        assert_eq!(*cc.ext_offsets.last().unwrap() as usize, cube.num_cells());
+        for e in 0..cube.num_extractors() {
+            let lo = cc.ext_offsets[e] as usize;
+            let hi = cc.ext_offsets[e + 1] as usize;
+            let mut prev_cell = None;
+            for k in lo..hi {
+                let g = cc.ext_group[k] as usize;
+                let r = cc.cells_of_group(g);
+                let ci = (r.start..r.end)
+                    .find(|&ci| {
+                        cc.cell_extractor[ci] as usize == e
+                            && cc.cell_confidence[ci].to_bits() == cc.ext_conf[k].to_bits()
+                    })
+                    .expect("ext cell present in its group");
+                if let Some(prev) = prev_cell {
+                    assert!(ci > prev, "extractor cells must keep global order");
+                }
+                prev_cell = Some(ci);
+            }
+        }
+    }
+
+    fn assert_chunks_tile(cc: &ChunkedCube) {
+        let mut next_item = 0u32;
+        let mut next_row = 0u32;
+        let mut cells = 0u64;
+        for chunk in &cc.chunks {
+            assert_eq!(chunk.items.start, next_item);
+            assert_eq!(chunk.rows.start, next_row);
+            assert_eq!(
+                chunk.rows,
+                cc.item_offsets[chunk.items.start as usize]
+                    ..cc.item_offsets[chunk.items.end as usize]
+            );
+            next_item = chunk.items.end;
+            next_row = chunk.rows.end;
+            cells += chunk.cells as u64;
+        }
+        assert_eq!(next_item as usize, cc.num_items());
+        assert_eq!(next_row as usize, cc.ig_group.len());
+        assert_eq!(cells as usize, cc.num_cells());
+    }
+
+    #[test]
+    fn columns_match_cube_at_several_chunk_sizes() {
+        let cube = sample_cube();
+        for target in [1usize, 7, 64, 1 << 20] {
+            let cc = ChunkedCube::from_cube(
+                &cube,
+                &ChunkingConfig {
+                    target_cells: target,
+                },
+            );
+            assert_matches_cube(&cc, &cube);
+            assert_chunks_tile(&cc);
+        }
+    }
+
+    #[test]
+    fn chunking_survives_delta_and_retract() {
+        let cube = sample_cube();
+        let grown = cube.apply_delta(&[obs(7, 9, 12, 5, 0.9), obs(0, 0, 0, 3, 0.2)]);
+        let cc = ChunkedCube::from_cube(&grown, &ChunkingConfig { target_cells: 16 });
+        assert_matches_cube(&cc, &grown);
+        assert_chunks_tile(&cc);
+
+        let shrunk = grown.retract(&[(SourceId::new(0), ItemId::new(0), ValueId::new(0))]);
+        let cc = ChunkedCube::from_cube(&shrunk, &ChunkingConfig { target_cells: 16 });
+        assert_matches_cube(&cc, &shrunk);
+        assert_chunks_tile(&cc);
+    }
+
+    #[test]
+    fn empty_cube_has_no_chunks() {
+        let cc = ChunkedCube::from_cube(&CubeBuilder::new().build(), &ChunkingConfig::default());
+        assert_eq!(cc.num_chunks(), 0);
+        assert_eq!(cc.num_groups(), 0);
+        assert_chunks_tile(&cc);
+    }
+
+    #[test]
+    fn file_store_round_trips_every_chunk() {
+        let cube = sample_cube();
+        let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells: 8 });
+        assert!(cc.num_chunks() > 1, "want a multi-chunk test corpus");
+        let dir = std::env::temp_dir().join("kbt_chunk_store_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunks.kbt");
+        FileChunkStore::write(&cc, &path).unwrap();
+        let store = FileChunkStore::open(&path).unwrap();
+        assert_eq!(store.num_chunks(), cc.num_chunks());
+        let (mut mem, mut disk) = (ChunkBuf::default(), ChunkBuf::default());
+        for idx in 0..cc.num_chunks() {
+            cc.load_chunk(idx, &mut mem).unwrap();
+            store.load_chunk(idx, &mut disk).unwrap();
+            assert_eq!(mem, disk, "chunk {idx}");
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_store_detects_corruption() {
+        let cube = sample_cube();
+        let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells: 8 });
+        let dir = std::env::temp_dir().join("kbt_chunk_store_corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunks.kbt");
+        FileChunkStore::write(&cc, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        // The flip lands in some chunk's payload (or its CRC): loading
+        // every chunk must surface at least one error, never bad data.
+        match FileChunkStore::open(&path) {
+            Err(_) => {}
+            Ok(store) => {
+                let mut buf = ChunkBuf::default();
+                let any_err =
+                    (0..store.num_chunks()).any(|idx| store.load_chunk(idx, &mut buf).is_err());
+                assert!(any_err, "corruption must not pass CRC");
+            }
+        }
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -63,8 +63,18 @@ pub struct ObservationCube {
     /// Group indices ordered by item; `item_offsets[d]..item_offsets[d+1]`.
     item_groups: Vec<u32>,
     item_offsets: Vec<u32>,
-    /// Per source: sorted distinct extractors active on it.
-    source_extractors: Vec<Vec<ExtractorId>>,
+    /// CSR of sorted distinct extractors per source:
+    /// `source_extractor_ids[source_extractor_offsets[w]..source_extractor_offsets[w+1]]`.
+    /// One flat allocation instead of a `Vec<Vec<_>>` — cheap to build and
+    /// to clone.
+    source_extractor_offsets: Vec<u32>,
+    source_extractor_ids: Vec<ExtractorId>,
+    /// CSR of sorted distinct observed values per item:
+    /// `item_values[item_value_offsets[d]..item_value_offsets[d+1]]`.
+    /// Precomputed once at build so the value layer never re-sorts or
+    /// dedups inside an EM round.
+    item_value_offsets: Vec<u32>,
+    item_values: Vec<ValueId>,
     num_extractors: u32,
     num_values: u32,
 }
@@ -126,7 +136,19 @@ impl ObservationCube {
     /// Sorted distinct extractors that extracted anything from source `w` —
     /// the candidate set used for absence votes.
     pub fn extractors_on_source(&self, w: SourceId) -> &[ExtractorId] {
-        &self.source_extractors[w.index()]
+        let lo = self.source_extractor_offsets[w.index()] as usize;
+        let hi = self.source_extractor_offsets[w.index() + 1] as usize;
+        &self.source_extractor_ids[lo..hi]
+    }
+
+    /// Sorted distinct values observed (by any source) for item `d`, as a
+    /// borrowed slice of the precomputed item→values CSR index. The slot
+    /// of a value within this slice is the dense per-item "value slot" the
+    /// columnar E-step indexes its accumulators with.
+    pub fn observed_values(&self, d: ItemId) -> &[ValueId] {
+        let lo = self.item_value_offsets[d.index()] as usize;
+        let hi = self.item_value_offsets[d.index() + 1] as usize;
+        &self.item_values[lo..hi]
     }
 
     /// Distinct values observed (by any source) for item `d`, sorted.
@@ -139,12 +161,21 @@ impl ObservationCube {
     /// Collect the distinct observed values of item `d`, sorted, into a
     /// caller-provided buffer (cleared first, capacity retained) — the
     /// allocation-free form the value layer uses once per item per EM
-    /// round.
+    /// round. Copies from the CSR index built at cube-assembly time
+    /// instead of re-sorting and deduping the item's groups per call.
     pub fn observed_values_into(&self, d: ItemId, out: &mut Vec<ValueId>) {
         out.clear();
-        out.extend(self.groups_of_item(d).map(|g| self.groups[g].value));
-        out.sort_unstable();
-        out.dedup();
+        out.extend_from_slice(self.observed_values(d));
+        #[cfg(debug_assertions)]
+        {
+            let mut check: Vec<ValueId> = self
+                .groups_of_item(d)
+                .map(|g| self.groups[g].value)
+                .collect();
+            check.sort_unstable();
+            check.dedup();
+            debug_assert_eq!(*out, check, "item-values CSR out of sync for item {d:?}");
+        }
     }
 
     /// Number of triples (groups) attributed to source `w`.
@@ -390,6 +421,22 @@ impl ObservationCube {
         )
     }
 
+    /// Approximate resident size of the cube in bytes (vector payloads
+    /// only, no allocator overhead) — the input to the bench bins'
+    /// peak-memory estimates.
+    pub fn approx_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<Cell>()
+            + self.groups.len() * std::mem::size_of::<TripleGroup>()
+            + self.source_group_ranges.len() * std::mem::size_of::<Range<u32>>()
+            + (self.item_groups.len()
+                + self.item_offsets.len()
+                + self.source_extractor_offsets.len()
+                + self.source_extractor_ids.len()
+                + self.item_value_offsets.len()
+                + self.item_values.len())
+                * 4
+    }
+
     /// Partition the group list into `shards` contiguous ranges (the key
     /// ranges a [`kbt_flume::ShardedExecutor`]-style engine would hand to
     /// its workers) and report per-shard load — the skew diagnostic behind
@@ -455,10 +502,13 @@ fn assemble_cube(
     num_items: u32,
     num_values: u32,
 ) -> ObservationCube {
-    // Source ranges over the (source-sorted) group list.
+    // Source ranges over the (source-sorted) group list, plus the
+    // per-source extractor candidate sets in CSR form. A scratch buffer
+    // collects one source's extractors, sort+dedup runs per source, and
+    // the result lands in one flat allocation.
     let ns = num_sources as usize;
     let mut source_group_ranges = vec![0u32..0u32; ns];
-    let mut source_extractors: Vec<Vec<ExtractorId>> = vec![Vec::new(); ns];
+    let mut per_source_ext: Vec<Vec<ExtractorId>> = vec![Vec::new(); ns];
     let mut g = 0;
     while g < groups.len() {
         let w = groups[g].source;
@@ -473,8 +523,17 @@ fn assemble_cube(
         ext.sort_unstable();
         ext.dedup();
         source_group_ranges[w.index()] = start..g as u32;
-        source_extractors[w.index()] = ext;
+        per_source_ext[w.index()] = ext;
     }
+    let mut source_extractor_offsets = Vec::with_capacity(ns + 1);
+    source_extractor_offsets.push(0u32);
+    let total_ext: usize = per_source_ext.iter().map(Vec::len).sum();
+    let mut source_extractor_ids = Vec::with_capacity(total_ext);
+    for ext in &per_source_ext {
+        source_extractor_ids.extend_from_slice(ext);
+        source_extractor_offsets.push(source_extractor_ids.len() as u32);
+    }
+    drop(per_source_ext);
 
     // Item index: counting sort of group indices by item.
     let ni = num_items as usize;
@@ -493,13 +552,38 @@ fn assemble_cube(
         *slot += 1;
     }
 
+    // Item → sorted distinct observed values, CSR. Groups of one item are
+    // visited in group order (sources ascending); each item's value list
+    // is small, so a per-item sort+dedup in a scratch run is linearish.
+    let mut item_value_offsets = Vec::with_capacity(ni + 1);
+    item_value_offsets.push(0u32);
+    let mut item_values: Vec<ValueId> = Vec::new();
+    let mut scratch: Vec<ValueId> = Vec::new();
+    for d in 0..ni {
+        scratch.clear();
+        let lo = item_offsets[d] as usize;
+        let hi = item_offsets[d + 1] as usize;
+        scratch.extend(
+            item_groups[lo..hi]
+                .iter()
+                .map(|&g| groups[g as usize].value),
+        );
+        scratch.sort_unstable();
+        scratch.dedup();
+        item_values.extend_from_slice(&scratch);
+        item_value_offsets.push(item_values.len() as u32);
+    }
+
     ObservationCube {
         cells,
         groups,
         source_group_ranges,
         item_groups,
         item_offsets,
-        source_extractors,
+        source_extractor_offsets,
+        source_extractor_ids,
+        item_value_offsets,
+        item_values,
         num_extractors,
         num_values,
     }
@@ -766,6 +850,7 @@ mod tests {
                 a.groups_of_item(d).collect::<Vec<_>>(),
                 b.groups_of_item(d).collect::<Vec<_>>()
             );
+            assert_eq!(a.observed_values(d), b.observed_values(d));
         }
     }
 

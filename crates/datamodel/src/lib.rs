@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chunked;
 pub mod coclaim;
 pub mod cube;
 pub mod ids;
@@ -29,6 +30,7 @@ pub mod intern;
 pub mod triple;
 pub mod wire;
 
+pub use chunked::{ChunkBuf, ChunkSource, ChunkedCube, ChunkingConfig, CubeChunk, FileChunkStore};
 pub use coclaim::{CandidatePair, CoClaimIndex};
 pub use cube::{Cell, CubeBuilder, CubeShardStats, ObservationCube, TripleGroup};
 pub use ids::{ExtractorId, ItemId, SourceId, ValueId};

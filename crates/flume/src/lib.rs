@@ -32,7 +32,7 @@ pub mod sharded;
 pub mod stopwatch;
 
 pub use pcollection::{PCollection, PTable};
-pub use sharded::ShardedExecutor;
+pub use sharded::{balanced_ranges, ShardedExecutor};
 pub use stopwatch::{PhaseTimer, Stopwatch};
 
 use std::cell::Cell;

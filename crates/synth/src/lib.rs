@@ -14,13 +14,18 @@
 //!   Freebase for LCWA labels, planted type errors, and planted site
 //!   archetypes (gossip sites, accurate tail sites) for the Section 5.4
 //!   analyses.
+//! * [`scale`] — allocation-lean SplitMix64 claim generator for the
+//!   1M–10M-triple `em_scale` throughput benchmark; realistic shape, no
+//!   extraction semantics.
 //!
-//! Both generators are fully deterministic given their seed.
+//! All generators are fully deterministic given their seed.
 
 #![warn(missing_docs)]
 
 pub mod paper;
+pub mod scale;
 pub mod web;
 
 pub use paper::{GroundTruth, SyntheticConfig, SyntheticDataset};
+pub use scale::ScaleConfig;
 pub use web::{SiteArchetype, WebCorpus, WebCorpusConfig};

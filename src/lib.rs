@@ -66,7 +66,10 @@ pub use kbt_core::{
     ConvergenceTrace, FusionModel, FusionReport, IterationTrace, ModelConfig, ModelKind,
     MultiLayerModel, MultiLayerResult, QualityInit, SingleLayerModel, SingleLayerResult,
 };
-pub use kbt_datamodel::{CubeBuilder, ExtractorId, ItemId, ObservationCube, SourceId, ValueId};
+pub use kbt_datamodel::{
+    ChunkedCube, ChunkingConfig, CubeBuilder, ExtractorId, FileChunkStore, ItemId, ObservationCube,
+    SourceId, ValueId,
+};
 pub use kbt_pipeline::{FusionSession, Model, PipelineError, PipelineRun, TrustPipeline};
 pub use kbt_serve::{RefitMode, SnapshotReader, SnapshotStore, TrustServer, TrustSnapshot};
 pub use kbt_store::{DurableTrustServer, FsyncPolicy, StoreConfig};

@@ -1,0 +1,191 @@
+//! Property tests for the columnar chunked cube (the `ExecMode::Sharded`
+//! engine's layout): on arbitrary observation sets — including ones
+//! evolved through [`ObservationCube::apply_delta`] and
+//! [`ObservationCube::retract`] — the columnar engine must produce
+//! **bit-for-bit** the flat reference path's results at 1, 2, and 8
+//! threads and at degenerate and huge chunk sizes, and the gathered
+//! columns must stay faithful to the row cube.
+
+use kbt::core::{ExecMode, FusionModel, ModelConfig, MultiLayerModel};
+use kbt::datamodel::{
+    ChunkedCube, ChunkingConfig, CubeBuilder, ExtractorId, ItemId, Observation, ObservationCube,
+    SourceId, ValueId,
+};
+use kbt::{FusionReport, QualityInit};
+use proptest::prelude::*;
+
+/// Arbitrary small observation sets (same family as `properties.rs`).
+fn observations(max_len: usize) -> impl Strategy<Value = Vec<Observation>> {
+    prop::collection::vec(
+        (0u32..6, 0u32..8, 0u32..10, 0u32..5, 0.0f64..=1.0).prop_map(|(e, w, d, v, c)| {
+            Observation {
+                extractor: ExtractorId::new(e),
+                source: SourceId::new(w),
+                item: ItemId::new(d),
+                value: ValueId::new(v),
+                confidence: c,
+            }
+        }),
+        1..max_len,
+    )
+}
+
+fn build(obs: &[Observation]) -> ObservationCube {
+    let mut b = CubeBuilder::new();
+    for o in obs {
+        b.push(*o);
+    }
+    b.build()
+}
+
+fn assert_bit_identical(a: &FusionReport, b: &FusionReport, ctx: &str) {
+    assert_eq!(a.source_trust(), b.source_trust(), "{ctx}: source trust");
+    assert_eq!(a.truth_of_group(), b.truth_of_group(), "{ctx}: truth");
+    assert_eq!(a.covered_group(), b.covered_group(), "{ctx}: coverage");
+    assert_eq!(a.correctness(), b.correctness(), "{ctx}: correctness");
+    assert_eq!(a.posteriors(), b.posteriors(), "{ctx}: posteriors");
+    assert_eq!(a.iterations(), b.iterations(), "{ctx}: iterations");
+    assert_eq!(
+        a.extractor_precision(),
+        b.extractor_precision(),
+        "{ctx}: precision"
+    );
+    assert_eq!(a.extractor_recall(), b.extractor_recall(), "{ctx}: recall");
+}
+
+/// Fit `cube` flat, then with the columnar and row-major sharded engines
+/// across thread counts and chunk sizes, asserting bitwise equality.
+fn assert_all_engines_agree(cube: &ObservationCube, ctx: &str) {
+    let flat_cfg = ModelConfig {
+        exec_mode: ExecMode::Flat,
+        threads: Some(1),
+        max_iterations: 5,
+        ..ModelConfig::default()
+    };
+    let flat = MultiLayerModel::new(flat_cfg.clone()).fit(cube, &QualityInit::Default);
+    for threads in [1usize, 2, 8] {
+        for target_cells in [1usize, 16, 1 << 20] {
+            let cfg = ModelConfig {
+                exec_mode: ExecMode::Sharded,
+                threads: Some(threads),
+                chunk_target_cells: target_cells,
+                ..flat_cfg.clone()
+            };
+            let cols = MultiLayerModel::new(cfg).fit(cube, &QualityInit::Default);
+            assert_bit_identical(
+                &flat,
+                &cols,
+                &format!("{ctx}: columnar t={threads} chunk={target_cells}"),
+            );
+        }
+        let rows_cfg = ModelConfig {
+            exec_mode: ExecMode::ShardedRows,
+            threads: Some(threads),
+            ..flat_cfg.clone()
+        };
+        let rows = MultiLayerModel::new(rows_cfg).fit(cube, &QualityInit::Default);
+        assert_bit_identical(&flat, &rows, &format!("{ctx}: row-major t={threads}"));
+    }
+}
+
+/// The gathered columns must be a faithful image of the row cube.
+fn assert_columns_faithful(cube: &ObservationCube, target_cells: usize) {
+    let cc = ChunkedCube::from_cube(cube, &ChunkingConfig { target_cells });
+    assert_eq!(cc.num_groups(), cube.num_groups());
+    assert_eq!(cc.num_cells(), cube.num_cells());
+    for (g, grp) in cube.groups().iter().enumerate() {
+        assert_eq!(cc.group_source[g], grp.source.0);
+        assert_eq!(cc.group_item[g], grp.item.0);
+        assert_eq!(cc.group_value[g], grp.value.0);
+        let cells = cube.cells_of(grp);
+        let r = cc.cells_of_group(g);
+        assert_eq!(r.len(), cells.len());
+        for (k, c) in cells.iter().enumerate() {
+            assert_eq!(cc.cell_extractor[r.start + k], c.extractor.0);
+            assert_eq!(
+                cc.cell_confidence[r.start + k].to_bits(),
+                c.confidence.to_bits()
+            );
+        }
+    }
+    // Item-major rows mirror `groups_of_item`, with slots resolving into
+    // the item's sorted distinct-value list.
+    for d in 0..cube.num_items() {
+        let item = ItemId::new(d as u32);
+        let rows: Vec<usize> = cube.groups_of_item(item).collect();
+        let lo = cc.item_offsets[d] as usize;
+        let hi = cc.item_offsets[d + 1] as usize;
+        assert_eq!(hi - lo, rows.len());
+        for (k, &g) in rows.iter().enumerate() {
+            let grp = &cube.groups()[g];
+            assert_eq!(cc.ig_group[lo + k] as usize, g);
+            assert_eq!(
+                cc.item_values_of(d)[cc.ig_slot[lo + k] as usize],
+                grp.value.0
+            );
+            assert_eq!(cc.ig_has_cells[lo + k] == 1, !cube.cells_of(grp).is_empty());
+        }
+    }
+    // Chunks tile items and rows without gaps or overlap.
+    let mut next_item = 0u32;
+    let mut next_row = 0u32;
+    for chunk in &cc.chunks {
+        assert_eq!(chunk.items.start, next_item);
+        assert_eq!(chunk.rows.start, next_row);
+        next_item = chunk.items.end;
+        next_row = chunk.rows.end;
+    }
+    assert_eq!(next_item as usize, cc.num_items());
+    assert_eq!(next_row as usize, cc.ig_group.len());
+}
+
+proptest! {
+    /// Full pipeline runs on a freshly built cube: all engines agree
+    /// bitwise at 1/2/8 threads and extreme chunk sizes, and the columns
+    /// are faithful gathers.
+    #[test]
+    fn columnar_engine_bitwise_equal_on_built_cubes(obs in observations(80)) {
+        let cube = build(&obs);
+        assert_columns_faithful(&cube, 7);
+        assert_all_engines_agree(&cube, "built");
+    }
+
+    /// The equivalence survives `apply_delta`: the columnar view is
+    /// rebuilt from the merged cube and all engines still agree bitwise.
+    #[test]
+    fn columnar_engine_bitwise_equal_after_delta(
+        base in observations(60),
+        delta in observations(30),
+    ) {
+        let cube = build(&base).apply_delta(&delta);
+        assert_columns_faithful(&cube, 4);
+        assert_all_engines_agree(&cube, "delta");
+    }
+
+    /// The equivalence survives `retract`, which can leave cell-less
+    /// groups (claim-but-never-vote rows) behind — the columnar kernels
+    /// must treat them exactly like the flat path does.
+    #[test]
+    fn columnar_engine_bitwise_equal_after_retract(
+        base in observations(60),
+        picks in prop::collection::vec((0usize..1000, any::<bool>()), 1..6),
+    ) {
+        let cube = build(&base);
+        // Retract a mix of existing triples (picked by index) and
+        // never-present ones (no-ops the engine must shrug off).
+        let retractions: Vec<(SourceId, ItemId, ValueId)> = picks
+            .iter()
+            .map(|&(i, real)| {
+                if real && cube.num_groups() > 0 {
+                    let g = &cube.groups()[i % cube.num_groups()];
+                    (g.source, g.item, g.value)
+                } else {
+                    (SourceId::new(7), ItemId::new(99), ValueId::new(42))
+                }
+            })
+            .collect();
+        let shrunk = cube.retract(&retractions);
+        assert_columns_faithful(&shrunk, 3);
+        assert_all_engines_agree(&shrunk, "retract");
+    }
+}

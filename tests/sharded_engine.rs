@@ -1,7 +1,9 @@
 //! Acceptance tests for the sharded EM execution engine:
 //!
-//! 1. fixed-seed proof that sharded execution is **bit-for-bit identical**
-//!    to the flat path at 1, 2, and 8 threads (both engines), and
+//! 1. fixed-seed proof that sharded execution — both the columnar chunked
+//!    engine (`Sharded`) and the pre-columnar row-major engine
+//!    (`ShardedRows`) — is **bit-for-bit identical** to the flat path at
+//!    1, 2, and 8 threads (both models), and
 //! 2. warm-started incremental fusion on a ~5% delta converges in
 //!    **strictly fewer** EM iterations than a cold rerun on the merged
 //!    cube.
@@ -54,14 +56,20 @@ fn multilayer_sharded_matches_flat_bitwise_at_1_2_8_threads() {
         flat.iterations() >= 2,
         "corpus must exercise several rounds"
     );
-    for threads in [1usize, 2, 8] {
-        let cfg = ModelConfig {
-            exec_mode: ExecMode::Sharded,
-            threads: Some(threads),
-            ..flat_cfg.clone()
-        };
-        let sharded = MultiLayerModel::new(cfg).fit(&data.cube, &QualityInit::Default);
-        assert_reports_bit_identical(&flat, &sharded, &format!("multi, {threads} threads"));
+    for mode in [ExecMode::Sharded, ExecMode::ShardedRows] {
+        for threads in [1usize, 2, 8] {
+            let cfg = ModelConfig {
+                exec_mode: mode,
+                threads: Some(threads),
+                ..flat_cfg.clone()
+            };
+            let sharded = MultiLayerModel::new(cfg).fit(&data.cube, &QualityInit::Default);
+            assert_reports_bit_identical(
+                &flat,
+                &sharded,
+                &format!("multi, {mode:?}, {threads} threads"),
+            );
+        }
     }
     // The flat path itself is thread-invariant; pin that too.
     let flat8 = MultiLayerModel::new(ModelConfig {
@@ -87,14 +95,20 @@ fn singlelayer_sharded_matches_flat_bitwise_at_1_2_8_threads() {
         ..ModelConfig::single_layer_default()
     };
     let flat = SingleLayerModel::new(flat_cfg.clone()).fit(&data.cube, &QualityInit::Default);
-    for threads in [1usize, 2, 8] {
-        let cfg = ModelConfig {
-            exec_mode: ExecMode::Sharded,
-            threads: Some(threads),
-            ..flat_cfg.clone()
-        };
-        let sharded = SingleLayerModel::new(cfg).fit(&data.cube, &QualityInit::Default);
-        assert_reports_bit_identical(&flat, &sharded, &format!("single, {threads} threads"));
+    for mode in [ExecMode::Sharded, ExecMode::ShardedRows] {
+        for threads in [1usize, 2, 8] {
+            let cfg = ModelConfig {
+                exec_mode: mode,
+                threads: Some(threads),
+                ..flat_cfg.clone()
+            };
+            let sharded = SingleLayerModel::new(cfg).fit(&data.cube, &QualityInit::Default);
+            assert_reports_bit_identical(
+                &flat,
+                &sharded,
+                &format!("single, {mode:?}, {threads} threads"),
+            );
+        }
     }
 }
 
