@@ -3,7 +3,8 @@
 //! (`ExecMode::ShardedRows`) on a 1M–10M-triple synthetic corpus.
 //!
 //! ```text
-//! cargo run --release -p kbt-bench --bin em_scale [-- --smoke | --full | --triples N] [--rounds R]
+//! cargo run --release -p kbt-bench --bin em_scale [-- --smoke | --full | --triples N]
+//!     [--rounds R] [--streamed [--max-resident M]]
 //! ```
 //!
 //! Defaults to `--full` (10M triples); `--smoke` runs 1M so CI finishes in
@@ -14,19 +15,31 @@
 //!
 //! * per-engine wall time and EM-round throughput in triples (cube
 //!   groups) per second,
-//! * the columnar/row-major speedup,
-//! * a peak-memory estimate (row cube + columnar cube + EM state).
+//! * the columnar/row-major speedup and the columnar engine's per-stage
+//!   wall breakdown (chunking gather, vote rebuild, E-steps, M-steps…),
+//! * measured peak RSS (`VmHWM` from `/proc/self/status`).
 //!
-//! Emits `BENCH_em_scale.json` for the CI regression gate.
+//! With `--streamed` the scenario instead measures the out-of-core
+//! engine: the corpus is chunked to a `KBTCHNK2` store on disk, then two
+//! *child processes* run the same fixed-round fit — one resident
+//! (regenerating the corpus), one streaming from the store through
+//! bounded `ChunkCache`s — so each fit's `VmHWM` is measured in
+//! isolation. The parent hard-asserts bitwise-equal checksums between
+//! the two children and reports the RSS and throughput ratios plus the
+//! streamed fit's cache hit/miss/eviction counters.
+//!
+//! Emits `BENCH_em_scale.json` (or `BENCH_em_scale_streamed.json`) for
+//! the CI regression gate.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use kbt_core::{
     estimate_correctness_with, estimate_values_cols, estimate_values_with, AlphaState,
     ColValueScratch, ExecMode, FusionModel, FusionReport, ModelConfig, MultiLayerModel, Params,
-    QualityInit, ValueScratch, VoteCounter,
+    QualityInit, StageWall, ValueScratch, VoteCounter,
 };
-use kbt_datamodel::{ChunkedCube, ChunkingConfig, ObservationCube};
+use kbt_datamodel::{ChunkedCube, FileChunkStore, ObservationCube};
 use kbt_flume::ShardedExecutor;
 use kbt_synth::scale::{generate, ScaleConfig};
 
@@ -34,6 +47,8 @@ struct Args {
     triples: usize,
     rounds: usize,
     mode: &'static str,
+    streamed: bool,
+    max_resident: usize,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +56,8 @@ fn parse_args() -> Args {
     let mut triples = 10_000_000usize;
     let mut mode = "full";
     let mut rounds = 3usize;
+    let mut streamed = false;
+    let mut max_resident = 4usize;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -67,6 +84,14 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .expect("--rounds needs an integer");
             }
+            "--streamed" => streamed = true,
+            "--max-resident" => {
+                i += 1;
+                max_resident = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-resident needs an integer");
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -75,6 +100,8 @@ fn parse_args() -> Args {
         triples,
         rounds,
         mode,
+        streamed,
+        max_resident,
     }
 }
 
@@ -83,6 +110,36 @@ fn bits_checksum(xs: &[f64]) -> u64 {
     xs.iter().fold(0u64, |acc, x| {
         acc.wrapping_mul(31).wrapping_add(x.to_bits())
     })
+}
+
+/// Measured peak resident set size of this process, from the kernel's
+/// `VmHWM` accounting — what the corpus actually cost, not an estimate.
+/// Returns 0 on platforms without `/proc/self/status`.
+fn vm_hwm_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn fixed_round_cfg(rounds: usize, exec_mode: ExecMode) -> ModelConfig {
+    // Fixed round count, no convergence early-out: every engine does the
+    // same arithmetic volume, so wall times are directly comparable.
+    ModelConfig {
+        max_iterations: rounds,
+        convergence_eps: 0.0,
+        exec_mode,
+        ..ModelConfig::default()
+    }
 }
 
 fn run_engine(cube: &ObservationCube, cfg: &ModelConfig, label: &str) -> (FusionReport, f64) {
@@ -99,8 +156,278 @@ fn run_engine(cube: &ObservationCube, cfg: &ModelConfig, label: &str) -> (Fusion
     (report, wall)
 }
 
+// ---------------------------------------------------------------------
+// Child modes (hidden): run exactly one fit in a fresh process and print
+// a single JSON line, so the parent can read each fit's VmHWM without
+// the other fit's allocations polluting the high-water mark.
+// ---------------------------------------------------------------------
+
+fn child_resident(triples: usize, rounds: usize) {
+    let cube = generate(&ScaleConfig {
+        triples,
+        ..ScaleConfig::default()
+    });
+    let model = MultiLayerModel::new(fixed_round_cfg(rounds, ExecMode::Sharded));
+    let t0 = Instant::now();
+    let report = model.fit(&cube, &QualityInit::Default);
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "{{\"trust_checksum\": \"{:#018x}\", \"truth_checksum\": \"{:#018x}\", \
+         \"wall_s\": {wall}, \"groups\": {}, \"vm_hwm_bytes\": {}}}",
+        bits_checksum(report.source_trust()),
+        bits_checksum(report.truth_of_group()),
+        cube.num_groups(),
+        vm_hwm_bytes(),
+    );
+}
+
+fn child_streamed(path: &str, rounds: usize, max_resident: usize) {
+    let store =
+        Arc::new(FileChunkStore::open(std::path::Path::new(path)).expect("open chunk store"));
+    let model = MultiLayerModel::new(fixed_round_cfg(rounds, ExecMode::Sharded));
+    let t0 = Instant::now();
+    let (result, trace, stats) = model
+        .run_streamed(&store, max_resident, &QualityInit::Default)
+        .expect("streamed fit");
+    let wall = t0.elapsed().as_secs_f64();
+    let report = FusionReport::from_multi_layer(result, trace);
+    println!(
+        "{{\"trust_checksum\": \"{:#018x}\", \"truth_checksum\": \"{:#018x}\", \
+         \"wall_s\": {wall}, \"vm_hwm_bytes\": {}, \
+         \"item_hits\": {}, \"item_misses\": {}, \"item_evictions\": {}, \
+         \"group_hits\": {}, \"group_misses\": {}, \"group_evictions\": {}}}",
+        bits_checksum(report.source_trust()),
+        bits_checksum(report.truth_of_group()),
+        vm_hwm_bytes(),
+        stats.item_cache.hits,
+        stats.item_cache.misses,
+        stats.item_cache.evictions,
+        stats.group_cache.hits,
+        stats.group_cache.misses,
+        stats.group_cache.evictions,
+    );
+}
+
+/// Extract `"key": value` from a child's single-line JSON report. Values
+/// are either bare numbers or quoted strings; both parse from the raw
+/// slice between the colon and the next `,`/`}`.
+fn child_field(line: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let at = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("child report missing {key}: {line}"));
+    let rest = &line[at + pat.len()..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("child report unterminated {key}: {line}"));
+    rest[..end].trim().trim_matches('"').to_string()
+}
+
+fn child_num(line: &str, key: &str) -> f64 {
+    let raw = child_field(line, key);
+    raw.parse()
+        .unwrap_or_else(|_| panic!("child report: {key} is not a number: {raw}"))
+}
+
+fn spawn_child(args: &[String]) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .args(args)
+        .output()
+        .expect("spawn child fit");
+    assert!(
+        out.status.success(),
+        "child fit {args:?} failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    stdout
+        .lines()
+        .rev()
+        .find(|l| l.starts_with('{'))
+        .unwrap_or_else(|| panic!("child fit {args:?} printed no JSON line:\n{stdout}"))
+        .to_string()
+}
+
+// ---------------------------------------------------------------------
+// Streamed scenario: resident child vs streamed child over one store.
+// ---------------------------------------------------------------------
+
+fn run_streamed_scenario(args: &Args) {
+    let synth_cfg = ScaleConfig {
+        triples: args.triples,
+        ..ScaleConfig::default()
+    };
+    println!(
+        "em_scale --streamed ({}): {} triples, cache cap {} chunks per family",
+        args.mode, args.triples, args.max_resident
+    );
+
+    // Chunk the corpus to disk once; both children fit the same data.
+    let cols_cfg = fixed_round_cfg(args.rounds, ExecMode::Sharded);
+    let t0 = Instant::now();
+    let cube = generate(&synth_cfg);
+    let chunked = ChunkedCube::from_cube(&cube, &cols_cfg.chunking());
+    let store_path = std::env::temp_dir().join(format!(
+        "kbt-em-scale-streamed-{}.chunks",
+        std::process::id()
+    ));
+    FileChunkStore::write(&chunked, &store_path).expect("write chunk store");
+    let store_bytes = std::fs::metadata(&store_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "  chunk store: {} item chunks, {:.1} MiB on disk  ({:.2} s to build)",
+        chunked.chunks.len(),
+        store_bytes as f64 / (1 << 20) as f64,
+        t0.elapsed().as_secs_f64()
+    );
+    drop(chunked);
+    drop(cube);
+
+    let resident = spawn_child(&[
+        "--child-resident".into(),
+        "--triples".into(),
+        args.triples.to_string(),
+        "--rounds".into(),
+        args.rounds.to_string(),
+    ]);
+    let streamed = spawn_child(&[
+        "--child-streamed".into(),
+        store_path.display().to_string(),
+        "--rounds".into(),
+        args.rounds.to_string(),
+        "--max-resident".into(),
+        args.max_resident.to_string(),
+    ]);
+    let _ = std::fs::remove_file(&store_path);
+
+    // Bitwise gate: streaming must change I/O volume, never results.
+    let trust = child_field(&resident, "trust_checksum");
+    let truth = child_field(&resident, "truth_checksum");
+    assert_eq!(
+        trust,
+        child_field(&streamed, "trust_checksum"),
+        "source trust diverged between resident and streamed fits"
+    );
+    assert_eq!(
+        truth,
+        child_field(&streamed, "truth_checksum"),
+        "truth posteriors diverged between resident and streamed fits"
+    );
+    println!("  bitwise equality: OK (trust checksum {trust}, truth checksum {truth})");
+
+    let groups = child_num(&resident, "groups");
+    let resident_wall = child_num(&resident, "wall_s");
+    let streamed_wall = child_num(&streamed, "wall_s");
+    let resident_hwm = child_num(&resident, "vm_hwm_bytes");
+    let streamed_hwm = child_num(&streamed, "vm_hwm_bytes");
+    let resident_tput = groups * args.rounds as f64 / resident_wall;
+    let streamed_tput = groups * args.rounds as f64 / streamed_wall;
+    let tput_ratio = streamed_tput / resident_tput;
+    let rss_ratio = if resident_hwm > 0.0 {
+        streamed_hwm / resident_hwm
+    } else {
+        f64::NAN
+    };
+    // The acceptance bar: at full scale the streamed fit must run in
+    // under 40% of the resident footprint (the corpus dwarfs the
+    // O(groups) EM state). At smoke scale the EM state is a larger share
+    // of both fits, so the bar relaxes to 60% — still proof the corpus
+    // itself stayed on disk.
+    let rss_bar = if args.mode == "full" { 0.4 } else { 0.6 };
+    let rss_ok = rss_ratio.is_finite() && rss_ratio < rss_bar;
+    println!(
+        "  resident: {resident_wall:.2} s, VmHWM {:.1} MiB  ({resident_tput:.0} triples/s per round)",
+        resident_hwm / (1 << 20) as f64
+    );
+    println!(
+        "  streamed: {streamed_wall:.2} s, VmHWM {:.1} MiB  ({streamed_tput:.0} triples/s per round)",
+        streamed_hwm / (1 << 20) as f64
+    );
+    println!(
+        "  streamed/resident: RSS x{rss_ratio:.2} ({}), throughput x{tput_ratio:.2}",
+        if rss_ok { "ok" } else { "TOO HIGH" }
+    );
+    let stat = |key: &str| child_num(&streamed, key) as u64;
+    println!(
+        "  caches: items {} hits / {} misses / {} evictions; groups {} / {} / {}",
+        stat("item_hits"),
+        stat("item_misses"),
+        stat("item_evictions"),
+        stat("group_hits"),
+        stat("group_misses"),
+        stat("group_evictions"),
+    );
+    assert!(
+        rss_ok,
+        "streamed VmHWM not below {:.0}% of resident VmHWM",
+        rss_bar * 100.0
+    );
+
+    let mut report = kbt_bench::BenchReport::new("em_scale_streamed", args.mode);
+    report
+        .count("triples", args.triples as u64)
+        .count("groups", groups as u64)
+        .count("em_rounds", args.rounds as u64)
+        .count("max_resident_chunks", args.max_resident as u64)
+        .count("store_bytes", store_bytes)
+        .metric("resident_wall_s", resident_wall)
+        .metric("streamed_wall_s", streamed_wall)
+        .metric("resident_triples_per_s", resident_tput)
+        .metric("streamed_triples_per_s", streamed_tput)
+        .metric("tput_ratio", tput_ratio)
+        .count("resident_vm_hwm_bytes", resident_hwm as u64)
+        .count("streamed_vm_hwm_bytes", streamed_hwm as u64)
+        .metric("rss_ratio", rss_ratio)
+        .count("item_cache_hits", stat("item_hits"))
+        .count("item_cache_misses", stat("item_misses"))
+        .count("item_cache_evictions", stat("item_evictions"))
+        .count("group_cache_hits", stat("group_hits"))
+        .count("group_cache_misses", stat("group_misses"))
+        .count("group_cache_evictions", stat("group_evictions"))
+        .flag("bitwise_equal", true)
+        .flag("streamed_rss_ok", rss_ok)
+        .text("trust_checksum", &trust)
+        .text("truth_checksum", &truth);
+    let path = report.write().expect("write bench report");
+    println!("report: {}", path.display());
+}
+
 fn main() {
+    // Hidden child entry points (see the child-modes section above).
+    let argv: Vec<String> = std::env::args().collect();
+    match argv.get(1).map(String::as_str) {
+        Some("--child-resident") => {
+            let get = |flag: &str, dflt: usize| {
+                argv.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| argv.get(i + 1))
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(dflt)
+            };
+            child_resident(get("--triples", 1_000_000), get("--rounds", 3));
+            return;
+        }
+        Some("--child-streamed") => {
+            let path = argv.get(2).expect("--child-streamed needs a store path");
+            let get = |flag: &str, dflt: usize| {
+                argv.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| argv.get(i + 1))
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(dflt)
+            };
+            child_streamed(path, get("--rounds", 3), get("--max-resident", 4));
+            return;
+        }
+        _ => {}
+    }
+
     let args = parse_args();
+    if args.streamed {
+        run_streamed_scenario(&args);
+        return;
+    }
 
     let synth_cfg = ScaleConfig {
         triples: args.triples,
@@ -121,21 +448,9 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
 
-    // Fixed round count, no convergence early-out: both engines do the
-    // same arithmetic volume, so wall times are directly comparable.
-    let base = ModelConfig {
-        max_iterations: args.rounds,
-        convergence_eps: 0.0,
-        ..ModelConfig::default()
-    };
-    let rows_cfg = ModelConfig {
-        exec_mode: ExecMode::ShardedRows,
-        ..base.clone()
-    };
-    let cols_cfg = ModelConfig {
-        exec_mode: ExecMode::Sharded,
-        ..base.clone()
-    };
+    let base = fixed_round_cfg(args.rounds, ExecMode::Sharded);
+    let rows_cfg = fixed_round_cfg(args.rounds, ExecMode::ShardedRows);
+    let cols_cfg = base.clone();
 
     // Untimed warmup fit per engine (1 round): pages the big arenas in
     // and lets the allocator reach steady state, so the timed fits
@@ -182,15 +497,28 @@ fn main() {
         "speedup: x{speedup:.2} (columnar {cols_tput:.0} vs row-major {rows_tput:.0} triples/s per round)"
     );
 
+    // ---- Per-stage wall breakdown of the columnar fit: where the   ----
+    // ---- rounds actually go, so layout regressions are attributable ---
+    // ---- to a stage instead of a single opaque total.               ---
+    let sw: &StageWall = &cols_report.trace.stage_wall;
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    println!(
+        "columnar stages (ms, all rounds): chunking {:.1}, votes {:.1}, correctness {:.1}, \
+         values {:.1}, source {:.1}, extractor {:.1}, alpha {:.1}, log-likelihood {:.1}",
+        ms(sw.chunking),
+        ms(sw.votes),
+        ms(sw.correctness),
+        ms(sw.values),
+        ms(sw.source_update),
+        ms(sw.extractor_update),
+        ms(sw.alpha),
+        ms(sw.log_likelihood),
+    );
+
     // ---- Value E-step A/B: the stage the columnar layout rewrites. ----
     // Same inputs (round-1 state), same bits out; the reps time the
     // steady-state kernels on warm arenas.
-    let chunked = ChunkedCube::from_cube(
-        &cube,
-        &ChunkingConfig {
-            target_cells: cols_cfg.chunk_target_cells,
-        },
-    );
+    let chunked = ChunkedCube::from_cube(&cube, &cols_cfg.chunking());
     let estep_reps: u32 = if args.mode == "full" { 3 } else { 5 };
     let params = Params::init(&cube, &base, &QualityInit::Default);
     let votes = VoteCounter::new(&cube, &params, &base);
@@ -223,28 +551,17 @@ fn main() {
         "value E-step ({estep_reps} reps): row-major {estep_rows_ms:.1} ms, columnar {estep_cols_ms:.1} ms, speedup x{estep_speedup:.2}"
     );
 
-    // ---- Peak-memory estimate. The columnar engine holds both the  ----
-    // ---- row cube (votes rebuild, delta merging) and the chunked   ----
-    // ---- columns, plus per-group/per-entry EM state.               ----
+    // ---- Peak memory, measured: the kernel's VmHWM high-water mark ----
+    // ---- for this process (both cubes + EM state + bench scaffolding),
+    // ---- replacing the old hand-rolled byte estimate.               ---
     let cube_bytes = cube.approx_bytes();
     let chunked_bytes = chunked.approx_bytes();
-    // correctness + truth + alpha + ll buffers (f64 per group) plus the
-    // value posteriors (entry = value id + probability per observed
-    // value, plus per-item offsets/unobserved mass).
-    let entries: usize = (0..cube.num_items())
-        .map(|d| {
-            cube.observed_values(kbt_datamodel::ItemId::new(d as u32))
-                .len()
-        })
-        .sum();
-    let em_state_bytes = cube.num_groups() * 8 * 4 + entries * 16 + cube.num_items() * 16;
-    let peak_bytes = cube_bytes + chunked_bytes + em_state_bytes;
+    let hwm = vm_hwm_bytes();
     println!(
-        "peak memory estimate: {:.1} MiB (row cube {:.1} + columnar {:.1} + EM state {:.1})",
-        peak_bytes as f64 / (1 << 20) as f64,
+        "peak memory (VmHWM): {:.1} MiB (row cube {:.1} MiB + columnar {:.1} MiB resident)",
+        hwm as f64 / (1 << 20) as f64,
         cube_bytes as f64 / (1 << 20) as f64,
         chunked_bytes as f64 / (1 << 20) as f64,
-        em_state_bytes as f64 / (1 << 20) as f64,
     );
 
     let mut report = kbt_bench::BenchReport::new("em_scale", args.mode);
@@ -258,10 +575,18 @@ fn main() {
         .metric("rows_triples_per_s", rows_tput)
         .metric("cols_triples_per_s", cols_tput)
         .metric("speedup", speedup)
+        .metric("stage_chunking_ms", ms(sw.chunking))
+        .metric("stage_votes_ms", ms(sw.votes))
+        .metric("stage_correctness_ms", ms(sw.correctness))
+        .metric("stage_values_ms", ms(sw.values))
+        .metric("stage_source_update_ms", ms(sw.source_update))
+        .metric("stage_extractor_update_ms", ms(sw.extractor_update))
+        .metric("stage_alpha_ms", ms(sw.alpha))
+        .metric("stage_log_likelihood_ms", ms(sw.log_likelihood))
         .metric("estep_rows_ms", estep_rows_ms)
         .metric("estep_cols_ms", estep_cols_ms)
         .metric("estep_speedup", estep_speedup)
-        .count("peak_mem_bytes_estimate", peak_bytes as u64)
+        .count("vm_hwm_bytes", hwm)
         .count("cube_bytes", cube_bytes as u64)
         .count("chunked_bytes", chunked_bytes as u64)
         .flag("bitwise_equal", true)

@@ -5,7 +5,10 @@
 //! improved (uncertainty-weighted) estimator of Section 3.3.3. The
 //! single-layer baseline uses `n = 100` per the paper.
 
+use std::path::PathBuf;
+
 use crate::copydetect::CopyDetectConfig;
+use kbt_datamodel::ChunkingConfig;
 
 /// How false values are assumed to be distributed over the domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -73,6 +76,32 @@ pub enum ExecMode {
     /// and as a second independent implementation in the equivalence
     /// tests. Bit-for-bit identical to both other modes.
     ShardedRows,
+}
+
+/// Where the columnar cube lives during a fit.
+///
+/// [`CubeResidency::Streamed`] drives the EM rounds from a
+/// `kbt_datamodel::FileChunkStore` through bounded
+/// `kbt_datamodel::ChunkCache`s: peak memory is O(groups) float state +
+/// O(chunks in flight) payloads instead of O(corpus), and the fit is
+/// **bit-for-bit identical** to a resident fit at any thread count and
+/// any cache size ≥ 1 (leased `Arc` buffers mean eviction can never
+/// change a value — only I/O volume).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CubeResidency {
+    /// Keep the whole columnar cube in memory (the default).
+    #[default]
+    Resident,
+    /// Stream chunk payloads from a `KBTCHNK2` chunk store on disk.
+    Streamed {
+        /// Path of the chunk store file
+        /// (`kbt_datamodel::FileChunkStore::write`).
+        path: PathBuf,
+        /// Residency cap per chunk cache (item frames and group frames
+        /// each get their own cache of this many decoded buffers);
+        /// `0` = unbounded.
+        max_resident_chunks: usize,
+    },
 }
 
 /// Shared hyper-parameters of both models.
@@ -155,6 +184,12 @@ pub struct ModelConfig {
     /// L2/L3-resident on common hardware. Has no effect on results —
     /// only on scheduling granularity.
     pub chunk_target_cells: usize,
+    /// Where the columnar cube lives during the fit
+    /// ([`ExecMode::Sharded`] only): resident in memory (default) or
+    /// streamed from a chunk store on disk with bounded caches. Streamed
+    /// fits are bit-identical to resident ones — the knob trades I/O for
+    /// peak RSS, never results.
+    pub residency: CubeResidency,
     /// Copy detection inside the engine (§5.4.2): when set, the
     /// multi-layer engine follows its EM fit with copy detection and
     /// attaches the evidence to its result. With
@@ -192,6 +227,7 @@ impl Default for ModelConfig {
             threads: None,
             exec_mode: ExecMode::Sharded,
             chunk_target_cells: 64 * 1024,
+            residency: CubeResidency::Resident,
             copy_detection: None,
         }
     }
@@ -225,6 +261,16 @@ impl ModelConfig {
     #[inline]
     pub fn updates_alpha_at(&self, t: usize) -> bool {
         matches!(self.alpha_update_from, Some(from) if t >= from)
+    }
+
+    /// The chunk partitioning this config asks the columnar engine to
+    /// use — the single construction site for
+    /// `kbt_datamodel::ChunkingConfig`.
+    #[inline]
+    pub fn chunking(&self) -> ChunkingConfig {
+        ChunkingConfig {
+            target_cells: self.chunk_target_cells,
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! iteration's value posteriors (Section 3.3.4, Eq. 26) once the schedule
 //! allows it.
 
-use kbt_datamodel::{ChunkedCube, ObservationCube};
+use kbt_datamodel::{ChunkedCube, GroupView, ObservationCube};
 use kbt_flume::{par_map_indexed, ShardedExecutor};
 
 use crate::config::ModelConfig;
@@ -107,6 +107,36 @@ impl AlphaState {
             logit(t * a + (1.0 - t) * (1.0 - a) / spread)
         });
     }
+
+    /// [`Self::update_cols`] for one streamed group frame: compute the
+    /// frame's updated logits into a fresh vector (the caller scatters
+    /// them back via [`Self::write_range`]). `truth` is the full resident
+    /// truth vector, indexed by global group. Same per-group arithmetic →
+    /// bit-identical to the resident update.
+    pub fn frame_logits(
+        view: &GroupView<'_>,
+        truth: &[f64],
+        params: &Params,
+        cfg: &ModelConfig,
+    ) -> Vec<f64> {
+        let n = cfg.n_false_values.max(1) as f64;
+        let spread = if cfg.literal_eq26_alpha { 1.0 } else { n };
+        let base = view.groups.start as usize;
+        (0..view.num_groups())
+            .map(|lg| {
+                let a = params.source_accuracy[view.group_source[lg] as usize];
+                let t = truth[base + lg];
+                logit(t * a + (1.0 - t) * (1.0 - a) / spread)
+            })
+            .collect()
+    }
+
+    /// Overwrite the logits of the contiguous group range starting at
+    /// `start` — how a streamed fit scatters per-frame updates
+    /// ([`Self::frame_logits`]) back into the resident prior state.
+    pub fn write_range(&mut self, start: usize, values: &[f64]) {
+        self.logits[start..start + values.len()].copy_from_slice(values);
+    }
 }
 
 /// Estimate `p(C_wdv = 1 | X_wdv)` for every triple group (Eq. 15 with the
@@ -142,10 +172,36 @@ pub fn estimate_correctness_with(
     });
 }
 
+/// The per-group cell fold `vc += conf·adjust[e]` shared by the resident
+/// and streamed correctness kernels. With the `simd` feature this
+/// dispatches to the AVX2 gather kernel (bit-identical by construction);
+/// otherwise it is the scalar reference loop.
+#[inline]
+fn fold_cell_votes(
+    start: f64,
+    ext: &[u32],
+    conf: &[f64],
+    votes: &VoteCounter,
+    cfg: &ModelConfig,
+) -> f64 {
+    #[cfg(feature = "simd")]
+    {
+        crate::simd::fold_cell_votes(start, ext, conf, votes, cfg)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        let mut vc = start;
+        for (&e, &c) in ext.iter().zip(conf) {
+            vc += cfg.effective_confidence(c) * votes.adjust[e as usize];
+        }
+        vc
+    }
+}
+
 /// [`estimate_correctness_with`] on the columnar layout: the vote count
 /// streams the `cell_extractor`/`cell_confidence` columns with the
 /// precomputed `Pre_e − Abs_e` adjust table, so the inner loop is a
-/// branch-free gather + fused multiply-add per cell. The per-cell float
+/// branch-free gather + multiply-accumulate per cell. The per-cell float
 /// sequence (`conf · (Pre_e − Abs_e)` accumulated in cell order onto the
 /// source absence sum) is exactly [`VoteCounter::vote_count`]'s, so the
 /// result is bit-identical to the row-major paths at any shard count.
@@ -161,18 +217,46 @@ pub fn estimate_correctness_cols(
     let offsets = &cc.cell_offsets;
     let extractors = &cc.cell_extractor;
     let confidences = &cc.cell_confidence;
-    let adjust = &votes.adjust;
     exec.map_keys(cc.num_groups(), out, |_, g| {
-        let mut vc = votes.source_absence_sum[sources[g] as usize];
         let (lo, hi) = (offsets[g] as usize, offsets[g + 1] as usize);
         // Slice once so the cell loop carries no per-access bounds checks;
         // iteration stays in ascending cell order.
-        for (&e, &c) in extractors[lo..hi].iter().zip(&confidences[lo..hi]) {
-            let conf = cfg.effective_confidence(c);
-            vc += conf * adjust[e as usize];
-        }
+        let vc = fold_cell_votes(
+            votes.source_absence_sum[sources[g] as usize],
+            &extractors[lo..hi],
+            &confidences[lo..hi],
+            votes,
+            cfg,
+        );
         sigmoid(vc + alpha.logit(g))
     });
+}
+
+/// [`estimate_correctness_cols`] for one streamed group frame: the same
+/// branch-free cell loop over the frame's columns, returning the frame's
+/// posteriors in local group order (the caller scatters them into the
+/// resident correctness vector). Per-group arithmetic is identical to the
+/// resident kernel, so a streamed fit stays bit-for-bit equal.
+pub fn estimate_correctness_frame(
+    view: &GroupView<'_>,
+    votes: &VoteCounter,
+    alpha: &AlphaState,
+    cfg: &ModelConfig,
+) -> Vec<f64> {
+    let base = view.groups.start as usize;
+    (0..view.num_groups())
+        .map(|lg| {
+            let cells = view.cells(lg);
+            let vc = fold_cell_votes(
+                votes.source_absence_sum[view.group_source[lg] as usize],
+                &view.cell_extractor[cells.clone()],
+                &view.cell_confidence[cells],
+                votes,
+                cfg,
+            );
+            sigmoid(vc + alpha.logit(base + lg))
+        })
+        .collect()
 }
 
 #[cfg(test)]

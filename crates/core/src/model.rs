@@ -42,6 +42,32 @@ pub struct IterationTrace {
     pub wall: Duration,
 }
 
+/// Cumulative wall-clock time per EM stage across all rounds — the
+/// per-stage breakdown the `em_scale` bench reports. Populated by the
+/// columnar ([`crate::ExecMode::Sharded`]) and streamed engines; the
+/// row-major engines leave it zeroed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageWall {
+    /// The `ChunkedCube::from_cube` columnar gather (once per fit,
+    /// resident columnar mode only — streamed fits read pre-chunked
+    /// files).
+    pub chunking: Duration,
+    /// Vote-table rebuilds (Eqs. 12–14).
+    pub votes: Duration,
+    /// Correctness E-step (Eqs. 15, 26, 31).
+    pub correctness: Duration,
+    /// Value E-step (Eqs. 23–25).
+    pub values: Duration,
+    /// Source-accuracy M-step (Eq. 28).
+    pub source_update: Duration,
+    /// Extractor-quality M-step (Eqs. 32–33 + Eq. 7).
+    pub extractor_update: Duration,
+    /// α re-estimation (Eq. 26).
+    pub alpha: Duration,
+    /// Pseudo log-likelihood fold.
+    pub log_likelihood: Duration,
+}
+
 /// Per-iteration diagnostics of one inference run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ConvergenceTrace {
@@ -50,6 +76,9 @@ pub struct ConvergenceTrace {
     /// Whether the run stopped because deltas fell below the threshold
     /// (as opposed to exhausting `max_iterations`).
     pub converged: bool,
+    /// Cumulative per-stage wall-clock breakdown (columnar and streamed
+    /// engines only).
+    pub stage_wall: StageWall,
 }
 
 impl ConvergenceTrace {

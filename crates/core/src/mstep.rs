@@ -10,7 +10,7 @@
 //!   looking. `Q_e` is then *derived* via Eq. 7 rather than estimated
 //!   directly (Section 3.4.2).
 
-use kbt_datamodel::{ChunkedCube, ObservationCube, SourceId};
+use kbt_datamodel::{ChunkedCube, GroupView, ObservationCube, SourceId};
 use kbt_flume::{par_chunks_mut, par_map_indexed, ShardedExecutor};
 
 use crate::config::ModelConfig;
@@ -121,10 +121,36 @@ pub fn update_source_accuracy_cols(
     exec: &mut ShardedExecutor<()>,
     updates: &mut Vec<Option<f64>>,
 ) {
-    debug_assert_eq!(correctness.len(), cc.num_groups());
-    debug_assert_eq!(truth.len(), cc.num_groups());
-    let offsets = &cc.source_offsets;
-    exec.map_keys(cc.num_sources(), updates, |_, w| {
+    update_source_accuracy_offsets(
+        &cc.source_offsets,
+        correctness,
+        truth,
+        cfg,
+        params,
+        active,
+        exec,
+        updates,
+    );
+}
+
+/// [`update_source_accuracy_cols`] from a bare `source_offsets` CSR —
+/// the form the streamed fit uses, since Eq. 28 needs no chunk data at
+/// all: every input (correctness, truth, the per-source group spans)
+/// stays resident. Bit-identical to the cube-backed variants.
+#[allow(clippy::too_many_arguments)]
+pub fn update_source_accuracy_offsets(
+    offsets: &[u32],
+    correctness: &[f64],
+    truth: &[f64],
+    cfg: &ModelConfig,
+    params: &mut Params,
+    active: &mut [bool],
+    exec: &mut ShardedExecutor<()>,
+    updates: &mut Vec<Option<f64>>,
+) {
+    let num_sources = offsets.len() - 1;
+    debug_assert_eq!(truth.len(), correctness.len());
+    exec.map_keys(num_sources, updates, |_, w| {
         let (lo, hi) = (offsets[w] as usize, offsets[w + 1] as usize);
         if hi - lo < cfg.min_source_support {
             return None;
@@ -345,6 +371,139 @@ fn estimate_gamma_cols(cc: &ChunkedCube, correctness: &[f64], cfg: &ModelConfig)
             }
         }
         slots += items * (cfg.n_false_values + 1);
+    }
+    let mass: f64 = correctness.iter().sum();
+    crate::math::clamp_quality(mass / (slots.max(1) as f64))
+}
+
+/// Serial accumulator for the streamed extractor-quality M-step.
+///
+/// The resident columnar update walks each extractor's cells in global
+/// cell order (the extractor-major CSR stores them as a subsequence of
+/// the global cell stream). A single serial pass over the group-major
+/// frames in frame order visits cells in exactly that global order, so
+/// dispatching each cell to its extractor's accumulator performs the
+/// same per-extractor float-addition sequence — bit-identical to
+/// [`update_extractor_quality_cols`] without ever holding more than one
+/// frame resident.
+///
+/// Usage: [`Self::begin`] once per round, [`Self::consume`] once per
+/// group frame in ascending frame order, [`Self::finish`] to write the
+/// new parameters.
+#[derive(Debug, Default)]
+pub struct StreamedExtractorAcc {
+    num: Vec<f64>,
+    pden: Vec<f64>,
+    rden: Vec<f64>,
+    last_source: Vec<u32>,
+    sum_c_source: Vec<f64>,
+    scoped: bool,
+    total_mass: f64,
+}
+
+impl StreamedExtractorAcc {
+    /// Reset the per-extractor sums and precompute the recall
+    /// denominators for this round (per-source correctness mass under
+    /// the scoped policy, total mass otherwise — serially, exactly as
+    /// the resident update does).
+    pub fn begin(
+        &mut self,
+        num_extractors: usize,
+        source_offsets: &[u32],
+        correctness: &[f64],
+        cfg: &ModelConfig,
+    ) {
+        for v in [&mut self.num, &mut self.pden, &mut self.rden] {
+            v.clear();
+            v.resize(num_extractors, 0.0);
+        }
+        self.last_source.clear();
+        self.last_source.resize(num_extractors, u32::MAX);
+        self.scoped = cfg.absence_policy == crate::config::AbsencePolicy::SourceCandidates;
+        self.sum_c_source.clear();
+        if self.scoped {
+            let nw = source_offsets.len() - 1;
+            self.total_mass = 0.0;
+            self.sum_c_source.extend((0..nw).map(|w| {
+                correctness[source_offsets[w] as usize..source_offsets[w + 1] as usize]
+                    .iter()
+                    .sum::<f64>()
+            }));
+        } else {
+            self.total_mass = correctness.iter().sum();
+        }
+    }
+
+    /// Fold one group frame's cells into the per-extractor sums. Frames
+    /// must arrive in ascending frame order for the global-cell-order
+    /// guarantee to hold.
+    pub fn consume(&mut self, view: &GroupView<'_>, correctness: &[f64], cfg: &ModelConfig) {
+        let base = view.groups.start as usize;
+        for lg in 0..view.num_groups() {
+            let c_g = correctness[base + lg];
+            let w = view.group_source[lg];
+            for k in view.cells(lg) {
+                let e = view.cell_extractor[k] as usize;
+                let conf = cfg.effective_confidence(view.cell_confidence[k]);
+                self.num[e] += conf * c_g;
+                self.pden[e] += conf;
+                if self.scoped && self.last_source[e] != w {
+                    self.rden[e] += self.sum_c_source[w as usize];
+                    self.last_source[e] = w;
+                }
+            }
+        }
+    }
+
+    /// Derive the new precision/recall/Q. `source_item_counts` is the
+    /// per-source distinct-item count the chunk store persists, feeding
+    /// the same γ estimate [`update_extractor_quality_cols`] computes
+    /// from the `group_item` column.
+    pub fn finish(
+        &mut self,
+        source_item_counts: &[u32],
+        correctness: &[f64],
+        cfg: &ModelConfig,
+        params: &mut Params,
+    ) {
+        let gamma = estimate_gamma_streamed(source_item_counts, correctness, cfg);
+        let (precision, recall, q) = (&mut params.precision, &mut params.recall, &mut params.q);
+        for e in 0..precision.len() {
+            let rden = if self.scoped {
+                self.rden[e]
+            } else {
+                self.total_mass
+            };
+            if self.pden[e] > 1e-12 {
+                precision[e] = clamp_quality(self.num[e] / self.pden[e]);
+            }
+            if rden > 1e-12 {
+                recall[e] = clamp_quality(self.num[e] / rden);
+            }
+        }
+        par_chunks_mut(q, |base, chunk| {
+            for (i, qe) in chunk.iter_mut().enumerate() {
+                let e = base + i;
+                *qe = q_from_precision_recall(precision[e], recall[e], gamma);
+            }
+        });
+    }
+}
+
+/// [`estimate_gamma_cols`] from the persisted per-source distinct-item
+/// counts: the slot total is the same integer sum, the mass the same
+/// serial correctness sum → bit-identical.
+fn estimate_gamma_streamed(
+    source_item_counts: &[u32],
+    correctness: &[f64],
+    cfg: &ModelConfig,
+) -> f64 {
+    if !cfg.estimate_gamma || correctness.is_empty() {
+        return cfg.gamma;
+    }
+    let mut slots = 0usize;
+    for &c in source_item_counts {
+        slots += c as usize * (cfg.n_false_values + 1);
     }
     let mass: f64 = correctness.iter().sum();
     crate::math::clamp_quality(mass / (slots.max(1) as f64))
@@ -821,6 +980,101 @@ mod tests {
                     }
                     assert_eq!(cols, flat, "{policy:?} t={target_cells} s={shards}");
                     assert_eq!(active, flat_active);
+                }
+            }
+        }
+    }
+
+    /// The streamed M-steps — source accuracy from a bare offsets CSR and
+    /// extractor quality from a serial group-frame fold — must be
+    /// bit-for-bit the resident columnar updates.
+    #[test]
+    fn streamed_mstep_matches_cols_bitwise() {
+        use kbt_datamodel::{ChunkStoreMeta, ChunkedCube, ChunkingConfig};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut b = CubeBuilder::new();
+        for _ in 0..600 {
+            b.push(Observation {
+                extractor: ExtractorId::new(rng.gen_range(0..8)),
+                source: SourceId::new(rng.gen_range(0..15)),
+                item: ItemId::new(rng.gen_range(0..25)),
+                value: ValueId::new(rng.gen_range(0..4)),
+                confidence: rng.gen::<f64>(),
+            });
+        }
+        let cube = b.build();
+        let correctness: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        let truth: Vec<f64> = (0..cube.num_groups()).map(|_| rng.gen::<f64>()).collect();
+        for policy in [
+            crate::config::AbsencePolicy::AllExtractors,
+            crate::config::AbsencePolicy::SourceCandidates,
+        ] {
+            for estimate_gamma in [true, false] {
+                let cfg = ModelConfig {
+                    absence_policy: policy,
+                    estimate_gamma,
+                    min_source_support: 3,
+                    ..ModelConfig::default()
+                };
+                for target_cells in [1usize, 64, 1 << 20] {
+                    let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells });
+                    let meta = ChunkStoreMeta::from_cube(&cc);
+                    let mut exec = ShardedExecutor::with_shards(4);
+                    let mut updates = Vec::new();
+
+                    let mut cols = Params::init(&cube, &cfg, &QualityInit::Default);
+                    let mut cols_active = vec![true; cube.num_sources()];
+                    let mut col_scratch = ColExtractorScratch::default();
+                    update_source_accuracy_cols(
+                        &cc,
+                        &correctness,
+                        &truth,
+                        &cfg,
+                        &mut cols,
+                        &mut cols_active,
+                        &mut exec,
+                        &mut updates,
+                    );
+                    update_extractor_quality_cols(
+                        &cc,
+                        &correctness,
+                        &cfg,
+                        &mut cols,
+                        &mut exec,
+                        &mut col_scratch,
+                    );
+
+                    let mut st = Params::init(&cube, &cfg, &QualityInit::Default);
+                    let mut st_active = vec![true; cube.num_sources()];
+                    update_source_accuracy_offsets(
+                        &meta.source_offsets,
+                        &correctness,
+                        &truth,
+                        &cfg,
+                        &mut st,
+                        &mut st_active,
+                        &mut exec,
+                        &mut updates,
+                    );
+                    let mut acc = StreamedExtractorAcc::default();
+                    acc.begin(
+                        cube.num_extractors(),
+                        &meta.source_offsets,
+                        &correctness,
+                        &cfg,
+                    );
+                    for frame in &meta.group_frames {
+                        acc.consume(&cc.group_view(frame.clone()), &correctness, &cfg);
+                    }
+                    acc.finish(&meta.source_item_counts, &correctness, &cfg, &mut st);
+
+                    assert_eq!(
+                        st, cols,
+                        "{policy:?} gamma={estimate_gamma} t={target_cells}"
+                    );
+                    assert_eq!(st_active, cols_active);
                 }
             }
         }

@@ -12,25 +12,31 @@
 //! (Eq. 26) beginning at the configured iteration (the third, by default —
 //! Section 5.1.2).
 
-use kbt_datamodel::{ChunkedCube, ChunkingConfig, ObservationCube, SourceId};
+use std::io;
+use std::sync::Arc;
+
+use kbt_datamodel::{
+    CacheStats, ChunkCache, ChunkedCube, FileChunkStore, ObservationCube, SourceId,
+};
 use kbt_flume::{ShardedExecutor, Stopwatch};
 
 use crate::config::{ExecMode, ModelConfig};
 use crate::copydetect::{collect_pair_stats, score_pair_stats, CopyDiscount, CopyEvidence};
 use crate::correctness::{
-    estimate_correctness, estimate_correctness_cols, estimate_correctness_with, AlphaState,
+    estimate_correctness, estimate_correctness_cols, estimate_correctness_frame,
+    estimate_correctness_with, AlphaState,
 };
 use crate::model::{map_confidence_ll, ConvergenceTrace, IterationTrace};
 use crate::mstep::{
     update_extractor_quality, update_extractor_quality_cols, update_extractor_quality_with,
-    update_source_accuracy, update_source_accuracy_cols, update_source_accuracy_with,
-    ColExtractorScratch, ExtractorScratch,
+    update_source_accuracy, update_source_accuracy_cols, update_source_accuracy_offsets,
+    update_source_accuracy_with, ColExtractorScratch, ExtractorScratch, StreamedExtractorAcc,
 };
 use crate::params::{Params, QualityInit};
 use crate::posterior::ItemPosteriors;
 use crate::value::{
-    estimate_values, estimate_values_cols, estimate_values_with, ColValueScratch, ValueLayerOutput,
-    ValueScratch,
+    estimate_values, estimate_values_cols, estimate_values_streamed, estimate_values_with,
+    ColValueScratch, ValueLayerOutput, ValueScratch,
 };
 use crate::votes::VoteCounter;
 
@@ -88,6 +94,19 @@ impl MultiLayerResult {
         }
         self.covered_group.iter().filter(|&&c| c).count() as f64 / self.covered_group.len() as f64
     }
+}
+
+/// I/O-side diagnostics of a streamed fit
+/// ([`MultiLayerModel::run_streamed`]): chunk-cache hit/miss/eviction
+/// counters for the item-chunk and group-frame caches, accumulated over
+/// the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Item-chunk cache counters (value E-step reads).
+    pub item_cache: CacheStats,
+    /// Group-frame cache counters (correctness E-step, extractor
+    /// M-step, and α reads).
+    pub group_cache: CacheStats,
 }
 
 /// The multi-layer KBT estimator.
@@ -197,16 +216,16 @@ impl MultiLayerModel {
         // The columnar engine's view of the cube, built once per run: the
         // copy-aware loop refits the same cube several times, and the
         // gather is pure so every refit can share it.
+        let mut gather = std::time::Duration::ZERO;
         let chunked = (self.cfg.exec_mode == ExecMode::Sharded).then(|| {
-            ChunkedCube::from_cube(
-                cube,
-                &ChunkingConfig {
-                    target_cells: self.cfg.chunk_target_cells,
-                },
-            )
+            let mut sw = Stopwatch::start();
+            let cc = ChunkedCube::from_cube(cube, &self.cfg.chunking());
+            gather = sw.lap();
+            cc
         });
         let chunked = chunked.as_ref();
         let (mut result, mut trace) = self.run_em(cube, chunked, init, prior_truth, base_discount);
+        trace.stage_wall.chunking += gather;
         // Record the factors this fit actually ran with even when no
         // detection is configured (e.g. a session carrying prior evidence
         // into a model whose copy_detection was turned off) — a
@@ -295,12 +314,7 @@ impl MultiLayerModel {
             ExecMode::Sharded => match chunked {
                 Some(cc) => self.run_columnar(cube, cc, init, prior_truth, discount),
                 None => {
-                    let cc = ChunkedCube::from_cube(
-                        cube,
-                        &ChunkingConfig {
-                            target_cells: self.cfg.chunk_target_cells,
-                        },
-                    );
+                    let cc = ChunkedCube::from_cube(cube, &self.cfg.chunking());
                     self.run_columnar(cube, &cc, init, prior_truth, discount)
                 }
             },
@@ -354,12 +368,16 @@ impl MultiLayerModel {
         let mut converged = false;
         let mut trace = ConvergenceTrace::default();
         let mut watch = Stopwatch::start();
+        let mut stage = Stopwatch::start();
 
         for t in 1..=cfg.max_iterations {
             iterations = t;
+            stage.lap();
             // Step 1: extraction correctness.
             votes.rebuild(cube, &params, cfg);
+            trace.stage_wall.votes += stage.lap();
             estimate_correctness_cols(cc, &votes, &alpha, cfg, &mut group_exec, &mut correctness);
+            trace.stage_wall.correctness += stage.lap();
             // Step 2: item values (with the CopyDiscount stage, if any).
             let out = estimate_values_cols(
                 cc,
@@ -370,6 +388,7 @@ impl MultiLayerModel {
                 discount,
                 &mut value_exec,
             );
+            trace.stage_wall.values += stage.lap();
             // Steps 3–4: parameters.
             let prev = params.clone();
             update_source_accuracy_cols(
@@ -382,6 +401,7 @@ impl MultiLayerModel {
                 &mut source_exec,
                 &mut src_updates,
             );
+            trace.stage_wall.source_update += stage.lap();
             update_extractor_quality_cols(
                 cc,
                 &correctness,
@@ -390,9 +410,11 @@ impl MultiLayerModel {
                 &mut source_exec,
                 &mut ext_scratch,
             );
+            trace.stage_wall.extractor_update += stage.lap();
             if cfg.updates_alpha_at(t + 1) || (alpha_matured && cfg.alpha_update_from.is_some()) {
                 alpha.update_cols(cc, &out.truth_of_group, &params, cfg, &mut group_exec);
             }
+            trace.stage_wall.alpha += stage.lap();
             let delta = params.max_abs_delta(&prev);
             // Per-group LL terms in parallel, summed serially in group
             // order — the same addition sequence as the serial fold.
@@ -402,6 +424,7 @@ impl MultiLayerModel {
                 map_confidence_ll(corr[g]) + map_confidence_ll(truth[g])
             });
             let log_likelihood = ll_buf.iter().sum();
+            trace.stage_wall.log_likelihood += stage.lap();
             trace.rounds.push(IterationTrace {
                 iteration: t,
                 delta,
@@ -431,6 +454,238 @@ impl MultiLayerModel {
             source_independence: None,
         };
         (result, trace)
+    }
+
+    /// Algorithm 1 driven entirely from a [`FileChunkStore`] — the
+    /// out-of-core engine behind
+    /// [`crate::config::CubeResidency::Streamed`]. No [`ObservationCube`]
+    /// (or [`ChunkedCube`]) is ever materialized: only the O(groups)
+    /// posterior vectors, the per-source/per-extractor tables, and at most
+    /// `max_resident_chunks` decoded chunks per cache are resident, while
+    /// a background prefetcher overlaps the next chunk's read + decode
+    /// with the current chunk's compute.
+    ///
+    /// Every stage reproduces the resident columnar engine's exact float
+    /// sequence (vote tables from the persisted per-source extractor CSR,
+    /// per-frame correctness/α, chunk-order value merge, offsets-CSR
+    /// source update, serial global-cell-order extractor fold), so the
+    /// fit is **bit-for-bit identical** to [`ExecMode::Sharded`] on the
+    /// resident cube, at any thread count and any cache size ≥ 1 (the
+    /// `out_of_core` integration tests assert this). `max_resident_chunks
+    /// == 0` means unbounded.
+    ///
+    /// I/O failures mid-fit (truncated frames, CRC mismatches, vanished
+    /// files) surface as typed [`io::Error`]s, never panics. Copy
+    /// detection needs pairwise co-occurrence statistics over a resident
+    /// cube and is rejected up front as [`io::ErrorKind::Unsupported`].
+    pub fn run_streamed(
+        &self,
+        store: &Arc<FileChunkStore>,
+        max_resident_chunks: usize,
+        init: &QualityInit,
+    ) -> io::Result<(MultiLayerResult, ConvergenceTrace, StreamStats)> {
+        kbt_flume::with_threads(self.cfg.threads, || {
+            self.run_streamed_inner(store, max_resident_chunks, init)
+        })
+    }
+
+    fn run_streamed_inner(
+        &self,
+        store: &Arc<FileChunkStore>,
+        max_resident_chunks: usize,
+        init: &QualityInit,
+    ) -> io::Result<(MultiLayerResult, ConvergenceTrace, StreamStats)> {
+        let cfg = &self.cfg;
+        if cfg.copy_detection.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "copy detection needs pairwise source statistics over a resident cube; \
+                 fit with CubeResidency::Resident to use it",
+            ));
+        }
+        let meta = store.meta();
+        let ng = meta.num_groups as usize;
+        let nw = meta.num_sources as usize;
+        let ne = meta.num_extractors as usize;
+        let ni = meta.num_items as usize;
+        let nf = store.num_group_frames();
+        let items = ChunkCache::for_items(Arc::clone(store), max_resident_chunks);
+        let frames = ChunkCache::for_group_frames(Arc::clone(store), max_resident_chunks);
+
+        let mut params = Params::init_sized(nw, ne, cfg, init);
+        // Same activity rule as the resident engines: the per-source group
+        // span is `source_size`.
+        let mut active: Vec<bool> = (0..nw)
+            .map(|w| {
+                (meta.source_offsets[w + 1] - meta.source_offsets[w]) as usize
+                    >= cfg.min_source_support
+            })
+            .collect();
+        let mut alpha = AlphaState::uniform(ng, cfg.alpha);
+        let alpha_matured = alpha_matured_by(init);
+
+        // The engine state reused across rounds.
+        let mut value_exec: ShardedExecutor<ColValueScratch> = ShardedExecutor::new();
+        let mut group_exec: ShardedExecutor<()> = ShardedExecutor::new();
+        let mut source_exec: ShardedExecutor<()> = ShardedExecutor::new();
+        let mut votes = VoteCounter::empty();
+        let mut correctness: Vec<f64> = vec![0.0; ng];
+        let mut src_updates: Vec<Option<f64>> = Vec::new();
+        let mut ext_acc = StreamedExtractorAcc::default();
+        let mut ll_buf: Vec<f64> = Vec::new();
+        // Keep the prefetcher a couple of chunks ahead of the workers,
+        // but never so far ahead that a bounded cache would evict chunks
+        // before they are consumed.
+        let mut depth = group_exec.num_shards().saturating_mul(2).max(2);
+        if max_resident_chunks > 0 {
+            depth = depth.min(max_resident_chunks);
+        }
+
+        let mut values: Option<ValueLayerOutput> = None;
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut trace = ConvergenceTrace::default();
+        let mut watch = Stopwatch::start();
+        let mut stage = Stopwatch::start();
+
+        for t in 1..=cfg.max_iterations {
+            iterations = t;
+            stage.lap();
+            votes.rebuild_from_csr(
+                ne,
+                nw,
+                &meta.source_ext_offsets,
+                &meta.source_ext_ids,
+                &params,
+                cfg,
+            );
+            trace.stage_wall.votes += stage.lap();
+            // Step 1: extraction correctness, one group frame at a time.
+            // Per-group sigmoids are independent, so scattering each
+            // frame's output into place reproduces the resident vector.
+            {
+                let (votes_ref, alpha_ref) = (&votes, &alpha);
+                let per_frame: Vec<(u32, Vec<f64>)> = group_exec.map_chunks(
+                    nf,
+                    depth,
+                    |i| frames.prefetch(i),
+                    |_, i| {
+                        let buf = frames.get(i)?;
+                        let view = buf.view();
+                        Ok::<_, io::Error>((
+                            view.groups.start,
+                            estimate_correctness_frame(&view, votes_ref, alpha_ref, cfg),
+                        ))
+                    },
+                )?;
+                for (start, vals) in per_frame {
+                    correctness[start as usize..start as usize + vals.len()].copy_from_slice(&vals);
+                }
+            }
+            trace.stage_wall.correctness += stage.lap();
+            // Step 2: item values from streamed item chunks. The copy
+            // discount is always `None` here (copy detection is rejected
+            // above). The previous round's output is dead from here on
+            // (everything below reads the fresh `out`), so drop it first:
+            // the per-item posterior vectors are the largest fit-state
+            // allocation, and holding two rounds' worth while the new one
+            // is built would dominate the streamed engine's peak RSS.
+            drop(values.take());
+            let out = estimate_values_streamed(
+                &items,
+                meta,
+                &correctness,
+                &params,
+                cfg,
+                &active,
+                None,
+                depth,
+                &mut value_exec,
+            )?;
+            trace.stage_wall.values += stage.lap();
+            // Steps 3–4: parameters. Eq. 28 needs no chunk data at all.
+            let prev = params.clone();
+            update_source_accuracy_offsets(
+                &meta.source_offsets,
+                &correctness,
+                &out.truth_given_provided,
+                cfg,
+                &mut params,
+                &mut active,
+                &mut source_exec,
+                &mut src_updates,
+            );
+            trace.stage_wall.source_update += stage.lap();
+            // Serial frame fold in ascending frame order = global cell
+            // order (see `StreamedExtractorAcc`).
+            ext_acc.begin(ne, &meta.source_offsets, &correctness, cfg);
+            for f in 0..nf {
+                let buf = frames.get(f)?;
+                ext_acc.consume(&buf.view(), &correctness, cfg);
+            }
+            ext_acc.finish(&meta.source_item_counts, &correctness, cfg, &mut params);
+            trace.stage_wall.extractor_update += stage.lap();
+            if cfg.updates_alpha_at(t + 1) || (alpha_matured && cfg.alpha_update_from.is_some()) {
+                let (truth, params_ref) = (&out.truth_of_group, &params);
+                let per_frame: Vec<(u32, Vec<f64>)> = group_exec.map_chunks(
+                    nf,
+                    depth,
+                    |i| frames.prefetch(i),
+                    |_, i| {
+                        let buf = frames.get(i)?;
+                        let view = buf.view();
+                        Ok::<_, io::Error>((
+                            view.groups.start,
+                            AlphaState::frame_logits(&view, truth, params_ref, cfg),
+                        ))
+                    },
+                )?;
+                for (start, vals) in per_frame {
+                    alpha.write_range(start as usize, &vals);
+                }
+            }
+            trace.stage_wall.alpha += stage.lap();
+            let delta = params.max_abs_delta(&prev);
+            let truth = &out.truth_of_group;
+            let corr = &correctness;
+            group_exec.map_keys(ng, &mut ll_buf, |_, g| {
+                map_confidence_ll(corr[g]) + map_confidence_ll(truth[g])
+            });
+            let log_likelihood = ll_buf.iter().sum();
+            trace.stage_wall.log_likelihood += stage.lap();
+            trace.rounds.push(IterationTrace {
+                iteration: t,
+                delta,
+                log_likelihood,
+                wall: watch.lap(),
+            });
+            values = Some(out);
+            if delta < cfg.convergence_eps {
+                converged = true;
+                break;
+            }
+        }
+        trace.converged = converged;
+
+        let values = values.unwrap_or_else(|| empty_values_sized(ni, ng, cfg));
+        let stats = StreamStats {
+            item_cache: items.stats(),
+            group_cache: frames.stats(),
+        };
+        let result = MultiLayerResult {
+            params,
+            correctness,
+            posteriors: values.posteriors,
+            truth_of_group: values.truth_of_group,
+            truth_given_provided: values.truth_given_provided,
+            covered_group: values.covered_group,
+            active_source: active,
+            iterations,
+            converged,
+            copy_evidence: None,
+            source_independence: None,
+        };
+        Ok((result, trace, stats))
     }
 
     /// Algorithm 1 on the pre-columnar row-major sharded engine
@@ -655,14 +910,20 @@ fn alpha_matured_by(init: &QualityInit) -> bool {
 /// The degenerate value-layer output of a zero-iteration run
 /// (`max_iterations == 0`): uniform posteriors, nothing covered.
 fn empty_values(cube: &ObservationCube, cfg: &ModelConfig) -> ValueLayerOutput {
+    empty_values_sized(cube.num_items(), cube.num_groups(), cfg)
+}
+
+/// [`empty_values`] from bare dimension counts (streamed fits have no
+/// resident cube).
+fn empty_values_sized(num_items: usize, num_groups: usize, cfg: &ModelConfig) -> ValueLayerOutput {
     ValueLayerOutput {
         posteriors: ItemPosteriors::from_parts(
-            vec![Vec::new(); cube.num_items()],
-            vec![1.0 / (cfg.n_false_values + 1) as f64; cube.num_items()],
+            vec![Vec::new(); num_items],
+            vec![1.0 / (cfg.n_false_values + 1) as f64; num_items],
         ),
-        truth_of_group: vec![0.0; cube.num_groups()],
-        truth_given_provided: vec![0.0; cube.num_groups()],
-        covered_group: vec![false; cube.num_groups()],
+        truth_of_group: vec![0.0; num_groups],
+        truth_given_provided: vec![0.0; num_groups],
+        covered_group: vec![false; num_groups],
     }
 }
 

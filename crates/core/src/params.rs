@@ -75,8 +75,12 @@ pub enum QualityInit {
 impl Params {
     /// Allocate parameters for `cube`, initialized per `init` and `cfg`.
     pub fn init(cube: &ObservationCube, cfg: &ModelConfig, init: &QualityInit) -> Self {
-        let nw = cube.num_sources();
-        let ne = cube.num_extractors();
+        Self::init_sized(cube.num_sources(), cube.num_extractors(), cfg, init)
+    }
+
+    /// [`Self::init`] from bare dimension counts — the streamed fit's
+    /// entry point, which has chunk-store metadata but no resident cube.
+    pub fn init_sized(nw: usize, ne: usize, cfg: &ModelConfig, init: &QualityInit) -> Self {
         // Back out the default precision implied by (R, Q, γ) through Eq. 7
         // so that q_from_precision_recall(default_p, default_r) == default_q.
         let g = cfg.gamma / (1.0 - cfg.gamma);

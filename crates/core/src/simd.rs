@@ -1,0 +1,200 @@
+//! Explicit AVX2 kernels behind the `simd` cargo feature.
+//!
+//! The bitwise-determinism contract ("every engine, every thread count,
+//! every residency produces the same bits") constrains what may be
+//! vectorized: only operations whose vector forms are IEEE-identical to
+//! the scalar reference. Two hot spots qualify:
+//!
+//! * **Vote-count fold** ([`vote_adjust_fold`]) — the correctness
+//!   E-step's `vc += conf·adjust[e]` cell loop. Lanewise gather +
+//!   multiply produces each product with a single correctly-rounded
+//!   `mulpd` (the same rounding as the scalar `*`), and the products are
+//!   then added to the accumulator **serially in index order** — the
+//!   scalar addition sequence exactly. Fused multiply-add is
+//!   deliberately *not* used: its single rounding would change the bits.
+//! * **Softmax normalizer** ([`log_sum_exp_with_zeros`]) — the value
+//!   E-step's log-sum-exp. The max reduction vectorizes (max is exact
+//!   and order-independent up to the sign of equal zeros, which cancels
+//!   in `x − m`); the `exp` fold stays scalar in index order.
+//!
+//! Every entry point detects AVX2 at runtime and falls back to the
+//! scalar reference on other hardware (and on non-x86_64 targets at
+//! compile time), so enabling the feature never changes results — the
+//! `simd_kernels_match_scalar_bitwise` test asserts it.
+
+use crate::votes::VoteCounter;
+
+/// `start + Σᵢ conf[i] · adjust[ext[i]]`, folded in index order —
+/// bit-identical to the scalar cell loop of the correctness E-step.
+#[inline]
+pub fn vote_adjust_fold(start: f64, ext: &[u32], conf: &[f64], adjust: &[f64]) -> f64 {
+    debug_assert_eq!(ext.len(), conf.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if ext.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability checked at runtime just above.
+            return unsafe { vote_adjust_fold_avx2(start, ext, conf, adjust) };
+        }
+    }
+    vote_adjust_fold_scalar(start, ext, conf, adjust)
+}
+
+#[inline]
+fn vote_adjust_fold_scalar(start: f64, ext: &[u32], conf: &[f64], adjust: &[f64]) -> f64 {
+    let mut vc = start;
+    for (&e, &c) in ext.iter().zip(conf) {
+        vc += c * adjust[e as usize];
+    }
+    vc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn vote_adjust_fold_avx2(start: f64, ext: &[u32], conf: &[f64], adjust: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    let n = ext.len();
+    let mut acc = start;
+    let mut buf = [0.0f64; 4];
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // SAFETY: `i + 4 <= n` bounds both loads; extractor ids are
+        // in-range for `adjust` by the datamodel's dense-id invariant
+        // (debug-asserted below for the fallback tail too).
+        let idx = unsafe { _mm_loadu_si128(ext.as_ptr().add(i) as *const __m128i) };
+        let gathered = unsafe { _mm256_i32gather_pd::<8>(adjust.as_ptr(), idx) };
+        let c = unsafe { _mm256_loadu_pd(conf.as_ptr().add(i)) };
+        // One correctly-rounded multiply per lane — the scalar `*`.
+        let p = _mm256_mul_pd(c, gathered);
+        unsafe { _mm256_storeu_pd(buf.as_mut_ptr(), p) };
+        // Serial in-order adds: the scalar accumulation sequence.
+        acc += buf[0];
+        acc += buf[1];
+        acc += buf[2];
+        acc += buf[3];
+        i += 4;
+    }
+    while i < n {
+        acc += conf[i] * adjust[ext[i] as usize];
+        i += 1;
+    }
+    acc
+}
+
+/// [`crate::math::log_sum_exp_with_zeros`] with a vectorized max
+/// reduction. Returns the same bits: the max of a finite set does not
+/// depend on reduction order (equal-zero sign differences cancel in
+/// `x − m` and `−m`), and the `exp` fold runs scalar in index order.
+#[inline]
+pub fn log_sum_exp_with_zeros(xs: &[f64], extra_count: usize) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if xs.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 availability checked at runtime just above.
+            return unsafe { log_sum_exp_with_zeros_avx2(xs, extra_count) };
+        }
+    }
+    crate::math::log_sum_exp_with_zeros(xs, extra_count)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn log_sum_exp_with_zeros_avx2(xs: &[f64], extra_count: usize) -> f64 {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let mut mv = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // SAFETY: `i + 4 <= n` bounds the load.
+        let v = unsafe { _mm256_loadu_pd(xs.as_ptr().add(i)) };
+        mv = _mm256_max_pd(mv, v);
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), mv) };
+    let mut m = if extra_count > 0 {
+        0.0
+    } else {
+        f64::NEG_INFINITY
+    };
+    for &x in &lanes {
+        if x > m {
+            m = x;
+        }
+    }
+    for &x in &xs[i..] {
+        if x > m {
+            m = x;
+        }
+    }
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let mut sum = 0.0;
+    for &x in xs {
+        sum += (x - m).exp();
+    }
+    sum += extra_count as f64 * (-m).exp();
+    m + sum.ln()
+}
+
+/// The correctness E-step's cell fold, dispatching to the AVX2 gather
+/// kernel when no confidence threshold rewrites the confidences (the
+/// thresholded form is a per-cell select the scalar loop handles).
+#[inline]
+pub fn fold_cell_votes(
+    start: f64,
+    ext: &[u32],
+    conf: &[f64],
+    votes: &VoteCounter,
+    cfg: &crate::config::ModelConfig,
+) -> f64 {
+    if cfg.confidence_threshold.is_none() {
+        return vote_adjust_fold(start, ext, conf, &votes.adjust);
+    }
+    let mut vc = start;
+    for (&e, &c) in ext.iter().zip(conf) {
+        vc += cfg.effective_confidence(c) * votes.adjust[e as usize];
+    }
+    vc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simd_kernels_match_scalar_bitwise() {
+        // Deterministic pseudo-random inputs (SplitMix64), including the
+        // awkward cases: ±0.0 entries, single-element and non-multiple-
+        // of-4 lengths, all-negative maxima.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let adjust: Vec<f64> = (0..37).map(|_| next() * 8.0 - 4.0).collect();
+        for len in [0usize, 1, 3, 4, 5, 8, 13, 64, 257] {
+            let ext: Vec<u32> = (0..len).map(|_| (next() * 37.0) as u32 % 37).collect();
+            let conf: Vec<f64> = (0..len).map(|_| next()).collect();
+            let start = next() * 10.0 - 5.0;
+            let want = vote_adjust_fold_scalar(start, &ext, &conf, &adjust);
+            let got = vote_adjust_fold(start, &ext, &conf, &adjust);
+            assert_eq!(want.to_bits(), got.to_bits(), "fold len={len}");
+
+            let mut xs: Vec<f64> = (0..len).map(|_| next() * 30.0 - 20.0).collect();
+            if len > 2 {
+                xs[0] = 0.0;
+                xs[1] = -0.0;
+            }
+            for extra in [0usize, 1, 9] {
+                let want = crate::math::log_sum_exp_with_zeros(&xs, extra);
+                let got = log_sum_exp_with_zeros(&xs, extra);
+                assert_eq!(want.to_bits(), got.to_bits(), "lse len={len} extra={extra}");
+            }
+        }
+    }
+}

@@ -9,7 +9,12 @@
 //! posterior is a softmax over vote counts with one `exp(0)` term per
 //! unobserved domain value (Eq. 21/25, Example 3.2).
 
-use kbt_datamodel::{ChunkedCube, ItemId, ObservationCube, SourceId, ValueId};
+use std::io;
+
+use kbt_datamodel::{
+    ChunkBuf, ChunkCache, ChunkStoreMeta, ChunkedCube, ItemId, ItemView, ObservationCube, SourceId,
+    ValueId,
+};
 use kbt_flume::{balanced_ranges, par_map_slice, ShardedExecutor};
 
 use crate::config::{CorrectnessWeighting, ModelConfig, ValueModel};
@@ -484,9 +489,14 @@ pub struct ColValueScratch {
 /// in row order, POPACCU adjustment in first-seen value order, softmax
 /// per slot) is exactly the row-major [`value_item_kernel`]'s, so the
 /// results are bit-identical.
+///
+/// Takes an [`ItemView`] (`li` is the view-local item index), so the same
+/// kernel — the same instructions, the same float sequence — runs whether
+/// the chunk is a resident [`ChunkedCube`] slice or a [`ChunkBuf`]
+/// streamed from disk.
 #[allow(clippy::too_many_arguments)]
 fn col_value_item_kernel(
-    cc: &ChunkedCube,
+    view: &ItemView<'_>,
     correctness: &[f64],
     active_source: &[bool],
     full_vote_of: &[f64],
@@ -494,18 +504,18 @@ fn col_value_item_kernel(
     popaccu: bool,
     n: f64,
     domain: usize,
-    d: usize,
+    li: usize,
     s: &mut ColValueScratch,
 ) {
-    let val_base = cc.item_value_offsets[d] as usize;
-    let nv = cc.item_value_offsets[d + 1] as usize - val_base;
-    let rows = cc.item_offsets[d] as usize..cc.item_offsets[d + 1] as usize;
+    let vals = view.values(li);
+    let nv = vals.len();
+    let rows = view.rows(li);
     // Borrow the item's row span as slices once, so the hot loop iterates
     // without per-access bounds checks.
-    let ig_group = &cc.ig_group[rows.clone()];
-    let ig_source = &cc.ig_source[rows.clone()];
-    let ig_slot = &cc.ig_slot[rows.clone()];
-    let ig_has_cells = &cc.ig_has_cells[rows];
+    let ig_group = &view.ig_group[rows.clone()];
+    let ig_source = &view.ig_source[rows.clone()];
+    let ig_slot = &view.ig_slot[rows.clone()];
+    let ig_has_cells = &view.ig_has_cells[rows];
     s.order.clear();
     s.rows.clear();
     let mut total_claims = 0.0f64;
@@ -563,14 +573,16 @@ fn col_value_item_kernel(
     s.vcs.clear();
     s.vcs
         .extend(s.order.iter().map(|&slot| s.vote_sum[slot as usize]));
+    #[cfg(feature = "simd")]
+    let log_z = crate::simd::log_sum_exp_with_zeros(&s.vcs, unobserved_count);
+    #[cfg(not(feature = "simd"))]
     let log_z = log_sum_exp_with_zeros(&s.vcs, unobserved_count);
     let entry_start = s.entries.len();
-    for slot in 0..nv {
+    for (slot, &val) in vals.iter().enumerate().take(nv) {
         if s.voted[slot] {
             let p = (s.vote_sum[slot] - log_z).exp();
             s.prob[slot] = p;
-            s.entries
-                .push((ValueId::new(cc.item_values[val_base + slot]), p));
+            s.entries.push((ValueId::new(val), p));
         }
     }
     s.entry_counts.push((s.entries.len() - entry_start) as u32);
@@ -671,10 +683,11 @@ pub fn estimate_values_cols(
         s.claim.resize(cc.max_item_values, 0.0);
         s.prob.clear();
         s.prob.resize(cc.max_item_values, 0.0);
-        for chunk in &cc.chunks[chunks] {
-            for d in chunk.items.start as usize..chunk.items.end as usize {
+        for chunk_idx in chunks {
+            let view = cc.item_view(chunk_idx);
+            for li in 0..view.num_items() {
                 col_value_item_kernel(
-                    cc,
+                    &view,
                     correctness,
                     active_source,
                     &full_vote_of,
@@ -682,7 +695,7 @@ pub fn estimate_values_cols(
                     popaccu,
                     n,
                     domain,
-                    d,
+                    li,
                     s,
                 );
             }
@@ -720,6 +733,141 @@ pub fn estimate_values_cols(
         truth_given_provided,
         covered_group,
     }
+}
+
+/// Per-chunk output of the streamed value E-step: the chunk's posterior
+/// entries, per-item entry counts, per-item unobserved masses, and group
+/// scatter rows — exactly what one shard arena of
+/// [`estimate_values_cols`] accumulates for the same items.
+type ValueChunkOut = (
+    Vec<(ValueId, f64)>,
+    Vec<u32>,
+    Vec<f64>,
+    Vec<(u32, f64, f64, bool)>,
+);
+
+/// Value-layer E-step over item chunks streamed from disk.
+///
+/// Drives the exact [`col_value_item_kernel`] the resident columnar path
+/// uses, but pulls each chunk from a bounded [`ChunkCache`] instead of a
+/// resident [`ChunkedCube`], overlapping the next chunk's read + decode
+/// with the current chunk's compute via
+/// [`ShardedExecutor::map_chunks`]. Items run in the same global order
+/// and per-chunk outputs merge in chunk order — the same sequence the
+/// resident shard merge produces — so the result is bit-identical to
+/// [`estimate_values_cols`] at any thread count and any cache size ≥ 1.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_values_streamed(
+    items: &ChunkCache<ChunkBuf>,
+    meta: &ChunkStoreMeta,
+    correctness: &[f64],
+    params: &Params,
+    cfg: &ModelConfig,
+    active_source: &[bool],
+    discount: Option<&CopyDiscount>,
+    prefetch_depth: usize,
+    exec: &mut ShardedExecutor<ColValueScratch>,
+) -> io::Result<ValueLayerOutput> {
+    let num_groups = meta.num_groups as usize;
+    let num_sources = meta.num_sources as usize;
+    let ni = meta.num_items as usize;
+    debug_assert_eq!(correctness.len(), num_groups);
+    debug_assert_eq!(active_source.len(), num_sources);
+    let n = cfg.n_false_values as f64;
+
+    // Same hoisted per-source full vote as the resident path.
+    let full_vote_of: Vec<f64> = (0..num_sources)
+        .map(|w| {
+            if !active_source[w] {
+                return 0.0;
+            }
+            let a = clamp_quality(params.source_accuracy[w]);
+            let mut fv = (n * a / (1.0 - a)).ln();
+            if let Some(dc) = discount {
+                fv *= dc.factor(SourceId::new(w as u32));
+            }
+            fv
+        })
+        .collect();
+
+    let map_weight = cfg.correctness_weighting == CorrectnessWeighting::Map;
+    let popaccu = cfg.value_model == ValueModel::PopAccu;
+    let domain = cfg.n_false_values + 1;
+    let miv = meta.max_item_values as usize;
+
+    let outs: Vec<ValueChunkOut> = exec.map_chunks(
+        items.num_chunks(),
+        prefetch_depth,
+        |idx| items.prefetch(idx),
+        |s, idx| -> io::Result<ValueChunkOut> {
+            let buf = items.get(idx)?;
+            let view = buf.view();
+            s.entries.clear();
+            s.entry_counts.clear();
+            s.unobserved.clear();
+            s.groups_out.clear();
+            s.vote_sum.clear();
+            s.vote_sum.resize(miv, 0.0);
+            s.voted.clear();
+            s.voted.resize(miv, false);
+            s.claim.clear();
+            s.claim.resize(miv, 0.0);
+            s.prob.clear();
+            s.prob.resize(miv, 0.0);
+            for li in 0..view.num_items() {
+                col_value_item_kernel(
+                    &view,
+                    correctness,
+                    active_source,
+                    &full_vote_of,
+                    map_weight,
+                    popaccu,
+                    n,
+                    domain,
+                    li,
+                    s,
+                );
+            }
+            Ok((
+                s.entries.clone(),
+                s.entry_counts.clone(),
+                s.unobserved.clone(),
+                s.groups_out.clone(),
+            ))
+        },
+    )?;
+
+    // Chunk-order merge: chunk `i` holds chunk `i`'s items, and chunks
+    // tile the item space in order — the same concatenation the
+    // resident shard merge performs.
+    let total_entries: usize = outs.iter().map(|(e, _, _, _)| e.len()).sum();
+    let mut offsets = Vec::with_capacity(ni + 1);
+    offsets.push(0u32);
+    let mut entries = Vec::with_capacity(total_entries);
+    let mut unobserved = Vec::with_capacity(ni);
+    let mut truth_of_group = vec![0.0; num_groups];
+    let mut truth_given_provided = vec![0.0; num_groups];
+    let mut covered_group = vec![false; num_groups];
+    for (chunk_entries, entry_counts, chunk_unobserved, groups_out) in &outs {
+        for &c in entry_counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        entries.extend_from_slice(chunk_entries);
+        unobserved.extend_from_slice(chunk_unobserved);
+        for &(g, t, cond, cov) in groups_out {
+            truth_of_group[g as usize] = t;
+            truth_given_provided[g as usize] = cond;
+            covered_group[g as usize] = cov;
+        }
+    }
+    debug_assert_eq!(offsets.len(), ni + 1);
+
+    Ok(ValueLayerOutput {
+        posteriors: ItemPosteriors::from_flat_parts(offsets, entries, unobserved),
+        truth_of_group,
+        truth_given_provided,
+        covered_group,
+    })
 }
 
 #[cfg(test)]

@@ -95,6 +95,56 @@ impl VoteCounter {
         }
     }
 
+    /// Recompute the vote tables from a per-source extractor CSR instead
+    /// of a resident cube — the streamed-fit variant of
+    /// [`Self::rebuild`]. `src_ext_ids[src_ext_offsets[w]..src_ext_offsets[w+1]]`
+    /// must be source `w`'s sorted distinct extractor ids (exactly what
+    /// `ObservationCube::extractors_on_source` yields and
+    /// `kbt_datamodel::ChunkStoreMeta` persists), so the per-source
+    /// absence fold runs in the same ascending-extractor order and the
+    /// result is bit-identical to the resident rebuild.
+    pub fn rebuild_from_csr(
+        &mut self,
+        num_extractors: usize,
+        num_sources: usize,
+        src_ext_offsets: &[u32],
+        src_ext_ids: &[u32],
+        params: &Params,
+        cfg: &ModelConfig,
+    ) {
+        self.presence.clear();
+        self.absence.clear();
+        self.adjust.clear();
+        self.presence.reserve(num_extractors);
+        self.absence.reserve(num_extractors);
+        self.adjust.reserve(num_extractors);
+        for e in 0..num_extractors {
+            let r = clamp_quality(params.recall[e]);
+            let q = clamp_quality(params.q[e]);
+            let pre = r.ln() - q.ln();
+            let abs = (1.0 - r).ln() - (1.0 - q).ln();
+            self.presence.push(pre);
+            self.absence.push(abs);
+            self.adjust.push(pre - abs);
+        }
+        self.source_absence_sum.clear();
+        match cfg.absence_policy {
+            crate::config::AbsencePolicy::AllExtractors => {
+                let total: f64 = self.absence.iter().sum();
+                self.source_absence_sum.resize(num_sources, total);
+            }
+            crate::config::AbsencePolicy::SourceCandidates => {
+                let absence = &self.absence;
+                self.source_absence_sum.extend((0..num_sources).map(|w| {
+                    src_ext_ids[src_ext_offsets[w] as usize..src_ext_offsets[w + 1] as usize]
+                        .iter()
+                        .map(|&e| absence[e as usize])
+                        .sum::<f64>()
+                }));
+            }
+        }
+    }
+
     /// `VCC'(w,d,v)` for the group with the given source and cells.
     ///
     /// `cells` are the group's extractions; `cfg` supplies the optional

@@ -25,15 +25,42 @@
 //! working set, and a sharded executor schedules whole chunks
 //! (`kbt_flume::ShardedExecutor::run_ranges`). Because chunks never split
 //! an item, per-item reductions stay local to one worker and the merge
-//! order stays deterministic. The optional [`ChunkSource`] trait +
-//! [`FileChunkStore`] stream chunk payloads from disk, making the layout
-//! out-of-core-ready: the resident set is one [`ChunkBuf`] per worker
-//! instead of the whole corpus.
+//! order stays deterministic.
+//!
+//! # Out-of-core streaming
+//!
+//! The [`ChunkSource`] trait + [`FileChunkStore`] stream chunk payloads
+//! from disk, making the layout out-of-core-ready: the resident set is a
+//! handful of leased [`ChunkBuf`]s instead of the whole corpus. The v2
+//! file format (`KBTCHNK2`) holds four frame families, each a
+//! `[u32 len][payload][u32 crc32]` frame:
+//!
+//! * a **meta frame** ([`ChunkStoreMeta`]) — the integer skeleton a
+//!   streamed fit keeps resident: counts, the item-chunk partition, the
+//!   group-frame partition, and the per-source CSRs (group offsets,
+//!   distinct-item counts, sorted distinct extractor ids) that the
+//!   M-steps and vote tables need without touching any cell payload;
+//! * **item frames** — one per [`CubeChunk`], the item-major payload the
+//!   value E-step streams (identical payload bytes to the v1 format);
+//! * **group frames** ([`GroupBuf`]) — contiguous group ranges with their
+//!   cell columns in global cell order, which the correctness E-step,
+//!   the alpha update, and a serial extractor M-step pass stream;
+//! * an **index frame** + trailing 8-byte offset, so [`FileChunkStore::open`]
+//!   reads only the file tail, the index, and the meta frame — never the
+//!   whole file (opening a multi-GB store costs O(meta), not O(corpus)).
+//!
+//! [`ChunkCache`] adds a bounded LRU of decoded buffers over the store:
+//! workers lease `Arc` handles, so an eviction never invalidates an
+//! in-flight computation — the cache size bounds *residency*, it can
+//! never change a result.
 
+use std::collections::{HashMap, VecDeque};
 use std::fs;
-use std::io::{self, Read as _, Seek as _, SeekFrom};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::cube::ObservationCube;
 use crate::ids::{ItemId, SourceId};
@@ -172,23 +199,173 @@ impl ChunkedCube {
         let ni = cube.num_items();
         let ns = cube.num_sources();
         let ne = cube.num_extractors();
+        let groups = cube.groups();
 
-        let mut group_source = Vec::with_capacity(ng);
-        let mut group_item = Vec::with_capacity(ng);
-        let mut group_value = Vec::with_capacity(ng);
+        // The gather scatters into positions fixed by prefix sums, so it
+        // parallelizes over disjoint output ranges without changing a
+        // single byte of the result: every value and every position is
+        // independent of the worker count. Small cubes (unit tests,
+        // serving deltas) stay on one worker to skip spawn overhead.
+        let workers = if ng >= (1 << 15) {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            1
+        };
+
+        // ---- Prefix passes (serial, O(groups + items)). ----
         let mut cell_offsets = Vec::with_capacity(ng + 1);
         cell_offsets.push(0u32);
-        let mut cell_extractor = Vec::with_capacity(cube.num_cells());
-        let mut cell_confidence = Vec::with_capacity(cube.num_cells());
-        for g in cube.groups() {
-            group_source.push(g.source.0);
-            group_item.push(g.item.0);
-            group_value.push(g.value.0);
-            for c in cube.cells_of(g) {
-                cell_extractor.push(c.extractor.0);
-                cell_confidence.push(c.confidence);
+        for g in groups {
+            cell_offsets.push(cell_offsets.last().unwrap() + cube.cells_of(g).len() as u32);
+        }
+        let nc = cube.num_cells();
+
+        let mut item_offsets = Vec::with_capacity(ni + 1);
+        item_offsets.push(0u32);
+        let mut item_value_offsets = Vec::with_capacity(ni + 1);
+        item_value_offsets.push(0u32);
+        let mut max_item_values = 0usize;
+        for d in 0..ni {
+            let id = ItemId::new(d as u32);
+            let nvals = cube.observed_values(id).len();
+            max_item_values = max_item_values.max(nvals);
+            item_value_offsets.push(item_value_offsets[d] + nvals as u32);
+            item_offsets.push(item_offsets[d] + cube.groups_of_item(id).count() as u32);
+        }
+        debug_assert_eq!(item_offsets[ni] as usize, ng);
+
+        // ---- Parallel gathers into the preallocated columns. ----
+        let mut group_source = vec![0u32; ng];
+        let mut group_item = vec![0u32; ng];
+        let mut group_value = vec![0u32; ng];
+        let mut cell_extractor = vec![0u32; nc];
+        let mut cell_confidence = vec![0.0f64; nc];
+        let mut ig_group = vec![0u32; ng];
+        let mut ig_source = vec![0u32; ng];
+        let mut ig_slot = vec![0u32; ng];
+        let mut ig_has_cells = vec![0u8; ng];
+        let mut item_values = vec![0u32; item_value_offsets[ni] as usize];
+
+        // Group-major copy for the group span starting at `glo`.
+        let cell_offsets_ref = &cell_offsets;
+        let fill_groups = |glo: usize,
+                           gs: &mut [u32],
+                           gi: &mut [u32],
+                           gv: &mut [u32],
+                           ce: &mut [u32],
+                           cf: &mut [f64]| {
+            let cell_base = cell_offsets_ref[glo] as usize;
+            for (k, grp) in groups[glo..glo + gs.len()].iter().enumerate() {
+                gs[k] = grp.source.0;
+                gi[k] = grp.item.0;
+                gv[k] = grp.value.0;
+                let at = cell_offsets_ref[glo + k] as usize - cell_base;
+                for (j, c) in cube.cells_of(grp).iter().enumerate() {
+                    ce[at + j] = c.extractor.0;
+                    cf[at + j] = c.confidence;
+                }
             }
-            cell_offsets.push(cell_extractor.len() as u32);
+        };
+        // Item-major gather + slot resolution for items `dlo..dlo+n`.
+        let item_offsets_ref = &item_offsets;
+        let item_value_offsets_ref = &item_value_offsets;
+        let fill_items = |dlo: usize,
+                          n: usize,
+                          igg: &mut [u32],
+                          igs: &mut [u32],
+                          igl: &mut [u32],
+                          igh: &mut [u8],
+                          ivals: &mut [u32]| {
+            let row_base = item_offsets_ref[dlo] as usize;
+            let val_base = item_value_offsets_ref[dlo] as usize;
+            for d in dlo..dlo + n {
+                let id = ItemId::new(d as u32);
+                let vals = cube.observed_values(id);
+                let vo = item_value_offsets_ref[d] as usize - val_base;
+                for (j, v) in vals.iter().enumerate() {
+                    ivals[vo + j] = v.0;
+                }
+                let r0 = item_offsets_ref[d] as usize - row_base;
+                for (r, g) in (r0..).zip(cube.groups_of_item(id)) {
+                    let grp = &groups[g];
+                    let slot = vals
+                        .binary_search(&grp.value)
+                        .expect("group value is an observed value of its item");
+                    igg[r] = g as u32;
+                    igs[r] = grp.source.0;
+                    igl[r] = slot as u32;
+                    igh[r] = u8::from(!cube.cells_of(grp).is_empty());
+                }
+            }
+        };
+
+        if workers <= 1 {
+            fill_groups(
+                0,
+                &mut group_source,
+                &mut group_item,
+                &mut group_value,
+                &mut cell_extractor,
+                &mut cell_confidence,
+            );
+            fill_items(
+                0,
+                ni,
+                &mut ig_group,
+                &mut ig_source,
+                &mut ig_slot,
+                &mut ig_has_cells,
+                &mut item_values,
+            );
+        } else {
+            // Carve each column into per-part windows up front, then let
+            // every worker fill its disjoint windows.
+            fn carve<'a, T>(slice: &mut &'a mut [T], len: usize) -> &'a mut [T] {
+                let s = std::mem::take(slice);
+                let (head, tail) = s.split_at_mut(len);
+                *slice = tail;
+                head
+            }
+            let part = |n: usize, t: usize| (n * t / workers)..(n * (t + 1) / workers);
+            std::thread::scope(|s| {
+                let mut gs = group_source.as_mut_slice();
+                let mut gi = group_item.as_mut_slice();
+                let mut gv = group_value.as_mut_slice();
+                let mut ce = cell_extractor.as_mut_slice();
+                let mut cf = cell_confidence.as_mut_slice();
+                let mut igg = ig_group.as_mut_slice();
+                let mut igs = ig_source.as_mut_slice();
+                let mut igl = ig_slot.as_mut_slice();
+                let mut igh = ig_has_cells.as_mut_slice();
+                let mut ivals = item_values.as_mut_slice();
+                for t in 0..workers {
+                    let gr = part(ng, t);
+                    let cells = (cell_offsets[gr.end] - cell_offsets[gr.start]) as usize;
+                    let (a, b, c) = (
+                        carve(&mut gs, gr.len()),
+                        carve(&mut gi, gr.len()),
+                        carve(&mut gv, gr.len()),
+                    );
+                    let (d, e) = (carve(&mut ce, cells), carve(&mut cf, cells));
+                    let fg = &fill_groups;
+                    s.spawn(move || fg(gr.start, a, b, c, d, e));
+
+                    let ir = part(ni, t);
+                    let rows = (item_offsets[ir.end] - item_offsets[ir.start]) as usize;
+                    let vals = (item_value_offsets[ir.end] - item_value_offsets[ir.start]) as usize;
+                    let (f, g, h) = (
+                        carve(&mut igg, rows),
+                        carve(&mut igs, rows),
+                        carve(&mut igl, rows),
+                    );
+                    let (i, j) = (carve(&mut igh, rows), carve(&mut ivals, vals));
+                    let fi = &fill_items;
+                    s.spawn(move || fi(ir.start, ir.len(), f, g, h, i, j));
+                }
+            });
         }
 
         // Per-source offsets: groups are source-sorted and the cube's
@@ -211,35 +388,6 @@ impl ChunkedCube {
             }
         }
         debug_assert_eq!(*source_offsets.last().unwrap() as usize, ng);
-
-        // Item-major gather + per-item value CSR + slot resolution.
-        let mut item_offsets = Vec::with_capacity(ni + 1);
-        item_offsets.push(0u32);
-        let mut ig_group = Vec::with_capacity(ng);
-        let mut ig_source = Vec::with_capacity(ng);
-        let mut ig_slot = Vec::with_capacity(ng);
-        let mut ig_has_cells = Vec::with_capacity(ng);
-        let mut item_value_offsets = Vec::with_capacity(ni + 1);
-        item_value_offsets.push(0u32);
-        let mut item_values = Vec::new();
-        let mut max_item_values = 0usize;
-        for d in 0..ni {
-            let vals = cube.observed_values(ItemId::new(d as u32));
-            max_item_values = max_item_values.max(vals.len());
-            item_values.extend(vals.iter().map(|v| v.0));
-            item_value_offsets.push(item_values.len() as u32);
-            for g in cube.groups_of_item(ItemId::new(d as u32)) {
-                let grp = &cube.groups()[g];
-                let slot = vals
-                    .binary_search(&grp.value)
-                    .expect("group value is an observed value of its item");
-                ig_group.push(g as u32);
-                ig_source.push(grp.source.0);
-                ig_slot.push(slot as u32);
-                ig_has_cells.push(u8::from(!cube.cells_of(grp).is_empty()));
-            }
-            item_offsets.push(ig_group.len() as u32);
-        }
 
         // Extractor-major CSR by counting sort over the global cell
         // stream — each extractor sees its cells as a subsequence of
@@ -361,6 +509,49 @@ impl ChunkedCube {
         self.cell_offsets[g] as usize..self.cell_offsets[g + 1] as usize
     }
 
+    /// Borrowed item-major view of chunk `chunk_idx` — the same data
+    /// [`ChunkSource::load_chunk`] copies out, with zero copying. Resident
+    /// kernels run on this; streamed kernels run on [`ChunkBuf::view`],
+    /// and the two are indistinguishable to the kernel.
+    pub fn item_view(&self, chunk_idx: usize) -> ItemView<'_> {
+        let chunk = &self.chunks[chunk_idx];
+        let ilo = chunk.items.start as usize;
+        let ihi = chunk.items.end as usize;
+        let rows = chunk.rows.start as usize..chunk.rows.end as usize;
+        let val_lo = self.item_value_offsets[ilo] as usize;
+        let val_hi = self.item_value_offsets[ihi] as usize;
+        ItemView {
+            items: chunk.items.clone(),
+            row_base: chunk.rows.start,
+            val_base: self.item_value_offsets[ilo],
+            item_offsets: &self.item_offsets[ilo..=ihi],
+            item_value_offsets: &self.item_value_offsets[ilo..=ihi],
+            item_values: &self.item_values[val_lo..val_hi],
+            ig_group: &self.ig_group[rows.clone()],
+            ig_source: &self.ig_source[rows.clone()],
+            ig_slot: &self.ig_slot[rows.clone()],
+            ig_has_cells: &self.ig_has_cells[rows],
+        }
+    }
+
+    /// Borrowed group-major view of the group range `groups` — what a
+    /// streamed correctness / alpha / extractor pass sees per frame, with
+    /// zero copying when the cube is resident.
+    pub fn group_view(&self, groups: Range<u32>) -> GroupView<'_> {
+        let lo = groups.start as usize;
+        let hi = groups.end as usize;
+        let cell_lo = self.cell_offsets[lo] as usize;
+        let cell_hi = self.cell_offsets[hi] as usize;
+        GroupView {
+            groups: groups.clone(),
+            cell_base: self.cell_offsets[lo],
+            group_source: &self.group_source[lo..hi],
+            cell_offsets: &self.cell_offsets[lo..=hi],
+            cell_extractor: &self.cell_extractor[cell_lo..cell_hi],
+            cell_confidence: &self.cell_confidence[cell_lo..cell_hi],
+        }
+    }
+
     /// Approximate resident size of all columns in bytes (payload only).
     pub fn approx_bytes(&self) -> usize {
         let u32s = self.group_source.len()
@@ -404,6 +595,149 @@ pub struct ChunkBuf {
     pub ig_slot: Vec<u32>,
     /// Row has at least one cell.
     pub ig_has_cells: Vec<u8>,
+}
+
+impl ChunkBuf {
+    /// Borrowed view over the decoded payload — the interface kernels
+    /// consume, shared with [`ChunkedCube::item_view`].
+    pub fn view(&self) -> ItemView<'_> {
+        ItemView {
+            items: self.items.clone(),
+            row_base: 0,
+            val_base: 0,
+            item_offsets: &self.item_offsets,
+            item_value_offsets: &self.item_value_offsets,
+            item_values: &self.item_values,
+            ig_group: &self.ig_group,
+            ig_source: &self.ig_source,
+            ig_slot: &self.ig_slot,
+            ig_has_cells: &self.ig_has_cells,
+        }
+    }
+}
+
+/// One group frame's group-major payload: a contiguous group range with
+/// its cell columns in global cell order. Streamed correctness / alpha /
+/// extractor passes consume these through [`GroupView`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupBuf {
+    /// Global group-index range the frame covers.
+    pub groups: Range<u32>,
+    /// Source id per group in the range.
+    pub group_source: Vec<u32>,
+    /// Cell offsets rebased to the frame (`cell_offsets[0] == 0`, length
+    /// `groups.len() + 1`).
+    pub cell_offsets: Vec<u32>,
+    /// Extractor id per cell, in global cell order.
+    pub cell_extractor: Vec<u32>,
+    /// Confidence per cell.
+    pub cell_confidence: Vec<f64>,
+}
+
+impl GroupBuf {
+    /// Borrowed view over the decoded payload, shared with
+    /// [`ChunkedCube::group_view`].
+    pub fn view(&self) -> GroupView<'_> {
+        GroupView {
+            groups: self.groups.clone(),
+            cell_base: 0,
+            group_source: &self.group_source,
+            cell_offsets: &self.cell_offsets,
+            cell_extractor: &self.cell_extractor,
+            cell_confidence: &self.cell_confidence,
+        }
+    }
+}
+
+/// Borrowed item-major chunk view — the value E-step's kernel input,
+/// backed either by resident [`ChunkedCube`] columns
+/// ([`ChunkedCube::item_view`]) or a decoded [`ChunkBuf`]
+/// ([`ChunkBuf::view`]). Local indices run `0..num_items()`; `rows` /
+/// `values` rebase the chunk's offset columns so the kernel never sees
+/// the difference between the two backings.
+#[derive(Debug, Clone)]
+pub struct ItemView<'a> {
+    /// Dense item-id range the view covers (`items.start + li` is the
+    /// global item id of local item `li`).
+    pub items: Range<u32>,
+    /// Offset of the view's first row in `item_offsets`' coordinate
+    /// space (0 for a decoded [`ChunkBuf`]).
+    pub row_base: u32,
+    /// Offset of the view's first value in `item_value_offsets`'
+    /// coordinate space (0 for a decoded [`ChunkBuf`]).
+    pub val_base: u32,
+    /// Row offsets (length `num_items() + 1`), in `row_base` coordinates.
+    pub item_offsets: &'a [u32],
+    /// Value-CSR offsets (length `num_items() + 1`), in `val_base`
+    /// coordinates.
+    pub item_value_offsets: &'a [u32],
+    /// Flat per-item sorted distinct value ids for the view's items.
+    pub item_values: &'a [u32],
+    /// Global group index per row.
+    pub ig_group: &'a [u32],
+    /// Source id per row.
+    pub ig_source: &'a [u32],
+    /// Value slot per row.
+    pub ig_slot: &'a [u32],
+    /// Row has at least one cell.
+    pub ig_has_cells: &'a [u8],
+}
+
+impl ItemView<'_> {
+    /// Number of items in the view.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Local row range of local item `li` into the `ig_*` columns.
+    pub fn rows(&self, li: usize) -> Range<usize> {
+        (self.item_offsets[li] - self.row_base) as usize
+            ..(self.item_offsets[li + 1] - self.row_base) as usize
+    }
+
+    /// Sorted distinct value ids of local item `li`.
+    pub fn values(&self, li: usize) -> &[u32] {
+        let lo = (self.item_value_offsets[li] - self.val_base) as usize;
+        let hi = (self.item_value_offsets[li + 1] - self.val_base) as usize;
+        &self.item_values[lo..hi]
+    }
+}
+
+/// Borrowed group-major frame view — input to the streamed correctness
+/// E-step, the alpha update, and the serial extractor M-step pass. Backed
+/// by resident columns ([`ChunkedCube::group_view`]) or a decoded
+/// [`GroupBuf`] ([`GroupBuf::view`]); `cells` rebases the offsets so the
+/// kernels can't tell the backings apart.
+#[derive(Debug, Clone)]
+pub struct GroupView<'a> {
+    /// Global group-index range the view covers (`groups.start + lg` is
+    /// the global group index of local group `lg`).
+    pub groups: Range<u32>,
+    /// Offset of the view's first cell in `cell_offsets`' coordinate
+    /// space (0 for a decoded [`GroupBuf`]).
+    pub cell_base: u32,
+    /// Source id per group in the range.
+    pub group_source: &'a [u32],
+    /// Cell offsets (length `num_groups() + 1`), in `cell_base`
+    /// coordinates.
+    pub cell_offsets: &'a [u32],
+    /// Extractor id per cell, in global cell order.
+    pub cell_extractor: &'a [u32],
+    /// Confidence per cell.
+    pub cell_confidence: &'a [f64],
+}
+
+impl GroupView<'_> {
+    /// Number of groups in the view.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Local cell range of local group `lg` into the cell columns.
+    pub fn cells(&self, lg: usize) -> Range<usize> {
+        (self.cell_offsets[lg] - self.cell_base) as usize
+            ..(self.cell_offsets[lg + 1] - self.cell_base) as usize
+    }
 }
 
 /// A source of chunk payloads — in-memory ([`ChunkedCube`]) or streamed
@@ -454,7 +788,11 @@ impl ChunkSource for ChunkedCube {
     }
 }
 
-const CHUNK_MAGIC: &[u8; 8] = b"KBTCHNK1";
+const CHUNK_MAGIC: &[u8; 8] = b"KBTCHNK2";
+
+/// Cap on groups per on-disk group frame, so a frame's decoded size stays
+/// bounded even for degenerate cell distributions.
+const MAX_FRAME_GROUPS: usize = 1 << 20;
 
 fn put_u32_slice(buf: &mut Vec<u8>, xs: &[u32]) {
     wire::put_u32(buf, xs.len() as u32);
@@ -477,26 +815,316 @@ fn corrupt<E: std::fmt::Debug>(e: E) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))
 }
 
-/// Disk-backed chunk payloads: `KBTCHNK1` header + per-chunk
-/// `[len][payload][crc32]` frames (the same framing discipline as the
-/// `kbt-store` WAL). [`FileChunkStore::write`] serializes every chunk of
-/// a [`ChunkedCube`]; [`FileChunkStore::open`] indexes the frames and
-/// serves them through [`ChunkSource`], verifying each frame's CRC on
-/// load — a corrupted chunk surfaces as an [`io::Error`] instead of
-/// silently wrong EM input.
+/// The integer skeleton of a chunk store — everything a streamed fit
+/// keeps resident besides the O(groups) float vectors. Holds the counts,
+/// both frame partitions, and the per-source CSRs the M-steps, the gamma
+/// estimate, and the vote tables need, so no EM stage has to touch a cell
+/// payload except through the streamed frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkStoreMeta {
+    /// Number of groups in the stored cube.
+    pub num_groups: u32,
+    /// Number of cells.
+    pub num_cells: u32,
+    /// Number of items in the dense id space.
+    pub num_items: u32,
+    /// Number of sources in the dense id space.
+    pub num_sources: u32,
+    /// Number of extractors in the dense id space.
+    pub num_extractors: u32,
+    /// Number of values in the dense id space.
+    pub num_values: u32,
+    /// Largest per-item distinct-value count (slot-accumulator size).
+    pub max_item_values: u32,
+    /// Most item-major rows in any single item chunk.
+    pub max_chunk_rows: u32,
+    /// The item-aligned chunk partition (one item frame per entry).
+    pub item_chunks: Vec<CubeChunk>,
+    /// The group-frame partition: contiguous group ranges tiling
+    /// `0..num_groups` (one group frame per entry).
+    pub group_frames: Vec<Range<u32>>,
+    /// Per-source group ranges (length `num_sources + 1`): source `w`
+    /// owns groups `source_offsets[w]..source_offsets[w+1]`.
+    pub source_offsets: Vec<u32>,
+    /// Distinct items claimed by each source (length `num_sources`) —
+    /// the gamma estimate's slot count, precomputed so streamed fits
+    /// never need the `group_item` column.
+    pub source_item_counts: Vec<u32>,
+    /// CSR offsets into `source_ext_ids` (length `num_sources + 1`).
+    pub source_ext_offsets: Vec<u32>,
+    /// Sorted distinct extractor ids observing each source — the
+    /// scoped vote-table rebuild's input, matching
+    /// `ObservationCube::extractors_on_source` order.
+    pub source_ext_ids: Vec<u32>,
+}
+
+impl ChunkStoreMeta {
+    /// Derive the metadata (including the group-frame partition) from a
+    /// resident columnar cube.
+    pub fn from_cube(cube: &ChunkedCube) -> Self {
+        let ng = cube.num_groups();
+        let ns = cube.num_sources();
+
+        // Per-source distinct-item counts: groups are item-sorted within
+        // a source span, so counting runs of `group_item` is exact.
+        let mut source_item_counts = Vec::with_capacity(ns);
+        let mut source_ext_offsets = Vec::with_capacity(ns + 1);
+        source_ext_offsets.push(0u32);
+        let mut source_ext_ids = Vec::new();
+        let mut ext_scratch: Vec<u32> = Vec::new();
+        for w in 0..ns {
+            let lo = cube.source_offsets[w] as usize;
+            let hi = cube.source_offsets[w + 1] as usize;
+            let mut items = 0u32;
+            let mut prev = u32::MAX;
+            for g in lo..hi {
+                let it = cube.group_item[g];
+                if it != prev {
+                    items += 1;
+                    prev = it;
+                }
+            }
+            source_item_counts.push(items);
+            let cell_lo = cube.cell_offsets[lo] as usize;
+            let cell_hi = cube.cell_offsets[hi] as usize;
+            ext_scratch.clear();
+            ext_scratch.extend_from_slice(&cube.cell_extractor[cell_lo..cell_hi]);
+            ext_scratch.sort_unstable();
+            ext_scratch.dedup();
+            source_ext_ids.extend_from_slice(&ext_scratch);
+            source_ext_offsets.push(source_ext_ids.len() as u32);
+        }
+
+        // Group-frame partition: close a frame at ~cells-per-item-chunk
+        // cells (so both frame families stream at similar granularity),
+        // or at the group-count cap.
+        let target = (cube.num_cells() / cube.chunks.len().max(1)).max(1) as u64;
+        let mut group_frames = Vec::new();
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for g in 0..ng {
+            acc += (cube.cell_offsets[g + 1] - cube.cell_offsets[g]) as u64;
+            if acc >= target || g - start + 1 >= MAX_FRAME_GROUPS || g + 1 == ng {
+                group_frames.push(start as u32..(g + 1) as u32);
+                start = g + 1;
+                acc = 0;
+            }
+        }
+
+        Self {
+            num_groups: ng as u32,
+            num_cells: cube.num_cells() as u32,
+            num_items: cube.num_items() as u32,
+            num_sources: ns as u32,
+            num_extractors: cube.num_extractors() as u32,
+            num_values: cube.num_values() as u32,
+            max_item_values: cube.max_item_values as u32,
+            max_chunk_rows: cube.max_chunk_rows as u32,
+            item_chunks: cube.chunks.clone(),
+            group_frames,
+            source_offsets: cube.source_offsets.clone(),
+            source_item_counts,
+            source_ext_offsets,
+            source_ext_ids,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        wire::put_u32(&mut p, self.num_groups);
+        wire::put_u32(&mut p, self.num_cells);
+        wire::put_u32(&mut p, self.num_items);
+        wire::put_u32(&mut p, self.num_sources);
+        wire::put_u32(&mut p, self.num_extractors);
+        wire::put_u32(&mut p, self.num_values);
+        wire::put_u32(&mut p, self.max_item_values);
+        wire::put_u32(&mut p, self.max_chunk_rows);
+        wire::put_u32(&mut p, self.item_chunks.len() as u32);
+        for c in &self.item_chunks {
+            wire::put_u32(&mut p, c.items.start);
+            wire::put_u32(&mut p, c.items.end);
+            wire::put_u32(&mut p, c.rows.start);
+            wire::put_u32(&mut p, c.rows.end);
+            wire::put_u32(&mut p, c.cells);
+        }
+        wire::put_u32(&mut p, self.group_frames.len() as u32);
+        for f in &self.group_frames {
+            wire::put_u32(&mut p, f.start);
+            wire::put_u32(&mut p, f.end);
+        }
+        put_u32_slice(&mut p, &self.source_offsets);
+        put_u32_slice(&mut p, &self.source_item_counts);
+        put_u32_slice(&mut p, &self.source_ext_offsets);
+        put_u32_slice(&mut p, &self.source_ext_ids);
+        p
+    }
+
+    fn decode(payload: &[u8]) -> io::Result<Self> {
+        let mut r = WireReader::new(payload);
+        let num_groups = r.u32().map_err(corrupt)?;
+        let num_cells = r.u32().map_err(corrupt)?;
+        let num_items = r.u32().map_err(corrupt)?;
+        let num_sources = r.u32().map_err(corrupt)?;
+        let num_extractors = r.u32().map_err(corrupt)?;
+        let num_values = r.u32().map_err(corrupt)?;
+        let max_item_values = r.u32().map_err(corrupt)?;
+        let max_chunk_rows = r.u32().map_err(corrupt)?;
+        let n_chunks = r.u32().map_err(corrupt)? as usize;
+        let mut item_chunks = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            let is = r.u32().map_err(corrupt)?;
+            let ie = r.u32().map_err(corrupt)?;
+            let rs = r.u32().map_err(corrupt)?;
+            let re = r.u32().map_err(corrupt)?;
+            let cells = r.u32().map_err(corrupt)?;
+            item_chunks.push(CubeChunk {
+                items: is..ie,
+                rows: rs..re,
+                cells,
+            });
+        }
+        let n_frames = r.u32().map_err(corrupt)? as usize;
+        let mut group_frames = Vec::with_capacity(n_frames);
+        for _ in 0..n_frames {
+            let fs = r.u32().map_err(corrupt)?;
+            let fe = r.u32().map_err(corrupt)?;
+            group_frames.push(fs..fe);
+        }
+        let mut source_offsets = Vec::new();
+        read_u32_vec(&mut r, &mut source_offsets)?;
+        let mut source_item_counts = Vec::new();
+        read_u32_vec(&mut r, &mut source_item_counts)?;
+        let mut source_ext_offsets = Vec::new();
+        read_u32_vec(&mut r, &mut source_ext_offsets)?;
+        let mut source_ext_ids = Vec::new();
+        read_u32_vec(&mut r, &mut source_ext_ids)?;
+        if !r.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "meta frame: trailing bytes",
+            ));
+        }
+        let ns = num_sources as usize;
+        let meta_ok = source_offsets.len() == ns + 1
+            && source_offsets.first() == Some(&0)
+            && source_offsets.last() == Some(&num_groups)
+            && source_item_counts.len() == ns
+            && source_ext_offsets.len() == ns + 1
+            && source_ext_offsets.last().copied() == Some(source_ext_ids.len() as u32)
+            && group_frames
+                .first()
+                .map_or(num_groups == 0, |f| f.start == 0)
+            && group_frames
+                .last()
+                .map_or(num_groups == 0, |f| f.end == num_groups)
+            && group_frames.windows(2).all(|w| w[0].end == w[1].start);
+        if !meta_ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "meta frame: inconsistent CSR shapes",
+            ));
+        }
+        Ok(Self {
+            num_groups,
+            num_cells,
+            num_items,
+            num_sources,
+            num_extractors,
+            num_values,
+            max_item_values,
+            max_chunk_rows,
+            item_chunks,
+            group_frames,
+            source_offsets,
+            source_item_counts,
+            source_ext_offsets,
+            source_ext_ids,
+        })
+    }
+}
+
+/// Append one `[u32 len][payload][u32 crc32]` frame at `*pos`; returns
+/// the payload's byte offset and length.
+fn write_frame(
+    w: &mut io::BufWriter<fs::File>,
+    pos: &mut u64,
+    payload: &[u8],
+) -> io::Result<(u64, u32)> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&wire::crc32(payload).to_le_bytes())?;
+    let payload_off = *pos + 4;
+    *pos += 4 + payload.len() as u64 + 4;
+    Ok((payload_off, len))
+}
+
+/// Seek to a frame's `[len]` header at `off` and read + CRC-verify its
+/// payload. `limit` is the end of the frame region (the file length minus
+/// the trailing index pointer).
+fn read_frame_at(file: &mut fs::File, off: u64, limit: u64) -> io::Result<Vec<u8>> {
+    if off + 4 > limit {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame header out of bounds",
+        ));
+    }
+    file.seek(SeekFrom::Start(off))?;
+    let mut len_bytes = [0u8; 4];
+    file.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes) as u64;
+    if off + 4 + len + 4 > limit {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame extends past end of file",
+        ));
+    }
+    let mut frame = vec![0u8; len as usize + 4];
+    file.read_exact(&mut frame)?;
+    let (payload, crc_bytes) = frame.split_at(len as usize);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if wire::crc32(payload) != stored {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame CRC mismatch",
+        ));
+    }
+    frame.truncate(len as usize);
+    Ok(frame)
+}
+
+/// Disk-backed chunk payloads: the `KBTCHNK2` format described in the
+/// module docs — meta frame, item frames (one per [`CubeChunk`]), group
+/// frames (one per [`ChunkStoreMeta::group_frames`] entry), an index
+/// frame, and a trailing 8-byte index offset. Every frame is
+/// `[u32 len][payload][u32 crc32]`; every load re-verifies its frame's
+/// CRC, so a corrupted chunk surfaces as an [`io::Error`] instead of
+/// silently wrong EM input. [`FileChunkStore::open`] reads only the tail,
+/// the index, and the meta frame — peak memory for opening a store is
+/// O(metadata), never O(corpus).
 #[derive(Debug)]
 pub struct FileChunkStore {
     path: PathBuf,
-    /// Byte offset + length of each chunk's payload frame.
-    frames: Vec<(u64, u32)>,
+    meta: ChunkStoreMeta,
+    /// Byte offset + length of each item frame's payload.
+    item_frames: Vec<(u64, u32)>,
+    /// Byte offset + length of each group frame's payload.
+    group_frame_index: Vec<(u64, u32)>,
 }
 
 impl FileChunkStore {
-    /// Serialize every chunk of `cube` to `path` (truncating).
+    /// Serialize every item chunk and group frame of `cube` to `path`
+    /// (truncating), streaming through a [`io::BufWriter`] so peak write
+    /// memory is one frame, not the whole file.
     pub fn write(cube: &ChunkedCube, path: &Path) -> io::Result<()> {
-        let mut file_buf: Vec<u8> = Vec::new();
-        file_buf.extend_from_slice(CHUNK_MAGIC);
-        wire::put_u32(&mut file_buf, cube.chunks.len() as u32);
+        let meta = ChunkStoreMeta::from_cube(cube);
+        let mut w = io::BufWriter::new(fs::File::create(path)?);
+        w.write_all(CHUNK_MAGIC)?;
+        let mut pos = 8u64;
+
+        let (_, _) = write_frame(&mut w, &mut pos, &meta.encode())?;
+
+        let mut item_frames = Vec::with_capacity(cube.chunks.len());
         let mut payload: Vec<u8> = Vec::new();
         let mut chunk = ChunkBuf::default();
         for idx in 0..cube.chunks.len() {
@@ -511,56 +1139,141 @@ impl FileChunkStore {
             put_u32_slice(&mut payload, &chunk.ig_source);
             put_u32_slice(&mut payload, &chunk.ig_slot);
             wire::put_u32(&mut payload, chunk.ig_has_cells.len() as u32);
-            file_buf.reserve(payload.len() + chunk.ig_has_cells.len() + 8);
-            wire::put_u32(
-                &mut file_buf,
-                (payload.len() + chunk.ig_has_cells.len()) as u32,
-            );
-            let frame_start = file_buf.len();
-            file_buf.extend_from_slice(&payload);
-            file_buf.extend_from_slice(&chunk.ig_has_cells);
-            let crc = wire::crc32(&file_buf[frame_start..]);
-            wire::put_u32(&mut file_buf, crc);
+            payload.extend_from_slice(&chunk.ig_has_cells);
+            item_frames.push(write_frame(&mut w, &mut pos, &payload)?);
         }
-        fs::write(path, file_buf)
+
+        let mut group_frame_index = Vec::with_capacity(meta.group_frames.len());
+        let mut rebased: Vec<u32> = Vec::new();
+        for f in &meta.group_frames {
+            let lo = f.start as usize;
+            let hi = f.end as usize;
+            let cell_base = cube.cell_offsets[lo];
+            let cells = cube.cell_offsets[lo] as usize..cube.cell_offsets[hi] as usize;
+            payload.clear();
+            wire::put_u32(&mut payload, f.start);
+            wire::put_u32(&mut payload, f.end);
+            put_u32_slice(&mut payload, &cube.group_source[lo..hi]);
+            rebased.clear();
+            rebased.extend(cube.cell_offsets[lo..=hi].iter().map(|&o| o - cell_base));
+            put_u32_slice(&mut payload, &rebased);
+            put_u32_slice(&mut payload, &cube.cell_extractor[cells.clone()]);
+            wire::put_u32(&mut payload, cells.len() as u32);
+            for &c in &cube.cell_confidence[cells] {
+                wire::put_f64(&mut payload, c);
+            }
+            group_frame_index.push(write_frame(&mut w, &mut pos, &payload)?);
+        }
+
+        payload.clear();
+        wire::put_u32(&mut payload, item_frames.len() as u32);
+        for &(off, len) in &item_frames {
+            wire::put_u64(&mut payload, off);
+            wire::put_u32(&mut payload, len);
+        }
+        wire::put_u32(&mut payload, group_frame_index.len() as u32);
+        for &(off, len) in &group_frame_index {
+            wire::put_u64(&mut payload, off);
+            wire::put_u32(&mut payload, len);
+        }
+        let index_pos = pos;
+        write_frame(&mut w, &mut pos, &payload)?;
+        w.write_all(&index_pos.to_le_bytes())?;
+        w.flush()
     }
 
-    /// Open a chunk file written by [`Self::write`] and index its frames.
+    /// Open a chunk file written by [`Self::write`]: verify the magic,
+    /// follow the trailing offset to the index frame, and decode the meta
+    /// frame. Reads O(metadata) bytes regardless of corpus size.
     pub fn open(path: &Path) -> io::Result<Self> {
-        let data = fs::read(path)?;
-        if data.len() < 12 || &data[..8] != CHUNK_MAGIC {
+        let mut file = fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < 8 + 8 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                "not a KBTCHNK1 chunk file",
+                "not a KBTCHNK2 chunk file (too short)",
             ));
         }
-        let mut r = WireReader::new(&data[8..]);
-        let count = r.u32().map_err(corrupt)? as usize;
-        let mut frames = Vec::with_capacity(count);
-        let mut pos = 12u64;
-        for _ in 0..count {
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != CHUNK_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a KBTCHNK2 chunk file",
+            ));
+        }
+        let limit = file_len - 8;
+        file.seek(SeekFrom::End(-8))?;
+        let mut tail = [0u8; 8];
+        file.read_exact(&mut tail)?;
+        let index_pos = u64::from_le_bytes(tail);
+        if index_pos < 8 || index_pos >= limit {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "index offset out of bounds",
+            ));
+        }
+        let index = read_frame_at(&mut file, index_pos, limit)?;
+        let mut r = WireReader::new(&index);
+        let n_item = r.u32().map_err(corrupt)? as usize;
+        let mut item_frames = Vec::with_capacity(n_item);
+        for _ in 0..n_item {
+            let off = r.u64().map_err(corrupt)?;
             let len = r.u32().map_err(corrupt)?;
-            pos += 4;
-            frames.push((pos, len));
-            r.bytes(len as usize + 4).map_err(corrupt)?;
-            pos += len as u64 + 4;
+            item_frames.push((off, len));
+        }
+        let n_group = r.u32().map_err(corrupt)? as usize;
+        let mut group_frame_index = Vec::with_capacity(n_group);
+        for _ in 0..n_group {
+            let off = r.u64().map_err(corrupt)?;
+            let len = r.u32().map_err(corrupt)?;
+            group_frame_index.push((off, len));
+        }
+        if !r.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "index frame: trailing bytes",
+            ));
+        }
+        for &(off, len) in item_frames.iter().chain(&group_frame_index) {
+            if off < 12 || off + len as u64 + 4 > limit {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "frame entry out of bounds",
+                ));
+            }
+        }
+        let meta_payload = read_frame_at(&mut file, 8, limit)?;
+        let meta = ChunkStoreMeta::decode(&meta_payload)?;
+        if meta.item_chunks.len() != item_frames.len()
+            || meta.group_frames.len() != group_frame_index.len()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame table / meta count mismatch",
+            ));
         }
         Ok(Self {
             path: path.to_path_buf(),
-            frames,
+            meta,
+            item_frames,
+            group_frame_index,
         })
     }
-}
 
-impl ChunkSource for FileChunkStore {
-    fn num_chunks(&self) -> usize {
-        self.frames.len()
+    /// The store's resident metadata.
+    pub fn meta(&self) -> &ChunkStoreMeta {
+        &self.meta
     }
 
-    fn load_chunk(&self, idx: usize, buf: &mut ChunkBuf) -> io::Result<()> {
-        let (offset, len) = self.frames[idx];
+    /// Number of group frames in the store.
+    pub fn num_group_frames(&self) -> usize {
+        self.group_frame_index.len()
+    }
+
+    fn read_payload(&self, off: u64, len: u32, what: &str) -> io::Result<Vec<u8>> {
         let mut file = fs::File::open(&self.path)?;
-        file.seek(SeekFrom::Start(offset))?;
+        file.seek(SeekFrom::Start(off))?;
         let mut frame = vec![0u8; len as usize + 4];
         file.read_exact(&mut frame)?;
         let (payload, crc_bytes) = frame.split_at(len as usize);
@@ -568,10 +1281,57 @@ impl ChunkSource for FileChunkStore {
         if wire::crc32(payload) != stored {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("chunk {idx}: CRC mismatch"),
+                format!("{what}: CRC mismatch"),
             ));
         }
-        let mut r = WireReader::new(payload);
+        frame.truncate(len as usize);
+        Ok(frame)
+    }
+
+    /// Load group frame `idx` into `buf` (cleared first, capacity
+    /// reused), CRC-verifying the frame.
+    pub fn load_group_frame(&self, idx: usize, buf: &mut GroupBuf) -> io::Result<()> {
+        let (off, len) = self.group_frame_index[idx];
+        let payload = self.read_payload(off, len, &format!("group frame {idx}"))?;
+        let mut r = WireReader::new(&payload);
+        let start = r.u32().map_err(corrupt)?;
+        let end = r.u32().map_err(corrupt)?;
+        buf.groups = start..end;
+        read_u32_vec(&mut r, &mut buf.group_source)?;
+        read_u32_vec(&mut r, &mut buf.cell_offsets)?;
+        read_u32_vec(&mut r, &mut buf.cell_extractor)?;
+        let n = r.u32().map_err(corrupt)? as usize;
+        buf.cell_confidence.clear();
+        buf.cell_confidence.reserve(n);
+        for _ in 0..n {
+            buf.cell_confidence.push(r.f64().map_err(corrupt)?);
+        }
+        let shape_ok = start <= end
+            && buf.group_source.len() == (end - start) as usize
+            && buf.cell_offsets.len() == (end - start) as usize + 1
+            && buf.cell_offsets.first() == Some(&0)
+            && buf.cell_offsets.last().copied() == Some(buf.cell_extractor.len() as u32)
+            && buf.cell_extractor.len() == buf.cell_confidence.len()
+            && r.is_empty();
+        if !shape_ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("group frame {idx}: malformed payload"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl ChunkSource for FileChunkStore {
+    fn num_chunks(&self) -> usize {
+        self.item_frames.len()
+    }
+
+    fn load_chunk(&self, idx: usize, buf: &mut ChunkBuf) -> io::Result<()> {
+        let (off, len) = self.item_frames[idx];
+        let payload = self.read_payload(off, len, &format!("chunk {idx}"))?;
+        let mut r = WireReader::new(&payload);
         let start = r.u32().map_err(corrupt)?;
         let end = r.u32().map_err(corrupt)?;
         buf.items = start..end;
@@ -592,6 +1352,175 @@ impl ChunkSource for FileChunkStore {
             ));
         }
         Ok(())
+    }
+}
+
+/// Hit/miss/evict counters of a [`ChunkCache`], sampled via
+/// [`ChunkCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups (and prefetches) that went to the loader.
+    pub misses: u64,
+    /// Decoded buffers dropped to respect the residency cap.
+    pub evictions: u64,
+}
+
+struct CacheState<B> {
+    map: HashMap<usize, Arc<B>>,
+    lru: VecDeque<usize>,
+}
+
+/// Bounded LRU cache of decoded chunk buffers over a loader (usually a
+/// [`FileChunkStore`]). Lookups return `Arc` leases: an eviction only
+/// drops the cache's reference, never a worker's, so
+/// **`max_resident_chunks` bounds memory and I/O, and can never change a
+/// result**. Loads happen outside the lock (concurrent misses on
+/// different chunks overlap their I/O); when two threads race to load the
+/// same chunk, the first insert wins and both lease the same buffer.
+pub struct ChunkCache<B> {
+    cap: usize,
+    num_chunks: usize,
+    loader: Box<dyn Fn(usize) -> io::Result<B> + Send + Sync>,
+    state: Mutex<CacheState<B>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<B> std::fmt::Debug for ChunkCache<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCache")
+            .field("cap", &self.cap)
+            .field("num_chunks", &self.num_chunks)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B> ChunkCache<B> {
+    /// Build a cache over `loader` for `num_chunks` chunks, keeping at
+    /// most `max_resident_chunks` decoded buffers resident
+    /// (`0` = unbounded).
+    pub fn new(
+        num_chunks: usize,
+        max_resident_chunks: usize,
+        loader: Box<dyn Fn(usize) -> io::Result<B> + Send + Sync>,
+    ) -> Self {
+        Self {
+            cap: if max_resident_chunks == 0 {
+                usize::MAX
+            } else {
+                max_resident_chunks
+            },
+            num_chunks,
+            loader,
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of chunks the cache fronts.
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// Lease chunk `idx`, loading it on a miss. The load runs outside the
+    /// cache lock so concurrent misses overlap their I/O.
+    pub fn get(&self, idx: usize) -> io::Result<Arc<B>> {
+        {
+            let mut st = self.state.lock().unwrap();
+            if let Some(b) = st.map.get(&idx).cloned() {
+                if let Some(p) = st.lru.iter().position(|&i| i == idx) {
+                    st.lru.remove(p);
+                }
+                st.lru.push_back(idx);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(b);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let b = (self.loader)(idx)?;
+        Ok(self.insert(idx, Arc::new(b)))
+    }
+
+    /// Warm chunk `idx` if absent. Load errors are swallowed — the
+    /// worker's own [`Self::get`] re-surfaces them with context.
+    pub fn prefetch(&self, idx: usize) {
+        if self.state.lock().unwrap().map.contains_key(&idx) {
+            return;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Ok(b) = (self.loader)(idx) {
+            self.insert(idx, Arc::new(b));
+        }
+    }
+
+    fn insert(&self, idx: usize, b: Arc<B>) -> Arc<B> {
+        let mut st = self.state.lock().unwrap();
+        if let Some(existing) = st.map.get(&idx).cloned() {
+            return existing;
+        }
+        st.map.insert(idx, b.clone());
+        st.lru.push_back(idx);
+        while st.map.len() > self.cap {
+            // Evict the least-recently-used entry that is not the one we
+            // just inserted (cap 1 must still admit the new chunk).
+            let Some(p) = st.lru.iter().position(|&i| i != idx) else {
+                break;
+            };
+            let victim = st.lru.remove(p).unwrap();
+            st.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        b
+    }
+
+    /// Snapshot the hit/miss/evict counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ChunkCache<ChunkBuf> {
+    /// Cache of decoded item-frame payloads over `store`.
+    pub fn for_items(store: Arc<FileChunkStore>, max_resident_chunks: usize) -> Self {
+        let n = store.num_chunks();
+        Self::new(
+            n,
+            max_resident_chunks,
+            Box::new(move |idx| {
+                let mut buf = ChunkBuf::default();
+                store.load_chunk(idx, &mut buf)?;
+                Ok(buf)
+            }),
+        )
+    }
+}
+
+impl ChunkCache<GroupBuf> {
+    /// Cache of decoded group-frame payloads over `store`.
+    pub fn for_group_frames(store: Arc<FileChunkStore>, max_resident_chunks: usize) -> Self {
+        let n = store.num_group_frames();
+        Self::new(
+            n,
+            max_resident_chunks,
+            Box::new(move |idx| {
+                let mut buf = GroupBuf::default();
+                store.load_group_frame(idx, &mut buf)?;
+                Ok(buf)
+            }),
+        )
     }
 }
 
@@ -759,6 +1688,91 @@ mod tests {
     }
 
     #[test]
+    fn meta_frames_tile_and_match_cube() {
+        let cube = sample_cube();
+        let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells: 8 });
+        let meta = ChunkStoreMeta::from_cube(&cc);
+        assert_eq!(meta.num_groups as usize, cc.num_groups());
+        assert_eq!(meta.num_cells as usize, cc.num_cells());
+        assert_eq!(meta.item_chunks, cc.chunks);
+        assert_eq!(meta.source_offsets, cc.source_offsets);
+        // Group frames tile the group list.
+        assert!(meta.group_frames.len() > 1, "want multiple group frames");
+        let mut next = 0u32;
+        for f in &meta.group_frames {
+            assert_eq!(f.start, next);
+            assert!(f.end > f.start);
+            next = f.end;
+        }
+        assert_eq!(next as usize, cc.num_groups());
+        // Per-source extractor lists match the cube's.
+        for w in 0..cube.num_sources() {
+            let lo = meta.source_ext_offsets[w] as usize;
+            let hi = meta.source_ext_offsets[w + 1] as usize;
+            let expect: Vec<u32> = cube
+                .extractors_on_source(SourceId::new(w as u32))
+                .iter()
+                .map(|e| e.0)
+                .collect();
+            assert_eq!(
+                &meta.source_ext_ids[lo..hi],
+                expect.as_slice(),
+                "source {w}"
+            );
+        }
+        // Distinct-item counts.
+        for w in 0..cube.num_sources() {
+            let lo = cc.source_offsets[w] as usize;
+            let hi = cc.source_offsets[w + 1] as usize;
+            let mut items: Vec<u32> = cc.group_item[lo..hi].to_vec();
+            items.sort_unstable();
+            items.dedup();
+            assert_eq!(meta.source_item_counts[w] as usize, items.len());
+        }
+    }
+
+    #[test]
+    fn views_match_underlying_columns() {
+        let cube = sample_cube();
+        let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells: 8 });
+        let mut buf = ChunkBuf::default();
+        for idx in 0..cc.num_chunks() {
+            cc.load_chunk(idx, &mut buf).unwrap();
+            let a = cc.item_view(idx);
+            let b = buf.view();
+            assert_eq!(a.items, b.items);
+            assert_eq!(a.num_items(), b.num_items());
+            for li in 0..a.num_items() {
+                assert_eq!(a.rows(li), b.rows(li));
+                assert_eq!(a.values(li), b.values(li));
+            }
+            assert_eq!(a.ig_group, b.ig_group);
+            assert_eq!(a.ig_source, b.ig_source);
+            assert_eq!(a.ig_slot, b.ig_slot);
+            assert_eq!(a.ig_has_cells, b.ig_has_cells);
+        }
+        let meta = ChunkStoreMeta::from_cube(&cc);
+        for f in &meta.group_frames {
+            let v = cc.group_view(f.clone());
+            assert_eq!(v.num_groups(), f.len());
+            for lg in 0..v.num_groups() {
+                let g = f.start as usize + lg;
+                assert_eq!(v.group_source[lg], cc.group_source[g]);
+                let cells = v.cells(lg);
+                let global = cc.cells_of_group(g);
+                assert_eq!(cells.len(), global.len());
+                for (k, ci) in global.enumerate() {
+                    assert_eq!(v.cell_extractor[cells.start + k], cc.cell_extractor[ci]);
+                    assert_eq!(
+                        v.cell_confidence[cells.start + k].to_bits(),
+                        cc.cell_confidence[ci].to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn file_store_round_trips_every_chunk() {
         let cube = sample_cube();
         let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells: 8 });
@@ -769,11 +1783,34 @@ mod tests {
         FileChunkStore::write(&cc, &path).unwrap();
         let store = FileChunkStore::open(&path).unwrap();
         assert_eq!(store.num_chunks(), cc.num_chunks());
+        assert_eq!(store.meta(), &ChunkStoreMeta::from_cube(&cc));
         let (mut mem, mut disk) = (ChunkBuf::default(), ChunkBuf::default());
         for idx in 0..cc.num_chunks() {
             cc.load_chunk(idx, &mut mem).unwrap();
             store.load_chunk(idx, &mut disk).unwrap();
             assert_eq!(mem, disk, "chunk {idx}");
+        }
+        let mut gbuf = GroupBuf::default();
+        for (idx, f) in store.meta().group_frames.clone().iter().enumerate() {
+            store.load_group_frame(idx, &mut gbuf).unwrap();
+            assert_eq!(gbuf.groups, *f);
+            let v = cc.group_view(f.clone());
+            let d = gbuf.view();
+            assert_eq!(d.group_source, v.group_source);
+            for lg in 0..v.num_groups() {
+                assert_eq!(d.cells(lg), v.cells(lg));
+            }
+            assert_eq!(d.cell_extractor, v.cell_extractor);
+            assert_eq!(
+                d.cell_confidence
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<_>>(),
+                v.cell_confidence
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<_>>()
+            );
         }
         fs::remove_file(&path).unwrap();
     }
@@ -790,17 +1827,105 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
         fs::write(&path, &bytes).unwrap();
-        // The flip lands in some chunk's payload (or its CRC): loading
-        // every chunk must surface at least one error, never bad data.
+        // The flip lands in some frame's payload (or its CRC): opening or
+        // loading must surface at least one error, never bad data.
         match FileChunkStore::open(&path) {
             Err(_) => {}
             Ok(store) => {
                 let mut buf = ChunkBuf::default();
-                let any_err =
-                    (0..store.num_chunks()).any(|idx| store.load_chunk(idx, &mut buf).is_err());
+                let mut gbuf = GroupBuf::default();
+                let any_err = (0..store.num_chunks())
+                    .any(|idx| store.load_chunk(idx, &mut buf).is_err())
+                    || (0..store.num_group_frames())
+                        .any(|idx| store.load_group_frame(idx, &mut gbuf).is_err());
                 assert!(any_err, "corruption must not pass CRC");
             }
         }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let cube = sample_cube();
+        let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells: 8 });
+        let dir = std::env::temp_dir().join("kbt_chunk_store_torn");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunks.kbt");
+        FileChunkStore::write(&cc, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for keep in [5usize, 12, bytes.len() / 3, bytes.len() - 3] {
+            fs::write(&path, &bytes[..keep]).unwrap();
+            assert!(
+                FileChunkStore::open(&path).is_err(),
+                "truncation to {keep} bytes must fail open"
+            );
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chunk_cache_caps_residency_and_counts() {
+        let cube = sample_cube();
+        let cc = ChunkedCube::from_cube(&cube, &ChunkingConfig { target_cells: 8 });
+        let dir = std::env::temp_dir().join("kbt_chunk_cache_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chunks.kbt");
+        FileChunkStore::write(&cc, &path).unwrap();
+        let store = Arc::new(FileChunkStore::open(&path).unwrap());
+        let n = store.num_chunks();
+        assert!(n >= 3, "want ≥ 3 chunks, got {n}");
+
+        // Cap 1: every distinct access misses, repeats on the same chunk hit.
+        let cache = ChunkCache::for_items(store.clone(), 1);
+        let a = cache.get(0).unwrap();
+        let b = cache.get(0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat get must lease the same buf");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        let _c = cache.get(1).unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 1
+            }
+        );
+        // The evicted lease is still valid data.
+        let mut direct = ChunkBuf::default();
+        store.load_chunk(0, &mut direct).unwrap();
+        assert_eq!(*a, direct);
+
+        // Prefetch warms: the subsequent get is a hit.
+        cache.prefetch(2);
+        let s0 = cache.stats();
+        let _d = cache.get(2).unwrap();
+        let s1 = cache.stats();
+        assert_eq!(s1.hits, s0.hits + 1);
+        assert_eq!(s1.misses, s0.misses);
+
+        // Unbounded (0): no evictions ever.
+        let unbounded = ChunkCache::for_items(store.clone(), 0);
+        for idx in 0..n {
+            unbounded.get(idx).unwrap();
+        }
+        for idx in 0..n {
+            unbounded.get(idx).unwrap();
+        }
+        assert_eq!(
+            unbounded.stats(),
+            CacheStats {
+                hits: n as u64,
+                misses: n as u64,
+                evictions: 0
+            }
+        );
         fs::remove_file(&path).unwrap();
     }
 }

@@ -30,7 +30,10 @@ pub mod intern;
 pub mod triple;
 pub mod wire;
 
-pub use chunked::{ChunkBuf, ChunkSource, ChunkedCube, ChunkingConfig, CubeChunk, FileChunkStore};
+pub use chunked::{
+    CacheStats, ChunkBuf, ChunkCache, ChunkSource, ChunkStoreMeta, ChunkedCube, ChunkingConfig,
+    CubeChunk, FileChunkStore, GroupBuf, GroupView, ItemView,
+};
 pub use coclaim::{CandidatePair, CoClaimIndex};
 pub use cube::{Cell, CubeBuilder, CubeShardStats, ObservationCube, TripleGroup};
 pub use ids::{ExtractorId, ItemId, SourceId, ValueId};

@@ -335,6 +335,113 @@ impl<S: Send> ShardedExecutor<S> {
         let first = it.next().unwrap_or_else(&identity);
         it.fold(first, combine)
     }
+
+    /// Pull-based chunk execution with a background prefetcher — the
+    /// out-of-core scheduling mode: workers *pull* chunk indices from a
+    /// shared cursor (`work(scratch, idx)` runs once per chunk with that
+    /// worker's arena), while a dedicated prefetcher thread warms the
+    /// chunks just ahead of the cursor (`prefetch(idx)`, e.g.
+    /// `ChunkCache::prefetch`), overlapping the next chunk's disk read +
+    /// decode with the current chunk's compute. The prefetcher stays at
+    /// most `prefetch_depth` chunks ahead of the dispatch cursor
+    /// (`0` disables it).
+    ///
+    /// Results come back **in chunk order**, regardless of which worker
+    /// ran which chunk or in what real-time order chunks finished — so a
+    /// caller that merges `Vec<T>` sequentially is bit-for-bit
+    /// reproducible at any worker count. On error the first failure by
+    /// **lowest chunk index** (among chunks that failed before the early
+    /// stop) is returned and remaining chunks are abandoned.
+    pub fn map_chunks<T, E, P, F>(
+        &mut self,
+        num_chunks: usize,
+        prefetch_depth: usize,
+        prefetch: P,
+        work: F,
+    ) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        P: Fn(usize) + Sync,
+        F: Fn(&mut S, usize) -> Result<T, E> + Sync,
+    {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        if num_chunks == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.shards.min(num_chunks).max(1);
+        if workers <= 1 && prefetch_depth == 0 {
+            let s = &mut self.scratch[0];
+            let mut out = Vec::with_capacity(num_chunks);
+            for idx in 0..num_chunks {
+                out.push(work(s, idx)?);
+            }
+            return Ok(out);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let error: Mutex<Option<(usize, E)>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<T>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            let (cursor, failed, error, slots) = (&cursor, &failed, &error, &slots);
+            let (prefetch, work) = (&prefetch, &work);
+            if prefetch_depth > 0 {
+                scope.spawn(move || {
+                    let mut next = 0usize;
+                    while next < num_chunks && !failed.load(Ordering::SeqCst) {
+                        let cur = cursor.load(Ordering::SeqCst);
+                        if next < cur {
+                            // Workers overtook us; skip to the frontier.
+                            next = cur;
+                            continue;
+                        }
+                        if next >= cur.saturating_add(prefetch_depth) {
+                            std::thread::sleep(std::time::Duration::from_micros(100));
+                            continue;
+                        }
+                        prefetch(next);
+                        next += 1;
+                    }
+                });
+            }
+            for s in self.scratch.iter_mut().take(workers) {
+                scope.spawn(move || loop {
+                    if failed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                    if idx >= num_chunks {
+                        break;
+                    }
+                    match work(s, idx) {
+                        Ok(t) => *slots[idx].lock().unwrap() = Some(t),
+                        Err(e) => {
+                            failed.store(true, Ordering::SeqCst);
+                            let mut guard = error.lock().unwrap();
+                            if guard.as_ref().is_none_or(|(i, _)| idx < *i) {
+                                *guard = Some((idx, e));
+                            }
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some((_, e)) = error.into_inner().unwrap() {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("every chunk completed without error")
+            })
+            .collect())
+    }
 }
 
 /// Partition `weights.len()` chunks into at most `parts` contiguous,
@@ -633,6 +740,75 @@ mod tests {
             assert_eq!(next, weights.len(), "{weights:?} parts={parts}");
         }
         assert!(balanced_ranges(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn map_chunks_returns_chunk_order_at_any_worker_count() {
+        let expect: Vec<u64> = (0..97u64).map(|i| i * i + 7).collect();
+        for shards in [1usize, 2, 3, 8] {
+            for depth in [0usize, 1, 4] {
+                let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(shards);
+                let got: Result<Vec<u64>, ()> =
+                    exec.map_chunks(97, depth, |_| {}, |_, idx| Ok(idx as u64 * idx as u64 + 7));
+                assert_eq!(got.unwrap(), expect, "shards={shards} depth={depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_chunks_surfaces_errors_and_stops() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for shards in [1usize, 4] {
+            let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(shards);
+            let ran = AtomicUsize::new(0);
+            let got: Result<Vec<u64>, String> = exec.map_chunks(
+                1_000,
+                2,
+                |_| {},
+                |_, idx| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if idx == 5 {
+                        Err(format!("chunk {idx} failed"))
+                    } else {
+                        Ok(idx as u64)
+                    }
+                },
+            );
+            assert_eq!(got.unwrap_err(), "chunk 5 failed", "shards={shards}");
+            assert!(
+                ran.load(Ordering::SeqCst) < 1_000,
+                "failure must stop the run early (shards={shards})"
+            );
+        }
+    }
+
+    #[test]
+    fn map_chunks_prefetches_each_chunk_at_most_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(2);
+        let prefetched = AtomicUsize::new(0);
+        let got: Result<Vec<usize>, ()> = exec.map_chunks(
+            50,
+            4,
+            |_| {
+                prefetched.fetch_add(1, Ordering::SeqCst);
+            },
+            |_, idx| {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+                Ok(idx)
+            },
+        );
+        assert_eq!(got.unwrap(), (0..50).collect::<Vec<_>>());
+        let n = prefetched.load(Ordering::SeqCst);
+        assert!(n <= 50, "each chunk prefetched at most once, got {n}");
+        assert!(n > 0, "prefetcher must run when depth > 0");
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let mut exec: ShardedExecutor<()> = ShardedExecutor::with_shards(4);
+        let got: Result<Vec<u8>, ()> = exec.map_chunks(0, 4, |_| {}, |_, _| Ok(0));
+        assert!(got.unwrap().is_empty());
     }
 
     #[test]

@@ -56,6 +56,29 @@ pub enum PipelineError {
     /// run. Dropping the configuration silently would serve copy-blind
     /// answers that look copy-checked.
     SessionPostHocCopy,
+    /// `.residency(CubeResidency::Streamed { .. })` with a single-layer
+    /// model: only the multi-layer engine has an out-of-core driver
+    /// (`MultiLayerModel::run_streamed`); the single-layer baseline is
+    /// group-resident by construction.
+    StreamedSingleLayer,
+    /// `.residency(CubeResidency::Streamed { .. })` combined with
+    /// copy-aware fusion (`.copy_detection(..)` with `discount` set):
+    /// the CopyDiscount loop needs pairwise co-occurrence statistics over
+    /// a resident cube, which the streamed engine never materializes.
+    /// Post-hoc copy detection (`discount == false`) remains available —
+    /// the pipeline still holds the cube it chunked from.
+    StreamedCopyDiscount,
+    /// `.residency(CubeResidency::Streamed { .. })` cannot feed a
+    /// [`FusionSession`](crate::FusionSession): the session refits after
+    /// every delta, and re-chunking the evolving cube to disk on each
+    /// refit would silently turn the serving hot path into bulk I/O.
+    StreamedSession,
+    /// Writing, opening, or streaming the chunk store failed. Carries the
+    /// rendered `std::io::Error` (the error itself is not `Clone + Eq`).
+    StreamedIo {
+        /// Display rendering of the underlying I/O error.
+        message: String,
+    },
 }
 
 impl PipelineError {
@@ -119,6 +142,31 @@ impl std::fmt::Display for PipelineError {
                  post-hoc copy evidence, a batch diagnostic the session does \
                  not run; use the multi-layer model, or run copy detection \
                  per batch via .run()"
+            ),
+            Self::StreamedSingleLayer => write!(
+                f,
+                "TrustPipeline: .residency(CubeResidency::Streamed) needs the \
+                 multi-layer model — only MultiLayerModel has an out-of-core \
+                 driver; the single-layer baseline is group-resident"
+            ),
+            Self::StreamedCopyDiscount => write!(
+                f,
+                "TrustPipeline: .residency(CubeResidency::Streamed) cannot be \
+                 combined with copy-aware fusion (.copy_detection with \
+                 discount) — the CopyDiscount loop needs pairwise statistics \
+                 over a resident cube; run resident, or use post-hoc copy \
+                 detection (discount = false)"
+            ),
+            Self::StreamedSession => write!(
+                f,
+                "TrustPipeline: .residency(CubeResidency::Streamed) cannot \
+                 feed a FusionSession — each warm refit would re-chunk the \
+                 evolving cube to disk on the serving hot path; sessions run \
+                 resident"
+            ),
+            Self::StreamedIo { message } => write!(
+                f,
+                "TrustPipeline: streamed fit failed on chunk-store I/O: {message}"
             ),
         }
     }

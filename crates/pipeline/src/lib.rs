@@ -37,11 +37,16 @@ pub mod session;
 pub use error::PipelineError;
 pub use session::FusionSession;
 
+use std::sync::Arc;
+
 use kbt_core::{
     detect_copies_from_accuracy, CopyDetectConfig, FusionModel, FusionReport, ModelConfig,
     MultiLayerModel, QualityInit, SingleLayerModel, ValueModel,
 };
-use kbt_datamodel::{CubeBuilder, Observation, ObservationCube};
+// Re-exported so callers configuring out-of-core runs need no direct
+// kbt-core import for the residency knob.
+pub use kbt_core::CubeResidency;
+use kbt_datamodel::{ChunkedCube, CubeBuilder, FileChunkStore, Observation, ObservationCube};
 use kbt_granularity::hierarchy::SourceKey;
 use kbt_granularity::regroup_cube;
 // Re-exported so pipeline/serve callers need no direct kbt-granularity
@@ -238,6 +243,24 @@ impl TrustPipeline {
         self
     }
 
+    /// Choose where the columnar cube lives during the fit (default:
+    /// [`CubeResidency::Resident`]).
+    ///
+    /// With [`CubeResidency::Streamed`] the pipeline chunks the inference
+    /// cube to the given path as a `KBTCHNK2` store, then drives EM from
+    /// bounded [`kbt_datamodel::ChunkCache`]s over that file instead of
+    /// the resident columns — peak memory becomes O(groups) float state
+    /// plus O(chunks in flight) payloads. The trust scores, posteriors,
+    /// and trace are **bit-for-bit identical** to a resident run; only
+    /// peak RSS and I/O volume change. Requires the multi-layer model
+    /// ([`PipelineError::StreamedSingleLayer`]) and is incompatible with
+    /// copy-aware fusion ([`PipelineError::StreamedCopyDiscount`]);
+    /// post-hoc copy detection still works.
+    pub fn residency(mut self, residency: CubeResidency) -> Self {
+        self.model.config_mut().residency = residency;
+        self
+    }
+
     /// Pin the worker-thread count for this run (`0` = hardware default).
     ///
     /// Scoped and race-free: replaces the process-global
@@ -325,17 +348,44 @@ impl TrustPipeline {
         if threads.is_some() {
             model.config_mut().threads = threads;
         }
+        let streamed = matches!(model.config().residency, CubeResidency::Streamed { .. });
+        if streamed && !matches!(model, Model::MultiLayer(_)) {
+            return Err(PipelineError::StreamedSingleLayer);
+        }
         // Copy-aware fusion: hand the detector to the engine so the
         // CopyDiscount loop runs inside fusion instead of after it.
         if let Some(c) = &copy {
             if c.discount {
+                if streamed {
+                    // The CopyDiscount loop needs a resident cube; fail
+                    // typed here rather than as io::ErrorKind::Unsupported
+                    // from inside the engine.
+                    return Err(PipelineError::StreamedCopyDiscount);
+                }
                 if let Model::MultiLayer(cfg) = &mut model {
                     cfg.copy_detection = Some(*c);
                 }
             }
         }
         let mut report = match &model {
-            Model::MultiLayer(cfg) => MultiLayerModel::new(cfg.clone()).fit(&cube, &init),
+            Model::MultiLayer(cfg) => match &cfg.residency {
+                CubeResidency::Resident => MultiLayerModel::new(cfg.clone()).fit(&cube, &init),
+                CubeResidency::Streamed {
+                    path,
+                    max_resident_chunks,
+                } => {
+                    let io_err = |e: std::io::Error| PipelineError::StreamedIo {
+                        message: e.to_string(),
+                    };
+                    let chunked = ChunkedCube::from_cube(&cube, &cfg.chunking());
+                    FileChunkStore::write(&chunked, path).map_err(io_err)?;
+                    let store = Arc::new(FileChunkStore::open(path).map_err(io_err)?);
+                    let (result, trace, _stats) = MultiLayerModel::new(cfg.clone())
+                        .run_streamed(&store, *max_resident_chunks, &init)
+                        .map_err(io_err)?;
+                    FusionReport::from_multi_layer(result, trace)
+                }
+            },
             Model::Accu(cfg) => {
                 let cfg = ModelConfig {
                     value_model: ValueModel::Accu,
@@ -395,6 +445,10 @@ impl TrustPipeline {
     ///   single-layer model — [`PipelineError::SessionPostHocCopy`]; the
     ///   single layer only supports the post-hoc diagnostic stage, which
     ///   the session does not run.
+    /// * [`residency`](Self::residency) of
+    ///   [`CubeResidency::Streamed`] — [`PipelineError::StreamedSession`];
+    ///   each warm refit would re-chunk the evolving cube to disk on the
+    ///   serving hot path.
     pub fn into_session(self) -> Result<FusionSession, PipelineError> {
         let Self {
             input,
@@ -410,6 +464,9 @@ impl TrustPipeline {
         }
         if !matches!(init, QualityInit::Default) {
             return Err(PipelineError::SessionInit);
+        }
+        if matches!(model.config().residency, CubeResidency::Streamed { .. }) {
+            return Err(PipelineError::StreamedSession);
         }
         if threads.is_some() {
             model.config_mut().threads = threads;
@@ -704,6 +761,102 @@ mod tests {
             .run();
         assert_eq!(via_session.source_trust(), direct.source_trust());
         assert_eq!(via_session.truth_of_group(), direct.truth_of_group());
+    }
+
+    fn streamed_store_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("kbt-pipeline-{tag}-{}.chunks", std::process::id()))
+    }
+
+    #[test]
+    fn streamed_residency_matches_resident_bitwise() {
+        let path = streamed_store_path("match");
+        let resident = TrustPipeline::new()
+            .observations(consensus())
+            .threads(2)
+            .run();
+        let streamed = TrustPipeline::new()
+            .observations(consensus())
+            .threads(2)
+            .residency(CubeResidency::Streamed {
+                path: path.clone(),
+                max_resident_chunks: 1,
+            })
+            .run();
+        assert_eq!(resident.source_trust(), streamed.source_trust());
+        assert_eq!(resident.correctness(), streamed.correctness());
+        assert_eq!(resident.truth_of_group(), streamed.truth_of_group());
+        assert_eq!(resident.trace.rounds.len(), streamed.trace.rounds.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn streamed_residency_rejects_unsupported_combinations() {
+        let streamed = CubeResidency::Streamed {
+            path: streamed_store_path("reject"),
+            max_resident_chunks: 2,
+        };
+        assert_eq!(
+            TrustPipeline::new()
+                .observations(consensus())
+                .model(Model::Accu(ModelConfig::single_layer_default()))
+                .residency(streamed.clone())
+                .try_run()
+                .unwrap_err(),
+            PipelineError::StreamedSingleLayer
+        );
+        assert_eq!(
+            TrustPipeline::new()
+                .observations(consensus())
+                .copy_detection(CopyDetectConfig {
+                    discount: true,
+                    ..CopyDetectConfig::default()
+                })
+                .residency(streamed.clone())
+                .try_run()
+                .unwrap_err(),
+            PipelineError::StreamedCopyDiscount
+        );
+        assert_eq!(
+            TrustPipeline::new()
+                .observations(consensus())
+                .residency(streamed)
+                .into_session()
+                .unwrap_err(),
+            PipelineError::StreamedSession
+        );
+        // An unwritable store path is a typed I/O error, not a panic.
+        let err = TrustPipeline::new()
+            .observations(consensus())
+            .residency(CubeResidency::Streamed {
+                path: std::env::temp_dir()
+                    .join("kbt-no-such-dir")
+                    .join("missing")
+                    .join("store.chunks"),
+                max_resident_chunks: 1,
+            })
+            .try_run()
+            .unwrap_err();
+        assert!(
+            matches!(err, PipelineError::StreamedIo { .. }),
+            "got {err:?}"
+        );
+    }
+
+    /// Post-hoc copy detection (no discount) stays available under
+    /// streamed residency: the pipeline still holds the cube it chunked.
+    #[test]
+    fn streamed_residency_keeps_post_hoc_copy_detection() {
+        let path = streamed_store_path("posthoc");
+        let report = TrustPipeline::new()
+            .observations(consensus())
+            .copy_detection(CopyDetectConfig::default())
+            .residency(CubeResidency::Streamed {
+                path: path.clone(),
+                max_resident_chunks: 1,
+            })
+            .run();
+        assert!(report.copy_evidence.is_some());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
