@@ -170,8 +170,11 @@ fn equality_phase(scale: &Scale, base: &[Observation], deltas: &[Vec<Observation
             });
         }
         for delta in deltas {
-            server.ingest(delta.iter().copied());
-            server.refit().expect("non-empty delta publishes");
+            server.ingest(delta.iter().copied()).expect("no hook");
+            server
+                .refit()
+                .expect("no hook")
+                .expect("non-empty delta publishes");
         }
         done.store(true, Ordering::SeqCst);
     });
@@ -211,8 +214,8 @@ fn refit_phase(base: &[Observation], deltas: &[Vec<Observation>]) -> Vec<RefitCo
         let mut iters = 0usize;
         let t0 = Instant::now();
         for delta in deltas {
-            server.ingest(delta.iter().copied());
-            let snap = server.refit().expect("delta publishes");
+            server.ingest(delta.iter().copied()).expect("no hook");
+            let snap = server.refit().expect("no hook").expect("delta publishes");
             iters += snap.provenance().iterations;
         }
         let ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -323,8 +326,10 @@ fn scaling_phase(
                 scope.spawn(move || reader_loop(handle, done, queries, samples));
             }
             while t0.elapsed() < scale.read_window {
-                server.ingest(delta_iter.next().unwrap().iter().copied());
-                server.refit();
+                server
+                    .ingest(delta_iter.next().unwrap().iter().copied())
+                    .expect("no hook");
+                server.refit().expect("no hook");
                 refits += 1;
             }
             measured = t0.elapsed();

@@ -1,0 +1,684 @@
+//! The network-serving scenario: hostile-client load against a live
+//! `kbt-net` server while warm refits run back to back.
+//!
+//! ```text
+//! cargo run --release -p kbt-bench --bin serve_net [-- --smoke]
+//! ```
+//!
+//! Phases:
+//!
+//! 1. **hostile load** — ≥ 64 concurrent clients against one
+//!    [`NetServer`]: well-behaved query clients (latency-sampled, every
+//!    reply fingerprint-verified against a shared epoch→fingerprint
+//!    book), ingest/retract clients driving warm refits, slow-loris
+//!    clients trickling one byte at a time, clients that disconnect
+//!    mid-frame, and clients sending corrupt preambles, `u32::MAX`
+//!    length prefixes, and bit-flipped CRCs. Hard-asserted: zero
+//!    panics, zero torn reads (no epoch ever serves two fingerprints —
+//!    checked across all clients *and* an in-process oracle reader),
+//!    every corrupt frame answered with its typed error code, and the
+//!    listener serving throughout.
+//! 2. **durability drill** — a fresh server whose hook's ingest log
+//!    dies after two appends: clients observe a typed `DurabilityLost`
+//!    error carrying the hook's message, queries keep serving the last
+//!    published epoch, and shutdown surfaces the staged `HookError`
+//!    instead of a dead process.
+//!
+//! Reports p50/p99 query latency, aggregate query throughput, and
+//! sustained acked ingest throughput to `BENCH_serve_net.json`.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use kbt_core::ModelConfig;
+use kbt_datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt_net::proto::{encode_frame, encode_preamble};
+use kbt_net::{ClientError, ErrorCode, FrameBuffer, NetClient, NetServer, Reply, Request};
+use kbt_pipeline::{FusionSession, Model, TrustPipeline};
+use kbt_serve::{DurabilityHook, HookFailure, HookStage, RefitMode, TrustServer, TrustSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Scale {
+    sources: u32,
+    base_items: u32,
+    window: Duration,
+    query_clients: usize,
+    ingest_clients: usize,
+    slow_clients: usize,
+    latent_clients: usize,
+    disconnectors: usize,
+    corrupters: usize,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Self {
+            sources: 32,
+            base_items: 300,
+            window: Duration::from_millis(5000),
+            query_clients: 60,
+            ingest_clients: 12,
+            slow_clients: 8,
+            latent_clients: 6,
+            disconnectors: 8,
+            corrupters: 6,
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            sources: 12,
+            base_items: 80,
+            window: Duration::from_millis(1500),
+            query_clients: 44,
+            ingest_clients: 10,
+            slow_clients: 6,
+            latent_clients: 4,
+            disconnectors: 4,
+            corrupters: 4,
+        }
+    }
+
+    /// Clients that stay connected for the whole window — the floor the
+    /// peak-concurrency assertion is checked against.
+    fn persistent(&self) -> usize {
+        self.query_clients + self.ingest_clients + self.slow_clients + self.latent_clients
+    }
+}
+
+/// Mixed-accuracy seed corpus (same shape as the `serve` scenario).
+fn corpus(rng: &mut StdRng, sources: u32, items: std::ops::Range<u32>) -> Vec<Observation> {
+    let domain = 9u32;
+    let mut out = Vec::new();
+    for w in 0..sources {
+        let acc = 0.5 + 0.45 * (w as f64 / sources as f64);
+        for d in items.clone() {
+            if rng.gen::<f64>() > 0.6 {
+                continue;
+            }
+            let truth = d % domain;
+            let v = if rng.gen::<f64>() < acc {
+                truth
+            } else {
+                (truth + 1 + rng.gen_range(0..domain - 1)) % domain
+            };
+            for e in 0..2u32 {
+                out.push(Observation::certain(
+                    ExtractorId::new(e),
+                    SourceId::new(w),
+                    ItemId::new(d),
+                    ValueId::new(v),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn seed_server(scale: &Scale) -> TrustServer {
+    let mut rng = StdRng::seed_from_u64(20150831);
+    let base = corpus(&mut rng, scale.sources, 0..scale.base_items);
+    TrustServer::from_pipeline(
+        TrustPipeline::new()
+            .observations(base)
+            .model(Model::MultiLayer(ModelConfig::default())),
+        RefitMode::Warm,
+    )
+    .expect("seed corpus fits")
+}
+
+/// The torn-read book: every `(epoch → fingerprint)` any participant
+/// ever observes. Two fingerprints for one epoch is a torn read and
+/// kills the run on the spot.
+fn note(book: &Mutex<HashMap<u64, u64>>, epoch: u64, fingerprint: u64) {
+    let mut map = book.lock().unwrap();
+    if let Some(prev) = map.insert(epoch, fingerprint) {
+        assert_eq!(
+            prev, fingerprint,
+            "TORN READ: epoch {epoch} served two fingerprints"
+        );
+    }
+}
+
+/// Read reply frames off a raw socket until one parses or EOF.
+fn read_reply_raw(stream: &mut TcpStream) -> Option<Reply> {
+    use std::io::Read;
+    let mut fb = FrameBuffer::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Ok(Some(payload)) = fb.next_frame(kbt_net::DEFAULT_MAX_FRAME_BYTES) {
+            return Some(Reply::decode(&payload).expect("server frames always decode"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => fb.push(&chunk[..n]),
+        }
+    }
+}
+
+/// Everything phase 1 measured.
+struct LoadResult {
+    queries: u64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    ingest_obs_per_s: f64,
+    ingested: u64,
+    refits: u64,
+    epochs_seen: usize,
+    peak_active: u64,
+    accepted: u64,
+    protocol_errors: u64,
+    disconnect_rounds: u64,
+    slow_pongs: u64,
+}
+
+/// A well-behaved query client: mixed point/top-k/batch queries, every
+/// reply latency-sampled and fingerprint-verified.
+#[allow(clippy::too_many_arguments)]
+fn query_client(
+    idx: usize,
+    addr: std::net::SocketAddr,
+    sources: u32,
+    done: &AtomicBool,
+    book: &Mutex<HashMap<u64, u64>>,
+    queries: &AtomicU64,
+    samples: &Mutex<Vec<u64>>,
+    pause: Option<Duration>,
+) {
+    let mut client = NetClient::connect(addr).expect("query client connects");
+    let mut local = Vec::with_capacity(8192);
+    let mut count = 0u64;
+    let mut last_epoch = 0u64;
+    let mut q = idx as u32;
+    while !done.load(Ordering::Relaxed) {
+        let t0 = Instant::now();
+        let (epoch, fingerprint) = match q % 4 {
+            0 => {
+                let a = client.trust(SourceId::new(q % sources)).expect("trust");
+                (a.epoch, a.fingerprint)
+            }
+            1 => {
+                let a = client
+                    .posterior(ItemId::new(q % 64), ValueId::new(q % 9))
+                    .expect("posterior");
+                (a.epoch, a.fingerprint)
+            }
+            2 => {
+                let a = client.top_k_sources(5).expect("top-k");
+                assert!(
+                    a.value.windows(2).all(|p| p[0].1 >= p[1].1),
+                    "top-k not sorted"
+                );
+                (a.epoch, a.fingerprint)
+            }
+            _ => {
+                let asked: Vec<SourceId> =
+                    (0..8).map(|i| SourceId::new((q + i) % sources)).collect();
+                let a = client.trust_batch(asked).expect("trust batch");
+                (a.epoch, a.fingerprint)
+            }
+        };
+        local.push(t0.elapsed().as_nanos() as u64);
+        note(book, epoch, fingerprint);
+        assert!(
+            epoch >= last_epoch,
+            "epoch went backwards on one connection"
+        );
+        last_epoch = epoch;
+        count += 1;
+        q = q.wrapping_add(1);
+        if let Some(pause) = pause {
+            std::thread::sleep(pause);
+        }
+    }
+    queries.fetch_add(count, Ordering::SeqCst);
+    samples.lock().unwrap().extend(local);
+}
+
+/// An ingest client: alternates adding and retracting its own batch so
+/// the cube stays bounded while refits stay busy.
+fn ingest_client(idx: usize, addr: std::net::SocketAddr, done: &AtomicBool, acked: &AtomicU64) {
+    let mut client = NetClient::connect(addr).expect("ingest client connects");
+    let source = SourceId::new(1000 + idx as u32);
+    let items: Vec<u32> = (0..16).map(|k| idx as u32 * 64 + k).collect();
+    let mut add = true;
+    while !done.load(Ordering::Relaxed) {
+        let sent = if add {
+            client.ingest(
+                items
+                    .iter()
+                    .map(|&d| {
+                        Observation::certain(
+                            ExtractorId::new(0),
+                            source,
+                            ItemId::new(d),
+                            ValueId::new(d % 9),
+                        )
+                    })
+                    .collect(),
+            )
+        } else {
+            client.retract(
+                items
+                    .iter()
+                    .map(|&d| (source, ItemId::new(d), ValueId::new(d % 9)))
+                    .collect(),
+            )
+        };
+        match sent {
+            Ok(n) => {
+                acked.fetch_add(n as u64, Ordering::SeqCst);
+                add = !add;
+            }
+            Err(ClientError::Server {
+                code: ErrorCode::Overloaded,
+                ..
+            }) => std::thread::sleep(Duration::from_millis(5)),
+            Err(ClientError::Server {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }) => break,
+            Err(e) => panic!("ingest client {idx} failed: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+}
+
+/// A slow-loris client: one byte every few milliseconds; the server
+/// must neither hang up on it nor let it monopolize anything.
+fn slow_loris(addr: std::net::SocketAddr, done: &AtomicBool, pongs: &AtomicU64) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let mut token = 0u64;
+    let mut pending = encode_preamble();
+    'outer: loop {
+        token += 1;
+        pending.extend_from_slice(&encode_frame(&Request::Ping { token }.encode()));
+        for b in std::mem::take(&mut pending) {
+            if done.load(Ordering::Relaxed) {
+                break 'outer;
+            }
+            if stream
+                .write_all(&[b])
+                .and_then(|()| stream.flush())
+                .is_err()
+            {
+                break 'outer;
+            }
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        match read_reply_raw(&mut stream) {
+            Some(Reply::Pong { token: t, .. }) => {
+                assert_eq!(t, token, "slow client got someone else's pong");
+                pongs.fetch_add(1, Ordering::SeqCst);
+            }
+            Some(Reply::Error { .. }) | None => break,
+            Some(other) => panic!("slow client expected a pong, got {other:?}"),
+        }
+    }
+}
+
+/// Connect, send half a frame, vanish. Forever.
+fn disconnector(addr: std::net::SocketAddr, done: &AtomicBool, rounds: &AtomicU64) {
+    let frame = encode_frame(
+        &Request::Ingest {
+            id: 1,
+            delta: (0..40)
+                .map(|d| {
+                    Observation::certain(
+                        ExtractorId::new(0),
+                        SourceId::new(2000),
+                        ItemId::new(d),
+                        ValueId::new(0),
+                    )
+                })
+                .collect(),
+        }
+        .encode(),
+    );
+    while !done.load(Ordering::Relaxed) {
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.write_all(&encode_preamble());
+            let _ = stream.write_all(&frame[..frame.len() / 2]);
+            rounds.fetch_add(1, Ordering::SeqCst);
+        }
+        std::thread::sleep(Duration::from_millis(15));
+    }
+}
+
+/// Corrupt-frame attacks, round-robin: wrong magic, `u32::MAX` length
+/// prefix, bit-flipped CRC. Each must draw its exact typed error code.
+fn corrupter(idx: usize, addr: std::net::SocketAddr, done: &AtomicBool, seen: &[AtomicU64; 3]) {
+    let mut attack = idx;
+    while !done.load(Ordering::Relaxed) {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        let expect = match attack % 3 {
+            0 => {
+                let _ = stream.write_all(b"HTTP/1.1 GET /trust??");
+                ErrorCode::BadMagic
+            }
+            1 => {
+                let _ = stream.write_all(&encode_preamble());
+                let _ = stream.write_all(&u32::MAX.to_le_bytes());
+                ErrorCode::FrameTooLarge
+            }
+            _ => {
+                let mut frame = encode_frame(&Request::Ping { token: 5 }.encode());
+                let n = frame.len();
+                frame[n - 2] ^= 0x10;
+                let _ = stream.write_all(&encode_preamble());
+                let _ = stream.write_all(&frame);
+                ErrorCode::BadCrc
+            }
+        };
+        if let Some(Reply::Error { code, .. }) = read_reply_raw(&mut stream) {
+            assert_eq!(code, expect, "corrupt frame drew the wrong error code");
+            seen[attack % 3].fetch_add(1, Ordering::SeqCst);
+        }
+        attack += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Phase 1: the hostile load window.
+fn hostile_load_phase(scale: &Scale) -> LoadResult {
+    let net = NetServer::spawn(seed_server(scale), "127.0.0.1:0").expect("ephemeral bind");
+    let addr = net.addr();
+    let handle = net.handle();
+
+    let done = AtomicBool::new(false);
+    let book = Mutex::new(HashMap::new());
+    let queries = AtomicU64::new(0);
+    let samples = Mutex::new(Vec::new());
+    let acked = AtomicU64::new(0);
+    let pongs = AtomicU64::new(0);
+    let rounds = AtomicU64::new(0);
+    let corrupt_seen = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+
+    let t0 = Instant::now();
+    let mut measured = scale.window;
+    std::thread::scope(|scope| {
+        for i in 0..scale.query_clients {
+            let (done, book, queries, samples) = (&done, &book, &queries, &samples);
+            let sources = scale.sources;
+            scope.spawn(move || query_client(i, addr, sources, done, book, queries, samples, None));
+        }
+        for i in 0..scale.latent_clients {
+            let (done, book, queries, samples) = (&done, &book, &queries, &samples);
+            let sources = scale.sources;
+            scope.spawn(move || {
+                query_client(
+                    i,
+                    addr,
+                    sources,
+                    done,
+                    book,
+                    queries,
+                    samples,
+                    Some(Duration::from_millis(25)),
+                )
+            });
+        }
+        for i in 0..scale.ingest_clients {
+            let (done, acked) = (&done, &acked);
+            scope.spawn(move || ingest_client(i, addr, done, acked));
+        }
+        for _ in 0..scale.slow_clients {
+            let (done, pongs) = (&done, &pongs);
+            scope.spawn(move || slow_loris(addr, done, pongs));
+        }
+        for _ in 0..scale.disconnectors {
+            let (done, rounds) = (&done, &rounds);
+            scope.spawn(move || disconnector(addr, done, rounds));
+        }
+        for i in 0..scale.corrupters {
+            let (done, corrupt_seen) = (&done, &corrupt_seen);
+            scope.spawn(move || corrupter(i, addr, done, corrupt_seen));
+        }
+        // The in-process oracle: the same snapshot store, read without
+        // the network in between. Any divergence from what the wire
+        // serves lands in the same book and dies the same way.
+        {
+            let (done, book) = (&done, &book);
+            let mut reader = handle.reader();
+            scope.spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    let snap = reader.current();
+                    note(book, snap.epoch(), snap.fingerprint());
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+
+        std::thread::sleep(scale.window);
+        measured = t0.elapsed();
+        done.store(true, Ordering::SeqCst);
+    });
+
+    let stats = net.stats();
+    let refits = net.refits();
+    let final_epoch = handle.epoch();
+    let down = net.shutdown().expect("hostile load never kills the server");
+    down.durability.expect("no hook attached: durability holds");
+
+    let total_queries = queries.load(Ordering::SeqCst);
+    let mut lat = samples.into_inner().unwrap();
+    lat.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        lat[((lat.len() - 1) as f64 * p) as usize] as f64 / 1e3
+    };
+    let secs = measured.as_secs_f64();
+    let epochs_seen = book.into_inner().unwrap().len();
+
+    let result = LoadResult {
+        queries: total_queries,
+        qps: total_queries as f64 / secs,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        ingest_obs_per_s: acked.load(Ordering::SeqCst) as f64 / secs,
+        ingested: acked.load(Ordering::SeqCst),
+        refits,
+        epochs_seen,
+        peak_active: stats.peak_active,
+        accepted: stats.accepted,
+        protocol_errors: stats.protocol_errors,
+        disconnect_rounds: rounds.load(Ordering::SeqCst),
+        slow_pongs: pongs.load(Ordering::SeqCst),
+    };
+
+    println!(
+        "  {} clients peak ({} accepted, {} persistent by design), {:.0} queries/s, p50 {:.0} µs  p99 {:.0} µs",
+        result.peak_active,
+        result.accepted,
+        scale.persistent(),
+        result.qps,
+        result.p50_us,
+        result.p99_us,
+    );
+    println!(
+        "  {} obs acked ({:.0} obs/s) through {} warm refits to epoch {final_epoch}; {} epochs fingerprint-verified torn-free",
+        result.ingested, result.ingest_obs_per_s, result.refits, result.epochs_seen,
+    );
+    println!(
+        "  hostile: {} mid-frame disconnects, {} slow-loris pongs, corrupt frames drew typed errors {}x magic / {}x length / {}x crc ({} protocol errors total)",
+        result.disconnect_rounds,
+        result.slow_pongs,
+        corrupt_seen[0].load(Ordering::SeqCst),
+        corrupt_seen[1].load(Ordering::SeqCst),
+        corrupt_seen[2].load(Ordering::SeqCst),
+        result.protocol_errors,
+    );
+
+    assert!(
+        result.peak_active >= scale.persistent() as u64,
+        "expected >= {} concurrent clients, peaked at {}",
+        scale.persistent(),
+        result.peak_active
+    );
+    assert!(result.refits >= 2, "warm refits must run back to back");
+    assert!(final_epoch >= 2, "epochs must advance under load");
+    assert!(
+        result.epochs_seen >= 2,
+        "clients must observe multiple epochs"
+    );
+    assert!(
+        result.slow_pongs >= 1,
+        "the slow-loris client must be served"
+    );
+    assert!(result.disconnect_rounds >= 1, "disconnectors must have run");
+    for (i, label) in ["bad magic", "huge length", "bad crc"].iter().enumerate() {
+        assert!(
+            corrupt_seen[i].load(Ordering::SeqCst) >= 1,
+            "no typed error observed for the {label} attack"
+        );
+    }
+    result
+}
+
+// ---- phase 2: the durability drill ----
+
+/// An ingest log that dies after two appends.
+struct DyingLog {
+    appends_left: u32,
+}
+
+impl DurabilityHook for DyingLog {
+    fn log_ingest(&mut self, _delta: &[Observation]) -> Result<(), HookFailure> {
+        if self.appends_left == 0 {
+            return Err("append hit a full disk".into());
+        }
+        self.appends_left -= 1;
+        Ok(())
+    }
+
+    fn log_retract(
+        &mut self,
+        _retractions: &[(SourceId, ItemId, ValueId)],
+    ) -> Result<(), HookFailure> {
+        Ok(())
+    }
+
+    fn commit(
+        &mut self,
+        _snapshot: &TrustSnapshot,
+        _session: &FusionSession,
+    ) -> Result<(), HookFailure> {
+        Ok(())
+    }
+}
+
+/// Phase 2: inject a hook failure mid-run; the service must degrade to
+/// typed errors, not die.
+fn durability_drill(scale: &Scale) -> u64 {
+    let mut server = seed_server(scale);
+    server.set_hook(Box::new(DyingLog { appends_left: 2 }));
+    let net = NetServer::spawn(server, "127.0.0.1:0").expect("ephemeral bind");
+
+    let mut writer = NetClient::connect(net.addr()).expect("writer connects");
+    let mut probe = NetClient::connect(net.addr()).expect("probe connects");
+
+    // Push batches until the dead log surfaces as a typed client error.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut acked_batches = 0u64;
+    let detail = loop {
+        assert!(Instant::now() < deadline, "degraded mode never surfaced");
+        match writer.ingest(vec![Observation::certain(
+            ExtractorId::new(0),
+            SourceId::new(3000),
+            ItemId::new(acked_batches as u32),
+            ValueId::new(0),
+        )]) {
+            Ok(_) => acked_batches += 1,
+            Err(ClientError::Server {
+                code: ErrorCode::DurabilityLost,
+                detail,
+            }) => break detail,
+            Err(e) => panic!("expected DurabilityLost, got {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(
+        detail.contains("full disk"),
+        "the typed error carries the hook's message, got: {detail}"
+    );
+
+    // Queries keep serving the last published epoch on a live socket.
+    let (frozen_epoch, frozen_fp) = probe.ping().expect("ping while degraded");
+    assert!(
+        probe.trust(SourceId::new(0)).unwrap().value.is_some(),
+        "queries answer while degraded"
+    );
+    std::thread::sleep(Duration::from_millis(60));
+    assert_eq!(
+        probe.ping().expect("ping stays served"),
+        (frozen_epoch, frozen_fp),
+        "the degraded server serves a frozen epoch, not new publishes"
+    );
+
+    let down = net.shutdown().expect("degraded, not dead");
+    let err = down.durability.expect_err("the hook failure is surfaced");
+    assert_eq!(err.stage(), HookStage::LogIngest);
+    println!(
+        "  {acked_batches} batches acked, then: \"{err}\" — typed DurabilityLost to clients, queries frozen at epoch {frozen_epoch}, process alive"
+    );
+    acked_batches
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    println!(
+        "network trust serving scenario ({}): {} sources x {} items seed, {} persistent + {} churning clients, {:?} window",
+        if smoke { "smoke" } else { "full" },
+        scale.sources,
+        scale.base_items,
+        scale.persistent(),
+        scale.disconnectors + scale.corrupters,
+        scale.window,
+    );
+
+    println!("\nhostile load while warm refits run:");
+    let load = hostile_load_phase(&scale);
+
+    println!("\ndurability drill (ingest log dies after 2 appends):");
+    let drill_batches = durability_drill(&scale);
+
+    let mut report = kbt_bench::BenchReport::new("serve_net", if smoke { "smoke" } else { "full" });
+    report
+        .count("sources", scale.sources as u64)
+        .count("persistent_clients", scale.persistent() as u64)
+        .count("peak_active_clients", load.peak_active)
+        .count("accepted_connections", load.accepted)
+        .count("queries", load.queries)
+        .count("epochs_fingerprint_verified", load.epochs_seen as u64)
+        .count("warm_refits", load.refits)
+        .count("ingested_observations", load.ingested)
+        .count("protocol_errors_served", load.protocol_errors)
+        .count("mid_frame_disconnects", load.disconnect_rounds)
+        .count("slow_loris_pongs", load.slow_pongs)
+        .count("drill_batches_before_failure", drill_batches)
+        .metric("query_qps", load.qps)
+        .metric("query_p50_us", load.p50_us)
+        .metric("query_p99_us", load.p99_us)
+        .metric("ingest_obs_per_s", load.ingest_obs_per_s)
+        .flag("no_panics", true)
+        .flag("fingerprints_verified", true)
+        .flag("hostile_survived", true)
+        .flag("degrade_typed_error", true);
+    let path = report.write().expect("write bench report");
+    println!("\nreport: {}", path.display());
+    println!("serve_net scenario OK");
+}

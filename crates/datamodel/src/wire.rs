@@ -84,6 +84,71 @@ impl std::fmt::Display for WireTruncated {
 
 impl std::error::Error for WireTruncated {}
 
+/// Hard ceiling on any length-prefixed frame read from an untrusted
+/// peer (16 MiB). Network and log readers pass this (or something
+/// tighter) to [`WireReader::frame_len`] so a hostile length prefix —
+/// `len = u32::MAX` from a malicious client — is rejected as a typed
+/// decode error *before* any buffer is sized from it.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Typed decode failure of a length-prefixed structure.
+///
+/// [`WireTruncated`] is kept as the error of the primitive reads (it is
+/// matched all over the persistence layer); this enum covers the checks
+/// that guard **allocation**: a frame length or element count must be
+/// proven sane against a cap or the remaining payload before any `Vec`
+/// is sized from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the announced structure did.
+    Truncated,
+    /// A frame length prefix exceeded the caller's cap — an absurd or
+    /// hostile frame, rejected before allocating.
+    FrameTooLarge {
+        /// The announced length.
+        len: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// An element count announced more elements than the remaining
+    /// payload could possibly hold — rejected before allocating.
+    CountOverrun {
+        /// The announced element count.
+        count: u32,
+        /// Encoded size of one element.
+        elem_bytes: usize,
+        /// Bytes actually remaining in the payload.
+        remaining: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "wire payload truncated"),
+            Self::FrameTooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            Self::CountOverrun {
+                count,
+                elem_bytes,
+                remaining,
+            } => write!(
+                f,
+                "element count {count} x {elem_bytes} bytes overruns the {remaining}-byte payload"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireTruncated> for WireError {
+    fn from(_: WireTruncated) -> Self {
+        Self::Truncated
+    }
+}
+
 /// A bounds-checked cursor over an encoded byte slice.
 #[derive(Debug, Clone)]
 pub struct WireReader<'a> {
@@ -154,6 +219,36 @@ impl<'a> WireReader<'a> {
             ItemId::new(self.u32()?),
             ValueId::new(self.u32()?),
         ))
+    }
+
+    /// Consume a `u32` frame-length prefix, rejecting anything over
+    /// `max` **before the caller allocates a buffer for it**. A hostile
+    /// peer announcing `len = u32::MAX` costs four bytes of input and a
+    /// typed error, never an allocation.
+    pub fn frame_len(&mut self, max: u32) -> Result<usize, WireError> {
+        let len = self.u32()?;
+        if len > max {
+            return Err(WireError::FrameTooLarge { len, max });
+        }
+        Ok(len as usize)
+    }
+
+    /// Consume a `u32` element-count prefix for elements of
+    /// `elem_bytes` encoded bytes each, rejecting counts the remaining
+    /// payload cannot hold. Guards `Vec::with_capacity(count)` against
+    /// absurd counts: a count that passes is bounded by
+    /// `remaining / elem_bytes`, so sizing a buffer from it is safe.
+    pub fn count(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        debug_assert!(elem_bytes > 0, "elements must occupy at least one byte");
+        let count = self.u32()?;
+        if (count as u64) * (elem_bytes as u64) > self.data.len() as u64 {
+            return Err(WireError::CountOverrun {
+                count,
+                elem_bytes,
+                remaining: self.data.len(),
+            });
+        }
+        Ok(count as usize)
     }
 }
 
@@ -241,6 +336,80 @@ mod tests {
         assert_eq!(r.u32(), Err(WireTruncated));
         let mut r = WireReader::new(&buf);
         assert_eq!(r.observation(), Err(WireTruncated));
+    }
+
+    /// The hostile-length-prefix guard: `len = u32::MAX` (or anything
+    /// over the cap) is a typed error before any allocation happens.
+    #[test]
+    fn absurd_frame_lengths_are_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(
+            r.frame_len(MAX_FRAME_BYTES),
+            Err(WireError::FrameTooLarge {
+                len: u32::MAX,
+                max: MAX_FRAME_BYTES
+            })
+        );
+
+        // At or under the cap passes, independent of remaining bytes —
+        // the *frame* guard bounds the buffer the caller will read into.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 64);
+        assert_eq!(WireReader::new(&buf).frame_len(64), Ok(64));
+        assert_eq!(
+            WireReader::new(&buf).frame_len(63),
+            Err(WireError::FrameTooLarge { len: 64, max: 63 })
+        );
+
+        // A truncated prefix is still a truncation error.
+        assert_eq!(
+            WireReader::new(&buf[..2]).frame_len(64),
+            Err(WireError::Truncated)
+        );
+    }
+
+    /// The element-count guard: a count the remaining payload cannot
+    /// hold is a typed error, so `Vec::with_capacity(count)` is safe on
+    /// any count that passes.
+    #[test]
+    fn overrunning_element_counts_are_rejected_before_allocating() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX); // claims 4 billion observations...
+        put_observation(
+            &mut buf,
+            &Observation {
+                extractor: ExtractorId::new(0),
+                source: SourceId::new(0),
+                item: ItemId::new(0),
+                value: ValueId::new(0),
+                confidence: 1.0,
+            },
+        ); // ...but carries one
+        let mut r = WireReader::new(&buf);
+        assert_eq!(
+            r.count(OBSERVATION_WIRE_BYTES),
+            Err(WireError::CountOverrun {
+                count: u32::MAX,
+                elem_bytes: OBSERVATION_WIRE_BYTES,
+                remaining: OBSERVATION_WIRE_BYTES,
+            })
+        );
+
+        // An honest count passes and the elements decode.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        for _ in 0..2 {
+            put_triple_key(
+                &mut buf,
+                &(SourceId::new(1), ItemId::new(2), ValueId::new(3)),
+            );
+        }
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.count(TRIPLE_KEY_WIRE_BYTES), Ok(2));
+        assert!(r.triple_key().is_ok() && r.triple_key().is_ok());
+        assert!(r.is_empty());
     }
 
     #[test]

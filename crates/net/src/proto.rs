@@ -1,0 +1,975 @@
+//! The `KBTNET01` wire protocol: framing, request/reply payloads, and
+//! the incremental frame assembler.
+//!
+//! Everything on the wire is built from `kbt_datamodel::wire`
+//! primitives — little-endian integers, IEEE-754 bit images for floats
+//! — and mirrors the `KBTWAL01` log's frame shape:
+//!
+//! ```text
+//! connection:  [magic "KBTNET01" (8)] [version u32]          client → server, once
+//! frame:       [len u32] [payload: len bytes] [crc32(payload) u32]   both directions
+//! payload:     [kind u8] [body…]
+//! ```
+//!
+//! The length prefix is validated against a cap **before** any buffer
+//! is sized from it (a hostile `len = u32::MAX` costs four bytes and a
+//! typed error, never an allocation), and the CRC is checked before the
+//! payload is parsed, so a bit-flipped frame is rejected as
+//! [`FrameError::BadCrc`] instead of decoding into garbage.
+
+use kbt_datamodel::wire::{
+    crc32, put_f64, put_observation, put_triple_key, put_u32, put_u64, put_u8, WireError,
+    WireReader, OBSERVATION_WIRE_BYTES, TRIPLE_KEY_WIRE_BYTES,
+};
+use kbt_datamodel::{ItemId, Observation, SourceId, ValueId};
+
+/// Connection magic, sent by the client before its first frame.
+pub const NET_MAGIC: &[u8; 8] = b"KBTNET01";
+
+/// Protocol version carried after the magic.
+pub const NET_VERSION: u32 = 1;
+
+/// Bytes of the connection preamble (magic + version).
+pub const PREAMBLE_BYTES: usize = NET_MAGIC.len() + 4;
+
+/// Default per-frame byte cap (1 MiB) — tighter than the wire module's
+/// [`kbt_datamodel::wire::MAX_FRAME_BYTES`] because a trust query never
+/// legitimately approaches it; ingest batches larger than this must be
+/// split by the client.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 1024 * 1024;
+
+/// Encode the connection preamble.
+pub fn encode_preamble() -> Vec<u8> {
+    let mut buf = Vec::with_capacity(PREAMBLE_BYTES);
+    buf.extend_from_slice(NET_MAGIC);
+    put_u32(&mut buf, NET_VERSION);
+    buf
+}
+
+/// Validate a connection preamble.
+pub fn check_preamble(bytes: &[u8; PREAMBLE_BYTES]) -> Result<(), ErrorCode> {
+    if &bytes[..8] != NET_MAGIC {
+        return Err(ErrorCode::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != NET_VERSION {
+        return Err(ErrorCode::BadVersion);
+    }
+    Ok(())
+}
+
+/// Wrap a payload in a `[len][payload][crc]` frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 8);
+    put_u32(&mut buf, payload.len() as u32);
+    buf.extend_from_slice(payload);
+    put_u32(&mut buf, crc32(payload));
+    buf
+}
+
+// ---- error replies ----
+
+/// Typed error codes the server sends in [`Reply::Error`] frames.
+///
+/// The first five are **fatal**: the byte stream can no longer be
+/// trusted (or never was), so the server replies and closes. The rest
+/// describe a degraded or overloaded server — the connection stays up
+/// and queries keep working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The connection preamble's magic was wrong.
+    BadMagic,
+    /// The protocol version is not supported.
+    BadVersion,
+    /// A frame announced a length over the server's cap.
+    FrameTooLarge,
+    /// A frame's CRC did not match its payload.
+    BadCrc,
+    /// A payload failed to parse (truncated or overrunning body).
+    BadFrame,
+    /// The payload's kind byte names no known request.
+    UnknownKind,
+    /// The ingest queue is full — backpressure; retry later.
+    Overloaded,
+    /// The durability hook failed; writes are refused but queries keep
+    /// serving the last published epoch.
+    DurabilityLost,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// Whether the server closes the connection after this error.
+    pub fn is_fatal(self) -> bool {
+        matches!(
+            self,
+            Self::BadMagic | Self::BadVersion | Self::FrameTooLarge | Self::BadCrc | Self::BadFrame
+        )
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            Self::BadMagic => 1,
+            Self::BadVersion => 2,
+            Self::FrameTooLarge => 3,
+            Self::BadCrc => 4,
+            Self::BadFrame => 5,
+            Self::UnknownKind => 6,
+            Self::Overloaded => 7,
+            Self::DurabilityLost => 8,
+            Self::ShuttingDown => 9,
+        }
+    }
+
+    fn from_u8(x: u8) -> Option<Self> {
+        Some(match x {
+            1 => Self::BadMagic,
+            2 => Self::BadVersion,
+            3 => Self::FrameTooLarge,
+            4 => Self::BadCrc,
+            5 => Self::BadFrame,
+            6 => Self::UnknownKind,
+            7 => Self::Overloaded,
+            8 => Self::DurabilityLost,
+            9 => Self::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::BadMagic => "bad magic",
+            Self::BadVersion => "bad version",
+            Self::FrameTooLarge => "frame too large",
+            Self::BadCrc => "bad crc",
+            Self::BadFrame => "bad frame",
+            Self::UnknownKind => "unknown kind",
+            Self::Overloaded => "overloaded",
+            Self::DurabilityLost => "durability lost",
+            Self::ShuttingDown => "shutting down",
+        };
+        f.write_str(name)
+    }
+}
+
+// ---- payload decode errors ----
+
+/// Why a frame payload failed to decode into a request or reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The body ended early or announced more elements than it carries.
+    Wire(WireError),
+    /// The kind byte names no known payload.
+    UnknownKind(u8),
+    /// Bytes were left over after the announced structure.
+    TrailingBytes(usize),
+    /// An error-reply detail string was not UTF-8.
+    BadString,
+    /// An error-reply code byte was out of range.
+    BadErrorCode(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "malformed payload: {e}"),
+            Self::UnknownKind(k) => write!(f, "unknown payload kind {k:#04x}"),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            Self::BadString => write!(f, "error detail is not UTF-8"),
+            Self::BadErrorCode(c) => write!(f, "error code {c} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<kbt_datamodel::wire::WireTruncated> for ProtoError {
+    fn from(e: kbt_datamodel::wire::WireTruncated) -> Self {
+        Self::Wire(e.into())
+    }
+}
+
+// ---- requests ----
+
+/// Every request a client can send. All carry a client-chosen `id`
+/// echoed in the reply, so a client may pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness + epoch probe; `token` comes back in the [`Reply::Pong`].
+    Ping {
+        /// Echoed verbatim.
+        token: u64,
+    },
+    /// Point trust score of one source.
+    Trust {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// The source queried.
+        source: SourceId,
+    },
+    /// Value posterior `p(v true for d)`.
+    Posterior {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// The item queried.
+        item: ItemId,
+        /// The value queried.
+        value: ValueId,
+    },
+    /// Triple correctness posterior for `(source, item, value)`.
+    TriplePosterior {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// The providing source.
+        source: SourceId,
+        /// The item.
+        item: ItemId,
+        /// The value.
+        value: ValueId,
+    },
+    /// The `k` most trusted sources.
+    TopKSources {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// How many sources to return.
+        k: u32,
+    },
+    /// Batched point trust over many sources in one frame.
+    TrustBatch {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// The sources queried, answered in order.
+        sources: Vec<SourceId>,
+    },
+    /// Stream an additive observation batch into the trust server.
+    Ingest {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// The observations to queue.
+        delta: Vec<Observation>,
+    },
+    /// Stream a retraction batch into the trust server.
+    Retract {
+        /// Request id, echoed in the reply.
+        id: u64,
+        /// The `(source, item, value)` triples to remove.
+        keys: Vec<(SourceId, ItemId, ValueId)>,
+    },
+    /// Server-side counters (connections, queries, ingest volume).
+    Stats {
+        /// Request id, echoed in the reply.
+        id: u64,
+    },
+}
+
+const K_PING: u8 = 0x01;
+const K_TRUST: u8 = 0x02;
+const K_POSTERIOR: u8 = 0x03;
+const K_TRIPLE: u8 = 0x04;
+const K_TOPK: u8 = 0x05;
+const K_TRUST_BATCH: u8 = 0x06;
+const K_INGEST: u8 = 0x07;
+const K_RETRACT: u8 = 0x08;
+const K_STATS: u8 = 0x09;
+
+impl Request {
+    /// Encode to a frame payload (no framing; see [`encode_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Self::Ping { token } => {
+                put_u8(&mut buf, K_PING);
+                put_u64(&mut buf, *token);
+            }
+            Self::Trust { id, source } => {
+                put_u8(&mut buf, K_TRUST);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, source.0);
+            }
+            Self::Posterior { id, item, value } => {
+                put_u8(&mut buf, K_POSTERIOR);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, item.0);
+                put_u32(&mut buf, value.0);
+            }
+            Self::TriplePosterior {
+                id,
+                source,
+                item,
+                value,
+            } => {
+                put_u8(&mut buf, K_TRIPLE);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, source.0);
+                put_u32(&mut buf, item.0);
+                put_u32(&mut buf, value.0);
+            }
+            Self::TopKSources { id, k } => {
+                put_u8(&mut buf, K_TOPK);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, *k);
+            }
+            Self::TrustBatch { id, sources } => {
+                put_u8(&mut buf, K_TRUST_BATCH);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, sources.len() as u32);
+                for w in sources {
+                    put_u32(&mut buf, w.0);
+                }
+            }
+            Self::Ingest { id, delta } => {
+                put_u8(&mut buf, K_INGEST);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, delta.len() as u32);
+                for o in delta {
+                    put_observation(&mut buf, o);
+                }
+            }
+            Self::Retract { id, keys } => {
+                put_u8(&mut buf, K_RETRACT);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, keys.len() as u32);
+                for k in keys {
+                    put_triple_key(&mut buf, k);
+                }
+            }
+            Self::Stats { id } => {
+                put_u8(&mut buf, K_STATS);
+                put_u64(&mut buf, *id);
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload. The whole payload must be consumed.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = WireReader::new(payload);
+        let kind = r.u8()?;
+        let req = match kind {
+            K_PING => Self::Ping { token: r.u64()? },
+            K_TRUST => Self::Trust {
+                id: r.u64()?,
+                source: SourceId::new(r.u32()?),
+            },
+            K_POSTERIOR => Self::Posterior {
+                id: r.u64()?,
+                item: ItemId::new(r.u32()?),
+                value: ValueId::new(r.u32()?),
+            },
+            K_TRIPLE => Self::TriplePosterior {
+                id: r.u64()?,
+                source: SourceId::new(r.u32()?),
+                item: ItemId::new(r.u32()?),
+                value: ValueId::new(r.u32()?),
+            },
+            K_TOPK => Self::TopKSources {
+                id: r.u64()?,
+                k: r.u32()?,
+            },
+            K_TRUST_BATCH => {
+                let id = r.u64()?;
+                let n = r.count(4)?;
+                let mut sources = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sources.push(SourceId::new(r.u32()?));
+                }
+                Self::TrustBatch { id, sources }
+            }
+            K_INGEST => {
+                let id = r.u64()?;
+                let n = r.count(OBSERVATION_WIRE_BYTES)?;
+                let mut delta = Vec::with_capacity(n);
+                for _ in 0..n {
+                    delta.push(r.observation()?);
+                }
+                Self::Ingest { id, delta }
+            }
+            K_RETRACT => {
+                let id = r.u64()?;
+                let n = r.count(TRIPLE_KEY_WIRE_BYTES)?;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(r.triple_key()?);
+                }
+                Self::Retract { id, keys }
+            }
+            K_STATS => Self::Stats { id: r.u64()? },
+            other => return Err(ProtoError::UnknownKind(other)),
+        };
+        if !r.is_empty() {
+            return Err(ProtoError::TrailingBytes(r.remaining()));
+        }
+        Ok(req)
+    }
+
+    /// The request id (the ping token doubles as one).
+    pub fn id(&self) -> u64 {
+        match self {
+            Self::Ping { token } => *token,
+            Self::Trust { id, .. }
+            | Self::Posterior { id, .. }
+            | Self::TriplePosterior { id, .. }
+            | Self::TopKSources { id, .. }
+            | Self::TrustBatch { id, .. }
+            | Self::Ingest { id, .. }
+            | Self::Retract { id, .. }
+            | Self::Stats { id } => *id,
+        }
+    }
+}
+
+// ---- replies ----
+
+/// Server-side counters carried by [`Reply::StatsReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Highest concurrent connection count observed.
+    pub peak_active: u64,
+    /// Query frames answered.
+    pub queries: u64,
+    /// Observations queued through ingest frames.
+    pub ingested_observations: u64,
+    /// Retraction keys queued.
+    pub retracted_keys: u64,
+    /// Protocol errors replied (fatal and non-fatal).
+    pub protocol_errors: u64,
+}
+
+/// Every reply the server can send. Query replies carry the answering
+/// snapshot's `epoch` and `fingerprint` so a client can verify it never
+/// observes a torn or regressing epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The echoed ping token.
+        token: u64,
+        /// Epoch currently published.
+        epoch: u64,
+        /// Fingerprint of that snapshot.
+        fingerprint: u64,
+    },
+    /// Answer to [`Request::Trust`].
+    Trust {
+        /// Echoed request id.
+        id: u64,
+        /// Epoch the answer was read from.
+        epoch: u64,
+        /// Fingerprint of that snapshot.
+        fingerprint: u64,
+        /// The trust score, `None` for an unknown source.
+        value: Option<f64>,
+    },
+    /// Answer to [`Request::Posterior`].
+    Posterior {
+        /// Echoed request id.
+        id: u64,
+        /// Epoch the answer was read from.
+        epoch: u64,
+        /// Fingerprint of that snapshot.
+        fingerprint: u64,
+        /// The posterior, `None` for an unknown `(item, value)`.
+        value: Option<f64>,
+    },
+    /// Answer to [`Request::TriplePosterior`].
+    TriplePosterior {
+        /// Echoed request id.
+        id: u64,
+        /// Epoch the answer was read from.
+        epoch: u64,
+        /// Fingerprint of that snapshot.
+        fingerprint: u64,
+        /// The posterior, `None` for an unknown triple.
+        value: Option<f64>,
+    },
+    /// Answer to [`Request::TopKSources`].
+    TopK {
+        /// Echoed request id.
+        id: u64,
+        /// Epoch the answer was read from.
+        epoch: u64,
+        /// Fingerprint of that snapshot.
+        fingerprint: u64,
+        /// `(source, trust)` descending by trust.
+        sources: Vec<(SourceId, f64)>,
+    },
+    /// Answer to [`Request::TrustBatch`], one slot per queried source.
+    TrustBatch {
+        /// Echoed request id.
+        id: u64,
+        /// Epoch the answer was read from.
+        epoch: u64,
+        /// Fingerprint of that snapshot.
+        fingerprint: u64,
+        /// Scores in query order, `None` for unknown sources.
+        values: Vec<Option<f64>>,
+    },
+    /// Answer to [`Request::Ingest`]: the batch is queued (durable if a
+    /// hook is attached) and will fold into the next refit.
+    IngestAck {
+        /// Echoed request id.
+        id: u64,
+        /// Observations accepted.
+        queued: u32,
+    },
+    /// Answer to [`Request::Retract`].
+    RetractAck {
+        /// Echoed request id.
+        id: u64,
+        /// Keys accepted.
+        queued: u32,
+    },
+    /// Answer to [`Request::Stats`].
+    StatsReply {
+        /// Echoed request id.
+        id: u64,
+        /// Epoch currently published.
+        epoch: u64,
+        /// Fingerprint of that snapshot.
+        fingerprint: u64,
+        /// The counters.
+        stats: WireStats,
+    },
+    /// Any failure, fatal ([`ErrorCode::is_fatal`] → connection closes
+    /// after this frame) or degraded-but-serving.
+    Error {
+        /// Echoed request id (0 when the request never parsed).
+        id: u64,
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+const K_PONG: u8 = 0x81;
+const K_TRUST_R: u8 = 0x82;
+const K_POSTERIOR_R: u8 = 0x83;
+const K_TRIPLE_R: u8 = 0x84;
+const K_TOPK_R: u8 = 0x85;
+const K_TRUST_BATCH_R: u8 = 0x86;
+const K_INGEST_ACK: u8 = 0x87;
+const K_RETRACT_ACK: u8 = 0x88;
+const K_STATS_R: u8 = 0x89;
+const K_ERROR: u8 = 0xEE;
+
+fn put_opt_f64(buf: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            put_u8(buf, 1);
+            put_f64(buf, x);
+        }
+        None => {
+            put_u8(buf, 0);
+            put_f64(buf, 0.0);
+        }
+    }
+}
+
+fn read_opt_f64(r: &mut WireReader<'_>) -> Result<Option<f64>, ProtoError> {
+    let has = r.u8()?;
+    let bits = r.f64()?;
+    Ok(match has {
+        0 => None,
+        _ => Some(bits),
+    })
+}
+
+impl Reply {
+    /// Encode to a frame payload (no framing; see [`encode_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Self::Pong {
+                token,
+                epoch,
+                fingerprint,
+            } => {
+                put_u8(&mut buf, K_PONG);
+                put_u64(&mut buf, *token);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *fingerprint);
+            }
+            Self::Trust {
+                id,
+                epoch,
+                fingerprint,
+                value,
+            } => {
+                put_u8(&mut buf, K_TRUST_R);
+                put_u64(&mut buf, *id);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *fingerprint);
+                put_opt_f64(&mut buf, *value);
+            }
+            Self::Posterior {
+                id,
+                epoch,
+                fingerprint,
+                value,
+            } => {
+                put_u8(&mut buf, K_POSTERIOR_R);
+                put_u64(&mut buf, *id);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *fingerprint);
+                put_opt_f64(&mut buf, *value);
+            }
+            Self::TriplePosterior {
+                id,
+                epoch,
+                fingerprint,
+                value,
+            } => {
+                put_u8(&mut buf, K_TRIPLE_R);
+                put_u64(&mut buf, *id);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *fingerprint);
+                put_opt_f64(&mut buf, *value);
+            }
+            Self::TopK {
+                id,
+                epoch,
+                fingerprint,
+                sources,
+            } => {
+                put_u8(&mut buf, K_TOPK_R);
+                put_u64(&mut buf, *id);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *fingerprint);
+                put_u32(&mut buf, sources.len() as u32);
+                for (w, t) in sources {
+                    put_u32(&mut buf, w.0);
+                    put_f64(&mut buf, *t);
+                }
+            }
+            Self::TrustBatch {
+                id,
+                epoch,
+                fingerprint,
+                values,
+            } => {
+                put_u8(&mut buf, K_TRUST_BATCH_R);
+                put_u64(&mut buf, *id);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *fingerprint);
+                put_u32(&mut buf, values.len() as u32);
+                for v in values {
+                    put_opt_f64(&mut buf, *v);
+                }
+            }
+            Self::IngestAck { id, queued } => {
+                put_u8(&mut buf, K_INGEST_ACK);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, *queued);
+            }
+            Self::RetractAck { id, queued } => {
+                put_u8(&mut buf, K_RETRACT_ACK);
+                put_u64(&mut buf, *id);
+                put_u32(&mut buf, *queued);
+            }
+            Self::StatsReply {
+                id,
+                epoch,
+                fingerprint,
+                stats,
+            } => {
+                put_u8(&mut buf, K_STATS_R);
+                put_u64(&mut buf, *id);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *fingerprint);
+                put_u64(&mut buf, stats.accepted);
+                put_u64(&mut buf, stats.active);
+                put_u64(&mut buf, stats.peak_active);
+                put_u64(&mut buf, stats.queries);
+                put_u64(&mut buf, stats.ingested_observations);
+                put_u64(&mut buf, stats.retracted_keys);
+                put_u64(&mut buf, stats.protocol_errors);
+            }
+            Self::Error { id, code, detail } => {
+                put_u8(&mut buf, K_ERROR);
+                put_u64(&mut buf, *id);
+                put_u8(&mut buf, code.to_u8());
+                put_u32(&mut buf, detail.len() as u32);
+                buf.extend_from_slice(detail.as_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame payload. The whole payload must be consumed.
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut r = WireReader::new(payload);
+        let kind = r.u8()?;
+        let reply = match kind {
+            K_PONG => Self::Pong {
+                token: r.u64()?,
+                epoch: r.u64()?,
+                fingerprint: r.u64()?,
+            },
+            K_TRUST_R => Self::Trust {
+                id: r.u64()?,
+                epoch: r.u64()?,
+                fingerprint: r.u64()?,
+                value: read_opt_f64(&mut r)?,
+            },
+            K_POSTERIOR_R => Self::Posterior {
+                id: r.u64()?,
+                epoch: r.u64()?,
+                fingerprint: r.u64()?,
+                value: read_opt_f64(&mut r)?,
+            },
+            K_TRIPLE_R => Self::TriplePosterior {
+                id: r.u64()?,
+                epoch: r.u64()?,
+                fingerprint: r.u64()?,
+                value: read_opt_f64(&mut r)?,
+            },
+            K_TOPK_R => {
+                let id = r.u64()?;
+                let epoch = r.u64()?;
+                let fingerprint = r.u64()?;
+                let n = r.count(12)?;
+                let mut sources = Vec::with_capacity(n);
+                for _ in 0..n {
+                    sources.push((SourceId::new(r.u32()?), r.f64()?));
+                }
+                Self::TopK {
+                    id,
+                    epoch,
+                    fingerprint,
+                    sources,
+                }
+            }
+            K_TRUST_BATCH_R => {
+                let id = r.u64()?;
+                let epoch = r.u64()?;
+                let fingerprint = r.u64()?;
+                let n = r.count(9)?;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(read_opt_f64(&mut r)?);
+                }
+                Self::TrustBatch {
+                    id,
+                    epoch,
+                    fingerprint,
+                    values,
+                }
+            }
+            K_INGEST_ACK => Self::IngestAck {
+                id: r.u64()?,
+                queued: r.u32()?,
+            },
+            K_RETRACT_ACK => Self::RetractAck {
+                id: r.u64()?,
+                queued: r.u32()?,
+            },
+            K_STATS_R => Self::StatsReply {
+                id: r.u64()?,
+                epoch: r.u64()?,
+                fingerprint: r.u64()?,
+                stats: WireStats {
+                    accepted: r.u64()?,
+                    active: r.u64()?,
+                    peak_active: r.u64()?,
+                    queries: r.u64()?,
+                    ingested_observations: r.u64()?,
+                    retracted_keys: r.u64()?,
+                    protocol_errors: r.u64()?,
+                },
+            },
+            K_ERROR => {
+                let id = r.u64()?;
+                let code_byte = r.u8()?;
+                let code =
+                    ErrorCode::from_u8(code_byte).ok_or(ProtoError::BadErrorCode(code_byte))?;
+                let n = r.count(1)?;
+                let detail =
+                    String::from_utf8(r.bytes(n)?.to_vec()).map_err(|_| ProtoError::BadString)?;
+                Self::Error { id, code, detail }
+            }
+            other => return Err(ProtoError::UnknownKind(other)),
+        };
+        if !r.is_empty() {
+            return Err(ProtoError::TrailingBytes(r.remaining()));
+        }
+        Ok(reply)
+    }
+}
+
+// ---- incremental frame assembly ----
+
+/// Why [`FrameBuffer::next_frame`] rejected the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeded the cap — rejected before buffering.
+    TooLarge {
+        /// The announced length.
+        len: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// The payload's CRC did not match.
+    BadCrc {
+        /// CRC carried by the frame.
+        expected: u32,
+        /// CRC computed over the payload.
+        actual: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TooLarge { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte cap")
+            }
+            Self::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "frame crc mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reassembles `[len][payload][crc]` frames from arbitrarily-sliced
+/// socket reads. A slow-loris client trickling one byte at a time just
+/// accumulates here; memory is bounded by the frame cap plus one read
+/// chunk because an oversized length prefix is rejected the moment its
+/// four bytes arrive, before any payload is buffered.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to take the connection preamble off the front. `Ok(false)`
+    /// means not enough bytes yet.
+    pub fn take_preamble(&mut self) -> Result<bool, ErrorCode> {
+        if self.buf.len() < PREAMBLE_BYTES {
+            return Ok(false);
+        }
+        let head: [u8; PREAMBLE_BYTES] = self.buf[..PREAMBLE_BYTES].try_into().unwrap();
+        check_preamble(&head)?;
+        self.buf.drain(..PREAMBLE_BYTES);
+        Ok(true)
+    }
+
+    /// Extract the next complete frame's payload, if one has fully
+    /// arrived. `Ok(None)` means more bytes are needed; an error means
+    /// the stream is poisoned (the caller should close).
+    pub fn next_frame(&mut self, max_frame_bytes: u32) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len > max_frame_bytes {
+            return Err(FrameError::TooLarge {
+                len,
+                max: max_frame_bytes,
+            });
+        }
+        let len = len as usize;
+        let total = 4 + len + 4;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        let expected = u32::from_le_bytes(self.buf[4 + len..total].try_into().unwrap());
+        let actual = crc32(&payload);
+        if expected != actual {
+            return Err(FrameError::BadCrc { expected, actual });
+        }
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_survive_byte_at_a_time_delivery() {
+        let req = Request::TrustBatch {
+            id: 42,
+            sources: (0..5).map(SourceId::new).collect(),
+        };
+        let frame = encode_frame(&req.encode());
+        let mut fb = FrameBuffer::new();
+        for (i, b) in frame.iter().enumerate() {
+            fb.push(&[*b]);
+            let got = fb.next_frame(DEFAULT_MAX_FRAME_BYTES).unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "frame completed early at byte {i}");
+            } else {
+                let payload = got.expect("complete at the last byte");
+                assert_eq!(Request::decode(&payload).unwrap(), req);
+            }
+        }
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_buffering() {
+        let mut fb = FrameBuffer::new();
+        fb.push(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            fb.next_frame(DEFAULT_MAX_FRAME_BYTES),
+            Err(FrameError::TooLarge {
+                len: u32::MAX,
+                max: DEFAULT_MAX_FRAME_BYTES
+            })
+        );
+    }
+
+    #[test]
+    fn preamble_round_trips_and_rejects_imposters() {
+        let mut fb = FrameBuffer::new();
+        fb.push(&encode_preamble()[..5]);
+        assert_eq!(fb.take_preamble(), Ok(false), "incomplete preamble waits");
+        fb.push(&encode_preamble()[5..]);
+        assert_eq!(fb.take_preamble(), Ok(true));
+
+        let mut fb = FrameBuffer::new();
+        fb.push(b"GET / HTTP/1.1\r\n");
+        assert_eq!(fb.take_preamble(), Err(ErrorCode::BadMagic));
+
+        let mut bad_version = encode_preamble();
+        bad_version[8] = 99;
+        let mut fb = FrameBuffer::new();
+        fb.push(&bad_version);
+        assert_eq!(fb.take_preamble(), Err(ErrorCode::BadVersion));
+    }
+}

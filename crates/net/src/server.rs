@@ -1,0 +1,739 @@
+//! [`NetServer`]: the thread-per-connection network front end.
+//!
+//! ```text
+//!            ┌─ conn reader ──▶ queries answered on the spot (SnapshotReader)
+//!  TCP ──▶ accept loop          │        ingest/retract frames
+//!            └─ conn writer ◀──┤ bounded reply queue      │ bounded ingest queue
+//!                               ▼                         ▼
+//!                         (per connection)        trust-writer thread
+//!                                                 owns the TrustServer:
+//!                                                 drain → coalesce → refit
+//! ```
+//!
+//! Three invariants carry the hostile-client story:
+//!
+//! * **Readers never block on writers.** Query frames are answered on
+//!   the connection's reader thread from an epoch-cached
+//!   [`SnapshotReader`] — one atomic load — while refits run.
+//! * **Bounded queues everywhere.** Replies queue into a bounded
+//!   per-connection channel (a client that stops reading is
+//!   disconnected, not buffered forever); ingest batches queue into a
+//!   bounded channel to the single trust-writer thread (a full queue is
+//!   a typed `Overloaded` reply, not memory growth).
+//! * **Failure degrades, never kills.** A durability-hook failure flips
+//!   the server into a degraded mode: ingestion is refused with a typed
+//!   `DurabilityLost` error carrying the hook's message, queries keep
+//!   serving the last published epoch, and [`NetServer::shutdown`]
+//!   returns the underlying [`HookError`].
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use kbt_datamodel::{ItemId, Observation, SourceId, ValueId};
+use kbt_serve::{HookError, SnapshotReader, TrustHandle, TrustServer};
+
+use crate::proto::{
+    encode_frame, ErrorCode, FrameBuffer, FrameError, ProtoError, Reply, Request, WireStats,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// How often blocked loops wake to poll the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Socket-read chunk size. Bounds per-connection memory together with
+/// the frame cap: the frame buffer never holds more than one capped
+/// frame plus one chunk.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-frame byte cap enforced before any buffer is sized from a
+    /// length prefix. Default 1 MiB.
+    pub max_frame_bytes: u32,
+    /// Bounded reply frames queued per connection before the client is
+    /// declared too slow and disconnected. Default 128.
+    pub send_queue_frames: usize,
+    /// Bounded ingest/retract batches queued to the trust writer before
+    /// clients get `Overloaded` backpressure replies. Default 64.
+    pub ingest_queue_batches: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            send_queue_frames: 128,
+            ingest_queue_batches: 64,
+        }
+    }
+}
+
+/// Everything that can go wrong spawning or shutting down a server.
+#[derive(Debug)]
+pub enum NetError {
+    /// Binding, accepting, or socket configuration failed.
+    Io(std::io::Error),
+    /// The trust-writer thread panicked; its state is gone. The message
+    /// is the captured panic payload.
+    ServerPanicked(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "net server I/O error: {e}"),
+            Self::ServerPanicked(msg) => write!(f, "trust writer thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::ServerPanicked(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// What [`NetServer::shutdown`] hands back.
+#[derive(Debug)]
+pub struct NetShutdown {
+    /// The trust server, recovered from the writer thread.
+    pub server: TrustServer,
+    /// `Err` when a durability hook failed mid-run (the server kept
+    /// serving in degraded mode from that point on).
+    pub durability: Result<(), HookError>,
+    /// Final counter values.
+    pub stats: WireStats,
+}
+
+// ---- shared state ----
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    peak_active: AtomicU64,
+    queries: AtomicU64,
+    ingested_observations: AtomicU64,
+    retracted_keys: AtomicU64,
+    protocol_errors: AtomicU64,
+    refits: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            peak_active: self.peak_active.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            ingested_observations: self.ingested_observations.load(Ordering::Relaxed),
+            retracted_keys: self.retracted_keys.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    stop: AtomicBool,
+    /// Set (once) when the durability hook fails: the message clients
+    /// see in `DurabilityLost` replies.
+    degraded: Mutex<Option<String>>,
+    is_degraded: AtomicBool,
+    counters: Counters,
+    config: NetConfig,
+}
+
+impl Shared {
+    fn mark_degraded(&self, msg: String) {
+        let mut slot = self.degraded.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(msg);
+        }
+        self.is_degraded.store(true, Ordering::Release);
+    }
+
+    fn degraded_message(&self) -> Option<String> {
+        if !self.is_degraded.load(Ordering::Acquire) {
+            return None;
+        }
+        self.degraded
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+/// One write command from a connection to the trust-writer thread.
+enum WriteCmd {
+    Add(Vec<Observation>),
+    Remove(Vec<(SourceId, ItemId, ValueId)>),
+}
+
+// ---- the server ----
+
+/// A listening trust service. Spawn with [`NetServer::spawn`], connect
+/// with [`crate::NetClient`], stop with [`NetServer::shutdown`].
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    handle: TrustHandle,
+    accept: JoinHandle<()>,
+    writer: JoinHandle<(TrustServer, Result<(), HookError>)>,
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetServer")
+            .field("local_addr", &self.local_addr)
+            .field("degraded", &self.shared.is_degraded.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// start serving `server` with the default [`NetConfig`].
+    pub fn spawn(server: TrustServer, addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::spawn_with(server, addr, NetConfig::default())
+    }
+
+    /// [`Self::spawn`] with explicit tuning.
+    pub fn spawn_with(
+        server: TrustServer,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let handle = server.handle();
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            degraded: Mutex::new(None),
+            is_degraded: AtomicBool::new(false),
+            counters: Counters::default(),
+            config,
+        });
+
+        let (ingest_tx, ingest_rx) =
+            mpsc::sync_channel::<WriteCmd>(shared.config.ingest_queue_batches);
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || trust_writer_loop(server, ingest_rx, shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let handle = handle.clone();
+            std::thread::spawn(move || accept_loop(listener, shared, handle, ingest_tx))
+        };
+
+        Ok(Self {
+            local_addr,
+            shared,
+            handle,
+            accept,
+            writer,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// An in-process read-side handle to the same snapshot store the
+    /// network serves — the bench uses it as the torn-read oracle.
+    pub fn handle(&self) -> TrustHandle {
+        self.handle.clone()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> WireStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Refits the trust writer has completed so far.
+    pub fn refits(&self) -> u64 {
+        self.shared.counters.refits.load(Ordering::Relaxed)
+    }
+
+    /// The degradation message, when a durability hook has failed.
+    pub fn degraded(&self) -> Option<String> {
+        self.shared.degraded_message()
+    }
+
+    /// Stop accepting, drain the connections, flush the write queue, and
+    /// hand the trust server back.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::ServerPanicked`] if the trust-writer thread panicked
+    /// (connections were still drained; the in-memory server state is
+    /// lost with the thread).
+    pub fn shutdown(self) -> Result<NetShutdown, NetError> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept.join();
+        let stats = self.shared.counters.snapshot();
+        match self.writer.join() {
+            Ok((server, durability)) => Ok(NetShutdown {
+                server,
+                durability,
+                stats,
+            }),
+            Err(payload) => Err(NetError::ServerPanicked(panic_message(payload.as_ref()))),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---- the trust-writer thread ----
+
+/// The single-writer loop: drain the bounded command queue, coalesce
+/// the burst into the server's pending queue, refit once per burst. A
+/// hook failure flips the shared degraded flag and keeps the loop
+/// draining (and discarding) so connection threads never block — reads
+/// keep serving the last published epoch.
+fn trust_writer_loop(
+    mut server: TrustServer,
+    rx: mpsc::Receiver<WriteCmd>,
+    shared: Arc<Shared>,
+) -> (TrustServer, Result<(), HookError>) {
+    let mut failure: Option<HookError> = None;
+    loop {
+        let first = match rx.recv_timeout(POLL_INTERVAL) {
+            Ok(cmd) => Some(cmd),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                None
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let Some(first) = first else { continue };
+        let mut burst = VecDeque::from([first]);
+        while let Ok(next) = rx.try_recv() {
+            burst.push_back(next);
+        }
+        if failure.is_some() {
+            // Degraded: discard. Connections already refuse ingest at
+            // the door; anything in flight is dropped, not half-logged.
+            continue;
+        }
+        let mut step = Ok(());
+        for cmd in burst {
+            step = match cmd {
+                WriteCmd::Add(obs) => server.ingest(obs),
+                WriteCmd::Remove(keys) => server.retract(keys),
+            };
+            if step.is_err() {
+                break;
+            }
+        }
+        let step = step.and_then(|()| server.refit().map(|_| ()));
+        match step {
+            Ok(()) => {
+                shared.counters.refits.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                shared.mark_degraded(e.to_string());
+                failure = Some(e);
+            }
+        }
+    }
+    (
+        server,
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        },
+    )
+}
+
+// ---- the accept loop ----
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    handle: TrustHandle,
+    ingest_tx: SyncSender<WriteCmd>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let active = shared.counters.active.fetch_add(1, Ordering::SeqCst) + 1;
+                shared
+                    .counters
+                    .peak_active
+                    .fetch_max(active, Ordering::SeqCst);
+                let shared = Arc::clone(&shared);
+                let reader = handle.reader();
+                let ingest_tx = ingest_tx.clone();
+                conns.push(std::thread::spawn(move || {
+                    connection_loop(stream, &shared, reader, ingest_tx);
+                    shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+                }));
+                // Reap finished connections so the handle list does not
+                // grow with every client that ever connected.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    drop(listener);
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+// ---- per-connection machinery ----
+
+/// Why the connection loop ended; the writer-side socket teardown is
+/// the same for all of them.
+enum ConnEnd {
+    Disconnected,
+    Fatal,
+    Stopping,
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    shared: &Shared,
+    reader: SnapshotReader,
+    ingest_tx: SyncSender<WriteCmd>,
+) {
+    // Reader side polls the stop flag via a read timeout; writer side is
+    // a dedicated thread so a slow client never blocks frame parsing.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel::<Vec<u8>>(shared.config.send_queue_frames);
+    let writer = std::thread::spawn(move || {
+        let mut out = write_half;
+        while let Ok(frame) = reply_rx.recv() {
+            if out.write_all(&frame).is_err() {
+                break;
+            }
+        }
+        // Flush the kernel buffer toward the peer before closing; the
+        // final error frame of a fatal close travels this path.
+        let _ = out.flush();
+        let _ = out.shutdown(Shutdown::Write);
+    });
+
+    let end = serve_frames(&stream, shared, reader, ingest_tx, &reply_tx);
+    drop(reply_tx); // writer drains queued replies, then exits
+    let _ = writer.join();
+    if matches!(end, ConnEnd::Fatal | ConnEnd::Stopping) {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    // `stream` drops here: full close once both halves are done.
+}
+
+/// The reader-side frame loop. Returns how the connection ended.
+fn serve_frames(
+    mut stream: &TcpStream,
+    shared: &Shared,
+    mut reader: SnapshotReader,
+    ingest_tx: SyncSender<WriteCmd>,
+    reply_tx: &SyncSender<Vec<u8>>,
+) -> ConnEnd {
+    let max = shared.config.max_frame_bytes;
+    let mut fb = FrameBuffer::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    let mut preamble_done = false;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ConnEnd::Disconnected,
+            Ok(n) => fb.push(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    let _ = send_reply(
+                        reply_tx,
+                        &Reply::Error {
+                            id: 0,
+                            code: ErrorCode::ShuttingDown,
+                            detail: "server stopping".into(),
+                        },
+                    );
+                    return ConnEnd::Stopping;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ConnEnd::Disconnected,
+        }
+
+        if !preamble_done {
+            match fb.take_preamble() {
+                Ok(true) => preamble_done = true,
+                Ok(false) => continue,
+                Err(code) => {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = send_reply(
+                        reply_tx,
+                        &Reply::Error {
+                            id: 0,
+                            code,
+                            detail: "bad connection preamble".into(),
+                        },
+                    );
+                    return ConnEnd::Fatal;
+                }
+            }
+        }
+
+        loop {
+            let payload = match fb.next_frame(max) {
+                Ok(Some(p)) => p,
+                Ok(None) => break,
+                Err(e) => {
+                    shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    let code = match e {
+                        FrameError::TooLarge { .. } => ErrorCode::FrameTooLarge,
+                        FrameError::BadCrc { .. } => ErrorCode::BadCrc,
+                    };
+                    let _ = send_reply(
+                        reply_tx,
+                        &Reply::Error {
+                            id: 0,
+                            code,
+                            detail: e.to_string(),
+                        },
+                    );
+                    return ConnEnd::Fatal;
+                }
+            };
+            let (reply, fatal) = handle_payload(&payload, shared, &mut reader, &ingest_tx);
+            if send_reply(reply_tx, &reply).is_err() {
+                // The bounded reply queue is full: this client reads
+                // slower than it asks. Cut it loose instead of letting
+                // its backlog grow without bound.
+                return ConnEnd::Disconnected;
+            }
+            if fatal {
+                return ConnEnd::Fatal;
+            }
+        }
+    }
+}
+
+fn send_reply(tx: &SyncSender<Vec<u8>>, reply: &Reply) -> Result<(), ()> {
+    let frame = encode_frame(&reply.encode());
+    match tx.try_send(frame) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => Err(()),
+    }
+}
+
+/// Decode one request payload and produce `(reply, fatal)`.
+fn handle_payload(
+    payload: &[u8],
+    shared: &Shared,
+    reader: &mut SnapshotReader,
+    ingest_tx: &SyncSender<WriteCmd>,
+) -> (Reply, bool) {
+    let request = match Request::decode(payload) {
+        Ok(req) => req,
+        Err(ProtoError::UnknownKind(k)) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return (
+                Reply::Error {
+                    id: 0,
+                    code: ErrorCode::UnknownKind,
+                    detail: format!("unknown request kind {k:#04x}"),
+                },
+                false,
+            );
+        }
+        Err(e) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            return (
+                Reply::Error {
+                    id: 0,
+                    code: ErrorCode::BadFrame,
+                    detail: e.to_string(),
+                },
+                true,
+            );
+        }
+    };
+
+    let reply = match request {
+        Request::Ping { token } => {
+            let snap = reader.current();
+            Reply::Pong {
+                token,
+                epoch: snap.epoch(),
+                fingerprint: snap.fingerprint(),
+            }
+        }
+        Request::Trust { id, source } => {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let snap = reader.current();
+            Reply::Trust {
+                id,
+                epoch: snap.epoch(),
+                fingerprint: snap.fingerprint(),
+                value: snap.trust(source),
+            }
+        }
+        Request::Posterior { id, item, value } => {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let snap = reader.current();
+            Reply::Posterior {
+                id,
+                epoch: snap.epoch(),
+                fingerprint: snap.fingerprint(),
+                value: snap.posterior(item, value),
+            }
+        }
+        Request::TriplePosterior {
+            id,
+            source,
+            item,
+            value,
+        } => {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let snap = reader.current();
+            Reply::TriplePosterior {
+                id,
+                epoch: snap.epoch(),
+                fingerprint: snap.fingerprint(),
+                value: snap.triple_posterior(source, item, value),
+            }
+        }
+        Request::TopKSources { id, k } => {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let snap = reader.current();
+            Reply::TopK {
+                id,
+                epoch: snap.epoch(),
+                fingerprint: snap.fingerprint(),
+                sources: snap.top_k_sources(k as usize),
+            }
+        }
+        Request::TrustBatch { id, sources } => {
+            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            let snap = reader.current();
+            Reply::TrustBatch {
+                id,
+                epoch: snap.epoch(),
+                fingerprint: snap.fingerprint(),
+                values: snap.trust_batch(&sources),
+            }
+        }
+        Request::Ingest { id, delta } => {
+            return (
+                queue_write(id, WriteCmd::Add(delta), shared, ingest_tx),
+                false,
+            )
+        }
+        Request::Retract { id, keys } => {
+            return (
+                queue_write(id, WriteCmd::Remove(keys), shared, ingest_tx),
+                false,
+            )
+        }
+        Request::Stats { id } => {
+            let snap = reader.current();
+            Reply::StatsReply {
+                id,
+                epoch: snap.epoch(),
+                fingerprint: snap.fingerprint(),
+                stats: shared.counters.snapshot(),
+            }
+        }
+    };
+    (reply, false)
+}
+
+/// Queue a write command, translating a degraded server and a full
+/// queue into their typed error replies.
+fn queue_write(id: u64, cmd: WriteCmd, shared: &Shared, ingest_tx: &SyncSender<WriteCmd>) -> Reply {
+    if let Some(msg) = shared.degraded_message() {
+        return Reply::Error {
+            id,
+            code: ErrorCode::DurabilityLost,
+            detail: msg,
+        };
+    }
+    let queued = match &cmd {
+        WriteCmd::Add(obs) => obs.len() as u32,
+        WriteCmd::Remove(keys) => keys.len() as u32,
+    };
+    let is_add = matches!(&cmd, WriteCmd::Add(_));
+    match ingest_tx.try_send(cmd) {
+        Ok(()) => {
+            if is_add {
+                shared
+                    .counters
+                    .ingested_observations
+                    .fetch_add(queued as u64, Ordering::Relaxed);
+                Reply::IngestAck { id, queued }
+            } else {
+                shared
+                    .counters
+                    .retracted_keys
+                    .fetch_add(queued as u64, Ordering::Relaxed);
+                Reply::RetractAck { id, queued }
+            }
+        }
+        Err(TrySendError::Full(_)) => Reply::Error {
+            id,
+            code: ErrorCode::Overloaded,
+            detail: "ingest queue full, retry later".into(),
+        },
+        Err(TrySendError::Disconnected(_)) => Reply::Error {
+            id,
+            code: ErrorCode::ShuttingDown,
+            detail: "trust writer stopped".into(),
+        },
+    }
+}

@@ -1,0 +1,607 @@
+//! Wire-protocol hostility tests for `kbt-net`, in two tiers:
+//!
+//! 1. **Codec properties** (proptest): every request and reply payload
+//!    round-trips bit-exactly; framed bytes survive arbitrary read
+//!    slicing; truncated frames wait instead of parsing garbage; any
+//!    single bit flip anywhere in a frame is rejected, never silently
+//!    decoded back to the original payload.
+//! 2. **Socket hostility** (live [`NetServer`]): mid-frame disconnects,
+//!    `len = u32::MAX` prefixes, bad magic, corrupt CRCs, slow-loris
+//!    byte trickling, unknown request kinds — none of which may wedge
+//!    or kill the listener — plus the durability drill: a failing hook
+//!    degrades writes to typed `DurabilityLost` errors while queries
+//!    keep serving the last published epoch.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use kbt_datamodel::{ExtractorId, ItemId, Observation, SourceId, ValueId};
+use kbt_net::proto::{encode_frame, encode_preamble};
+use kbt_net::{
+    ClientError, ErrorCode, FrameBuffer, NetClient, NetServer, Reply, Request, WireStats,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use kbt_pipeline::{FusionSession, TrustPipeline};
+use kbt_serve::{DurabilityHook, HookFailure, HookStage, RefitMode, TrustServer, TrustSnapshot};
+use proptest::prelude::*;
+
+// ---- strategies ----
+
+fn observation_strategy() -> impl Strategy<Value = Observation> {
+    (0u32..8, 0u32..64, 0u32..64, 0u32..8, 0.0f64..=1.0).prop_map(|(e, w, d, v, c)| Observation {
+        extractor: ExtractorId::new(e),
+        source: SourceId::new(w),
+        item: ItemId::new(d),
+        value: ValueId::new(v),
+        confidence: c,
+    })
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        0u8..9,
+        any::<u64>(),
+        (any::<u32>(), any::<u32>()),
+        prop::collection::vec(observation_strategy(), 0..20),
+        prop::collection::vec(any::<u32>(), 0..20),
+    )
+        .prop_map(|(sel, id, (a, b), delta, nums)| match sel {
+            0 => Request::Ping { token: id },
+            1 => Request::Trust {
+                id,
+                source: SourceId::new(a),
+            },
+            2 => Request::Posterior {
+                id,
+                item: ItemId::new(a),
+                value: ValueId::new(b),
+            },
+            3 => Request::TriplePosterior {
+                id,
+                source: SourceId::new(a),
+                item: ItemId::new(b),
+                value: ValueId::new(a ^ b),
+            },
+            4 => Request::TopKSources { id, k: a },
+            5 => Request::TrustBatch {
+                id,
+                sources: nums.iter().copied().map(SourceId::new).collect(),
+            },
+            6 => Request::Ingest { id, delta },
+            7 => Request::Retract {
+                id,
+                keys: nums
+                    .iter()
+                    .map(|&x| (SourceId::new(x), ItemId::new(x ^ a), ValueId::new(x ^ b)))
+                    .collect(),
+            },
+            _ => Request::Stats { id },
+        })
+}
+
+fn reply_strategy() -> impl Strategy<Value = Reply> {
+    const CODES: [ErrorCode; 9] = [
+        ErrorCode::BadMagic,
+        ErrorCode::BadVersion,
+        ErrorCode::FrameTooLarge,
+        ErrorCode::BadCrc,
+        ErrorCode::BadFrame,
+        ErrorCode::UnknownKind,
+        ErrorCode::Overloaded,
+        ErrorCode::DurabilityLost,
+        ErrorCode::ShuttingDown,
+    ];
+    (
+        0u8..10,
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<f64>(), any::<bool>()),
+        prop::collection::vec((any::<u32>(), any::<f64>(), any::<bool>()), 0..20),
+        any::<u32>(),
+    )
+        .prop_map(|(sel, (id, epoch, fingerprint), (x, has), list, q)| {
+            let value = has.then_some(x);
+            match sel {
+                0 => Reply::Pong {
+                    token: id,
+                    epoch,
+                    fingerprint,
+                },
+                1 => Reply::Trust {
+                    id,
+                    epoch,
+                    fingerprint,
+                    value,
+                },
+                2 => Reply::Posterior {
+                    id,
+                    epoch,
+                    fingerprint,
+                    value,
+                },
+                3 => Reply::TriplePosterior {
+                    id,
+                    epoch,
+                    fingerprint,
+                    value,
+                },
+                4 => Reply::TopK {
+                    id,
+                    epoch,
+                    fingerprint,
+                    sources: list
+                        .iter()
+                        .map(|&(w, t, _)| (SourceId::new(w), t))
+                        .collect(),
+                },
+                5 => Reply::TrustBatch {
+                    id,
+                    epoch,
+                    fingerprint,
+                    values: list.iter().map(|&(_, t, h)| h.then_some(t)).collect(),
+                },
+                6 => Reply::IngestAck { id, queued: q },
+                7 => Reply::RetractAck { id, queued: q },
+                8 => Reply::StatsReply {
+                    id,
+                    epoch,
+                    fingerprint,
+                    stats: WireStats {
+                        accepted: id.wrapping_add(1),
+                        active: epoch.wrapping_add(2),
+                        peak_active: fingerprint.wrapping_add(3),
+                        queries: id.wrapping_mul(3),
+                        ingested_observations: epoch.wrapping_mul(5),
+                        retracted_keys: fingerprint.wrapping_mul(7),
+                        protocol_errors: q as u64,
+                    },
+                },
+                _ => Reply::Error {
+                    id,
+                    code: CODES[q as usize % CODES.len()],
+                    detail: format!("synthetic detail {q}"),
+                },
+            }
+        })
+}
+
+proptest! {
+    /// Every request payload decodes back to itself, framed or not.
+    #[test]
+    fn request_payloads_round_trip(req in request_strategy()) {
+        let payload = req.encode();
+        prop_assert_eq!(Request::decode(&payload).unwrap(), req.clone());
+
+        // Through the framing layer too: one frame in, same request out.
+        let mut fb = FrameBuffer::new();
+        fb.push(&encode_frame(&payload));
+        let framed = fb.next_frame(DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        prop_assert_eq!(Request::decode(&framed).unwrap(), req);
+        prop_assert_eq!(fb.buffered(), 0);
+    }
+
+    /// Every reply payload decodes back to itself (floats bit-exact).
+    #[test]
+    fn reply_payloads_round_trip(reply in reply_strategy()) {
+        let payload = reply.encode();
+        prop_assert_eq!(Reply::decode(&payload).unwrap(), reply);
+    }
+
+    /// A frame survives arbitrary slicing across socket reads, and
+    /// never completes before its last byte has arrived.
+    #[test]
+    fn frames_survive_arbitrary_read_slicing(
+        req in request_strategy(),
+        cuts in prop::collection::vec(1usize..17, 0..12),
+    ) {
+        let frame = encode_frame(&req.encode());
+        let mut fb = FrameBuffer::new();
+        let mut sent = 0;
+        for cut in cuts {
+            if sent == frame.len() {
+                break;
+            }
+            let next = (sent + cut).min(frame.len());
+            fb.push(&frame[sent..next]);
+            sent = next;
+            let got = fb.next_frame(DEFAULT_MAX_FRAME_BYTES).unwrap();
+            if sent < frame.len() {
+                prop_assert!(got.is_none(), "frame completed {} bytes early", frame.len() - sent);
+            } else {
+                prop_assert_eq!(Request::decode(&got.unwrap()).unwrap(), req.clone());
+            }
+        }
+        if sent < frame.len() {
+            fb.push(&frame[sent..]);
+            let payload = fb.next_frame(DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+            prop_assert_eq!(Request::decode(&payload).unwrap(), req);
+        }
+        prop_assert_eq!(fb.buffered(), 0);
+    }
+
+    /// Flipping any single bit of a frame — length prefix, payload, or
+    /// CRC — never hands the original payload back as a valid frame:
+    /// the buffer errors (CRC/cap) or keeps waiting, and whatever it
+    /// would return is not the bytes the sender framed.
+    #[test]
+    fn single_bit_flips_never_pass_for_the_original(
+        req in request_strategy(),
+        pos in any::<u32>(),
+        bit in 0u8..8,
+    ) {
+        let payload = req.encode();
+        let mut frame = encode_frame(&payload);
+        let pos = pos as usize % frame.len();
+        frame[pos] ^= 1 << bit;
+
+        let mut fb = FrameBuffer::new();
+        fb.push(&frame);
+        match fb.next_frame(DEFAULT_MAX_FRAME_BYTES) {
+            Err(_) | Ok(None) => {}
+            Ok(Some(p)) => prop_assert!(
+                p != payload,
+                "bit {bit} at byte {pos} slipped through as the original payload"
+            ),
+        }
+    }
+}
+
+// ---- socket-level hostility against a live server ----
+
+fn obs(w: u32, d: u32, v: u32) -> Observation {
+    Observation::certain(
+        ExtractorId::new(0),
+        SourceId::new(w),
+        ItemId::new(d),
+        ValueId::new(v),
+    )
+}
+
+fn corpus() -> Vec<Observation> {
+    (0..4u32)
+        .flat_map(|w| (0..10u32).map(move |d| obs(w, d, w % 2)))
+        .collect()
+}
+
+fn spawn_net() -> NetServer {
+    let server = TrustServer::from_pipeline(
+        TrustPipeline::new().observations(corpus()).threads(1),
+        RefitMode::Warm,
+    )
+    .expect("seed corpus fits");
+    NetServer::spawn(server, "127.0.0.1:0").expect("ephemeral bind")
+}
+
+/// Poll `f` until it yields, failing the test after `deadline`.
+fn wait_until<T>(deadline: Duration, what: &str, mut f: impl FnMut() -> Option<T>) -> T {
+    let start = Instant::now();
+    loop {
+        if let Some(v) = f() {
+            return v;
+        }
+        assert!(start.elapsed() < deadline, "timed out waiting for {what}");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Read reply frames off a raw socket until one parses or EOF.
+fn read_reply_raw(stream: &mut TcpStream) -> Option<Reply> {
+    let mut fb = FrameBuffer::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Ok(Some(payload)) = fb.next_frame(DEFAULT_MAX_FRAME_BYTES) {
+            return Some(Reply::decode(&payload).expect("server frames always decode"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return None,
+            Ok(n) => fb.push(&chunk[..n]),
+        }
+    }
+}
+
+#[test]
+fn network_answers_equal_the_in_process_snapshot_bit_for_bit() {
+    let net = spawn_net();
+    let mut reader = net.handle().reader();
+    let mut client = NetClient::connect(net.addr()).expect("connect");
+
+    let (epoch, fingerprint) = client.ping().expect("ping");
+    {
+        let snap = reader.current();
+        assert_eq!((epoch, fingerprint), (snap.epoch(), snap.fingerprint()));
+
+        for w in 0..6u32 {
+            let got = client.trust(SourceId::new(w)).expect("trust");
+            assert_eq!(got.epoch, snap.epoch());
+            assert_eq!(got.fingerprint, snap.fingerprint());
+            assert_eq!(
+                got.value.map(f64::to_bits),
+                snap.trust(SourceId::new(w)).map(f64::to_bits)
+            );
+        }
+        for d in 0..4u32 {
+            for v in 0..3u32 {
+                let got = client.posterior(ItemId::new(d), ValueId::new(v)).unwrap();
+                assert_eq!(
+                    got.value.map(f64::to_bits),
+                    snap.posterior(ItemId::new(d), ValueId::new(v))
+                        .map(f64::to_bits)
+                );
+                let got = client
+                    .triple_posterior(SourceId::new(1), ItemId::new(d), ValueId::new(v))
+                    .unwrap();
+                assert_eq!(
+                    got.value.map(f64::to_bits),
+                    snap.triple_posterior(SourceId::new(1), ItemId::new(d), ValueId::new(v))
+                        .map(f64::to_bits)
+                );
+            }
+        }
+
+        let top = client.top_k_sources(3).unwrap();
+        assert_eq!(top.value, snap.top_k_sources(3));
+
+        let asked: Vec<SourceId> = (0..8).map(SourceId::new).collect();
+        let batch = client.trust_batch(asked.clone()).unwrap();
+        assert_eq!(batch.value, snap.trust_batch(&asked));
+    }
+
+    let stats = client.stats().unwrap();
+    assert!(stats.value.accepted >= 1);
+    assert!(stats.value.queries >= 6);
+
+    let down = net.shutdown().expect("clean shutdown");
+    assert!(down.durability.is_ok());
+}
+
+#[test]
+fn network_ingest_and_retract_advance_epochs() {
+    let net = spawn_net();
+    let mut client = NetClient::connect(net.addr()).expect("connect");
+    let (epoch0, _) = client.ping().expect("ping");
+
+    // A brand-new source arrives over the wire…
+    let delta: Vec<Observation> = (0..10).map(|d| obs(9, d, 0)).collect();
+    let queued = client.ingest(delta).expect("ingest ack");
+    assert_eq!(queued, 10);
+    wait_until(Duration::from_secs(10), "ingest refit", || {
+        let (e, _) = client.ping().expect("ping during refit");
+        (e > epoch0).then_some(())
+    });
+    let trust9 = client.trust(SourceId::new(9)).expect("trust of new source");
+    assert!(trust9.value.is_some(), "ingested source is served");
+
+    // …and half its claims are retracted again.
+    let keys: Vec<_> = (0..5)
+        .map(|d| (SourceId::new(9), ItemId::new(d), ValueId::new(0)))
+        .collect();
+    let epoch1 = client.ping().expect("ping").0;
+    assert_eq!(client.retract(keys).expect("retract ack"), 5);
+    wait_until(Duration::from_secs(10), "retract refit", || {
+        let (e, _) = client.ping().expect("ping during refit");
+        (e > epoch1).then_some(())
+    });
+
+    // The post-retraction answer equals the in-process snapshot bit
+    // for bit — the network layer serves exactly what was refit.
+    let mut reader = net.handle().reader();
+    let got = client.trust(SourceId::new(9)).expect("trust after retract");
+    let snap = reader.current();
+    assert_eq!(got.epoch, snap.epoch());
+    assert_eq!(
+        got.value.map(f64::to_bits),
+        snap.trust(SourceId::new(9)).map(f64::to_bits)
+    );
+
+    let down = net.shutdown().expect("clean shutdown");
+    assert!(down.durability.is_ok());
+    assert_eq!(down.stats.ingested_observations, 10);
+    assert_eq!(down.stats.retracted_keys, 5);
+    assert!(down.server.epoch() > epoch1);
+}
+
+#[test]
+fn mid_frame_disconnects_do_not_wedge_the_listener() {
+    let net = spawn_net();
+
+    // One client dies halfway through the preamble, one halfway through
+    // an ingest frame; both simply vanish.
+    {
+        let mut s = TcpStream::connect(net.addr()).unwrap();
+        s.write_all(&encode_preamble()[..7]).unwrap();
+    }
+    {
+        let mut s = TcpStream::connect(net.addr()).unwrap();
+        s.write_all(&encode_preamble()).unwrap();
+        let frame = encode_frame(
+            &Request::Ingest {
+                id: 7,
+                delta: (0..50).map(|d| obs(8, d, 0)).collect(),
+            }
+            .encode(),
+        );
+        s.write_all(&frame[..frame.len() / 2]).unwrap();
+    }
+
+    // The listener still serves fresh clients.
+    let mut client = NetClient::connect(net.addr()).expect("connect after the carnage");
+    client.ping().expect("ping");
+    assert!(client.trust(SourceId::new(0)).unwrap().value.is_some());
+
+    let down = net.shutdown().expect("clean shutdown");
+    assert!(down.durability.is_ok());
+    assert_eq!(down.stats.accepted, 3);
+}
+
+#[test]
+fn hostile_length_prefix_is_a_typed_error_not_an_allocation() {
+    let net = spawn_net();
+
+    let mut s = TcpStream::connect(net.addr()).unwrap();
+    s.write_all(&encode_preamble()).unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match read_reply_raw(&mut s) {
+        Some(Reply::Error { code, .. }) => assert_eq!(code, ErrorCode::FrameTooLarge),
+        other => panic!("expected a FrameTooLarge error, got {other:?}"),
+    }
+    // Fatal: the server hangs up after the error frame.
+    assert!(read_reply_raw(&mut s).is_none(), "connection is closed");
+
+    let mut client = NetClient::connect(net.addr()).expect("server survived");
+    client.ping().expect("ping");
+    assert!(net.stats().protocol_errors >= 1);
+    net.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn bad_magic_and_corrupt_crc_are_rejected_with_typed_errors() {
+    let net = spawn_net();
+
+    // An HTTP client wanders in.
+    let mut s = TcpStream::connect(net.addr()).unwrap();
+    s.write_all(b"GET / HTTP/1.1\r\nHost: kbt\r\n\r\n").unwrap();
+    match read_reply_raw(&mut s) {
+        Some(Reply::Error { code, .. }) => assert_eq!(code, ErrorCode::BadMagic),
+        other => panic!("expected a BadMagic error, got {other:?}"),
+    }
+
+    // A bit-flipped frame fails its CRC.
+    let mut s = TcpStream::connect(net.addr()).unwrap();
+    s.write_all(&encode_preamble()).unwrap();
+    let mut frame = encode_frame(&Request::Ping { token: 3 }.encode());
+    let n = frame.len();
+    frame[n - 1] ^= 0x40;
+    s.write_all(&frame).unwrap();
+    match read_reply_raw(&mut s) {
+        Some(Reply::Error { code, .. }) => assert_eq!(code, ErrorCode::BadCrc),
+        other => panic!("expected a BadCrc error, got {other:?}"),
+    }
+
+    let mut client = NetClient::connect(net.addr()).expect("server survived");
+    client.ping().expect("ping");
+    assert!(net.stats().protocol_errors >= 2);
+    net.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn unknown_request_kinds_are_survivable_on_the_same_connection() {
+    let net = spawn_net();
+    let mut client = NetClient::connect(net.addr()).expect("connect");
+
+    // A payload with an unassigned kind byte gets a typed, NON-fatal
+    // error; the same connection then answers real requests.
+    client
+        .send_raw(&encode_frame(&[0x55, 1, 2, 3, 4, 5, 6, 7, 8]))
+        .unwrap();
+    match client.read_reply().expect("error reply") {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownKind),
+        other => panic!("expected an UnknownKind error, got {other:?}"),
+    }
+    client.ping().expect("connection still usable");
+
+    net.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn slow_loris_byte_trickle_still_gets_an_answer() {
+    let net = spawn_net();
+
+    let mut s = TcpStream::connect(net.addr()).unwrap();
+    let mut bytes = encode_preamble();
+    bytes.extend_from_slice(&encode_frame(&Request::Ping { token: 99 }.encode()));
+    for b in bytes {
+        s.write_all(&[b]).unwrap();
+        s.flush().unwrap();
+        thread::sleep(Duration::from_millis(2));
+    }
+    match read_reply_raw(&mut s) {
+        Some(Reply::Pong { token, .. }) => assert_eq!(token, 99),
+        other => panic!("expected a Pong, got {other:?}"),
+    }
+
+    net.shutdown().expect("clean shutdown");
+}
+
+// ---- the durability drill ----
+
+/// A hook whose ingest log is a brick wall: every `log_ingest` fails.
+struct DeadIngestLog;
+
+impl DurabilityHook for DeadIngestLog {
+    fn log_ingest(&mut self, _delta: &[Observation]) -> Result<(), HookFailure> {
+        Err("ingest log unwritable: disk full".into())
+    }
+
+    fn log_retract(
+        &mut self,
+        _retractions: &[(SourceId, ItemId, ValueId)],
+    ) -> Result<(), HookFailure> {
+        Ok(())
+    }
+
+    fn commit(
+        &mut self,
+        _snapshot: &TrustSnapshot,
+        _session: &FusionSession,
+    ) -> Result<(), HookFailure> {
+        Ok(())
+    }
+}
+
+#[test]
+fn hook_failure_degrades_to_typed_errors_while_queries_keep_serving() {
+    let mut server = TrustServer::from_pipeline(
+        TrustPipeline::new().observations(corpus()).threads(1),
+        RefitMode::Warm,
+    )
+    .expect("seed corpus fits");
+    server.set_hook(Box::new(DeadIngestLog));
+    let net = NetServer::spawn(server, "127.0.0.1:0").expect("ephemeral bind");
+
+    let mut client = NetClient::connect(net.addr()).expect("connect");
+    let (epoch0, fp0) = client.ping().expect("ping");
+    assert!(
+        client.trust(SourceId::new(0)).unwrap().value.is_some(),
+        "the seed fit is being served"
+    );
+
+    // The first batch is acked at the door, then the trust writer hits
+    // the dead log; from that point every write is refused with a typed
+    // DurabilityLost error carrying the hook's message.
+    let detail = wait_until(Duration::from_secs(10), "degraded mode", || {
+        match client.ingest(vec![obs(9, 0, 0)]) {
+            Ok(_) => None,
+            Err(ClientError::Server {
+                code: ErrorCode::DurabilityLost,
+                detail,
+            }) => Some(detail),
+            Err(other) => panic!("expected DurabilityLost, got {other}"),
+        }
+    });
+    assert!(
+        detail.contains("disk full"),
+        "client sees the hook's own message, got: {detail}"
+    );
+    assert_eq!(net.degraded().as_deref(), Some(detail.as_str()));
+
+    // Queries keep answering from the last published epoch — the
+    // process did not die, and no partial batch was published.
+    let (epoch1, fp1) = client.ping().expect("ping while degraded");
+    assert_eq!(
+        (epoch1, fp1),
+        (epoch0, fp0),
+        "no epoch moved past the failure"
+    );
+    assert!(client.trust(SourceId::new(0)).unwrap().value.is_some());
+
+    // Shutdown hands the typed error back, staged at the failing call.
+    let down = net.shutdown().expect("the process survived");
+    let err = down.durability.expect_err("the hook failure is surfaced");
+    assert_eq!(err.stage(), HookStage::LogIngest);
+    assert_eq!(
+        down.server.epoch(),
+        epoch0,
+        "in-memory state never ran ahead"
+    );
+}

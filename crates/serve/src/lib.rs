@@ -49,8 +49,8 @@
 //! let handle = server.handle();                 // read side (Send + Sync)
 //! let mut reader = handle.reader();
 //!
-//! server.ingest((0..8).map(|d| obs(3, d, 0)));  // a delta lands…
-//! server.refit();                               // …warm refit, epoch 1
+//! server.ingest((0..8).map(|d| obs(3, d, 0))).unwrap(); // a delta lands…
+//! server.refit().unwrap();                      // …warm refit, epoch 1
 //! let snap = reader.current();                  // one atomic load
 //! assert_eq!(snap.epoch(), 1);
 //! assert!(snap.trust(SourceId::new(3)).unwrap() > 0.5);
@@ -83,7 +83,10 @@ pub mod server;
 pub mod snapshot;
 pub mod store;
 
-pub use server::{BackgroundServer, DurabilityHook, HookError, TrustHandle, TrustServer};
+pub use server::{
+    BackgroundServer, DurabilityHook, HookError, HookFailure, HookStage, ShutdownError,
+    TrustHandle, TrustServer,
+};
 pub use snapshot::{
     CalibrationBucket, RefitMode, SnapshotParts, SnapshotPartsError, SnapshotProvenance,
     TrustSnapshot, CALIBRATION_BUCKETS,

@@ -54,10 +54,86 @@ impl TrustHandle {
     }
 }
 
-/// The error type durability hooks surface: whatever the persistence
-/// layer failed with (I/O, a full disk, a corrupt log), boxed so
-/// `kbt-serve` stays independent of any particular store.
-pub type HookError = Box<dyn std::error::Error + Send + Sync>;
+/// What a persistence layer failed with (I/O, a full disk, a corrupt
+/// log), boxed so `kbt-serve` stays independent of any particular
+/// store. [`DurabilityHook`] implementations return this; the server
+/// wraps it into a [`HookError`] that records *which* hook call failed.
+pub type HookFailure = Box<dyn std::error::Error + Send + Sync>;
+
+/// Which [`DurabilityHook`] call a [`HookError`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookStage {
+    /// [`DurabilityHook::log_ingest`] rejected an additive batch — the
+    /// batch was **not** queued; the in-memory state never ran ahead of
+    /// the log.
+    LogIngest,
+    /// [`DurabilityHook::log_retract`] rejected a retraction batch —
+    /// likewise not queued.
+    LogRetract,
+    /// [`DurabilityHook::commit`] failed after a publish — the snapshot
+    /// **is** serving in memory but is not durable.
+    Commit,
+}
+
+impl std::fmt::Display for HookStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::LogIngest => write!(f, "log_ingest"),
+            Self::LogRetract => write!(f, "log_retract"),
+            Self::Commit => write!(f, "commit"),
+        }
+    }
+}
+
+/// A durability-hook failure, typed by the stage that failed.
+///
+/// This is what every write-side server method surfaces instead of
+/// panicking: a full disk or a dying WAL device degrades to an error
+/// the caller (a network front end, a batch driver) can report to its
+/// clients while readers keep serving the last published epoch.
+#[derive(Debug)]
+pub struct HookError {
+    stage: HookStage,
+    source: HookFailure,
+}
+
+impl HookError {
+    /// Wrap a hook failure with the stage it came from.
+    pub fn new(stage: HookStage, source: HookFailure) -> Self {
+        Self { stage, source }
+    }
+
+    /// Which hook call failed.
+    pub fn stage(&self) -> HookStage {
+        self.stage
+    }
+
+    /// The persistence layer's underlying failure.
+    pub fn failure(&self) -> &(dyn std::error::Error + Send + Sync) {
+        self.source.as_ref()
+    }
+
+    /// Unwrap the underlying failure.
+    pub fn into_failure(self) -> HookFailure {
+        self.source
+    }
+}
+
+impl std::fmt::Display for HookError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "durability hook failed at {}: {}",
+            self.stage, self.source
+        )
+    }
+}
+
+impl std::error::Error for HookError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref() as &(dyn std::error::Error + 'static))
+    }
+}
 
 /// The write-ahead contract between a [`TrustServer`] and a persistence
 /// layer (implemented by `kbt-store`, but any store can plug in).
@@ -68,22 +144,24 @@ pub type HookError = Box<dyn std::error::Error + Send + Sync>;
 /// never run ahead of the log — and [`commit`](Self::commit) **after**
 /// each publish, handing over the freshly published snapshot and the
 /// session that produced it (the store decides there whether to
-/// checkpoint). A `commit` error is surfaced by the `try_*` refit
-/// methods and by [`BackgroundServer::shutdown`]; the snapshot is
+/// checkpoint). A `commit` error is surfaced as a [`HookError`] by the
+/// refit methods and by [`BackgroundServer::shutdown`]; the snapshot is
 /// already published in memory at that point, but is not durable.
 pub trait DurabilityHook: Send {
     /// Persist an additive observation batch before it is queued.
-    fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookError>;
+    fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookFailure>;
     /// Persist a retraction batch before it is queued.
-    fn log_retract(&mut self, retractions: &[(SourceId, ItemId, ValueId)])
-        -> Result<(), HookError>;
+    fn log_retract(
+        &mut self,
+        retractions: &[(SourceId, ItemId, ValueId)],
+    ) -> Result<(), HookFailure>;
     /// Make everything logged before `snapshot`'s refit durable (fsync
     /// the log, optionally checkpoint from `session`).
     fn commit(
         &mut self,
         snapshot: &TrustSnapshot,
         session: &FusionSession,
-    ) -> Result<(), HookError>;
+    ) -> Result<(), HookFailure>;
 }
 
 /// The single-writer trust server: owns a [`FusionSession`] and a
@@ -212,20 +290,12 @@ impl TrustServer {
     /// Queue an additive observation delta for the next refit. Deltas
     /// and retractions are applied in submission order at refit time.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If an attached [`DurabilityHook`] rejects the batch — use
-    /// [`try_ingest`](Self::try_ingest) to handle log failures.
-    pub fn ingest(&mut self, delta: impl IntoIterator<Item = Observation>) -> &mut Self {
-        self.try_ingest(delta)
-            .expect("durability hook rejected an ingest batch");
-        self
-    }
-
-    /// [`Self::ingest`], surfacing the write-ahead log error instead of
-    /// panicking. On `Err` the batch was **not** queued: the in-memory
+    /// [`HookStage::LogIngest`] when an attached [`DurabilityHook`]
+    /// rejects the batch. The batch was **not** queued: the in-memory
     /// state never runs ahead of the log.
-    pub fn try_ingest(
+    pub fn ingest(
         &mut self,
         delta: impl IntoIterator<Item = Observation>,
     ) -> Result<(), HookError> {
@@ -234,7 +304,8 @@ impl TrustServer {
             return Ok(()); // an empty batch must not trigger a publish
         }
         if let Some(hook) = &mut self.hook {
-            hook.log_ingest(&delta)?;
+            hook.log_ingest(&delta)
+                .map_err(|e| HookError::new(HookStage::LogIngest, e))?;
         }
         match self.pending.last_mut() {
             Some(PendingDelta::Add(run)) => run.extend(delta),
@@ -248,22 +319,11 @@ impl TrustServer {
     /// [`ingest`](Self::ingest): retracting a triple and then re-ingesting
     /// it leaves the new observation in place.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If an attached [`DurabilityHook`] rejects the batch — use
-    /// [`try_retract`](Self::try_retract) to handle log failures.
+    /// [`HookStage::LogRetract`] when an attached [`DurabilityHook`]
+    /// rejects the batch; on `Err` the batch was **not** queued.
     pub fn retract(
-        &mut self,
-        retractions: impl IntoIterator<Item = (SourceId, ItemId, ValueId)>,
-    ) -> &mut Self {
-        self.try_retract(retractions)
-            .expect("durability hook rejected a retraction batch");
-        self
-    }
-
-    /// [`Self::retract`], surfacing the write-ahead log error instead of
-    /// panicking. On `Err` the batch was **not** queued.
-    pub fn try_retract(
         &mut self,
         retractions: impl IntoIterator<Item = (SourceId, ItemId, ValueId)>,
     ) -> Result<(), HookError> {
@@ -272,7 +332,8 @@ impl TrustServer {
             return Ok(()); // an empty batch must not trigger a publish
         }
         if let Some(hook) = &mut self.hook {
-            hook.log_retract(&retractions)?;
+            hook.log_retract(&retractions)
+                .map_err(|e| HookError::new(HookStage::LogRetract, e))?;
         }
         match self.pending.last_mut() {
             Some(PendingDelta::Remove(run)) => run.extend(retractions),
@@ -295,28 +356,21 @@ impl TrustServer {
     }
 
     /// Fold the queued deltas into the session, refit, and publish the
-    /// next epoch. Returns `None` (and publishes nothing) when the queue
-    /// is empty — back-to-back refits on a quiet server would otherwise
-    /// churn epochs without changing an answer.
+    /// next epoch. Returns `Ok(None)` (and publishes nothing) when the
+    /// queue is empty — back-to-back refits on a quiet server would
+    /// otherwise churn epochs without changing an answer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If an attached [`DurabilityHook`] fails its post-publish commit —
-    /// use [`try_refit`](Self::try_refit) to handle that.
-    pub fn refit(&mut self) -> Option<Arc<TrustSnapshot>> {
-        self.try_refit()
-            .expect("durability hook failed to commit a refit")
-    }
-
-    /// [`Self::refit`], surfacing a [`DurabilityHook::commit`] failure.
-    /// On `Err` the snapshot **was** published to in-memory readers but
-    /// is not durable; the caller decides whether to retry the commit or
-    /// stop the server.
-    pub fn try_refit(&mut self) -> Result<Option<Arc<TrustSnapshot>>, HookError> {
+    /// [`HookStage::Commit`] when an attached [`DurabilityHook`] fails
+    /// its post-publish commit. On `Err` the snapshot **was** published
+    /// to in-memory readers but is not durable; the caller decides
+    /// whether to retry the commit or stop the server.
+    pub fn refit(&mut self) -> Result<Option<Arc<TrustSnapshot>>, HookError> {
         if self.pending.is_empty() {
             return Ok(None);
         }
-        self.try_force_refit().map(Some)
+        self.force_refit().map(Some)
     }
 
     /// [`Self::refit`] even when no delta is queued — always refits and
@@ -324,19 +378,11 @@ impl TrustServer {
     /// permanently in flight while readers hammer the store, and useful
     /// operationally to re-publish after an out-of-band change.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// If an attached [`DurabilityHook`] fails its post-publish commit —
-    /// use [`try_force_refit`](Self::try_force_refit) to handle that.
-    pub fn force_refit(&mut self) -> Arc<TrustSnapshot> {
-        self.try_force_refit()
-            .expect("durability hook failed to commit a refit")
-    }
-
-    /// [`Self::force_refit`], surfacing a [`DurabilityHook::commit`]
-    /// failure (see [`try_refit`](Self::try_refit) for the error
-    /// semantics).
-    pub fn try_force_refit(&mut self) -> Result<Arc<TrustSnapshot>, HookError> {
+    /// Same as [`refit`](Self::refit): a [`HookStage::Commit`] failure
+    /// after the in-memory publish.
+    pub fn force_refit(&mut self) -> Result<Arc<TrustSnapshot>, HookError> {
         for delta in std::mem::take(&mut self.pending) {
             match delta {
                 PendingDelta::Add(obs) => {
@@ -351,7 +397,8 @@ impl TrustServer {
         let snap = fit_and_export(&mut self.session, self.mode, self.epoch);
         let installed = self.store.publish(snap);
         if let Some(hook) = &mut self.hook {
-            hook.commit(&installed, &self.session)?;
+            hook.commit(&installed, &self.session)
+                .map_err(|e| HookError::new(HookStage::Commit, e))?;
         }
         Ok(installed)
     }
@@ -389,8 +436,8 @@ fn background_loop(
         // covers the whole burst instead of one refit per message.
         loop {
             let step = match queue.take() {
-                Some(Command::Ingest(obs)) => server.try_ingest(obs),
-                Some(Command::Retract(keys)) => server.try_retract(keys),
+                Some(Command::Ingest(obs)) => server.ingest(obs),
+                Some(Command::Retract(keys)) => server.retract(keys),
                 Some(Command::Refit) => {
                     force = true;
                     Ok(())
@@ -414,9 +461,9 @@ fn background_loop(
             }
         }
         let step = if force {
-            server.try_force_refit().map(|_| ())
+            server.force_refit().map(|_| ())
         } else {
-            server.try_refit().map(|_| ())
+            server.refit().map(|_| ())
         };
         if let Err(e) = step {
             return (server, Err(e));
@@ -464,15 +511,85 @@ impl BackgroundServer {
     /// were queued ahead of the shutdown are flushed with one final
     /// refit before the thread exits.
     ///
-    /// The `Result` is the durability outcome of the loop — `Err` when
-    /// an attached [`DurabilityHook`] failed (including during the final
-    /// queue flush), in which case the loop stopped at the failure and
-    /// later messages were dropped unread. Servers without a hook always
-    /// return `Ok(())`; either way the `TrustServer` comes back so its
-    /// in-memory state can be inspected or republished.
-    pub fn shutdown(self) -> (TrustServer, Result<(), HookError>) {
+    /// # Errors
+    ///
+    /// [`ShutdownError::Hook`] when an attached [`DurabilityHook`]
+    /// failed (including during the final queue flush) — the loop
+    /// stopped at the failure and later messages were dropped unread;
+    /// the `TrustServer` comes back inside the error so its in-memory
+    /// state can be inspected or republished.
+    /// [`ShutdownError::Panicked`] when the server thread itself
+    /// panicked (e.g. a hook that panics instead of erroring): the
+    /// panic payload is captured as a message instead of being
+    /// re-raised, so a network front end can report a typed fault and
+    /// keep its readers on the last published epoch. Servers without a
+    /// hook return `Ok` unless a panic occurred.
+    pub fn shutdown(self) -> Result<TrustServer, ShutdownError> {
         let _ = self.tx.send(Command::Shutdown);
-        self.join.join().expect("trust server thread panicked")
+        match self.join.join() {
+            Ok((server, Ok(()))) => Ok(server),
+            Ok((server, Err(error))) => Err(ShutdownError::Hook {
+                server: Box::new(server),
+                error,
+            }),
+            Err(payload) => Err(ShutdownError::Panicked(panic_message(payload.as_ref()))),
+        }
+    }
+}
+
+/// Why [`BackgroundServer::shutdown`] could not hand back a clean server.
+#[derive(Debug)]
+pub enum ShutdownError {
+    /// The durability hook failed; the loop stopped at the failure. The
+    /// server's in-memory state survives and is returned here.
+    Hook {
+        /// The recovered server (readers were never interrupted).
+        server: Box<TrustServer>,
+        /// The hook failure that stopped the loop.
+        error: HookError,
+    },
+    /// The server thread panicked; its state is gone. The captured panic
+    /// message replaces the re-panic the old API performed.
+    Panicked(String),
+}
+
+impl ShutdownError {
+    /// Recover the server when the loop stopped on a hook failure.
+    pub fn into_server(self) -> Option<TrustServer> {
+        match self {
+            Self::Hook { server, .. } => Some(*server),
+            Self::Panicked(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Hook { error, .. } => write!(f, "background server stopped: {error}"),
+            Self::Panicked(msg) => write!(f, "trust server thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShutdownError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Hook { error, .. } => Some(error),
+            Self::Panicked(_) => None,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`&str` and
+/// `String` cover everything `panic!` and `.expect` produce).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -569,8 +686,8 @@ mod tests {
         let mut prefix = base;
         let handle = server.handle();
         for (i, delta) in deltas.iter().enumerate() {
-            server.ingest(delta.clone());
-            server.refit().expect("non-empty delta publishes");
+            server.ingest(delta.clone()).unwrap();
+            server.refit().unwrap().expect("non-empty delta publishes");
             prefix.extend(delta.iter().copied());
             let cold = TrustPipeline::new()
                 .observations(prefix.clone())
@@ -600,11 +717,11 @@ mod tests {
         assert!(init.provenance().iterations >= 1);
 
         // Quiet server: refit is a no-op, no epoch churn.
-        assert!(server.refit().is_none());
+        assert!(server.refit().unwrap().is_none());
         assert_eq!(handle.epoch(), 0);
 
-        server.ingest(corpus(10..11));
-        let snap = server.refit().expect("delta publishes");
+        server.ingest(corpus(10..11)).unwrap();
+        let snap = server.refit().unwrap().expect("delta publishes");
         assert_eq!(snap.epoch(), 1);
         assert_eq!(snap.provenance().refit_mode, RefitMode::Warm);
         assert_eq!(snap.provenance().deltas_applied, 1);
@@ -615,13 +732,13 @@ mod tests {
             let g = &server.session().cube().groups()[0];
             (g.source, g.item, g.value)
         };
-        server.retract([key]);
-        let snap = server.refit().expect("retraction publishes");
+        server.retract([key]).unwrap();
+        let snap = server.refit().unwrap().expect("retraction publishes");
         assert_eq!(snap.epoch(), 2);
         assert!(snap.triple_posterior(key.0, key.1, key.2).is_none());
 
         // Forced refit publishes even when clean.
-        let snap = server.force_refit();
+        let snap = server.force_refit().unwrap();
         assert_eq!(snap.epoch(), 3);
     }
 
@@ -641,26 +758,26 @@ mod tests {
         let mut server = TrustServer::new(session, RefitMode::Warm);
 
         // retract → ingest: the re-ingested observation survives.
-        server.retract([key]);
-        server.ingest([obs(3, 0, 0, 0)]); // same (source, item, value), new extractor
+        server.retract([key]).unwrap();
+        server.ingest([obs(3, 0, 0, 0)]).unwrap(); // same (source, item, value), new extractor
         assert_eq!(server.pending(), (1, 1));
-        let snap = server.refit().unwrap();
+        let snap = server.refit().unwrap().unwrap();
         assert!(
             snap.triple_posterior(key.0, key.1, key.2).is_some(),
             "an ingest submitted after a retraction must survive the batch"
         );
 
         // ingest → retract: the triple ends up gone.
-        server.ingest([obs(0, 0, 0, 0)]);
-        server.retract([key]);
-        let snap = server.refit().unwrap();
+        server.ingest([obs(0, 0, 0, 0)]).unwrap();
+        server.retract([key]).unwrap();
+        let snap = server.refit().unwrap().unwrap();
         assert!(snap.triple_posterior(key.0, key.1, key.2).is_none());
 
         // Empty batches neither queue nor publish.
-        server.ingest(std::iter::empty());
-        server.retract(std::iter::empty());
+        server.ingest(std::iter::empty()).unwrap();
+        server.retract(std::iter::empty()).unwrap();
         assert_eq!(server.pending(), (0, 0));
-        assert!(server.refit().is_none());
+        assert!(server.refit().unwrap().is_none());
     }
 
     #[test]
@@ -690,8 +807,9 @@ mod tests {
         assert!(server.ingest(corpus(8..9)));
         assert!(server.ingest(corpus(9..10)));
         assert!(server.refit());
-        let (server, flush) = server.shutdown();
-        flush.expect("no hook attached: the flush cannot fail");
+        let server = server
+            .shutdown()
+            .expect("no hook attached: the flush cannot fail");
         assert!(server.epoch() >= 1, "the burst produced a publish");
         assert_eq!(handle.epoch(), server.epoch());
         let snap = handle.snapshot();
@@ -710,7 +828,7 @@ mod tests {
     }
 
     impl DurabilityHook for ProbeHook {
-        fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookError> {
+        fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookFailure> {
             if self.fail_log {
                 return Err("log device gone".into());
             }
@@ -723,7 +841,7 @@ mod tests {
         fn log_retract(
             &mut self,
             retractions: &[(SourceId, ItemId, ValueId)],
-        ) -> Result<(), HookError> {
+        ) -> Result<(), HookFailure> {
             if self.fail_log {
                 return Err("log device gone".into());
             }
@@ -737,7 +855,7 @@ mod tests {
             &mut self,
             snapshot: &TrustSnapshot,
             session: &FusionSession,
-        ) -> Result<(), HookError> {
+        ) -> Result<(), HookFailure> {
             if self.fail_commit {
                 return Err("commit fsync failed".into());
             }
@@ -772,13 +890,13 @@ mod tests {
         }));
         let delta = corpus(8..9);
         let n = delta.len();
-        server.ingest(delta);
+        server.ingest(delta).unwrap();
         let key = {
             let g = &server.session().cube().groups()[0];
             (g.source, g.item, g.value)
         };
-        server.retract([key]);
-        server.refit().expect("delta publishes");
+        server.retract([key]).unwrap();
+        server.refit().unwrap().expect("delta publishes");
         assert_eq!(
             log.lock().unwrap().as_slice(),
             [format!("ingest:{n}"), "retract:1".into(), "commit:1".into()]
@@ -801,12 +919,14 @@ mod tests {
             fail_commit: false,
             fail_log: true,
         }));
-        assert!(server.try_ingest(corpus(8..9)).is_err());
-        assert!(server
-            .try_retract([(SourceId::new(0), ItemId::new(0), ValueId::new(0))])
-            .is_err());
+        let err = server.ingest(corpus(8..9)).unwrap_err();
+        assert_eq!(err.stage(), HookStage::LogIngest);
+        let err = server
+            .retract([(SourceId::new(0), ItemId::new(0), ValueId::new(0))])
+            .unwrap_err();
+        assert_eq!(err.stage(), HookStage::LogRetract);
         assert_eq!(server.pending(), (0, 0));
-        assert!(server.try_refit().unwrap().is_none(), "nothing queued");
+        assert!(server.refit().unwrap().is_none(), "nothing queued");
     }
 
     /// The satellite fix: a hook failure during the final queue flush is
@@ -826,12 +946,143 @@ mod tests {
         }));
         let server = server.spawn();
         assert!(server.ingest(corpus(8..9)));
-        let (server, flush) = server.shutdown();
-        let err = flush.expect_err("the flush commit failed");
+        let err = server.shutdown().expect_err("the flush commit failed");
         assert!(err.to_string().contains("commit fsync failed"));
+        let ShutdownError::Hook { server, error } = err else {
+            panic!("a hook failure is typed as ShutdownError::Hook");
+        };
+        assert_eq!(error.stage(), HookStage::Commit);
         // The refit itself went through in memory before the commit
         // failed — exactly the "published but not durable" state the
         // caller must be told about.
         assert!(server.epoch() >= 1);
+    }
+
+    /// A hook whose log_ingest accepts the first `ok_appends` batches
+    /// and rejects the Nth — the "disk filled up mid-run" regression.
+    struct NthAppendFails {
+        ok_appends: usize,
+        seen: usize,
+    }
+
+    impl DurabilityHook for NthAppendFails {
+        fn log_ingest(&mut self, _delta: &[Observation]) -> Result<(), HookFailure> {
+            self.seen += 1;
+            if self.seen > self.ok_appends {
+                return Err(format!("append {} hit a full disk", self.seen).into());
+            }
+            Ok(())
+        }
+        fn log_retract(
+            &mut self,
+            _retractions: &[(SourceId, ItemId, ValueId)],
+        ) -> Result<(), HookFailure> {
+            Ok(())
+        }
+        fn commit(
+            &mut self,
+            _snapshot: &TrustSnapshot,
+            _session: &FusionSession,
+        ) -> Result<(), HookFailure> {
+            Ok(())
+        }
+    }
+
+    /// Regression for the `.expect("durability hook rejected…")` panic:
+    /// a hook that fails on the Nth append surfaces a typed error, the
+    /// earlier batches still published, and readers keep serving.
+    #[test]
+    fn nth_append_failure_degrades_to_typed_error() {
+        let session = TrustPipeline::new()
+            .observations(corpus(0..8))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Warm);
+        server.set_hook(Box::new(NthAppendFails {
+            ok_appends: 2,
+            seen: 0,
+        }));
+        let handle = server.handle();
+
+        // Appends 1 and 2 are durable and publish normally.
+        server.ingest(corpus(8..9)).unwrap();
+        server.refit().unwrap().expect("batch 1 publishes");
+        server.ingest(corpus(9..10)).unwrap();
+        server.refit().unwrap().expect("batch 2 publishes");
+        assert_eq!(handle.epoch(), 2);
+
+        // Append 3 hits the full disk: typed error, nothing queued.
+        let err = server.ingest(corpus(10..11)).unwrap_err();
+        assert_eq!(err.stage(), HookStage::LogIngest);
+        assert!(err.to_string().contains("append 3 hit a full disk"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(server.pending(), (0, 0));
+
+        // Readers were never disturbed: still on the last good epoch.
+        assert_eq!(handle.epoch(), 2);
+        assert!(handle.snapshot().verify_integrity());
+        // And the server survives: retractions (whose log path still
+        // works) keep flowing.
+        let key = {
+            let g = &server.session().cube().groups()[0];
+            (g.source, g.item, g.value)
+        };
+        server.retract([key]).unwrap();
+        server.refit().unwrap().expect("retraction publishes");
+        assert_eq!(handle.epoch(), 3);
+    }
+
+    /// A hook that panics in commit — the worst-behaved persistence
+    /// layer a server thread can host.
+    struct PanickingHook;
+
+    impl DurabilityHook for PanickingHook {
+        fn log_ingest(&mut self, _delta: &[Observation]) -> Result<(), HookFailure> {
+            Ok(())
+        }
+        fn log_retract(
+            &mut self,
+            _retractions: &[(SourceId, ItemId, ValueId)],
+        ) -> Result<(), HookFailure> {
+            Ok(())
+        }
+        fn commit(
+            &mut self,
+            _snapshot: &TrustSnapshot,
+            _session: &FusionSession,
+        ) -> Result<(), HookFailure> {
+            panic!("hook panicked instead of erroring");
+        }
+    }
+
+    /// Regression for the `.join().expect(…)` re-panic: a panicking hook
+    /// yields `ShutdownError::Panicked` with the captured message, and
+    /// readers keep serving the last published epoch.
+    #[test]
+    fn background_shutdown_reports_thread_panic_as_typed_error() {
+        let session = TrustPipeline::new()
+            .observations(corpus(0..8))
+            .model(model())
+            .into_session()
+            .unwrap();
+        let mut server = TrustServer::new(session, RefitMode::Warm);
+        server.set_hook(Box::new(PanickingHook));
+        let server = server.spawn();
+        let handle = server.handle();
+        assert!(server.ingest(corpus(8..9)));
+        let err = server.shutdown().expect_err("the hook panicked");
+        let ShutdownError::Panicked(msg) = &err else {
+            panic!("a thread panic is typed as ShutdownError::Panicked");
+        };
+        assert!(msg.contains("hook panicked instead of erroring"), "{msg}");
+        assert!(
+            err.into_server().is_none(),
+            "a panicked thread's state is gone"
+        );
+        // The publish happened before the commit panicked: readers still
+        // serve, on the last epoch that reached the store.
+        assert!(handle.epoch() >= 1);
+        assert!(handle.snapshot().verify_integrity());
     }
 }

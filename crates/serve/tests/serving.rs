@@ -116,8 +116,8 @@ fn readers_never_observe_torn_or_stale_snapshots_during_refits() {
         // Writer: back-to-back refits, one delta batch each.
         for i in 0..REFITS {
             let lo = 30 + i as u32 * 2;
-            server.ingest(corpus(lo..lo + 2));
-            let snap = server.refit().expect("delta publishes");
+            server.ingest(corpus(lo..lo + 2)).unwrap();
+            let snap = server.refit().unwrap().expect("delta publishes");
             assert_eq!(snap.epoch(), i + 1);
             published_floor.store(i + 1, Ordering::SeqCst);
         }
@@ -159,8 +159,9 @@ fn background_refitter_preserves_reader_guarantees() {
             let lo = 20 + i * 2;
             assert!(server.ingest(corpus(lo..lo + 2)));
         }
-        let (server, flush) = server.shutdown(); // flushes the queue
-        flush.expect("no hook attached: the flush cannot fail");
+        let server = server
+            .shutdown() // flushes the queue
+            .expect("no hook attached: the flush cannot fail");
         assert!(server.epoch() >= 1, "the burst published at least once");
         assert_eq!(server.pending(), (0, 0));
         done.store(true, Ordering::SeqCst);
@@ -203,8 +204,8 @@ proptest! {
                 .unwrap(),
             RefitMode::Cold,
         );
-        server.ingest(delta);
-        let snap = server.refit().expect("non-empty delta publishes");
+        server.ingest(delta).unwrap();
+        let snap = server.refit().unwrap().expect("non-empty delta publishes");
 
         // Bulk columns are bit-identical.
         prop_assert_eq!(snap.source_trust(), report.source_trust());

@@ -25,8 +25,8 @@ use std::sync::{Arc, Mutex};
 use kbt_datamodel::{ItemId, Observation, ObservationCube, SourceId, ValueId};
 use kbt_pipeline::{FusionSession, Model};
 use kbt_serve::{
-    DurabilityHook, HookError, RefitMode, SnapshotPartsError, SnapshotProvenance, TrustHandle,
-    TrustServer, TrustSnapshot,
+    DurabilityHook, HookError, HookFailure, RefitMode, SnapshotPartsError, SnapshotProvenance,
+    TrustHandle, TrustServer, TrustSnapshot,
 };
 
 use crate::codec::{decode_checkpoint, encode_checkpoint};
@@ -171,7 +171,7 @@ impl std::error::Error for StoreError {
         match self {
             Self::Io(e) => Some(e),
             Self::Parts(e) => Some(e),
-            Self::Hook(e) => Some(e.as_ref()),
+            Self::Hook(e) => Some(e),
             _ => None,
         }
     }
@@ -331,33 +331,36 @@ struct StoreHook {
 }
 
 impl StoreHook {
-    fn lock(&self) -> Result<std::sync::MutexGuard<'_, StoreInner>, HookError> {
+    fn lock(&self) -> Result<std::sync::MutexGuard<'_, StoreInner>, HookFailure> {
         self.inner
             .lock()
-            .map_err(|_| HookError::from("store state poisoned by an earlier panic"))
+            .map_err(|_| HookFailure::from("store state poisoned by an earlier panic"))
     }
 }
 
 impl DurabilityHook for StoreHook {
-    fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookError> {
-        self.lock()?.wal.append_add(delta).map_err(HookError::from)
+    fn log_ingest(&mut self, delta: &[Observation]) -> Result<(), HookFailure> {
+        self.lock()?
+            .wal
+            .append_add(delta)
+            .map_err(HookFailure::from)
     }
 
     fn log_retract(
         &mut self,
         retractions: &[(SourceId, ItemId, ValueId)],
-    ) -> Result<(), HookError> {
+    ) -> Result<(), HookFailure> {
         self.lock()?
             .wal
             .append_remove(retractions)
-            .map_err(HookError::from)
+            .map_err(HookFailure::from)
     }
 
     fn commit(
         &mut self,
         snapshot: &TrustSnapshot,
         session: &FusionSession,
-    ) -> Result<(), HookError> {
+    ) -> Result<(), HookFailure> {
         let mut inner = self.lock()?;
         inner.wal.append_commit(snapshot.epoch())?;
         if inner.config.fsync == FsyncPolicy::OnCommit {
@@ -371,7 +374,7 @@ impl DurabilityHook for StoreHook {
         if applied.saturating_sub(inner.deltas_at_checkpoint) >= inner.config.checkpoint_every {
             inner
                 .checkpoint(snapshot, session.cube())
-                .map_err(|e| HookError::from(Box::new(e) as HookError))?;
+                .map_err(|e| Box::new(e) as HookFailure)?;
         }
         Ok(())
     }
@@ -617,8 +620,8 @@ impl DurableTrustServer {
         let mut durable = Self::wrap(dir, server, digest, config)?;
         for batch in pending {
             let queued = match batch {
-                DeltaBatch::Add(obs) => durable.server.try_ingest(obs),
-                DeltaBatch::Remove(keys) => durable.server.try_retract(keys),
+                DeltaBatch::Add(obs) => durable.server.ingest(obs),
+                DeltaBatch::Remove(keys) => durable.server.retract(keys),
             };
             queued.map_err(StoreError::Hook)?;
         }
@@ -680,7 +683,7 @@ impl DurableTrustServer {
         &mut self,
         delta: impl IntoIterator<Item = Observation>,
     ) -> Result<(), HookError> {
-        self.server.try_ingest(delta)
+        self.server.ingest(delta)
     }
 
     /// Log and queue a retraction batch. On `Err` the batch was neither
@@ -689,20 +692,20 @@ impl DurableTrustServer {
         &mut self,
         retractions: impl IntoIterator<Item = (SourceId, ItemId, ValueId)>,
     ) -> Result<(), HookError> {
-        self.server.try_retract(retractions)
+        self.server.retract(retractions)
     }
 
     /// Refit over the queued batches, publish, and commit ([`None`]
     /// when the queue is empty). The commit marker — and, when the
     /// policy fires, the checkpoint — are durable before this returns.
     pub fn refit(&mut self) -> Result<Option<Arc<TrustSnapshot>>, HookError> {
-        self.server.try_refit()
+        self.server.refit()
     }
 
     /// [`Self::refit`] even with an empty queue: always publishes and
     /// commits a new epoch.
     pub fn force_refit(&mut self) -> Result<Arc<TrustSnapshot>, HookError> {
-        self.server.try_force_refit()
+        self.server.force_refit()
     }
 
     /// Checkpoint the current published epoch immediately, regardless of

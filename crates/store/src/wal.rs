@@ -30,6 +30,7 @@ use std::path::{Path, PathBuf};
 
 use kbt_datamodel::wire::{
     crc32, put_observation, put_triple_key, put_u32, put_u64, put_u8, WireReader,
+    OBSERVATION_WIRE_BYTES, TRIPLE_KEY_WIRE_BYTES,
 };
 use kbt_datamodel::{ItemId, Observation, SourceId, ValueId};
 
@@ -221,16 +222,19 @@ fn parse_payload(payload: &[u8]) -> Option<WalRecord> {
     let mut r = WireReader::new(payload);
     let record = match r.u8().ok()? {
         KIND_ADD => {
-            let count = r.u32().ok()? as usize;
-            let mut obs = Vec::with_capacity(count.min(payload.len() / 24 + 1));
+            // `count` proves the announced elements fit the remaining
+            // payload before the Vec is sized — a corrupt count that
+            // survives the CRC cannot trigger an absurd allocation.
+            let count = r.count(OBSERVATION_WIRE_BYTES).ok()?;
+            let mut obs = Vec::with_capacity(count);
             for _ in 0..count {
                 obs.push(r.observation().ok()?);
             }
             WalRecord::Add(obs)
         }
         KIND_REMOVE => {
-            let count = r.u32().ok()? as usize;
-            let mut keys = Vec::with_capacity(count.min(payload.len() / 12 + 1));
+            let count = r.count(TRIPLE_KEY_WIRE_BYTES).ok()?;
+            let mut keys = Vec::with_capacity(count);
             for _ in 0..count {
                 keys.push(r.triple_key().ok()?);
             }

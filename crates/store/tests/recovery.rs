@@ -336,9 +336,10 @@ fn reopened_server_matches_an_uncrashed_twin() {
 
     let twin_session = FusionSession::from_observations(base_corpus(), model());
     let mut twin = TrustServer::new(twin_session, RefitMode::Cold);
-    twin.ingest([obs(0, 3, 4, 5), obs(1, 2, 9, 1)]);
-    twin.retract([(SourceId::new(1), ItemId::new(3), ValueId::new(0))]);
-    let twin_snap = twin.refit().expect("tail publishes");
+    twin.ingest([obs(0, 3, 4, 5), obs(1, 2, 9, 1)]).unwrap();
+    twin.retract([(SourceId::new(1), ItemId::new(3), ValueId::new(0))])
+        .unwrap();
+    let twin_snap = twin.refit().unwrap().expect("tail publishes");
 
     assert_eq!(recovered_snap.epoch(), twin_snap.epoch());
     assert_eq!(recovered_snap.fingerprint(), twin_snap.fingerprint());

@@ -25,7 +25,10 @@
 //!   [`TrustServer`] ingests deltas and refits in the background,
 //! * [`store`] — crash-safe persistence for the serving layer: durable
 //!   snapshot checkpoints plus a write-ahead delta log, recovered to a
-//!   bit-identical epoch by [`DurableTrustServer`].
+//!   bit-identical epoch by [`DurableTrustServer`],
+//! * [`net`] — the network front end: trust queries and streaming
+//!   ingestion over the `KBTNET01` length-prefixed wire protocol, served
+//!   by a thread-per-connection [`NetServer`].
 //!
 //! ## The one entry point
 //!
@@ -57,6 +60,7 @@ pub use kbt_granularity as granularity;
 pub use kbt_graph as graph;
 pub use kbt_kb as kb;
 pub use kbt_metrics as metrics;
+pub use kbt_net as net;
 pub use kbt_pipeline as pipeline;
 pub use kbt_serve as serve;
 pub use kbt_store as store;
@@ -70,6 +74,7 @@ pub use kbt_datamodel::{
     ChunkedCube, ChunkingConfig, CubeBuilder, ExtractorId, FileChunkStore, ItemId, ObservationCube,
     SourceId, ValueId,
 };
+pub use kbt_net::{NetClient, NetConfig, NetServer, NetShutdown};
 pub use kbt_pipeline::{FusionSession, Model, PipelineError, PipelineRun, TrustPipeline};
 pub use kbt_serve::{RefitMode, SnapshotReader, SnapshotStore, TrustServer, TrustSnapshot};
 pub use kbt_store::{DurableTrustServer, FsyncPolicy, StoreConfig};
