@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Render the trajectory of every committed bench baseline across git
+history — stdlib only, fully offline.
+
+For each ``bench/baselines/BENCH_*.json`` this walks the commits that
+touched it (``git log --follow``), reads every historical version with
+``git show``, and renders one SVG per report: a line per numeric key,
+each normalized to its own [min, max] band so throughput in millions and
+wall-clock in milliseconds share one canvas, with first/last values in
+the legend. A compact text summary (latest value, change since the first
+commit) is printed to stdout for log scraping.
+
+Usage:
+    python3 bench/bench_plot.py [--out DIR] [--repo DIR]
+
+``--out`` defaults to ``bench-plots`` (created if missing); ``--repo``
+defaults to the working directory and must be a git checkout with full
+history (CI uses ``fetch-depth: 0``).
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+# Deterministic, colorblind-friendly palette (Okabe-Ito), cycled.
+PALETTE = [
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#D55E00",
+    "#CC79A7",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+]
+
+WIDTH, HEIGHT = 960, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 60, 280, 40, 40
+
+
+def git(repo, *args):
+    out = subprocess.run(
+        ["git", "-C", repo, *args],
+        check=True,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+    )
+    return out.stdout.decode("utf-8", "replace")
+
+
+def history(repo, path):
+    """Oldest-first [(short_hash, {key: value})] for one baseline file."""
+    log = git(repo, "log", "--reverse", "--format=%h", "--follow", "--", path)
+    points = []
+    for commit in log.split():
+        try:
+            text = git(repo, "show", f"{commit}:{path}")
+            data = json.loads(text)
+        except (subprocess.CalledProcessError, json.JSONDecodeError):
+            continue  # renamed away or unparsable at that commit
+        if isinstance(data, dict):
+            points.append((commit, data))
+    return points
+
+
+def numeric_series(points):
+    """{key: [float|None per commit]} over every key that is ever numeric."""
+    keys = []
+    for _, data in points:
+        for k, v in data.items():
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                if k not in keys:
+                    keys.append(k)
+    series = {}
+    for k in keys:
+        row = []
+        for _, data in points:
+            v = data.get(k)
+            row.append(float(v) if isinstance(v, (int, float)) and not isinstance(v, bool) else None)
+        series[k] = row
+    return series
+
+
+def fmt(v):
+    if v is None:
+        return "-"
+    if abs(v) >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if abs(v) >= 1e3:
+        return f"{v / 1e3:.1f}k"
+    if v == int(v):
+        return str(int(v))
+    return f"{v:.3g}"
+
+
+def svg_for(name, commits, series):
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    n = len(commits)
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'viewBox="0 0 {WIDTH} {HEIGHT}" font-family="monospace" font-size="11">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{MARGIN_L}" y="20" font-size="14" font-weight="bold">{name} '
+        f"— {n} commit(s)</text>",
+        f'<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#ccc"/>',
+    ]
+
+    def x(i):
+        if n == 1:
+            return MARGIN_L + plot_w / 2
+        return MARGIN_L + plot_w * i / (n - 1)
+
+    for idx, (key, row) in enumerate(series.items()):
+        vals = [v for v in row if v is not None]
+        if not vals:
+            continue
+        lo, hi = min(vals), max(vals)
+        span = (hi - lo) or 1.0
+        color = PALETTE[idx % len(PALETTE)]
+
+        def y(v):
+            return MARGIN_T + plot_h * (1.0 - (v - lo) / span)
+
+        pts = " ".join(
+            f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(row) if v is not None
+        )
+        if len(vals) == 1:
+            i = next(i for i, v in enumerate(row) if v is not None)
+            out.append(
+                f'<circle cx="{x(i):.1f}" cy="{y(vals[0]):.1f}" r="3" fill="{color}"/>'
+            )
+        else:
+            out.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.5"/>'
+            )
+        ly = MARGIN_T + 14 * idx
+        out.append(
+            f'<rect x="{WIDTH - MARGIN_R + 10}" y="{ly - 8}" width="10" height="10" fill="{color}"/>'
+        )
+        out.append(
+            f'<text x="{WIDTH - MARGIN_R + 25}" y="{ly}">{key}: '
+            f"{fmt(vals[0])} → {fmt(vals[-1])}</text>"
+        )
+
+    # First/last commit ticks.
+    out.append(
+        f'<text x="{MARGIN_L}" y="{HEIGHT - 15}" fill="#666">{commits[0]}</text>'
+    )
+    if n > 1:
+        out.append(
+            f'<text x="{MARGIN_L + plot_w}" y="{HEIGHT - 15}" fill="#666" '
+            f'text-anchor="end">{commits[-1]}</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--out", default="bench-plots", help="output directory for SVGs")
+    ap.add_argument("--repo", default=".", help="git checkout to read history from")
+    args = ap.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.repo, "bench/baselines/BENCH_*.json")))
+    if not baselines:
+        print("bench_plot: no baselines under bench/baselines/", file=sys.stderr)
+        return 1
+    os.makedirs(args.out, exist_ok=True)
+
+    wrote = 0
+    for path in baselines:
+        rel = os.path.relpath(path, args.repo)
+        name = os.path.splitext(os.path.basename(path))[0]
+        points = history(args.repo, rel)
+        if not points:
+            print(f"bench_plot: {name}: no readable history, skipped")
+            continue
+        commits = [c for c, _ in points]
+        series = numeric_series(points)
+        svg = svg_for(name, commits, series)
+        out_path = os.path.join(args.out, f"{name}.svg")
+        with open(out_path, "w", encoding="utf-8") as f:
+            f.write(svg)
+        wrote += 1
+
+        print(f"{name} ({len(commits)} commit(s)):")
+        for key, row in series.items():
+            vals = [v for v in row if v is not None]
+            if not vals:
+                continue
+            first, last = vals[0], vals[-1]
+            if first not in (0, None) and len(vals) > 1:
+                delta = f"{(last - first) / abs(first) * 100.0:+.1f}%"
+            else:
+                delta = "n/a" if len(vals) > 1 else "single point"
+            print(f"  {key:<32} {fmt(first):>10} → {fmt(last):>10}  ({delta})")
+
+    print(f"bench_plot: wrote {wrote} SVG(s) to {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

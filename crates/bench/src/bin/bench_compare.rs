@@ -15,6 +15,10 @@
 //!   `*p50*`/`*p95*`/`*p99*`): current must be ≤ `baseline / tolerance`;
 //! * **booleans** that are `true` in the baseline must stay `true`
 //!   (e.g. `bitwise_equal`);
+//! * **budget keys** (`*waiver*`, `violations_*` — the `kbt-lint`
+//!   report): current must be ≤ baseline **exactly**, no tolerance band.
+//!   A new waiver requires a deliberate baseline bump in the same PR,
+//!   so the escape hatch can only be widened on purpose, in review;
 //! * strings and other numeric fields (corpus sizes, round counts,
 //!   checksums) are informational and skipped.
 //!
@@ -87,6 +91,14 @@ fn parse_flat_json(text: &str, origin: &str) -> Vec<(String, Value)> {
     out
 }
 
+/// Budget keys are count ceilings, not performance: checked first (so a
+/// name like `waivers_total` is never misread as throughput) and gated
+/// with no tolerance — the count may only go down.
+fn is_budget_key(key: &str) -> bool {
+    let k = key.to_ascii_lowercase();
+    k.contains("waiver") || k.starts_with("violations_")
+}
+
 fn is_throughput_key(key: &str) -> bool {
     let k = key.to_ascii_lowercase();
     ["per_s", "per_sec", "qps", "throughput", "speedup", "ops"]
@@ -155,6 +167,25 @@ fn main() -> ExitCode {
     let mut checked = 0usize;
     for (key, base) in &baseline {
         match base {
+            Value::Num(b) if is_budget_key(key) => {
+                checked += 1;
+                match lookup(key) {
+                    Some(Value::Num(c)) => {
+                        let ok = *c <= *b;
+                        println!(
+                            "  {} {key}: {c:.0} vs budget {b:.0} (exact — bump the baseline to widen)",
+                            if ok { "ok  " } else { "FAIL" }
+                        );
+                        if !ok {
+                            failures += 1;
+                        }
+                    }
+                    other => {
+                        println!("  FAIL {key}: expected a number, current has {other:?}");
+                        failures += 1;
+                    }
+                }
+            }
             Value::Num(b) if is_throughput_key(key) => {
                 checked += 1;
                 match lookup(key) {

@@ -180,6 +180,7 @@ struct LoadResult {
 
 /// A well-behaved query client: mixed point/top-k/batch queries, every
 /// reply latency-sampled and fingerprint-verified.
+// Harness plumbing: the client thread takes its full wiring explicitly.
 #[allow(clippy::too_many_arguments)]
 fn query_client(
     idx: usize,

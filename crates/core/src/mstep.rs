@@ -64,6 +64,7 @@ pub fn update_source_accuracy(
 /// is written into the caller-held `updates` buffer (reused across EM
 /// rounds). Per-source arithmetic is identical to the flat form, so the
 /// result is bit-identical at any shard count.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn update_source_accuracy_with(
     cube: &ObservationCube,
@@ -110,6 +111,7 @@ pub fn update_source_accuracy_with(
 /// group ranges come from the `source_offsets` CSR instead of the cube's
 /// range structs. The per-source accumulation walks the same contiguous
 /// `correctness`/`truth` spans in the same order → bit-identical.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn update_source_accuracy_cols(
     cc: &ChunkedCube,
@@ -137,6 +139,7 @@ pub fn update_source_accuracy_cols(
 /// the form the streamed fit uses, since Eq. 28 needs no chunk data at
 /// all: every input (correctness, truth, the per-source group spans)
 /// stays resident. Bit-identical to the cube-backed variants.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn update_source_accuracy_offsets(
     offsets: &[u32],

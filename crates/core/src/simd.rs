@@ -48,6 +48,9 @@ fn vote_adjust_fold_scalar(start: f64, ext: &[u32], conf: &[f64], adjust: &[f64]
     vc
 }
 
+// SAFETY: `#[target_feature(enable = "avx2")]` makes this fn unsafe to
+// call; the contract is that AVX2 is available, which every caller
+// establishes with `is_x86_feature_detected!("avx2")` before dispatch.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn vote_adjust_fold_avx2(start: f64, ext: &[u32], conf: &[f64], adjust: &[f64]) -> f64 {
@@ -61,10 +64,18 @@ unsafe fn vote_adjust_fold_avx2(start: f64, ext: &[u32], conf: &[f64], adjust: &
         // in-range for `adjust` by the datamodel's dense-id invariant
         // (debug-asserted below for the fallback tail too).
         let idx = unsafe { _mm_loadu_si128(ext.as_ptr().add(i) as *const __m128i) };
+        // SAFETY: every lane of `idx` is an extractor id, in-range for
+        // `adjust` by the datamodel's dense-id invariant, so the gather
+        // reads only inside the `adjust` slice.
         let gathered = unsafe { _mm256_i32gather_pd::<8>(adjust.as_ptr(), idx) };
+        // SAFETY: `i + 4 <= n == conf.len()` (checked by the loop
+        // condition; `ext` and `conf` are equal-length by the
+        // debug-asserted precondition), so the 4-lane load is in bounds.
         let c = unsafe { _mm256_loadu_pd(conf.as_ptr().add(i)) };
         // One correctly-rounded multiply per lane — the scalar `*`.
         let p = _mm256_mul_pd(c, gathered);
+        // SAFETY: `buf` is a local `[f64; 4]` — exactly one 256-bit
+        // store wide, and `storeu` has no alignment requirement.
         unsafe { _mm256_storeu_pd(buf.as_mut_ptr(), p) };
         // Serial in-order adds: the scalar accumulation sequence.
         acc += buf[0];
@@ -96,6 +107,9 @@ pub fn log_sum_exp_with_zeros(xs: &[f64], extra_count: usize) -> f64 {
     crate::math::log_sum_exp_with_zeros(xs, extra_count)
 }
 
+// SAFETY: `#[target_feature(enable = "avx2")]` makes this fn unsafe to
+// call; the contract is that AVX2 is available, which the dispatching
+// wrapper establishes with `is_x86_feature_detected!("avx2")`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn log_sum_exp_with_zeros_avx2(xs: &[f64], extra_count: usize) -> f64 {
@@ -110,6 +124,8 @@ unsafe fn log_sum_exp_with_zeros_avx2(xs: &[f64], extra_count: usize) -> f64 {
         i += 4;
     }
     let mut lanes = [0.0f64; 4];
+    // SAFETY: `lanes` is a local `[f64; 4]` — exactly one 256-bit store
+    // wide, and `storeu` has no alignment requirement.
     unsafe { _mm256_storeu_pd(lanes.as_mut_ptr(), mv) };
     let mut m = if extra_count > 0 {
         0.0

@@ -388,6 +388,7 @@ struct PairScratch {
 /// arithmetic mirrors the flat branch operation-for-operation — the
 /// `sharded_engine` integration tests pin down bit-identity — while the
 /// per-item `Vec` churn is replaced by the shard's reusable scratch.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 fn pair_estep_sharded(
     claims: &[Claim],

@@ -255,6 +255,7 @@ pub struct ValueScratch {
 /// [`ObservationCube::observed_values_into`] and probed by binary search
 /// instead of a linear scan (per-slot accumulation order is unchanged, so
 /// the sums are the same floats).
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 fn value_item_kernel(
     cube: &ObservationCube,
@@ -393,6 +394,7 @@ fn value_item_kernel(
 /// partitioned into contiguous key-range shards, each worker reuses its
 /// [`ValueScratch`] arena, and shard outputs are merged in shard order.
 /// Bit-identical to the flat path at any shard count.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn estimate_values_with(
     cube: &ObservationCube,
@@ -494,6 +496,7 @@ pub struct ColValueScratch {
 /// kernel — the same instructions, the same float sequence — runs whether
 /// the chunk is a resident [`ChunkedCube`] slice or a [`ChunkBuf`]
 /// streamed from disk.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 fn col_value_item_kernel(
     view: &ItemView<'_>,
@@ -632,6 +635,7 @@ fn col_value_item_kernel(
 /// hoisted out of the row loop (same expression, same inputs, same bits
 /// as computing it per group). Bit-identical to the flat and row-major
 /// sharded paths at any shard count.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn estimate_values_cols(
     cc: &ChunkedCube,
@@ -756,6 +760,7 @@ type ValueChunkOut = (
 /// and per-chunk outputs merge in chunk order — the same sequence the
 /// resident shard merge produces — so the result is bit-identical to
 /// [`estimate_values_cols`] at any thread count and any cache size ≥ 1.
+// Kernel signature: the EM stages pass disjoint column and scratch borrows as separate parameters; bundling them in a struct would alias mutable slices or force per-round allocation.
 #[allow(clippy::too_many_arguments)]
 pub fn estimate_values_streamed(
     items: &ChunkCache<ChunkBuf>,

@@ -1441,10 +1441,12 @@ impl<B> ChunkCache<B> {
                     st.lru.remove(p);
                 }
                 st.lru.push_back(idx);
+                // ordering: Relaxed — monotonic stat counter, read only for reporting; no memory is published through it.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(b);
             }
         }
+        // ordering: Relaxed — monotonic stat counter, read only for reporting; no memory is published through it.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let b = (self.loader)(idx)?;
         Ok(self.insert(idx, Arc::new(b)))
@@ -1456,6 +1458,7 @@ impl<B> ChunkCache<B> {
         if self.state.lock().unwrap().map.contains_key(&idx) {
             return;
         }
+        // ordering: Relaxed — monotonic stat counter, read only for reporting; no memory is published through it.
         self.misses.fetch_add(1, Ordering::Relaxed);
         if let Ok(b) = (self.loader)(idx) {
             self.insert(idx, Arc::new(b));
@@ -1477,6 +1480,7 @@ impl<B> ChunkCache<B> {
             };
             let victim = st.lru.remove(p).unwrap();
             st.map.remove(&victim);
+            // ordering: Relaxed — monotonic stat counter, read only for reporting; no memory is published through it.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         b
@@ -1485,6 +1489,7 @@ impl<B> ChunkCache<B> {
     /// Snapshot the hit/miss/evict counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            // ordering: Relaxed — stat snapshot; the counters are advisory and order nothing.
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),

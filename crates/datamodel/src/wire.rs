@@ -188,12 +188,14 @@ impl<'a> WireReader<'a> {
 
     /// Consume one little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireTruncated> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        let b = self.bytes(4)?.first_chunk::<4>().ok_or(WireTruncated)?;
+        Ok(u32::from_le_bytes(*b))
     }
 
     /// Consume one little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireTruncated> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        let b = self.bytes(8)?.first_chunk::<8>().ok_or(WireTruncated)?;
+        Ok(u64::from_le_bytes(*b))
     }
 
     /// Consume one `f64` stored as its IEEE-754 bit pattern.

@@ -61,6 +61,7 @@ pub fn num_threads() -> usize {
     if scoped > 0 {
         return scoped;
     }
+    // ordering: Relaxed — a lone word-sized config cell; readers need no ordering with any other memory.
     let fallback = THREAD_DEFAULT.load(Ordering::Relaxed);
     if fallback > 0 {
         return fallback;
@@ -82,6 +83,7 @@ fn hardware_threads() -> usize {
 /// `ModelConfig`/`TrustPipeline`) anywhere two runs could overlap — e.g.
 /// parallel `cargo test` threads.
 pub fn set_num_threads(n: usize) {
+    // ordering: Relaxed — publishes only the counter value itself, never other memory.
     THREAD_DEFAULT.store(n, Ordering::Relaxed);
 }
 

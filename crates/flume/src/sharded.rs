@@ -391,8 +391,13 @@ impl<S: Send> ShardedExecutor<S> {
             if prefetch_depth > 0 {
                 scope.spawn(move || {
                     let mut next = 0usize;
-                    while next < num_chunks && !failed.load(Ordering::SeqCst) {
-                        let cur = cursor.load(Ordering::SeqCst);
+                    // ordering: Relaxed — `failed` is an advisory
+                    // early-abort hint and `cursor` only paces the
+                    // prefetcher; neither publishes data (results and
+                    // errors travel under their own mutexes, and
+                    // `thread::scope` joins order everything at exit).
+                    while next < num_chunks && !failed.load(Ordering::Relaxed) {
+                        let cur = cursor.load(Ordering::Relaxed);
                         if next < cur {
                             // Workers overtook us; skip to the frontier.
                             next = cur;
@@ -409,17 +414,24 @@ impl<S: Send> ShardedExecutor<S> {
             }
             for s in self.scratch.iter_mut().take(workers) {
                 scope.spawn(move || loop {
-                    if failed.load(Ordering::SeqCst) {
+                    // ordering: Relaxed — advisory abort hint; the
+                    // authoritative error is under the `error` mutex.
+                    if failed.load(Ordering::Relaxed) {
                         break;
                     }
-                    let idx = cursor.fetch_add(1, Ordering::SeqCst);
+                    // ordering: Relaxed — the RMW itself is atomic, so
+                    // every worker still draws a unique index; chunk
+                    // results are handed over via the per-slot mutexes.
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= num_chunks {
                         break;
                     }
                     match work(s, idx) {
                         Ok(t) => *slots[idx].lock().unwrap() = Some(t),
                         Err(e) => {
-                            failed.store(true, Ordering::SeqCst);
+                            // ordering: Relaxed — see the loads above;
+                            // the error value itself is mutex-guarded.
+                            failed.store(true, Ordering::Relaxed);
                             let mut guard = error.lock().unwrap();
                             if guard.as_ref().is_none_or(|(i, _)| idx < *i) {
                                 *guard = Some((idx, e));

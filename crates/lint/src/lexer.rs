@@ -1,0 +1,420 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! `kbt-lint` needs exactly one thing from a "parser": a token stream in
+//! which **comments, string/char literals, and attributes can never be
+//! mistaken for code** (and vice versa). `syn` is not vendored, and the
+//! rules only pattern-match shallow token shapes (`.unwrap(`,
+//! `Ordering::Relaxed`, `unsafe {`, `#[allow(...)]`, `use kbt_serve`),
+//! so a full grammar would be dead weight. In the same spirit as the
+//! hand-rolled CRC table and the wire codecs, this lexer handles the
+//! lexical layer *correctly* — nested block comments, raw strings with
+//! arbitrary `#` fences, byte/C-string prefixes, char-literal vs
+//! lifetime disambiguation, raw identifiers — and nothing more.
+//!
+//! Every token carries the 1-based line it starts on, so diagnostics are
+//! clickable and comment-adjacency checks ("a `SAFETY:` comment within
+//! three lines above the `unsafe`") are line arithmetic.
+
+/// What a lexeme is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (includes raw identifiers, without `r#`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`, `c"…"`).
+    Str,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`), without the quote.
+    Lifetime,
+    /// Numeric literal (integers and floats, suffixes included).
+    Num,
+    /// Comment — line (`//`, `///`, `//!`) or block (`/* … */`, nested).
+    Comment,
+}
+
+/// One lexeme: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for an identifier token equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Lex `source` into a token stream. Never fails: unterminated literals
+/// and comments are closed at end of input (a lint pass must degrade
+/// gracefully on code that `rustc` would reject anyway).
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        chars: source.char_indices().peekable(),
+        src: source,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, '\n')) = next {
+            self.line += 1;
+        }
+        next
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    /// The char after the next one, without consuming anything.
+    fn peek2(&mut self) -> Option<char> {
+        let &(i, c) = self.chars.peek()?;
+        self.src[i + c.len_utf8()..].chars().next()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek2() == Some('/') => self.line_comment(line),
+                '/' if self.peek2() == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.cooked_string(line, String::from("\""));
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// Block comments nest in Rust: `/* /* */ */` is one comment.
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek() {
+            if c == '/' && self.peek2() == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek2() == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// A `"`-delimited string with `\` escapes; the opening quote (and
+    /// any literal prefix) is already in `text`.
+    fn cooked_string(&mut self, line: u32, mut text: String) {
+        while let Some(c) = self.peek() {
+            self.bump();
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.peek() {
+                        text.push(esc);
+                        self.bump();
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// A raw string `r##"…"##`; the prefix through the opening quote is
+    /// already consumed, `hashes` is the fence width.
+    fn raw_string(&mut self, line: u32, mut text: String, hashes: usize) {
+        while let Some(c) = self.peek() {
+            self.bump();
+            text.push(c);
+            if c == '"' {
+                // A closing quote ends the literal only when followed by
+                // the full `#` fence.
+                let mut seen = 0usize;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    text.push('#');
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// `'` starts a char literal (`'x'`, `'\n'`, `'\u{7FFF}'`) or a
+    /// lifetime (`'a`, `'static`, `'_`). Disambiguation: an escape or a
+    /// closing quote right after one char means a literal; an identifier
+    /// with no closing quote means a lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal: consume the escape, then
+                // everything up to the closing quote (covers \u{…}).
+                let mut text = String::from("'\\");
+                self.bump();
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    text.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek2() == Some('\'') {
+                    // 'x'
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Char, format!("'{c}'"), line);
+                } else {
+                    // 'lifetime — identifier chars, no closing quote.
+                    let mut name = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Lifetime, name, line);
+                }
+            }
+            Some(c) => {
+                // Punctuation char literal like '"' or '{'.
+                self.bump();
+                let mut text = format!("'{c}");
+                if self.peek() == Some('\'') {
+                    self.bump();
+                    text.push('\'');
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            None => self.push(TokKind::Punct, "'".into(), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                // Stop a range expression `0..n` from being eaten.
+                if c == '.' && self.peek2() == Some('.') {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// An identifier — unless it turns out to be the prefix of a string
+    /// or char literal (`r"…"`, `br#"…"#`, `b'…'`, `c"…"`) or a raw
+    /// identifier (`r#ident`).
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_literal_prefix = matches!(name.as_str(), "r" | "b" | "br" | "c" | "cr");
+        match self.peek() {
+            Some('"') if is_literal_prefix => {
+                self.bump();
+                let raw = name.ends_with('r');
+                name.push('"');
+                if raw {
+                    self.raw_string(line, name, 0);
+                } else {
+                    self.cooked_string(line, name);
+                }
+            }
+            Some('#') if is_literal_prefix && name.ends_with('r') => {
+                // Count the fence; decide raw string vs raw identifier.
+                let mut hashes = 0usize;
+                while self.peek() == Some('#') {
+                    self.bump();
+                    hashes += 1;
+                }
+                if self.peek() == Some('"') {
+                    self.bump();
+                    name.push_str(&"#".repeat(hashes));
+                    name.push('"');
+                    self.raw_string(line, name, hashes);
+                } else if hashes == 1 && name == "r" {
+                    // Raw identifier r#ident: lex the ident proper.
+                    let mut ident = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            ident.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, ident, line);
+                } else {
+                    self.push(TokKind::Ident, name, line);
+                    for _ in 0..hashes {
+                        self.push(TokKind::Punct, "#".into(), line);
+                    }
+                }
+            }
+            Some('\'') if name == "b" => {
+                self.char_or_lifetime(line);
+                // Re-tag: b'…' lexed as a char/lifetime; either way it is
+                // a byte literal, not an identifier.
+                if let Some(last) = self.out.last_mut() {
+                    last.kind = TokKind::Char;
+                }
+            }
+            _ => self.push(TokKind::Ident, name, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_separate() {
+        let toks = kinds("let x = \"unwrap()\"; // .unwrap() here\nx.frob()");
+        assert!(toks.contains(&(TokKind::Str, "\"unwrap()\"".into())));
+        assert!(toks.contains(&(TokKind::Comment, "// .unwrap() here".into())));
+        assert!(toks.contains(&(TokKind::Ident, "frob".into())));
+        // No Ident token for the unwrap inside the string or comment.
+        assert!(!toks.contains(&(TokKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("/* outer /* inner .unwrap() */ still */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::Comment);
+        assert_eq!(toks[1], (TokKind::Ident, "code".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let s = r#"panic!("inside")"#; done"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("panic!")));
+        assert!(toks.contains(&(TokKind::Ident, "done".into())));
+        assert!(!toks.contains(&(TokKind::Ident, "panic".into())));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+        // The '"' char literal must not open a string that swallows code.
+        assert!(toks.contains(&(TokKind::Ident, "n".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_literals() {
+        let toks = kinds("let r#fn = b\"bytes\"; let c = b'x';");
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokKind::Str, "b\"bytes\"".into())));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'x'"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(
+            toks.iter().map(|t| t.line).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn unterminated_input_degrades_gracefully() {
+        // Never panic, never loop: close at EOF.
+        lex("let s = \"open");
+        lex("/* open /* nested");
+        lex("let s = r##\"open");
+        lex("'");
+    }
+}

@@ -1,0 +1,19 @@
+//! Fixture: the clean twin — every `#[allow]` carries a plain comment
+//! saying why, including one on a multi-line attribute.
+
+// The fixture keeps this entry point around for the doc example.
+#[allow(dead_code)]
+fn justified() {}
+
+/// A documented function.
+// Exercised only through the integration harness, which rustc's
+// dead-code pass cannot see.
+#[allow(dead_code)]
+fn doc_and_plain() {}
+
+// One justification may cover a multi-line attribute too.
+#[allow(
+    dead_code,
+    unused_variables
+)]
+fn multi_line(unused: u32) {}

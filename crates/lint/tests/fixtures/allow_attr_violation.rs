@@ -1,0 +1,10 @@
+//! Fixture: `#[allow]` attributes without a justification — a bare one,
+//! and one "justified" only by a doc comment (docs describe the item,
+//! not the decision, so it must still be flagged).
+
+#[allow(dead_code)]
+fn bare() {}
+
+/// A documented function.
+#[allow(dead_code)]
+fn doc_commented() {}

@@ -1,0 +1,31 @@
+//! Fixture: the clean twin — a justified Relaxed, an Acquire/Release
+//! pair (never flagged), and a Relaxed inside a test module.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn bump() {
+    // ordering: Relaxed — monotonic statistic read only for reporting;
+    // no memory is published through it.
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish() {
+    READY.store(true, Ordering::Release);
+}
+
+pub fn ready() -> bool {
+    READY.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_in_tests_is_exempt() {
+        COUNTER.store(0, Ordering::Relaxed);
+    }
+}

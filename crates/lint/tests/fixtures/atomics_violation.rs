@@ -1,0 +1,14 @@
+//! Fixture: unjustified orderings — one Relaxed without a comment, one
+//! SeqCst shrug. Both must produce an `atomics` finding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read() -> u64 {
+    COUNTER.load(Ordering::SeqCst)
+}

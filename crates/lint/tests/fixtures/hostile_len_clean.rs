@@ -1,0 +1,32 @@
+//! Fixture: the clean twin — a `MAX_*` cap, a `.remaining()` cap, and
+//! an all-constant size (safe by construction).
+
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+pub fn decode(len: usize) -> Option<Vec<u8>> {
+    if len > MAX_FRAME_BYTES {
+        return None;
+    }
+    Some(Vec::with_capacity(len))
+}
+
+pub struct Reader {
+    len: usize,
+}
+
+impl Reader {
+    pub fn remaining(&self) -> usize {
+        self.len
+    }
+}
+
+pub fn decode_counted(r: &Reader, count: usize) -> Option<Vec<u8>> {
+    if count > r.remaining() / 8 {
+        return None;
+    }
+    Some(Vec::with_capacity(count))
+}
+
+pub fn header() -> Vec<u8> {
+    Vec::with_capacity(16)
+}

@@ -1,0 +1,10 @@
+//! Fixture: length-derived allocations with no cap check in the same
+//! function — both must produce a `hostile-len` finding.
+
+pub fn decode(len: usize) -> Vec<u8> {
+    Vec::with_capacity(len)
+}
+
+pub fn decode_zeroed(len: usize) -> Vec<u8> {
+    vec![0u8; len]
+}

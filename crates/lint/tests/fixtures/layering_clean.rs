@@ -1,0 +1,7 @@
+//! Fixture: the clean twin — a foundation crate sticking to std.
+
+use std::collections::HashMap;
+
+pub fn touch(map: &HashMap<u32, u32>) -> usize {
+    map.len()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a foundation crate importing the serving layer — linted as
+//! `kbt-datamodel`, the `use kbt_serve::...` below inverts the
+//! architecture and must be flagged.
+
+use kbt_serve::TrustServer;
+
+pub fn touch(_s: &TrustServer) {}

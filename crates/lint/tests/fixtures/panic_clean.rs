@@ -1,0 +1,20 @@
+//! Fixture: the clean twin — fallible decode, one waived assert, and
+//! test code that may panic freely.
+
+pub fn decode(bytes: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(*bytes.first_chunk::<4>()?))
+}
+
+pub fn check(x: u32) -> bool {
+    // lint: allow(panic) — documented contract: callers pass non-zero.
+    assert!(x > 0, "x must be positive");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        super::decode(&[1, 2, 3, 4]).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: serving-path code that can panic — every call site below
+//! must produce a `panic` finding.
+
+pub fn decode(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(head)
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("value missing")
+}
+
+pub fn check(x: u32) {
+    assert!(x > 0, "x must be positive");
+}

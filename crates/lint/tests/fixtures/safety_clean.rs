@@ -1,0 +1,10 @@
+//! Fixture: the clean twin — the same block, with its contract stated.
+
+pub fn read_first(v: &[u8]) -> Option<u8> {
+    if v.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees at least one element
+    // behind `as_ptr`.
+    Some(unsafe { *v.as_ptr() })
+}

@@ -1,0 +1,6 @@
+//! Fixture: an undocumented `unsafe` block — its contract is stated
+//! nowhere, so the rule must flag it.
+
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -51,7 +51,7 @@ pub fn check_preamble(bytes: &[u8; PREAMBLE_BYTES]) -> Result<(), ErrorCode> {
     if &bytes[..8] != NET_MAGIC {
         return Err(ErrorCode::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
     if version != NET_VERSION {
         return Err(ErrorCode::BadVersion);
     }
@@ -60,6 +60,9 @@ pub fn check_preamble(bytes: &[u8; PREAMBLE_BYTES]) -> Result<(), ErrorCode> {
 
 /// Wrap a payload in a `[len][payload][crc]` frame.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    // lint: allow(hostile-len) — encode path: `payload` is produced
+    // locally, not attacker-derived; inbound frames are capped by
+    // `FrameBuffer::next_frame` before any allocation.
     let mut buf = Vec::with_capacity(payload.len() + 8);
     put_u32(&mut buf, payload.len() as u32);
     buf.extend_from_slice(payload);
@@ -880,8 +883,10 @@ impl FrameBuffer {
         if self.buf.len() < PREAMBLE_BYTES {
             return Ok(false);
         }
-        let head: [u8; PREAMBLE_BYTES] = self.buf[..PREAMBLE_BYTES].try_into().unwrap();
-        check_preamble(&head)?;
+        let Some(head) = self.buf.first_chunk::<PREAMBLE_BYTES>() else {
+            return Ok(false);
+        };
+        check_preamble(head)?;
         self.buf.drain(..PREAMBLE_BYTES);
         Ok(true)
     }
@@ -890,10 +895,10 @@ impl FrameBuffer {
     /// arrived. `Ok(None)` means more bytes are needed; an error means
     /// the stream is poisoned (the caller should close).
     pub fn next_frame(&mut self, max_frame_bytes: u32) -> Result<Option<Vec<u8>>, FrameError> {
-        if self.buf.len() < 4 {
+        let Some(len_bytes) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        };
+        let len = u32::from_le_bytes(*len_bytes);
         if len > max_frame_bytes {
             return Err(FrameError::TooLarge {
                 len,
@@ -906,7 +911,10 @@ impl FrameBuffer {
             return Ok(None);
         }
         let payload = self.buf[4..4 + len].to_vec();
-        let expected = u32::from_le_bytes(self.buf[4 + len..total].try_into().unwrap());
+        let Some(crc_bytes) = self.buf[4 + len..].first_chunk::<4>() else {
+            return Ok(None);
+        };
+        let expected = u32::from_le_bytes(*crc_bytes);
         let actual = crc32(&payload);
         if expected != actual {
             return Err(FrameError::BadCrc { expected, actual });

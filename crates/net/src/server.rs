@@ -136,15 +136,32 @@ struct Counters {
 }
 
 impl Counters {
+    /// Record `by` events on one counter.
+    // ordering: Relaxed — every counter here is a monotonic statistic
+    // read only for reporting; no memory is published through it.
+    fn add(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Raise a high-water-mark counter to at least `candidate`.
+    // ordering: Relaxed — stat high-water mark read only for reporting;
+    // the RMW's atomicity alone keeps it exact.
+    fn max(counter: &AtomicU64, candidate: u64) {
+        counter.fetch_max(candidate, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> WireStats {
+        // ordering: Relaxed — stat snapshot; the counters are advisory,
+        // order nothing, and the cut need not be consistent.
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
         WireStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            peak_active: self.peak_active.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            ingested_observations: self.ingested_observations.load(Ordering::Relaxed),
-            retracted_keys: self.retracted_keys.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            accepted: read(&self.accepted),
+            active: read(&self.active),
+            peak_active: read(&self.peak_active),
+            queries: read(&self.queries),
+            ingested_observations: read(&self.ingested_observations),
+            retracted_keys: read(&self.retracted_keys),
+            protocol_errors: read(&self.protocol_errors),
         }
     }
 }
@@ -201,6 +218,8 @@ impl std::fmt::Debug for NetServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetServer")
             .field("local_addr", &self.local_addr)
+            // ordering: Relaxed — debug peek at the flag; authoritative
+            // reads go through `degraded_message`'s Acquire.
             .field("degraded", &self.shared.is_degraded.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }
@@ -270,6 +289,9 @@ impl NetServer {
 
     /// Refits the trust writer has completed so far.
     pub fn refits(&self) -> u64 {
+        // ordering: Relaxed — monotonic progress counter; the refit's
+        // *data* is published by the snapshot store's Release/Acquire
+        // epoch, not through this count.
         self.shared.counters.refits.load(Ordering::Relaxed)
     }
 
@@ -287,7 +309,10 @@ impl NetServer {
     /// (connections were still drained; the in-memory server state is
     /// lost with the thread).
     pub fn shutdown(self) -> Result<NetShutdown, NetError> {
-        self.shared.stop.store(true, Ordering::SeqCst);
+        // ordering: Relaxed — pure termination request; the flag carries
+        // no data, and every result travels through the channel and the
+        // thread joins below (which are full synchronization points).
+        self.shared.stop.store(true, Ordering::Relaxed);
         let _ = self.accept.join();
         let stats = self.shared.counters.snapshot();
         match self.writer.join() {
@@ -328,7 +353,8 @@ fn trust_writer_loop(
         let first = match rx.recv_timeout(POLL_INTERVAL) {
             Ok(cmd) => Some(cmd),
             Err(RecvTimeoutError::Timeout) => {
-                if shared.stop.load(Ordering::SeqCst) {
+                // ordering: Relaxed — advisory stop poll; see `shutdown`.
+                if shared.stop.load(Ordering::Relaxed) {
                     break;
                 }
                 None
@@ -358,7 +384,7 @@ fn trust_writer_loop(
         let step = step.and_then(|()| server.refit().map(|_| ()));
         match step {
             Ok(()) => {
-                shared.counters.refits.fetch_add(1, Ordering::Relaxed);
+                Counters::add(&shared.counters.refits, 1);
             }
             Err(e) => {
                 shared.mark_degraded(e.to_string());
@@ -384,21 +410,24 @@ fn accept_loop(
     ingest_tx: SyncSender<WriteCmd>,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.stop.load(Ordering::SeqCst) {
+    // ordering: Relaxed — advisory stop poll; see `shutdown`.
+    while !shared.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
-                let active = shared.counters.active.fetch_add(1, Ordering::SeqCst) + 1;
-                shared
-                    .counters
-                    .peak_active
-                    .fetch_max(active, Ordering::SeqCst);
+                Counters::add(&shared.counters.accepted, 1);
+                // ordering: Relaxed — the RMW's atomicity alone keeps the
+                // active count exact; the value feeds stats only and
+                // publishes no memory.
+                let active = shared.counters.active.fetch_add(1, Ordering::Relaxed) + 1;
+                Counters::max(&shared.counters.peak_active, active);
                 let shared = Arc::clone(&shared);
                 let reader = handle.reader();
                 let ingest_tx = ingest_tx.clone();
                 conns.push(std::thread::spawn(move || {
                     connection_loop(stream, &shared, reader, ingest_tx);
-                    shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+                    // ordering: Relaxed — stat decrement; atomicity alone
+                    // keeps the count exact.
+                    shared.counters.active.fetch_sub(1, Ordering::Relaxed);
                 }));
                 // Reap finished connections so the handle list does not
                 // grow with every client that ever connected.
@@ -481,7 +510,8 @@ fn serve_frames(
             Ok(0) => return ConnEnd::Disconnected,
             Ok(n) => fb.push(&chunk[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.stop.load(Ordering::SeqCst) {
+                // ordering: Relaxed — advisory stop poll; see `shutdown`.
+                if shared.stop.load(Ordering::Relaxed) {
                     let _ = send_reply(
                         reply_tx,
                         &Reply::Error {
@@ -503,10 +533,7 @@ fn serve_frames(
                 Ok(true) => preamble_done = true,
                 Ok(false) => continue,
                 Err(code) => {
-                    shared
-                        .counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    Counters::add(&shared.counters.protocol_errors, 1);
                     let _ = send_reply(
                         reply_tx,
                         &Reply::Error {
@@ -525,10 +552,7 @@ fn serve_frames(
                 Ok(Some(p)) => p,
                 Ok(None) => break,
                 Err(e) => {
-                    shared
-                        .counters
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
+                    Counters::add(&shared.counters.protocol_errors, 1);
                     let code = match e {
                         FrameError::TooLarge { .. } => ErrorCode::FrameTooLarge,
                         FrameError::BadCrc { .. } => ErrorCode::BadCrc,
@@ -576,10 +600,7 @@ fn handle_payload(
     let request = match Request::decode(payload) {
         Ok(req) => req,
         Err(ProtoError::UnknownKind(k)) => {
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+            Counters::add(&shared.counters.protocol_errors, 1);
             return (
                 Reply::Error {
                     id: 0,
@@ -590,10 +611,7 @@ fn handle_payload(
             );
         }
         Err(e) => {
-            shared
-                .counters
-                .protocol_errors
-                .fetch_add(1, Ordering::Relaxed);
+            Counters::add(&shared.counters.protocol_errors, 1);
             return (
                 Reply::Error {
                     id: 0,
@@ -615,7 +633,7 @@ fn handle_payload(
             }
         }
         Request::Trust { id, source } => {
-            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            Counters::add(&shared.counters.queries, 1);
             let snap = reader.current();
             Reply::Trust {
                 id,
@@ -625,7 +643,7 @@ fn handle_payload(
             }
         }
         Request::Posterior { id, item, value } => {
-            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            Counters::add(&shared.counters.queries, 1);
             let snap = reader.current();
             Reply::Posterior {
                 id,
@@ -640,7 +658,7 @@ fn handle_payload(
             item,
             value,
         } => {
-            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            Counters::add(&shared.counters.queries, 1);
             let snap = reader.current();
             Reply::TriplePosterior {
                 id,
@@ -650,7 +668,7 @@ fn handle_payload(
             }
         }
         Request::TopKSources { id, k } => {
-            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            Counters::add(&shared.counters.queries, 1);
             let snap = reader.current();
             Reply::TopK {
                 id,
@@ -660,7 +678,7 @@ fn handle_payload(
             }
         }
         Request::TrustBatch { id, sources } => {
-            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+            Counters::add(&shared.counters.queries, 1);
             let snap = reader.current();
             Reply::TrustBatch {
                 id,
@@ -712,16 +730,10 @@ fn queue_write(id: u64, cmd: WriteCmd, shared: &Shared, ingest_tx: &SyncSender<W
     match ingest_tx.try_send(cmd) {
         Ok(()) => {
             if is_add {
-                shared
-                    .counters
-                    .ingested_observations
-                    .fetch_add(queued as u64, Ordering::Relaxed);
+                Counters::add(&shared.counters.ingested_observations, queued as u64);
                 Reply::IngestAck { id, queued }
             } else {
-                shared
-                    .counters
-                    .retracted_keys
-                    .fetch_add(queued as u64, Ordering::Relaxed);
+                Counters::add(&shared.counters.retracted_keys, queued as u64);
                 Reply::RetractAck { id, queued }
             }
         }

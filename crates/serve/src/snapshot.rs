@@ -175,6 +175,10 @@ impl TrustSnapshot {
         epoch: u64,
         provenance: SnapshotProvenance,
     ) -> Self {
+        // lint: allow(panic) — documented caller contract: `triples`
+        // comes from the same cube the report was fitted on, so a
+        // mismatch is a programming error in the *local* refit plumbing,
+        // never a function of remote input.
         assert_eq!(
             triples.len(),
             report.truth_of_group().len(),
@@ -191,6 +195,9 @@ impl TrustSnapshot {
             posteriors: report.posteriors().clone(),
             provenance,
         })
+        // lint: allow(panic) — the parts are sliced out of one
+        // `FusionReport`, whose columns are aligned by construction; the
+        // fallible path exists for the decode-side constructor below.
         .expect("a fusion report always exports aligned snapshot parts")
     }
 

@@ -29,6 +29,24 @@ use crate::snapshot::TrustSnapshot;
 /// Shared as `Arc<SnapshotStore>`; hand read paths a
 /// [`SnapshotReader`] (via [`Self::reader`]) rather than calling
 /// [`Self::load`] per query.
+///
+/// # Memory ordering
+///
+/// The store's correctness rests on one `Release`/`Acquire` pair:
+///
+/// * [`publish`](Self::publish) swaps the `Arc` under the `current`
+///   mutex, **then** stores the new epoch into the `epoch` counter with
+///   [`Ordering::Release`]. The release makes the mutex-guarded swap —
+///   and the fully built snapshot behind it — happen-before the store.
+/// * [`epoch`](Self::epoch) (and [`SnapshotReader::current`]'s
+///   revalidation) load the counter with [`Ordering::Acquire`]. A
+///   reader that observes epoch `E` therefore synchronizes-with the
+///   publish that wrote `E`, and the subsequent mutex lock in
+///   [`load`](Self::load) is guaranteed to see a snapshot with epoch
+///   ≥ `E` — never a stale pointer paired with a fresh counter.
+///
+/// No other ordering is needed: the snapshot itself is immutable behind
+/// the `Arc`, so once the pointer is visible every field is.
 #[derive(Debug)]
 pub struct SnapshotStore {
     /// Epoch of the currently published snapshot. Written with `Release`
@@ -57,9 +75,12 @@ impl SnapshotStore {
     /// Load the current snapshot (locks briefly to clone the `Arc`).
     /// Prefer a cached [`SnapshotReader`] on hot read paths.
     pub fn load(&self) -> Arc<TrustSnapshot> {
+        // Poison recovery: the guarded state is a single `Arc` assignment
+        // that cannot be observed half-done, so a publisher that panicked
+        // elsewhere leaves a fully valid (merely older) snapshot behind.
         self.current
             .lock()
-            .expect("snapshot store poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 
@@ -73,7 +94,15 @@ impl SnapshotStore {
     pub fn publish(&self, next: TrustSnapshot) -> Arc<TrustSnapshot> {
         let e = next.epoch();
         let installed = Arc::new(next);
-        let mut cur = self.current.lock().expect("snapshot store poisoned");
+        // Poison recovery: see `load` — the guard protects one
+        // untearable `Arc` swap.
+        let mut cur = self
+            .current
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // lint: allow(panic) — documented contract (see the `# Panics`
+        // section): serving a rolled-back trust epoch is strictly worse
+        // than dropping the refit thread that tried to.
         assert!(
             e > cur.epoch(),
             "snapshot epochs must be strictly monotone: {} -> {e}",

@@ -91,8 +91,10 @@ pub fn decode_checkpoint(
         return Err(StoreError::corrupt("checkpoint shorter than its header"));
     }
     let (body, trailer) = bytes.split_at(bytes.len() - 4);
-    let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
-    if crc32(body) != stored_crc {
+    let crc_ok = trailer
+        .first_chunk::<4>()
+        .is_some_and(|c| crc32(body) == u32::from_le_bytes(*c));
+    if !crc_ok {
         return Err(StoreError::corrupt("checkpoint CRC mismatch"));
     }
     let mut r = WireReader::new(body);
@@ -158,6 +160,12 @@ fn decode_cube(r: &mut WireReader<'_>) -> Result<ObservationCube, StoreError> {
     let items = r.u32().map_err(truncated)?;
     let values = r.u32().map_err(truncated)?;
     let cells = r.u64().map_err(truncated)? as usize;
+    // Cap: each cell is a 24-byte observation — a count the remaining
+    // bytes cannot back is corrupt, and checking it first keeps the
+    // allocation proportional to the file, not to a length field.
+    if cells > r.remaining() / 24 {
+        return Err(StoreError::corrupt("cube cell count exceeds file size"));
+    }
     let mut b = CubeBuilder::with_capacity(cells);
     for _ in 0..cells {
         b.push(r.observation().map_err(truncated)?);
@@ -244,6 +252,12 @@ fn decode_snapshot(r: &mut WireReader<'_>) -> Result<SnapshotParts, StoreError> 
     let coverage = r.f64().map_err(truncated)?;
 
     let num_sources = r.u32().map_err(truncated)? as usize;
+    // Cap: every source contributes at least 9 payload bytes (trust f64
+    // + activity byte), so a larger count cannot be backed by the
+    // remaining bytes — reject before allocating.
+    if num_sources > r.remaining() / 9 {
+        return Err(StoreError::corrupt("source count exceeds file size"));
+    }
     let mut source_trust = Vec::with_capacity(num_sources);
     for _ in 0..num_sources {
         source_trust.push(r.f64().map_err(truncated)?);
@@ -269,6 +283,10 @@ fn decode_snapshot(r: &mut WireReader<'_>) -> Result<SnapshotParts, StoreError> 
     };
 
     let num_triples = r.u64().map_err(truncated)? as usize;
+    // Cap: each triple costs 20 payload bytes (12-byte key + truth f64).
+    if num_triples > r.remaining() / 20 {
+        return Err(StoreError::corrupt("triple count exceeds file size"));
+    }
     let mut triples = Vec::with_capacity(num_triples);
     for _ in 0..num_triples {
         triples.push(r.triple_key().map_err(truncated)?);
@@ -280,17 +298,23 @@ fn decode_snapshot(r: &mut WireReader<'_>) -> Result<SnapshotParts, StoreError> 
 
     let items = r.u32().map_err(truncated)? as usize;
     let total_entries = r.u64().map_err(truncated)? as usize;
+    // Cap: each item row costs at least 12 bytes (row length + the
+    // unobserved-mass f64) and each entry exactly 12 (value + f64).
+    if items > r.remaining() / 12 || total_entries > r.remaining() / 12 {
+        return Err(StoreError::corrupt("posterior counts exceed file size"));
+    }
     let mut offsets = Vec::with_capacity(items + 1);
     offsets.push(0u32);
     let mut entries: Vec<(ValueId, f64)> = Vec::with_capacity(total_entries);
     let mut unobserved = Vec::with_capacity(items);
     for _ in 0..items {
         let row_len = r.u32().map_err(truncated)? as usize;
+        let row_start = entries.len();
         for _ in 0..row_len {
             let v = ValueId::new(r.u32().map_err(truncated)?);
             let p = r.f64().map_err(truncated)?;
             if let Some(&(prev, _)) = entries.last() {
-                if entries.len() > *offsets.last().unwrap() as usize && prev >= v {
+                if entries.len() > row_start && prev >= v {
                     return Err(StoreError::corrupt("posterior row not sorted by value"));
                 }
             }

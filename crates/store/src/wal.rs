@@ -99,6 +99,8 @@ impl WalWriter {
 
     /// Append an ingested observation batch (one frame, no fsync).
     pub fn append_add(&mut self, delta: &[Observation]) -> io::Result<()> {
+        // lint: allow(hostile-len) — encode path: sized from a batch the
+        // server already holds in memory, not from a wire length field.
         let mut payload = Vec::with_capacity(1 + 4 + delta.len() * 24);
         put_u8(&mut payload, KIND_ADD);
         put_u32(&mut payload, delta.len() as u32);
@@ -110,6 +112,8 @@ impl WalWriter {
 
     /// Append a retraction batch (one frame, no fsync).
     pub fn append_remove(&mut self, retractions: &[(SourceId, ItemId, ValueId)]) -> io::Result<()> {
+        // lint: allow(hostile-len) — encode path: sized from a batch the
+        // server already holds in memory, not from a wire length field.
         let mut payload = Vec::with_capacity(1 + 4 + retractions.len() * 12);
         put_u8(&mut payload, KIND_REMOVE);
         put_u32(&mut payload, retractions.len() as u32);
@@ -134,6 +138,8 @@ impl WalWriter {
     }
 
     fn append_frame(&mut self, payload: Vec<u8>) -> io::Result<()> {
+        // lint: allow(hostile-len) — encode path: `payload` was just
+        // built by this writer, not read from a length prefix.
         let mut frame = Vec::with_capacity(4 + payload.len() + 4);
         put_u32(&mut frame, payload.len() as u32);
         frame.extend_from_slice(&payload);
@@ -171,24 +177,28 @@ pub fn read_wal(path: &Path, expected_digest: u64) -> Result<WalReadOutcome, Sto
     }
     let (header, rest) = bytes.split_at(WAL_HEADER_BYTES);
     let (header_body, header_crc) = header.split_at(WAL_HEADER_BYTES - 4);
-    if crc32(header_body) != u32::from_le_bytes(header_crc.try_into().unwrap()) {
+    let crc_ok = header_crc
+        .first_chunk::<4>()
+        .is_some_and(|c| crc32(header_body) == u32::from_le_bytes(*c));
+    if !crc_ok {
         return Err(StoreError::corrupt("wal header CRC mismatch"));
     }
     let mut h = WireReader::new(header_body);
-    if h.bytes(8).expect("sized above") != WAL_MAGIC {
+    let truncated = |_| StoreError::corrupt("wal header truncated");
+    if h.bytes(8).map_err(truncated)? != WAL_MAGIC {
         return Err(StoreError::corrupt("wal magic mismatch"));
     }
-    if h.u32().expect("sized above") != WAL_VERSION {
+    if h.u32().map_err(truncated)? != WAL_VERSION {
         return Err(StoreError::corrupt("unsupported wal version"));
     }
-    let digest = h.u64().expect("sized above");
+    let digest = h.u64().map_err(truncated)?;
     if digest != expected_digest {
         return Err(StoreError::ConfigMismatch {
             stored: digest,
             expected: expected_digest,
         });
     }
-    let base_epoch = h.u64().expect("sized above");
+    let base_epoch = h.u64().map_err(truncated)?;
 
     let mut records = Vec::new();
     let mut r = WireReader::new(rest);
@@ -201,8 +211,10 @@ pub fn read_wal(path: &Path, expected_digest: u64) -> Result<WalReadOutcome, Sto
         if r.remaining() < len + 4 {
             break false; // torn tail: the frame never finished
         }
-        let payload = r.bytes(len).expect("sized above");
-        let stored_crc = r.u32().expect("sized above");
+        let Ok(payload) = r.bytes(len) else {
+            break false;
+        };
+        let Ok(stored_crc) = r.u32() else { break false };
         if crc32(payload) != stored_crc {
             break false; // corrupt record
         }
